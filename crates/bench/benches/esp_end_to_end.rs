@@ -1,0 +1,45 @@
+//! End-to-end cost of simulating the full 230-job dynamic ESP workload —
+//! the engine behind every Table II / Fig 8–11 regeneration. The paper's
+//! physical run took ~4 hours of wall time per configuration; this
+//! measures how fast the simulator replays it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynbatch_core::{CredRegistry, DfsConfig, SchedulerConfig, SimDuration};
+use dynbatch_sim::{run_experiment, ExperimentConfig};
+use dynbatch_workload::{generate_esp, EspConfig};
+use std::hint::black_box;
+
+fn bench_esp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("esp_end_to_end");
+    group.sample_size(10);
+
+    let mut reg = CredRegistry::new();
+    let static_wl = generate_esp(&EspConfig::paper_static(), &mut reg);
+    let dyn_wl = generate_esp(&EspConfig::paper_dynamic(), &mut reg);
+
+    group.bench_function("static_230_jobs", |b| {
+        let mut cfg = SchedulerConfig::paper_eval();
+        cfg.dfs = DfsConfig::highest_priority();
+        let exp = ExperimentConfig::paper_cluster("Static", cfg);
+        b.iter(|| black_box(run_experiment(&exp, &static_wl)));
+    });
+
+    group.bench_function("dynamic_hp_230_jobs", |b| {
+        let mut cfg = SchedulerConfig::paper_eval();
+        cfg.dfs = DfsConfig::highest_priority();
+        let exp = ExperimentConfig::paper_cluster("Dyn-HP", cfg);
+        b.iter(|| black_box(run_experiment(&exp, &dyn_wl)));
+    });
+
+    group.bench_function("dynamic_dfs500_230_jobs", |b| {
+        let mut cfg = SchedulerConfig::paper_eval();
+        cfg.dfs = DfsConfig::uniform_target(500, SimDuration::from_hours(1));
+        let exp = ExperimentConfig::paper_cluster("Dyn-500", cfg);
+        b.iter(|| black_box(run_experiment(&exp, &dyn_wl)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_esp);
+criterion_main!(benches);

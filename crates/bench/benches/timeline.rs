@@ -1,0 +1,61 @@
+//! Microbenchmarks of the availability timeline — the data structure every
+//! scheduling decision reduces to.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynbatch_core::{SimDuration, SimTime};
+use dynbatch_sched::AvailabilityProfile;
+use dynbatch_simtime::SplitMix64;
+use std::hint::black_box;
+
+/// A profile resembling a busy cluster: `n` running jobs with staggered
+/// ends.
+fn busy_profile(n: u64, capacity: u32) -> AvailabilityProfile {
+    let mut p = AvailabilityProfile::new(SimTime::ZERO, capacity);
+    let mut rng = SplitMix64::new(42);
+    for _ in 0..n {
+        let end = 60 + rng.next_below(7200);
+        let cores = 1 + rng.next_below(8) as u32;
+        if p.min_idle(SimTime::ZERO, SimTime::from_secs(end)) >= cores {
+            p.hold(SimTime::ZERO, SimTime::from_secs(end), cores);
+        }
+    }
+    p
+}
+
+fn bench_hold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeline/hold");
+    for &jobs in &[10u64, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            let base = busy_profile(jobs, 1024);
+            b.iter(|| {
+                let mut p = base.clone();
+                p.hold(SimTime::from_secs(10), SimTime::from_secs(500), black_box(4));
+                black_box(p)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_earliest_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeline/earliest_fit");
+    for &jobs in &[10u64, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            let p = busy_profile(jobs, 1024);
+            b.iter(|| {
+                p.earliest_fit(black_box(64), SimDuration::from_secs(600), SimTime::ZERO)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_min_idle(c: &mut Criterion) {
+    let p = busy_profile(200, 1024);
+    c.bench_function("timeline/min_idle_200_jobs", |b| {
+        b.iter(|| p.min_idle(SimTime::ZERO, black_box(SimTime::from_secs(3600))))
+    });
+}
+
+criterion_group!(benches, bench_hold, bench_earliest_fit, bench_min_idle);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Regenerates the paper's **Fig 7**: execution times of the Quadflow
+//! FlatPlate and Cylinder test cases, broken down by grid-adaptation
+//! phase, for three scenarios — static 16 cores, static 32 cores, and
+//! dynamic (start on 16, `tm_dynget()` +16 when a phase exceeds the
+//! cells-per-process threshold).
+//!
+//! Two layers of reproduction:
+//!
+//! 1. the calibrated phase *model* (the bars of Fig 7);
+//! 2. an end-to-end run of the dynamic scenario through the full batch
+//!    system (server + scheduler + TM protocol) on an idle and on a busy
+//!    cluster, confirming the request is granted (or denied) exactly as
+//!    the protocol dictates.
+//!
+//! ```text
+//! cargo run --release -p dynbatch-bench --bin fig7_quadflow
+//! ```
+
+use dynbatch_cluster::Cluster;
+use dynbatch_core::{
+    CredRegistry, DfsConfig, JobSpec, SchedulerConfig, SimDuration, SimTime,
+};
+use dynbatch_sim::BatchSim;
+use dynbatch_workload::{
+    dynamic_breakdown, static_breakdown, PhaseBreakdown, QuadflowCase, WorkloadItem,
+};
+
+fn print_breakdown(b: &PhaseBreakdown) {
+    print!("  {:<22} |", b.label);
+    for (secs, cores) in b.phase_secs.iter().zip(&b.phase_cores) {
+        print!(" {:>7.2} h ({cores:>2}c) |", secs / 3600.0);
+    }
+    println!("  total {:>6.2} h", b.total_secs() / 3600.0);
+}
+
+fn hp_sched() -> SchedulerConfig {
+    let mut s = SchedulerConfig::paper_eval();
+    s.dfs = DfsConfig::highest_priority();
+    s
+}
+
+/// Runs the dynamic scenario through the full batch system and returns
+/// (runtime, dynamic grants).
+fn sim_dynamic_run(case: QuadflowCase, busy_cores: u32) -> (SimDuration, u32) {
+    let mut reg = CredRegistry::new();
+    let user = reg.user("cfd");
+    let group = reg.group_of(user);
+    let mut sim = BatchSim::new(Cluster::homogeneous(15, 8), hp_sched());
+
+    let mut items = vec![WorkloadItem {
+        at: SimTime::ZERO,
+        spec: JobSpec::evolving(
+            case.name(),
+            user,
+            group,
+            case.base_cores(),
+            case.execution_model(),
+        ),
+    }];
+    if busy_cores > 0 {
+        // A rigid space-filler that outlives the CFD job, so the dynamic
+        // request finds no idle cores.
+        let filler = reg.user("filler");
+        let fgroup = reg.group_of(filler);
+        items.push(WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid(
+                "filler",
+                filler,
+                fgroup,
+                busy_cores,
+                SimDuration::from_hours(200),
+            ),
+        });
+    }
+    sim.load(&items);
+    sim.run();
+    let outcome = sim
+        .server()
+        .accounting()
+        .outcomes()
+        .iter()
+        .find(|o| o.name == case.name())
+        .expect("CFD job completed")
+        .clone();
+    (outcome.runtime(), outcome.dyn_grants)
+}
+
+fn main() {
+    println!("Fig 7 — Quadflow execution times by adaptation phase\n");
+    for case in [QuadflowCase::FlatPlate, QuadflowCase::Cylinder] {
+        let s16 = static_breakdown(case, 16);
+        let s32 = static_breakdown(case, 32);
+        let dynamic = dynamic_breakdown(case);
+        println!(
+            "{} (threshold {} cells/proc, {} adaptations):",
+            case.name(),
+            case.model().threshold_cells_per_proc,
+            case.model().phases.len() - 1
+        );
+        print_breakdown(&s16);
+        print_breakdown(&s32);
+        print_breakdown(&dynamic);
+        let saving = s16.total_secs() - dynamic.total_secs();
+        println!(
+            "  dynamic vs static-16: {:.0} % faster, saving {:.1} h (paper: {} % / {} h)\n",
+            100.0 * saving / s16.total_secs(),
+            saving / 3600.0,
+            match case {
+                QuadflowCase::FlatPlate => "17",
+                QuadflowCase::Cylinder => "33",
+            },
+            match case {
+                QuadflowCase::FlatPlate => "3",
+                QuadflowCase::Cylinder => "10",
+            },
+        );
+    }
+
+    println!("End-to-end through the batch system (server + Maui + TM protocol):");
+    for case in [QuadflowCase::FlatPlate, QuadflowCase::Cylinder] {
+        let (rt_idle, grants_idle) = sim_dynamic_run(case, 0);
+        // 15×8 = 120 cores; 16 for the job leaves 104: fill them all so
+        // the dynamic request must be denied.
+        let (rt_busy, grants_busy) = sim_dynamic_run(case, 104);
+        let model_dyn = dynamic_breakdown(case).total_secs();
+        let model_static = static_breakdown(case, 16).total_secs();
+        println!(
+            "  {:<10} idle cluster: {:>7.2} h, {} grant(s)  (model dynamic {:>6.2} h)",
+            case.name(),
+            rt_idle.as_secs_f64() / 3600.0,
+            grants_idle,
+            model_dyn / 3600.0
+        );
+        println!(
+            "  {:<10} busy cluster: {:>7.2} h, {} grant(s)  (model static  {:>6.2} h)",
+            "",
+            rt_busy.as_secs_f64() / 3600.0,
+            grants_busy,
+            model_static / 3600.0
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Regenerates the paper's **Figs 8–11**: per-job waiting times of the
+//! dynamic ESP workload, by submission order.
+//!
+//! * Fig 8 — Static vs Dynamic-HP (all jobs);
+//! * Fig 9 — type-L jobs in all four configurations;
+//! * Fig 10 — Static vs Dyn-HP vs Dyn-500;
+//! * Fig 11 — Static vs Dyn-HP vs Dyn-600.
+//!
+//! Prints ASCII plots for a terminal eyeball plus CSV blocks for real
+//! plotting. Pass `--csv-only` to suppress the plots.
+//!
+//! ```text
+//! cargo run --release -p dynbatch-bench --bin fig8_11_waiting
+//! ```
+
+use dynbatch_core::{CredRegistry, DfsConfig, JobOutcome, SchedulerConfig, SimDuration};
+use dynbatch_metrics::{
+    ascii_plot, per_user_excess, render_csv, user_wait_fairness, waits_by_submission,
+    waits_of_type,
+};
+use dynbatch_sim::{run_experiment, ExperimentConfig};
+use dynbatch_workload::{generate_esp, EspConfig};
+
+fn run(label: &str, cap: Option<u64>, dynamic: bool) -> Vec<JobOutcome> {
+    let mut reg = CredRegistry::new();
+    let wl_cfg = if dynamic { EspConfig::paper_dynamic() } else { EspConfig::paper_static() };
+    let wl = generate_esp(&wl_cfg, &mut reg);
+    let mut s = SchedulerConfig::paper_eval();
+    s.dfs = match cap {
+        None => DfsConfig::highest_priority(),
+        Some(c) => DfsConfig::uniform_target(c, SimDuration::from_hours(1)),
+    };
+    run_experiment(&ExperimentConfig::paper_cluster(label, s), &wl).outcomes
+}
+
+fn main() {
+    let csv_only = std::env::args().any(|a| a == "--csv-only");
+
+    eprintln!("running Static, Dyn-HP, Dyn-500, Dyn-600 ...");
+    let st = run("Static", None, false);
+    let hp = run("Dyn-HP", None, true);
+    let d500 = run("Dyn-500", Some(500), true);
+    let d600 = run("Dyn-600", Some(600), true);
+
+    let w_st: Vec<f64> = waits_by_submission(&st).into_iter().map(|(_, w)| w).collect();
+    let w_hp: Vec<f64> = waits_by_submission(&hp).into_iter().map(|(_, w)| w).collect();
+    let w_500: Vec<f64> = waits_by_submission(&d500).into_iter().map(|(_, w)| w).collect();
+    let w_600: Vec<f64> = waits_by_submission(&d600).into_iter().map(|(_, w)| w).collect();
+
+    if !csv_only {
+        println!(
+            "{}",
+            ascii_plot(
+                "Fig 8 — waiting time [s] vs submission order: Static vs Dyn-HP",
+                &[("Static", &w_st), ("Dyn-HP", &w_hp)],
+                18,
+            )
+        );
+        println!(
+            "{}",
+            ascii_plot(
+                "Fig 10 — Static vs Dyn-HP vs Dyn-500",
+                &[("Static", &w_st), ("Dyn-HP", &w_hp), ("Dyn-500", &w_500)],
+                18,
+            )
+        );
+        println!(
+            "{}",
+            ascii_plot(
+                "Fig 11 — Static vs Dyn-HP vs Dyn-600",
+                &[("Static", &w_st), ("Dyn-HP", &w_hp), ("Dyn-600", &w_600)],
+                18,
+            )
+        );
+        let l_st = waits_of_type(&st, "L");
+        let l_hp = waits_of_type(&hp, "L");
+        let l_500 = waits_of_type(&d500, "L");
+        let l_600 = waits_of_type(&d600, "L");
+        println!(
+            "{}",
+            ascii_plot(
+                "Fig 9 — type-L job waiting times [s] in all four configurations",
+                &[
+                    ("Static", &l_st),
+                    ("Dyn-HP", &l_hp),
+                    ("Dyn-500", &l_500),
+                    ("Dyn-600", &l_600),
+                ],
+                18,
+            )
+        );
+    }
+
+    // Paper's Fig 8 observation: jobs in the mid range (IDs ~70–125) wait
+    // longer under Dyn-HP than Static; quantify it.
+    let mid = 70..125.min(w_st.len());
+    let delayed = mid.clone().filter(|&i| w_hp[i] > w_st[i]).count();
+    println!(
+        "jobs {}..{} waiting longer under Dyn-HP than Static: {} of {}",
+        mid.start,
+        mid.end,
+        delayed,
+        mid.len()
+    );
+    let l_hp = waits_of_type(&hp, "L");
+    let l_st = waits_of_type(&st, "L");
+    let l_affected = l_hp.iter().zip(&l_st).filter(|(h, s)| h > s).count();
+    println!(
+        "type-L jobs waiting longer under Dyn-HP than Static: {} of {} (paper: about half)",
+        l_affected,
+        l_hp.len()
+    );
+
+    // Quantified fairness (beyond the paper's visual argument): Jain's
+    // index over per-user mean waits, and per-user excess vs Static.
+    println!("\nJain fairness index over per-user mean waits:");
+    for (label, outs) in [("Static", &st), ("Dyn-HP", &hp), ("Dyn-500", &d500), ("Dyn-600", &d600)] {
+        println!("  {label:<8} {:.4}", user_wait_fairness(outs));
+    }
+    println!("\nper-user mean-wait excess vs Static [s] (positive = user pays):");
+    println!("{:<8} {:>10} {:>10} {:>10}", "user", "Dyn-HP", "Dyn-500", "Dyn-600");
+    let e_hp = per_user_excess(&hp, &st);
+    let e_500 = per_user_excess(&d500, &st);
+    let e_600 = per_user_excess(&d600, &st);
+    for (i, (user, hp_excess)) in e_hp.iter().enumerate() {
+        println!(
+            "{:<8} {:>10.0} {:>10.0} {:>10.0}",
+            format!("{user}"),
+            hp_excess,
+            e_500.get(i).map_or(f64::NAN, |x| x.1),
+            e_600.get(i).map_or(f64::NAN, |x| x.1)
+        );
+    }
+
+    println!("\n--- CSV: all jobs (submission order) ---");
+    let rows: Vec<Vec<f64>> = (0..w_st.len())
+        .map(|i| {
+            vec![
+                (i + 1) as f64,
+                w_st[i],
+                w_hp.get(i).copied().unwrap_or(f64::NAN),
+                w_500.get(i).copied().unwrap_or(f64::NAN),
+                w_600.get(i).copied().unwrap_or(f64::NAN),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_csv(&["job", "static_wait_s", "dyn_hp_wait_s", "dyn500_wait_s", "dyn600_wait_s"], &rows)
+    );
+
+    println!("\n--- CSV: type-L jobs ---");
+    let l_500 = waits_of_type(&d500, "L");
+    let l_600 = waits_of_type(&d600, "L");
+    let rows: Vec<Vec<f64>> = (0..l_st.len())
+        .map(|i| {
+            vec![
+                (i + 1) as f64,
+                l_st[i],
+                l_hp.get(i).copied().unwrap_or(f64::NAN),
+                l_500.get(i).copied().unwrap_or(f64::NAN),
+                l_600.get(i).copied().unwrap_or(f64::NAN),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_csv(&["l_job", "static_wait_s", "dyn_hp_wait_s", "dyn500_wait_s", "dyn600_wait_s"], &rows)
+    );
+}

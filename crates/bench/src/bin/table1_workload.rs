@@ -1,0 +1,57 @@
+//! Regenerates the paper's **Table I**: the dynamic ESP job mix.
+//!
+//! Prints each job type with its user, size fraction, instance count, the
+//! concrete core count on the paper's 120-core system, and the static /
+//! dynamic execution times, then cross-checks the workload the generator
+//! actually emits.
+//!
+//! ```text
+//! cargo run --release -p dynbatch-bench --bin table1_workload
+//! ```
+
+use dynbatch_core::{CredRegistry, JobClass};
+use dynbatch_workload::{generate_esp, static_core_seconds, EspConfig, ESP_TABLE};
+
+fn main() {
+    let cfg = EspConfig::paper_dynamic();
+    println!("Table I — dynamic ESP job types (system: {} cores)\n", cfg.total_cores);
+    println!(
+        "{:<5} {:<8} {:>8} {:>6} {:>6} {:>10} {:>10}",
+        "Type", "User", "Size", "Count", "Cores", "SET [s]", "DET [s]"
+    );
+    println!("{}", "-".repeat(60));
+    for ty in &ESP_TABLE {
+        println!(
+            "{:<5} {:<8} {:>8.5} {:>6} {:>6} {:>10} {:>10}",
+            ty.name,
+            ty.user,
+            ty.size_frac,
+            ty.count,
+            ty.cores(cfg.total_cores),
+            ty.set_secs,
+            ty.det_secs.map_or("-".to_string(), |d| d.to_string()),
+        );
+    }
+
+    let mut reg = CredRegistry::new();
+    let items = generate_esp(&cfg, &mut reg);
+    let evolving = items.iter().filter(|i| i.spec.class == JobClass::Evolving).count();
+    let rigid = items.len() - evolving;
+    println!("\nGenerated workload: {} jobs ({rigid} rigid, {evolving} evolving)", items.len());
+    println!(
+        "Evolving fraction: {:.1} % (paper: 30 %)",
+        100.0 * evolving as f64 / items.len() as f64
+    );
+    println!(
+        "Total static work: {:.0} core-seconds (perfect packing on {} cores: {:.1} min)",
+        static_core_seconds(&cfg),
+        cfg.total_cores,
+        static_core_seconds(&cfg) / cfg.total_cores as f64 / 60.0
+    );
+    println!(
+        "Submission: first {} instantly, then one per {} s; Z jobs {} min after the last.",
+        cfg.initial_burst,
+        cfg.submit_interval.as_secs(),
+        cfg.z_delay.as_secs() / 60
+    );
+}

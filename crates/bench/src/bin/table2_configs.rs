@@ -1,0 +1,136 @@
+//! Regenerates the paper's **Table II**: performance of the four
+//! evaluation configurations of the dynamic ESP workload.
+//!
+//! | paper config | here |
+//! |---|---|
+//! | Static (F–J never grow)          | `Static`  |
+//! | Dynamic highest-priority         | `Dyn-HP`  |
+//! | 500 s cumulative delay cap / 1 h | `Dyn-500` |
+//! | 600 s cumulative delay cap / 1 h | `Dyn-600` |
+//!
+//! Because our substrate packs cores with zero fragmentation, measured
+//! delays are smaller than on the authors' Torque/Maui testbed and the
+//! nominal 500/600 s caps bind only weakly; the scale-adjusted `Dyn-100` /
+//! `Dyn-200` rows show the same fairness trade-off at this repository's
+//! delay scale (see EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p dynbatch-bench --bin table2_configs [-- --seeds N]
+//! ```
+//!
+//! With `--seeds N` every configuration is averaged over N submission
+//! orders (the paper reports a single run of ESP's fixed order; averaging
+//! removes that arbitrary choice).
+
+use dynbatch_core::{CredRegistry, DfsConfig, SchedulerConfig, SimDuration};
+use dynbatch_metrics::render_table2;
+use dynbatch_sim::{run_experiment, ExperimentConfig};
+use dynbatch_workload::{generate_esp, static_core_seconds, EspConfig};
+
+struct Row {
+    label: &'static str,
+    cap_secs: Option<u64>,
+    dynamic_workload: bool,
+}
+
+const ROWS: [Row; 6] = [
+    Row { label: "Static", cap_secs: None, dynamic_workload: false },
+    Row { label: "Dyn-HP", cap_secs: None, dynamic_workload: true },
+    Row { label: "Dyn-500", cap_secs: Some(500), dynamic_workload: true },
+    Row { label: "Dyn-600", cap_secs: Some(600), dynamic_workload: true },
+    Row { label: "Dyn-100", cap_secs: Some(100), dynamic_workload: true },
+    Row { label: "Dyn-200", cap_secs: Some(200), dynamic_workload: true },
+];
+
+fn sched_for(cap_secs: Option<u64>) -> SchedulerConfig {
+    let mut s = SchedulerConfig::paper_eval();
+    s.dfs = match cap_secs {
+        None => DfsConfig::highest_priority(),
+        Some(c) => DfsConfig::uniform_target(c, SimDuration::from_hours(1)),
+    };
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seeds: Vec<u64> = match args.iter().position(|a| a == "--seeds") {
+        Some(i) => {
+            let n: u64 = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(1);
+            (1..=n).collect()
+        }
+        None => vec![EspConfig::default().seed],
+    };
+
+    println!(
+        "Table II — dynamic ESP on 15 × 8 cores, ReservationDepth = ReservationDelayDepth = 5"
+    );
+    println!("(averaged over {} submission-order seed(s))\n", seeds.len());
+
+    let mut summaries = Vec::new();
+    let mut extras = Vec::new();
+    for row in &ROWS {
+        let mut acc: Option<dynbatch_metrics::RunSummary> = None;
+        let (mut fair, mut nores) = (0u64, 0u64);
+        for &seed in &seeds {
+            let mut reg = CredRegistry::new();
+            let mut wl_cfg = if row.dynamic_workload {
+                EspConfig::paper_dynamic()
+            } else {
+                EspConfig::paper_static()
+            };
+            wl_cfg.seed = seed;
+            let wl = generate_esp(&wl_cfg, &mut reg);
+            let cfg = ExperimentConfig::paper_cluster(row.label, sched_for(row.cap_secs));
+            let r = run_experiment(&cfg, &wl);
+            fair += r.stats.dyn_rejected_fairness;
+            nores += r.stats.dyn_rejected - r.stats.dyn_rejected_fairness;
+            acc = Some(match acc {
+                None => r.summary,
+                Some(mut a) => {
+                    // Accumulate for averaging.
+                    a.makespan += r.summary.makespan;
+                    a.utilization += r.summary.utilization;
+                    a.throughput_jobs_per_min += r.summary.throughput_jobs_per_min;
+                    a.satisfied_dyn_jobs += r.summary.satisfied_dyn_jobs;
+                    a.backfilled_jobs += r.summary.backfilled_jobs;
+                    a.mean_wait += r.summary.mean_wait;
+                    a.mean_turnaround += r.summary.mean_turnaround;
+                    a
+                }
+            });
+        }
+        let n = seeds.len() as u64;
+        let mut s = acc.expect("at least one seed");
+        s.makespan = s.makespan / n;
+        s.utilization /= n as f64;
+        s.throughput_jobs_per_min /= n as f64;
+        s.satisfied_dyn_jobs /= n as usize;
+        s.backfilled_jobs /= n as usize;
+        s.mean_wait = s.mean_wait / n;
+        s.mean_turnaround = s.mean_turnaround / n;
+        extras.push((row.label, fair / n, nores / n, s.backfilled_jobs, s.mean_wait));
+        summaries.push(s);
+    }
+
+    print!("{}", render_table2(&summaries));
+
+    // The original ESP metric: efficiency = ideal packing time / makespan.
+    let ideal_mins = static_core_seconds(&EspConfig::default()) / 120.0 / 60.0;
+    println!("\nESP efficiency (ideal {ideal_mins:.1} min / measured makespan):");
+    for s in &summaries {
+        println!("  {:<10} {:.3}", s.label, ideal_mins / s.makespan.as_mins_f64());
+    }
+
+    println!("\nDetail (per run averages):");
+    println!(
+        "{:<10} {:>14} {:>16} {:>12} {:>12}",
+        "Config", "fairness-rej", "no-resource-rej", "backfilled", "mean wait"
+    );
+    for (label, fair, nores, bf, wait) in extras {
+        println!("{label:<10} {fair:>14} {nores:>16} {bf:>12} {wait:>12}");
+    }
+
+    println!("\nPaper reference (Table II): Static 265.78 min / 77.45 % / 0.86 jobs/min;");
+    println!("Dyn-HP 238.78 / 43 sat / 85.02 % / 0.96 (+11.3 %); Dyn-500 248.85 / 20 sat /");
+    println!("82.26 % / 0.92 (+6.8 %); Dyn-600 241.06 / 27 sat / 83.57 % / 0.95 (+10.2 %).");
+}

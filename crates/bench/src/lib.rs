@@ -1,0 +1,2 @@
+//! # dynbatch-bench
+//! Benchmark harness; see `src/bin` and `benches`.

@@ -1,0 +1,85 @@
+//! Node-failure injection.
+//!
+//! The paper's introduction lists fault tolerance — "allocating spare nodes
+//! to affected jobs" — among the benefits of dynamic allocation. This module
+//! provides the event vocabulary for injecting failures into a simulation;
+//! the recovery policy (re-expanding affected evolving jobs onto spare
+//! nodes) lives in the orchestration layer.
+
+use dynbatch_core::{NodeId, SimTime};
+
+/// A scripted node failure or repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// When the event occurs.
+    pub at: SimTime,
+    /// Which node.
+    pub node: NodeId,
+    /// `true` = node fails, `false` = node repaired.
+    pub fails: bool,
+}
+
+impl FailureEvent {
+    /// A failure at `at`.
+    pub fn fail(at: SimTime, node: NodeId) -> Self {
+        FailureEvent { at, node, fails: true }
+    }
+
+    /// A repair at `at`.
+    pub fn repair(at: SimTime, node: NodeId) -> Self {
+        FailureEvent { at, node, fails: false }
+    }
+}
+
+/// A scripted failure schedule, sorted by time.
+#[derive(Debug, Clone, Default)]
+pub struct FailureSchedule {
+    events: Vec<FailureEvent>,
+}
+
+impl FailureSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        FailureSchedule::default()
+    }
+
+    /// Adds an event, keeping the schedule sorted.
+    pub fn push(&mut self, event: FailureEvent) {
+        let pos = self.events.partition_point(|e| e.at <= event.at);
+        self.events.insert(pos, event);
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// True iff nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_stays_sorted() {
+        let mut s = FailureSchedule::new();
+        s.push(FailureEvent::fail(SimTime::from_secs(50), NodeId(1)));
+        s.push(FailureEvent::fail(SimTime::from_secs(10), NodeId(2)));
+        s.push(FailureEvent::repair(SimTime::from_secs(30), NodeId(2)));
+        let times: Vec<u64> = s.events().iter().map(|e| e.at.as_secs()).collect();
+        assert_eq!(times, vec![10, 30, 50]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn constructors() {
+        let f = FailureEvent::fail(SimTime::from_secs(1), NodeId(0));
+        assert!(f.fails);
+        let r = FailureEvent::repair(SimTime::from_secs(2), NodeId(0));
+        assert!(!r.fails);
+    }
+}

@@ -1,0 +1,445 @@
+//! # dynbatch-cluster
+//!
+//! The cluster substrate: nodes, cores and allocations.
+//!
+//! This crate stands in for the paper's physical testbed (15 compute nodes
+//! × 8 cores). It tracks which job holds which cores on which node, and
+//! implements the allocation-side halves of the dynamic protocol:
+//! *dyn_join* (expanding a running job's allocation onto additional cores)
+//! and *dyn_disjoin* (releasing an arbitrary subset — the paper notes its
+//! approach, unlike SLURM's, can release any subset of a dynamic
+//! allocation).
+//!
+//! Invariants maintained (and tested by property tests):
+//!
+//! * a core is held by at most one job at any time;
+//! * per-node usage never exceeds the node's capacity;
+//! * the sum of all job allocations equals the cluster's busy-core count.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod allocation;
+pub mod failure;
+pub mod node;
+
+pub use allocation::Allocation;
+pub use failure::FailureEvent;
+pub use node::{Node, NodeState};
+
+use dynbatch_core::{AllocPolicy, Error, JobId, NodeId, Result};
+use std::collections::HashMap;
+
+/// The cluster: a fixed set of nodes plus allocation state.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    /// Per-job allocations, the authoritative inverse of the per-node maps.
+    jobs: HashMap<JobId, Allocation>,
+}
+
+impl Cluster {
+    /// A homogeneous cluster of `nodes` nodes with `cores_per_node` cores
+    /// each — `Cluster::homogeneous(15, 8)` is the paper's testbed.
+    pub fn homogeneous(nodes: u32, cores_per_node: u32) -> Self {
+        Cluster {
+            nodes: (0..nodes)
+                .map(|i| Node::new(NodeId(i), cores_per_node))
+                .collect(),
+            jobs: HashMap::new(),
+        }
+    }
+
+    /// A heterogeneous cluster from explicit per-node core counts.
+    pub fn from_core_counts(counts: &[u32]) -> Self {
+        Cluster {
+            nodes: counts
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| Node::new(NodeId(i as u32), c))
+                .collect(),
+            jobs: HashMap::new(),
+        }
+    }
+
+    /// Total cores across all *up* nodes.
+    pub fn total_cores(&self) -> u32 {
+        self.nodes.iter().filter(|n| n.is_up()).map(|n| n.cores_total()).sum()
+    }
+
+    /// Idle cores across all up nodes.
+    pub fn idle_cores(&self) -> u32 {
+        self.nodes.iter().filter(|n| n.is_up()).map(|n| n.cores_idle()).sum()
+    }
+
+    /// Busy cores across all up nodes.
+    pub fn busy_cores(&self) -> u32 {
+        self.nodes.iter().filter(|n| n.is_up()).map(|n| n.cores_used()).sum()
+    }
+
+    /// Number of nodes (up or not).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable view of a node.
+    pub fn node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes.get(id.0 as usize).ok_or(Error::UnknownNode(id))
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// The allocation currently held by `job`, if any.
+    pub fn allocation_of(&self, job: JobId) -> Option<&Allocation> {
+        self.jobs.get(&job)
+    }
+
+    /// Cores currently held by `job` (0 if none).
+    pub fn cores_of(&self, job: JobId) -> u32 {
+        self.jobs.get(&job).map_or(0, |a| a.total_cores())
+    }
+
+    /// Jobs currently holding cores.
+    pub fn allocated_jobs(&self) -> impl Iterator<Item = (JobId, &Allocation)> {
+        self.jobs.iter().map(|(&j, a)| (j, a))
+    }
+
+    /// Picks cores for a fresh allocation of `cores` cores under `policy`,
+    /// without committing. Returns `None` if the request cannot be placed.
+    pub fn plan(&self, cores: u32, policy: AllocPolicy) -> Option<Allocation> {
+        if cores == 0 {
+            return Some(Allocation::empty());
+        }
+        let mut candidates: Vec<&Node> = self
+            .nodes
+            .iter()
+            .filter(|n| n.is_up() && n.cores_idle() > 0)
+            .collect();
+        match policy {
+            AllocPolicy::Pack => {
+                // Most-loaded first: minimises fragmentation.
+                candidates.sort_by_key(|n| (n.cores_idle(), n.id()));
+            }
+            AllocPolicy::Spread => {
+                candidates.sort_by_key(|n| (std::cmp::Reverse(n.cores_idle()), n.id()));
+            }
+            AllocPolicy::NodeExclusive => {
+                candidates.retain(|n| n.cores_used() == 0);
+                candidates.sort_by_key(|n| n.id());
+            }
+        }
+        let mut alloc = Allocation::empty();
+        let mut remaining = cores;
+        for n in candidates {
+            if remaining == 0 {
+                break;
+            }
+            let take = match policy {
+                AllocPolicy::NodeExclusive => {
+                    if n.cores_total() <= remaining {
+                        n.cores_total()
+                    } else {
+                        // A node-exclusive tail allocation still consumes
+                        // the whole node; take it and stop.
+                        n.cores_total()
+                    }
+                }
+                _ => n.cores_idle().min(remaining),
+            };
+            alloc.add(n.id(), take);
+            remaining = remaining.saturating_sub(take);
+        }
+        if remaining == 0 {
+            Some(alloc)
+        } else {
+            None
+        }
+    }
+
+    /// Allocates `cores` cores to `job` (which must hold nothing yet).
+    pub fn allocate(&mut self, job: JobId, cores: u32, policy: AllocPolicy) -> Result<Allocation> {
+        assert!(
+            !self.jobs.contains_key(&job),
+            "{job} already holds an allocation; use expand()"
+        );
+        if cores > self.total_cores() {
+            return Err(Error::RequestExceedsSystem { requested: cores, capacity: self.total_cores() });
+        }
+        let alloc = self.plan(cores, policy).ok_or(Error::CoresBusy {
+            node: NodeId(0),
+            requested: cores,
+            idle: self.idle_cores(),
+        })?;
+        self.commit(job, &alloc)?;
+        Ok(alloc)
+    }
+
+    /// Expands `job`'s existing allocation by `extra` cores — the cluster
+    /// half of *dyn_join* (paper Fig 3). The job keeps its old cores; the
+    /// returned allocation is the newly added part (the "dynamically
+    /// allocated hostlist" handed back through `tm_dynget()`).
+    pub fn expand(&mut self, job: JobId, extra: u32, policy: AllocPolicy) -> Result<Allocation> {
+        if !self.jobs.contains_key(&job) {
+            return Err(Error::UnknownJob(job));
+        }
+        let added = self.plan(extra, policy).ok_or(Error::CoresBusy {
+            node: NodeId(0),
+            requested: extra,
+            idle: self.idle_cores(),
+        })?;
+        self.commit(job, &added)?;
+        Ok(added)
+    }
+
+    /// Releases part of `job`'s allocation — the cluster half of
+    /// *dyn_disjoin* (paper Fig 4). Any subset may be released.
+    pub fn release_partial(&mut self, job: JobId, part: &Allocation) -> Result<()> {
+        let held = self.jobs.get_mut(&job).ok_or(Error::UnknownJob(job))?;
+        // Validate first so a failed release leaves state untouched.
+        for (node, cores) in part.entries() {
+            if held.cores_on(node) < cores {
+                return Err(Error::NotAllocated { job, node });
+            }
+        }
+        for (node, cores) in part.entries() {
+            held.remove(node, cores);
+            self.nodes[node.0 as usize].release(job, cores);
+        }
+        if self.jobs[&job].total_cores() == 0 {
+            self.jobs.remove(&job);
+        }
+        Ok(())
+    }
+
+    /// Releases everything `job` holds (normal job completion).
+    pub fn release_all(&mut self, job: JobId) -> Result<Allocation> {
+        let alloc = self.jobs.remove(&job).ok_or(Error::UnknownJob(job))?;
+        for (node, cores) in alloc.entries() {
+            self.nodes[node.0 as usize].release(job, cores);
+        }
+        Ok(alloc)
+    }
+
+    /// Marks a node down, evicting every allocation on it. Returns the jobs
+    /// that lost cores (candidates for spare-node reallocation — the
+    /// fault-tolerance use the paper's introduction motivates).
+    pub fn fail_node(&mut self, id: NodeId) -> Result<Vec<JobId>> {
+        let node = self.nodes.get_mut(id.0 as usize).ok_or(Error::UnknownNode(id))?;
+        let victims = node.fail();
+        for &(job, cores) in &victims {
+            if let Some(a) = self.jobs.get_mut(&job) {
+                a.remove(id, cores);
+                if a.total_cores() == 0 {
+                    self.jobs.remove(&job);
+                }
+            }
+        }
+        Ok(victims.into_iter().map(|(j, _)| j).collect())
+    }
+
+    /// Brings a failed node back up (empty).
+    pub fn repair_node(&mut self, id: NodeId) -> Result<()> {
+        self.nodes
+            .get_mut(id.0 as usize)
+            .ok_or(Error::UnknownNode(id))?
+            .repair();
+        Ok(())
+    }
+
+    fn commit(&mut self, job: JobId, alloc: &Allocation) -> Result<()> {
+        // Validate the whole placement before mutating anything.
+        for (node, cores) in alloc.entries() {
+            let n = self.node(node)?;
+            if !n.is_up() || n.cores_idle() < cores {
+                return Err(Error::CoresBusy { node, requested: cores, idle: n.cores_idle() });
+            }
+        }
+        for (node, cores) in alloc.entries() {
+            self.nodes[node.0 as usize].acquire(job, cores);
+        }
+        self.jobs.entry(job).or_insert_with(Allocation::empty).merge(alloc);
+        Ok(())
+    }
+
+    /// Debug invariant check: per-node books balance with per-job books.
+    pub fn check_invariants(&self) -> Result<()> {
+        let mut per_node: HashMap<NodeId, u32> = HashMap::new();
+        for (_, alloc) in self.allocated_jobs() {
+            for (node, cores) in alloc.entries() {
+                *per_node.entry(node).or_default() += cores;
+            }
+        }
+        for n in &self.nodes {
+            let from_jobs = per_node.get(&n.id()).copied().unwrap_or(0);
+            if n.is_up() {
+                if from_jobs != n.cores_used() {
+                    return Err(Error::BadConfig(format!(
+                        "{}: job books say {from_jobs}, node says {}",
+                        n.id(),
+                        n.cores_used()
+                    )));
+                }
+                if n.cores_used() > n.cores_total() {
+                    return Err(Error::BadConfig(format!("{} over-committed", n.id())));
+                }
+            } else if from_jobs != 0 {
+                return Err(Error::BadConfig(format!("{} is down but has allocations", n.id())));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_cluster() -> Cluster {
+        Cluster::homogeneous(15, 8)
+    }
+
+    #[test]
+    fn capacity() {
+        let c = paper_cluster();
+        assert_eq!(c.total_cores(), 120);
+        assert_eq!(c.idle_cores(), 120);
+        assert_eq!(c.busy_cores(), 0);
+        assert_eq!(c.node_count(), 15);
+    }
+
+    #[test]
+    fn allocate_and_release() {
+        let mut c = paper_cluster();
+        let a = c.allocate(JobId(1), 20, AllocPolicy::Pack).unwrap();
+        assert_eq!(a.total_cores(), 20);
+        assert_eq!(c.idle_cores(), 100);
+        assert_eq!(c.cores_of(JobId(1)), 20);
+        c.check_invariants().unwrap();
+        c.release_all(JobId(1)).unwrap();
+        assert_eq!(c.idle_cores(), 120);
+        assert!(c.allocation_of(JobId(1)).is_none());
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pack_minimises_nodes() {
+        let mut c = paper_cluster();
+        c.allocate(JobId(1), 4, AllocPolicy::Pack).unwrap();
+        // Second small job should land on the same (most-loaded) node.
+        let a2 = c.allocate(JobId(2), 4, AllocPolicy::Pack).unwrap();
+        assert_eq!(a2.node_count(), 1);
+        assert_eq!(c.nodes().filter(|n| n.cores_used() > 0).count(), 1);
+    }
+
+    #[test]
+    fn spread_uses_fresh_nodes() {
+        let mut c = paper_cluster();
+        c.allocate(JobId(1), 4, AllocPolicy::Spread).unwrap();
+        c.allocate(JobId(2), 4, AllocPolicy::Spread).unwrap();
+        assert_eq!(c.nodes().filter(|n| n.cores_used() > 0).count(), 2);
+    }
+
+    #[test]
+    fn node_exclusive_takes_whole_nodes() {
+        let mut c = paper_cluster();
+        let a = c.allocate(JobId(1), 12, AllocPolicy::NodeExclusive).unwrap();
+        // 12 cores at 8/node => two whole nodes (16 cores) consumed.
+        assert_eq!(a.total_cores(), 16);
+        assert_eq!(a.node_count(), 2);
+        // A second exclusive job cannot share those nodes.
+        let b = c.allocate(JobId(2), 8, AllocPolicy::NodeExclusive).unwrap();
+        assert!(a.entries().all(|(n, _)| b.cores_on(n) == 0));
+    }
+
+    #[test]
+    fn over_capacity_rejected() {
+        let mut c = paper_cluster();
+        assert!(matches!(
+            c.allocate(JobId(1), 121, AllocPolicy::Pack),
+            Err(Error::RequestExceedsSystem { .. })
+        ));
+        c.allocate(JobId(1), 120, AllocPolicy::Pack).unwrap();
+        assert!(c.allocate(JobId(2), 1, AllocPolicy::Pack).is_err());
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn expand_is_dyn_join() {
+        let mut c = paper_cluster();
+        c.allocate(JobId(1), 8, AllocPolicy::Pack).unwrap();
+        let added = c.expand(JobId(1), 4, AllocPolicy::Pack).unwrap();
+        assert_eq!(added.total_cores(), 4);
+        assert_eq!(c.cores_of(JobId(1)), 12);
+        c.check_invariants().unwrap();
+        // Expanding an unknown job fails.
+        assert!(matches!(
+            c.expand(JobId(99), 4, AllocPolicy::Pack),
+            Err(Error::UnknownJob(_))
+        ));
+    }
+
+    #[test]
+    fn partial_release_is_dyn_disjoin() {
+        let mut c = paper_cluster();
+        c.allocate(JobId(1), 8, AllocPolicy::Spread).unwrap();
+        let added = c.expand(JobId(1), 6, AllocPolicy::Spread).unwrap();
+        // Release an arbitrary subset of the added cores: 2 from one node.
+        let (node, _) = added.entries().next().unwrap();
+        let mut part = Allocation::empty();
+        part.add(node, 2);
+        c.release_partial(JobId(1), &part).unwrap();
+        assert_eq!(c.cores_of(JobId(1)), 12);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn partial_release_validates_atomically() {
+        let mut c = paper_cluster();
+        c.allocate(JobId(1), 8, AllocPolicy::Pack).unwrap();
+        let node = c.allocation_of(JobId(1)).unwrap().entries().next().unwrap().0;
+        let mut bad = Allocation::empty();
+        bad.add(node, 99);
+        assert!(c.release_partial(JobId(1), &bad).is_err());
+        // Nothing changed.
+        assert_eq!(c.cores_of(JobId(1)), 8);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn node_failure_evicts() {
+        let mut c = paper_cluster();
+        c.allocate(JobId(1), 16, AllocPolicy::Spread).unwrap();
+        let victim_node = c
+            .allocation_of(JobId(1))
+            .unwrap()
+            .entries()
+            .next()
+            .unwrap()
+            .0;
+        let victims = c.fail_node(victim_node).unwrap();
+        assert_eq!(victims, vec![JobId(1)]);
+        assert!(c.total_cores() < 120);
+        c.check_invariants().unwrap();
+        c.repair_node(victim_node).unwrap();
+        assert_eq!(c.total_cores(), 120);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds an allocation")]
+    fn double_allocate_panics() {
+        let mut c = paper_cluster();
+        c.allocate(JobId(1), 4, AllocPolicy::Pack).unwrap();
+        let _ = c.allocate(JobId(1), 4, AllocPolicy::Pack);
+    }
+
+    #[test]
+    fn heterogeneous_cluster() {
+        let c = Cluster::from_core_counts(&[4, 8, 16]);
+        assert_eq!(c.total_cores(), 28);
+        assert_eq!(c.node_count(), 3);
+    }
+}

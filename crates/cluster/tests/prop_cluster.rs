@@ -1,0 +1,126 @@
+//! Property tests of the cluster substrate: no core is ever double-booked,
+//! books always balance, any interleaving of allocate / expand / partial
+//! release / full release / failure keeps the invariants.
+
+use dynbatch_cluster::{Allocation, Cluster};
+use dynbatch_core::{AllocPolicy, JobId, NodeId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Allocate { job: u64, cores: u32, policy: u8 },
+    Expand { job: u64, cores: u32 },
+    ReleasePart { job: u64, cores: u32 },
+    ReleaseAll { job: u64 },
+    Fail { node: u32 },
+    Repair { node: u32 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..8, 1u32..40, 0u8..3).prop_map(|(job, cores, policy)| Op::Allocate {
+                job,
+                cores,
+                policy
+            }),
+            (0u64..8, 1u32..16).prop_map(|(job, cores)| Op::Expand { job, cores }),
+            (0u64..8, 1u32..16).prop_map(|(job, cores)| Op::ReleasePart { job, cores }),
+            (0u64..8).prop_map(|job| Op::ReleaseAll { job }),
+            (0u32..15).prop_map(|node| Op::Fail { node }),
+            (0u32..15).prop_map(|node| Op::Repair { node }),
+        ],
+        0..60,
+    )
+}
+
+fn policy_of(p: u8) -> AllocPolicy {
+    match p % 3 {
+        0 => AllocPolicy::Pack,
+        1 => AllocPolicy::Spread,
+        _ => AllocPolicy::NodeExclusive,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn any_interleaving_preserves_invariants(ops in ops()) {
+        let mut c = Cluster::homogeneous(15, 8);
+        for op in ops {
+            match op {
+                Op::Allocate { job, cores, policy } => {
+                    let job = JobId(job);
+                    if c.allocation_of(job).is_none() {
+                        let _ = c.allocate(job, cores, policy_of(policy));
+                    }
+                }
+                Op::Expand { job, cores } => {
+                    let _ = c.expand(JobId(job), cores, AllocPolicy::Pack);
+                }
+                Op::ReleasePart { job, cores } => {
+                    let job = JobId(job);
+                    if let Some(alloc) = c.allocation_of(job) {
+                        // Release up to `cores` cores, node by node.
+                        let mut part = Allocation::empty();
+                        let mut left = cores.min(alloc.total_cores());
+                        for (node, held) in alloc.entries() {
+                            if left == 0 { break; }
+                            let take = held.min(left);
+                            part.add(node, take);
+                            left -= take;
+                        }
+                        if !part.is_empty() {
+                            c.release_partial(job, &part).expect("subset release succeeds");
+                        }
+                    }
+                }
+                Op::ReleaseAll { job } => {
+                    let _ = c.release_all(JobId(job));
+                }
+                Op::Fail { node } => {
+                    let _ = c.fail_node(NodeId(node));
+                }
+                Op::Repair { node } => {
+                    let _ = c.repair_node(NodeId(node));
+                }
+            }
+            // The central invariant, after every single operation.
+            c.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("invariant violated: {e}"))
+            })?;
+            prop_assert!(c.busy_cores() + c.idle_cores() == c.total_cores());
+        }
+    }
+
+    #[test]
+    fn plans_are_exact(cores in 0u32..121, policy in 0u8..3) {
+        let c = Cluster::homogeneous(15, 8);
+        if let Some(plan) = c.plan(cores, policy_of(policy)) {
+            match policy_of(policy) {
+                // Node-exclusive may round up to whole nodes.
+                AllocPolicy::NodeExclusive => {
+                    prop_assert!(plan.total_cores() >= cores);
+                    prop_assert_eq!(plan.total_cores() % 8, 0);
+                }
+                _ => prop_assert_eq!(plan.total_cores(), cores),
+            }
+        } else {
+            prop_assert!(cores > 120);
+        }
+    }
+
+    #[test]
+    fn failure_evicts_exactly_the_nodes_jobs(node in 0u32..15) {
+        let mut c = Cluster::homogeneous(15, 8);
+        c.allocate(JobId(1), 60, AllocPolicy::Spread).unwrap();
+        c.allocate(JobId(2), 30, AllocPolicy::Spread).unwrap();
+        let before_1 = c.allocation_of(JobId(1)).unwrap().cores_on(NodeId(node));
+        let before_2 = c.allocation_of(JobId(2)).unwrap().cores_on(NodeId(node));
+        let victims = c.fail_node(NodeId(node)).unwrap();
+        prop_assert_eq!(victims.contains(&JobId(1)), before_1 > 0);
+        prop_assert_eq!(victims.contains(&JobId(2)), before_2 > 0);
+        c.check_invariants().map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types shared across the dynbatch crates.
+
+use crate::ids::{JobId, NodeId};
+use std::fmt;
+
+/// The crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong inside the batch system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A job ID was not found at the server.
+    UnknownJob(JobId),
+    /// A node ID was not found in the cluster.
+    UnknownNode(NodeId),
+    /// A request asked for more cores than the whole system owns.
+    RequestExceedsSystem {
+        /// Requested core count.
+        requested: u32,
+        /// Total cores in the system.
+        capacity: u32,
+    },
+    /// An allocation operation targeted cores that are not free.
+    CoresBusy {
+        /// The node involved.
+        node: NodeId,
+        /// Cores requested on that node.
+        requested: u32,
+        /// Cores actually idle on that node.
+        idle: u32,
+    },
+    /// A release targeted cores the job does not hold.
+    NotAllocated {
+        /// The job attempting the release.
+        job: JobId,
+        /// The node involved.
+        node: NodeId,
+    },
+    /// An operation was applied to a job in an incompatible state.
+    InvalidState {
+        /// The job.
+        job: JobId,
+        /// What was attempted.
+        operation: &'static str,
+        /// The state it was in.
+        state: &'static str,
+    },
+    /// A job already has a dynamic request pending (the server admits at
+    /// most one per job; paper §III-B).
+    DynRequestPending(JobId),
+    /// A configuration was rejected.
+    BadConfig(String),
+    /// A job specification was rejected at submission.
+    BadSpec(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownJob(j) => write!(f, "unknown job {j}"),
+            Error::UnknownNode(n) => write!(f, "unknown node {n}"),
+            Error::RequestExceedsSystem { requested, capacity } => write!(
+                f,
+                "request for {requested} cores exceeds system capacity of {capacity}"
+            ),
+            Error::CoresBusy { node, requested, idle } => write!(
+                f,
+                "{node}: requested {requested} cores but only {idle} idle"
+            ),
+            Error::NotAllocated { job, node } => {
+                write!(f, "{job} holds no cores on {node}")
+            }
+            Error::InvalidState { job, operation, state } => {
+                write!(f, "cannot {operation} {job} in state {state}")
+            }
+            Error::DynRequestPending(j) => {
+                write!(f, "{j} already has a dynamic request pending")
+            }
+            Error::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            Error::BadSpec(msg) => write!(f, "bad job spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(Error::UnknownJob(JobId(3)).to_string(), "unknown job job.3");
+        assert!(Error::RequestExceedsSystem { requested: 200, capacity: 120 }
+            .to_string()
+            .contains("exceeds"));
+        assert!(Error::CoresBusy { node: NodeId(1), requested: 8, idle: 2 }
+            .to_string()
+            .contains("only 2 idle"));
+        assert!(Error::DynRequestPending(JobId(9)).to_string().contains("pending"));
+        let e = Error::InvalidState { job: JobId(1), operation: "start", state: "Running" };
+        assert!(e.to_string().contains("cannot start"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::UnknownNode(NodeId(0)));
+    }
+}

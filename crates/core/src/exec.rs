@@ -1,0 +1,410 @@
+//! Execution models: how a job's runtime responds to its allocation.
+//!
+//! The paper evaluates two kinds of evolving applications:
+//!
+//! * the **dynamic ESP** jobs (Table I), whose behaviour is summarised by a
+//!   *static execution time* (SET) and a *dynamic execution time* (DET), with
+//!   a dynamic request for a fixed number of extra cores issued after 16 % of
+//!   SET and retried once at 25 % ([`ExecutionModel::Evolving`]);
+//! * **Quadflow**, whose runtime is the sum of grid-adaptation phases, each
+//!   phase's cost driven by its cell count, and whose dynamic request fires
+//!   when a phase exceeds a cells-per-process threshold
+//!   ([`ExecutionModel::Phased`], see [`PhasedModel`]).
+//!
+//! Rigid jobs use [`ExecutionModel::Fixed`].
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How a successful dynamic allocation shortens an evolving job
+/// (paper §IV-B: "a linear reduction of the execution time ... is assumed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SpeedupModel {
+    /// Work completed before the grant ran at the static rate; the remainder
+    /// runs at the dynamic rate. Granted after a fraction `f` of SET has
+    /// elapsed, total runtime is `f·SET + (1−f)·DET`.
+    ///
+    /// This is the physically consistent reading of "linear reduction" and
+    /// the default.
+    #[default]
+    Interpolate,
+    /// The literal Table I reading: a granted job's total runtime is exactly
+    /// DET, regardless of when the grant lands (never earlier than the time
+    /// already elapsed).
+    FullDet,
+}
+
+/// A single computation phase of a phased (AMR-style) application, delimited
+/// by grid adaptations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Number of grid cells the solver carries through this phase.
+    pub cells: u64,
+    /// Relative per-cell cost multiplier ×1000 (fixed-point). Different
+    /// numerical regimes make some phases costlier per cell; 1000 = 1.0×.
+    pub cost_milli: u64,
+}
+
+impl Phase {
+    /// A phase with unit per-cell cost.
+    pub fn new(cells: u64) -> Self {
+        Phase { cells, cost_milli: 1000 }
+    }
+}
+
+/// A Quadflow-style phased execution model.
+///
+/// Phase `k` executed on `p` cores takes
+/// `cells_k · cost_k · seconds_per_cell / effective(p, cells_k)` where
+/// `effective(p, c) = min(p, ceil(c / saturation_cells_per_proc))`: when a
+/// phase has too few cells to feed every core, extra cores idle and add no
+/// speed — this models the paper's observation that the FlatPlate case runs
+/// identically on 16 and 32 cores until the final adaptation.
+///
+/// After each adaptation, if the *next* phase's `cells / cores` exceeds
+/// [`PhasedModel::threshold_cells_per_proc`], the application issues a
+/// `tm_dynget()` for [`PhasedModel::extra_cores`] more cores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasedModel {
+    /// The computation phases, in execution order.
+    pub phases: Vec<Phase>,
+    /// Core-milliseconds of work per cell at unit cost (scales all phases).
+    pub millis_per_cell_core: f64,
+    /// Cells-per-process threshold above which the job requests growth.
+    pub threshold_cells_per_proc: u64,
+    /// Cells per process below which additional cores stop helping.
+    pub saturation_cells_per_proc: u64,
+    /// Cores requested by each dynamic request.
+    pub extra_cores: u32,
+}
+
+impl PhasedModel {
+    /// Effective parallelism of a phase with `cells` cells on `cores` cores.
+    pub fn effective_cores(&self, cores: u32, cells: u64) -> u32 {
+        let feedable = cells.div_ceil(self.saturation_cells_per_proc.max(1));
+        (cores as u64).min(feedable.max(1)) as u32
+    }
+
+    /// Wall-clock duration of phase `k` on `cores` cores.
+    pub fn phase_duration(&self, k: usize, cores: u32) -> SimDuration {
+        let ph = &self.phases[k];
+        let eff = self.effective_cores(cores, ph.cells).max(1) as f64;
+        let work_ms =
+            ph.cells as f64 * (ph.cost_milli as f64 / 1000.0) * self.millis_per_cell_core;
+        SimDuration::from_millis((work_ms / eff).round() as u64)
+    }
+
+    /// Total runtime on a constant allocation of `cores` cores.
+    pub fn total_duration(&self, cores: u32) -> SimDuration {
+        (0..self.phases.len())
+            .map(|k| self.phase_duration(k, cores))
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// Whether phase `k` exceeds the growth threshold on `cores` cores,
+    /// i.e. whether the application will call `tm_dynget()` right before
+    /// entering it.
+    pub fn wants_growth(&self, k: usize, cores: u32) -> bool {
+        let ph = &self.phases[k];
+        ph.cells > self.threshold_cells_per_proc.saturating_mul(cores as u64)
+    }
+}
+
+/// How a job's runtime is produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExecutionModel {
+    /// A rigid job: runs for exactly `duration` on its static allocation.
+    Fixed {
+        /// The job's wall-clock runtime.
+        duration: SimDuration,
+    },
+    /// A dynamic-ESP evolving job (paper Table I).
+    Evolving {
+        /// Static execution time: runtime if no dynamic request succeeds.
+        set: SimDuration,
+        /// Dynamic execution time: runtime on the expanded allocation.
+        det: SimDuration,
+        /// Extra cores requested dynamically (4 in the paper).
+        extra_cores: u32,
+        /// Points, as fractions of SET elapsed, at which the job issues
+        /// (re-)requests — `[0.16, 0.25]` in the paper. Must be strictly
+        /// increasing, each in `(0, 1)`.
+        request_points: Vec<f64>,
+        /// How a grant shortens the run.
+        speedup: SpeedupModel,
+    },
+    /// A Quadflow-style phased AMR application.
+    Phased(PhasedModel),
+    /// A malleable work pool: a fixed amount of work that proceeds at a
+    /// rate proportional to the current allocation. The batch system may
+    /// shrink or grow such a job at any time (paper §II-B's "stealing
+    /// resources from malleable jobs" and the future-work item "enable
+    /// efficient scheduling for malleable jobs").
+    WorkPool {
+        /// Total work in core-milliseconds (runtime on `p` cores is
+        /// `work / p`).
+        work_core_millis: u64,
+    },
+}
+
+impl ExecutionModel {
+    /// A rigid job running for `secs` seconds.
+    pub fn fixed_secs(secs: u64) -> Self {
+        ExecutionModel::Fixed { duration: SimDuration::from_secs(secs) }
+    }
+
+    /// The paper's evolving-job model: request `extra_cores` at 16 % of SET,
+    /// retry at 25 %, interpolated linear speedup.
+    pub fn esp_evolving(set_secs: u64, det_secs: u64, extra_cores: u32) -> Self {
+        ExecutionModel::Evolving {
+            set: SimDuration::from_secs(set_secs),
+            det: SimDuration::from_secs(det_secs),
+            extra_cores,
+            request_points: vec![0.16, 0.25],
+            speedup: SpeedupModel::Interpolate,
+        }
+    }
+
+    /// A malleable work pool of `core_secs` core-seconds.
+    pub fn work_pool_secs(core_secs: u64) -> Self {
+        ExecutionModel::WorkPool { work_core_millis: core_secs * 1000 }
+    }
+
+    /// Runtime if the job never receives (or never asks for) extra
+    /// resources.
+    pub fn static_duration(&self, cores: u32) -> SimDuration {
+        match self {
+            ExecutionModel::Fixed { duration } => *duration,
+            ExecutionModel::Evolving { set, .. } => *set,
+            ExecutionModel::Phased(p) => p.total_duration(cores),
+            ExecutionModel::WorkPool { work_core_millis } => {
+                SimDuration::from_millis(work_core_millis.div_ceil(cores.max(1) as u64))
+            }
+        }
+    }
+
+    /// For an evolving job granted extra resources after `elapsed` of
+    /// execution, the *total* runtime from job start. Returns `None` for
+    /// models that do not support SET/DET evolution.
+    pub fn evolved_total(&self, elapsed: SimDuration) -> Option<SimDuration> {
+        match self {
+            ExecutionModel::Evolving { set, det, speedup, .. } => {
+                let set_ms = set.as_millis();
+                if set_ms == 0 {
+                    return Some(SimDuration::ZERO);
+                }
+                let f = (elapsed.as_millis() as f64 / set_ms as f64).clamp(0.0, 1.0);
+                let total = match speedup {
+                    SpeedupModel::Interpolate => {
+                        set.mul_f64(f) + det.mul_f64(1.0 - f)
+                    }
+                    SpeedupModel::FullDet => *det,
+                };
+                // A grant can never finish a job before the time it has
+                // already been running.
+                Some(total.max(elapsed))
+            }
+            _ => None,
+        }
+    }
+
+    /// The dynamic-request instants (offsets from job start) for an
+    /// ESP-style evolving job; empty for other models.
+    pub fn request_offsets(&self) -> Vec<SimDuration> {
+        match self {
+            ExecutionModel::Evolving { set, request_points, .. } => {
+                request_points.iter().map(|&f| set.mul_f64(f)).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Extra cores the model requests dynamically (0 for rigid jobs).
+    pub fn extra_cores(&self) -> u32 {
+        match self {
+            ExecutionModel::Fixed { .. } | ExecutionModel::WorkPool { .. } => 0,
+            ExecutionModel::Evolving { extra_cores, .. } => *extra_cores,
+            ExecutionModel::Phased(p) => p.extra_cores,
+        }
+    }
+
+    /// True for models that may issue dynamic requests of their own.
+    pub fn is_evolving(&self) -> bool {
+        matches!(self, ExecutionModel::Evolving { .. } | ExecutionModel::Phased(_))
+    }
+
+    /// Validates internal consistency (monotone request points in `(0,1)`,
+    /// DET ≤ SET, non-empty phases).
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            ExecutionModel::Fixed { .. } => Ok(()),
+            ExecutionModel::Evolving { set, det, request_points, .. } => {
+                if det > set {
+                    return Err(format!("DET {det} exceeds SET {set}"));
+                }
+                let mut prev = 0.0;
+                for &p in request_points {
+                    if !(p > prev && p < 1.0) {
+                        return Err(format!(
+                            "request points must be strictly increasing in (0,1); got {p}"
+                        ));
+                    }
+                    prev = p;
+                }
+                Ok(())
+            }
+            ExecutionModel::Phased(p) => {
+                if p.phases.is_empty() {
+                    return Err("phased model needs at least one phase".into());
+                }
+                if p.saturation_cells_per_proc == 0 {
+                    return Err("saturation_cells_per_proc must be positive".into());
+                }
+                Ok(())
+            }
+            ExecutionModel::WorkPool { work_core_millis } => {
+                if *work_core_millis == 0 {
+                    return Err("work pool must contain work".into());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn esp_f() -> ExecutionModel {
+        // Job type F from Table I: SET 1846 s, DET 1230 s, +4 cores.
+        ExecutionModel::esp_evolving(1846, 1230, 4)
+    }
+
+    #[test]
+    fn static_durations() {
+        assert_eq!(
+            ExecutionModel::fixed_secs(267).static_duration(4),
+            SimDuration::from_secs(267)
+        );
+        assert_eq!(esp_f().static_duration(8), SimDuration::from_secs(1846));
+    }
+
+    #[test]
+    fn request_offsets_match_paper() {
+        let offs = esp_f().request_offsets();
+        assert_eq!(offs.len(), 2);
+        // 16 % and 25 % of SET.
+        assert_eq!(offs[0], SimDuration::from_secs(1846).mul_f64(0.16));
+        assert_eq!(offs[1], SimDuration::from_secs(1846).mul_f64(0.25));
+    }
+
+    #[test]
+    fn interpolated_speedup() {
+        let m = esp_f();
+        // Granted at exactly 16 % of SET.
+        let e = SimDuration::from_secs(1846).mul_f64(0.16);
+        let total = m.evolved_total(e).unwrap();
+        let expect = 0.16 * 1846.0 + 0.84 * 1230.0;
+        assert!((total.as_secs_f64() - expect).abs() < 1.0, "{total}");
+        // Granted at start: full DET. Granted at the very end: SET.
+        assert_eq!(m.evolved_total(SimDuration::ZERO).unwrap().as_secs(), 1230);
+        assert_eq!(
+            m.evolved_total(SimDuration::from_secs(1846)).unwrap().as_secs(),
+            1846
+        );
+    }
+
+    #[test]
+    fn full_det_speedup_never_rewinds() {
+        let m = ExecutionModel::Evolving {
+            set: SimDuration::from_secs(100),
+            det: SimDuration::from_secs(50),
+            extra_cores: 4,
+            request_points: vec![0.16],
+            speedup: SpeedupModel::FullDet,
+        };
+        assert_eq!(
+            m.evolved_total(SimDuration::from_secs(10)).unwrap(),
+            SimDuration::from_secs(50)
+        );
+        // Already ran 60 s > DET: total clamps to elapsed.
+        assert_eq!(
+            m.evolved_total(SimDuration::from_secs(60)).unwrap(),
+            SimDuration::from_secs(60)
+        );
+    }
+
+    #[test]
+    fn rigid_has_no_evolution() {
+        let m = ExecutionModel::fixed_secs(100);
+        assert!(m.evolved_total(SimDuration::ZERO).is_none());
+        assert!(m.request_offsets().is_empty());
+        assert_eq!(m.extra_cores(), 0);
+        assert!(!m.is_evolving());
+    }
+
+    #[test]
+    fn phased_saturation() {
+        let p = PhasedModel {
+            phases: vec![Phase::new(16_000), Phase::new(64_000)],
+            millis_per_cell_core: 1.0,
+            threshold_cells_per_proc: 3000,
+            saturation_cells_per_proc: 1000,
+            extra_cores: 16,
+        };
+        // Phase 0: 16k cells saturate at 16 procs: identical on 16 and 32.
+        assert_eq!(p.phase_duration(0, 16), p.phase_duration(0, 32));
+        // Phase 1: 64k cells can feed 64 procs: 32 cores are twice as fast.
+        assert_eq!(
+            p.phase_duration(1, 16).as_millis(),
+            2 * p.phase_duration(1, 32).as_millis()
+        );
+        // Growth wanted only when cells/proc exceeds the threshold.
+        assert!(!p.wants_growth(0, 16)); // 1000 cells/proc
+        assert!(p.wants_growth(1, 16)); // 4000 cells/proc
+        assert!(!p.wants_growth(1, 32)); // 2000 cells/proc
+    }
+
+    #[test]
+    fn work_pool_scaling() {
+        let m = ExecutionModel::work_pool_secs(16_000);
+        assert_eq!(m.static_duration(16), SimDuration::from_secs(1000));
+        assert_eq!(m.static_duration(32), SimDuration::from_secs(500));
+        // Rounds up on uneven division; never zero cores.
+        assert_eq!(m.static_duration(3).as_millis(), 16_000_000_u64.div_ceil(3));
+        assert_eq!(m.extra_cores(), 0);
+        assert!(!m.is_evolving(), "malleability is scheduler-initiated");
+        assert!(m.validate().is_ok());
+        assert!(ExecutionModel::WorkPool { work_core_millis: 0 }.validate().is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(esp_f().validate().is_ok());
+        let bad = ExecutionModel::Evolving {
+            set: SimDuration::from_secs(10),
+            det: SimDuration::from_secs(20),
+            extra_cores: 4,
+            request_points: vec![0.16],
+            speedup: SpeedupModel::Interpolate,
+        };
+        assert!(bad.validate().is_err());
+        let bad_points = ExecutionModel::Evolving {
+            set: SimDuration::from_secs(10),
+            det: SimDuration::from_secs(5),
+            extra_cores: 4,
+            request_points: vec![0.25, 0.16],
+            speedup: SpeedupModel::Interpolate,
+        };
+        assert!(bad_points.validate().is_err());
+        let empty = ExecutionModel::Phased(PhasedModel {
+            phases: vec![],
+            millis_per_cell_core: 1.0,
+            threshold_cells_per_proc: 1,
+            saturation_cells_per_proc: 1,
+            extra_cores: 1,
+        });
+        assert!(empty.validate().is_err());
+    }
+}

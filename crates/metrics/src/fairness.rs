@@ -1,0 +1,142 @@
+//! Fairness metrics over per-job outcomes.
+//!
+//! The paper's Figs 8–11 argue fairness visually (waiting-time curves);
+//! this module quantifies the same story: per-user waiting-time summaries,
+//! Jain's fairness index over user mean waits, and per-user *excess* wait
+//! against a baseline run (how much each user paid for other users'
+//! dynamic allocations).
+
+use crate::stats;
+use dynbatch_core::{JobOutcome, UserId};
+use std::collections::BTreeMap;
+
+/// One user's waiting-time summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserWaitSummary {
+    /// The user.
+    pub user: UserId,
+    /// Completed jobs.
+    pub jobs: usize,
+    /// Mean wait, seconds.
+    pub mean_wait_s: f64,
+    /// Maximum wait, seconds.
+    pub max_wait_s: f64,
+}
+
+/// Per-user waiting-time summaries, ordered by user id.
+pub fn per_user_waits(outcomes: &[JobOutcome]) -> Vec<UserWaitSummary> {
+    let mut by_user: BTreeMap<UserId, Vec<f64>> = BTreeMap::new();
+    for o in outcomes {
+        by_user.entry(o.user).or_default().push(o.wait().as_secs_f64());
+    }
+    by_user
+        .into_iter()
+        .map(|(user, waits)| UserWaitSummary {
+            user,
+            jobs: waits.len(),
+            mean_wait_s: stats::mean(&waits),
+            max_wait_s: stats::max(&waits),
+        })
+        .collect()
+}
+
+/// Jain's fairness index over a set of non-negative values:
+/// `(Σx)² / (n · Σx²)`, in `(0, 1]`; 1 = perfectly even. Returns 1 for an
+/// empty or all-zero input (nobody waits ⇒ perfectly fair).
+pub fn jain_index(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if n == 0.0 || sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n * sum_sq)
+}
+
+/// Jain's index over per-user *mean waits* — the fairness headline for one
+/// run.
+pub fn user_wait_fairness(outcomes: &[JobOutcome]) -> f64 {
+    let means: Vec<f64> = per_user_waits(outcomes).iter().map(|u| u.mean_wait_s).collect();
+    jain_index(&means)
+}
+
+/// Per-user excess wait of `run` over `baseline` (positive = this user's
+/// jobs waited longer here), matched by user id; users missing from either
+/// side are skipped.
+pub fn per_user_excess(
+    run: &[JobOutcome],
+    baseline: &[JobOutcome],
+) -> Vec<(UserId, f64)> {
+    let base: BTreeMap<UserId, f64> = per_user_waits(baseline)
+        .into_iter()
+        .map(|u| (u.user, u.mean_wait_s))
+        .collect();
+    per_user_waits(run)
+        .into_iter()
+        .filter_map(|u| base.get(&u.user).map(|b| (u.user, u.mean_wait_s - b)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynbatch_core::{JobClass, JobId, SimTime};
+
+    fn outcome(id: u64, user: u32, submit: u64, start: u64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            name: "j".into(),
+            user: UserId(user),
+            class: JobClass::Rigid,
+            cores_requested: 4,
+            cores_final: 4,
+            submit_time: SimTime::from_secs(submit),
+            start_time: SimTime::from_secs(start),
+            end_time: SimTime::from_secs(start + 100),
+            dyn_requests: 0,
+            dyn_grants: 0,
+            backfilled: false,
+        }
+    }
+
+    #[test]
+    fn per_user_aggregation() {
+        let outs = vec![
+            outcome(1, 0, 0, 10),
+            outcome(2, 0, 0, 30),
+            outcome(3, 1, 0, 100),
+        ];
+        let sums = per_user_waits(&outs);
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0].jobs, 2);
+        assert!((sums[0].mean_wait_s - 20.0).abs() < 1e-9);
+        assert!((sums[0].max_wait_s - 30.0).abs() < 1e-9);
+        assert!((sums[1].mean_wait_s - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jain_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12, "even = 1");
+        // One user takes everything: index = 1/n.
+        let skew = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((skew - 0.25).abs() < 1e-12, "{skew}");
+    }
+
+    #[test]
+    fn excess_against_baseline() {
+        let base = vec![outcome(1, 0, 0, 10), outcome(2, 1, 0, 10)];
+        let run = vec![outcome(1, 0, 0, 40), outcome(2, 1, 0, 5)];
+        let excess = per_user_excess(&run, &base);
+        assert_eq!(excess.len(), 2);
+        assert!((excess[0].1 - 30.0).abs() < 1e-9, "user 0 paid 30 s");
+        assert!((excess[1].1 + 5.0).abs() < 1e-9, "user 1 gained 5 s");
+    }
+
+    #[test]
+    fn fairness_headline() {
+        let even = vec![outcome(1, 0, 0, 10), outcome(2, 1, 0, 10)];
+        assert!((user_wait_fairness(&even) - 1.0).abs() < 1e-12);
+    }
+}

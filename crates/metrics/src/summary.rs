@@ -1,0 +1,138 @@
+//! Run summaries — the paper's Table II row.
+
+use dynbatch_core::{JobOutcome, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::recorder::throughput_jobs_per_min;
+
+/// Aggregate results of one workload run, matching the columns of the
+/// paper's Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Configuration label ("Static", "Dyn-HP", "Dyn-500", ...).
+    pub label: String,
+    /// Total workload execution time (first submission → last completion).
+    pub makespan: SimDuration,
+    /// Jobs completed.
+    pub jobs_completed: usize,
+    /// Evolving jobs whose dynamic request succeeded at least once.
+    pub satisfied_dyn_jobs: usize,
+    /// System utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Throughput in jobs per minute.
+    pub throughput_jobs_per_min: f64,
+    /// Mean job waiting time.
+    pub mean_wait: SimDuration,
+    /// Mean job turnaround time.
+    pub mean_turnaround: SimDuration,
+    /// Jobs started by backfill.
+    pub backfilled_jobs: usize,
+}
+
+impl RunSummary {
+    /// Builds a summary from per-job outcomes plus the independently
+    /// integrated utilization.
+    pub fn from_outcomes(
+        label: impl Into<String>,
+        outcomes: &[JobOutcome],
+        first_submit: SimTime,
+        last_completion: SimTime,
+        utilization: f64,
+    ) -> Self {
+        let makespan = last_completion.duration_since(first_submit);
+        let n = outcomes.len().max(1) as u64;
+        let mean_wait = SimDuration::from_millis(
+            outcomes.iter().map(|o| o.wait().as_millis()).sum::<u64>() / n,
+        );
+        let mean_turnaround = SimDuration::from_millis(
+            outcomes.iter().map(|o| o.turnaround().as_millis()).sum::<u64>() / n,
+        );
+        RunSummary {
+            label: label.into(),
+            makespan,
+            jobs_completed: outcomes.len(),
+            satisfied_dyn_jobs: outcomes.iter().filter(|o| o.dyn_satisfied()).count(),
+            utilization,
+            throughput_jobs_per_min: throughput_jobs_per_min(outcomes.len(), makespan),
+            mean_wait,
+            mean_turnaround,
+            backfilled_jobs: outcomes.iter().filter(|o| o.backfilled).count(),
+        }
+    }
+
+    /// Throughput increase relative to a baseline, in percent
+    /// (the paper's last Table II column).
+    pub fn throughput_increase_pct(&self, baseline: &RunSummary) -> f64 {
+        if baseline.throughput_jobs_per_min <= 0.0 {
+            return 0.0;
+        }
+        (self.throughput_jobs_per_min / baseline.throughput_jobs_per_min - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynbatch_core::{JobClass, JobId, UserId};
+
+    fn outcome(submit: u64, start: u64, end: u64, grants: u32, backfilled: bool) -> JobOutcome {
+        JobOutcome {
+            id: JobId(1),
+            name: "A".into(),
+            user: UserId(0),
+            class: JobClass::Rigid,
+            cores_requested: 4,
+            cores_final: 4,
+            submit_time: SimTime::from_secs(submit),
+            start_time: SimTime::from_secs(start),
+            end_time: SimTime::from_secs(end),
+            dyn_requests: grants,
+            dyn_grants: grants,
+            backfilled,
+        }
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let outs = vec![
+            outcome(0, 10, 110, 0, false),
+            outcome(0, 30, 100, 1, true),
+        ];
+        let s = RunSummary::from_outcomes(
+            "Test",
+            &outs,
+            SimTime::ZERO,
+            SimTime::from_secs(120),
+            0.8,
+        );
+        assert_eq!(s.makespan, SimDuration::from_secs(120));
+        assert_eq!(s.jobs_completed, 2);
+        assert_eq!(s.satisfied_dyn_jobs, 1);
+        assert_eq!(s.backfilled_jobs, 1);
+        assert_eq!(s.mean_wait, SimDuration::from_secs(20));
+        assert_eq!(s.mean_turnaround, SimDuration::from_secs(105));
+        assert!((s.throughput_jobs_per_min - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_increase() {
+        let base = RunSummary::from_outcomes(
+            "base",
+            &[outcome(0, 0, 60, 0, false)],
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+            0.5,
+        );
+        let mut faster = base.clone();
+        faster.throughput_jobs_per_min = base.throughput_jobs_per_min * 1.113;
+        assert!((faster.throughput_increase_pct(&base) - 11.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_outcomes_are_safe() {
+        let s = RunSummary::from_outcomes("empty", &[], SimTime::ZERO, SimTime::ZERO, 0.0);
+        assert_eq!(s.jobs_completed, 0);
+        assert_eq!(s.mean_wait, SimDuration::ZERO);
+        assert_eq!(s.throughput_jobs_per_min, 0.0);
+    }
+}

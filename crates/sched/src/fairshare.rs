@@ -1,0 +1,181 @@
+//! Static fairshare (classic Maui, paper §III-A).
+//!
+//! Tracks historical per-user resource usage in fixed windows with
+//! geometric decay, and turns the deviation from a configured target share
+//! into a priority adjustment. This is the *static* mechanism the paper
+//! contrasts with its new *dynamic* fairness (see [`crate::dfs`]): it
+//! rebalances users over hours of usage history, but — as §III-D argues —
+//! cannot bound the delay a single dynamic allocation inflicts on queued
+//! jobs, which is why DFS exists.
+
+use dynbatch_core::{FairshareConfig, SimDuration, SimTime, UserId};
+use std::collections::HashMap;
+
+/// Rolling windowed usage tracker.
+#[derive(Debug, Clone)]
+pub struct FairshareTracker {
+    config: FairshareConfig,
+    /// `windows[0]` is the current window; older windows follow.
+    windows: Vec<HashMap<UserId, f64>>,
+    window_start: SimTime,
+    /// Total core-seconds charged per window (for share computation).
+    totals: Vec<f64>,
+}
+
+impl FairshareTracker {
+    /// A tracker starting its first window at `start`.
+    pub fn new(config: FairshareConfig, start: SimTime) -> Self {
+        let n = config.windows.max(1);
+        FairshareTracker {
+            config,
+            windows: vec![HashMap::new(); n],
+            totals: vec![0.0; n],
+            window_start: start,
+        }
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &FairshareConfig {
+        &self.config
+    }
+
+    /// Advances window rotation to cover `now`.
+    pub fn advance_to(&mut self, now: SimTime) {
+        if self.config.window.is_zero() {
+            return;
+        }
+        while now >= self.window_start + self.config.window {
+            self.windows.rotate_right(1);
+            self.windows[0] = HashMap::new();
+            self.totals.rotate_right(1);
+            self.totals[0] = 0.0;
+            self.window_start += self.config.window;
+        }
+    }
+
+    /// Charges `core_seconds` of usage to `user` in the current window.
+    pub fn charge(&mut self, user: UserId, core_seconds: f64) {
+        *self.windows[0].entry(user).or_insert(0.0) += core_seconds;
+        self.totals[0] += core_seconds;
+    }
+
+    /// Convenience: charge a (cores × duration) product.
+    pub fn charge_span(&mut self, user: UserId, cores: u32, span: SimDuration) {
+        self.charge(user, cores as f64 * span.as_secs_f64());
+    }
+
+    /// The user's decayed usage share across all retained windows,
+    /// in `[0, 1]` (0 when the system has seen no usage at all).
+    pub fn usage_share(&self, user: UserId) -> f64 {
+        let mut usage = 0.0;
+        let mut total = 0.0;
+        let mut weight = 1.0;
+        for (w, t) in self.windows.iter().zip(&self.totals) {
+            usage += weight * w.get(&user).copied().unwrap_or(0.0);
+            total += weight * t;
+            weight *= self.config.decay;
+        }
+        if total <= 0.0 {
+            0.0
+        } else {
+            usage / total
+        }
+    }
+
+    /// The fairshare priority component: `target − usage_share`, positive
+    /// when the user is under-served.
+    pub fn priority_delta(&self, user: UserId) -> f64 {
+        if !self.config.enabled {
+            return 0.0;
+        }
+        let target = self
+            .config
+            .user_targets
+            .get(&user)
+            .copied()
+            .unwrap_or(self.config.default_target);
+        target - self.usage_share(user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FairshareConfig {
+        FairshareConfig {
+            enabled: true,
+            window: SimDuration::from_hours(1),
+            windows: 3,
+            decay: 0.5,
+            user_targets: HashMap::new(),
+            default_target: 0.5,
+        }
+    }
+
+    #[test]
+    fn empty_tracker_is_neutral() {
+        let fs = FairshareTracker::new(cfg(), SimTime::ZERO);
+        assert_eq!(fs.usage_share(UserId(0)), 0.0);
+        assert!((fs.priority_delta(UserId(0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_shares_sum_sensibly() {
+        let mut fs = FairshareTracker::new(cfg(), SimTime::ZERO);
+        fs.charge(UserId(0), 300.0);
+        fs.charge(UserId(1), 100.0);
+        assert!((fs.usage_share(UserId(0)) - 0.75).abs() < 1e-12);
+        assert!((fs.usage_share(UserId(1)) - 0.25).abs() < 1e-12);
+        // Heavy user gets a negative delta, light user positive.
+        assert!(fs.priority_delta(UserId(0)) < fs.priority_delta(UserId(1)));
+    }
+
+    #[test]
+    fn windows_rotate_and_decay() {
+        let mut fs = FairshareTracker::new(cfg(), SimTime::ZERO);
+        fs.charge(UserId(0), 100.0);
+        // Advance one full window: the usage moves into history with
+        // weight = decay.
+        fs.advance_to(SimTime::ZERO + SimDuration::from_hours(1));
+        fs.charge(UserId(1), 100.0);
+        // User 0: 0.5·100 decayed; user 1: 1.0·100 current.
+        let s0 = fs.usage_share(UserId(0));
+        let s1 = fs.usage_share(UserId(1));
+        assert!((s0 - (50.0 / 150.0)).abs() < 1e-12, "{s0}");
+        assert!((s1 - (100.0 / 150.0)).abs() < 1e-12, "{s1}");
+    }
+
+    #[test]
+    fn history_falls_off_the_end() {
+        let mut fs = FairshareTracker::new(cfg(), SimTime::ZERO);
+        fs.charge(UserId(0), 100.0);
+        // 3 windows retained; advance 4 → the charge is forgotten.
+        fs.advance_to(SimTime::ZERO + SimDuration::from_hours(4));
+        assert_eq!(fs.usage_share(UserId(0)), 0.0);
+    }
+
+    #[test]
+    fn disabled_is_neutral() {
+        let mut c = cfg();
+        c.enabled = false;
+        let mut fs = FairshareTracker::new(c, SimTime::ZERO);
+        fs.charge(UserId(0), 1000.0);
+        assert_eq!(fs.priority_delta(UserId(0)), 0.0);
+    }
+
+    #[test]
+    fn charge_span_product() {
+        let mut fs = FairshareTracker::new(cfg(), SimTime::ZERO);
+        fs.charge_span(UserId(0), 4, SimDuration::from_secs(100));
+        assert!((fs.usage_share(UserId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_targets() {
+        let mut c = cfg();
+        c.user_targets.insert(UserId(7), 0.9);
+        let fs = FairshareTracker::new(c, SimTime::ZERO);
+        assert!((fs.priority_delta(UserId(7)) - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dynbatch-sched
+//!
+//! The Maui-like scheduler with dynamic fairness for evolving jobs — the
+//! primary contribution of the reproduced paper.
+//!
+//! The crate is a pure planning library: [`maui::Maui::iterate`] maps a
+//! [`snapshot::Snapshot`] of the cluster/queue state to an
+//! [`maui::IterationOutcome`] of decisions, with no I/O, no clock and no
+//! cluster mutation. Both the discrete-event simulator (`dynbatch-sim`)
+//! and the threaded daemon (`dynbatch-daemon`) drive this exact code.
+//!
+//! Module map:
+//!
+//! * [`timeline`] — the availability step function all planning reduces to;
+//! * [`priority`] / [`fairshare`] — classic Maui job prioritisation;
+//! * [`plan`] — sequential earliest-start planning (reservations,
+//!   StartNow/StartLater, delay what-ifs);
+//! * [`dfs`] — the dynamic-fairness engine (paper §III-D);
+//! * [`maui`] — the extended scheduling iteration (paper Algorithm 2);
+//! * [`snapshot`] / [`reservation`] — the value types crossing the
+//!   scheduler boundary.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dfs;
+pub mod fairshare;
+pub mod maui;
+pub mod plan;
+pub mod priority;
+pub mod reservation;
+pub mod snapshot;
+pub mod timeline;
+
+pub use dfs::{DelayCharge, DfsEngine, DfsReject, DfsVerdict};
+pub use fairshare::FairshareTracker;
+pub use maui::{DynDecision, IterationOutcome, Maui, ResizeDecision, StartDecision};
+pub use plan::plan_starts;
+pub use priority::{priority_of, rank_jobs, Priority};
+pub use reservation::{PlannedStart, Reservation, StartKind};
+pub use snapshot::{DynRequest, QueuedJob, RunningJob, Snapshot};
+pub use timeline::AvailabilityProfile;

@@ -1,0 +1,997 @@
+//! The extended Maui scheduling iteration (paper Algorithm 2).
+//!
+//! [`Maui::iterate`] consumes a [`Snapshot`] and produces an
+//! [`IterationOutcome`]: which jobs to start (normally or by backfill),
+//! which dynamic requests to grant or reject, and which reservations were
+//! created. The resource manager applies the outcome; the scheduler itself
+//! never touches cluster state, which is what lets the discrete-event
+//! simulator and the threaded daemon share this code verbatim.
+//!
+//! Pass order, following the paper:
+//!
+//! 1. refresh statistics (DFS intervals, fairshare windows);
+//! 2. rank eligible static jobs by priority; order dynamic requests FIFO;
+//! 3. *plan* static jobs (reservations, no starts) — the StartNow /
+//!    StartLater baseline;
+//! 4. for each dynamic request: try idle resources (then preemptible ones,
+//!    if the site allows), measure the delays the expansion would inflict
+//!    on the top `ReservationDelayDepth` planned jobs, ask the DFS engine,
+//!    and commit or reject;
+//! 5. schedule static jobs for real (starts + reservations);
+//! 6. backfill — unless a queued job suppresses it (the ESP Z rule).
+
+use crate::dfs::{DelayCharge, DfsEngine, DfsReject, DfsVerdict};
+use crate::fairshare::FairshareTracker;
+use crate::plan::plan_starts;
+use crate::priority::rank_jobs;
+use crate::reservation::{PlannedStart, Reservation};
+use crate::snapshot::{DynRequest, QueuedJob, RunningJob, Snapshot};
+use crate::timeline::AvailabilityProfile;
+use dynbatch_core::{BackfillPolicy, JobId, SchedulerConfig, SimDuration, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// A batch-system-initiated resize of a running malleable job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResizeDecision {
+    /// The malleable job.
+    pub job: JobId,
+    /// Cores before.
+    pub from_cores: u32,
+    /// Cores after.
+    pub to_cores: u32,
+}
+
+/// A job-start decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartDecision {
+    /// The job to start.
+    pub job: JobId,
+    /// True iff started by the backfill pass.
+    pub backfilled: bool,
+    /// For moldable jobs: the core count the scheduler chose (within the
+    /// job's moldable range). `None` = the requested cores.
+    pub cores: Option<u32>,
+}
+
+/// The fate of one dynamic request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DynDecision {
+    /// Expand the job's allocation.
+    Granted {
+        /// The evolving job.
+        job: JobId,
+        /// Cores to add.
+        extra_cores: u32,
+        /// The delays charged to queued jobs (already committed to DFS).
+        delays: Vec<DelayCharge>,
+        /// Backfilled jobs preempted to make room (empty unless the site
+        /// enables `preempt_backfilled_for_dyn`).
+        preempted: Vec<JobId>,
+        /// Malleable jobs shrunk to make room (empty unless the site
+        /// enables `shrink_malleable_for_dyn`).
+        shrunk: Vec<ResizeDecision>,
+    },
+    /// Reject the request; the application continues on its current
+    /// allocation (and may retry later).
+    Rejected {
+        /// The evolving job.
+        job: JobId,
+        /// Why.
+        reason: DfsReject,
+    },
+    /// Negotiation: the request cannot be served now but its deadline has
+    /// not passed — keep it queued and reconsider next iteration. The
+    /// batch system "indicates the time of availability of resources"
+    /// with its best estimate.
+    Deferred {
+        /// The evolving job.
+        job: JobId,
+        /// Why it could not be served right now.
+        reason: DfsReject,
+        /// Earliest instant the profile suggests the request could fit
+        /// (`None` when even the far future cannot fit it).
+        available_hint: Option<SimTime>,
+    },
+}
+
+impl DynDecision {
+    /// The evolving job this decision concerns.
+    pub fn job(&self) -> JobId {
+        match self {
+            DynDecision::Granted { job, .. }
+            | DynDecision::Rejected { job, .. }
+            | DynDecision::Deferred { job, .. } => *job,
+        }
+    }
+
+    /// True iff granted.
+    pub fn is_granted(&self) -> bool {
+        matches!(self, DynDecision::Granted { .. })
+    }
+}
+
+/// Everything one iteration decided.
+#[derive(Debug, Clone, Default)]
+pub struct IterationOutcome {
+    /// Jobs to start, in decision order.
+    pub starts: Vec<StartDecision>,
+    /// Reservations created (informational; they are re-derived each
+    /// iteration).
+    pub reservations: Vec<Reservation>,
+    /// Decisions on dynamic requests, in FIFO order.
+    pub dyn_decisions: Vec<DynDecision>,
+    /// The planned starts used as the delay baseline (StartNow/StartLater
+    /// classification), for observability.
+    pub baseline_plan: Vec<PlannedStart>,
+    /// Malleable growths onto idle cores (only under
+    /// `grow_malleable_on_idle`).
+    pub grows: Vec<ResizeDecision>,
+}
+
+impl IterationOutcome {
+    /// Jobs granted dynamic resources this iteration.
+    pub fn granted_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.dyn_decisions.iter().filter(|d| d.is_granted()).map(|d| d.job())
+    }
+}
+
+/// The extended Maui scheduler.
+#[derive(Debug, Clone)]
+pub struct Maui {
+    config: SchedulerConfig,
+    dfs: DfsEngine,
+    fairshare: FairshareTracker,
+}
+
+impl Maui {
+    /// Builds a scheduler from a site configuration.
+    ///
+    /// # Panics
+    /// If the configuration is invalid.
+    pub fn new(config: SchedulerConfig) -> Self {
+        config.validate().expect("invalid scheduler configuration");
+        let dfs = DfsEngine::new(config.dfs.clone(), SimTime::ZERO);
+        let fairshare = FairshareTracker::new(config.fairshare.clone(), SimTime::ZERO);
+        Maui { config, dfs, fairshare }
+    }
+
+    /// The site configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// The dynamic-fairness accountant (for inspection and accounting
+    /// hooks).
+    pub fn dfs(&self) -> &DfsEngine {
+        &self.dfs
+    }
+
+    /// Mutable access to the DFS engine (the server notifies job
+    /// departures so per-job delay slates are wiped).
+    pub fn dfs_mut(&mut self) -> &mut DfsEngine {
+        &mut self.dfs
+    }
+
+    /// The static-fairshare tracker (the server charges usage here).
+    pub fn fairshare_mut(&mut self) -> &mut FairshareTracker {
+        &mut self.fairshare
+    }
+
+    /// Runs one scheduling iteration (paper Algorithm 2).
+    pub fn iterate(&mut self, snap: &Snapshot) -> IterationOutcome {
+        let now = snap.now;
+        // Step 4 of Algorithm 1/2: update statistics.
+        self.dfs.advance_to(now);
+        self.fairshare.advance_to(now);
+
+        // Steps 6–9: select and prioritise static jobs and dynamic
+        // requests.
+        let mut ranked: Vec<QueuedJob> = snap.queued.clone();
+        rank_jobs(&mut ranked, now, &self.config.priority, Some(&self.fairshare));
+
+        // The base profile carries running jobs' remaining walltimes; all
+        // planning happens on top of clones of it. The dynamic partition
+        // (paper §II-B) is held out of every *static* plan; the dynamic
+        // path releases it when sizing requests.
+        let mut base = profile_from_running(now, snap.total_cores, &snap.running);
+        // The partition may be partly consumed by grants during this
+        // iteration; `partition` tracks what remains held.
+        let mut partition = self
+            .config
+            .dyn_partition_cores
+            .min(base.min_idle(now, SimTime::MAX));
+        if partition > 0 {
+            base.hold(now, SimTime::MAX, partition);
+        }
+        let mut preempted: HashSet<JobId> = HashSet::new();
+        // Live view of running jobs' core counts: same-iteration shrinks
+        // must be visible to later dynamic requests and to the grow pass,
+        // or resizes would be computed from stale counts.
+        let mut cur_cores: HashMap<JobId, u32> =
+            snap.running.iter().map(|r| (r.id, r.cores)).collect();
+        // Step 10: plan static jobs without starting them — the baseline.
+        let mut outcome = IterationOutcome {
+            baseline_plan: plan_starts(
+                &mut base.clone(),
+                &ranked,
+                self.config.lookahead_depth(),
+                now,
+            ),
+            ..Default::default()
+        };
+
+        // Steps 11–24: the dynamic-request loop.
+        if self.config.dynamic_enabled {
+            let mut requests = snap.dyn_requests.clone();
+            requests.sort_by_key(|r| r.seq);
+            for req in &requests {
+                let decision = self.decide_dynamic(
+                    req,
+                    &mut base,
+                    &mut partition,
+                    &ranked,
+                    &snap.running,
+                    &mut preempted,
+                    &mut cur_cores,
+                    now,
+                );
+                outcome.dyn_decisions.push(decision);
+            }
+        }
+
+        // Step 25: schedule static jobs (with starts) and create
+        // reservations against the post-grant profile.
+        let mut profile = base;
+        let mut blocked = false;
+        let mut started: HashSet<JobId> = HashSet::new();
+        let mut reserved: HashSet<JobId> = HashSet::new();
+        let reservation_limit = match self.config.backfill {
+            BackfillPolicy::Conservative => usize::MAX,
+            _ => self.config.reservation_depth,
+        };
+        for job in &ranked {
+            if !blocked {
+                if let Some(width) = mold_fit(&profile, job, now) {
+                    profile.hold_for(now, job.walltime, width + job.reserve_extra);
+                    started.insert(job.id);
+                    outcome.starts.push(StartDecision {
+                        job: job.id,
+                        backfilled: false,
+                        cores: (width != job.cores).then_some(width),
+                    });
+                    continue;
+                }
+                blocked = true;
+            }
+            if outcome.reservations.len() < reservation_limit {
+                let width = job.cores + job.reserve_extra;
+                if let Some(start) = profile.earliest_fit(width, job.walltime, now) {
+                    // A job whose earliest fit is *now* is not blocked — it
+                    // is a backfill candidate, not a reservation holder.
+                    if start > now {
+                        let end = start.saturating_add(job.walltime);
+                        profile.hold(start, end, width);
+                        reserved.insert(job.id);
+                        outcome.reservations.push(Reservation {
+                            job: job.id,
+                            start,
+                            end,
+                            cores: width,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Step 26: backfill.
+        if self.config.backfill != BackfillPolicy::None && !snap.backfill_suppressed() {
+            for job in &ranked {
+                if started.contains(&job.id) || reserved.contains(&job.id) {
+                    continue;
+                }
+                if let Some(width) = mold_fit(&profile, job, now) {
+                    profile.hold_for(now, job.walltime, width + job.reserve_extra);
+                    started.insert(job.id);
+                    outcome.starts.push(StartDecision {
+                        job: job.id,
+                        backfilled: true,
+                        cores: (width != job.cores).then_some(width),
+                    });
+                }
+            }
+        }
+
+        // Malleability: pour leftover idle capacity into running malleable
+        // jobs (never into cores the reservations already claim).
+        if self.config.grow_malleable_on_idle {
+            // A shrink decided this very iteration must not be undone by a
+            // grow in the same breath.
+            let shrunk_now: HashSet<JobId> = outcome
+                .dyn_decisions
+                .iter()
+                .filter_map(|d| match d {
+                    DynDecision::Granted { shrunk, .. } => Some(shrunk.iter().map(|r| r.job)),
+                    _ => None,
+                })
+                .flatten()
+                .collect();
+            let mut growables: Vec<&RunningJob> = snap
+                .running
+                .iter()
+                .filter(|r| {
+                    !preempted.contains(&r.id)
+                        && !shrunk_now.contains(&r.id)
+                        && r.malleable.is_some()
+                })
+                .collect();
+            growables.sort_by_key(|r| r.id);
+            for r in growables {
+                let cores_now = cur_cores[&r.id];
+                let max = r.malleable.expect("filtered").max_cores;
+                if cores_now >= max {
+                    continue;
+                }
+                let end = r.walltime_end.max(now + SimDuration::from_millis(1));
+                let available = profile.min_idle(now, end);
+                let give = available.min(max - cores_now);
+                if give > 0 {
+                    profile.hold(now, end, give);
+                    cur_cores.insert(r.id, cores_now + give);
+                    outcome.grows.push(ResizeDecision {
+                        job: r.id,
+                        from_cores: cores_now,
+                        to_cores: cores_now + give,
+                    });
+                }
+            }
+        }
+
+        // Started jobs leave the queue: wipe their per-job DFS slates.
+        for s in &outcome.starts {
+            self.dfs.job_left_queue(s.job);
+        }
+
+        outcome
+    }
+
+    /// Steps 12–23 for a single dynamic request.
+    #[allow(clippy::too_many_arguments)]
+    fn decide_dynamic(
+        &mut self,
+        req: &DynRequest,
+        base: &mut AvailabilityProfile,
+        partition: &mut u32,
+        ranked: &[QueuedJob],
+        running: &[RunningJob],
+        preempted: &mut HashSet<JobId>,
+        cur_cores: &mut HashMap<JobId, u32>,
+        now: SimTime,
+    ) -> DynDecision {
+        // A job preempted earlier in this very iteration (to feed another
+        // dynamic request) is back in the queue; its own pending request
+        // is moot.
+        if preempted.contains(&req.job) {
+            return DynDecision::Rejected { job: req.job, reason: DfsReject::NoResources };
+        }
+
+        // Guaranteeing policy: a request covered by the job's own
+        // pre-reserve is granted instantly — the capacity is already held
+        // in every plan, so nobody is delayed and no fairness question
+        // arises.
+        if let Some(holder) = running.iter().find(|r| r.id == req.job) {
+            if holder.reserved_extra >= req.extra_cores {
+                return DynDecision::Granted {
+                    job: req.job,
+                    extra_cores: req.extra_cores,
+                    delays: Vec::new(),
+                    preempted: Vec::new(),
+                    shrunk: Vec::new(),
+                };
+            }
+        }
+
+        // Step 12: try to allocate from the dynamic partition and the idle
+        // cores, then (if the site allows) by shrinking malleable jobs,
+        // then from preemptible (backfilled) resources — the §II-B source
+        // order. The partition hold is lifted only inside the dynamic
+        // path: static jobs can never touch it, so partition grants show
+        // up as zero delay.
+        let mut trial = base.clone();
+        if *partition > 0 {
+            // `base` holds the remaining partition to infinity
+            // (established in `iterate`); the dynamic path may draw on it.
+            trial.release(now, SimTime::MAX, *partition);
+        }
+        let mut to_preempt: Vec<JobId> = Vec::new();
+        let mut to_shrink: Vec<ResizeDecision> = Vec::new();
+        if trial.idle_at(now) < req.extra_cores && self.config.shrink_malleable_for_dyn {
+            // Shrink the jobs with the most slack first: they lose the
+            // smallest fraction of their rate.
+            let mut candidates: Vec<&RunningJob> = running
+                .iter()
+                .filter(|r| {
+                    r.id != req.job
+                        && !preempted.contains(&r.id)
+                        && r.malleable.is_some_and(|m| cur_cores[&r.id] > m.min_cores)
+                })
+                .collect();
+            candidates.sort_by_key(|r| {
+                let slack = cur_cores[&r.id] - r.malleable.expect("filtered").min_cores;
+                (std::cmp::Reverse(slack), r.id)
+            });
+            for cand in candidates {
+                if trial.idle_at(now) >= req.extra_cores {
+                    break;
+                }
+                let cores_now = cur_cores[&cand.id];
+                let min = cand.malleable.expect("filtered").min_cores;
+                let deficit = req.extra_cores - trial.idle_at(now);
+                let give = (cores_now - min).min(deficit);
+                trial.release(now, cand.walltime_end.max(now), give);
+                to_shrink.push(ResizeDecision {
+                    job: cand.id,
+                    from_cores: cores_now,
+                    to_cores: cores_now - give,
+                });
+            }
+        }
+        if trial.idle_at(now) < req.extra_cores && self.config.preempt_backfilled_for_dyn {
+            // Preempt the youngest backfilled jobs first: they have
+            // sacrificed the least work.
+            let mut candidates: Vec<&RunningJob> = running
+                .iter()
+                .filter(|r| r.backfilled && r.id != req.job && !preempted.contains(&r.id))
+                .collect();
+            candidates.sort_by_key(|r| std::cmp::Reverse((r.start_time, r.id)));
+            for cand in candidates {
+                if trial.idle_at(now) >= req.extra_cores {
+                    break;
+                }
+                trial.release(now, cand.walltime_end.max(now), cur_cores[&cand.id]);
+                to_preempt.push(cand.id);
+            }
+        }
+        if trial.idle_at(now) < req.extra_cores {
+            // Step 22: no resources at all.
+            return reject_or_defer(req, DfsReject::NoResources, base, now);
+        }
+
+        // Build the post-grant world for static planning: the expansion
+        // held on the partition-free view, then the *unused* slice of the
+        // dynamic partition re-held to infinity so static jobs still
+        // cannot touch it.
+        let mut expanded = trial.clone();
+        expanded.hold_for(now, req.remaining_walltime, req.extra_cores);
+        let unused_partition = partition.saturating_sub(req.extra_cores.min(*partition));
+        if unused_partition > 0 {
+            expanded.hold(now, SimTime::MAX, unused_partition);
+        }
+
+        // Measure delays: plan the top ReservationDelayDepth jobs in the
+        // current world (`base`, partition held) and in the post-grant
+        // world (paper §III-D). Partition-only grants therefore
+        // measure zero delay — static jobs never had those cores.
+        let depth = self.config.reservation_delay_depth;
+        let before = plan_starts(&mut base.clone(), ranked, depth, now);
+        let after = plan_starts(&mut expanded.clone(), ranked, depth, now);
+
+        let mut delays = Vec::new();
+        for b in &before {
+            // Match by job id: a plan may skip a job the other fits (e.g.
+            // a full-machine job that only fits once the partition is in
+            // use). A job plannable before but not after is pushed past
+            // the horizon — charge the delay to its walltime as a bound.
+            let delay = match after.iter().find(|a| a.job == b.job) {
+                Some(a) => a.start.duration_since(b.start),
+                None => ranked
+                    .iter()
+                    .find(|j| j.id == b.job)
+                    .map(|j| j.walltime)
+                    .unwrap_or(SimDuration::ZERO),
+            };
+            let job = ranked.iter().find(|j| j.id == b.job).expect("planned job is queued");
+            delays.push(DelayCharge { job: job.id, user: job.user, group: job.group, delay });
+        }
+
+        // Steps 14–20: the fairness gate.
+        match self.dfs.evaluate(req.user, &delays) {
+            DfsVerdict::Allowed => {
+                self.dfs.commit(req.user, &delays);
+                *base = expanded;
+                *partition = unused_partition;
+                preempted.extend(to_preempt.iter().copied());
+                for r in &to_shrink {
+                    cur_cores.insert(r.job, r.to_cores);
+                }
+                if let Some(c) = cur_cores.get_mut(&req.job) {
+                    *c += req.extra_cores;
+                }
+                DynDecision::Granted {
+                    job: req.job,
+                    extra_cores: req.extra_cores,
+                    delays,
+                    preempted: to_preempt,
+                    shrunk: to_shrink,
+                }
+            }
+            DfsVerdict::Rejected(reason) => reject_or_defer(req, reason, base, now),
+        }
+    }
+}
+
+/// Negotiation (future-work extension): a request carrying a live deadline
+/// is deferred — kept at the server and reconsidered next iteration, with
+/// the scheduler's best availability estimate attached — instead of
+/// rejected outright.
+fn reject_or_defer(
+    req: &DynRequest,
+    reason: DfsReject,
+    base: &AvailabilityProfile,
+    now: SimTime,
+) -> DynDecision {
+    match req.deadline {
+        Some(d) if now < d => DynDecision::Deferred {
+            job: req.job,
+            reason,
+            available_hint: base.earliest_fit(req.extra_cores, req.remaining_walltime, now),
+        },
+        _ => DynDecision::Rejected { job: req.job, reason },
+    }
+}
+
+/// Builds the availability profile of the running workload: each running
+/// job holds its cores until its walltime end.
+fn profile_from_running(
+    now: SimTime,
+    total_cores: u32,
+    running: &[RunningJob],
+) -> AvailabilityProfile {
+    let mut p = AvailabilityProfile::new(now, total_cores);
+    let grace = SimDuration::from_millis(1);
+    for r in running {
+        // A job past its walltime still physically holds its cores until
+        // the resource manager reaps it. Plan as if it ends one grace tick
+        // from now: its cores cannot be double-booked *now*, yet they
+        // free up almost immediately for reservations. (In the simulator
+        // kills are exact and this path never triggers; the wall-clock
+        // daemon needs it.)
+        let end = r.walltime_end.max(now + grace);
+        p.hold(now, end, r.cores + r.reserved_extra);
+    }
+    p
+}
+
+/// The core count `job` can start on right now: its requested cores, or —
+/// for a moldable job — the largest count in its range that fits (molding
+/// happens before start and never after; paper §I). `None` when nothing
+/// fits.
+fn mold_fit(profile: &AvailabilityProfile, job: &QueuedJob, now: SimTime) -> Option<u32> {
+    let idle = profile.min_idle(now, now.saturating_add(job.walltime));
+    match job.moldable {
+        None => (idle >= job.cores + job.reserve_extra).then_some(job.cores),
+        Some(r) => {
+            let best = r.max_cores.min(idle.saturating_sub(job.reserve_extra));
+            (best >= r.min_cores).then_some(best)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reservation::StartKind;
+    use dynbatch_core::{DfsConfig, GroupId, SimDuration, UserId};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn running(id: u64, user: u32, cores: u32, end_s: u64) -> RunningJob {
+        RunningJob {
+            id: JobId(id),
+            user: UserId(user),
+            group: GroupId(0),
+            cores,
+            start_time: SimTime::ZERO,
+            walltime_end: t(end_s),
+            backfilled: false,
+            reserved_extra: 0,
+            malleable: None,
+        }
+    }
+
+    fn queued(id: u64, user: u32, cores: u32, walltime_s: u64, submit_s: u64) -> QueuedJob {
+        QueuedJob {
+            id: JobId(id),
+            user: UserId(user),
+            group: GroupId(0),
+            cores,
+            walltime: d(walltime_s),
+            submit_time: t(submit_s),
+            priority_boost: 0,
+            suppress_backfill_while_queued: false,
+            reserve_extra: 0,
+            moldable: None,
+        }
+    }
+
+    fn dyn_req(job: u64, user: u32, extra: u32, remaining_s: u64, seq: u64) -> DynRequest {
+        DynRequest {
+            job: JobId(job),
+            user: UserId(user),
+            group: GroupId(0),
+            extra_cores: extra,
+            remaining_walltime: d(remaining_s),
+            seq,
+            deadline: None,
+        }
+    }
+
+    fn maui(dfs: DfsConfig) -> Maui {
+        let mut cfg = SchedulerConfig::paper_eval();
+        cfg.dfs = dfs;
+        Maui::new(cfg)
+    }
+
+    #[test]
+    fn empty_snapshot_is_a_noop() {
+        let mut m = maui(DfsConfig::default());
+        let out = m.iterate(&Snapshot { total_cores: 120, ..Default::default() });
+        assert!(out.starts.is_empty());
+        assert!(out.reservations.is_empty());
+        assert!(out.dyn_decisions.is_empty());
+    }
+
+    #[test]
+    fn starts_jobs_in_priority_order() {
+        let mut m = maui(DfsConfig::default());
+        let snap = Snapshot {
+            now: t(100),
+            total_cores: 8,
+            running: vec![],
+            queued: vec![queued(2, 0, 4, 100, 50), queued(1, 0, 4, 100, 0)],
+            dyn_requests: vec![],
+        };
+        let out = m.iterate(&snap);
+        assert_eq!(out.starts.len(), 2);
+        assert_eq!(out.starts[0].job, JobId(1), "older job starts first");
+        assert!(!out.starts[0].backfilled);
+    }
+
+    #[test]
+    fn blocked_job_gets_reservation_and_small_job_backfills() {
+        let mut m = maui(DfsConfig::default());
+        // 8 cores; a running job holds 6 until t=100.
+        // Queued: big job (8 cores, high priority) is blocked until t=100;
+        // a small old job (2 cores, 50 s) fits in the hole.
+        let snap = Snapshot {
+            now: t(0),
+            total_cores: 8,
+            running: vec![running(1, 0, 6, 100)],
+            queued: vec![queued(2, 0, 8, 100, 0), queued(3, 1, 2, 50, 10)],
+            dyn_requests: vec![],
+        };
+        let out = m.iterate(&snap);
+        assert_eq!(out.reservations.len(), 1);
+        assert_eq!(out.reservations[0].job, JobId(2));
+        assert_eq!(out.reservations[0].start, t(100));
+        let bf: Vec<_> = out.starts.iter().filter(|s| s.backfilled).collect();
+        assert_eq!(bf.len(), 1);
+        assert_eq!(bf[0].job, JobId(3));
+    }
+
+    #[test]
+    fn backfill_never_delays_the_reservation() {
+        let mut m = maui(DfsConfig::default());
+        // Same as above but the small job runs 150 s: it would collide
+        // with the reservation at t=100 and must not start.
+        let snap = Snapshot {
+            now: t(0),
+            total_cores: 8,
+            running: vec![running(1, 0, 6, 100)],
+            queued: vec![queued(2, 0, 8, 100, 0), queued(3, 1, 2, 150, 10)],
+            dyn_requests: vec![],
+        };
+        let out = m.iterate(&snap);
+        assert!(out.starts.is_empty(), "nothing may start: {:?}", out.starts);
+    }
+
+    #[test]
+    fn z_rule_suppresses_backfill() {
+        let mut m = maui(DfsConfig::default());
+        let mut z = queued(2, 0, 8, 100, 0);
+        z.priority_boost = 1_000_000;
+        z.suppress_backfill_while_queued = true;
+        let snap = Snapshot {
+            now: t(0),
+            total_cores: 8,
+            running: vec![running(1, 0, 6, 100)],
+            queued: vec![z, queued(3, 1, 2, 50, 10)],
+            dyn_requests: vec![],
+        };
+        let out = m.iterate(&snap);
+        assert!(
+            out.starts.is_empty(),
+            "the 50 s job would fit but backfill is suppressed while Z queues"
+        );
+    }
+
+    #[test]
+    fn dyn_request_granted_from_idle_with_hp() {
+        let mut m = maui(DfsConfig::highest_priority());
+        let snap = Snapshot {
+            now: t(10),
+            total_cores: 8,
+            running: vec![running(1, 0, 4, 200)],
+            queued: vec![],
+            dyn_requests: vec![dyn_req(1, 0, 4, 190, 0)],
+        };
+        let out = m.iterate(&snap);
+        assert_eq!(out.dyn_decisions.len(), 1);
+        assert!(out.dyn_decisions[0].is_granted());
+    }
+
+    #[test]
+    fn dyn_request_rejected_without_resources() {
+        let mut m = maui(DfsConfig::highest_priority());
+        let snap = Snapshot {
+            now: t(10),
+            total_cores: 8,
+            running: vec![running(1, 0, 8, 200)],
+            queued: vec![],
+            dyn_requests: vec![dyn_req(1, 0, 4, 190, 0)],
+        };
+        let out = m.iterate(&snap);
+        assert_eq!(
+            out.dyn_decisions[0],
+            DynDecision::Rejected { job: JobId(1), reason: DfsReject::NoResources }
+        );
+    }
+
+    #[test]
+    fn static_only_config_ignores_dyn_requests() {
+        let mut cfg = SchedulerConfig::paper_eval();
+        cfg.dynamic_enabled = false;
+        let mut m = Maui::new(cfg);
+        let snap = Snapshot {
+            now: t(10),
+            total_cores: 8,
+            running: vec![running(1, 0, 4, 200)],
+            queued: vec![],
+            dyn_requests: vec![dyn_req(1, 0, 4, 190, 0)],
+        };
+        let out = m.iterate(&snap);
+        assert!(out.dyn_decisions.is_empty());
+    }
+
+    #[test]
+    fn fig1_delay_measured_and_hp_grants_anyway() {
+        // The paper's Fig 1: 6 nodes. A holds 2 until 8 h, B holds 2 until
+        // 4 h, C (4 nodes) queued. A requests the 2 idle nodes.
+        let h = 3600;
+        let mut m = maui(DfsConfig::highest_priority());
+        let snap = Snapshot {
+            now: t(0),
+            total_cores: 6,
+            running: vec![running(1, 0, 2, 8 * h), running(2, 1, 2, 4 * h)],
+            queued: vec![queued(3, 2, 4, 4 * h, 0)],
+            dyn_requests: vec![dyn_req(1, 0, 2, 8 * h, 0)],
+        };
+        let out = m.iterate(&snap);
+        match &out.dyn_decisions[0] {
+            DynDecision::Granted { delays, .. } => {
+                assert_eq!(delays.len(), 1);
+                assert_eq!(delays[0].job, JobId(3));
+                // C slips from 4 h to 8 h: a 4-hour delay.
+                assert_eq!(delays[0].delay, d(4 * h));
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+        // And C did not start.
+        assert!(out.starts.is_empty());
+    }
+
+    #[test]
+    fn fig1_delay_rejected_under_target_policy() {
+        let h = 3600;
+        // Cap each user's cumulative delay at 1 h: the 4 h delay to C is
+        // unfair, so the request must be rejected and C's reservation kept.
+        let mut m = maui(DfsConfig::uniform_target(3600, SimDuration::from_hours(24)));
+        let snap = Snapshot {
+            now: t(0),
+            total_cores: 6,
+            running: vec![running(1, 0, 2, 8 * h), running(2, 1, 2, 4 * h)],
+            queued: vec![queued(3, 2, 4, 4 * h, 0)],
+            dyn_requests: vec![dyn_req(1, 0, 2, 8 * h, 0)],
+        };
+        let out = m.iterate(&snap);
+        assert!(matches!(
+            out.dyn_decisions[0],
+            DynDecision::Rejected { reason: DfsReject::UserTargetExceeded { .. }, .. }
+        ));
+        assert_eq!(out.reservations[0].start, t(4 * h), "C's reservation unchanged");
+    }
+
+    #[test]
+    fn same_user_delay_is_exempt() {
+        let h = 3600;
+        // As above, but C belongs to the same user as the evolving job A:
+        // the delay is not considered and the grant goes through even under
+        // a strict policy.
+        let mut m = maui(DfsConfig::uniform_target(1, SimDuration::from_hours(24)));
+        let snap = Snapshot {
+            now: t(0),
+            total_cores: 6,
+            running: vec![running(1, 0, 2, 8 * h), running(2, 1, 2, 4 * h)],
+            queued: vec![queued(3, 0, 4, 4 * h, 0)],
+            dyn_requests: vec![dyn_req(1, 0, 2, 8 * h, 0)],
+        };
+        let out = m.iterate(&snap);
+        assert!(out.dyn_decisions[0].is_granted());
+    }
+
+    #[test]
+    fn delay_depth_bounds_the_charge() {
+        let h = 3600;
+        // ReservationDelayDepth = 1: only the first StartLater job's delay
+        // is measured; a second queued job's delay goes unnoticed.
+        let mut cfg = SchedulerConfig::paper_eval();
+        cfg.reservation_delay_depth = 1;
+        cfg.dfs = DfsConfig::uniform_target(10 * 3600, SimDuration::from_hours(24));
+        let mut m = Maui::new(cfg);
+        let snap = Snapshot {
+            now: t(0),
+            total_cores: 6,
+            running: vec![running(1, 0, 2, 8 * h), running(2, 1, 2, 4 * h)],
+            queued: vec![queued(3, 2, 4, 4 * h, 0), queued(4, 3, 4, 4 * h, 10)],
+            dyn_requests: vec![dyn_req(1, 0, 2, 8 * h, 0)],
+        };
+        let out = m.iterate(&snap);
+        match &out.dyn_decisions[0] {
+            DynDecision::Granted { delays, .. } => {
+                assert_eq!(delays.len(), 1, "only depth-1 measured");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn preemption_frees_cores_for_dynamic_request() {
+        let mut cfg = SchedulerConfig::paper_eval();
+        cfg.dfs = DfsConfig::highest_priority();
+        cfg.preempt_backfilled_for_dyn = true;
+        let mut m = Maui::new(cfg);
+        // All 8 cores busy: evolving job holds 4, a backfilled job holds 4.
+        let mut bf = running(2, 1, 4, 300);
+        bf.backfilled = true;
+        bf.start_time = t(5);
+        let snap = Snapshot {
+            now: t(10),
+            total_cores: 8,
+            running: vec![running(1, 0, 4, 300), bf],
+            queued: vec![],
+            dyn_requests: vec![dyn_req(1, 0, 4, 290, 0)],
+        };
+        let out = m.iterate(&snap);
+        match &out.dyn_decisions[0] {
+            DynDecision::Granted { preempted, .. } => {
+                assert_eq!(preempted, &vec![JobId(2)]);
+            }
+            other => panic!("expected preempting grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn without_preemption_option_busy_system_rejects() {
+        let mut cfg = SchedulerConfig::paper_eval();
+        cfg.dfs = DfsConfig::highest_priority();
+        cfg.preempt_backfilled_for_dyn = false;
+        let mut m = Maui::new(cfg);
+        let mut bf = running(2, 1, 4, 300);
+        bf.backfilled = true;
+        let snap = Snapshot {
+            now: t(10),
+            total_cores: 8,
+            running: vec![running(1, 0, 4, 300), bf],
+            queued: vec![],
+            dyn_requests: vec![dyn_req(1, 0, 4, 290, 0)],
+        };
+        let out = m.iterate(&snap);
+        assert!(matches!(
+            out.dyn_decisions[0],
+            DynDecision::Rejected { reason: DfsReject::NoResources, .. }
+        ));
+    }
+
+    #[test]
+    fn fifo_order_of_dynamic_requests() {
+        let mut m = maui(DfsConfig::highest_priority());
+        // 8 cores, 4 busy; two requests for 4 cores each — only the first
+        // (by seq) can be satisfied.
+        let snap = Snapshot {
+            now: t(10),
+            total_cores: 8,
+            running: vec![running(1, 0, 2, 200), running(2, 1, 2, 200)],
+            queued: vec![],
+            dyn_requests: vec![dyn_req(2, 1, 4, 190, 7), dyn_req(1, 0, 4, 190, 3)],
+        };
+        let out = m.iterate(&snap);
+        assert_eq!(out.dyn_decisions.len(), 2);
+        assert_eq!(out.dyn_decisions[0].job(), JobId(1), "lower seq first");
+        assert!(out.dyn_decisions[0].is_granted());
+        assert!(!out.dyn_decisions[1].is_granted());
+    }
+
+    #[test]
+    fn grant_converts_startnow_to_startlater() {
+        // 8 cores: 4 busy until t=100 (evolving). A queued 4-core job could
+        // StartNow, but the grant takes those 4 cores until t=100.
+        let mut m = maui(DfsConfig::highest_priority());
+        let snap = Snapshot {
+            now: t(0),
+            total_cores: 8,
+            running: vec![running(1, 0, 4, 100)],
+            queued: vec![queued(2, 1, 4, 50, 0)],
+            dyn_requests: vec![dyn_req(1, 0, 4, 100, 0)],
+        };
+        let out = m.iterate(&snap);
+        assert!(out.dyn_decisions[0].is_granted());
+        // Baseline says StartNow...
+        assert_eq!(out.baseline_plan[0].kind, StartKind::Now);
+        // ...but after the grant the job cannot start and is reserved at
+        // t=100.
+        assert!(out.starts.is_empty());
+        assert_eq!(out.reservations[0].start, t(100));
+        // And the charged delay is exactly 100 s.
+        match &out.dyn_decisions[0] {
+            DynDecision::Granted { delays, .. } => {
+                assert_eq!(delays[0].delay, d(100));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn conservative_backfill_reserves_everyone() {
+        let mut cfg = SchedulerConfig::paper_eval();
+        cfg.backfill = BackfillPolicy::Conservative;
+        cfg.reservation_depth = 1;
+        let mut m = Maui::new(cfg);
+        let snap = Snapshot {
+            now: t(0),
+            total_cores: 8,
+            running: vec![running(1, 0, 8, 100)],
+            queued: vec![
+                queued(2, 0, 8, 100, 0),
+                queued(3, 1, 8, 100, 1),
+                queued(4, 2, 8, 100, 2),
+            ],
+            dyn_requests: vec![],
+        };
+        let out = m.iterate(&snap);
+        assert_eq!(out.reservations.len(), 3, "conservative ignores depth");
+    }
+
+    #[test]
+    fn deterministic_iteration() {
+        let snap = Snapshot {
+            now: t(0),
+            total_cores: 16,
+            running: vec![running(1, 0, 6, 100)],
+            queued: vec![
+                queued(2, 0, 8, 100, 0),
+                queued(3, 1, 2, 50, 10),
+                queued(4, 2, 16, 30, 20),
+            ],
+            dyn_requests: vec![dyn_req(1, 0, 4, 90, 0)],
+        };
+        let out1 = maui(DfsConfig::highest_priority()).iterate(&snap);
+        let out2 = maui(DfsConfig::highest_priority()).iterate(&snap);
+        assert_eq!(out1.starts, out2.starts);
+        assert_eq!(out1.reservations, out2.reservations);
+        assert_eq!(out1.dyn_decisions, out2.dyn_decisions);
+    }
+}

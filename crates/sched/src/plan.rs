@@ -1,0 +1,115 @@
+//! The static planning pass: sequential earliest-start computation.
+//!
+//! Given a ranked queue and an availability profile, plan where the top
+//! `depth` jobs would start if scheduled strictly in priority order, each
+//! planned job holding its window. This single routine backs three
+//! different paper mechanisms:
+//!
+//! * reservation creation (`ReservationDepth`),
+//! * the *StartNow* / *StartLater* classification (paper Fig 5), and
+//! * the what-if delay measurement for dynamic requests
+//!   (`ReservationDelayDepth`) — run the same plan with and without the
+//!   candidate expansion held, and diff the start times.
+
+use crate::reservation::{PlannedStart, StartKind};
+use crate::snapshot::QueuedJob;
+use crate::timeline::AvailabilityProfile;
+use dynbatch_core::SimTime;
+
+/// Plans starts for the first `depth` jobs of the (already ranked) queue
+/// against `profile`, holding each planned window in the profile.
+///
+/// Jobs whose core request exceeds the profile capacity are skipped (they
+/// can never run; the server-side validation normally rejects them first).
+pub fn plan_starts(
+    profile: &mut AvailabilityProfile,
+    ranked: &[QueuedJob],
+    depth: usize,
+    now: SimTime,
+) -> Vec<PlannedStart> {
+    let mut plans = Vec::with_capacity(depth.min(ranked.len()));
+    for job in ranked.iter().take(depth) {
+        // Under the guaranteeing policy an evolving job's footprint is its
+        // static cores plus its pre-reserve.
+        let width = job.cores + job.reserve_extra;
+        let Some(start) = profile.earliest_fit(width, job.walltime, now) else {
+            continue;
+        };
+        let end = start.saturating_add(job.walltime);
+        profile.hold(start, end, width);
+        plans.push(PlannedStart {
+            job: job.id,
+            start,
+            end,
+            cores: width,
+            kind: if start == now { StartKind::Now } else { StartKind::Later },
+        });
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynbatch_core::{GroupId, JobId, SimDuration, UserId};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn qjob(id: u64, cores: u32, walltime_s: u64) -> QueuedJob {
+        QueuedJob {
+            id: JobId(id),
+            user: UserId(0),
+            group: GroupId(0),
+            cores,
+            walltime: SimDuration::from_secs(walltime_s),
+            submit_time: SimTime::ZERO,
+            priority_boost: 0,
+            suppress_backfill_while_queued: false,
+            reserve_extra: 0,
+            moldable: None,
+        }
+    }
+
+    #[test]
+    fn start_now_vs_later() {
+        let mut p = AvailabilityProfile::new(t(0), 10);
+        p.hold(t(0), t(100), 6); // a running job
+        let ranked = vec![qjob(1, 4, 50), qjob(2, 4, 50)];
+        let plans = plan_starts(&mut p, &ranked, 5, t(0));
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].kind, StartKind::Now);
+        assert_eq!(plans[0].start, t(0));
+        // Job 2 must wait for the running job (job 1 holds the other 4).
+        assert_eq!(plans[1].kind, StartKind::Later);
+        assert_eq!(plans[1].start, t(50), "job 1 ends at t=50, freeing 4 cores");
+    }
+
+    #[test]
+    fn sequential_holds_respect_priority() {
+        let mut p = AvailabilityProfile::new(t(0), 8);
+        let ranked = vec![qjob(1, 8, 100), qjob(2, 8, 100), qjob(3, 8, 100)];
+        let plans = plan_starts(&mut p, &ranked, 3, t(0));
+        assert_eq!(plans[0].start, t(0));
+        assert_eq!(plans[1].start, t(100));
+        assert_eq!(plans[2].start, t(200));
+    }
+
+    #[test]
+    fn depth_limits_planning() {
+        let mut p = AvailabilityProfile::new(t(0), 8);
+        let ranked = vec![qjob(1, 8, 10), qjob(2, 8, 10), qjob(3, 8, 10)];
+        let plans = plan_starts(&mut p, &ranked, 2, t(0));
+        assert_eq!(plans.len(), 2);
+    }
+
+    #[test]
+    fn oversized_jobs_skipped() {
+        let mut p = AvailabilityProfile::new(t(0), 8);
+        let ranked = vec![qjob(1, 99, 10), qjob(2, 4, 10)];
+        let plans = plan_starts(&mut p, &ranked, 5, t(0));
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].job, JobId(2));
+    }
+}

@@ -1,0 +1,71 @@
+//! Reservations and planned starts.
+//!
+//! When the highest-priority idle job cannot start, Maui determines the
+//! earliest time resources become available and *reserves* them
+//! (paper §III-A). The extended iteration additionally classifies planned
+//! jobs as **StartNow** / **StartLater** (paper Fig 5) — the set over which
+//! dynamic-allocation delays are measured.
+
+use dynbatch_core::{JobId, SimDuration, SimTime};
+
+/// Whether a planned job can begin immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartKind {
+    /// Resources are free right now.
+    Now,
+    /// Blocked; holds a future reservation.
+    Later,
+}
+
+/// A planned start for a queued job, produced by the static planning pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedStart {
+    /// The job.
+    pub job: JobId,
+    /// Planned start instant.
+    pub start: SimTime,
+    /// Planned end (start + walltime).
+    pub end: SimTime,
+    /// Cores the plan holds for it.
+    pub cores: u32,
+    /// StartNow or StartLater.
+    pub kind: StartKind,
+}
+
+impl PlannedStart {
+    /// The planned wait from `now` until the start.
+    pub fn wait_from(&self, now: SimTime) -> SimDuration {
+        self.start.duration_since(now)
+    }
+}
+
+/// A committed resource reservation (the backfill fence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// The job the reservation belongs to.
+    pub job: JobId,
+    /// Reserved window start.
+    pub start: SimTime,
+    /// Reserved window end.
+    pub end: SimTime,
+    /// Reserved cores.
+    pub cores: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_from() {
+        let p = PlannedStart {
+            job: JobId(1),
+            start: SimTime::from_secs(100),
+            end: SimTime::from_secs(200),
+            cores: 8,
+            kind: StartKind::Later,
+        };
+        assert_eq!(p.wait_from(SimTime::from_secs(40)), SimDuration::from_secs(60));
+        assert_eq!(p.wait_from(SimTime::from_secs(150)), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,174 @@
+//! The scheduler's view of the world.
+//!
+//! Each Maui iteration begins by "obtaining resource information and
+//! workload information from Torque" (paper Algorithm 1, steps 2–3). The
+//! [`Snapshot`] is exactly that hand-off: a value type the resource
+//! manager (simulated or threaded) builds and passes to
+//! [`crate::maui::Maui::iterate`]. Keeping it a plain value keeps the
+//! scheduler deterministic and trivially testable.
+
+use dynbatch_core::{GroupId, JobId, MalleableRange, SimDuration, SimTime, UserId};
+
+/// A job currently holding resources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunningJob {
+    /// Job id.
+    pub id: JobId,
+    /// Owner.
+    pub user: UserId,
+    /// Owner's group.
+    pub group: GroupId,
+    /// Cores currently held (including past dynamic grants).
+    pub cores: u32,
+    /// When the job started.
+    pub start_time: SimTime,
+    /// When its walltime expires (the scheduler plans with walltime, not
+    /// with actual — unknowable — completion).
+    pub walltime_end: SimTime,
+    /// Whether this job was started by backfill (and is therefore
+    /// preemptible under the site policy).
+    pub backfilled: bool,
+    /// Cores pre-reserved for this job's future dynamic requests
+    /// (guaranteeing policy); the planner treats them as held.
+    pub reserved_extra: u32,
+    /// The resize range of a malleable job (`None` for other classes).
+    pub malleable: Option<MalleableRange>,
+}
+
+/// A job waiting in the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedJob {
+    /// Job id.
+    pub id: JobId,
+    /// Owner.
+    pub user: UserId,
+    /// Owner's group.
+    pub group: GroupId,
+    /// Requested cores.
+    pub cores: u32,
+    /// Requested walltime.
+    pub walltime: SimDuration,
+    /// Submission instant.
+    pub submit_time: SimTime,
+    /// Additive priority boost (ESP Z jobs).
+    pub priority_boost: i64,
+    /// The ESP Z rule: backfilling is suspended while this job is queued.
+    pub suppress_backfill_while_queued: bool,
+    /// Cores to pre-reserve on top of `cores` at start (guaranteeing
+    /// policy); the job only starts when `cores + reserve_extra` fit.
+    pub reserve_extra: u32,
+    /// Moldable start range (`None` for other classes): the scheduler may
+    /// start this job on any core count within it.
+    pub moldable: Option<MalleableRange>,
+}
+
+/// A pending dynamic request from a running evolving job
+/// (the server-side image of a `tm_dynget()` call).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynRequest {
+    /// The evolving job.
+    pub job: JobId,
+    /// Its owner (delays to this user's own queued jobs are exempt).
+    pub user: UserId,
+    /// Its owner's group.
+    pub group: GroupId,
+    /// Extra cores requested.
+    pub extra_cores: u32,
+    /// Remaining walltime of the evolving job — dynamic reservations are
+    /// held until then (paper §III-D).
+    pub remaining_walltime: SimDuration,
+    /// FIFO sequence: dynamic requests are prioritised in arrival order
+    /// (paper Algorithm 2, step 9).
+    pub seq: u64,
+    /// Negotiation deadline (the paper's future-work extension): while
+    /// `now < deadline`, a request that cannot be served is *deferred* —
+    /// it stays queued at the server and is reconsidered every iteration —
+    /// instead of rejected. `None` = the paper's reject-immediately
+    /// protocol.
+    pub deadline: Option<SimTime>,
+}
+
+/// Scheduler input for one iteration.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// The scheduling instant.
+    pub now: SimTime,
+    /// Total cores across up nodes.
+    pub total_cores: u32,
+    /// Jobs currently holding cores.
+    pub running: Vec<RunningJob>,
+    /// Jobs waiting, in any order (the scheduler ranks them).
+    pub queued: Vec<QueuedJob>,
+    /// Pending dynamic requests, in any order (the scheduler sorts by
+    /// `seq`).
+    pub dyn_requests: Vec<DynRequest>,
+}
+
+impl Snapshot {
+    /// Cores currently in use or exclusively reserved.
+    pub fn busy_cores(&self) -> u32 {
+        self.running.iter().map(|r| r.cores + r.reserved_extra).sum()
+    }
+
+    /// Cores currently idle.
+    pub fn idle_cores(&self) -> u32 {
+        self.total_cores.saturating_sub(self.busy_cores())
+    }
+
+    /// True iff any queued job suppresses backfill (the Z rule).
+    pub fn backfill_suppressed(&self) -> bool {
+        self.queued.iter().any(|q| q.suppress_backfill_while_queued)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_accounting() {
+        let snap = Snapshot {
+            now: SimTime::from_secs(0),
+            total_cores: 120,
+            running: vec![RunningJob {
+                id: JobId(1),
+                user: UserId(0),
+                group: GroupId(0),
+                cores: 50,
+                start_time: SimTime::ZERO,
+                walltime_end: SimTime::from_secs(100),
+                backfilled: false,
+                reserved_extra: 0,
+                malleable: None,
+            }],
+            queued: vec![],
+            dyn_requests: vec![],
+        };
+        assert_eq!(snap.busy_cores(), 50);
+        assert_eq!(snap.idle_cores(), 70);
+        assert!(!snap.backfill_suppressed());
+    }
+
+    #[test]
+    fn z_suppression() {
+        let snap = Snapshot {
+            now: SimTime::ZERO,
+            total_cores: 120,
+            running: vec![],
+            queued: vec![QueuedJob {
+                id: JobId(9),
+                user: UserId(9),
+                group: GroupId(0),
+                cores: 120,
+                walltime: SimDuration::from_secs(100),
+                submit_time: SimTime::ZERO,
+                priority_boost: 1_000_000,
+                suppress_backfill_while_queued: true,
+                reserve_extra: 0,
+                moldable: None,
+            }],
+            dyn_requests: vec![],
+        };
+        assert!(snap.backfill_suppressed());
+    }
+}

@@ -1,0 +1,31 @@
+//! # dynbatch-server
+//!
+//! The Torque-like resource manager, extended for dynamic allocation.
+//!
+//! Three layers:
+//!
+//! * [`messages`] — the protocol vocabulary of the paper's Figs 2–4
+//!   (client ↔ server ↔ mom, plus the extended TM API with
+//!   `tm_dynget()` / `tm_dynfree()`);
+//! * [`server`] — the `pbs_server` state machine: job lifecycle, the
+//!   `DynQueued` state, snapshot production for the scheduler and outcome
+//!   application back onto the cluster;
+//! * [`mom`] — the per-node `pbs_mom` state machine: mother-superior
+//!   hostlist tracking, `dyn_join` / `dyn_disjoin`.
+//!
+//! Everything is a pure state machine over message values so that the
+//! discrete-event simulator (`dynbatch-sim`) and the threaded daemon
+//! (`dynbatch-daemon`) execute the identical protocol code.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accounting;
+pub mod messages;
+pub mod mom;
+pub mod server;
+
+pub use accounting::AccountingLog;
+pub use messages::{ClientMsg, MomToServer, ServerToMom, TmRequest, TmResponse};
+pub use mom::{Mom, MomOutput};
+pub use server::{Applied, PbsServer};

@@ -1,0 +1,136 @@
+//! Protocol messages of the (extended) Torque workflow.
+//!
+//! These enums encode the arrows of the paper's Figs 2–4: client → server
+//! (`qsub` etc.), server → mom (run, dyn-join, dyn-disjoin, kill), mom →
+//! server (job started/finished, forwarded dynamic requests), and the TM
+//! interface between an application process and its local mom. The threaded
+//! daemon ships these over channels; the simulator applies them
+//! synchronously. Either way the state machines that interpret them are
+//! identical.
+
+use dynbatch_cluster::Allocation;
+use dynbatch_core::{JobId, JobSpec, NodeId};
+
+/// Client commands (the `qsub` / `qdel` / `qstat` family).
+#[derive(Debug, Clone)]
+pub enum ClientMsg {
+    /// Submit a job.
+    QSub(Box<JobSpec>),
+    /// Delete a job.
+    QDel(JobId),
+    /// Query a job's state.
+    QStat(JobId),
+}
+
+/// Server → mom commands.
+#[derive(Debug, Clone)]
+pub enum ServerToMom {
+    /// Start a job; the receiving mom is the *mother superior* and the
+    /// allocation is the full hostlist to join.
+    RunJob {
+        /// The job.
+        job: JobId,
+        /// Complete hostlist of the allocation.
+        alloc: Allocation,
+    },
+    /// Expand a running job's allocation (*dyn_join*, paper Fig 3 step 6):
+    /// sent to the mother superior with the newly added hosts.
+    DynJoin {
+        /// The job.
+        job: JobId,
+        /// The newly allocated hosts only.
+        added: Allocation,
+    },
+    /// The server rejected the job's dynamic request; the application's
+    /// `tm_dynget()` returns empty-handed and may retry later.
+    DynReject {
+        /// The job.
+        job: JobId,
+    },
+    /// Contract a job's allocation (*dyn_disjoin*, paper Fig 4): the given
+    /// hosts leave the job.
+    DynDisjoin {
+        /// The job.
+        job: JobId,
+        /// Hosts to release.
+        released: Allocation,
+    },
+    /// Kill the job (qdel or walltime exceeded).
+    KillJob {
+        /// The job.
+        job: JobId,
+    },
+}
+
+/// Mom → server notifications.
+#[derive(Debug, Clone)]
+pub enum MomToServer {
+    /// All hosts joined; the application is executing.
+    JobStarted {
+        /// The job.
+        job: JobId,
+        /// The reporting mother superior.
+        mother_superior: NodeId,
+    },
+    /// The application exited.
+    JobFinished {
+        /// The job.
+        job: JobId,
+    },
+    /// A `tm_dynget()` forwarded by the mother superior (paper Fig 3
+    /// step 2). At most one may be outstanding per job.
+    DynRequest {
+        /// The job.
+        job: JobId,
+        /// Extra cores requested.
+        extra_cores: u32,
+        /// Negotiation window; `None` = answer immediately.
+        timeout: Option<dynbatch_core::SimDuration>,
+    },
+    /// A `tm_dynfree()` release, after local *dyn_disjoin* completed.
+    DynFree {
+        /// The job.
+        job: JobId,
+        /// Hosts released.
+        released: Allocation,
+    },
+}
+
+/// The extended TM (task-management) API an application process calls on
+/// its local mom (paper §III-B: "This simple API consisting of two
+/// functions is sufficient for dynamic resource (de)allocation").
+#[derive(Debug, Clone)]
+pub enum TmRequest {
+    /// `tm_dynget(nodes, ppn)` — request additional cores. With a
+    /// `timeout`, the request is *negotiated*: the server keeps it queued
+    /// and retries every iteration until granted or timed out (the
+    /// paper's future-work protocol).
+    DynGet {
+        /// Extra cores wanted.
+        extra_cores: u32,
+        /// Negotiation window; `None` = answer immediately.
+        timeout: Option<dynbatch_core::SimDuration>,
+    },
+    /// `tm_dynfree(hostlist)` — release part of the allocation.
+    DynFree {
+        /// Hosts to release.
+        released: Allocation,
+    },
+}
+
+/// The mom's reply to a [`TmRequest`].
+#[derive(Debug, Clone)]
+pub enum TmResponse {
+    /// `tm_dynget` succeeded; here is the dynamically allocated hostlist
+    /// (feed it to MPI-2 `MPI_Comm_spawn` via the "add-host" info key).
+    DynGranted {
+        /// The added hosts.
+        added: Allocation,
+    },
+    /// `tm_dynget` failed; the application continues on its current
+    /// allocation (and may request again later — the paper's jobs retry
+    /// once at 25 % of SET).
+    DynDenied,
+    /// `tm_dynfree` completed (a release "rarely fails").
+    Freed,
+}

@@ -1,0 +1,884 @@
+//! The `pbs_server` state machine, extended for dynamic allocation.
+//!
+//! The server owns the cluster and the job table. It:
+//!
+//! * queues submissions (`qsub`) and deletions (`qdel`);
+//! * accepts forwarded `tm_dynget()` requests, moving the job into the
+//!   special `DynQueued` state (paper Fig 3, step 3) — at most one pending
+//!   dynamic request per job;
+//! * accepts `tm_dynfree()` releases immediately (paper: "a release
+//!   operation is rarely unsuccessful");
+//! * builds the [`Snapshot`] each scheduler iteration starts from;
+//! * applies an [`IterationOutcome`] to real cluster state, reporting the
+//!   concrete effects ([`Applied`]) so the driver (simulator or daemon)
+//!   can deliver hostlists and schedule completions.
+
+use crate::accounting::AccountingLog;
+use dynbatch_cluster::{Allocation, Cluster};
+use dynbatch_core::{
+    AllocPolicy, Error, Job, JobId, JobOutcome, JobSpec, JobState, Result, SimTime,
+};
+use dynbatch_sched::{DfsReject, DynDecision, DynRequest, IterationOutcome, QueuedJob, RunningJob, Snapshot};
+use std::collections::BTreeMap;
+
+/// A pending dynamic request held at the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingDyn {
+    extra_cores: u32,
+    seq: u64,
+    /// Negotiation deadline; `None` = reject-immediately protocol.
+    deadline: Option<SimTime>,
+}
+
+/// A concrete effect of applying a scheduling outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Applied {
+    /// A queued job started on `alloc`.
+    Started {
+        /// The job.
+        job: JobId,
+        /// Its allocation (the hostlist sent to the mother superior).
+        alloc: Allocation,
+        /// Whether it was started by backfill.
+        backfilled: bool,
+    },
+    /// A dynamic request was granted; `added` is the new hostlist returned
+    /// through `tm_dynget()`.
+    DynGranted {
+        /// The evolving job.
+        job: JobId,
+        /// The added hosts.
+        added: Allocation,
+    },
+    /// A dynamic request was rejected.
+    DynRejected {
+        /// The evolving job.
+        job: JobId,
+        /// Why.
+        reason: DfsReject,
+    },
+    /// A negotiated dynamic request was deferred: it stays queued at the
+    /// server, and the scheduler's availability estimate is relayed.
+    DynDeferred {
+        /// The evolving job.
+        job: JobId,
+        /// The scheduler's earliest-availability hint.
+        available_hint: Option<SimTime>,
+    },
+    /// A backfilled job was preempted (requeued) to serve a dynamic
+    /// request.
+    Preempted {
+        /// The victim.
+        job: JobId,
+    },
+    /// A running malleable job was resized by the batch system (shrunk to
+    /// serve a dynamic request, or grown onto idle cores).
+    Resized {
+        /// The malleable job.
+        job: JobId,
+        /// Cores before.
+        from_cores: u32,
+        /// Cores after.
+        to_cores: u32,
+        /// The hosts added (grow) or removed (shrink).
+        changed: Allocation,
+    },
+}
+
+/// The extended Torque server.
+#[derive(Debug, Clone)]
+pub struct PbsServer {
+    cluster: Cluster,
+    jobs: BTreeMap<JobId, Job>,
+    dyn_pending: BTreeMap<JobId, PendingDyn>,
+    next_job_id: u64,
+    next_dyn_seq: u64,
+    alloc_policy: AllocPolicy,
+    accounting: AccountingLog,
+    guarantee_evolving: bool,
+}
+
+impl PbsServer {
+    /// A server managing `cluster`, placing cores with `alloc_policy`.
+    pub fn new(cluster: Cluster, alloc_policy: AllocPolicy) -> Self {
+        PbsServer {
+            cluster,
+            jobs: BTreeMap::new(),
+            dyn_pending: BTreeMap::new(),
+            next_job_id: 1,
+            next_dyn_seq: 0,
+            alloc_policy,
+            accounting: AccountingLog::new(),
+            guarantee_evolving: false,
+        }
+    }
+
+    /// Enables the *guaranteeing* site policy (paper §II-B): evolving jobs
+    /// pre-reserve their maximum dynamic demand at start and every dynamic
+    /// request is served from that reserve.
+    pub fn set_guarantee_evolving(&mut self, on: bool) {
+        self.guarantee_evolving = on;
+    }
+
+    /// Cores currently pre-reserved (held but idle) under the
+    /// guaranteeing policy.
+    pub fn reserved_unused_cores(&self) -> u32 {
+        self.jobs.values().filter(|j| j.state.is_active()).map(|j| j.reserved_extra).sum()
+    }
+
+    /// The managed cluster (read-only).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The accounting log of completed jobs.
+    pub fn accounting(&self) -> &AccountingLog {
+        &self.accounting
+    }
+
+    /// Looks up a job.
+    pub fn job(&self, id: JobId) -> Result<&Job> {
+        self.jobs.get(&id).ok_or(Error::UnknownJob(id))
+    }
+
+    /// Iterates all known jobs in id order.
+    pub fn jobs(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.values()
+    }
+
+    /// Number of jobs in `Queued` state.
+    pub fn queued_count(&self) -> usize {
+        self.jobs.values().filter(|j| j.state == JobState::Queued).count()
+    }
+
+    /// Number of jobs holding resources.
+    pub fn active_count(&self) -> usize {
+        self.jobs.values().filter(|j| j.state.is_active()).count()
+    }
+
+    /// True when no job is queued or running — the workload has drained.
+    pub fn is_drained(&self) -> bool {
+        self.jobs.values().all(|j| j.state.is_terminal())
+    }
+
+    /// `qsub`: validates and queues a job.
+    pub fn qsub(&mut self, spec: JobSpec, now: SimTime) -> Result<JobId> {
+        spec.validate().map_err(Error::BadSpec)?;
+        if spec.cores > self.cluster.total_cores() {
+            return Err(Error::RequestExceedsSystem {
+                requested: spec.cores,
+                capacity: self.cluster.total_cores(),
+            });
+        }
+        let id = JobId(self.next_job_id);
+        self.next_job_id += 1;
+        self.jobs.insert(id, Job::new(id, spec, now));
+        Ok(id)
+    }
+
+    /// `qdel`: cancels a job, releasing resources if it was active.
+    pub fn qdel(&mut self, id: JobId, now: SimTime) -> Result<()> {
+        let job = self.jobs.get_mut(&id).ok_or(Error::UnknownJob(id))?;
+        if job.state.is_terminal() {
+            return Err(Error::InvalidState { job: id, operation: "qdel", state: "terminal" });
+        }
+        let was_active = job.state.is_active();
+        job.state = JobState::Cancelled;
+        job.end_time = Some(now);
+        if was_active {
+            self.cluster.release_all(id)?;
+            self.dyn_pending.remove(&id);
+        }
+        Ok(())
+    }
+
+    /// The mother superior forwarded a `tm_dynget()` — queue it and move
+    /// the job to `DynQueued` (paper Fig 3, steps 2–3). Rejects a second
+    /// pending request for the same job.
+    pub fn tm_dynget(&mut self, id: JobId, extra_cores: u32, now: SimTime) -> Result<()> {
+        self.tm_dynget_negotiated(id, extra_cores, None, now)
+    }
+
+    /// The negotiation extension (paper §III-C future work): like
+    /// [`PbsServer::tm_dynget`], but an unservable request stays queued at
+    /// the server until `deadline` — the scheduler reconsiders it every
+    /// iteration and reports availability estimates — instead of failing
+    /// straight back. Call [`PbsServer::expire_dyn_requests`] as time
+    /// passes to time out stale requests.
+    pub fn tm_dynget_negotiated(
+        &mut self,
+        id: JobId,
+        extra_cores: u32,
+        deadline: Option<SimTime>,
+        _now: SimTime,
+    ) -> Result<()> {
+        let job = self.jobs.get_mut(&id).ok_or(Error::UnknownJob(id))?;
+        match job.state {
+            JobState::Running => {}
+            JobState::DynQueued => return Err(Error::DynRequestPending(id)),
+            _ => {
+                return Err(Error::InvalidState {
+                    job: id,
+                    operation: "tm_dynget",
+                    state: "not running",
+                })
+            }
+        }
+        if extra_cores == 0 {
+            return Err(Error::BadSpec("dynamic request for zero cores".into()));
+        }
+        job.state = JobState::DynQueued;
+        job.dyn_requests += 1;
+        let seq = self.next_dyn_seq;
+        self.next_dyn_seq += 1;
+        self.dyn_pending.insert(id, PendingDyn { extra_cores, seq, deadline });
+        Ok(())
+    }
+
+    /// A `tm_dynfree()` release: takes effect immediately (paper Fig 4).
+    pub fn tm_dynfree(&mut self, id: JobId, released: &Allocation, _now: SimTime) -> Result<()> {
+        let job = self.jobs.get_mut(&id).ok_or(Error::UnknownJob(id))?;
+        if !job.state.is_active() {
+            return Err(Error::InvalidState {
+                job: id,
+                operation: "tm_dynfree",
+                state: "not active",
+            });
+        }
+        let total = released.total_cores();
+        if total >= job.cores_allocated {
+            return Err(Error::BadSpec(
+                "tm_dynfree may release only a proper subset of the allocation".into(),
+            ));
+        }
+        self.cluster.release_partial(id, released)?;
+        job.cores_allocated -= total;
+        Ok(())
+    }
+
+    /// The application exited: release everything and record the outcome.
+    pub fn job_finished(&mut self, id: JobId, now: SimTime) -> Result<JobOutcome> {
+        let job = self.jobs.get_mut(&id).ok_or(Error::UnknownJob(id))?;
+        if !job.state.is_active() {
+            return Err(Error::InvalidState {
+                job: id,
+                operation: "finish",
+                state: "not active",
+            });
+        }
+        job.state = JobState::Completed;
+        job.end_time = Some(now);
+        self.dyn_pending.remove(&id);
+        self.cluster.release_all(id)?;
+        let job = &self.jobs[&id];
+        let outcome = JobOutcome {
+            id,
+            name: job.spec.name.clone(),
+            user: job.spec.user,
+            class: job.spec.class,
+            cores_requested: job.spec.cores,
+            cores_final: job.cores_allocated,
+            submit_time: job.submit_time,
+            start_time: job.start_time.expect("active job has a start time"),
+            end_time: now,
+            dyn_requests: job.dyn_requests,
+            dyn_grants: job.dyn_grants,
+            backfilled: job.backfilled,
+        };
+        self.accounting.record(outcome.clone());
+        Ok(outcome)
+    }
+
+    /// Builds the scheduler's view of the current state (paper Algorithm 2,
+    /// steps 2–3).
+    pub fn snapshot(&self, now: SimTime) -> Snapshot {
+        let mut running = Vec::new();
+        let mut queued = Vec::new();
+        let mut dyn_requests = Vec::new();
+        for job in self.jobs.values() {
+            match job.state {
+                JobState::Running | JobState::DynQueued => {
+                    running.push(RunningJob {
+                        id: job.id,
+                        user: job.spec.user,
+                        group: job.spec.group,
+                        cores: job.cores_allocated,
+                        start_time: job.start_time.expect("running job started"),
+                        walltime_end: job.walltime_end().expect("running job started"),
+                        backfilled: job.backfilled,
+                        reserved_extra: job.reserved_extra,
+                        malleable: job.spec.malleable,
+                    });
+                    if job.state == JobState::DynQueued {
+                        let pending = self.dyn_pending[&job.id];
+                        dyn_requests.push(DynRequest {
+                            job: job.id,
+                            user: job.spec.user,
+                            group: job.spec.group,
+                            extra_cores: pending.extra_cores,
+                            remaining_walltime: job
+                                .remaining_walltime(now)
+                                .expect("running job started"),
+                            seq: pending.seq,
+                            deadline: pending.deadline,
+                        });
+                    }
+                }
+                JobState::Queued => {
+                    queued.push(QueuedJob {
+                        id: job.id,
+                        user: job.spec.user,
+                        group: job.spec.group,
+                        cores: job.spec.cores,
+                        walltime: job.spec.walltime,
+                        submit_time: job.submit_time,
+                        priority_boost: job.spec.priority_boost,
+                        suppress_backfill_while_queued: job
+                            .spec
+                            .suppress_backfill_while_queued,
+                        reserve_extra: self.reserve_for(job),
+                        moldable: job.spec.moldable,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Snapshot {
+            now,
+            total_cores: self.cluster.total_cores(),
+            running,
+            queued,
+            dyn_requests,
+        }
+    }
+
+    /// Applies a scheduler outcome to real state, in the scheduler's
+    /// decision order: preemptions and grants first, then starts.
+    ///
+    /// # Panics
+    /// If the scheduler's plan cannot be realised (it planned against the
+    /// snapshot this server produced, so failure is a bookkeeping bug).
+    pub fn apply(&mut self, outcome: &IterationOutcome, now: SimTime) -> Vec<Applied> {
+        let mut applied = Vec::new();
+
+        for decision in &outcome.dyn_decisions {
+            match decision {
+                DynDecision::Granted { job, extra_cores, preempted, shrunk, .. } => {
+                    for victim in preempted {
+                        self.preempt(*victim, now).expect("preempt planned victim");
+                        applied.push(Applied::Preempted { job: *victim });
+                    }
+                    for resize in shrunk {
+                        applied.push(self.resize(*resize).expect("planned shrink applies"));
+                    }
+                    let added = self
+                        .cluster
+                        .expand(*job, *extra_cores, self.alloc_policy)
+                        .expect("planned expansion must fit");
+                    let j = self.jobs.get_mut(job).expect("granted job exists");
+                    debug_assert_eq!(j.state, JobState::DynQueued);
+                    j.state = JobState::Running;
+                    j.cores_allocated += extra_cores;
+                    j.dyn_grants += 1;
+                    // Under the guaranteeing policy the grant consumes the
+                    // job's own pre-reserve.
+                    j.reserved_extra = j.reserved_extra.saturating_sub(*extra_cores);
+                    self.dyn_pending.remove(job);
+                    applied.push(Applied::DynGranted { job: *job, added });
+                }
+                DynDecision::Rejected { job, reason } => {
+                    if let Some(j) = self.jobs.get_mut(job) {
+                        if j.state == JobState::DynQueued {
+                            j.state = JobState::Running;
+                        }
+                    }
+                    self.dyn_pending.remove(job);
+                    applied.push(Applied::DynRejected { job: *job, reason: *reason });
+                }
+                DynDecision::Deferred { job, available_hint, .. } => {
+                    // Negotiation: the request stays pending (the job
+                    // remains DynQueued and keeps executing); the next
+                    // iteration reconsiders it with its original FIFO seq.
+                    debug_assert!(self.dyn_pending.contains_key(job));
+                    applied.push(Applied::DynDeferred {
+                        job: *job,
+                        available_hint: *available_hint,
+                    });
+                }
+            }
+        }
+
+        for resize in &outcome.grows {
+            applied.push(self.resize(*resize).expect("planned grow applies"));
+        }
+
+        for start in &outcome.starts {
+            let reserve = self.reserve_for(self.jobs.get(&start.job).expect("started job exists"));
+            let job = self.jobs.get_mut(&start.job).expect("started job exists");
+            assert_eq!(job.state, JobState::Queued, "{}: start of non-queued job", start.job);
+            // Moldable jobs start at the scheduler-chosen width.
+            let cores = start.cores.unwrap_or(job.spec.cores);
+            job.state = JobState::Running;
+            job.start_time = Some(now);
+            job.cores_allocated = cores;
+            job.backfilled = start.backfilled;
+            job.reserved_extra = reserve;
+            let alloc = self
+                .cluster
+                .allocate(start.job, cores, self.alloc_policy)
+                .expect("planned start must fit");
+            applied.push(Applied::Started {
+                job: start.job,
+                alloc,
+                backfilled: start.backfilled,
+            });
+        }
+
+        applied
+    }
+
+    /// A compute node failed: its allocations are lost and every affected
+    /// job is requeued (progress lost). The returned list names the
+    /// victims — the fault-tolerance hook the paper's introduction
+    /// motivates (spare nodes can be dynamically allocated to them).
+    pub fn node_failed(&mut self, node: dynbatch_core::NodeId, _now: SimTime) -> Result<Vec<JobId>> {
+        let victims = self.cluster.fail_node(node)?;
+        for &v in &victims {
+            // Release whatever the job still holds on surviving nodes.
+            if self.cluster.allocation_of(v).is_some() {
+                self.cluster.release_all(v)?;
+            }
+            self.dyn_pending.remove(&v);
+            let job = self.jobs.get_mut(&v).expect("victim is a known job");
+            job.state = JobState::Queued;
+            job.start_time = None;
+            job.cores_allocated = 0;
+            job.backfilled = false;
+        }
+        Ok(victims)
+    }
+
+    /// A failed node returned to service.
+    pub fn node_repaired(&mut self, node: dynbatch_core::NodeId) -> Result<()> {
+        self.cluster.repair_node(node)
+    }
+
+    /// Applies a scheduler-initiated malleable resize.
+    fn resize(&mut self, r: dynbatch_sched::ResizeDecision) -> Result<Applied> {
+        let job = self.jobs.get(&r.job).ok_or(Error::UnknownJob(r.job))?;
+        if !job.state.is_active() {
+            return Err(Error::InvalidState {
+                job: r.job,
+                operation: "resize",
+                state: "not active",
+            });
+        }
+        debug_assert_eq!(job.cores_allocated, r.from_cores, "{}: resize base mismatch", r.job);
+        let changed = if r.to_cores > r.from_cores {
+            self.cluster.expand(r.job, r.to_cores - r.from_cores, self.alloc_policy)?
+        } else {
+            let give_back = r.from_cores - r.to_cores;
+            let mut alloc = self
+                .cluster
+                .allocation_of(r.job)
+                .ok_or(Error::UnknownJob(r.job))?
+                .clone();
+            let part = alloc.take(give_back);
+            self.cluster.release_partial(r.job, &part)?;
+            part
+        };
+        let job = self.jobs.get_mut(&r.job).expect("checked above");
+        job.cores_allocated = r.to_cores;
+        Ok(Applied::Resized { job: r.job, from_cores: r.from_cores, to_cores: r.to_cores, changed })
+    }
+
+    /// The pre-reserve a job receives at start under the guaranteeing
+    /// policy (its execution model's dynamic demand), 0 otherwise.
+    fn reserve_for(&self, job: &Job) -> u32 {
+        if self.guarantee_evolving && job.spec.class == dynbatch_core::JobClass::Evolving {
+            job.spec.exec.extra_cores()
+        } else {
+            0
+        }
+    }
+
+    /// Times out negotiated dynamic requests whose deadline has passed:
+    /// each expired job returns to `Running` and its application is told
+    /// the request failed (it may retry). Returns the expired jobs.
+    pub fn expire_dyn_requests(&mut self, now: SimTime) -> Vec<JobId> {
+        let expired: Vec<JobId> = self
+            .dyn_pending
+            .iter()
+            .filter(|(_, p)| p.deadline.is_some_and(|d| now >= d))
+            .map(|(&j, _)| j)
+            .collect();
+        for &id in &expired {
+            self.dyn_pending.remove(&id);
+            if let Some(job) = self.jobs.get_mut(&id) {
+                if job.state == JobState::DynQueued {
+                    job.state = JobState::Running;
+                }
+            }
+        }
+        expired
+    }
+
+    /// Requeues a running backfilled job (preempted for a dynamic request).
+    /// Its progress is lost; it competes in the queue again.
+    fn preempt(&mut self, id: JobId, _now: SimTime) -> Result<()> {
+        let job = self.jobs.get_mut(&id).ok_or(Error::UnknownJob(id))?;
+        if !job.state.is_active() {
+            return Err(Error::InvalidState {
+                job: id,
+                operation: "preempt",
+                state: "not active",
+            });
+        }
+        self.cluster.release_all(id)?;
+        self.dyn_pending.remove(&id);
+        job.state = JobState::Queued;
+        job.start_time = None;
+        job.cores_allocated = 0;
+        job.backfilled = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynbatch_core::{
+        DfsConfig, ExecutionModel, GroupId, SchedulerConfig, SimDuration, UserId,
+    };
+    use dynbatch_sched::Maui;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn rigid(name: &str, user: u32, cores: u32, secs: u64) -> JobSpec {
+        JobSpec::rigid(
+            name,
+            UserId(user),
+            GroupId(0),
+            cores,
+            SimDuration::from_secs(secs),
+        )
+    }
+
+    fn server() -> PbsServer {
+        PbsServer::new(Cluster::homogeneous(15, 8), AllocPolicy::Pack)
+    }
+
+    fn hp_maui() -> Maui {
+        let mut cfg = SchedulerConfig::paper_eval();
+        cfg.dfs = DfsConfig::highest_priority();
+        Maui::new(cfg)
+    }
+
+    /// Drives one scheduler iteration against the server.
+    fn cycle(server: &mut PbsServer, maui: &mut Maui, now: SimTime) -> Vec<Applied> {
+        let snap = server.snapshot(now);
+        let outcome = maui.iterate(&snap);
+        server.apply(&outcome, now)
+    }
+
+    #[test]
+    fn qsub_then_start() {
+        let mut s = server();
+        let mut m = hp_maui();
+        let id = s.qsub(rigid("A", 0, 16, 100), t(0)).unwrap();
+        assert_eq!(s.queued_count(), 1);
+        let applied = cycle(&mut s, &mut m, t(0));
+        assert!(matches!(&applied[0], Applied::Started { job, .. } if *job == id));
+        assert_eq!(s.job(id).unwrap().state, JobState::Running);
+        assert_eq!(s.cluster().busy_cores(), 16);
+        s.cluster().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invalid_qsub_rejected() {
+        let mut s = server();
+        assert!(matches!(
+            s.qsub(rigid("X", 0, 500, 100), t(0)),
+            Err(Error::RequestExceedsSystem { .. })
+        ));
+        let mut bad = rigid("X", 0, 4, 100);
+        bad.cores = 0;
+        assert!(matches!(s.qsub(bad, t(0)), Err(Error::BadSpec(_))));
+    }
+
+    #[test]
+    fn finish_records_outcome() {
+        let mut s = server();
+        let mut m = hp_maui();
+        let id = s.qsub(rigid("A", 0, 16, 100), t(5)).unwrap();
+        cycle(&mut s, &mut m, t(10));
+        let outcome = s.job_finished(id, t(110)).unwrap();
+        assert_eq!(outcome.wait(), SimDuration::from_secs(5));
+        assert_eq!(outcome.runtime(), SimDuration::from_secs(100));
+        assert_eq!(s.cluster().idle_cores(), 120);
+        assert!(s.is_drained());
+        assert_eq!(s.accounting().outcomes().len(), 1);
+    }
+
+    #[test]
+    fn dynget_roundtrip_success() {
+        let mut s = server();
+        let mut m = hp_maui();
+        let id = s
+            .qsub(
+                JobSpec::evolving(
+                    "F",
+                    UserId(6),
+                    GroupId(0),
+                    8,
+                    ExecutionModel::esp_evolving(1846, 1230, 4),
+                ),
+                t(0),
+            )
+            .unwrap();
+        cycle(&mut s, &mut m, t(0));
+        assert_eq!(s.job(id).unwrap().state, JobState::Running);
+
+        // Application hits its threshold and calls tm_dynget.
+        s.tm_dynget(id, 4, t(295)).unwrap();
+        assert_eq!(s.job(id).unwrap().state, JobState::DynQueued);
+        // A second request while one is pending is refused.
+        assert!(matches!(s.tm_dynget(id, 4, t(296)), Err(Error::DynRequestPending(_))));
+
+        let applied = cycle(&mut s, &mut m, t(295));
+        assert!(applied.iter().any(|a| matches!(
+            a,
+            Applied::DynGranted { job, added } if *job == id && added.total_cores() == 4
+        )));
+        let job = s.job(id).unwrap();
+        assert_eq!(job.state, JobState::Running);
+        assert_eq!(job.cores_allocated, 12);
+        assert_eq!(job.dyn_requests, 1);
+        assert_eq!(job.dyn_grants, 1);
+        s.cluster().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dynget_rejected_when_full() {
+        let mut s = server();
+        let mut m = hp_maui();
+        let evolving = s
+            .qsub(
+                JobSpec::evolving(
+                    "F",
+                    UserId(6),
+                    GroupId(0),
+                    8,
+                    ExecutionModel::esp_evolving(1846, 1230, 4),
+                ),
+                t(0),
+            )
+            .unwrap();
+        let filler = s.qsub(rigid("big", 1, 112, 2000), t(0)).unwrap();
+        cycle(&mut s, &mut m, t(0));
+        assert_eq!(s.cluster().idle_cores(), 0);
+        let _ = filler;
+
+        s.tm_dynget(evolving, 4, t(295)).unwrap();
+        let applied = cycle(&mut s, &mut m, t(295));
+        assert!(applied.iter().any(|a| matches!(
+            a,
+            Applied::DynRejected { job, reason: DfsReject::NoResources } if *job == evolving
+        )));
+        // Back to Running; the application may retry.
+        assert_eq!(s.job(evolving).unwrap().state, JobState::Running);
+        s.tm_dynget(evolving, 4, t(460)).unwrap();
+        assert_eq!(s.job(evolving).unwrap().dyn_requests, 2);
+    }
+
+    #[test]
+    fn dynfree_releases_subset() {
+        let mut s = server();
+        let mut m = hp_maui();
+        let id = s.qsub(rigid("A", 0, 16, 1000), t(0)).unwrap();
+        cycle(&mut s, &mut m, t(0));
+        let alloc = s.cluster().allocation_of(id).unwrap().clone();
+        let mut part = Allocation::empty();
+        let (node, _) = alloc.entries().next().unwrap();
+        part.add(node, 4);
+        s.tm_dynfree(id, &part, t(100)).unwrap();
+        assert_eq!(s.job(id).unwrap().cores_allocated, 12);
+        assert_eq!(s.cluster().idle_cores(), 108);
+        // Releasing the entire allocation through tm_dynfree is refused.
+        let all = s.cluster().allocation_of(id).unwrap().clone();
+        assert!(s.tm_dynfree(id, &all, t(101)).is_err());
+        s.cluster().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn qdel_queued_and_running() {
+        let mut s = server();
+        let mut m = hp_maui();
+        let a = s.qsub(rigid("A", 0, 8, 100), t(0)).unwrap();
+        let b = s.qsub(rigid("B", 0, 8, 100), t(0)).unwrap();
+        cycle(&mut s, &mut m, t(0));
+        s.qdel(a, t(10)).unwrap();
+        assert_eq!(s.job(a).unwrap().state, JobState::Cancelled);
+        assert_eq!(s.cluster().cores_of(a), 0);
+        s.qdel(b, t(10)).unwrap();
+        assert!(s.is_drained());
+        // Double delete fails.
+        assert!(s.qdel(a, t(11)).is_err());
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let mut s = server();
+        let mut m = hp_maui();
+        let a = s.qsub(rigid("A", 0, 100, 500), t(0)).unwrap();
+        let b = s.qsub(rigid("B", 1, 100, 500), t(1)).unwrap();
+        cycle(&mut s, &mut m, t(1));
+        let snap = s.snapshot(t(2));
+        assert_eq!(snap.running.len(), 1);
+        assert_eq!(snap.running[0].id, a);
+        assert_eq!(snap.queued.len(), 1);
+        assert_eq!(snap.queued[0].id, b);
+        assert_eq!(snap.total_cores, 120);
+        assert!(snap.dyn_requests.is_empty());
+    }
+
+    #[test]
+    fn negotiated_request_survives_apply_and_expires() {
+        let mut s = server();
+        let mut m = hp_maui();
+        let evolving = s
+            .qsub(
+                JobSpec::evolving(
+                    "F",
+                    UserId(6),
+                    GroupId(0),
+                    8,
+                    ExecutionModel::esp_evolving(1000, 700, 4),
+                ),
+                t(0),
+            )
+            .unwrap();
+        let _filler = s.qsub(rigid("big", 1, 112, 2000), t(0)).unwrap();
+        cycle(&mut s, &mut m, t(0));
+        assert_eq!(s.cluster().idle_cores(), 0);
+
+        // Negotiated request with a deadline at t=500.
+        s.tm_dynget_negotiated(evolving, 4, Some(t(500)), t(100)).unwrap();
+        let applied = cycle(&mut s, &mut m, t(100));
+        assert!(applied.iter().any(|a| matches!(a, Applied::DynDeferred { .. })));
+        // Still pending: the job stays DynQueued across the iteration.
+        assert_eq!(s.job(evolving).unwrap().state, JobState::DynQueued);
+        // Before the deadline nothing expires.
+        assert!(s.expire_dyn_requests(t(400)).is_empty());
+        assert_eq!(s.job(evolving).unwrap().state, JobState::DynQueued);
+        // At the deadline it expires and the job resumes Running.
+        let expired = s.expire_dyn_requests(t(500));
+        assert_eq!(expired, vec![evolving]);
+        assert_eq!(s.job(evolving).unwrap().state, JobState::Running);
+        // The snapshot carries no stale request afterwards.
+        assert!(s.snapshot(t(501)).dyn_requests.is_empty());
+    }
+
+    #[test]
+    fn guarantee_reserve_tracked_and_consumed() {
+        let mut s = server();
+        s.set_guarantee_evolving(true);
+        let mut m = {
+            let mut cfg = SchedulerConfig::paper_eval();
+            cfg.dfs = DfsConfig::highest_priority();
+            cfg.guarantee_evolving = true;
+            Maui::new(cfg)
+        };
+        let id = s
+            .qsub(
+                JobSpec::evolving(
+                    "F",
+                    UserId(6),
+                    GroupId(0),
+                    8,
+                    ExecutionModel::esp_evolving(1000, 700, 4),
+                ),
+                t(0),
+            )
+            .unwrap();
+        cycle(&mut s, &mut m, t(0));
+        assert_eq!(s.job(id).unwrap().reserved_extra, 4);
+        assert_eq!(s.reserved_unused_cores(), 4);
+        // The grant consumes the reserve.
+        s.tm_dynget(id, 4, t(160)).unwrap();
+        cycle(&mut s, &mut m, t(160));
+        let job = s.job(id).unwrap();
+        assert_eq!(job.dyn_grants, 1);
+        assert_eq!(job.cores_allocated, 12);
+        assert_eq!(job.reserved_extra, 0);
+        assert_eq!(s.reserved_unused_cores(), 0);
+        s.cluster().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn malleable_resize_round_trip() {
+        let mut s = server();
+        let mut m = {
+            let mut cfg = SchedulerConfig::paper_eval();
+            cfg.dfs = DfsConfig::highest_priority();
+            cfg.grow_malleable_on_idle = true;
+            Maui::new(cfg)
+        };
+        let id = s
+            .qsub(JobSpec::malleable("pool", UserId(0), GroupId(0), 16, 8, 64, 16_000), t(0))
+            .unwrap();
+        // First cycle starts it; second grows it onto the idle machine.
+        cycle(&mut s, &mut m, t(0));
+        assert_eq!(s.job(id).unwrap().cores_allocated, 16);
+        let applied = cycle(&mut s, &mut m, t(1));
+        let grew = applied.iter().any(|a| matches!(
+            a,
+            Applied::Resized { job, from_cores: 16, to_cores: 64, .. } if *job == id
+        ));
+        assert!(grew, "{applied:?}");
+        assert_eq!(s.job(id).unwrap().cores_allocated, 64);
+        assert_eq!(s.cluster().cores_of(id), 64);
+        s.cluster().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn moldable_start_uses_chosen_width() {
+        let mut s = server();
+        let mut m = hp_maui();
+        let id = s
+            .qsub(JobSpec::moldable("mold", UserId(0), GroupId(0), 8, 8, 48, 9_600), t(0))
+            .unwrap();
+        let applied = cycle(&mut s, &mut m, t(0));
+        assert!(applied.iter().any(|a| matches!(
+            a,
+            Applied::Started { job, alloc, .. } if *job == id && alloc.total_cores() == 48
+        )));
+        assert_eq!(s.job(id).unwrap().cores_allocated, 48);
+    }
+
+    #[test]
+    fn dyn_requests_carry_fifo_seq() {
+        let mut s = server();
+        let mut m = hp_maui();
+        let a = s
+            .qsub(
+                JobSpec::evolving("F", UserId(1), GroupId(0), 8, ExecutionModel::esp_evolving(1000, 700, 4)),
+                t(0),
+            )
+            .unwrap();
+        let b = s
+            .qsub(
+                JobSpec::evolving("G", UserId(2), GroupId(0), 8, ExecutionModel::esp_evolving(1000, 700, 4)),
+                t(0),
+            )
+            .unwrap();
+        cycle(&mut s, &mut m, t(0));
+        s.tm_dynget(b, 4, t(100)).unwrap();
+        s.tm_dynget(a, 4, t(160)).unwrap();
+        let snap = s.snapshot(t(161));
+        let seq_of = |j: JobId| snap.dyn_requests.iter().find(|r| r.job == j).unwrap().seq;
+        assert!(seq_of(b) < seq_of(a), "b asked first");
+    }
+}

@@ -1,0 +1,600 @@
+//! The discrete-event batch-system simulator.
+//!
+//! [`BatchSim`] couples the Torque-like server, the extended Maui scheduler
+//! and the cluster substrate over a deterministic event queue. It stands in
+//! for the paper's physical 15-node testbed: the decision code (scheduler,
+//! server state machine, DFS accounting) is the same code the threaded
+//! daemon runs; only the passage of time is virtual.
+//!
+//! Scheduling cadence follows Maui's triggers: an iteration runs after
+//! every batch of simultaneous events that changes job or resource state
+//! (submission, completion, dynamic request, failure) — the paper's
+//! "Maui will instantly start a new iteration when a job or resource state
+//! change occurs".
+
+use crate::event::Event;
+use dynbatch_cluster::Cluster;
+use dynbatch_core::{
+    ExecutionModel, JobId, JobState, PhasedModel, SchedulerConfig, SimDuration, SimTime,
+};
+use dynbatch_metrics::UtilizationRecorder;
+use dynbatch_server::{Applied, PbsServer};
+use dynbatch_sched::Maui;
+use dynbatch_simtime::{EventQueue, Token};
+use dynbatch_workload::WorkloadItem;
+use std::collections::HashMap;
+
+/// Per-execution runtime bookkeeping for an active job.
+#[derive(Debug)]
+struct RunState {
+    gen: u64,
+    start: SimTime,
+    finish_token: Option<Token>,
+    kind: RunKind,
+}
+
+#[derive(Debug)]
+enum RunKind {
+    Fixed,
+    Evolving {
+        granted: bool,
+    },
+    Phased {
+        model: Box<PhasedModel>,
+        phase: usize,
+        phase_start: SimTime,
+        phase_token: Option<Token>,
+    },
+    /// A malleable work pool: remaining work drains at `cores` per
+    /// millisecond; resizes rebase the drain rate.
+    WorkPool {
+        remaining_core_millis: u64,
+        rate_cores: u32,
+        last_update: SimTime,
+    },
+}
+
+/// Counters the experiments report beyond per-job outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Scheduler iterations executed.
+    pub cycles: u64,
+    /// Dynamic requests granted.
+    pub dyn_granted: u64,
+    /// Dynamic requests rejected (any reason).
+    pub dyn_rejected: u64,
+    /// Dynamic rejections specifically due to the fairness policy (not
+    /// resource shortage).
+    pub dyn_rejected_fairness: u64,
+    /// Jobs preempted for dynamic requests.
+    pub preemptions: u64,
+    /// Jobs killed at their walltime limit.
+    pub walltime_kills: u64,
+    /// Total delay charged to queued jobs by granted dynamic allocations,
+    /// in milliseconds (the DFS ledger's raw material).
+    pub delay_charged_ms: u64,
+    /// Negotiated requests deferred (kept queued) at least once.
+    pub dyn_deferred: u64,
+    /// Negotiated requests that timed out without a grant.
+    pub dyn_expired: u64,
+    /// Malleable resizes applied (shrinks + grows).
+    pub malleable_resizes: u64,
+}
+
+/// The simulator.
+pub struct BatchSim {
+    queue: EventQueue<Event>,
+    server: PbsServer,
+    maui: Maui,
+    util: UtilizationRecorder,
+    items: Vec<WorkloadItem>,
+    runs: HashMap<JobId, RunState>,
+    gens: HashMap<JobId, u64>,
+    stats: SimStats,
+    first_submit: Option<SimTime>,
+    last_completion: SimTime,
+}
+
+impl BatchSim {
+    /// A simulator over `cluster` with scheduler configuration `config`.
+    pub fn new(cluster: Cluster, config: SchedulerConfig) -> Self {
+        let capacity = cluster.total_cores();
+        let alloc = config.alloc;
+        let guarantee = config.guarantee_evolving;
+        let mut server = PbsServer::new(cluster, alloc);
+        server.set_guarantee_evolving(guarantee);
+        BatchSim {
+            queue: EventQueue::new(),
+            server,
+            maui: Maui::new(config),
+            util: UtilizationRecorder::new(capacity, SimTime::ZERO),
+            items: Vec::new(),
+            runs: HashMap::new(),
+            gens: HashMap::new(),
+            stats: SimStats::default(),
+            first_submit: None,
+            last_completion: SimTime::ZERO,
+        }
+    }
+
+    /// Loads a workload; submissions become events.
+    pub fn load(&mut self, items: &[WorkloadItem]) {
+        for item in items {
+            let idx = self.items.len() as u32;
+            self.items.push(item.clone());
+            self.queue.schedule(item.at, Event::Submit(idx));
+            self.first_submit =
+                Some(self.first_submit.map_or(item.at, |f: SimTime| f.min(item.at)));
+        }
+    }
+
+    /// Injects a node failure at `at`.
+    pub fn inject_failure(&mut self, at: SimTime, node: dynbatch_core::NodeId) {
+        self.queue.schedule(at, Event::FailNode(node));
+    }
+
+    /// Injects a node repair at `at`.
+    pub fn inject_repair(&mut self, at: SimTime, node: dynbatch_core::NodeId) {
+        self.queue.schedule(at, Event::RepairNode(node));
+    }
+
+    /// Runs to completion (event queue drained).
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Processes one timestamp group (all simultaneous events plus the
+    /// scheduler iteration that follows). Returns `false` when drained.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        let now = ev.at;
+        self.apply_event(ev.payload, now);
+        while self.queue.peek_time() == Some(now) {
+            let ev = self.queue.pop().expect("peeked event exists");
+            self.apply_event(ev.payload, now);
+        }
+        self.run_cycle(now);
+        self.util.record(now, self.server.cluster().busy_cores());
+        true
+    }
+
+    /// The server (for inspection).
+    pub fn server(&self) -> &PbsServer {
+        &self.server
+    }
+
+    /// The scheduler (for inspection).
+    pub fn maui(&self) -> &Maui {
+        &self.maui
+    }
+
+    /// Simulation statistics.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// The utilization recorder.
+    pub fn utilization(&self) -> &UtilizationRecorder {
+        &self.util
+    }
+
+    /// First submission instant (once a workload is loaded).
+    pub fn first_submit(&self) -> SimTime {
+        self.first_submit.unwrap_or(SimTime::ZERO)
+    }
+
+    /// Last completion instant seen so far.
+    pub fn last_completion(&self) -> SimTime {
+        self.last_completion
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    fn gen_of(&self, job: JobId) -> u64 {
+        self.gens.get(&job).copied().unwrap_or(0)
+    }
+
+    fn is_current(&self, job: JobId, gen: u64) -> bool {
+        self.gen_of(job) == gen && self.runs.contains_key(&job)
+    }
+
+    fn apply_event(&mut self, ev: Event, now: SimTime) {
+        match ev {
+            Event::Submit(idx) => {
+                let spec = self.items[idx as usize].spec.clone();
+                self.server.qsub(spec, now).expect("workload spec is valid");
+            }
+            Event::Finish { job, gen } => {
+                if !self.is_current(job, gen) {
+                    return;
+                }
+                self.finish_job(job, now);
+            }
+            Event::WallKill { job, gen } => {
+                if !self.is_current(job, gen) {
+                    return;
+                }
+                // Still active at the walltime limit: the server kills it.
+                if self.server.job(job).map(|j| j.state.is_active()).unwrap_or(false) {
+                    self.cancel_run_events(job);
+                    self.runs.remove(&job);
+                    self.server.qdel(job, now).expect("active job killable");
+                    self.stats.walltime_kills += 1;
+                    self.charge_fairshare(job, now);
+                }
+            }
+            Event::RequestPoint { job, gen, attempt } => {
+                if !self.is_current(job, gen) {
+                    return;
+                }
+                let granted = match &self.runs[&job].kind {
+                    RunKind::Evolving { granted } => *granted,
+                    _ => return,
+                };
+                if granted {
+                    return; // already expanded; later points are moot
+                }
+                let (extra, timeout) = {
+                    let spec = &self.server.job(job).expect("running job exists").spec;
+                    (spec.exec.extra_cores(), spec.dyn_timeout)
+                };
+                let _ = attempt;
+                match timeout {
+                    None => {
+                        // A pending request (unlikely here) is a no-op.
+                        let _ = self.server.tm_dynget(job, extra, now);
+                    }
+                    Some(t) => {
+                        // Negotiation: the request may outlive this cycle;
+                        // an expiry event times it out.
+                        let deadline = now + t;
+                        if self
+                            .server
+                            .tm_dynget_negotiated(job, extra, Some(deadline), now)
+                            .is_ok()
+                        {
+                            self.queue.schedule(deadline, Event::DynExpire { job, gen });
+                        }
+                    }
+                }
+            }
+            Event::DynExpire { job, gen } => {
+                if !self.is_current(job, gen) {
+                    return;
+                }
+                let expired = self.server.expire_dyn_requests(now);
+                self.stats.dyn_expired += expired.len() as u64;
+            }
+            Event::PhaseEnd { job, gen, phase } => {
+                if !self.is_current(job, gen) {
+                    return;
+                }
+                self.phase_end(job, phase as usize, now);
+            }
+            Event::Wake => {}
+            Event::FailNode(node) => {
+                let victims = self.server.node_failed(node, now).expect("known node");
+                for v in victims {
+                    self.cancel_run_events(v);
+                    self.runs.remove(&v);
+                    // The job requeued; its next execution is a new
+                    // generation.
+                    *self.gens.entry(v).or_insert(0) += 1;
+                }
+            }
+            Event::RepairNode(node) => {
+                self.server.node_repaired(node).expect("known node");
+            }
+        }
+        self.util.record(now, self.server.cluster().busy_cores());
+    }
+
+    /// One scheduler iteration plus application of its outcome.
+    fn run_cycle(&mut self, now: SimTime) {
+        self.stats.cycles += 1;
+        let snapshot = self.server.snapshot(now);
+        let outcome = self.maui.iterate(&snapshot);
+        for d in &outcome.dyn_decisions {
+            if let dynbatch_sched::DynDecision::Granted { delays, .. } = d {
+                self.stats.delay_charged_ms +=
+                    delays.iter().map(|c| c.delay.as_millis()).sum::<u64>();
+            }
+        }
+        let applied = self.server.apply(&outcome, now);
+        let mut wake = false;
+        for action in applied {
+            match action {
+                Applied::Started { job, .. } => {
+                    // A malleable job that starts this instant is not in the
+                    // snapshot's running set yet; wake the scheduler again so
+                    // grow-on-idle can consider it immediately.
+                    if self.maui.config().grow_malleable_on_idle
+                        && self.server.job(job).map(|j| j.spec.malleable.is_some()).unwrap_or(false)
+                    {
+                        wake = true;
+                    }
+                    self.on_started(job, now);
+                }
+                Applied::DynGranted { job, .. } => {
+                    self.stats.dyn_granted += 1;
+                    self.on_granted(job, now);
+                }
+                Applied::DynRejected { job: _, reason } => {
+                    self.stats.dyn_rejected += 1;
+                    if reason != dynbatch_sched::DfsReject::NoResources {
+                        self.stats.dyn_rejected_fairness += 1;
+                    }
+                    // ESP-style jobs retry at their pre-scheduled points;
+                    // phased jobs retry at the next adaptation.
+                }
+                Applied::DynDeferred { .. } => {
+                    self.stats.dyn_deferred += 1;
+                }
+                Applied::Resized { job, to_cores, .. } => {
+                    self.stats.malleable_resizes += 1;
+                    self.on_resized(job, to_cores, now);
+                }
+                Applied::Preempted { job } => {
+                    self.stats.preemptions += 1;
+                    self.cancel_run_events(job);
+                    self.runs.remove(&job);
+                    *self.gens.entry(job).or_insert(0) += 1;
+                }
+            }
+        }
+        if wake {
+            self.queue.schedule(now, Event::Wake);
+        }
+    }
+
+    fn on_started(&mut self, job: JobId, now: SimTime) {
+        let j = self.server.job(job).expect("started job exists");
+        let exec = j.spec.exec.clone();
+        let cores = j.cores_allocated;
+        let walltime = j.spec.walltime;
+        let gen = self.gen_of(job);
+
+        let mut run = RunState { gen, start: now, finish_token: None, kind: RunKind::Fixed };
+        match &exec {
+            ExecutionModel::Fixed { duration } => {
+                run.finish_token =
+                    Some(self.queue.schedule(now + *duration, Event::Finish { job, gen }));
+            }
+            ExecutionModel::Evolving { set, .. } => {
+                run.kind = RunKind::Evolving { granted: false };
+                run.finish_token =
+                    Some(self.queue.schedule(now + *set, Event::Finish { job, gen }));
+                for (i, offset) in exec.request_offsets().into_iter().enumerate() {
+                    self.queue.schedule(
+                        now + offset,
+                        Event::RequestPoint { job, gen, attempt: i as u32 },
+                    );
+                }
+            }
+            ExecutionModel::WorkPool { work_core_millis } => {
+                let dur = exec.static_duration(cores);
+                run.kind = RunKind::WorkPool {
+                    remaining_core_millis: *work_core_millis,
+                    rate_cores: cores,
+                    last_update: now,
+                };
+                run.finish_token =
+                    Some(self.queue.schedule(now + dur, Event::Finish { job, gen }));
+            }
+            ExecutionModel::Phased(model) => {
+                // Growth wanted already for phase 0 would mean the user
+                // under-sized the base allocation; request before computing
+                // the phase would race the start — model it as a request at
+                // the first boundary instead (finite phases guarantee one).
+                let dur = model.phase_duration(0, cores);
+                let token =
+                    self.queue.schedule(now + dur, Event::PhaseEnd { job, gen, phase: 0 });
+                run.kind = RunKind::Phased {
+                    model: Box::new(model.clone()),
+                    phase: 0,
+                    phase_start: now,
+                    phase_token: Some(token),
+                };
+            }
+        }
+        // The walltime kill guard (a no-op for well-behaved jobs). One
+        // grace millisecond lets a job whose runtime equals its walltime
+        // exactly — every job with an unpadded walltime — complete before
+        // the reaper looks at it, mirroring a real RMS's kill latency.
+        self.queue.schedule(
+            now + walltime + SimDuration::from_millis(1),
+            Event::WallKill { job, gen },
+        );
+        self.runs.insert(job, run);
+    }
+
+    /// Rebases a malleable job's work-pool drain after a resize and
+    /// reschedules its completion.
+    fn on_resized(&mut self, job: JobId, new_cores: u32, now: SimTime) {
+        let Some(run) = self.runs.get_mut(&job) else {
+            return;
+        };
+        let gen = run.gen;
+        let RunKind::WorkPool { remaining_core_millis, rate_cores, last_update } = &mut run.kind
+        else {
+            return;
+        };
+        let drained =
+            (*rate_cores as u64).saturating_mul(now.duration_since(*last_update).as_millis());
+        *remaining_core_millis = remaining_core_millis.saturating_sub(drained);
+        *rate_cores = new_cores;
+        *last_update = now;
+        let finish_in =
+            SimDuration::from_millis(remaining_core_millis.div_ceil(new_cores.max(1) as u64));
+        let remaining = *remaining_core_millis;
+        if let Some(tok) = run.finish_token.take() {
+            self.queue.cancel(tok);
+        }
+        let token = self.queue.schedule(now + finish_in, Event::Finish { job, gen });
+        if let Some(run) = self.runs.get_mut(&job) {
+            run.finish_token = Some(token);
+        }
+        debug_assert!(remaining > 0 || finish_in.is_zero());
+    }
+
+    fn on_granted(&mut self, job: JobId, now: SimTime) {
+        if !self.runs.contains_key(&job) {
+            return;
+        }
+        let (start, gen) = {
+            let run = &self.runs[&job];
+            (run.start, run.gen)
+        };
+        let server_job = self.server.job(job).expect("granted job exists");
+        let exec = server_job.spec.exec.clone();
+        let cores = server_job.cores_allocated;
+
+        enum Plan {
+            None,
+            RescheduleFinish(SimTime),
+            ReschedulePhase { at: SimTime, phase: u32 },
+        }
+        let plan = match &self.runs[&job].kind {
+            RunKind::Fixed | RunKind::WorkPool { .. } => Plan::None,
+            RunKind::Evolving { .. } => {
+                let elapsed = now.duration_since(start);
+                let total = exec
+                    .evolved_total(elapsed)
+                    .expect("evolving job has an evolution model");
+                Plan::RescheduleFinish(start + total)
+            }
+            RunKind::Phased { model, phase, phase_start, .. } => {
+                // Redistribute the remaining work of the current phase onto
+                // the expanded allocation.
+                let old_cores = cores - exec.extra_cores();
+                let old_dur = model.phase_duration(*phase, old_cores);
+                let elapsed = now.duration_since(*phase_start);
+                let remaining_frac = if old_dur.is_zero() {
+                    0.0
+                } else {
+                    1.0 - (elapsed.as_secs_f64() / old_dur.as_secs_f64()).min(1.0)
+                };
+                let new_remaining = model.phase_duration(*phase, cores).mul_f64(remaining_frac);
+                Plan::ReschedulePhase { at: now + new_remaining, phase: *phase as u32 }
+            }
+        };
+
+        match plan {
+            Plan::None => {}
+            Plan::RescheduleFinish(at) => {
+                let run = self.runs.get_mut(&job).expect("run exists");
+                if let Some(tok) = run.finish_token.take() {
+                    self.queue.cancel(tok);
+                }
+                let token = self.queue.schedule(at, Event::Finish { job, gen });
+                let run = self.runs.get_mut(&job).expect("run exists");
+                run.finish_token = Some(token);
+                if let RunKind::Evolving { granted } = &mut run.kind {
+                    *granted = true;
+                }
+            }
+            Plan::ReschedulePhase { at, phase } => {
+                if let Some(run) = self.runs.get_mut(&job) {
+                    if let RunKind::Phased { phase_token, .. } = &mut run.kind {
+                        if let Some(tok) = phase_token.take() {
+                            self.queue.cancel(tok);
+                        }
+                    }
+                }
+                let token = self.queue.schedule(at, Event::PhaseEnd { job, gen, phase });
+                if let Some(run) = self.runs.get_mut(&job) {
+                    if let RunKind::Phased { phase_token, .. } = &mut run.kind {
+                        *phase_token = Some(token);
+                    }
+                }
+            }
+        }
+    }
+
+    fn phase_end(&mut self, job: JobId, phase: usize, now: SimTime) {
+        let (gen, model) = {
+            let Some(run) = self.runs.get_mut(&job) else {
+                return;
+            };
+            let gen = run.gen;
+            let RunKind::Phased { model, phase: cur, phase_token, .. } = &mut run.kind else {
+                return;
+            };
+            debug_assert_eq!(*cur, phase);
+            *phase_token = None;
+            (gen, model.clone())
+        };
+        let next = phase + 1;
+        if next >= model.phases.len() {
+            self.finish_job(job, now);
+            return;
+        }
+        if let Some(run) = self.runs.get_mut(&job) {
+            if let RunKind::Phased { phase: cur, phase_start, .. } = &mut run.kind {
+                *cur = next;
+                *phase_start = now;
+            }
+        }
+        let cores = self.server.job(job).expect("running job exists").cores_allocated;
+        // Grid adaptation: if the next phase bursts the per-process
+        // threshold, ask for more resources (tm_dynget through the mother
+        // superior). The answer lands in this timestamp group's scheduler
+        // cycle; on grant the phase is rescheduled from its very start.
+        if model.wants_growth(next, cores)
+            && self.server.job(job).map(|j| j.state == JobState::Running).unwrap_or(false)
+        {
+            let _ = self.server.tm_dynget(job, model.extra_cores, now);
+        }
+        let dur = model.phase_duration(next, cores);
+        let token =
+            self.queue.schedule(now + dur, Event::PhaseEnd { job, gen, phase: next as u32 });
+        if let Some(run) = self.runs.get_mut(&job) {
+            if let RunKind::Phased { phase_token, .. } = &mut run.kind {
+                *phase_token = Some(token);
+            }
+        }
+    }
+
+    fn finish_job(&mut self, job: JobId, now: SimTime) {
+        self.cancel_run_events(job);
+        self.runs.remove(&job);
+        self.charge_fairshare(job, now);
+        self.server.job_finished(job, now).expect("active job finishes");
+        self.maui.dfs_mut().job_left_queue(job);
+        self.last_completion = self.last_completion.max(now);
+    }
+
+    fn charge_fairshare(&mut self, job: JobId, now: SimTime) {
+        if let Ok(j) = self.server.job(job) {
+            if let Some(start) = j.start_time {
+                let span = now.duration_since(start);
+                self.maui
+                    .fairshare_mut()
+                    .charge_span(j.spec.user, j.cores_allocated.max(j.spec.cores), span);
+            }
+        }
+    }
+
+    fn cancel_run_events(&mut self, job: JobId) {
+        if let Some(run) = self.runs.get_mut(&job) {
+            if let Some(tok) = run.finish_token.take() {
+                self.queue.cancel(tok);
+            }
+            if let RunKind::Phased { phase_token, .. } = &mut run.kind {
+                if let Some(tok) = phase_token.take() {
+                    self.queue.cancel(tok);
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: elapsed runtime helper for tests.
+pub fn runtime_of(start: SimTime, end: SimTime) -> SimDuration {
+    end.duration_since(start)
+}

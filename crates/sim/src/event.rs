@@ -1,0 +1,63 @@
+//! Simulation events.
+
+use dynbatch_core::{JobId, NodeId};
+
+/// Everything that can happen in the simulated batch system.
+///
+/// Events that concern a specific *execution* of a job carry the job's
+/// generation counter: when a job is preempted and restarted, its
+/// generation bumps and stale events from the earlier execution are
+/// ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Submit workload item `idx`.
+    Submit(u32),
+    /// The application of `job` exits.
+    Finish {
+        /// The job.
+        job: JobId,
+        /// Execution generation.
+        gen: u64,
+    },
+    /// `job`'s walltime expires; kill it if still active.
+    WallKill {
+        /// The job.
+        job: JobId,
+        /// Execution generation.
+        gen: u64,
+    },
+    /// An ESP-style evolving job reaches a dynamic-request point
+    /// (16 % / 25 % of SET).
+    RequestPoint {
+        /// The job.
+        job: JobId,
+        /// Execution generation.
+        gen: u64,
+        /// Which request point (0 = first).
+        attempt: u32,
+    },
+    /// A negotiated dynamic request's deadline passes; expire it if still
+    /// pending.
+    DynExpire {
+        /// The job.
+        job: JobId,
+        /// Execution generation.
+        gen: u64,
+    },
+    /// A phased (Quadflow-style) job finishes phase `phase`.
+    PhaseEnd {
+        /// The job.
+        job: JobId,
+        /// Execution generation.
+        gen: u64,
+        /// The phase that just completed.
+        phase: u32,
+    },
+    /// An extra scheduler wake-up (used after a malleable job starts so
+    /// the next iteration can grow it; a no-op state-wise).
+    Wake,
+    /// Node failure injection.
+    FailNode(NodeId),
+    /// Node repair injection.
+    RepairNode(NodeId),
+}

@@ -1,0 +1,20 @@
+//! # dynbatch-sim
+//!
+//! The discrete-event batch-system simulator and experiment runner.
+//!
+//! [`BatchSim`] drives the identical server/scheduler code the threaded
+//! daemon runs, but over virtual time — the substitution that lets this
+//! repository reproduce the paper's multi-hour cluster experiments in
+//! milliseconds, deterministically. [`run_experiment`] wraps a full run
+//! into the aggregates the paper reports.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch_sim;
+pub mod event;
+pub mod experiment;
+
+pub use batch_sim::{BatchSim, SimStats};
+pub use event::Event;
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};

@@ -1,0 +1,21 @@
+//! # dynbatch-simtime
+//!
+//! A small, deterministic discrete-event simulation (DES) engine.
+//!
+//! The paper's evaluation ran on a real 15-node cluster for hours of wall
+//! time. We reproduce the same scheduling decisions in virtual time: the
+//! batch-system state machines are driven by an [`EventQueue`] whose
+//! ordering is fully deterministic — events fire in (time, insertion
+//! sequence) order, so identical inputs always produce identical runs.
+//!
+//! The engine is generic over the event payload type and deliberately tiny:
+//! the orchestration logic lives in `dynbatch-sim`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod queue;
+pub mod rng;
+
+pub use queue::{EventQueue, ScheduledEvent, Token};
+pub use rng::SplitMix64;

@@ -1,0 +1,260 @@
+//! The deterministic event queue.
+
+use dynbatch_core::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(u64);
+
+/// An event as stored in the queue.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Tie-breaking sequence number (insertion order).
+    pub seq: u64,
+    /// The payload.
+    pub payload: E,
+}
+
+struct HeapEntry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+    cancelled_slot: usize,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq breaks time ties by insertion order, which makes the
+        // whole simulation deterministic.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events fire in `(time, insertion sequence)` order. Cancellation is O(1)
+/// (lazy): cancelled events are skipped on pop.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    cancelled: Vec<bool>,
+    next_seq: u64,
+    now: SimTime,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: Vec::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            live: 0,
+        }
+    }
+
+    /// The current virtual time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is in the past (before the last popped event's time):
+    /// causality violations are always bugs.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> Token {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = self.cancelled.len();
+        self.cancelled.push(false);
+        self.heap.push(HeapEntry { at, seq, payload, cancelled_slot: slot });
+        self.live += 1;
+        Token(slot as u64)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending.
+    pub fn cancel(&mut self, token: Token) -> bool {
+        let slot = token.0 as usize;
+        match self.cancelled.get_mut(slot) {
+            Some(flag) if !*flag => {
+                *flag = true;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Pops the next live event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled[entry.cancelled_slot] {
+                continue;
+            }
+            self.cancelled[entry.cancelled_slot] = true; // slot consumed
+            self.live -= 1;
+            debug_assert!(entry.at >= self.now);
+            self.now = entry.at;
+            return Some(ScheduledEvent { at: entry.at, seq: entry.seq, payload: entry.payload });
+        }
+        None
+    }
+
+    /// The time of the next live event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // Fast path: nothing cancelled, the heap top is authoritative.
+        if self.live == self.heap.len() {
+            return self.heap.peek().map(|e| e.at);
+        }
+        // Slow path: find the minimum live entry.
+        self.heap
+            .iter()
+            .filter(|e| !self.cancelled[e.cancelled_slot])
+            .map(|e| (e.at, e.seq))
+            .min()
+            .map(|(at, _)| at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "c");
+        q.schedule(t(1), "a");
+        q.schedule(t(3), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), 1);
+        q.schedule(t(1), 2);
+        q.schedule(t(1), 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut q = EventQueue::new();
+        q.schedule(t(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), t(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), ());
+        q.pop();
+        q.schedule(t(1), ());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert_eq!(q.peek_time(), Some(t(1)));
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        q.pop();
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn same_time_scheduling_during_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), 1);
+        let e = q.pop().unwrap();
+        assert_eq!(e.payload, 1);
+        // Scheduling at the current instant is allowed (zero-delay events).
+        q.schedule(q.now(), 2);
+        assert_eq!(q.pop().unwrap().payload, 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_is_deterministic() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 0);
+        q.schedule(t(20), 1);
+        let mut fired = Vec::new();
+        while let Some(e) = q.pop() {
+            fired.push(e.payload);
+            if e.payload == 0 {
+                q.schedule(t(15), 2);
+                q.schedule(t(15), 3);
+            }
+        }
+        assert_eq!(fired, vec![0, 2, 3, 1]);
+    }
+}

@@ -1,0 +1,360 @@
+//! The ESP benchmark and the paper's dynamic variant (Table I).
+//!
+//! The original ESP system-utilization benchmark (Wong et al., SC 2000)
+//! runs 230 jobs of 14 types, each sized as a fraction of the whole
+//! machine, with a prescribed submission schedule and two full-machine
+//! "Z" jobs that must run at highest priority with backfilling disabled.
+//!
+//! The paper modifies ESP so that types F, G, H, I and J (69 jobs, 30 %)
+//! are *evolving*: each requests 4 extra cores after 16 % of its static
+//! execution time (modelled on the Quadflow Cylinder case), retries once
+//! at 25 %, and — if granted — finishes after its *dynamic* execution time
+//! (DET) instead of its *static* one (SET).
+
+use dynbatch_core::{
+    CredRegistry, ExecutionModel, JobClass, JobSpec, SimDuration, SimTime, SpeedupModel,
+};
+use dynbatch_simtime::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EspJobType {
+    /// Type letter ("A" … "M", "Z").
+    pub name: &'static str,
+    /// Submitting user (one per rigid type; all evolving types belong to
+    /// `user06`).
+    pub user: &'static str,
+    /// Job size as a fraction of total system cores.
+    pub size_frac: f64,
+    /// Number of instances in the workload.
+    pub count: usize,
+    /// Static execution time, seconds.
+    pub set_secs: u64,
+    /// Dynamic execution time, seconds (`None` for rigid types).
+    pub det_secs: Option<u64>,
+}
+
+/// The paper's Table I, verbatim.
+pub const ESP_TABLE: [EspJobType; 14] = [
+    EspJobType { name: "A", user: "user01", size_frac: 0.03125, count: 75, set_secs: 267, det_secs: None },
+    EspJobType { name: "B", user: "user02", size_frac: 0.06250, count: 9, set_secs: 322, det_secs: None },
+    EspJobType { name: "C", user: "user03", size_frac: 0.50000, count: 3, set_secs: 534, det_secs: None },
+    EspJobType { name: "D", user: "user04", size_frac: 0.25000, count: 3, set_secs: 616, det_secs: None },
+    EspJobType { name: "E", user: "user05", size_frac: 0.50000, count: 3, set_secs: 315, det_secs: None },
+    EspJobType { name: "F", user: "user06", size_frac: 0.06250, count: 9, set_secs: 1846, det_secs: Some(1230) },
+    EspJobType { name: "G", user: "user06", size_frac: 0.12500, count: 6, set_secs: 1334, det_secs: Some(1067) },
+    EspJobType { name: "H", user: "user06", size_frac: 0.15820, count: 6, set_secs: 1067, det_secs: Some(896) },
+    EspJobType { name: "I", user: "user06", size_frac: 0.03125, count: 24, set_secs: 1432, det_secs: Some(716) },
+    EspJobType { name: "J", user: "user06", size_frac: 0.06250, count: 24, set_secs: 725, det_secs: Some(483) },
+    EspJobType { name: "K", user: "user07", size_frac: 0.09570, count: 15, set_secs: 487, det_secs: None },
+    EspJobType { name: "L", user: "user08", size_frac: 0.12500, count: 36, set_secs: 366, det_secs: None },
+    EspJobType { name: "M", user: "user09", size_frac: 0.25000, count: 15, set_secs: 187, det_secs: None },
+    EspJobType { name: "Z", user: "user10", size_frac: 1.00000, count: 2, set_secs: 100, det_secs: None },
+];
+
+impl EspJobType {
+    /// True for the evolving types F, G, H, I, J.
+    pub fn is_evolving(&self) -> bool {
+        self.det_secs.is_some()
+    }
+
+    /// Core count on a system of `total_cores`
+    /// (`round(size_frac × total_cores)`, at least 1; see DESIGN.md on
+    /// rounding).
+    pub fn cores(&self, total_cores: u32) -> u32 {
+        ((self.size_frac * total_cores as f64).round() as u32).max(1)
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EspConfig {
+    /// System size the fractions apply to (120 in the paper).
+    pub total_cores: u32,
+    /// `true` = the paper's dynamic ESP (F–J evolve); `false` = the
+    /// original static ESP (F–J run their SET as rigid jobs).
+    pub evolving: bool,
+    /// Seed for the submission-order shuffle.
+    pub seed: u64,
+    /// Walltime = SET × this factor (users over-request; ≥ 1).
+    pub walltime_factor: f64,
+    /// Cores per dynamic request (4 in the paper).
+    pub extra_cores: u32,
+    /// Request points as fractions of SET (paper: 16 % then 25 %).
+    pub request_points: Vec<f64>,
+    /// How a grant shortens the run.
+    pub speedup: SpeedupModel,
+    /// Jobs submitted instantly at t = 0 (paper: 50).
+    pub initial_burst: usize,
+    /// Interval between subsequent submissions (paper: 30 s).
+    pub submit_interval: SimDuration,
+    /// Z jobs are submitted this long after the last regular submission
+    /// (paper: 30 minutes).
+    pub z_delay: SimDuration,
+    /// Priority boost for Z jobs ("highest priority in the queue").
+    pub z_boost: i64,
+}
+
+impl Default for EspConfig {
+    fn default() -> Self {
+        EspConfig {
+            total_cores: 120,
+            evolving: true,
+            seed: 2014,
+            walltime_factor: 1.0,
+            extra_cores: 4,
+            request_points: vec![0.16, 0.25],
+            speedup: SpeedupModel::Interpolate,
+            initial_burst: 50,
+            submit_interval: SimDuration::from_secs(30),
+            z_delay: SimDuration::from_mins(30),
+            z_boost: 1_000_000_000,
+        }
+    }
+}
+
+impl EspConfig {
+    /// The paper's static baseline (evolving jobs never request).
+    pub fn paper_static() -> Self {
+        EspConfig { evolving: false, ..Default::default() }
+    }
+
+    /// The paper's dynamic workload.
+    pub fn paper_dynamic() -> Self {
+        EspConfig::default()
+    }
+}
+
+/// A timed submission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadItem {
+    /// Submission instant.
+    pub at: SimTime,
+    /// What to submit.
+    pub spec: JobSpec,
+}
+
+/// Generates the (static or dynamic) ESP workload.
+///
+/// Regular jobs are shuffled deterministically by `cfg.seed`; the first
+/// `initial_burst` are submitted at t = 0, the rest one per
+/// `submit_interval`; the two Z jobs follow `z_delay` after the last
+/// regular submission, flagged to take highest priority and suppress
+/// backfilling while queued.
+pub fn generate_esp(cfg: &EspConfig, reg: &mut CredRegistry) -> Vec<WorkloadItem> {
+    let mut regular: Vec<JobSpec> = Vec::new();
+    let mut z_jobs: Vec<JobSpec> = Vec::new();
+
+    for ty in &ESP_TABLE {
+        let user = reg.user_in_group(ty.user, "espusers");
+        let group = reg.group_of(user);
+        let cores = ty.cores(cfg.total_cores);
+        for _ in 0..ty.count {
+            let (class, exec) = if ty.is_evolving() && cfg.evolving {
+                (
+                    JobClass::Evolving,
+                    ExecutionModel::Evolving {
+                        set: SimDuration::from_secs(ty.set_secs),
+                        det: SimDuration::from_secs(ty.det_secs.expect("evolving has DET")),
+                        extra_cores: cfg.extra_cores,
+                        request_points: cfg.request_points.clone(),
+                        speedup: cfg.speedup,
+                    },
+                )
+            } else {
+                (
+                    JobClass::Rigid,
+                    ExecutionModel::Fixed { duration: SimDuration::from_secs(ty.set_secs) },
+                )
+            };
+            let mut spec = JobSpec {
+                name: ty.name.to_string(),
+                user,
+                group,
+                class,
+                cores,
+                walltime: SimDuration::from_secs(ty.set_secs).mul_f64(cfg.walltime_factor),
+                exec,
+                priority_boost: 0,
+                suppress_backfill_while_queued: false,
+            malleable: None,
+            moldable: None,
+            dyn_timeout: None,
+            };
+            if ty.name == "Z" {
+                spec.priority_boost = cfg.z_boost;
+                spec.suppress_backfill_while_queued = true;
+                z_jobs.push(spec);
+            } else {
+                regular.push(spec);
+            }
+        }
+    }
+
+    let mut rng = SplitMix64::new(cfg.seed);
+    rng.shuffle(&mut regular);
+
+    let mut items = Vec::with_capacity(regular.len() + z_jobs.len());
+    let mut last_regular = SimTime::ZERO;
+    for (i, spec) in regular.into_iter().enumerate() {
+        let at = if i < cfg.initial_burst {
+            SimTime::ZERO
+        } else {
+            SimTime::ZERO + cfg.submit_interval * (i - cfg.initial_burst + 1) as u64
+        };
+        last_regular = last_regular.max(at);
+        items.push(WorkloadItem { at, spec });
+    }
+    let z_at = last_regular + cfg.z_delay;
+    for spec in z_jobs {
+        items.push(WorkloadItem { at: z_at, spec });
+    }
+    items
+}
+
+/// Total work of the workload in core-seconds, assuming every job runs its
+/// static execution time (the perfect-packing lower bound the original ESP
+/// efficiency metric divides by).
+pub fn static_core_seconds(cfg: &EspConfig) -> f64 {
+    ESP_TABLE
+        .iter()
+        .map(|t| t.count as f64 * t.cores(cfg.total_cores) as f64 * t.set_secs as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_totals() {
+        let total: usize = ESP_TABLE.iter().map(|t| t.count).sum();
+        assert_eq!(total, 230);
+        let evolving: usize =
+            ESP_TABLE.iter().filter(|t| t.is_evolving()).map(|t| t.count).sum();
+        assert_eq!(evolving, 69, "30% evolving");
+        let rigid = total - evolving - 2; // minus the Z jobs
+        assert_eq!(rigid + evolving, 228);
+        // All evolving types belong to user06.
+        for t in ESP_TABLE.iter().filter(|t| t.is_evolving()) {
+            assert_eq!(t.user, "user06");
+        }
+    }
+
+    #[test]
+    fn det_ratios_are_linear_speedups() {
+        // DET/SET ≈ n/(n+4) for the type's core count on a 128-core basis —
+        // the paper's linear-speedup assumption. Verify the three clean
+        // cases (F, I, J).
+        for (name, n) in [("F", 8u32), ("I", 4), ("J", 8)] {
+            let ty = ESP_TABLE.iter().find(|t| t.name == name).unwrap();
+            let expect = ty.set_secs as f64 * n as f64 / (n + 4) as f64;
+            let det = ty.det_secs.unwrap() as f64;
+            assert!(
+                (det - expect).abs() / expect < 0.01,
+                "{name}: DET {det} vs linear {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn core_rounding_on_120() {
+        let by_name = |n: &str| ESP_TABLE.iter().find(|t| t.name == n).unwrap();
+        assert_eq!(by_name("A").cores(120), 4); // 3.75 → 4
+        assert_eq!(by_name("C").cores(120), 60);
+        assert_eq!(by_name("H").cores(120), 19); // 18.98 → 19
+        assert_eq!(by_name("K").cores(120), 11); // 11.48 → 11
+        assert_eq!(by_name("Z").cores(120), 120);
+    }
+
+    #[test]
+    fn generation_counts_and_schedule() {
+        let mut reg = CredRegistry::new();
+        let cfg = EspConfig::paper_dynamic();
+        let items = generate_esp(&cfg, &mut reg);
+        assert_eq!(items.len(), 230);
+        // First 50 at t=0 (plus however many of the burst; Z excluded).
+        let at_zero = items.iter().filter(|i| i.at == SimTime::ZERO).count();
+        assert_eq!(at_zero, 50);
+        // 178 spaced submissions: last regular at 178 × 30 s.
+        let last_regular = items
+            .iter()
+            .filter(|i| i.spec.name != "Z")
+            .map(|i| i.at)
+            .max()
+            .unwrap();
+        assert_eq!(last_regular, SimTime::from_secs(178 * 30));
+        // Z jobs 30 minutes later.
+        let z: Vec<_> = items.iter().filter(|i| i.spec.name == "Z").collect();
+        assert_eq!(z.len(), 2);
+        for zi in &z {
+            assert_eq!(zi.at, last_regular + SimDuration::from_mins(30));
+            assert!(zi.spec.priority_boost > 0);
+            assert!(zi.spec.suppress_backfill_while_queued);
+        }
+        // 69 evolving jobs.
+        let evolving = items.iter().filter(|i| i.spec.class == JobClass::Evolving).count();
+        assert_eq!(evolving, 69);
+        // 10 users registered.
+        assert_eq!(reg.user_count(), 10);
+    }
+
+    #[test]
+    fn static_config_has_no_evolving_jobs() {
+        let mut reg = CredRegistry::new();
+        let items = generate_esp(&EspConfig::paper_static(), &mut reg);
+        assert!(items.iter().all(|i| i.spec.class == JobClass::Rigid));
+        // F jobs still run their SET.
+        let f = items.iter().find(|i| i.spec.name == "F").unwrap();
+        assert_eq!(f.spec.walltime, SimDuration::from_secs(1846));
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_and_seed_sensitive() {
+        let mut reg = CredRegistry::new();
+        let a = generate_esp(&EspConfig::paper_dynamic(), &mut reg);
+        let b = generate_esp(&EspConfig::paper_dynamic(), &mut reg);
+        assert_eq!(a, b);
+        let mut cfg2 = EspConfig::paper_dynamic();
+        cfg2.seed = 99;
+        let c = generate_esp(&cfg2, &mut reg);
+        assert_ne!(
+            a.iter().map(|i| i.spec.name.clone()).collect::<Vec<_>>(),
+            c.iter().map(|i| i.spec.name.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn walltime_factor_pads() {
+        let mut reg = CredRegistry::new();
+        let mut cfg = EspConfig::paper_dynamic();
+        cfg.walltime_factor = 1.5;
+        let items = generate_esp(&cfg, &mut reg);
+        let a = items.iter().find(|i| i.spec.name == "A").unwrap();
+        assert_eq!(a.spec.walltime, SimDuration::from_millis(267_000 * 3 / 2));
+        // Execution model unchanged: walltime padding ≠ longer run.
+        assert_eq!(
+            a.spec.exec.static_duration(a.spec.cores),
+            SimDuration::from_secs(267)
+        );
+    }
+
+    #[test]
+    fn total_work_sane() {
+        // Perfect packing of the static workload on 120 cores ≈ 187 min;
+        // the paper's static run took 266 min at 77 % utilization.
+        let cs = static_core_seconds(&EspConfig::default());
+        let perfect_mins = cs / 120.0 / 60.0;
+        assert!((150.0..230.0).contains(&perfect_mins), "{perfect_mins}");
+    }
+
+    #[test]
+    fn all_specs_validate() {
+        let mut reg = CredRegistry::new();
+        for item in generate_esp(&EspConfig::paper_dynamic(), &mut reg) {
+            item.spec.validate().expect("spec valid");
+            assert!(item.spec.cores <= 120);
+        }
+    }
+}

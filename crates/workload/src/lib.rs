@@ -1,0 +1,28 @@
+//! # dynbatch-workload
+//!
+//! Workload generators for evaluating the dynamic batch system:
+//!
+//! * [`esp`] — the ESP utilization benchmark and the paper's **dynamic
+//!   ESP** variant (Table I: 230 jobs, 30 % evolving);
+//! * [`quadflow`] — calibrated AMR phase models of the paper's Quadflow
+//!   FlatPlate / Cylinder test cases (Fig 7);
+//! * [`synthetic`] — seeded random rigid/evolving mixes for stress and
+//!   property tests;
+//! * [`swf`] — Standard Workload Format ingestion (Parallel Workloads
+//!   Archive traces);
+//! * [`trace`] — JSON serialisation/replay of any workload.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod esp;
+pub mod quadflow;
+pub mod swf;
+pub mod synthetic;
+pub mod trace;
+
+pub use esp::{generate_esp, static_core_seconds, EspConfig, EspJobType, WorkloadItem, ESP_TABLE};
+pub use quadflow::{dynamic_breakdown, static_breakdown, PhaseBreakdown, QuadflowCase};
+pub use swf::{parse_swf, write_swf, SwfConfig, SwfError};
+pub use synthetic::{generate_synthetic, SyntheticConfig};
+pub use trace::Trace;

@@ -1,0 +1,324 @@
+//! Standard Workload Format (SWF) ingestion.
+//!
+//! The Parallel Workloads Archive distributes production supercomputer
+//! traces in SWF: one job per line, 18 whitespace-separated fields,
+//! comment/header lines starting with `;`. This module converts such
+//! traces into dynbatch workloads so the scheduler can be evaluated on
+//! real job mixes, optionally converting a seeded fraction of jobs into
+//! evolving ones (the paper's 30 % transformation, applied to any trace).
+//!
+//! Field map used (1-based SWF indices):
+//! 1 job id · 2 submit (s) · 4 runtime (s) · 5 allocated procs ·
+//! 8 requested procs · 9 requested walltime (s) · 11 status ·
+//! 12 user id. Missing values are `-1` per the SWF convention.
+
+use crate::esp::WorkloadItem;
+use dynbatch_core::{
+    CredRegistry, ExecutionModel, JobClass, JobSpec, SimDuration, SimTime, SpeedupModel,
+};
+use dynbatch_simtime::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Conversion options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwfConfig {
+    /// Jobs requesting more cores than this are clamped down to it
+    /// (traces come from machines of arbitrary size).
+    pub total_cores: u32,
+    /// Read at most this many jobs (0 = all).
+    pub max_jobs: usize,
+    /// Fraction of jobs converted to evolving, in `[0, 1]`.
+    pub evolving_fraction: f64,
+    /// Seed for the conversion choice.
+    pub seed: u64,
+    /// DET = runtime × this factor for converted jobs.
+    pub det_factor: f64,
+    /// Extra cores a converted job requests.
+    pub extra_cores: u32,
+    /// Use the *requested* walltime field when present (`true`, realistic:
+    /// users over-request) or the actual runtime (`false`, exact).
+    pub use_requested_walltime: bool,
+}
+
+impl Default for SwfConfig {
+    fn default() -> Self {
+        SwfConfig {
+            total_cores: 120,
+            max_jobs: 0,
+            evolving_fraction: 0.0,
+            seed: 2014,
+            det_factor: 0.7,
+            extra_cores: 4,
+            use_requested_walltime: true,
+        }
+    }
+}
+
+/// A parse problem, with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwfError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SWF line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// Parses SWF text into a workload. Unusable jobs (zero/unknown runtime or
+/// processors, cancelled before start) are skipped, matching common SWF
+/// practice; malformed lines are errors.
+pub fn parse_swf(
+    text: &str,
+    cfg: &SwfConfig,
+    reg: &mut CredRegistry,
+) -> Result<Vec<WorkloadItem>, SwfError> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut items = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 12 {
+            return Err(SwfError {
+                line: line_no,
+                message: format!("expected ≥12 fields, found {}", fields.len()),
+            });
+        }
+        let f = |i: usize| -> Result<i64, SwfError> {
+            fields[i - 1].parse().map_err(|_| SwfError {
+                line: line_no,
+                message: format!("field {i} ({:?}) is not an integer", fields[i - 1]),
+            })
+        };
+        let submit = f(2)?;
+        let runtime = f(4)?;
+        let alloc_procs = f(5)?;
+        let req_procs = f(8)?;
+        let req_time = f(9)?;
+        let user_id = f(12)?;
+
+        let procs = if req_procs > 0 { req_procs } else { alloc_procs };
+        if runtime <= 0 || procs <= 0 || submit < 0 {
+            continue; // unusable record, standard practice to skip
+        }
+        let cores = (procs as u32).min(cfg.total_cores);
+        let runtime = runtime as u64;
+        let walltime = if cfg.use_requested_walltime && req_time > 0 {
+            (req_time as u64).max(runtime)
+        } else {
+            runtime
+        };
+
+        let user = reg.user_in_group(
+            &format!("swf_user{}", user_id.max(0)),
+            "swfusers",
+        );
+        let group = reg.group_of(user);
+
+        let evolving = cfg.evolving_fraction > 0.0 && rng.next_f64() < cfg.evolving_fraction;
+        let spec = if evolving {
+            let det = ((runtime as f64) * cfg.det_factor).max(1.0) as u64;
+            JobSpec {
+                name: format!("swf-{}", f(1)?),
+                user,
+                group,
+                class: JobClass::Evolving,
+                cores,
+                walltime: SimDuration::from_secs(walltime),
+                exec: ExecutionModel::Evolving {
+                    set: SimDuration::from_secs(runtime),
+                    det: SimDuration::from_secs(det),
+                    extra_cores: cfg.extra_cores,
+                    request_points: vec![0.16, 0.25],
+                    speedup: SpeedupModel::Interpolate,
+                },
+                priority_boost: 0,
+                suppress_backfill_while_queued: false,
+                malleable: None,
+                moldable: None,
+                dyn_timeout: None,
+            }
+        } else {
+            let mut s = JobSpec::rigid(
+                format!("swf-{}", f(1)?),
+                user,
+                group,
+                cores,
+                SimDuration::from_secs(runtime),
+            );
+            s.walltime = SimDuration::from_secs(walltime);
+            s
+        };
+        items.push(WorkloadItem { at: SimTime::from_secs(submit as u64), spec });
+        if cfg.max_jobs > 0 && items.len() >= cfg.max_jobs {
+            break;
+        }
+    }
+    items.sort_by_key(|i| i.at);
+    Ok(items)
+}
+
+/// Serialises a workload to SWF text (the inverse of [`parse_swf`]),
+/// suitable for feeding dynbatch workloads to other SWF-consuming
+/// simulators. Evolving/malleable/moldable structure cannot be expressed
+/// in SWF; jobs are written as rigid records with their *static* runtime,
+/// and the requested walltime goes to field 9.
+pub fn write_swf(items: &[WorkloadItem], reg: &CredRegistry) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("; generated by dynbatch (SWF v2 subset)\n");
+    let max_procs = items.iter().map(|i| i.spec.cores).max().unwrap_or(0);
+    let _ = writeln!(out, "; MaxProcs: {max_procs}");
+    for (idx, item) in items.iter().enumerate() {
+        let runtime = item.spec.exec.static_duration(item.spec.cores).as_secs();
+        let _ = writeln!(
+            out,
+            "{} {} -1 {} {} -1 -1 {} {} -1 1 {} {} -1 1 -1 -1 -1",
+            idx + 1,
+            item.at.as_secs(),
+            runtime,
+            item.spec.cores,
+            item.spec.cores,
+            item.spec.walltime.as_secs(),
+            item.spec.user.0,
+            reg.group_of(item.spec.user).0,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three valid jobs, one header, one cancelled (runtime −1), one
+    /// oversized (clamped).
+    const SAMPLE: &str = "\
+; SWF header: MaxNodes: 128
+; Computer: test cluster
+1  0    10 300  16 -1 -1 16  600 -1 1 3 1 -1 1 -1 -1 -1
+2  30   -1 -1   -1 -1 -1 32  600 -1 5 4 1 -1 1 -1 -1 -1
+3  60   5  120  -1 -1 -1 512 240 -1 1 3 1 -1 1 -1 -1 -1
+4  90   0  60   8  -1 -1 -1  -1  -1 1 7 1 -1 1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_and_filters() {
+        let mut reg = CredRegistry::new();
+        let items = parse_swf(SAMPLE, &SwfConfig::default(), &mut reg).expect("parse");
+        assert_eq!(items.len(), 3, "cancelled job 2 skipped");
+        assert_eq!(items[0].spec.name, "swf-1");
+        assert_eq!(items[0].spec.cores, 16);
+        assert_eq!(items[0].at, SimTime::ZERO);
+        assert_eq!(items[0].spec.walltime, SimDuration::from_secs(600));
+        assert_eq!(
+            items[0].spec.exec.static_duration(16),
+            SimDuration::from_secs(300)
+        );
+        // Oversized request clamps to the configured system.
+        assert_eq!(items[1].spec.cores, 120);
+        // Job 4 falls back to allocated procs and exact walltime.
+        assert_eq!(items[2].spec.cores, 8);
+        assert_eq!(items[2].spec.walltime, SimDuration::from_secs(60));
+        // Users interned from field 12.
+        assert!(reg.find_user("swf_user3").is_some());
+        assert!(reg.find_user("swf_user7").is_some());
+    }
+
+    #[test]
+    fn exact_walltime_mode() {
+        let mut reg = CredRegistry::new();
+        let cfg = SwfConfig { use_requested_walltime: false, ..Default::default() };
+        let items = parse_swf(SAMPLE, &cfg, &mut reg).unwrap();
+        assert_eq!(items[0].spec.walltime, SimDuration::from_secs(300));
+    }
+
+    #[test]
+    fn evolving_conversion() {
+        let mut reg = CredRegistry::new();
+        let cfg = SwfConfig { evolving_fraction: 1.0, ..Default::default() };
+        let items = parse_swf(SAMPLE, &cfg, &mut reg).unwrap();
+        assert!(items.iter().all(|i| i.spec.class == JobClass::Evolving));
+        for i in &items {
+            i.spec.validate().expect("valid evolving spec");
+        }
+    }
+
+    #[test]
+    fn max_jobs_limit() {
+        let mut reg = CredRegistry::new();
+        let cfg = SwfConfig { max_jobs: 1, ..Default::default() };
+        let items = parse_swf(SAMPLE, &cfg, &mut reg).unwrap();
+        assert_eq!(items.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        let mut reg = CredRegistry::new();
+        let err = parse_swf("1 2 3\n", &SwfConfig::default(), &mut reg).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("12 fields"));
+        let err = parse_swf(
+            "1 x 10 300 16 -1 -1 16 600 -1 1 3 1 -1 1 -1 -1 -1\n",
+            &SwfConfig::default(),
+            &mut reg,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("not an integer"));
+    }
+
+    #[test]
+    fn writer_round_trips_through_parser() {
+        use crate::esp::{generate_esp, EspConfig};
+        let mut reg = CredRegistry::new();
+        let original = generate_esp(&EspConfig::paper_static(), &mut reg);
+        let text = write_swf(&original, &reg);
+        let mut reg2 = CredRegistry::new();
+        let cfg = SwfConfig { total_cores: 120, ..Default::default() };
+        let parsed = parse_swf(&text, &cfg, &mut reg2).expect("parse own output");
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in original.iter().zip(&parsed) {
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.spec.cores, b.spec.cores);
+            assert_eq!(
+                a.spec.exec.static_duration(a.spec.cores),
+                b.spec.exec.static_duration(b.spec.cores)
+            );
+            assert_eq!(a.spec.walltime, b.spec.walltime);
+        }
+    }
+
+    #[test]
+    fn runs_through_the_simulator() {
+        use dynbatch_core::{DfsConfig, SchedulerConfig};
+        let mut reg = CredRegistry::new();
+        let cfg = SwfConfig { evolving_fraction: 0.5, ..Default::default() };
+        let items = parse_swf(SAMPLE, &cfg, &mut reg).unwrap();
+        let mut sched = SchedulerConfig::paper_eval();
+        sched.dfs = DfsConfig::highest_priority();
+        let mut sim = dynbatch_sim_smoke::run(items, sched);
+        let _ = &mut sim;
+    }
+
+    /// Minimal indirection so the workload crate does not depend on the
+    /// sim crate: the real end-to-end test lives in the root test suite;
+    /// here we only check the items are well-formed for submission.
+    mod dynbatch_sim_smoke {
+        use super::*;
+        pub fn run(items: Vec<WorkloadItem>, _sched: dynbatch_core::SchedulerConfig) -> usize {
+            for i in &items {
+                i.spec.validate().expect("submittable");
+            }
+            items.len()
+        }
+    }
+}

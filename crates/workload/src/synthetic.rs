@@ -1,0 +1,171 @@
+//! Synthetic workload generation — random mixes of rigid and evolving
+//! jobs for stress tests, property tests and ablation benches beyond the
+//! fixed ESP mix.
+
+use crate::esp::WorkloadItem;
+use dynbatch_core::{
+    CredRegistry, ExecutionModel, JobClass, JobSpec, SimDuration, SimTime, SpeedupModel,
+};
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a random workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Number of distinct users to spread jobs over.
+    pub users: usize,
+    /// System size (bounds job core requests).
+    pub total_cores: u32,
+    /// Mean interarrival time (exponential).
+    pub mean_interarrival: SimDuration,
+    /// Job runtime range, seconds (log-uniform).
+    pub runtime_secs: (u64, u64),
+    /// Job size range in cores (uniform).
+    pub cores: (u32, u32),
+    /// Fraction of jobs that are evolving, in `[0, 1]`.
+    pub evolving_fraction: f64,
+    /// Extra cores an evolving job requests.
+    pub extra_cores: u32,
+    /// DET = SET × this factor for evolving jobs.
+    pub det_factor: f64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            seed: 7,
+            jobs: 100,
+            users: 8,
+            total_cores: 120,
+            mean_interarrival: SimDuration::from_secs(20),
+            runtime_secs: (60, 1800),
+            cores: (2, 40),
+            evolving_fraction: 0.3,
+            extra_cores: 4,
+            det_factor: 0.7,
+        }
+    }
+}
+
+/// Generates a random workload; deterministic per seed.
+pub fn generate_synthetic(cfg: &SyntheticConfig, reg: &mut CredRegistry) -> Vec<WorkloadItem> {
+    assert!(cfg.users > 0 && cfg.jobs > 0, "need users and jobs");
+    assert!(
+        (0.0..=1.0).contains(&cfg.evolving_fraction),
+        "evolving_fraction out of range"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let users: Vec<_> = (0..cfg.users)
+        .map(|i| reg.user_in_group(&format!("synth{i:02}"), "synth"))
+        .collect();
+    let cores_dist = Uniform::new_inclusive(
+        cfg.cores.0.max(1),
+        cfg.cores.1.min(cfg.total_cores).max(cfg.cores.0.max(1)),
+    );
+    let (lo, hi) = (cfg.runtime_secs.0.max(1) as f64, cfg.runtime_secs.1.max(2) as f64);
+
+    let mut items = Vec::with_capacity(cfg.jobs);
+    let mut t = SimTime::ZERO;
+    for i in 0..cfg.jobs {
+        // Exponential interarrival via inverse CDF.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        let gap = cfg.mean_interarrival.mul_f64(-u.ln());
+        t = t.saturating_add(gap);
+
+        let user = users[rng.gen_range(0..users.len())];
+        let group = reg.group_of(user);
+        let cores = cores_dist.sample(&mut rng);
+        // Log-uniform runtime: heavy-tailed like real workloads.
+        let runtime = (lo.ln() + rng.gen_range(0.0..1.0) * (hi.ln() - lo.ln())).exp() as u64;
+        let evolving = rng.gen_bool(cfg.evolving_fraction);
+
+        let (class, exec) = if evolving {
+            let det = ((runtime as f64) * cfg.det_factor).max(1.0) as u64;
+            (
+                JobClass::Evolving,
+                ExecutionModel::Evolving {
+                    set: SimDuration::from_secs(runtime),
+                    det: SimDuration::from_secs(det),
+                    extra_cores: cfg.extra_cores,
+                    request_points: vec![0.16, 0.25],
+                    speedup: SpeedupModel::Interpolate,
+                },
+            )
+        } else {
+            (JobClass::Rigid, ExecutionModel::Fixed { duration: SimDuration::from_secs(runtime) })
+        };
+        items.push(WorkloadItem {
+            at: t,
+            spec: JobSpec {
+                name: format!("synth-{i}"),
+                user,
+                group,
+                class,
+                cores,
+                walltime: SimDuration::from_secs(runtime),
+                exec,
+                priority_boost: 0,
+                suppress_backfill_while_queued: false,
+            malleable: None,
+            moldable: None,
+            dyn_timeout: None,
+            },
+        });
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut r1 = CredRegistry::new();
+        let mut r2 = CredRegistry::new();
+        let cfg = SyntheticConfig::default();
+        assert_eq!(generate_synthetic(&cfg, &mut r1), generate_synthetic(&cfg, &mut r2));
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut reg = CredRegistry::new();
+        let cfg = SyntheticConfig { jobs: 200, ..Default::default() };
+        let items = generate_synthetic(&cfg, &mut reg);
+        assert_eq!(items.len(), 200);
+        let mut last = SimTime::ZERO;
+        for it in &items {
+            assert!(it.at >= last, "arrivals are monotone");
+            last = it.at;
+            assert!((cfg.cores.0..=cfg.cores.1).contains(&it.spec.cores));
+            let rt = it.spec.exec.static_duration(it.spec.cores).as_secs();
+            assert!((cfg.runtime_secs.0..=cfg.runtime_secs.1 + 1).contains(&rt));
+            it.spec.validate().expect("valid spec");
+        }
+    }
+
+    #[test]
+    fn evolving_fraction_roughly_holds() {
+        let mut reg = CredRegistry::new();
+        let cfg = SyntheticConfig { jobs: 1000, evolving_fraction: 0.3, ..Default::default() };
+        let items = generate_synthetic(&cfg, &mut reg);
+        let evolving =
+            items.iter().filter(|i| i.spec.class == JobClass::Evolving).count() as f64;
+        let frac = evolving / items.len() as f64;
+        assert!((0.25..0.35).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn zero_fraction_all_rigid() {
+        let mut reg = CredRegistry::new();
+        let cfg = SyntheticConfig { evolving_fraction: 0.0, ..Default::default() };
+        let items = generate_synthetic(&cfg, &mut reg);
+        assert!(items.iter().all(|i| i.spec.class == JobClass::Rigid));
+    }
+}

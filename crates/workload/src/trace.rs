@@ -1,0 +1,106 @@
+//! Workload traces: serialise a generated workload to JSON and replay it.
+//!
+//! Lets experiments be pinned (a generated workload checked into a file
+//! and replayed bit-exactly) and lets users feed their own job mixes to
+//! the simulator without writing Rust.
+
+use crate::esp::WorkloadItem;
+use dynbatch_core::CredRegistry;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A self-contained workload: submissions plus the credential registry
+/// interning their user/group names.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Free-form description.
+    pub description: String,
+    /// The credential registry the items' IDs refer to.
+    pub registry: CredRegistry,
+    /// Timed submissions, in any order (the simulator sorts by time).
+    pub items: Vec<WorkloadItem>,
+}
+
+impl Trace {
+    /// Wraps a workload into a versioned trace.
+    pub fn new(description: impl Into<String>, registry: CredRegistry, items: Vec<WorkloadItem>) -> Self {
+        Trace { version: 1, description: description.into(), registry, items }
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialises")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let trace: Trace = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if trace.version != 1 {
+            return Err(format!("unsupported trace version {}", trace.version));
+        }
+        for item in &trace.items {
+            item.spec.validate()?;
+        }
+        Ok(trace)
+    }
+
+    /// Writes to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+
+    /// Reads from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        Trace::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::esp::{generate_esp, EspConfig};
+
+    #[test]
+    fn json_round_trip() {
+        let mut reg = CredRegistry::new();
+        let items = generate_esp(&EspConfig::paper_dynamic(), &mut reg);
+        let trace = Trace::new("dynamic ESP", reg, items);
+        let json = trace.to_json();
+        let back = Trace::from_json(&json).expect("parse");
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut reg = CredRegistry::new();
+        let items = generate_esp(&EspConfig::paper_dynamic(), &mut reg);
+        let mut trace = Trace::new("x", reg, items);
+        trace.version = 9;
+        let json = trace.to_json();
+        assert!(Trace::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Trace::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut reg = CredRegistry::new();
+        let items = generate_esp(&EspConfig::paper_static(), &mut reg);
+        let trace = Trace::new("static ESP", reg, items);
+        let dir = std::env::temp_dir().join("dynbatch-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("esp.json");
+        trace.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        assert_eq!(trace, back);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,97 @@
+//! The full Feitelson/Rudolph job taxonomy (paper §I) in one simulation:
+//!
+//! * **rigid** — fixed cores, fixed runtime;
+//! * **moldable** — the batch system picks the start width from a range;
+//! * **malleable** — the batch system resizes it *while it runs*;
+//! * **evolving** — the *application* asks for more mid-run
+//!   (`tm_dynget()`), gated by dynamic fairness.
+//!
+//! ```text
+//! cargo run --example all_classes
+//! ```
+
+use dynbatch::cluster::Cluster;
+use dynbatch::core::{
+    CredRegistry, DfsConfig, ExecutionModel, JobSpec, SchedulerConfig, SimDuration, SimTime,
+};
+use dynbatch::sim::BatchSim;
+use dynbatch::workload::WorkloadItem;
+
+fn main() {
+    let mut sched = SchedulerConfig::paper_eval();
+    sched.dfs = DfsConfig::uniform_target(600, SimDuration::from_hours(1));
+    sched.shrink_malleable_for_dyn = true;
+    sched.grow_malleable_on_idle = true;
+    let mut sim = BatchSim::new(Cluster::homogeneous(6, 8), sched);
+
+    let mut reg = CredRegistry::new();
+    let users: Vec<_> = ["rigid", "moldy", "elastic", "amr"]
+        .iter()
+        .map(|n| reg.user(n))
+        .collect();
+    let g = reg.group_of(users[0]);
+
+    sim.load(&[
+        // Rigid: 16 cores for 10 minutes, not negotiable.
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid("rigid", users[0], g, 16, SimDuration::from_secs(600)),
+        },
+        // Moldable: takes whatever width in [8, 32] lets it start now.
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::moldable("moldable", users[1], g, 16, 8, 32, 19_200),
+        },
+        // Malleable: a work pool the scheduler stretches over idle cores
+        // and squeezes when an evolving job needs room.
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::malleable("malleable", users[2], g, 8, 4, 48, 14_400),
+        },
+        // Evolving: realises at 16 % of its runtime that it needs 8 more
+        // cores (and would finish in 700 s instead of 1000 s with them).
+        WorkloadItem {
+            at: SimTime::from_secs(30),
+            spec: JobSpec::evolving(
+                "evolving",
+                users[3],
+                g,
+                8,
+                ExecutionModel::esp_evolving(1000, 700, 8),
+            ),
+        },
+    ]);
+
+    sim.run();
+
+    println!("six nodes × 8 cores; all four job classes in flight\n");
+    println!(
+        "{:<10} {:<10} {:>7} {:>10} {:>10} {:>8} {:>8}",
+        "job", "class", "cores", "wait", "runtime", "dyn-req", "grants"
+    );
+    for o in sim.server().accounting().outcomes() {
+        println!(
+            "{:<10} {:<10} {:>2}->{:<3} {:>10} {:>10} {:>8} {:>8}",
+            o.name,
+            format!("{}", o.class),
+            o.cores_requested,
+            o.cores_final,
+            o.wait(),
+            o.runtime(),
+            o.dyn_requests,
+            o.dyn_grants
+        );
+    }
+    let s = sim.stats();
+    println!(
+        "\nscheduler: {} cycles, {} dynamic grants, {} malleable resizes, {} s delay charged",
+        s.cycles,
+        s.dyn_granted,
+        s.malleable_resizes,
+        s.delay_charged_ms / 1000
+    );
+    println!(
+        "utilization: {:.1} %",
+        sim.utilization().utilization(sim.last_completion()) * 100.0
+    );
+}

@@ -1,0 +1,93 @@
+//! An adaptive-mesh CFD job (the paper's Quadflow scenario) running
+//! through the batch system while rigid jobs come and go.
+//!
+//! The Cylinder test case starts on 16 cores. Each grid adaptation may
+//! blow up the cell count; when cells-per-process crosses the threshold
+//! the application calls `tm_dynget()` for 16 more cores. Whether it gets
+//! them depends on what else occupies the cluster — run and see.
+//!
+//! ```text
+//! cargo run --example quadflow_amr
+//! ```
+
+use dynbatch::cluster::Cluster;
+use dynbatch::core::{
+    CredRegistry, DfsConfig, JobSpec, SchedulerConfig, SimDuration, SimTime,
+};
+use dynbatch::sim::BatchSim;
+use dynbatch::workload::{dynamic_breakdown, static_breakdown, QuadflowCase, WorkloadItem};
+
+fn main() {
+    let case = QuadflowCase::Cylinder;
+    println!(
+        "{}: {} phases, growth threshold {} cells/process\n",
+        case.name(),
+        case.model().phases.len(),
+        case.model().threshold_cells_per_proc
+    );
+
+    let mut sched = SchedulerConfig::paper_eval();
+    sched.dfs = DfsConfig::highest_priority();
+
+    // Scenario A: a quiet cluster — the request is granted at the final
+    // adaptation and the run matches the 32-core static profile.
+    // Scenario B: a rigid background job camps on the spare cores for the
+    // first 11 hours — the request is denied at the adaptation, and the
+    // job crawls through its final phase on 16 cores until it ends.
+    for (label, filler_hours) in [("quiet cluster", 0u64), ("busy cluster", 40)] {
+        let mut reg = CredRegistry::new();
+        let cfd = reg.user("cfd-group");
+        let other = reg.user("throughput-group");
+        let g = reg.group_of(cfd);
+        let mut sim = BatchSim::new(Cluster::homogeneous(15, 8), sched.clone());
+
+        let mut items = vec![WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::evolving(
+                case.name(),
+                cfd,
+                g,
+                case.base_cores(),
+                case.execution_model(),
+            ),
+        }];
+        if filler_hours > 0 {
+            items.push(WorkloadItem {
+                at: SimTime::ZERO,
+                spec: JobSpec::rigid(
+                    "background",
+                    other,
+                    g,
+                    104,
+                    SimDuration::from_hours(filler_hours),
+                ),
+            });
+        }
+        sim.load(&items);
+        sim.run();
+
+        let o = sim
+            .server()
+            .accounting()
+            .outcomes()
+            .iter()
+            .find(|o| o.name == case.name())
+            .expect("CFD job completed");
+        println!(
+            "{label:<14} runtime {:>6.2} h | requests {} | grants {} | final cores {}",
+            o.runtime().as_secs_f64() / 3600.0,
+            o.dyn_requests,
+            o.dyn_grants,
+            o.cores_final
+        );
+    }
+
+    println!("\nreference profiles:");
+    for b in [
+        static_breakdown(case, 16),
+        static_breakdown(case, 32),
+        dynamic_breakdown(case),
+    ] {
+        println!("  {:<22} {:>6.2} h", b.label, b.total_secs() / 3600.0);
+    }
+}

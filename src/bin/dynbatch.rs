@@ -1,0 +1,224 @@
+//! `dynbatch` — command-line front end to the batch-system simulator.
+//!
+//! ```text
+//! dynbatch esp [--static] [--seed N] [--seeds K] [--dfs-cap SECS]
+//!              [--nodes N] [--cores-per-node C] [--walltime-factor F]
+//!     Run the (dynamic or static) ESP benchmark and print a Table-II row.
+//!
+//! dynbatch run --trace FILE.json | --swf FILE.swf
+//!              [--dfs-cap SECS] [--nodes N] [--cores-per-node C]
+//!              [--evolving-fraction F] [--max-jobs N]
+//!              [--guarantee] [--shrink-malleable] [--grow-malleable]
+//!              [--csv-waits FILE] [--csv-gantt FILE]
+//!     Run a workload trace and print the summary; optionally dump the
+//!     per-job waiting-time series and/or the Gantt schedule as CSV.
+//!
+//! dynbatch gen-esp --out FILE.json [--static] [--seed N]
+//!     Write the ESP workload as a replayable JSON trace.
+//! ```
+
+use dynbatch::core::{CredRegistry, DfsConfig, SchedulerConfig, SimDuration};
+use dynbatch::metrics::{gantt_csv, render_csv, render_table2, waits_by_submission};
+use dynbatch::sim::{run_experiment, ExperimentConfig};
+use dynbatch::workload::{
+    generate_esp, parse_swf, EspConfig, SwfConfig, Trace, WorkloadItem,
+};
+use std::process::ExitCode;
+
+/// Minimal flag parser: `--key value` pairs plus boolean `--key`.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(name) = raw[i].strip_prefix("--") {
+                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(raw[i].clone());
+            }
+            i += 1;
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad value {v:?}")),
+        }
+    }
+}
+
+fn sched_from(args: &Args) -> Result<SchedulerConfig, String> {
+    let mut s = SchedulerConfig::paper_eval();
+    s.dfs = match args.get("dfs-cap") {
+        None => DfsConfig::highest_priority(),
+        Some(v) => {
+            let cap: u64 = v.parse().map_err(|_| format!("--dfs-cap: bad value {v:?}"))?;
+            DfsConfig::uniform_target(cap, SimDuration::from_hours(1))
+        }
+    };
+    s.reservation_depth = args.num("reservation-depth", 5usize)?;
+    s.reservation_delay_depth = args.num("reservation-delay-depth", 5usize)?;
+    s.guarantee_evolving = args.has("guarantee");
+    s.shrink_malleable_for_dyn = args.has("shrink-malleable");
+    s.grow_malleable_on_idle = args.has("grow-malleable");
+    Ok(s)
+}
+
+fn cluster_from(args: &Args, sched: SchedulerConfig) -> Result<ExperimentConfig, String> {
+    Ok(ExperimentConfig {
+        label: "cli".into(),
+        nodes: args.num("nodes", 15u32)?,
+        cores_per_node: args.num("cores-per-node", 8u32)?,
+        sched,
+    })
+}
+
+fn cmd_esp(args: &Args) -> Result<(), String> {
+    let seeds: u64 = args.num("seeds", 1u64)?;
+    let base_seed: u64 = args.num("seed", EspConfig::default().seed)?;
+    let mut summaries = Vec::new();
+    let mut acc: Option<dynbatch::metrics::RunSummary> = None;
+    let n = seeds.max(1);
+    for k in 0..n {
+        let mut wl_cfg =
+            if args.has("static") { EspConfig::paper_static() } else { EspConfig::paper_dynamic() };
+        wl_cfg.seed = if n == 1 { base_seed } else { base_seed + k };
+        wl_cfg.walltime_factor = args.num("walltime-factor", 1.0f64)?;
+        let mut reg = CredRegistry::new();
+        let wl = generate_esp(&wl_cfg, &mut reg);
+        let cfg = cluster_from(args, sched_from(args)?)?;
+        let r = run_experiment(&cfg, &wl);
+        acc = Some(match acc {
+            None => r.summary,
+            Some(mut a) => {
+                a.makespan += r.summary.makespan;
+                a.utilization += r.summary.utilization;
+                a.throughput_jobs_per_min += r.summary.throughput_jobs_per_min;
+                a.satisfied_dyn_jobs += r.summary.satisfied_dyn_jobs;
+                a
+            }
+        });
+    }
+    let mut s = acc.expect("at least one run");
+    s.makespan = s.makespan / n;
+    s.utilization /= n as f64;
+    s.throughput_jobs_per_min /= n as f64;
+    s.satisfied_dyn_jobs /= n as usize;
+    s.label = if args.has("static") { "ESP-static".into() } else { "ESP-dynamic".into() };
+    summaries.push(s);
+    print!("{}", render_table2(&summaries));
+    Ok(())
+}
+
+fn load_workload(args: &Args) -> Result<Vec<WorkloadItem>, String> {
+    if let Some(path) = args.get("trace") {
+        let trace = Trace::load(path).map_err(|e| format!("{path}: {e}"))?;
+        Ok(trace.items)
+    } else if let Some(path) = args.get("swf") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut reg = CredRegistry::new();
+        let cfg = SwfConfig {
+            total_cores: args.num("nodes", 15u32)? * args.num("cores-per-node", 8u32)?,
+            evolving_fraction: args.num("evolving-fraction", 0.0f64)?,
+            max_jobs: args.num("max-jobs", 0usize)?,
+            ..Default::default()
+        };
+        parse_swf(&text, &cfg, &mut reg).map_err(|e| e.to_string())
+    } else {
+        Err("run: need --trace FILE.json or --swf FILE.swf".into())
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let wl = load_workload(args)?;
+    let cfg = cluster_from(args, sched_from(args)?)?;
+    let r = run_experiment(&cfg, &wl);
+    print!("{}", render_table2(std::slice::from_ref(&r.summary)));
+    println!(
+        "\njobs: {}  grants: {}  rejects: {} ({} fairness)  resizes: {}  preemptions: {}",
+        r.outcomes.len(),
+        r.stats.dyn_granted,
+        r.stats.dyn_rejected,
+        r.stats.dyn_rejected_fairness,
+        r.stats.malleable_resizes,
+        r.stats.preemptions,
+    );
+    if let Some(path) = args.get("csv-gantt") {
+        std::fs::write(path, gantt_csv(&r.outcomes)).map_err(|e| format!("{path}: {e}"))?;
+        println!("schedule (Gantt) written to {path}");
+    }
+    if let Some(path) = args.get("csv-waits") {
+        let rows: Vec<Vec<f64>> = waits_by_submission(&r.outcomes)
+            .into_iter()
+            .map(|(i, w)| vec![i as f64, w])
+            .collect();
+        std::fs::write(path, render_csv(&["job", "wait_s"], &rows))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("waiting-time series written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_gen_esp(args: &Args) -> Result<(), String> {
+    let out = args.get("out").ok_or("gen-esp: need --out FILE.json")?;
+    let mut wl_cfg =
+        if args.has("static") { EspConfig::paper_static() } else { EspConfig::paper_dynamic() };
+    wl_cfg.seed = args.num("seed", EspConfig::default().seed)?;
+    let mut reg = CredRegistry::new();
+    let items = generate_esp(&wl_cfg, &mut reg);
+    let trace = Trace::new(
+        format!("ESP ({}) seed {}", if args.has("static") { "static" } else { "dynamic" }, wl_cfg.seed),
+        reg,
+        items,
+    );
+    trace.save(out).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {} jobs to {out}", trace.items.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let result = match args.positional.first().map(String::as_str) {
+        Some("esp") => cmd_esp(&args),
+        Some("run") => cmd_run(&args),
+        Some("gen-esp") => cmd_gen_esp(&args),
+        _ => {
+            eprintln!(
+                "usage: dynbatch <esp|run|gen-esp> [flags]\n\
+                 see the module docs (src/bin/dynbatch.rs) for the flag list"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # dynbatch
+//!
+//! **A batch system with fair scheduling for unpredictably evolving
+//! applications** — a from-scratch Rust reproduction of Prabhakaran et
+//! al., *"A Batch System with Fair Scheduling for Evolving Applications"*
+//! (ICPP 2014).
+//!
+//! Evolving applications (adaptive-mesh CFD like Quadflow, nested weather
+//! simulations, task-parallel codes) cannot predict their resource needs
+//! at submission. This crate family provides:
+//!
+//! * a **Torque-like resource manager** with the paper's extended TM API —
+//!   `tm_dynget()` / `tm_dynfree()` — so running jobs can grow and shrink
+//!   ([`server`]);
+//! * a **Maui-like scheduler** whose iteration (the paper's Algorithm 2)
+//!   admits dynamic requests against **dynamic-fairness policies** that
+//!   bound the delay inflicted on queued rigid jobs ([`sched`]);
+//! * a deterministic **discrete-event simulator** ([`sim`]) and a
+//!   **threaded wall-clock daemon** ([`daemon`]) driving the identical
+//!   decision code;
+//! * the paper's evaluation workloads: the **dynamic ESP benchmark** and
+//!   calibrated **Quadflow** models ([`workload`]);
+//! * accounting and reporting ([`metrics`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dynbatch::core::{CredRegistry, DfsConfig, JobSpec, SchedulerConfig,
+//!                      ExecutionModel, SimDuration, SimTime};
+//! use dynbatch::cluster::Cluster;
+//! use dynbatch::sim::BatchSim;
+//! use dynbatch::workload::WorkloadItem;
+//!
+//! // A 4-node × 8-core cluster under the paper's scheduler settings.
+//! let mut sched = SchedulerConfig::paper_eval();
+//! sched.dfs = DfsConfig::highest_priority();
+//! let mut sim = BatchSim::new(Cluster::homogeneous(4, 8), sched);
+//!
+//! // One rigid job and one evolving job that asks for 4 extra cores.
+//! let mut reg = CredRegistry::new();
+//! let alice = reg.user("alice");
+//! let bob = reg.user("bob");
+//! let g = reg.group_of(alice);
+//! sim.load(&[
+//!     WorkloadItem {
+//!         at: SimTime::ZERO,
+//!         spec: JobSpec::rigid("solver", alice, g, 16, SimDuration::from_secs(600)),
+//!     },
+//!     WorkloadItem {
+//!         at: SimTime::ZERO,
+//!         spec: JobSpec::evolving("amr", bob, g, 8,
+//!             ExecutionModel::esp_evolving(1000, 700, 4)),
+//!     },
+//! ]);
+//! sim.run();
+//! assert_eq!(sim.server().accounting().outcomes().len(), 2);
+//! assert_eq!(sim.stats().dyn_granted, 1); // the idle cluster granted it
+//! ```
+
+pub use dynbatch_cluster as cluster;
+pub use dynbatch_core as core;
+pub use dynbatch_daemon as daemon;
+pub use dynbatch_metrics as metrics;
+pub use dynbatch_sched as sched;
+pub use dynbatch_server as server;
+pub use dynbatch_sim as sim;
+pub use dynbatch_simtime as simtime;
+pub use dynbatch_workload as workload;

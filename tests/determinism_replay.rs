@@ -1,0 +1,73 @@
+//! Determinism and trace replay: identical inputs produce identical runs,
+//! and a workload serialised to JSON replays bit-exactly.
+
+use dynbatch::core::{CredRegistry, DfsConfig, SchedulerConfig, SimDuration};
+use dynbatch::sim::{run_experiment, ExperimentConfig};
+use dynbatch::workload::{generate_esp, generate_synthetic, EspConfig, SyntheticConfig, Trace};
+
+fn sched() -> SchedulerConfig {
+    let mut s = SchedulerConfig::paper_eval();
+    s.dfs = DfsConfig::uniform_target(500, SimDuration::from_hours(1));
+    s
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    let mut reg = CredRegistry::new();
+    let wl = generate_esp(&EspConfig::paper_dynamic(), &mut reg);
+    let cfg = ExperimentConfig::paper_cluster("a", sched());
+    let a = run_experiment(&cfg, &wl);
+    let b = run_experiment(&cfg, &wl);
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.summary.makespan, b.summary.makespan);
+    assert_eq!(a.summary.utilization, b.summary.utilization);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut reg = CredRegistry::new();
+    let mut c1 = EspConfig::paper_dynamic();
+    c1.seed = 1;
+    let mut c2 = EspConfig::paper_dynamic();
+    c2.seed = 2;
+    let a = run_experiment(
+        &ExperimentConfig::paper_cluster("s1", sched()),
+        &generate_esp(&c1, &mut reg),
+    );
+    let b = run_experiment(
+        &ExperimentConfig::paper_cluster("s2", sched()),
+        &generate_esp(&c2, &mut reg),
+    );
+    assert_ne!(a.summary.makespan, b.summary.makespan);
+}
+
+#[test]
+fn trace_replay_reproduces_results() {
+    let mut reg = CredRegistry::new();
+    let wl = generate_synthetic(&SyntheticConfig { jobs: 60, ..Default::default() }, &mut reg);
+    let trace = Trace::new("synthetic 60", reg, wl.clone());
+
+    // Round-trip through JSON.
+    let json = trace.to_json();
+    let replayed = Trace::from_json(&json).expect("parse");
+    assert_eq!(trace, replayed);
+
+    let cfg = ExperimentConfig::paper_cluster("orig", sched());
+    let a = run_experiment(&cfg, &wl);
+    let b = run_experiment(&cfg, &replayed.items);
+    assert_eq!(a.outcomes, b.outcomes);
+}
+
+#[test]
+fn experiment_order_does_not_leak_state() {
+    // Running experiment X then Y must give the same Y as running Y alone
+    // (no global state anywhere).
+    let mut reg = CredRegistry::new();
+    let wl = generate_esp(&EspConfig::paper_dynamic(), &mut reg);
+    let cfg = ExperimentConfig::paper_cluster("x", sched());
+    let _ = run_experiment(&cfg, &wl);
+    let y1 = run_experiment(&cfg, &wl);
+    let y2 = run_experiment(&cfg, &wl);
+    assert_eq!(y1.outcomes, y2.outcomes);
+}

@@ -1,0 +1,140 @@
+//! Full dynamic-ESP runs across the paper's configurations, asserting the
+//! qualitative results of Table II and Figs 8–9.
+
+use dynbatch::core::{CredRegistry, DfsConfig, JobOutcome, SchedulerConfig, SimDuration};
+use dynbatch::metrics::{waits_by_submission, waits_of_type};
+use dynbatch::sim::{run_experiment, ExperimentConfig, ExperimentResult};
+use dynbatch::workload::{generate_esp, EspConfig};
+
+fn run(label: &str, cap: Option<u64>, dynamic: bool, seed: u64) -> ExperimentResult {
+    let mut reg = CredRegistry::new();
+    let mut wl_cfg = if dynamic { EspConfig::paper_dynamic() } else { EspConfig::paper_static() };
+    wl_cfg.seed = seed;
+    let wl = generate_esp(&wl_cfg, &mut reg);
+    let mut s = SchedulerConfig::paper_eval();
+    s.dfs = match cap {
+        None => DfsConfig::highest_priority(),
+        Some(c) => DfsConfig::uniform_target(c, SimDuration::from_hours(1)),
+    };
+    run_experiment(&ExperimentConfig::paper_cluster(label, s), &wl)
+}
+
+#[test]
+fn all_230_jobs_complete_in_every_config() {
+    for (label, cap, dynamic) in [
+        ("Static", None, false),
+        ("Dyn-HP", None, true),
+        ("Dyn-500", Some(500), true),
+    ] {
+        let r = run(label, cap, dynamic, 2014);
+        assert_eq!(r.outcomes.len(), 230, "{label}");
+        assert_eq!(r.stats.walltime_kills, 0, "{label}: no job overruns its walltime");
+        // Both Z jobs ran on the full machine.
+        let z: Vec<&JobOutcome> = r.outcomes.iter().filter(|o| o.name == "Z").collect();
+        assert_eq!(z.len(), 2);
+        for o in z {
+            assert_eq!(o.cores_requested, 120);
+        }
+    }
+}
+
+#[test]
+fn dynamic_hp_beats_static_on_every_system_metric() {
+    // Averaged over a few submission orders to suppress single-run noise
+    // (the paper reports a single fixed ESP order).
+    let seeds = [1u64, 2, 3, 4];
+    let (mut s_mk, mut h_mk, mut s_ut, mut h_ut) = (0.0, 0.0, 0.0, 0.0);
+    let mut satisfied = 0usize;
+    for &seed in &seeds {
+        let st = run("Static", None, false, seed);
+        let hp = run("Dyn-HP", None, true, seed);
+        s_mk += st.summary.makespan.as_mins_f64();
+        h_mk += hp.summary.makespan.as_mins_f64();
+        s_ut += st.summary.utilization;
+        h_ut += hp.summary.utilization;
+        satisfied += hp.summary.satisfied_dyn_jobs;
+    }
+    assert!(h_mk < s_mk, "dynamic workload finishes sooner: {h_mk} vs {s_mk}");
+    assert!(h_ut > s_ut, "dynamic workload utilises better: {h_ut} vs {s_ut}");
+    assert!(satisfied / seeds.len() >= 20, "a healthy fraction of the 69 evolving jobs is satisfied");
+}
+
+#[test]
+fn fairness_cap_trades_grants_for_protection() {
+    // Tighter cumulative-delay caps must satisfy fewer dynamic requests
+    // and reject more of them on fairness grounds (paper Table II trend).
+    let seeds = [1u64, 2, 3];
+    let caps = [100u64, 300, 0 /* 0 = HP */];
+    let mut sats = Vec::new();
+    let mut fair_rejects = Vec::new();
+    for &cap in &caps {
+        let (mut s, mut f) = (0usize, 0u64);
+        for &seed in &seeds {
+            let r = if cap == 0 {
+                run("HP", None, true, seed)
+            } else {
+                run("capped", Some(cap), true, seed)
+            };
+            s += r.summary.satisfied_dyn_jobs;
+            f += r.stats.dyn_rejected_fairness;
+        }
+        sats.push(s);
+        fair_rejects.push(f);
+    }
+    assert!(sats[0] < sats[2], "cap 100 grants fewer than HP: {sats:?}");
+    assert!(sats[0] <= sats[1], "tighter cap grants no more: {sats:?}");
+    assert!(fair_rejects[0] > fair_rejects[1], "tighter cap rejects more: {fair_rejects:?}");
+    assert_eq!(fair_rejects[2], 0, "HP never rejects on fairness");
+}
+
+#[test]
+fn hp_hurts_mid_range_waiters_and_dfs_bounds_the_charge() {
+    // Fig 8: a band of jobs waits longer under Dyn-HP than Static.
+    let st = run("Static", None, false, 2014);
+    let hp = run("Dyn-HP", None, true, 2014);
+    let w_st: Vec<f64> = waits_by_submission(&st.outcomes).into_iter().map(|(_, w)| w).collect();
+    let w_hp: Vec<f64> = waits_by_submission(&hp.outcomes).into_iter().map(|(_, w)| w).collect();
+    let delayed_hp = (0..w_st.len()).filter(|&i| w_hp[i] > w_st[i] + 1.0).count();
+    assert!(delayed_hp > 10, "some jobs pay for HP grants: {delayed_hp}");
+
+    // Figs 10–11: the fairness policy bounds what dynamic allocations may
+    // charge queued jobs. The committed DFS delay must shrink with the
+    // cap, across seeds (per-job wait trajectories are chaotic; the
+    // charged delay is the policy's direct lever).
+    for seed in [1u64, 2, 3, 2014] {
+        let hp = run("Dyn-HP", None, true, seed);
+        let capped = run("Dyn-100", Some(100), true, seed);
+        assert!(
+            capped.stats.delay_charged_ms < hp.stats.delay_charged_ms,
+            "seed {seed}: {} < {}",
+            capped.stats.delay_charged_ms,
+            hp.stats.delay_charged_ms
+        );
+    }
+}
+
+#[test]
+fn type_l_jobs_observable_as_in_fig9() {
+    let st = run("Static", None, false, 2014);
+    let hp = run("Dyn-HP", None, true, 2014);
+    let l_st = waits_of_type(&st.outcomes, "L");
+    let l_hp = waits_of_type(&hp.outcomes, "L");
+    assert_eq!(l_st.len(), 36);
+    assert_eq!(l_hp.len(), 36);
+    // Some L jobs are affected by dynamic allocations (the paper: half).
+    let affected = l_hp.iter().zip(&l_st).filter(|(h, s)| h > s).count();
+    assert!(affected >= 5, "{affected} of 36 L jobs wait longer under HP");
+}
+
+#[test]
+fn z_rule_holds() {
+    // While a Z job queues nothing backfills, and the Z jobs themselves
+    // run back-to-back on the whole machine.
+    let r = run("Dyn-HP", None, true, 2014);
+    let z: Vec<&JobOutcome> = r.outcomes.iter().filter(|o| o.name == "Z").collect();
+    assert!(!z[0].backfilled && !z[1].backfilled);
+    // The second Z starts exactly when the first ends (no idle gap on a
+    // drained machine).
+    let (first, second) = if z[0].start_time <= z[1].start_time { (z[0], z[1]) } else { (z[1], z[0]) };
+    assert_eq!(second.start_time, first.end_time);
+}

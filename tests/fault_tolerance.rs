@@ -1,0 +1,86 @@
+//! Node-failure handling: the paper's introduction motivates dynamic
+//! allocation partly by fault tolerance ("allocating spare nodes to
+//! affected jobs"). The substrate supports failure injection; affected
+//! jobs are requeued and rescheduled onto surviving nodes.
+
+use dynbatch::cluster::Cluster;
+use dynbatch::core::{
+    CredRegistry, DfsConfig, JobSpec, NodeId, SchedulerConfig, SimDuration, SimTime,
+};
+use dynbatch::sim::BatchSim;
+use dynbatch::workload::WorkloadItem;
+
+fn sched() -> SchedulerConfig {
+    let mut s = SchedulerConfig::paper_eval();
+    s.dfs = DfsConfig::highest_priority();
+    s
+}
+
+#[test]
+fn failed_node_requeues_and_restarts_jobs() {
+    let mut reg = CredRegistry::new();
+    let u = reg.user("u");
+    let g = reg.group_of(u);
+    let mut sim = BatchSim::new(Cluster::homogeneous(4, 8), sched());
+    // A 32-core job spans every node; any failure hits it.
+    sim.load(&[WorkloadItem {
+        at: SimTime::ZERO,
+        spec: JobSpec::rigid("wide", u, g, 32, SimDuration::from_secs(1000)),
+    }]);
+    sim.inject_failure(SimTime::from_secs(100), NodeId(2));
+    sim.inject_repair(SimTime::from_secs(200), NodeId(2));
+    sim.run();
+
+    let outcomes = sim.server().accounting().outcomes();
+    assert_eq!(outcomes.len(), 1, "the job eventually completes");
+    let o = &outcomes[0];
+    // Restarted from scratch after the repair: it cannot fit on 3 nodes,
+    // so it waits for the repair at t=200 and runs 1000 s from there.
+    assert_eq!(o.start_time, SimTime::from_secs(200));
+    assert_eq!(o.end_time, SimTime::from_secs(1200));
+    sim.server().cluster().check_invariants().unwrap();
+}
+
+#[test]
+fn unaffected_jobs_keep_running() {
+    let mut reg = CredRegistry::new();
+    let u = reg.user("u");
+    let g = reg.group_of(u);
+    let mut sim = BatchSim::new(Cluster::homogeneous(4, 8), sched());
+    sim.load(&[
+        // Packs onto node 0.
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid("small", u, g, 8, SimDuration::from_secs(500)),
+        },
+    ]);
+    // Fail a node the job does not occupy.
+    sim.inject_failure(SimTime::from_secs(100), NodeId(3));
+    sim.run();
+    let o = &sim.server().accounting().outcomes()[0];
+    assert_eq!(o.start_time, SimTime::ZERO);
+    assert_eq!(o.end_time, SimTime::from_secs(500), "undisturbed");
+}
+
+#[test]
+fn smaller_jobs_reschedule_onto_survivors() {
+    let mut reg = CredRegistry::new();
+    let u = reg.user("u");
+    let g = reg.group_of(u);
+    let mut sim = BatchSim::new(Cluster::homogeneous(4, 8), sched());
+    sim.load(&[WorkloadItem {
+        at: SimTime::ZERO,
+        spec: JobSpec::rigid("spread", u, g, 16, SimDuration::from_secs(300)),
+    }]);
+    let victim_node = NodeId(0); // Pack policy puts the job on nodes 0–1.
+    sim.inject_failure(SimTime::from_secs(50), victim_node);
+    sim.run();
+    let o = &sim.server().accounting().outcomes()[0];
+    // Requeued at t=50 and restarted immediately on the 3 surviving nodes
+    // (24 cores ≥ 16).
+    assert_eq!(o.start_time, SimTime::from_secs(50));
+    assert_eq!(o.end_time, SimTime::from_secs(350));
+    // The failed node is still down and empty at the end.
+    assert_eq!(sim.server().cluster().total_cores(), 24);
+    sim.server().cluster().check_invariants().unwrap();
+}

@@ -1,0 +1,119 @@
+//! The guaranteeing site policy (paper §II-B): evolving jobs pre-reserve
+//! their maximum dynamic demand; every request is granted, but the
+//! reserve blocks rigid jobs and idles until claimed.
+
+use dynbatch::cluster::Cluster;
+use dynbatch::core::{
+    CredRegistry, DfsConfig, ExecutionModel, JobSpec, SchedulerConfig, SimDuration, SimTime,
+};
+use dynbatch::sim::{run_experiment, BatchSim, ExperimentConfig};
+use dynbatch::workload::{generate_esp, EspConfig, WorkloadItem};
+
+fn sched(guarantee: bool) -> SchedulerConfig {
+    let mut s = SchedulerConfig::paper_eval();
+    s.dfs = DfsConfig::highest_priority();
+    s.guarantee_evolving = guarantee;
+    s
+}
+
+#[test]
+fn every_request_satisfied_under_guarantee() {
+    let mut reg = CredRegistry::new();
+    let wl = generate_esp(&EspConfig::paper_dynamic(), &mut reg);
+    let r = run_experiment(&ExperimentConfig::paper_cluster("guar", sched(true)), &wl);
+    assert_eq!(r.summary.satisfied_dyn_jobs, 69, "all evolving jobs guaranteed");
+    assert_eq!(r.stats.dyn_rejected, 0);
+}
+
+#[test]
+fn guarantee_costs_system_performance() {
+    // The paper's §II-B argument, averaged over seeds.
+    let seeds = [1u64, 2, 3, 4];
+    let (mut g_util, mut n_util, mut g_mk, mut n_mk) = (0.0, 0.0, 0.0, 0.0);
+    for &seed in &seeds {
+        let mut reg = CredRegistry::new();
+        let mut cfg = EspConfig::paper_dynamic();
+        cfg.seed = seed;
+        let wl = generate_esp(&cfg, &mut reg);
+        let g = run_experiment(&ExperimentConfig::paper_cluster("guar", sched(true)), &wl);
+        let n = run_experiment(&ExperimentConfig::paper_cluster("non", sched(false)), &wl);
+        g_util += g.summary.utilization;
+        n_util += n.summary.utilization;
+        g_mk += g.summary.makespan.as_mins_f64();
+        n_mk += n.summary.makespan.as_mins_f64();
+    }
+    assert!(g_util < n_util, "guarantee wastes reserved cores: {g_util} vs {n_util}");
+    assert!(g_mk > n_mk, "guarantee lengthens the workload: {g_mk} vs {n_mk}");
+}
+
+#[test]
+fn reserve_blocks_rigid_jobs_until_claimed() {
+    // 2 nodes × 8 = 16 cores. An evolving job (8 cores + 8 reserve) takes
+    // the whole machine's worth of planning width; a rigid 8-core job
+    // cannot start although 8 cores look idle.
+    let mut reg = CredRegistry::new();
+    let cfd = reg.user("cfd");
+    let other = reg.user("other");
+    let g = reg.group_of(cfd);
+    let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), sched(true));
+    sim.load(&[
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::evolving(
+                "grower",
+                cfd,
+                g,
+                8,
+                ExecutionModel::esp_evolving(1000, 700, 8),
+            ),
+        },
+        WorkloadItem {
+            at: SimTime::from_secs(10),
+            spec: JobSpec::rigid("rigid", other, g, 8, SimDuration::from_secs(100)),
+        },
+    ]);
+    sim.run();
+    let outcomes = sim.server().accounting().outcomes();
+    let grower = outcomes.iter().find(|o| o.name == "grower").unwrap();
+    let rigid = outcomes.iter().find(|o| o.name == "rigid").unwrap();
+    // The grant came from the reserve, instantly, with no fairness charge.
+    assert_eq!(grower.dyn_grants, 1);
+    assert_eq!(grower.cores_final, 16);
+    assert_eq!(sim.stats().delay_charged_ms, 0);
+    // The rigid job had to wait for the evolving job to finish: its start
+    // is the grower's end, not t=10.
+    assert_eq!(rigid.start_time, grower.end_time);
+}
+
+#[test]
+fn without_guarantee_rigid_job_runs_alongside() {
+    // Same scenario, non-guaranteeing: the rigid job starts immediately on
+    // the free node, and the evolving job's request is then rejected.
+    let mut reg = CredRegistry::new();
+    let cfd = reg.user("cfd");
+    let other = reg.user("other");
+    let g = reg.group_of(cfd);
+    let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), sched(false));
+    sim.load(&[
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::evolving(
+                "grower",
+                cfd,
+                g,
+                8,
+                ExecutionModel::esp_evolving(1000, 700, 8),
+            ),
+        },
+        WorkloadItem {
+            at: SimTime::from_secs(10),
+            spec: JobSpec::rigid("rigid", other, g, 8, SimDuration::from_secs(1000)),
+        },
+    ]);
+    sim.run();
+    let outcomes = sim.server().accounting().outcomes();
+    let rigid = outcomes.iter().find(|o| o.name == "rigid").unwrap();
+    assert_eq!(rigid.start_time, SimTime::from_secs(10), "starts immediately");
+    let grower = outcomes.iter().find(|o| o.name == "grower").unwrap();
+    assert_eq!(grower.dyn_grants, 0, "no cores left to grow onto");
+}

@@ -1,0 +1,193 @@
+//! Malleable-job support (the paper's future work, and §II-B's "stealing
+//! resources from malleable jobs" source for dynamic requests).
+//!
+//! A malleable job is a work pool: the batch system may shrink it toward
+//! its minimum to serve an evolving job's `tm_dynget()`, or grow it onto
+//! idle cores to soak up waste. All resizes are scheduler-initiated — the
+//! defining difference from evolving jobs (paper §I).
+
+use dynbatch::cluster::Cluster;
+use dynbatch::core::{
+    CredRegistry, DfsConfig, ExecutionModel, JobSpec, SchedulerConfig, SimDuration, SimTime,
+};
+use dynbatch::sim::BatchSim;
+use dynbatch::workload::WorkloadItem;
+
+fn sched(shrink: bool, grow: bool) -> SchedulerConfig {
+    let mut s = SchedulerConfig::paper_eval();
+    s.dfs = DfsConfig::highest_priority();
+    s.shrink_malleable_for_dyn = shrink;
+    s.grow_malleable_on_idle = grow;
+    s
+}
+
+#[test]
+fn work_pool_runtime_is_exact() {
+    // 16 000 core-seconds on 16 cores = 1000 s, alone on the cluster.
+    let mut reg = CredRegistry::new();
+    let u = reg.user("m");
+    let g = reg.group_of(u);
+    let mut sim = BatchSim::new(Cluster::homogeneous(4, 8), sched(false, false));
+    sim.load(&[WorkloadItem {
+        at: SimTime::ZERO,
+        spec: JobSpec::malleable("pool", u, g, 16, 8, 32, 16_000),
+    }]);
+    sim.run();
+    let o = &sim.server().accounting().outcomes()[0];
+    assert_eq!(o.runtime(), SimDuration::from_secs(1000));
+}
+
+#[test]
+fn grow_on_idle_shortens_malleable_jobs() {
+    // 32-core cluster; the malleable job submits at 16 cores (max 32). With
+    // growing enabled it is immediately topped up to 32 and halves its
+    // runtime.
+    let run = |grow: bool| {
+        let mut reg = CredRegistry::new();
+        let u = reg.user("m");
+        let g = reg.group_of(u);
+        let mut sim = BatchSim::new(Cluster::homogeneous(4, 8), sched(false, grow));
+        sim.load(&[WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::malleable("pool", u, g, 16, 8, 32, 16_000),
+        }]);
+        sim.run();
+        (sim.server().accounting().outcomes()[0].runtime(), sim.stats().malleable_resizes)
+    };
+    let (without, r0) = run(false);
+    let (with, r1) = run(true);
+    assert_eq!(without, SimDuration::from_secs(1000));
+    assert_eq!(with, SimDuration::from_secs(500), "grown 16 → 32 at t=0");
+    assert_eq!(r0, 0);
+    assert!(r1 >= 1);
+}
+
+#[test]
+fn grow_respects_reservations() {
+    // A rigid job is reserved to start at t=100 on 16 cores; the malleable
+    // job may only grow into cores that do not collide with that
+    // reservation.
+    let mut reg = CredRegistry::new();
+    let u = reg.user("m");
+    let o = reg.user("r");
+    let g = reg.group_of(u);
+    let mut sim = BatchSim::new(Cluster::homogeneous(4, 8), sched(false, true));
+    sim.load(&[
+        // Fills 16 cores until t=100.
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid("filler", o, g, 16, SimDuration::from_secs(100)),
+        },
+        // Malleable on the other 16, max 32, long walltime.
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::malleable("pool", u, g, 16, 8, 32, 160_000),
+        },
+        // A rigid job that must get 16 cores when the filler ends.
+        WorkloadItem {
+            at: SimTime::from_secs(10),
+            spec: JobSpec::rigid("waiter", o, g, 16, SimDuration::from_secs(100)),
+        },
+    ]);
+    sim.run();
+    let outcomes = sim.server().accounting().outcomes();
+    let waiter = outcomes.iter().find(|o| o.name == "waiter").unwrap();
+    // The malleable job's walltime (work/min = 160000/8 = 20000 s) blankets
+    // everything, so the waiter's start hinges on the filler's end alone.
+    assert_eq!(
+        waiter.start_time,
+        SimTime::from_secs(100),
+        "the malleable grow must not consume the waiter's reserved cores"
+    );
+}
+
+#[test]
+fn dynamic_request_served_by_shrinking_malleable() {
+    // 16 cores total: evolving holds 8, malleable holds 8 (min 4). The
+    // evolving job requests +4 — only a malleable shrink can provide them.
+    let run = |shrink: bool| {
+        let mut reg = CredRegistry::new();
+        let e = reg.user("evolving");
+        let m = reg.user("malleable");
+        let g = reg.group_of(e);
+        let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), sched(shrink, false));
+        sim.load(&[
+            WorkloadItem {
+                at: SimTime::ZERO,
+                spec: JobSpec::evolving(
+                    "grower",
+                    e,
+                    g,
+                    8,
+                    ExecutionModel::esp_evolving(1000, 700, 4),
+                ),
+            },
+            WorkloadItem {
+                at: SimTime::ZERO,
+                spec: JobSpec::malleable("pool", m, g, 8, 4, 8, 8_000),
+            },
+        ]);
+        sim.run();
+        let outcomes = sim.server().accounting().outcomes().to_vec();
+        (outcomes, sim.stats())
+    };
+
+    let (outs, stats) = run(false);
+    let grower = outs.iter().find(|o| o.name == "grower").unwrap();
+    assert_eq!(grower.dyn_grants, 0, "no idle cores, no shrinking: rejected");
+    assert_eq!(stats.malleable_resizes, 0);
+
+    let (outs, stats) = run(true);
+    let grower = outs.iter().find(|o| o.name == "grower").unwrap();
+    assert_eq!(grower.dyn_grants, 1, "served by shrinking the malleable job");
+    assert_eq!(grower.cores_final, 12);
+    assert!(stats.malleable_resizes >= 1);
+    // The malleable job still completes all its work, just more slowly.
+    let pool = outs.iter().find(|o| o.name == "pool").unwrap();
+    assert!(pool.runtime() > SimDuration::from_secs(1000), "{}", pool.runtime());
+}
+
+#[test]
+fn shrink_never_goes_below_min() {
+    // Malleable min is 6 of 8: only 2 cores can be stolen; a request for
+    // 4 must still fail.
+    let mut reg = CredRegistry::new();
+    let e = reg.user("evolving");
+    let m = reg.user("malleable");
+    let g = reg.group_of(e);
+    let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), sched(true, false));
+    sim.load(&[
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::evolving("grower", e, g, 8, ExecutionModel::esp_evolving(1000, 700, 4)),
+        },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::malleable("pool", m, g, 8, 6, 8, 8_000),
+        },
+    ]);
+    sim.run();
+    let outcomes = sim.server().accounting().outcomes();
+    let grower = outcomes.iter().find(|o| o.name == "grower").unwrap();
+    assert_eq!(grower.dyn_grants, 0, "2 stealable cores cannot satisfy +4");
+    // And nothing was shrunk for a failed request.
+    assert_eq!(sim.stats().malleable_resizes, 0);
+}
+
+#[test]
+fn malleable_spec_validation() {
+    let mut reg = CredRegistry::new();
+    let u = reg.user("m");
+    let g = reg.group_of(u);
+    let good = JobSpec::malleable("ok", u, g, 8, 4, 16, 1000);
+    assert!(good.validate().is_ok());
+    let mut bad = good.clone();
+    bad.cores = 2; // below min
+    assert!(bad.validate().is_err());
+    let mut bad = good.clone();
+    bad.malleable = Some(dynbatch::core::MalleableRange { min_cores: 0, max_cores: 4 });
+    assert!(bad.validate().is_err());
+    let mut bad = good.clone();
+    bad.malleable = None; // malleable class without a range
+    assert!(bad.validate().is_err());
+}

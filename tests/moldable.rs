@@ -1,0 +1,129 @@
+//! Moldable-job support: the batch system picks the start allocation from
+//! a range, once, before start (paper §I taxonomy). Contrast with
+//! malleable (resized *during* execution) and evolving (the *application*
+//! asks during execution).
+
+use dynbatch::cluster::Cluster;
+use dynbatch::core::{
+    CredRegistry, DfsConfig, JobSpec, SchedulerConfig, SimDuration, SimTime,
+};
+use dynbatch::sim::BatchSim;
+use dynbatch::workload::WorkloadItem;
+
+fn sched() -> SchedulerConfig {
+    let mut s = SchedulerConfig::paper_eval();
+    s.dfs = DfsConfig::highest_priority();
+    s
+}
+
+#[test]
+fn moldable_takes_the_largest_fit() {
+    // 32-core cluster, empty: a moldable [8, 24] job submitted at 8 cores
+    // is molded up to 24 and finishes in work/24.
+    let mut reg = CredRegistry::new();
+    let u = reg.user("u");
+    let g = reg.group_of(u);
+    let mut sim = BatchSim::new(Cluster::homogeneous(4, 8), sched());
+    sim.load(&[WorkloadItem {
+        at: SimTime::ZERO,
+        spec: JobSpec::moldable("mold", u, g, 8, 8, 24, 24_000),
+    }]);
+    sim.run();
+    let o = &sim.server().accounting().outcomes()[0];
+    assert_eq!(o.cores_final, 24);
+    assert_eq!(o.runtime(), SimDuration::from_secs(1000));
+}
+
+#[test]
+fn moldable_shrinks_to_fit_now_rather_than_wait() {
+    // 16 idle cores of 32 (a rigid job holds the rest for a long time):
+    // the moldable [8, 24] job starts NOW on 16 instead of queueing for 24.
+    let mut reg = CredRegistry::new();
+    let u = reg.user("u");
+    let o = reg.user("o");
+    let g = reg.group_of(u);
+    let mut sim = BatchSim::new(Cluster::homogeneous(4, 8), sched());
+    sim.load(&[
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid("filler", o, g, 16, SimDuration::from_hours(10)),
+        },
+        WorkloadItem {
+            at: SimTime::from_secs(10),
+            spec: JobSpec::moldable("mold", u, g, 24, 8, 24, 16_000),
+        },
+    ]);
+    sim.run();
+    let outcomes = sim.server().accounting().outcomes();
+    let m = outcomes.iter().find(|o| o.name == "mold").unwrap();
+    assert_eq!(m.start_time, SimTime::from_secs(10), "started immediately, molded");
+    assert_eq!(m.cores_final, 16);
+    assert_eq!(m.runtime(), SimDuration::from_secs(1000));
+}
+
+#[test]
+fn moldable_below_min_waits() {
+    // Only 4 cores idle; min is 8: the job must wait for the filler.
+    let mut reg = CredRegistry::new();
+    let u = reg.user("u");
+    let o = reg.user("o");
+    let g = reg.group_of(u);
+    let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), sched());
+    sim.load(&[
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid("filler", o, g, 12, SimDuration::from_secs(100)),
+        },
+        WorkloadItem {
+            at: SimTime::from_secs(10),
+            spec: JobSpec::moldable("mold", u, g, 8, 8, 16, 8_000),
+        },
+    ]);
+    sim.run();
+    let outcomes = sim.server().accounting().outcomes();
+    let m = outcomes.iter().find(|o| o.name == "mold").unwrap();
+    assert_eq!(m.start_time, SimTime::from_secs(100));
+    assert_eq!(m.cores_final, 16, "molded up once the whole machine is free");
+}
+
+#[test]
+fn molding_happens_once_never_after() {
+    // After start the allocation is fixed: when the filler ends, the
+    // moldable job does NOT grow (that would be malleability).
+    let mut reg = CredRegistry::new();
+    let u = reg.user("u");
+    let o = reg.user("o");
+    let g = reg.group_of(u);
+    let mut sim = BatchSim::new(Cluster::homogeneous(4, 8), sched());
+    sim.load(&[
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid("filler", o, g, 16, SimDuration::from_secs(100)),
+        },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::moldable("mold", u, g, 16, 8, 32, 32_000),
+        },
+    ]);
+    sim.run();
+    let outcomes = sim.server().accounting().outcomes();
+    let m = outcomes.iter().find(|o| o.name == "mold").unwrap();
+    assert_eq!(m.cores_final, 16, "molded to 16 at t=0 and stayed there");
+    assert_eq!(m.runtime(), SimDuration::from_secs(2000));
+    assert_eq!(sim.stats().malleable_resizes, 0);
+}
+
+#[test]
+fn moldable_validation() {
+    let mut reg = CredRegistry::new();
+    let u = reg.user("u");
+    let g = reg.group_of(u);
+    let good = JobSpec::moldable("m", u, g, 8, 4, 16, 1000);
+    assert!(good.validate().is_ok());
+    let mut bad = good.clone();
+    bad.cores = 32;
+    assert!(bad.validate().is_err(), "cores outside range");
+    let mut bad = good;
+    bad.moldable = None;
+    assert!(bad.validate().is_err(), "moldable class without range");
+}

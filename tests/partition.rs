@@ -1,0 +1,163 @@
+//! The separate dynamic partition (paper §II-B's second availability
+//! source): a slice of the machine only dynamic requests may use. Static
+//! jobs never touch it, so partition grants are delay-free by
+//! construction.
+
+use dynbatch::cluster::Cluster;
+use dynbatch::core::{
+    CredRegistry, DfsConfig, ExecutionModel, JobSpec, SchedulerConfig, SimDuration, SimTime,
+};
+use dynbatch::sim::BatchSim;
+use dynbatch::workload::WorkloadItem;
+
+fn sched(partition: u32, cap: Option<u64>) -> SchedulerConfig {
+    let mut s = SchedulerConfig::paper_eval();
+    s.dfs = match cap {
+        None => DfsConfig::highest_priority(),
+        Some(c) => DfsConfig::uniform_target(c, SimDuration::from_hours(1)),
+    };
+    s.dyn_partition_cores = partition;
+    s
+}
+
+#[test]
+fn static_jobs_never_enter_the_partition() {
+    // 16 cores, 4 partitioned: two 12-core rigid jobs must run serially
+    // even though 16 cores exist.
+    let mut reg = CredRegistry::new();
+    let u = reg.user("u");
+    let g = reg.group_of(u);
+    let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), sched(4, None));
+    sim.load(&[
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid("a", u, g, 12, SimDuration::from_secs(100)),
+        },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid("b", u, g, 4, SimDuration::from_secs(100)),
+        },
+    ]);
+    sim.run();
+    let outcomes = sim.server().accounting().outcomes();
+    let a = outcomes.iter().find(|o| o.name == "a").unwrap();
+    let b = outcomes.iter().find(|o| o.name == "b").unwrap();
+    // a (12) starts first; b (4) cannot share the instant because only
+    // 16 − 4(partition) − 12 = 0 cores remain for static work.
+    assert_eq!(a.start_time, SimTime::ZERO);
+    assert_eq!(b.start_time, a.end_time, "b waits for a despite idle partition cores");
+}
+
+#[test]
+fn partition_serves_dynamic_requests_without_delay_charges() {
+    // Strictest possible fairness (cap ~0) plus a queued static job: an
+    // idle-cores grant would be refused, but the partition grant charges
+    // nothing and sails through.
+    let mut reg = CredRegistry::new();
+    let e = reg.user("evolving");
+    let r = reg.user("rigid");
+    let g = reg.group_of(e);
+    let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), sched(4, Some(1)));
+    sim.load(&[
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::evolving(
+                "grower",
+                e,
+                g,
+                8,
+                ExecutionModel::esp_evolving(1000, 700, 4),
+            ),
+        },
+        // Fills the remaining static capacity (16 − 4 − 8 = 4 cores).
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid("filler", r, g, 4, SimDuration::from_secs(2000)),
+        },
+        // Queued behind everything.
+        WorkloadItem {
+            at: SimTime::from_secs(10),
+            spec: JobSpec::rigid("waiter", r, g, 8, SimDuration::from_secs(100)),
+        },
+    ]);
+    sim.run();
+    let outcomes = sim.server().accounting().outcomes();
+    let grower = outcomes.iter().find(|o| o.name == "grower").unwrap();
+    assert_eq!(grower.dyn_grants, 1, "partition grant under a 1 s fairness cap");
+    assert_eq!(grower.cores_final, 12);
+    assert_eq!(sim.stats().delay_charged_ms, 0, "partition grants are delay-free");
+}
+
+#[test]
+fn without_partition_the_same_grant_is_refused() {
+    // No partition: the 4 idle cores are the very cores a waiter —
+    // submitted in the same instant the request fires (t = 160 s = 16 % of
+    // SET) — would start on. Granting would push it to the evolving job's
+    // walltime end, far past the 1 s cap: fairness refuses, the waiter
+    // starts immediately.
+    let mut reg = CredRegistry::new();
+    let e = reg.user("evolving");
+    let r = reg.user("rigid");
+    let g = reg.group_of(e);
+    let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), sched(0, Some(1)));
+    sim.load(&[
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::evolving(
+                "grower",
+                e,
+                g,
+                8,
+                ExecutionModel::esp_evolving(1000, 700, 4),
+            ),
+        },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid("filler", r, g, 4, SimDuration::from_secs(2000)),
+        },
+        WorkloadItem {
+            at: SimTime::from_secs(160),
+            spec: JobSpec::rigid("waiter", r, g, 4, SimDuration::from_secs(100)),
+        },
+    ]);
+    sim.run();
+    let outcomes = sim.server().accounting().outcomes();
+    let grower = outcomes.iter().find(|o| o.name == "grower").unwrap();
+    let waiter = outcomes.iter().find(|o| o.name == "waiter").unwrap();
+    assert_eq!(
+        grower.dyn_grants, 0,
+        "granting the free cores would delay the waiter past the 1 s cap"
+    );
+    assert!(sim.stats().dyn_rejected_fairness >= 1);
+    assert_eq!(waiter.start_time, SimTime::from_secs(160), "waiter protected");
+}
+
+#[test]
+fn oversized_jobs_block_on_partition_forever_guard() {
+    // A full-machine job can never run while a partition exists; it is
+    // killed at its walltime... actually it never starts — the workload
+    // still drains because the simulator kills nothing that never started.
+    // Verify the scheduler handles the unplannable job gracefully (no
+    // panic, smaller jobs proceed).
+    let mut reg = CredRegistry::new();
+    let u = reg.user("u");
+    let g = reg.group_of(u);
+    let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), sched(4, None));
+    sim.load(&[
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid("whale", u, g, 16, SimDuration::from_secs(100)),
+        },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid("minnow", u, g, 4, SimDuration::from_secs(50)),
+        },
+    ]);
+    // Run a bounded number of steps: the whale never starts, so the queue
+    // drains of events once the minnow completes.
+    sim.run();
+    let outcomes = sim.server().accounting().outcomes();
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].name, "minnow");
+    assert_eq!(sim.server().queued_count(), 1, "the whale waits forever");
+}

@@ -1,0 +1,168 @@
+//! End-to-end preemption: the site option that lets dynamic requests take
+//! resources from *backfilled* jobs (paper §III-C: "idle before
+//! preemptible resources"), and the walltime reaper.
+
+use dynbatch::cluster::Cluster;
+use dynbatch::core::{
+    CredRegistry, DfsConfig, ExecutionModel, JobClass, JobSpec, SchedulerConfig, SimDuration,
+    SimTime, UserId,
+};
+use dynbatch::sim::BatchSim;
+use dynbatch::workload::WorkloadItem;
+
+fn sched(preempt: bool) -> SchedulerConfig {
+    let mut s = SchedulerConfig::paper_eval();
+    s.dfs = DfsConfig::highest_priority();
+    s.preempt_backfilled_for_dyn = preempt;
+    s
+}
+
+/// 16 cores. An evolving job holds 8. A big rigid job (16 cores) queues —
+/// blocked until the evolving job ends — and a small 8-core job backfills
+/// into the hole. The evolving job then asks for +8: only preemption of
+/// the backfilled job can provide it.
+fn scenario(preempt: bool) -> BatchSim {
+    let mut reg = CredRegistry::new();
+    let e = reg.user("evolving");
+    let big = reg.user("big");
+    let small = reg.user("small");
+    let g = reg.group_of(e);
+    let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), sched(preempt));
+    sim.load(&[
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::evolving(
+                "grower",
+                e,
+                g,
+                8,
+                ExecutionModel::esp_evolving(1000, 700, 8),
+            ),
+        },
+        // Submitted first among the queue: blocked (needs all 16).
+        WorkloadItem {
+            at: SimTime::from_secs(1),
+            spec: JobSpec::rigid("blocked", big, g, 16, SimDuration::from_secs(100)),
+        },
+        // Small enough to backfill before the reservation at t=1000.
+        WorkloadItem {
+            at: SimTime::from_secs(2),
+            spec: JobSpec::rigid("filler", small, g, 8, SimDuration::from_secs(400)),
+        },
+    ]);
+    sim
+}
+
+#[test]
+fn preemption_feeds_the_dynamic_request() {
+    let mut sim = scenario(true);
+    sim.run();
+    assert_eq!(sim.stats().preemptions, 1, "the backfilled filler was preempted");
+    let outcomes = sim.server().accounting().outcomes();
+    let grower = outcomes.iter().find(|o| o.name == "grower").unwrap();
+    assert_eq!(grower.dyn_grants, 1);
+    assert_eq!(grower.cores_final, 16);
+    // The preempted filler restarted from scratch and still completed.
+    let filler = outcomes.iter().find(|o| o.name == "filler").unwrap();
+    assert_eq!(filler.runtime(), SimDuration::from_secs(400), "full rerun after requeue");
+    assert!(filler.start_time > SimTime::from_secs(2), "not its original start");
+    // Everyone finished; the books balance.
+    assert_eq!(outcomes.len(), 3);
+    sim.server().cluster().check_invariants().unwrap();
+}
+
+#[test]
+fn without_preemption_the_request_fails() {
+    let mut sim = scenario(false);
+    sim.run();
+    assert_eq!(sim.stats().preemptions, 0);
+    let outcomes = sim.server().accounting().outcomes();
+    let grower = outcomes.iter().find(|o| o.name == "grower").unwrap();
+    assert_eq!(grower.dyn_grants, 0);
+    assert_eq!(grower.runtime(), SimDuration::from_secs(1000), "ran static");
+    let filler = outcomes.iter().find(|o| o.name == "filler").unwrap();
+    assert_eq!(filler.start_time, SimTime::from_secs(2), "backfill undisturbed");
+}
+
+#[test]
+fn walltime_reaper_kills_overrunning_jobs() {
+    // A job whose declared walltime is shorter than its actual runtime is
+    // killed at the limit (plus the 1 ms reaper grace).
+    let mut reg = CredRegistry::new();
+    let u = reg.user("liar");
+    let g = reg.group_of(u);
+    let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), sched(false));
+    let mut spec = JobSpec::rigid("overrun", u, g, 8, SimDuration::from_secs(100));
+    spec.walltime = SimDuration::from_secs(50);
+    spec.exec = ExecutionModel::Fixed { duration: SimDuration::from_secs(100) };
+    sim.load(&[
+        WorkloadItem { at: SimTime::ZERO, spec },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid("honest", u, g, 8, SimDuration::from_secs(30)),
+        },
+    ]);
+    sim.run();
+    assert_eq!(sim.stats().walltime_kills, 1);
+    // The killed job is Cancelled, not Completed; the honest one finished.
+    let overrun = sim.server().jobs().find(|j| j.spec.name == "overrun").unwrap();
+    assert_eq!(overrun.state, dynbatch::core::JobState::Cancelled);
+    assert_eq!(
+        overrun.end_time.unwrap(),
+        SimTime::ZERO + SimDuration::from_millis(50_001),
+        "killed at walltime + reaper grace"
+    );
+    assert_eq!(sim.server().accounting().outcomes().len(), 1);
+    sim.server().cluster().check_invariants().unwrap();
+}
+
+#[test]
+fn preempted_evolving_job_restarts_cleanly() {
+    // An evolving job that was itself backfilled can be preempted; its
+    // pending state and scheduled request points must not leak into the
+    // re-execution (generation guard).
+    let mut reg = CredRegistry::new();
+    let a = reg.user("a");
+    let b = reg.user("b");
+    let g = reg.group_of(a);
+    let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), sched(true));
+    sim.load(&[
+        // Holds 8 cores for a long time.
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: {
+                let mut s = JobSpec::evolving(
+                    "alpha",
+                    a,
+                    g,
+                    8,
+                    ExecutionModel::esp_evolving(2000, 1500, 8),
+                );
+                s.class = JobClass::Evolving;
+                s
+            },
+        },
+        // Queued full-machine job: blocked.
+        WorkloadItem {
+            at: SimTime::from_secs(1),
+            spec: JobSpec::rigid("blocked", b, g, 16, SimDuration::from_secs(50)),
+        },
+        // A small evolving job backfills, then gets preempted when alpha
+        // asks for the whole other node at t=320 (16% of 2000).
+        WorkloadItem {
+            at: SimTime::from_secs(2),
+            spec: JobSpec::evolving(
+                "victim",
+                UserId(1),
+                g,
+                8,
+                ExecutionModel::esp_evolving(600, 500, 4),
+            ),
+        },
+    ]);
+    sim.run();
+    let outcomes = sim.server().accounting().outcomes();
+    assert_eq!(outcomes.len(), 3, "everyone eventually completes");
+    sim.server().cluster().check_invariants().unwrap();
+    assert_eq!(sim.server().cluster().idle_cores(), 16);
+}

@@ -1,0 +1,77 @@
+//! End-to-end: an SWF (Parallel Workloads Archive format) trace through
+//! the full batch system.
+
+use dynbatch::core::{CredRegistry, DfsConfig, SchedulerConfig};
+use dynbatch::sim::{run_experiment, ExperimentConfig};
+use dynbatch::workload::{parse_swf, SwfConfig};
+use std::fmt::Write as _;
+
+/// Builds a synthetic-but-valid SWF text: `n` jobs, mixed sizes/runtimes,
+/// with SWF conventions (−1 for unknown, `;` headers).
+fn synthetic_swf(n: usize) -> String {
+    let mut out = String::from("; UnixStartTime: 0\n; MaxProcs: 128\n");
+    for i in 0..n {
+        let submit = i * 20;
+        let runtime = 120 + (i * 37) % 900;
+        let procs = 1 + (i * 13) % 48;
+        let req_time = runtime + runtime / 4; // users pad 25 %
+        let user = i % 7;
+        let _ = writeln!(
+            out,
+            "{} {} 0 {} {} -1 -1 {} {} -1 1 {} 1 -1 1 -1 -1 -1",
+            i + 1,
+            submit,
+            runtime,
+            procs,
+            procs,
+            req_time,
+            user
+        );
+    }
+    out
+}
+
+#[test]
+fn swf_trace_runs_to_completion() {
+    let text = synthetic_swf(80);
+    let mut reg = CredRegistry::new();
+    let cfg = SwfConfig { evolving_fraction: 0.3, ..Default::default() };
+    let wl = parse_swf(&text, &cfg, &mut reg).expect("parse");
+    assert_eq!(wl.len(), 80);
+
+    let mut sched = SchedulerConfig::paper_eval();
+    sched.dfs = DfsConfig::highest_priority();
+    let r = run_experiment(&ExperimentConfig::paper_cluster("swf", sched), &wl);
+    assert_eq!(r.outcomes.len(), 80);
+    assert!(r.summary.utilization > 0.0);
+    // The converted evolving jobs issued requests.
+    assert!(r.stats.dyn_granted + r.stats.dyn_rejected > 0);
+}
+
+#[test]
+fn swf_walltime_padding_matters() {
+    // The same trace with exact walltimes should schedule at least as
+    // tightly (more backfill) as with padded requested walltimes.
+    let text = synthetic_swf(60);
+    let sched = {
+        let mut s = SchedulerConfig::paper_eval();
+        s.dfs = DfsConfig::highest_priority();
+        s
+    };
+    let run = |use_requested| {
+        let mut reg = CredRegistry::new();
+        let cfg = SwfConfig { use_requested_walltime: use_requested, ..Default::default() };
+        let wl = parse_swf(&text, &cfg, &mut reg).unwrap();
+        run_experiment(&ExperimentConfig::paper_cluster("swf", sched.clone()), &wl)
+    };
+    let padded = run(true);
+    let exact = run(false);
+    assert_eq!(padded.outcomes.len(), exact.outcomes.len());
+    // Identical job set; both complete. (Backfill aggressiveness differs,
+    // but makespan ordering is workload-dependent — just sanity-check
+    // both drained and recorded sane utilizations.)
+    for r in [&padded, &exact] {
+        assert!((0.0..=1.0).contains(&r.summary.utilization));
+        assert_eq!(r.stats.walltime_kills, 0);
+    }
+}
