@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dynbatch_core::{
     BackfillPolicy, DfsConfig, GroupId, JobId, SchedulerConfig, SimDuration, SimTime, UserId,
 };
-use dynbatch_sched::{
-    DelayCharge, DfsEngine, DynRequest, Maui, QueuedJob, RunningJob, Snapshot,
-};
+use dynbatch_sched::{DelayCharge, DfsEngine, DynRequest, Maui, QueuedJob, RunningJob, Snapshot};
 use std::hint::black_box;
 
 fn loaded_snapshot() -> Snapshot {
@@ -114,5 +112,10 @@ fn bench_dfs_evaluate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_delay_depth, bench_backfill_policy, bench_dfs_evaluate);
+criterion_group!(
+    benches,
+    bench_delay_depth,
+    bench_backfill_policy,
+    bench_dfs_evaluate
+);
 criterion_main!(benches);

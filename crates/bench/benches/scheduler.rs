@@ -2,9 +2,7 @@
 //! ranking, planning, delay measurement, DFS checks, backfill.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dynbatch_core::{
-    DfsConfig, GroupId, JobId, SchedulerConfig, SimDuration, SimTime, UserId,
-};
+use dynbatch_core::{DfsConfig, GroupId, JobId, SchedulerConfig, SimDuration, SimTime, UserId};
 use dynbatch_sched::{DynRequest, Maui, QueuedJob, RunningJob, Snapshot};
 use dynbatch_simtime::SplitMix64;
 use std::hint::black_box;
@@ -22,7 +20,9 @@ fn snapshot(running: usize, queued: usize, dyn_reqs: usize) -> Snapshot {
     };
     let mut used = 0u32;
     for i in 0..running {
-        let cores = (1 + rng.next_below(8) as u32).min(110u32.saturating_sub(used)).max(1);
+        let cores = (1 + rng.next_below(8) as u32)
+            .min(110u32.saturating_sub(used))
+            .max(1);
         used += cores;
         snap.running.push(RunningJob {
             id: JobId(i as u64),

@@ -29,7 +29,11 @@ fn bench_hold(c: &mut Criterion) {
             let base = busy_profile(jobs, 1024);
             b.iter(|| {
                 let mut p = base.clone();
-                p.hold(SimTime::from_secs(10), SimTime::from_secs(500), black_box(4));
+                p.hold(
+                    SimTime::from_secs(10),
+                    SimTime::from_secs(500),
+                    black_box(4),
+                );
                 black_box(p)
             });
         });
@@ -42,9 +46,7 @@ fn bench_earliest_fit(c: &mut Criterion) {
     for &jobs in &[10u64, 50, 200] {
         group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
             let p = busy_profile(jobs, 1024);
-            b.iter(|| {
-                p.earliest_fit(black_box(64), SimDuration::from_secs(600), SimTime::ZERO)
-            });
+            b.iter(|| p.earliest_fit(black_box(64), SimDuration::from_secs(600), SimTime::ZERO));
         });
     }
     group.finish();

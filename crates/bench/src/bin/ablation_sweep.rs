@@ -16,9 +16,7 @@
 //! cargo run --release -p dynbatch-bench --bin ablation_sweep [-- --seeds N]
 //! ```
 
-use dynbatch_core::{
-    CredRegistry, DfsConfig, JobClass, JobSpec, SchedulerConfig, SimDuration,
-};
+use dynbatch_core::{CredRegistry, DfsConfig, JobClass, JobSpec, SchedulerConfig, SimDuration};
 use dynbatch_sim::{run_experiment, ExperimentConfig, ExperimentResult};
 use dynbatch_workload::{generate_esp, EspConfig};
 
@@ -45,14 +43,36 @@ struct Avg {
 fn average(results: &[ExperimentResult]) -> Avg {
     let n = results.len() as f64;
     Avg {
-        makespan_min: results.iter().map(|r| r.summary.makespan.as_mins_f64()).sum::<f64>() / n,
-        util_pct: results.iter().map(|r| r.summary.utilization * 100.0).sum::<f64>() / n,
-        satisfied: results.iter().map(|r| r.summary.satisfied_dyn_jobs as f64).sum::<f64>() / n,
-        fairness_rejects: results.iter().map(|r| r.stats.dyn_rejected_fairness as f64).sum::<f64>()
+        makespan_min: results
+            .iter()
+            .map(|r| r.summary.makespan.as_mins_f64())
+            .sum::<f64>()
             / n,
-        delay_charged_s: results.iter().map(|r| r.stats.delay_charged_ms as f64 / 1000.0).sum::<f64>()
+        util_pct: results
+            .iter()
+            .map(|r| r.summary.utilization * 100.0)
+            .sum::<f64>()
             / n,
-        resizes: results.iter().map(|r| r.stats.malleable_resizes as f64).sum::<f64>() / n,
+        satisfied: results
+            .iter()
+            .map(|r| r.summary.satisfied_dyn_jobs as f64)
+            .sum::<f64>()
+            / n,
+        fairness_rejects: results
+            .iter()
+            .map(|r| r.stats.dyn_rejected_fairness as f64)
+            .sum::<f64>()
+            / n,
+        delay_charged_s: results
+            .iter()
+            .map(|r| r.stats.delay_charged_ms as f64 / 1000.0)
+            .sum::<f64>()
+            / n,
+        resizes: results
+            .iter()
+            .map(|r| r.stats.malleable_resizes as f64)
+            .sum::<f64>()
+            / n,
     }
 }
 
@@ -67,7 +87,13 @@ fn header(title: &str) {
 fn row(label: &str, a: &Avg) {
     println!(
         "{:<22} {:>10.2} {:>9.2} {:>10.1} {:>10.1} {:>12.0} {:>9.1}",
-        label, a.makespan_min, a.util_pct, a.satisfied, a.fairness_rejects, a.delay_charged_s, a.resizes
+        label,
+        a.makespan_min,
+        a.util_pct,
+        a.satisfied,
+        a.fairness_rejects,
+        a.delay_charged_s,
+        a.resizes
     );
 }
 
@@ -88,7 +114,10 @@ fn run_many(
         let mut sched = SchedulerConfig::paper_eval();
         sched.dfs = DfsConfig::uniform_target(200, SimDuration::from_hours(1));
         sched_mut(&mut sched);
-        results.push(run_experiment(&ExperimentConfig::paper_cluster("ablation", sched), &wl));
+        results.push(run_experiment(
+            &ExperimentConfig::paper_cluster("ablation", sched),
+            &wl,
+        ));
     }
     average(&results)
 }
@@ -102,7 +131,12 @@ fn main() {
 
     header("ReservationDelayDepth (delay-measurement window)");
     for depth in [0usize, 1, 5, 20, 60] {
-        let a = run_many(&seeds, |_| {}, |s| s.reservation_delay_depth = depth, |_, _| {});
+        let a = run_many(
+            &seeds,
+            |_| {},
+            |s| s.reservation_delay_depth = depth,
+            |_, _| {},
+        );
         row(&format!("depth = {depth}"), &a);
     }
     println!("(depth 0 measures no delays at all — fairness cannot see harm, grants rise)");
@@ -119,12 +153,21 @@ fn main() {
         let a = run_many(&seeds, |w| w.walltime_factor = wf, |_| {}, |_, _| {});
         row(&format!("walltime × {wf}"), &a);
     }
-    println!("(padding inflates measured delays — §III-D's over-estimation — and throttles backfill)");
+    println!(
+        "(padding inflates measured delays — §III-D's over-estimation — and throttles backfill)"
+    );
 
     header("Evolving-job share (paper fixes 30 %)");
     for evolving in [false, true] {
         let a = run_many(&seeds, |w| w.evolving = evolving, |_| {}, |_, _| {});
-        row(if evolving { "30 % evolving" } else { "0 % (static)" }, &a);
+        row(
+            if evolving {
+                "30 % evolving"
+            } else {
+                "0 % (static)"
+            },
+            &a,
+        );
     }
 
     header("Dynamic partition size (§II-B's second source)");

@@ -29,7 +29,10 @@ fn main() {
         None => vec![EspConfig::default().seed],
     };
 
-    println!("Guaranteeing vs non-guaranteeing dynamic allocation (dynamic ESP, {} seed(s))\n", seeds.len());
+    println!(
+        "Guaranteeing vs non-guaranteeing dynamic allocation (dynamic ESP, {} seed(s))\n",
+        seeds.len()
+    );
 
     let mut rows = Vec::new();
     for (label, guarantee) in [("Non-guar", false), ("Guarantee", true)] {

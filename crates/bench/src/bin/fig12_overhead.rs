@@ -22,8 +22,8 @@
 
 use dynbatch_cluster::Allocation;
 use dynbatch_core::{
-    DfsConfig, ExecutionModel, GroupId, JobClass, JobSpec, JobState, SchedulerConfig,
-    SimDuration, UserId,
+    DfsConfig, ExecutionModel, GroupId, JobClass, JobSpec, JobState, SchedulerConfig, SimDuration,
+    UserId,
 };
 use dynbatch_daemon::{DaemonConfig, DaemonHandle};
 use dynbatch_server::TmResponse;
@@ -39,12 +39,14 @@ fn spec(name: &str, user: u32, cores: u32, millis: u64) -> JobSpec {
         class: JobClass::Rigid,
         cores,
         walltime: SimDuration::from_millis(millis),
-        exec: ExecutionModel::Fixed { duration: SimDuration::from_millis(millis) },
+        exec: ExecutionModel::Fixed {
+            duration: SimDuration::from_millis(millis),
+        },
         priority_boost: 0,
         suppress_backfill_while_queued: false,
-            malleable: None,
-            moldable: None,
-            dyn_timeout: None,
+        malleable: None,
+        moldable: None,
+        dyn_timeout: None,
     }
 }
 
@@ -55,7 +57,11 @@ fn measure(nodes: u32, with_workload: bool, reps: u32) -> f64 {
     sched.dfs = DfsConfig::highest_priority();
     // 12 compute nodes: 1 for the requesting job + up to 10 to grab + 1
     // spare, as in the paper's 1-node job growing by up to 10 nodes.
-    let daemon = DaemonHandle::start(DaemonConfig { nodes: 12, cores_per_node: CORES_PER_NODE, sched });
+    let daemon = DaemonHandle::start(DaemonConfig {
+        nodes: 12,
+        cores_per_node: CORES_PER_NODE,
+        sched,
+    });
 
     // The evolving job: one statically allocated node.
     let job = daemon
@@ -69,7 +75,12 @@ fn measure(nodes: u32, with_workload: bool, reps: u32) -> f64 {
         // pass has ReservationDelayDepth = 5 jobs to re-plan per grant.
         for i in 0..8 {
             daemon
-                .qsub(spec(&format!("queued{i}"), 1 + i, 12 * CORES_PER_NODE, 60_000))
+                .qsub(spec(
+                    &format!("queued{i}"),
+                    1 + i,
+                    12 * CORES_PER_NODE,
+                    60_000,
+                ))
                 .expect("qsub backlog");
         }
     }
@@ -100,7 +111,10 @@ fn main() {
     };
 
     println!("Fig 12 — time for a dynamic allocation of 1–10 nodes ({reps} reps each)\n");
-    println!("{:<8} {:>18} {:>22}", "Nodes", "no workload [µs]", "with workload [µs]");
+    println!(
+        "{:<8} {:>18} {:>22}",
+        "Nodes", "no workload [µs]", "with workload [µs]"
+    );
     println!("{}", "-".repeat(50));
     let mut idle_series = Vec::new();
     let mut loaded_series = Vec::new();
@@ -113,9 +127,7 @@ fn main() {
     }
 
     let grow_idle = idle_series.last().unwrap() / idle_series.first().unwrap();
-    println!(
-        "\n10-node vs 1-node allocation cost: {grow_idle:.2}× (paper: rising, sub-second);"
-    );
+    println!("\n10-node vs 1-node allocation cost: {grow_idle:.2}× (paper: rising, sub-second);");
     println!(
         "loaded vs idle at 10 nodes: {:.2}×",
         loaded_series.last().unwrap() / idle_series.last().unwrap()

@@ -17,9 +17,7 @@
 //! ```
 
 use dynbatch_cluster::Cluster;
-use dynbatch_core::{
-    CredRegistry, DfsConfig, JobSpec, SchedulerConfig, SimDuration, SimTime,
-};
+use dynbatch_core::{CredRegistry, DfsConfig, JobSpec, SchedulerConfig, SimDuration, SimTime};
 use dynbatch_sim::BatchSim;
 use dynbatch_workload::{
     dynamic_breakdown, static_breakdown, PhaseBreakdown, QuadflowCase, WorkloadItem,

@@ -15,15 +15,18 @@
 
 use dynbatch_core::{CredRegistry, DfsConfig, JobOutcome, SchedulerConfig, SimDuration};
 use dynbatch_metrics::{
-    ascii_plot, per_user_excess, render_csv, user_wait_fairness, waits_by_submission,
-    waits_of_type,
+    ascii_plot, per_user_excess, render_csv, user_wait_fairness, waits_by_submission, waits_of_type,
 };
 use dynbatch_sim::{run_experiment, ExperimentConfig};
 use dynbatch_workload::{generate_esp, EspConfig};
 
 fn run(label: &str, cap: Option<u64>, dynamic: bool) -> Vec<JobOutcome> {
     let mut reg = CredRegistry::new();
-    let wl_cfg = if dynamic { EspConfig::paper_dynamic() } else { EspConfig::paper_static() };
+    let wl_cfg = if dynamic {
+        EspConfig::paper_dynamic()
+    } else {
+        EspConfig::paper_static()
+    };
     let wl = generate_esp(&wl_cfg, &mut reg);
     let mut s = SchedulerConfig::paper_eval();
     s.dfs = match cap {
@@ -42,10 +45,22 @@ fn main() {
     let d500 = run("Dyn-500", Some(500), true);
     let d600 = run("Dyn-600", Some(600), true);
 
-    let w_st: Vec<f64> = waits_by_submission(&st).into_iter().map(|(_, w)| w).collect();
-    let w_hp: Vec<f64> = waits_by_submission(&hp).into_iter().map(|(_, w)| w).collect();
-    let w_500: Vec<f64> = waits_by_submission(&d500).into_iter().map(|(_, w)| w).collect();
-    let w_600: Vec<f64> = waits_by_submission(&d600).into_iter().map(|(_, w)| w).collect();
+    let w_st: Vec<f64> = waits_by_submission(&st)
+        .into_iter()
+        .map(|(_, w)| w)
+        .collect();
+    let w_hp: Vec<f64> = waits_by_submission(&hp)
+        .into_iter()
+        .map(|(_, w)| w)
+        .collect();
+    let w_500: Vec<f64> = waits_by_submission(&d500)
+        .into_iter()
+        .map(|(_, w)| w)
+        .collect();
+    let w_600: Vec<f64> = waits_by_submission(&d600)
+        .into_iter()
+        .map(|(_, w)| w)
+        .collect();
 
     if !csv_only {
         println!(
@@ -114,11 +129,19 @@ fn main() {
     // Quantified fairness (beyond the paper's visual argument): Jain's
     // index over per-user mean waits, and per-user excess vs Static.
     println!("\nJain fairness index over per-user mean waits:");
-    for (label, outs) in [("Static", &st), ("Dyn-HP", &hp), ("Dyn-500", &d500), ("Dyn-600", &d600)] {
+    for (label, outs) in [
+        ("Static", &st),
+        ("Dyn-HP", &hp),
+        ("Dyn-500", &d500),
+        ("Dyn-600", &d600),
+    ] {
         println!("  {label:<8} {:.4}", user_wait_fairness(outs));
     }
     println!("\nper-user mean-wait excess vs Static [s] (positive = user pays):");
-    println!("{:<8} {:>10} {:>10} {:>10}", "user", "Dyn-HP", "Dyn-500", "Dyn-600");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "user", "Dyn-HP", "Dyn-500", "Dyn-600"
+    );
     let e_hp = per_user_excess(&hp, &st);
     let e_500 = per_user_excess(&d500, &st);
     let e_600 = per_user_excess(&d600, &st);
@@ -146,7 +169,16 @@ fn main() {
         .collect();
     print!(
         "{}",
-        render_csv(&["job", "static_wait_s", "dyn_hp_wait_s", "dyn500_wait_s", "dyn600_wait_s"], &rows)
+        render_csv(
+            &[
+                "job",
+                "static_wait_s",
+                "dyn_hp_wait_s",
+                "dyn500_wait_s",
+                "dyn600_wait_s"
+            ],
+            &rows
+        )
     );
 
     println!("\n--- CSV: type-L jobs ---");
@@ -165,6 +197,15 @@ fn main() {
         .collect();
     print!(
         "{}",
-        render_csv(&["l_job", "static_wait_s", "dyn_hp_wait_s", "dyn500_wait_s", "dyn600_wait_s"], &rows)
+        render_csv(
+            &[
+                "l_job",
+                "static_wait_s",
+                "dyn_hp_wait_s",
+                "dyn500_wait_s",
+                "dyn600_wait_s"
+            ],
+            &rows
+        )
     );
 }

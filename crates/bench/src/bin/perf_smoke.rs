@@ -1,0 +1,518 @@
+//! Dependency-light performance smoke harness (no criterion).
+//!
+//! Three measurements, written to `BENCH_sched.json`:
+//!
+//! 1. **Scaled planning kernel** — one scheduler iteration's hot path
+//!    (profile build, mold-fit sweep, reservations, backfill, dynamic
+//!    what-if delay loop) on a 10×-ESP-scale snapshot (150 nodes / 1200
+//!    cores, 2300 jobs), implemented twice: the *pre-change* formulation
+//!    on [`NaiveProfile`] (full-scan `min_idle`, global re-coalescing
+//!    `hold`, allocating `earliest_fit`, per-request clone + replan of the
+//!    "before" plan) and the *optimised* formulation on
+//!    [`AvailabilityProfile`] (windowed ops, scratch buffers, cached
+//!    before-plan, `JobId` index). Both kernels implement the same
+//!    decision policy and the harness asserts their decisions are
+//!    identical before trusting the timing.
+//! 2. **Full `Maui::iterate`** on the same scaled snapshot, before-plan
+//!    cache on vs off, decisions asserted identical.
+//! 3. **Table II end-to-end** — the four paper configurations (Static,
+//!    Dyn-HP, Dyn-500, Dyn-100) over the ESP workload, wall clock plus
+//!    per-iteration stats.
+//!
+//! `--quick` shrinks the workload and repetition counts for CI; the full
+//! run is the one whose numbers are recorded in `BENCH_sched.json`.
+
+use dynbatch_cluster::Cluster;
+use dynbatch_core::json::Json;
+use dynbatch_core::{CredRegistry, DfsConfig, JobId, SchedulerConfig, SimDuration, SimTime};
+use dynbatch_sched::reference::NaiveProfile;
+use dynbatch_sched::{
+    rank_jobs, AvailabilityProfile, DynRequest, Maui, QueuedJob, RunningJob, Snapshot,
+};
+use dynbatch_sim::BatchSim;
+use dynbatch_simtime::SplitMix64;
+use dynbatch_workload::{generate_esp, EspConfig};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A planned (job, start) pair — the comparable output of both kernels.
+type Plan = Vec<(JobId, SimTime)>;
+
+/// What one iteration decides; both kernels must produce the same value.
+#[derive(Debug, PartialEq, Eq)]
+struct KernelOut {
+    starts: Vec<(JobId, bool)>,
+    reservations: Vec<(JobId, SimTime)>,
+    grants: Vec<JobId>,
+    delay_ms: u64,
+}
+
+const GRACE: SimDuration = SimDuration::from_millis(1);
+
+/// A saturated snapshot scaled from the paper's testbed: `nodes` 8-core
+/// nodes, `jobs` total jobs split into running / queued, with dynamic
+/// requests from a slice of the running evolving jobs.
+fn scaled_snapshot(nodes: u32, jobs: usize, seed: u64) -> Snapshot {
+    let total_cores = nodes * 8;
+    let mut rng = SplitMix64::new(seed);
+    let now = SimTime::from_secs(10_000);
+    let horizon = 4 * 3600; // running jobs end within 4 h, like ESP
+    let mut snap = Snapshot {
+        now,
+        total_cores,
+        running: Vec::new(),
+        queued: Vec::new(),
+        dyn_requests: Vec::new(),
+    };
+    // Fill ~95% of the machine with small running jobs so planning is
+    // forced to look ahead and the availability timeline carries many
+    // distinct steps (the interesting regime: hundreds of step joints).
+    let mut used = 0u32;
+    let mut id = 0u64;
+    let mut seq = 0u64;
+    while used + 3 <= total_cores * 95 / 100 {
+        let cores = 1 + rng.next_below(3) as u32;
+        used += cores;
+        let end = now + SimDuration::from_secs(10 + rng.next_below(horizon));
+        snap.running.push(RunningJob {
+            id: JobId(id),
+            user: dynbatch_core::UserId((id % 10) as u32),
+            group: dynbatch_core::GroupId(0),
+            cores,
+            start_time: SimTime::from_secs(rng.next_below(9_000)),
+            walltime_end: end,
+            backfilled: false,
+            reserved_extra: 0,
+            malleable: None,
+        });
+        // Every fourth running job is evolving and asks for more cores.
+        if id.is_multiple_of(4) {
+            snap.dyn_requests.push(DynRequest {
+                job: JobId(id),
+                user: dynbatch_core::UserId((id % 10) as u32),
+                group: dynbatch_core::GroupId(0),
+                extra_cores: 2 + rng.next_below(4) as u32,
+                remaining_walltime: end.duration_since(now),
+                seq,
+                deadline: None,
+            });
+            seq += 1;
+        }
+        id += 1;
+    }
+    while (snap.running.len() + snap.queued.len()) < jobs {
+        snap.queued.push(QueuedJob {
+            id: JobId(100_000 + id),
+            user: dynbatch_core::UserId((id % 10) as u32),
+            group: dynbatch_core::GroupId(0),
+            cores: 4 + rng.next_below(40) as u32,
+            walltime: SimDuration::from_secs(300 + rng.next_below(1_500)),
+            submit_time: SimTime::from_secs(rng.next_below(10_000)),
+            priority_boost: 0,
+            suppress_backfill_while_queued: false,
+            reserve_extra: 0,
+            moldable: None,
+        });
+        id += 1;
+    }
+    snap
+}
+
+/// `plan_starts` in the pre-change formulation.
+fn naive_plan(
+    profile: &mut NaiveProfile,
+    ranked: &[QueuedJob],
+    depth: usize,
+    now: SimTime,
+) -> Plan {
+    let mut plans = Vec::new();
+    for job in ranked.iter().take(depth) {
+        let Some(start) = profile.earliest_fit(job.cores, job.walltime, now) else {
+            continue;
+        };
+        profile.hold(start, start.saturating_add(job.walltime), job.cores);
+        plans.push((job.id, start));
+    }
+    plans
+}
+
+/// `plan_starts` in the optimised formulation (ref-based queue).
+fn opt_plan(
+    profile: &mut AvailabilityProfile,
+    ranked: &[&QueuedJob],
+    depth: usize,
+    now: SimTime,
+) -> Plan {
+    let mut plans = Vec::new();
+    for job in ranked.iter().take(depth) {
+        let Some(start) = profile.earliest_fit(job.cores, job.walltime, now) else {
+            continue;
+        };
+        profile.hold(start, start.saturating_add(job.walltime), job.cores);
+        plans.push((job.id, start));
+    }
+    plans
+}
+
+/// One scheduler iteration's hot path exactly as the pre-optimisation code
+/// performed it: naive profile ops and — crucially — the "before" plan
+/// recomputed from a fresh clone for every dynamic request.
+///
+/// Ranking is hoisted out of both kernels (`ranked` arrives pre-sorted):
+/// the priority comparator is untouched by the overhaul, and including it
+/// would only dilute the measurement of what actually changed.
+fn naive_kernel(snap: &Snapshot, ranked: &[QueuedJob], cfg: &SchedulerConfig) -> KernelOut {
+    let now = snap.now;
+    let mut base = NaiveProfile::new(now, snap.total_cores);
+    for r in &snap.running {
+        base.hold(
+            now,
+            r.walltime_end.max(now + GRACE),
+            r.cores + r.reserved_extra,
+        );
+    }
+    black_box(naive_plan(
+        &mut base.clone(),
+        ranked,
+        cfg.lookahead_depth(),
+        now,
+    ));
+
+    let mut requests: Vec<DynRequest> = snap.dyn_requests.clone();
+    requests.sort_by_key(|r| r.seq);
+    let mut grants = Vec::new();
+    let mut delay_ms = 0u64;
+    let depth = cfg.reservation_delay_depth;
+    for req in &requests {
+        let trial = base.clone();
+        if trial.idle_at(now) < req.extra_cores {
+            continue; // rejected: no resources
+        }
+        let mut expanded = trial.clone();
+        expanded.hold_for(now, req.remaining_walltime, req.extra_cores);
+        let before = naive_plan(&mut base.clone(), ranked, depth, now);
+        let after = naive_plan(&mut expanded.clone(), ranked, depth, now);
+        for &(job, start) in &before {
+            let d = match after.iter().find(|&&(a, _)| a == job) {
+                Some(&(_, s)) => s.duration_since(start),
+                None => ranked
+                    .iter()
+                    .find(|j| j.id == job)
+                    .map(|j| j.walltime)
+                    .unwrap_or(SimDuration::ZERO),
+            };
+            let owner = ranked
+                .iter()
+                .find(|j| j.id == job)
+                .expect("planned job is queued");
+            black_box(owner.user);
+            delay_ms += d.as_millis();
+        }
+        base = expanded; // highest-priority policy: grant whenever it fits
+        grants.push(req.job);
+    }
+
+    let mut profile = base;
+    let mut starts = Vec::new();
+    let mut reservations = Vec::new();
+    let mut taken: Vec<JobId> = Vec::new();
+    let mut blocked = false;
+    for job in ranked {
+        if !blocked {
+            if profile.min_idle(now, now.saturating_add(job.walltime)) >= job.cores {
+                profile.hold_for(now, job.walltime, job.cores);
+                starts.push((job.id, false));
+                taken.push(job.id);
+                continue;
+            }
+            blocked = true;
+        }
+        if reservations.len() < cfg.reservation_depth {
+            if let Some(start) = profile.earliest_fit(job.cores, job.walltime, now) {
+                if start > now {
+                    profile.hold(start, start.saturating_add(job.walltime), job.cores);
+                    reservations.push((job.id, start));
+                    taken.push(job.id);
+                }
+            }
+        }
+    }
+    for job in ranked {
+        if taken.contains(&job.id) {
+            continue;
+        }
+        if profile.min_idle(now, now.saturating_add(job.walltime)) >= job.cores {
+            profile.hold_for(now, job.walltime, job.cores);
+            starts.push((job.id, true));
+            taken.push(job.id);
+        }
+    }
+    KernelOut {
+        starts,
+        reservations,
+        grants,
+        delay_ms,
+    }
+}
+
+/// The same iteration on the optimised machinery: borrowed queue, windowed
+/// profile, scratch buffers, cached before-plan, `JobId` index.
+fn opt_kernel(snap: &Snapshot, ranked_src: &[QueuedJob], cfg: &SchedulerConfig) -> KernelOut {
+    let now = snap.now;
+    let ranked: Vec<&QueuedJob> = ranked_src.iter().collect();
+    let mut base = AvailabilityProfile::new(now, snap.total_cores);
+    for r in &snap.running {
+        base.hold(
+            now,
+            r.walltime_end.max(now + GRACE),
+            r.cores + r.reserved_extra,
+        );
+    }
+    let mut scratch = AvailabilityProfile::new(now, snap.total_cores);
+    let mut expanded = AvailabilityProfile::new(now, snap.total_cores);
+    scratch.assign_from(&base);
+    black_box(opt_plan(&mut scratch, &ranked, cfg.lookahead_depth(), now));
+
+    let mut requests: Vec<&DynRequest> = snap.dyn_requests.iter().collect();
+    requests.sort_by_key(|r| r.seq);
+    let jobs_by_id: HashMap<JobId, &QueuedJob> = ranked.iter().map(|j| (j.id, *j)).collect();
+    let mut before_plan: Option<Plan> = None;
+    let mut grants = Vec::new();
+    let mut delay_ms = 0u64;
+    let depth = cfg.reservation_delay_depth;
+    for req in requests {
+        if base.idle_at(now) < req.extra_cores {
+            continue; // rejected: no resources
+        }
+        expanded.assign_from(&base);
+        expanded.hold_for(now, req.remaining_walltime, req.extra_cores);
+        if before_plan.is_none() {
+            scratch.assign_from(&base);
+            before_plan = Some(opt_plan(&mut scratch, &ranked, depth, now));
+        }
+        let before = before_plan.as_deref().expect("just ensured");
+        scratch.assign_from(&expanded);
+        let after = opt_plan(&mut scratch, &ranked, depth, now);
+        for &(job, start) in before {
+            let d = match after.iter().find(|&&(a, _)| a == job) {
+                Some(&(_, s)) => s.duration_since(start),
+                None => jobs_by_id[&job].walltime,
+            };
+            black_box(jobs_by_id[&job].user);
+            delay_ms += d.as_millis();
+        }
+        base.assign_from(&expanded);
+        before_plan = Some(after);
+        grants.push(req.job);
+    }
+
+    let mut profile = base;
+    let mut starts = Vec::new();
+    let mut reservations = Vec::new();
+    let mut taken: Vec<JobId> = Vec::new();
+    let mut blocked = false;
+    for job in &ranked {
+        if !blocked {
+            if profile.min_idle(now, now.saturating_add(job.walltime)) >= job.cores {
+                profile.hold_for(now, job.walltime, job.cores);
+                starts.push((job.id, false));
+                taken.push(job.id);
+                continue;
+            }
+            blocked = true;
+        }
+        if reservations.len() < cfg.reservation_depth {
+            if let Some(start) = profile.earliest_fit(job.cores, job.walltime, now) {
+                if start > now {
+                    profile.hold(start, start.saturating_add(job.walltime), job.cores);
+                    reservations.push((job.id, start));
+                    taken.push(job.id);
+                }
+            }
+        }
+    }
+    for job in &ranked {
+        if taken.contains(&job.id) {
+            continue;
+        }
+        if profile.min_idle(now, now.saturating_add(job.walltime)) >= job.cores {
+            profile.hold_for(now, job.walltime, job.cores);
+            starts.push((job.id, true));
+            taken.push(job.id);
+        }
+    }
+    KernelOut {
+        starts,
+        reservations,
+        grants,
+        delay_ms,
+    }
+}
+
+fn time_ms<T>(reps: u32, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn run_esp_config(label: &str, cap: Option<u64>, dynamic: bool, seed: u64) -> Json {
+    let mut reg = CredRegistry::new();
+    let mut wl_cfg = if dynamic {
+        EspConfig::paper_dynamic()
+    } else {
+        EspConfig::paper_static()
+    };
+    wl_cfg.seed = seed;
+    let wl = generate_esp(&wl_cfg, &mut reg);
+    let mut cfg = SchedulerConfig::paper_eval();
+    cfg.dfs = match cap {
+        None => DfsConfig::highest_priority(),
+        Some(c) => DfsConfig::uniform_target(c, SimDuration::from_hours(1)),
+    };
+    let mut sim = BatchSim::new(Cluster::homogeneous(15, 8), cfg);
+    sim.load(&wl);
+    let t0 = Instant::now();
+    sim.run();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = sim.stats();
+    assert!(sim.server().is_drained(), "{label}: run did not drain");
+    Json::obj(vec![
+        ("config", Json::Str(label.to_owned())),
+        (
+            "jobs",
+            Json::UInt(sim.server().accounting().outcomes().len() as u64),
+        ),
+        ("wall_ms", Json::Float(wall_ms)),
+        ("cycles", Json::UInt(stats.cycles)),
+        (
+            "mean_iteration_us",
+            Json::Float(wall_ms * 1e3 / stats.cycles.max(1) as f64),
+        ),
+        ("dyn_granted", Json::UInt(stats.dyn_granted)),
+        ("dyn_rejected", Json::UInt(stats.dyn_rejected)),
+        (
+            "makespan_mins",
+            Json::Float(
+                sim.last_completion()
+                    .duration_since(sim.first_submit())
+                    .as_mins_f64(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_sched.json".to_owned());
+
+    let (nodes, jobs, reps) = if quick { (40, 600, 3) } else { (150, 2300, 10) };
+    // Deep-lookahead stress configuration for the scaled measurements: at
+    // 10× the paper's testbed the site would plan correspondingly deeper,
+    // and depth is exactly what the cached what-if planning amortises.
+    // Identical on both sides of every comparison.
+    let mut cfg = SchedulerConfig::paper_eval();
+    cfg.reservation_depth = 20;
+    cfg.reservation_delay_depth = 20;
+
+    // 1. Scaled planning kernel: pre-change vs optimised, decisions equal.
+    eprintln!("perf_smoke: scaled kernel ({nodes} nodes, {jobs} jobs, {reps} reps)");
+    let snap = scaled_snapshot(nodes, jobs, 42);
+    let ranked: Vec<QueuedJob> = {
+        let mut v = snap.queued.clone();
+        rank_jobs(&mut v, snap.now, &cfg.priority, None);
+        v
+    };
+    let (naive_ms, naive_out) = time_ms(reps, || naive_kernel(&snap, &ranked, &cfg));
+    let (opt_ms, opt_out) = time_ms(reps, || opt_kernel(&snap, &ranked, &cfg));
+    assert_eq!(
+        naive_out, opt_out,
+        "kernel decisions diverged — timing is meaningless"
+    );
+    let kernel_speedup = naive_ms / opt_ms;
+    eprintln!("  naive {naive_ms:.2} ms  optimized {opt_ms:.2} ms  speedup {kernel_speedup:.1}x");
+
+    // 2. Full Maui::iterate on the scaled snapshot, cache on vs off.
+    let iterate = |cache: bool| {
+        let mut m = Maui::new(cfg.clone());
+        m.set_plan_cache_enabled(cache);
+        m.iterate(&snap)
+    };
+    let (uncached_ms, out_u) = time_ms(reps, || iterate(false));
+    let (cached_ms, out_c) = time_ms(reps, || iterate(true));
+    assert_eq!(out_u.starts, out_c.starts);
+    assert_eq!(out_u.dyn_decisions, out_c.dyn_decisions);
+    assert_eq!(out_u.reservations, out_c.reservations);
+    eprintln!(
+        "  iterate uncached {uncached_ms:.2} ms  cached {cached_ms:.2} ms  ({:.1}x)",
+        uncached_ms / cached_ms
+    );
+
+    // 3. Table II end-to-end sweep.
+    let esp_seed = 2014;
+    let configs: &[(&str, Option<u64>, bool)] = &[
+        ("Static", None, false),
+        ("Dyn-HP", None, true),
+        ("Dyn-500", Some(500), true),
+        ("Dyn-100", Some(100), true),
+    ];
+    let mut esp = Vec::new();
+    for &(label, cap, dynamic) in configs {
+        let row = run_esp_config(label, cap, dynamic, esp_seed);
+        eprintln!(
+            "  {label:<8} wall {:>8.1} ms  cycles {:>5}",
+            row.req("wall_ms").unwrap().as_f64().unwrap(),
+            row.req("cycles").unwrap().as_u64().unwrap(),
+        );
+        esp.push(row);
+    }
+
+    let report = Json::obj(vec![
+        ("version", Json::UInt(1)),
+        ("quick", Json::Bool(quick)),
+        (
+            "scaled_kernel",
+            Json::obj(vec![
+                ("nodes", Json::UInt(nodes as u64)),
+                ("cores", Json::UInt(nodes as u64 * 8)),
+                ("jobs", Json::UInt(jobs as u64)),
+                ("reps", Json::UInt(reps as u64)),
+                ("naive_ms", Json::Float(naive_ms)),
+                ("optimized_ms", Json::Float(opt_ms)),
+                ("speedup", Json::Float(kernel_speedup)),
+                ("identical_decisions", Json::Bool(true)),
+            ]),
+        ),
+        (
+            "scaled_iteration",
+            Json::obj(vec![
+                ("uncached_ms", Json::Float(uncached_ms)),
+                ("cached_ms", Json::Float(cached_ms)),
+                ("speedup", Json::Float(uncached_ms / cached_ms)),
+                ("identical_decisions", Json::Bool(true)),
+            ]),
+        ),
+        ("esp_table2", Json::Arr(esp)),
+    ]);
+    std::fs::write(&out_path, report.to_string_pretty()).expect("write report");
+    eprintln!("perf_smoke: wrote {out_path}");
+
+    if !quick {
+        assert!(
+            kernel_speedup >= 5.0,
+            "scaled kernel speedup regressed below 5x: {kernel_speedup:.2}x"
+        );
+    }
+    println!("kernel_speedup_x {kernel_speedup:.2}");
+}

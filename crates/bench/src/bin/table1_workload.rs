@@ -14,7 +14,10 @@ use dynbatch_workload::{generate_esp, static_core_seconds, EspConfig, ESP_TABLE}
 
 fn main() {
     let cfg = EspConfig::paper_dynamic();
-    println!("Table I — dynamic ESP job types (system: {} cores)\n", cfg.total_cores);
+    println!(
+        "Table I — dynamic ESP job types (system: {} cores)\n",
+        cfg.total_cores
+    );
     println!(
         "{:<5} {:<8} {:>8} {:>6} {:>6} {:>10} {:>10}",
         "Type", "User", "Size", "Count", "Cores", "SET [s]", "DET [s]"
@@ -35,9 +38,15 @@ fn main() {
 
     let mut reg = CredRegistry::new();
     let items = generate_esp(&cfg, &mut reg);
-    let evolving = items.iter().filter(|i| i.spec.class == JobClass::Evolving).count();
+    let evolving = items
+        .iter()
+        .filter(|i| i.spec.class == JobClass::Evolving)
+        .count();
     let rigid = items.len() - evolving;
-    println!("\nGenerated workload: {} jobs ({rigid} rigid, {evolving} evolving)", items.len());
+    println!(
+        "\nGenerated workload: {} jobs ({rigid} rigid, {evolving} evolving)",
+        items.len()
+    );
     println!(
         "Evolving fraction: {:.1} % (paper: 30 %)",
         100.0 * evolving as f64 / items.len() as f64

@@ -34,12 +34,36 @@ struct Row {
 }
 
 const ROWS: [Row; 6] = [
-    Row { label: "Static", cap_secs: None, dynamic_workload: false },
-    Row { label: "Dyn-HP", cap_secs: None, dynamic_workload: true },
-    Row { label: "Dyn-500", cap_secs: Some(500), dynamic_workload: true },
-    Row { label: "Dyn-600", cap_secs: Some(600), dynamic_workload: true },
-    Row { label: "Dyn-100", cap_secs: Some(100), dynamic_workload: true },
-    Row { label: "Dyn-200", cap_secs: Some(200), dynamic_workload: true },
+    Row {
+        label: "Static",
+        cap_secs: None,
+        dynamic_workload: false,
+    },
+    Row {
+        label: "Dyn-HP",
+        cap_secs: None,
+        dynamic_workload: true,
+    },
+    Row {
+        label: "Dyn-500",
+        cap_secs: Some(500),
+        dynamic_workload: true,
+    },
+    Row {
+        label: "Dyn-600",
+        cap_secs: Some(600),
+        dynamic_workload: true,
+    },
+    Row {
+        label: "Dyn-100",
+        cap_secs: Some(100),
+        dynamic_workload: true,
+    },
+    Row {
+        label: "Dyn-200",
+        cap_secs: Some(200),
+        dynamic_workload: true,
+    },
 ];
 
 fn sched_for(cap_secs: Option<u64>) -> SchedulerConfig {
@@ -108,7 +132,13 @@ fn main() {
         s.backfilled_jobs /= n as usize;
         s.mean_wait = s.mean_wait / n;
         s.mean_turnaround = s.mean_turnaround / n;
-        extras.push((row.label, fair / n, nores / n, s.backfilled_jobs, s.mean_wait));
+        extras.push((
+            row.label,
+            fair / n,
+            nores / n,
+            s.backfilled_jobs,
+            s.mean_wait,
+        ));
         summaries.push(s);
     }
 
@@ -118,7 +148,11 @@ fn main() {
     let ideal_mins = static_core_seconds(&EspConfig::default()) / 120.0 / 60.0;
     println!("\nESP efficiency (ideal {ideal_mins:.1} min / measured makespan):");
     for s in &summaries {
-        println!("  {:<10} {:.3}", s.label, ideal_mins / s.makespan.as_mins_f64());
+        println!(
+            "  {:<10} {:.3}",
+            s.label,
+            ideal_mins / s.makespan.as_mins_f64()
+        );
     }
 
     println!("\nDetail (per run averages):");

@@ -44,7 +44,10 @@ impl Allocation {
             .cores
             .get_mut(&node)
             .unwrap_or_else(|| panic!("allocation holds nothing on {node}"));
-        assert!(*held >= cores, "allocation holds {held} < {cores} on {node}");
+        assert!(
+            *held >= cores,
+            "allocation holds {held} < {cores} on {node}"
+        );
         *held -= cores;
         if *held == 0 {
             self.cores.remove(&node);

@@ -22,12 +22,20 @@ pub struct FailureEvent {
 impl FailureEvent {
     /// A failure at `at`.
     pub fn fail(at: SimTime, node: NodeId) -> Self {
-        FailureEvent { at, node, fails: true }
+        FailureEvent {
+            at,
+            node,
+            fails: true,
+        }
     }
 
     /// A repair at `at`.
     pub fn repair(at: SimTime, node: NodeId) -> Self {
-        FailureEvent { at, node, fails: false }
+        FailureEvent {
+            at,
+            node,
+            fails: false,
+        }
     }
 }
 

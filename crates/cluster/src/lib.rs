@@ -64,17 +64,29 @@ impl Cluster {
 
     /// Total cores across all *up* nodes.
     pub fn total_cores(&self) -> u32 {
-        self.nodes.iter().filter(|n| n.is_up()).map(|n| n.cores_total()).sum()
+        self.nodes
+            .iter()
+            .filter(|n| n.is_up())
+            .map(|n| n.cores_total())
+            .sum()
     }
 
     /// Idle cores across all up nodes.
     pub fn idle_cores(&self) -> u32 {
-        self.nodes.iter().filter(|n| n.is_up()).map(|n| n.cores_idle()).sum()
+        self.nodes
+            .iter()
+            .filter(|n| n.is_up())
+            .map(|n| n.cores_idle())
+            .sum()
     }
 
     /// Busy cores across all up nodes.
     pub fn busy_cores(&self) -> u32 {
-        self.nodes.iter().filter(|n| n.is_up()).map(|n| n.cores_used()).sum()
+        self.nodes
+            .iter()
+            .filter(|n| n.is_up())
+            .map(|n| n.cores_used())
+            .sum()
     }
 
     /// Number of nodes (up or not).
@@ -166,7 +178,10 @@ impl Cluster {
             "{job} already holds an allocation; use expand()"
         );
         if cores > self.total_cores() {
-            return Err(Error::RequestExceedsSystem { requested: cores, capacity: self.total_cores() });
+            return Err(Error::RequestExceedsSystem {
+                requested: cores,
+                capacity: self.total_cores(),
+            });
         }
         let alloc = self.plan(cores, policy).ok_or(Error::CoresBusy {
             node: NodeId(0),
@@ -227,7 +242,10 @@ impl Cluster {
     /// that lost cores (candidates for spare-node reallocation — the
     /// fault-tolerance use the paper's introduction motivates).
     pub fn fail_node(&mut self, id: NodeId) -> Result<Vec<JobId>> {
-        let node = self.nodes.get_mut(id.0 as usize).ok_or(Error::UnknownNode(id))?;
+        let node = self
+            .nodes
+            .get_mut(id.0 as usize)
+            .ok_or(Error::UnknownNode(id))?;
         let victims = node.fail();
         for &(job, cores) in &victims {
             if let Some(a) = self.jobs.get_mut(&job) {
@@ -254,13 +272,20 @@ impl Cluster {
         for (node, cores) in alloc.entries() {
             let n = self.node(node)?;
             if !n.is_up() || n.cores_idle() < cores {
-                return Err(Error::CoresBusy { node, requested: cores, idle: n.cores_idle() });
+                return Err(Error::CoresBusy {
+                    node,
+                    requested: cores,
+                    idle: n.cores_idle(),
+                });
             }
         }
         for (node, cores) in alloc.entries() {
             self.nodes[node.0 as usize].acquire(job, cores);
         }
-        self.jobs.entry(job).or_insert_with(Allocation::empty).merge(alloc);
+        self.jobs
+            .entry(job)
+            .or_insert_with(Allocation::empty)
+            .merge(alloc);
         Ok(())
     }
 
@@ -286,7 +311,10 @@ impl Cluster {
                     return Err(Error::BadConfig(format!("{} over-committed", n.id())));
                 }
             } else if from_jobs != 0 {
-                return Err(Error::BadConfig(format!("{} is down but has allocations", n.id())));
+                return Err(Error::BadConfig(format!(
+                    "{} is down but has allocations",
+                    n.id()
+                )));
             }
         }
         Ok(())
@@ -345,7 +373,9 @@ mod tests {
     #[test]
     fn node_exclusive_takes_whole_nodes() {
         let mut c = paper_cluster();
-        let a = c.allocate(JobId(1), 12, AllocPolicy::NodeExclusive).unwrap();
+        let a = c
+            .allocate(JobId(1), 12, AllocPolicy::NodeExclusive)
+            .unwrap();
         // 12 cores at 8/node => two whole nodes (16 cores) consumed.
         assert_eq!(a.total_cores(), 16);
         assert_eq!(a.node_count(), 2);
@@ -399,7 +429,13 @@ mod tests {
     fn partial_release_validates_atomically() {
         let mut c = paper_cluster();
         c.allocate(JobId(1), 8, AllocPolicy::Pack).unwrap();
-        let node = c.allocation_of(JobId(1)).unwrap().entries().next().unwrap().0;
+        let node = c
+            .allocation_of(JobId(1))
+            .unwrap()
+            .entries()
+            .next()
+            .unwrap()
+            .0;
         let mut bad = Allocation::empty();
         bad.add(node, 99);
         assert!(c.release_partial(JobId(1), &bad).is_err());

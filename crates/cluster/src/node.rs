@@ -30,7 +30,12 @@ impl Node {
     /// A fresh, idle node.
     pub fn new(id: NodeId, cores_total: u32) -> Self {
         assert!(cores_total > 0, "a node needs at least one core");
-        Node { id, cores_total, state: NodeState::Up, allocations: BTreeMap::new() }
+        Node {
+            id,
+            cores_total,
+            state: NodeState::Up,
+            allocations: BTreeMap::new(),
+        }
     }
 
     /// The node's identifier.
@@ -104,10 +109,15 @@ impl Node {
     /// # Panics
     /// If the job does not hold that many cores here.
     pub(crate) fn release(&mut self, job: JobId, cores: u32) {
-        let held = self.allocations.get_mut(&job).unwrap_or_else(|| {
-            panic!("{job} holds nothing on {}", self.id)
-        });
-        assert!(*held >= cores, "{job} holds {held} < {cores} on {}", self.id);
+        let held = self
+            .allocations
+            .get_mut(&job)
+            .unwrap_or_else(|| panic!("{job} holds nothing on {}", self.id));
+        assert!(
+            *held >= cores,
+            "{job} holds {held} < {cores} on {}",
+            self.id
+        );
         *held -= cores;
         if *held == 0 {
             self.allocations.remove(&job);

@@ -3,8 +3,8 @@
 //! release / full release / failure keeps the invariants.
 
 use dynbatch_cluster::{Allocation, Cluster};
+use dynbatch_core::testkit::{check, TestRng};
 use dynbatch_core::{AllocPolicy, JobId, NodeId};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -16,22 +16,32 @@ enum Op {
     Repair { node: u32 },
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..8, 1u32..40, 0u8..3).prop_map(|(job, cores, policy)| Op::Allocate {
-                job,
-                cores,
-                policy
-            }),
-            (0u64..8, 1u32..16).prop_map(|(job, cores)| Op::Expand { job, cores }),
-            (0u64..8, 1u32..16).prop_map(|(job, cores)| Op::ReleasePart { job, cores }),
-            (0u64..8).prop_map(|job| Op::ReleaseAll { job }),
-            (0u32..15).prop_map(|node| Op::Fail { node }),
-            (0u32..15).prop_map(|node| Op::Repair { node }),
-        ],
-        0..60,
-    )
+fn ops(rng: &mut TestRng) -> Vec<Op> {
+    let n = rng.range_usize(0, 60);
+    (0..n)
+        .map(|_| match rng.below(6) {
+            0 => Op::Allocate {
+                job: rng.below(8),
+                cores: rng.range_u32(1, 40),
+                policy: rng.range_u32(0, 3) as u8,
+            },
+            1 => Op::Expand {
+                job: rng.below(8),
+                cores: rng.range_u32(1, 16),
+            },
+            2 => Op::ReleasePart {
+                job: rng.below(8),
+                cores: rng.range_u32(1, 16),
+            },
+            3 => Op::ReleaseAll { job: rng.below(8) },
+            4 => Op::Fail {
+                node: rng.range_u32(0, 15),
+            },
+            _ => Op::Repair {
+                node: rng.range_u32(0, 15),
+            },
+        })
+        .collect()
 }
 
 fn policy_of(p: u8) -> AllocPolicy {
@@ -42,13 +52,11 @@ fn policy_of(p: u8) -> AllocPolicy {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
-
-    #[test]
-    fn any_interleaving_preserves_invariants(ops in ops()) {
+#[test]
+fn any_interleaving_preserves_invariants() {
+    check(96, 0xC1u64, |rng| {
         let mut c = Cluster::homogeneous(15, 8);
-        for op in ops {
+        for op in ops(rng) {
             match op {
                 Op::Allocate { job, cores, policy } => {
                     let job = JobId(job);
@@ -66,13 +74,16 @@ proptest! {
                         let mut part = Allocation::empty();
                         let mut left = cores.min(alloc.total_cores());
                         for (node, held) in alloc.entries() {
-                            if left == 0 { break; }
+                            if left == 0 {
+                                break;
+                            }
                             let take = held.min(left);
                             part.add(node, take);
                             left -= take;
                         }
                         if !part.is_empty() {
-                            c.release_partial(job, &part).expect("subset release succeeds");
+                            c.release_partial(job, &part)
+                                .expect("subset release succeeds");
                         }
                     }
                 }
@@ -87,40 +98,49 @@ proptest! {
                 }
             }
             // The central invariant, after every single operation.
-            c.check_invariants().map_err(|e| {
-                TestCaseError::fail(format!("invariant violated: {e}"))
-            })?;
-            prop_assert!(c.busy_cores() + c.idle_cores() == c.total_cores());
+            if let Err(e) = c.check_invariants() {
+                panic!("invariant violated: {e}");
+            }
+            assert!(c.busy_cores() + c.idle_cores() == c.total_cores());
         }
-    }
+    });
+}
 
-    #[test]
-    fn plans_are_exact(cores in 0u32..121, policy in 0u8..3) {
+#[test]
+fn plans_are_exact() {
+    check(96, 0x91A5, |rng| {
+        let cores = rng.range_u32(0, 121);
+        let policy = rng.range_u32(0, 3) as u8;
         let c = Cluster::homogeneous(15, 8);
         if let Some(plan) = c.plan(cores, policy_of(policy)) {
             match policy_of(policy) {
                 // Node-exclusive may round up to whole nodes.
                 AllocPolicy::NodeExclusive => {
-                    prop_assert!(plan.total_cores() >= cores);
-                    prop_assert_eq!(plan.total_cores() % 8, 0);
+                    assert!(plan.total_cores() >= cores);
+                    assert_eq!(plan.total_cores() % 8, 0);
                 }
-                _ => prop_assert_eq!(plan.total_cores(), cores),
+                _ => assert_eq!(plan.total_cores(), cores),
             }
         } else {
-            prop_assert!(cores > 120);
+            assert!(cores > 120);
         }
-    }
+    });
+}
 
-    #[test]
-    fn failure_evicts_exactly_the_nodes_jobs(node in 0u32..15) {
+#[test]
+fn failure_evicts_exactly_the_nodes_jobs() {
+    check(96, 0xFA11, |rng| {
+        let node = rng.range_u32(0, 15);
         let mut c = Cluster::homogeneous(15, 8);
         c.allocate(JobId(1), 60, AllocPolicy::Spread).unwrap();
         c.allocate(JobId(2), 30, AllocPolicy::Spread).unwrap();
         let before_1 = c.allocation_of(JobId(1)).unwrap().cores_on(NodeId(node));
         let before_2 = c.allocation_of(JobId(2)).unwrap().cores_on(NodeId(node));
         let victims = c.fail_node(NodeId(node)).unwrap();
-        prop_assert_eq!(victims.contains(&JobId(1)), before_1 > 0);
-        prop_assert_eq!(victims.contains(&JobId(2)), before_2 > 0);
-        c.check_invariants().map_err(|e| TestCaseError::fail(format!("{e}")))?;
-    }
+        assert_eq!(victims.contains(&JobId(1)), before_1 > 0);
+        assert_eq!(victims.contains(&JobId(2)), before_2 > 0);
+        if let Err(e) = c.check_invariants() {
+            panic!("{e}");
+        }
+    });
 }

@@ -9,11 +9,10 @@
 
 use crate::ids::{CredRegistry, GroupId, UserId};
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Backfill strategy for jobs below the reservation window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BackfillPolicy {
     /// No backfilling: strict priority order.
     None,
@@ -28,7 +27,7 @@ pub enum BackfillPolicy {
 }
 
 /// How cores are placed onto nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AllocPolicy {
     /// Fill the most-loaded nodes first (minimises fragmentation).
     #[default]
@@ -44,7 +43,7 @@ pub enum AllocPolicy {
 /// `priority = boost + queue_time_weight·wait_minutes
 ///            + expansion_weight·(wait/walltime)
 ///            + resource_weight·cores + fairshare_weight·fs_delta`
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PriorityWeights {
     /// Weight on minutes spent queued (the dominant FIFO-ish factor).
     pub queue_time_weight: f64,
@@ -68,7 +67,7 @@ impl Default for PriorityWeights {
 }
 
 /// Static fairshare configuration (classic Maui §III-A; distinct from DFS).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FairshareConfig {
     /// Whether fairshare influences priority at all.
     pub enabled: bool,
@@ -101,7 +100,7 @@ impl Default for FairshareConfig {
 
 /// The `DFSPolicy` parameter: which dynamic-fairness checks apply
 /// (paper §III-D).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DfsPolicy {
     /// Dynamic fairness disabled: dynamic requests take highest priority and
     /// delays to static jobs are ignored (the paper's *Dynamic-HP*).
@@ -120,12 +119,18 @@ pub enum DfsPolicy {
 impl DfsPolicy {
     /// Whether the single-job check is active.
     pub fn checks_single(self) -> bool {
-        matches!(self, DfsPolicy::SingleJobDelay | DfsPolicy::SingleAndTargetDelay)
+        matches!(
+            self,
+            DfsPolicy::SingleJobDelay | DfsPolicy::SingleAndTargetDelay
+        )
     }
 
     /// Whether the cumulative-target check is active.
     pub fn checks_target(self) -> bool {
-        matches!(self, DfsPolicy::TargetDelay | DfsPolicy::SingleAndTargetDelay)
+        matches!(
+            self,
+            DfsPolicy::TargetDelay | DfsPolicy::SingleAndTargetDelay
+        )
     }
 }
 
@@ -133,7 +138,7 @@ impl DfsPolicy {
 ///
 /// In the Maui text format a time of `0` means *unlimited*, which we encode
 /// as `None`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CredLimits {
     /// `DFSDynDelayPerm`: may this credential's jobs be delayed by dynamic
     /// allocations at all? (`true` = allow, the default.)
@@ -146,24 +151,37 @@ pub struct CredLimits {
 
 impl Default for CredLimits {
     fn default() -> Self {
-        CredLimits { dyn_delay_perm: true, target_delay_time: None, single_delay_time: None }
+        CredLimits {
+            dyn_delay_perm: true,
+            target_delay_time: None,
+            single_delay_time: None,
+        }
     }
 }
 
 impl CredLimits {
     /// A credential that may never be delayed (`DFSDYNDELAYPERM=0`).
     pub fn never_delay() -> Self {
-        CredLimits { dyn_delay_perm: false, ..Default::default() }
+        CredLimits {
+            dyn_delay_perm: false,
+            ..Default::default()
+        }
     }
 
     /// A cumulative-delay cap.
     pub fn target(limit: SimDuration) -> Self {
-        CredLimits { target_delay_time: Some(limit), ..Default::default() }
+        CredLimits {
+            target_delay_time: Some(limit),
+            ..Default::default()
+        }
     }
 
     /// A per-job delay cap.
     pub fn single(limit: SimDuration) -> Self {
-        CredLimits { single_delay_time: Some(limit), ..Default::default() }
+        CredLimits {
+            single_delay_time: Some(limit),
+            ..Default::default()
+        }
     }
 
     /// Combines user and group limits by taking the most restrictive of
@@ -185,7 +203,7 @@ impl CredLimits {
 }
 
 /// The complete dynamic-fairness configuration (paper §III-D, Fig 6).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DfsConfig {
     /// Which checks apply.
     pub policy: DfsPolicy,
@@ -238,7 +256,11 @@ impl DfsConfig {
     /// combined most-restrictively with explicit group limits; the default
     /// applies when the user has no entry.
     pub fn effective_limits(&self, user: UserId, group: GroupId) -> CredLimits {
-        let user_limits = self.users.get(&user).copied().unwrap_or(self.default_limits);
+        let user_limits = self
+            .users
+            .get(&user)
+            .copied()
+            .unwrap_or(self.default_limits);
         match self.groups.get(&group) {
             Some(&g) => user_limits.most_restrictive(g),
             None => user_limits,
@@ -258,7 +280,7 @@ impl DfsConfig {
 }
 
 /// Everything the scheduler needs from the site administrator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchedulerConfig {
     /// `ReservationDepth`: reservations created for the N highest-priority
     /// blocked jobs; controls how conservative backfilling is.
@@ -396,7 +418,10 @@ pub fn parse_dfs_config(text: &str, reg: &mut CredRegistry) -> Result<DfsConfig,
         let key = parts.next().ok_or("empty directive")?.to_ascii_uppercase();
         match key.as_str() {
             "DFSPOLICY" => {
-                let v = parts.next().ok_or("DFSPOLICY needs a value")?.to_ascii_uppercase();
+                let v = parts
+                    .next()
+                    .ok_or("DFSPOLICY needs a value")?
+                    .to_ascii_uppercase();
                 cfg.policy = match v.as_str() {
                     "NONE" => DfsPolicy::None,
                     "DFSSINGLEJOBDELAY" => DfsPolicy::SingleJobDelay,
@@ -409,8 +434,8 @@ pub fn parse_dfs_config(text: &str, reg: &mut CredRegistry) -> Result<DfsConfig,
             }
             "DFSINTERVAL" => {
                 let v = parts.next().ok_or("DFSINTERVAL needs a value")?;
-                cfg.interval = SimDuration::parse_hms(v)
-                    .ok_or_else(|| format!("bad DFSInterval {v}"))?;
+                cfg.interval =
+                    SimDuration::parse_hms(v).ok_or_else(|| format!("bad DFSInterval {v}"))?;
             }
             "DFSDECAY" => {
                 let v = parts.next().ok_or("DFSDECAY needs a value")?;
@@ -460,9 +485,7 @@ fn extract_bracket_name(line: &str, prefix: &str) -> Option<String> {
     Some(line[open..close].to_owned())
 }
 
-fn parse_cred_limits<'a>(
-    parts: impl Iterator<Item = &'a str>,
-) -> Result<CredLimits, String> {
+fn parse_cred_limits<'a>(parts: impl Iterator<Item = &'a str>) -> Result<CredLimits, String> {
     let mut limits = CredLimits::default();
     for kv in parts {
         let (k, v) = kv
@@ -540,7 +563,10 @@ GROUPCFG[group06] DFSDYNDELAYPERM=0
         assert_eq!(l4.single_delay_time, Some(SimDuration::from_mins(15)));
 
         let g5 = reg.find_group("group05").unwrap();
-        assert_eq!(cfg.groups[&g5].target_delay_time, Some(SimDuration::from_hours(4)));
+        assert_eq!(
+            cfg.groups[&g5].target_delay_time,
+            Some(SimDuration::from_hours(4))
+        );
         let g6 = reg.find_group("group06").unwrap();
         assert!(!cfg.groups[&g6].dyn_delay_perm);
     }
@@ -585,7 +611,10 @@ GROUPCFG[group06] DFSDYNDELAYPERM=0
     fn uniform_target_configs() {
         let c = DfsConfig::uniform_target(500, SimDuration::from_hours(1));
         assert_eq!(c.policy, DfsPolicy::TargetDelay);
-        assert_eq!(c.default_limits.target_delay_time, Some(SimDuration::from_secs(500)));
+        assert_eq!(
+            c.default_limits.target_delay_time,
+            Some(SimDuration::from_secs(500))
+        );
         assert!(c.validate().is_ok());
     }
 
@@ -601,7 +630,10 @@ GROUPCFG[group06] DFSDYNDELAYPERM=0
 
     #[test]
     fn validation_errors() {
-        let cfg = DfsConfig { decay: 1.5, ..Default::default() };
+        let cfg = DfsConfig {
+            decay: 1.5,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
         let mut cfg = DfsConfig::uniform_target(500, SimDuration::ZERO);
         cfg.interval = SimDuration::ZERO;

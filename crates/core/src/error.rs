@@ -59,18 +59,29 @@ impl fmt::Display for Error {
         match self {
             Error::UnknownJob(j) => write!(f, "unknown job {j}"),
             Error::UnknownNode(n) => write!(f, "unknown node {n}"),
-            Error::RequestExceedsSystem { requested, capacity } => write!(
+            Error::RequestExceedsSystem {
+                requested,
+                capacity,
+            } => write!(
                 f,
                 "request for {requested} cores exceeds system capacity of {capacity}"
             ),
-            Error::CoresBusy { node, requested, idle } => write!(
+            Error::CoresBusy {
+                node,
+                requested,
+                idle,
+            } => write!(
                 f,
                 "{node}: requested {requested} cores but only {idle} idle"
             ),
             Error::NotAllocated { job, node } => {
                 write!(f, "{job} holds no cores on {node}")
             }
-            Error::InvalidState { job, operation, state } => {
+            Error::InvalidState {
+                job,
+                operation,
+                state,
+            } => {
                 write!(f, "cannot {operation} {job} in state {state}")
             }
             Error::DynRequestPending(j) => {
@@ -91,14 +102,27 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(Error::UnknownJob(JobId(3)).to_string(), "unknown job job.3");
-        assert!(Error::RequestExceedsSystem { requested: 200, capacity: 120 }
+        assert!(Error::RequestExceedsSystem {
+            requested: 200,
+            capacity: 120
+        }
+        .to_string()
+        .contains("exceeds"));
+        assert!(Error::CoresBusy {
+            node: NodeId(1),
+            requested: 8,
+            idle: 2
+        }
+        .to_string()
+        .contains("only 2 idle"));
+        assert!(Error::DynRequestPending(JobId(9))
             .to_string()
-            .contains("exceeds"));
-        assert!(Error::CoresBusy { node: NodeId(1), requested: 8, idle: 2 }
-            .to_string()
-            .contains("only 2 idle"));
-        assert!(Error::DynRequestPending(JobId(9)).to_string().contains("pending"));
-        let e = Error::InvalidState { job: JobId(1), operation: "start", state: "Running" };
+            .contains("pending"));
+        let e = Error::InvalidState {
+            job: JobId(1),
+            operation: "start",
+            state: "Running",
+        };
         assert!(e.to_string().contains("cannot start"));
     }
 

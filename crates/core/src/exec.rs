@@ -14,11 +14,10 @@
 //! Rigid jobs use [`ExecutionModel::Fixed`].
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// How a successful dynamic allocation shortens an evolving job
 /// (paper §IV-B: "a linear reduction of the execution time ... is assumed").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SpeedupModel {
     /// Work completed before the grant ran at the static rate; the remainder
     /// runs at the dynamic rate. Granted after a fraction `f` of SET has
@@ -36,7 +35,7 @@ pub enum SpeedupModel {
 
 /// A single computation phase of a phased (AMR-style) application, delimited
 /// by grid adaptations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Phase {
     /// Number of grid cells the solver carries through this phase.
     pub cells: u64,
@@ -48,7 +47,10 @@ pub struct Phase {
 impl Phase {
     /// A phase with unit per-cell cost.
     pub fn new(cells: u64) -> Self {
-        Phase { cells, cost_milli: 1000 }
+        Phase {
+            cells,
+            cost_milli: 1000,
+        }
     }
 }
 
@@ -64,7 +66,7 @@ impl Phase {
 /// After each adaptation, if the *next* phase's `cells / cores` exceeds
 /// [`PhasedModel::threshold_cells_per_proc`], the application issues a
 /// `tm_dynget()` for [`PhasedModel::extra_cores`] more cores.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhasedModel {
     /// The computation phases, in execution order.
     pub phases: Vec<Phase>,
@@ -89,8 +91,7 @@ impl PhasedModel {
     pub fn phase_duration(&self, k: usize, cores: u32) -> SimDuration {
         let ph = &self.phases[k];
         let eff = self.effective_cores(cores, ph.cells).max(1) as f64;
-        let work_ms =
-            ph.cells as f64 * (ph.cost_milli as f64 / 1000.0) * self.millis_per_cell_core;
+        let work_ms = ph.cells as f64 * (ph.cost_milli as f64 / 1000.0) * self.millis_per_cell_core;
         SimDuration::from_millis((work_ms / eff).round() as u64)
     }
 
@@ -111,7 +112,7 @@ impl PhasedModel {
 }
 
 /// How a job's runtime is produced.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ExecutionModel {
     /// A rigid job: runs for exactly `duration` on its static allocation.
     Fixed {
@@ -150,7 +151,9 @@ pub enum ExecutionModel {
 impl ExecutionModel {
     /// A rigid job running for `secs` seconds.
     pub fn fixed_secs(secs: u64) -> Self {
-        ExecutionModel::Fixed { duration: SimDuration::from_secs(secs) }
+        ExecutionModel::Fixed {
+            duration: SimDuration::from_secs(secs),
+        }
     }
 
     /// The paper's evolving-job model: request `extra_cores` at 16 % of SET,
@@ -167,7 +170,9 @@ impl ExecutionModel {
 
     /// A malleable work pool of `core_secs` core-seconds.
     pub fn work_pool_secs(core_secs: u64) -> Self {
-        ExecutionModel::WorkPool { work_core_millis: core_secs * 1000 }
+        ExecutionModel::WorkPool {
+            work_core_millis: core_secs * 1000,
+        }
     }
 
     /// Runtime if the job never receives (or never asks for) extra
@@ -188,16 +193,16 @@ impl ExecutionModel {
     /// models that do not support SET/DET evolution.
     pub fn evolved_total(&self, elapsed: SimDuration) -> Option<SimDuration> {
         match self {
-            ExecutionModel::Evolving { set, det, speedup, .. } => {
+            ExecutionModel::Evolving {
+                set, det, speedup, ..
+            } => {
                 let set_ms = set.as_millis();
                 if set_ms == 0 {
                     return Some(SimDuration::ZERO);
                 }
                 let f = (elapsed.as_millis() as f64 / set_ms as f64).clamp(0.0, 1.0);
                 let total = match speedup {
-                    SpeedupModel::Interpolate => {
-                        set.mul_f64(f) + det.mul_f64(1.0 - f)
-                    }
+                    SpeedupModel::Interpolate => set.mul_f64(f) + det.mul_f64(1.0 - f),
                     SpeedupModel::FullDet => *det,
                 };
                 // A grant can never finish a job before the time it has
@@ -212,9 +217,11 @@ impl ExecutionModel {
     /// ESP-style evolving job; empty for other models.
     pub fn request_offsets(&self) -> Vec<SimDuration> {
         match self {
-            ExecutionModel::Evolving { set, request_points, .. } => {
-                request_points.iter().map(|&f| set.mul_f64(f)).collect()
-            }
+            ExecutionModel::Evolving {
+                set,
+                request_points,
+                ..
+            } => request_points.iter().map(|&f| set.mul_f64(f)).collect(),
             _ => Vec::new(),
         }
     }
@@ -230,7 +237,10 @@ impl ExecutionModel {
 
     /// True for models that may issue dynamic requests of their own.
     pub fn is_evolving(&self) -> bool {
-        matches!(self, ExecutionModel::Evolving { .. } | ExecutionModel::Phased(_))
+        matches!(
+            self,
+            ExecutionModel::Evolving { .. } | ExecutionModel::Phased(_)
+        )
     }
 
     /// Validates internal consistency (monotone request points in `(0,1)`,
@@ -238,7 +248,12 @@ impl ExecutionModel {
     pub fn validate(&self) -> Result<(), String> {
         match self {
             ExecutionModel::Fixed { .. } => Ok(()),
-            ExecutionModel::Evolving { set, det, request_points, .. } => {
+            ExecutionModel::Evolving {
+                set,
+                det,
+                request_points,
+                ..
+            } => {
                 if det > set {
                     return Err(format!("DET {det} exceeds SET {set}"));
                 }
@@ -310,7 +325,9 @@ mod tests {
         // Granted at start: full DET. Granted at the very end: SET.
         assert_eq!(m.evolved_total(SimDuration::ZERO).unwrap().as_secs(), 1230);
         assert_eq!(
-            m.evolved_total(SimDuration::from_secs(1846)).unwrap().as_secs(),
+            m.evolved_total(SimDuration::from_secs(1846))
+                .unwrap()
+                .as_secs(),
             1846
         );
     }
@@ -376,7 +393,11 @@ mod tests {
         assert_eq!(m.extra_cores(), 0);
         assert!(!m.is_evolving(), "malleability is scheduler-initiated");
         assert!(m.validate().is_ok());
-        assert!(ExecutionModel::WorkPool { work_core_millis: 0 }.validate().is_err());
+        assert!(ExecutionModel::WorkPool {
+            work_core_millis: 0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

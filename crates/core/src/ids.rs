@@ -5,32 +5,23 @@
 //! interned once in a [`CredRegistry`] so the hot scheduler paths compare
 //! integers, never strings.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// A batch job identifier, unique within one server instance.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
 
 /// A compute-node identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 /// An interned user identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UserId(pub u32);
 
 /// An interned group identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GroupId(pub u32);
 
 impl fmt::Display for JobId {
@@ -61,7 +52,7 @@ impl fmt::Display for GroupId {
 ///
 /// Every user belongs to exactly one primary group (Torque semantics). The
 /// registry is append-only: IDs are stable for the lifetime of a run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CredRegistry {
     users: Vec<String>,
     groups: Vec<String>,
@@ -150,6 +141,93 @@ impl CredRegistry {
     /// Iterates over all interned users.
     pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
         (0..self.users.len() as u32).map(UserId)
+    }
+
+    /// Serialises the registry (used by workload trace files). Only the
+    /// name tables and the user→group binding are written; the lookup
+    /// indices are rebuilt on load.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj(vec![
+            (
+                "users",
+                Json::Arr(self.users.iter().map(|u| Json::Str(u.clone())).collect()),
+            ),
+            (
+                "groups",
+                Json::Arr(self.groups.iter().map(|g| Json::Str(g.clone())).collect()),
+            ),
+            (
+                "user_group",
+                Json::Arr(
+                    self.user_group
+                        .iter()
+                        .map(|g| Json::UInt(g.0 as u64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a registry written by [`CredRegistry::to_json`], rebuilding
+    /// the name→ID indices and validating the user→group binding.
+    pub fn from_json(v: &crate::json::Json) -> Result<Self, String> {
+        let str_list = |key: &str| -> Result<Vec<String>, String> {
+            v.req(key)?
+                .as_arr()
+                .ok_or_else(|| format!("`{key}` is not an array"))?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| format!("`{key}` contains a non-string"))
+                })
+                .collect()
+        };
+        let users = str_list("users")?;
+        let groups = str_list("groups")?;
+        let user_group = v
+            .req("user_group")?
+            .as_arr()
+            .ok_or("`user_group` is not an array")?
+            .iter()
+            .map(|g| {
+                let gid = g.as_u64().ok_or("`user_group` contains a non-integer")?;
+                if gid >= groups.len() as u64 {
+                    return Err(format!("group id {gid} out of range"));
+                }
+                Ok(GroupId(gid as u32))
+            })
+            .collect::<Result<Vec<GroupId>, String>>()?;
+        if user_group.len() != users.len() {
+            return Err(format!(
+                "user_group has {} entries for {} users",
+                user_group.len(),
+                users.len()
+            ));
+        }
+        let mut user_index = HashMap::new();
+        for (i, name) in users.iter().enumerate() {
+            if user_index.insert(name.clone(), UserId(i as u32)).is_some() {
+                return Err(format!("duplicate user `{name}`"));
+            }
+        }
+        let mut group_index = HashMap::new();
+        for (i, name) in groups.iter().enumerate() {
+            if group_index
+                .insert(name.clone(), GroupId(i as u32))
+                .is_some()
+            {
+                return Err(format!("duplicate group `{name}`"));
+            }
+        }
+        Ok(CredRegistry {
+            users,
+            groups,
+            user_group,
+            user_index,
+            group_index,
+        })
     }
 }
 

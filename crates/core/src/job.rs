@@ -3,11 +3,10 @@
 use crate::exec::ExecutionModel;
 use crate::ids::{GroupId, JobId, UserId};
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The Feitelson/Rudolph job taxonomy (paper §I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobClass {
     /// Fixed processor count, allocated before start, never changes.
     Rigid,
@@ -33,7 +32,7 @@ impl fmt::Display for JobClass {
 }
 
 /// Lifecycle states, matching the extended Torque server (paper §III-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobState {
     /// Submitted, waiting for resources.
     Queued,
@@ -64,7 +63,7 @@ impl JobState {
 /// The resize bounds of a malleable job: the batch system may shrink it
 /// to `min_cores` (e.g. to serve a dynamic request, paper §II-B) or grow
 /// it to `max_cores` (to soak up idle resources).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MalleableRange {
     /// The fewest cores the application can make progress on.
     pub min_cores: u32,
@@ -73,7 +72,7 @@ pub struct MalleableRange {
 }
 
 /// Everything a user supplies at `qsub` time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// Human-readable name (e.g. the ESP type letter).
     pub name: String,
@@ -187,7 +186,10 @@ impl JobSpec {
             exec,
             priority_boost: 0,
             suppress_backfill_while_queued: false,
-            malleable: Some(MalleableRange { min_cores, max_cores }),
+            malleable: Some(MalleableRange {
+                min_cores,
+                max_cores,
+            }),
             moldable: None,
             dyn_timeout: None,
         }
@@ -219,7 +221,10 @@ impl JobSpec {
             priority_boost: 0,
             suppress_backfill_while_queued: false,
             malleable: None,
-            moldable: Some(MalleableRange { min_cores, max_cores }),
+            moldable: Some(MalleableRange {
+                min_cores,
+                max_cores,
+            }),
             dyn_timeout: None,
         }
     }
@@ -282,7 +287,7 @@ impl JobSpec {
 }
 
 /// A job as tracked by the server: spec plus lifecycle bookkeeping.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Job {
     /// Server-assigned identifier.
     pub id: JobId,
@@ -332,7 +337,9 @@ impl Job {
 
     /// Time spent waiting in the queue (up to `now` if not yet started).
     pub fn wait_time(&self, now: SimTime) -> SimDuration {
-        self.start_time.unwrap_or(now).duration_since(self.submit_time)
+        self.start_time
+            .unwrap_or(now)
+            .duration_since(self.submit_time)
     }
 
     /// Turnaround (submit → completion), if completed.
@@ -352,7 +359,7 @@ impl Job {
 }
 
 /// Condensed per-job result used by accounting and metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobOutcome {
     /// Which job.
     pub id: JobId,
@@ -466,10 +473,16 @@ mod tests {
     #[test]
     fn job_lifecycle_times() {
         let mut j = Job::new(JobId(1), spec(), SimTime::from_secs(100));
-        assert_eq!(j.wait_time(SimTime::from_secs(130)), SimDuration::from_secs(30));
+        assert_eq!(
+            j.wait_time(SimTime::from_secs(130)),
+            SimDuration::from_secs(30)
+        );
         j.start_time = Some(SimTime::from_secs(150));
         j.state = JobState::Running;
-        assert_eq!(j.wait_time(SimTime::from_secs(999)), SimDuration::from_secs(50));
+        assert_eq!(
+            j.wait_time(SimTime::from_secs(999)),
+            SimDuration::from_secs(50)
+        );
         assert_eq!(j.walltime_end(), Some(SimTime::from_secs(417)));
         assert_eq!(
             j.remaining_walltime(SimTime::from_secs(200)),

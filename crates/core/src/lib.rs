@@ -33,6 +33,8 @@ pub mod error;
 pub mod exec;
 pub mod ids;
 pub mod job;
+pub mod json;
+pub mod testkit;
 pub mod time;
 
 pub use config::{

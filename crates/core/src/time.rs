@@ -8,21 +8,16 @@
 //! clock measurements, not from virtual time) while keeping all arithmetic
 //! exact and deterministic — no floating-point clocks.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// An absolute instant of virtual time, in milliseconds since simulation
 /// start.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in milliseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -216,11 +211,7 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, other: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(other.0)
-                .expect("SimDuration underflow"),
-        )
+        SimDuration(self.0.checked_sub(other.0).expect("SimDuration underflow"))
     }
 }
 
@@ -318,7 +309,10 @@ mod tests {
 
     #[test]
     fn display_hms() {
-        assert_eq!(SimDuration::from_secs(4 * 3600 + 62).to_string(), "04:01:02");
+        assert_eq!(
+            SimDuration::from_secs(4 * 3600 + 62).to_string(),
+            "04:01:02"
+        );
         assert_eq!(SimDuration::from_millis(1500).to_string(), "00:00:01.500");
     }
 

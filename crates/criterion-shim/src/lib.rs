@@ -1,0 +1,188 @@
+//! A minimal, dependency-free stand-in for the `criterion` bench harness.
+//!
+//! The workspace must build fully offline, so the real registry crate is
+//! unavailable. This shim implements exactly the API surface used by the
+//! benches under `crates/bench/benches/` (`Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId::from_parameter`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros)
+//! with a plain warmup-then-measure loop. It reports the mean wall-clock
+//! time per iteration — no statistical machinery, no plots. Use
+//! `perf_smoke` for the numbers that gate PRs; these benches are for
+//! ad-hoc exploration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size.max(20),
+            _parent: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size.max(20), f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by `id` with access to `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterised benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from the parameter value alone.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<P: Display>(name: &str, p: P) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then collecting samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up for ~10% of the samples (at least one call).
+        for _ in 0..(self.sample_size / 10).max(1) {
+            std::hint::black_box(routine());
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{label:<48} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({n} samples)",
+        n = b.samples.len()
+    );
+}
+
+/// Mirrors `criterion::black_box`; defers to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $fun(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert!(calls >= 3);
+    }
+}

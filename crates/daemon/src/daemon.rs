@@ -1,16 +1,16 @@
 //! The threaded deployment: server thread, mom threads, client handle.
 
 use crate::wire::{ClientReq, MomMsg, PeerMsg, ServerCmd};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use dynbatch_cluster::{Allocation, Cluster};
 use dynbatch_core::{JobId, JobSpec, JobState, NodeId, SchedulerConfig, SimTime};
 use dynbatch_sched::Maui;
 use dynbatch_server::{
     Applied, Mom, MomOutput, MomToServer, PbsServer, ServerToMom, TmRequest, TmResponse,
 };
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -27,7 +27,11 @@ pub struct DaemonConfig {
 
 impl Default for DaemonConfig {
     fn default() -> Self {
-        DaemonConfig { nodes: 15, cores_per_node: 8, sched: SchedulerConfig::paper_eval() }
+        DaemonConfig {
+            nodes: 15,
+            cores_per_node: 8,
+            sched: SchedulerConfig::paper_eval(),
+        }
     }
 }
 
@@ -48,11 +52,11 @@ pub struct DaemonHandle {
 impl DaemonHandle {
     /// Boots the ensemble: one server thread plus one mom thread per node.
     pub fn start(config: DaemonConfig) -> Self {
-        let (server_tx, server_rx) = unbounded::<ServerCmd>();
+        let (server_tx, server_rx) = channel::<ServerCmd>();
         let mut mom_txs = Vec::new();
         let mut mom_rxs = Vec::new();
         for _ in 0..config.nodes {
-            let (tx, rx) = unbounded::<MomMsg>();
+            let (tx, rx) = channel::<MomMsg>();
             mom_txs.push(tx);
             mom_rxs.push(rx);
         }
@@ -84,21 +88,29 @@ impl DaemonHandle {
                     .expect("spawn server"),
             );
         }
-        DaemonHandle { server_tx, mom_txs, ms_directory, threads }
+        DaemonHandle {
+            server_tx,
+            mom_txs,
+            ms_directory,
+            threads,
+        }
     }
 
     /// Submits a job (blocking).
     pub fn qsub(&self, spec: JobSpec) -> Result<JobId, String> {
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = channel();
         self.server_tx
-            .send(ServerCmd::Client(ClientReq::QSub { spec: Box::new(spec), reply: tx }))
+            .send(ServerCmd::Client(ClientReq::QSub {
+                spec: Box::new(spec),
+                reply: tx,
+            }))
             .map_err(|e| e.to_string())?;
         rx.recv().map_err(|e| e.to_string())?
     }
 
     /// Deletes a job (blocking).
     pub fn qdel(&self, job: JobId) -> Result<(), String> {
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = channel();
         self.server_tx
             .send(ServerCmd::Client(ClientReq::QDel { job, reply: tx }))
             .map_err(|e| e.to_string())?;
@@ -107,7 +119,7 @@ impl DaemonHandle {
 
     /// Queries a job's state (blocking).
     pub fn qstat(&self, job: JobId) -> Option<JobState> {
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = channel();
         self.server_tx
             .send(ServerCmd::Client(ClientReq::QStat { job, reply: tx }))
             .ok()?;
@@ -146,7 +158,9 @@ impl DaemonHandle {
         self.tm_dynget_with(
             job,
             extra_cores,
-            Some(dynbatch_core::SimDuration::from_millis(timeout.as_millis() as u64)),
+            Some(dynbatch_core::SimDuration::from_millis(
+                timeout.as_millis() as u64
+            )),
         )
     }
 
@@ -156,14 +170,17 @@ impl DaemonHandle {
         extra_cores: u32,
         timeout: Option<dynbatch_core::SimDuration>,
     ) -> TmResponse {
-        let Some(ms) = self.ms_directory.lock().get(&job).copied() else {
+        let Some(ms) = self.ms_directory.lock().unwrap().get(&job).copied() else {
             return TmResponse::DynDenied;
         };
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = channel();
         if self.mom_txs[ms.0 as usize]
             .send(MomMsg::Tm {
                 job,
-                req: TmRequest::DynGet { extra_cores, timeout },
+                req: TmRequest::DynGet {
+                    extra_cores,
+                    timeout,
+                },
                 reply: tx,
             })
             .is_err()
@@ -183,12 +200,16 @@ impl DaemonHandle {
 
     /// Calls `tm_dynfree()` to release part of the allocation.
     pub fn tm_dynfree(&self, job: JobId, released: Allocation) -> TmResponse {
-        let Some(ms) = self.ms_directory.lock().get(&job).copied() else {
+        let Some(ms) = self.ms_directory.lock().unwrap().get(&job).copied() else {
             return TmResponse::DynDenied;
         };
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = channel();
         if self.mom_txs[ms.0 as usize]
-            .send(MomMsg::Tm { job, req: TmRequest::DynFree { released }, reply: tx })
+            .send(MomMsg::Tm {
+                job,
+                req: TmRequest::DynFree { released },
+                reply: tx,
+            })
             .is_err()
         {
             return TmResponse::DynDenied;
@@ -198,7 +219,7 @@ impl DaemonHandle {
 
     /// Blocks until every submitted job is terminal, or `timeout`.
     pub fn await_drained(&self, timeout: Duration) -> bool {
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = channel();
         if self
             .server_tx
             .send(ServerCmd::Client(ClientReq::AwaitDrained { reply: tx }))
@@ -259,7 +280,11 @@ fn server_main(
                 drain_waiters.push(reply);
                 state_changed = false;
             }
-            ServerCmd::FromMom(MomToServer::DynRequest { job, extra_cores, timeout }) => {
+            ServerCmd::FromMom(MomToServer::DynRequest {
+                job,
+                extra_cores,
+                timeout,
+            }) => {
                 // tm_dynget landed: DynQueued + immediate scheduling cycle
                 // (paper: "This triggers a new scheduling cycle").
                 let deadline = timeout.map(|w| t + w);
@@ -269,9 +294,7 @@ fn server_main(
                         // Negotiation expiry timer: wakes the server at the
                         // deadline to time the request out if still pending.
                         let tx = self_tx.clone();
-                        let wait = Duration::from_millis(
-                            d.duration_since(t).as_millis(),
-                        );
+                        let wait = Duration::from_millis(d.duration_since(t).as_millis());
                         thread::Builder::new()
                             .name(format!("dyn-expire.{}", job.0))
                             .spawn(move || {
@@ -282,7 +305,7 @@ fn server_main(
                     }
                 } else {
                     // Already pending or not running: deny straight back.
-                    if let Some(&ms) = ms_directory.lock().get(&job) {
+                    if let Some(&ms) = ms_directory.lock().unwrap().get(&job) {
                         let _ = mom_txs[ms.0 as usize]
                             .send(MomMsg::FromServer(ServerToMom::DynReject { job }));
                     }
@@ -292,7 +315,7 @@ fn server_main(
             ServerCmd::ExpireDyn(job) => {
                 let expired = server.expire_dyn_requests(t);
                 if expired.contains(&job) {
-                    if let Some(&ms) = ms_directory.lock().get(&job) {
+                    if let Some(&ms) = ms_directory.lock().unwrap().get(&job) {
                         let _ = mom_txs[ms.0 as usize]
                             .send(MomMsg::FromServer(ServerToMom::DynReject { job }));
                     }
@@ -303,23 +326,30 @@ fn server_main(
             ServerCmd::FromMom(MomToServer::DynFree { job, released }) => {
                 let _ = server.tm_dynfree(job, &released, t);
             }
-            ServerCmd::FromMom(MomToServer::JobStarted { job, mother_superior }) => {
-                ms_directory.lock().insert(job, mother_superior);
+            ServerCmd::FromMom(MomToServer::JobStarted {
+                job,
+                mother_superior,
+            }) => {
+                ms_directory.lock().unwrap().insert(job, mother_superior);
                 state_changed = false;
             }
-            ServerCmd::FromMom(MomToServer::JobFinished { job })
-            | ServerCmd::JobExited(job) => {
+            ServerCmd::FromMom(MomToServer::JobFinished { job }) | ServerCmd::JobExited(job) => {
                 // Ignore exits of jobs that already left (preempted timer).
-                if server.job(job).map(|j| j.state.is_active()).unwrap_or(false) {
+                if server
+                    .job(job)
+                    .map(|j| j.state.is_active())
+                    .unwrap_or(false)
+                {
                     let user = server.job(job).expect("checked").spec.user;
                     let start = server.job(job).expect("checked").start_time;
                     let cores = server.job(job).expect("checked").cores_allocated;
                     server.job_finished(job, t).expect("active job finishes");
                     maui.dfs_mut().job_left_queue(job);
                     if let Some(s) = start {
-                        maui.fairshare_mut().charge_span(user, cores, t.duration_since(s));
+                        maui.fairshare_mut()
+                            .charge_span(user, cores, t.duration_since(s));
                     }
-                    if let Some(&ms) = ms_directory.lock().get(&job) {
+                    if let Some(&ms) = ms_directory.lock().unwrap().get(&job) {
                         let _ = mom_txs[ms.0 as usize]
                             .send(MomMsg::FromServer(ServerToMom::KillJob { job }));
                     }
@@ -331,7 +361,15 @@ fn server_main(
         }
 
         if state_changed {
-            run_cycle(&mut server, &mut maui, t, &mom_txs, &ms_directory, &self_tx, &mut job_gen);
+            run_cycle(
+                &mut server,
+                &mut maui,
+                t,
+                &mom_txs,
+                &ms_directory,
+                &self_tx,
+                &mut job_gen,
+            );
         }
         if !drain_waiters.is_empty() && server.is_drained() {
             for w in drain_waiters.drain(..) {
@@ -357,7 +395,7 @@ fn run_cycle(
         match action {
             Applied::Started { job, alloc, .. } => {
                 let ms = alloc.entries().next().expect("non-empty allocation").0;
-                ms_directory.lock().insert(job, ms);
+                ms_directory.lock().unwrap().insert(job, ms);
                 let _ = mom_txs[ms.0 as usize]
                     .send(MomMsg::FromServer(ServerToMom::RunJob { job, alloc }));
                 // The "application": a timer that exits after the job's
@@ -387,13 +425,13 @@ fn run_cycle(
                     .expect("spawn app timer");
             }
             Applied::DynGranted { job, added } => {
-                if let Some(&ms) = ms_directory.lock().get(&job) {
+                if let Some(&ms) = ms_directory.lock().unwrap().get(&job) {
                     let _ = mom_txs[ms.0 as usize]
                         .send(MomMsg::FromServer(ServerToMom::DynJoin { job, added }));
                 }
             }
             Applied::DynRejected { job, .. } => {
-                if let Some(&ms) = ms_directory.lock().get(&job) {
+                if let Some(&ms) = ms_directory.lock().unwrap().get(&job) {
                     let _ = mom_txs[ms.0 as usize]
                         .send(MomMsg::FromServer(ServerToMom::DynReject { job }));
                 }
@@ -404,21 +442,32 @@ fn run_cycle(
                 // later cycle grants it or the expiry timer fires.
             }
             Applied::Preempted { job } => {
-                if let Some(ms) = ms_directory.lock().remove(&job) {
+                if let Some(ms) = ms_directory.lock().unwrap().remove(&job) {
                     let _ = mom_txs[ms.0 as usize]
                         .send(MomMsg::FromServer(ServerToMom::KillJob { job }));
                 }
             }
-            Applied::Resized { job, from_cores, to_cores, changed } => {
+            Applied::Resized {
+                job,
+                from_cores,
+                to_cores,
+                changed,
+            } => {
                 // Keep the mother superior's hostlist current. Note the
                 // daemon's app timers are not re-paced by resizes (the
                 // virtual-time simulator models work-pool speedups; here a
                 // job runs its submitted duration).
-                if let Some(&ms) = ms_directory.lock().get(&job) {
+                if let Some(&ms) = ms_directory.lock().unwrap().get(&job) {
                     let msg = if to_cores > from_cores {
-                        ServerToMom::DynJoin { job, added: changed }
+                        ServerToMom::DynJoin {
+                            job,
+                            added: changed,
+                        }
                     } else {
-                        ServerToMom::DynDisjoin { job, released: changed }
+                        ServerToMom::DynDisjoin {
+                            job,
+                            released: changed,
+                        }
                     };
                     let _ = mom_txs[ms.0 as usize].send(MomMsg::FromServer(msg));
                 }
@@ -462,16 +511,21 @@ fn mom_main(
             MomMsg::FromServer(ServerToMom::DynJoin { job, added }) => {
                 // dyn_join: every newly allocated host joins the group
                 // before the application gets its hostlist.
-                let others: Vec<NodeId> =
-                    added.entries().map(|(n, _)| n).filter(|&n| n != node).collect();
+                let others: Vec<NodeId> = added
+                    .entries()
+                    .map(|(n, _)| n)
+                    .filter(|&n| n != node)
+                    .collect();
                 if others.is_empty() {
                     let out = mom.handle_server(ServerToMom::DynJoin { job, added });
                     route(out, &mut tm_replies, &server_tx);
                 } else {
                     pending_join.insert(job, (others.len(), added));
                     for peer in others {
-                        let _ = peers[peer.0 as usize]
-                            .send(MomMsg::Peer(PeerMsg::JoinPing { job, reply_to: node }));
+                        let _ = peers[peer.0 as usize].send(MomMsg::Peer(PeerMsg::JoinPing {
+                            job,
+                            reply_to: node,
+                        }));
                     }
                 }
             }
@@ -519,7 +573,9 @@ mod tests {
             class: dynbatch_core::JobClass::Rigid,
             cores,
             walltime: SimDuration::from_millis(millis),
-            exec: ExecutionModel::Fixed { duration: SimDuration::from_millis(millis) },
+            exec: ExecutionModel::Fixed {
+                duration: SimDuration::from_millis(millis),
+            },
             priority_boost: 0,
             suppress_backfill_while_queued: false,
             malleable: None,
@@ -531,7 +587,11 @@ mod tests {
     fn hp_config(nodes: u32) -> DaemonConfig {
         let mut sched = SchedulerConfig::paper_eval();
         sched.dfs = DfsConfig::highest_priority();
-        DaemonConfig { nodes, cores_per_node: 8, sched }
+        DaemonConfig {
+            nodes,
+            cores_per_node: 8,
+            sched,
+        }
     }
 
     #[test]
@@ -554,7 +614,10 @@ mod tests {
             TmResponse::DynGranted { added } => assert_eq!(added.total_cores(), 8),
             other => panic!("expected grant, got {other:?}"),
         }
-        assert!(latency < Duration::from_secs(1), "sub-second overhead: {latency:?}");
+        assert!(
+            latency < Duration::from_secs(1),
+            "sub-second overhead: {latency:?}"
+        );
         let _ = d.qdel(id);
         d.shutdown();
     }

@@ -6,7 +6,7 @@
 //! virtual time, this crate runs them as live daemons: one server thread
 //! (hosting `pbs_server` + the Maui scheduler), one `pbs_mom` thread per
 //! compute node, and client handles applications call into. Messages
-//! travel over crossbeam channels — the same hop structure as the paper's
+//! travel over std `mpsc` channels — the same hop structure as the paper's
 //! Fig 3:
 //!
 //! ```text

@@ -1,8 +1,8 @@
 //! Channel message types for the threaded deployment.
 
-use crossbeam::channel::Sender;
 use dynbatch_core::{JobId, JobSpec, JobState, NodeId};
 use dynbatch_server::{MomToServer, ServerToMom, TmResponse};
+use std::sync::mpsc::Sender;
 
 /// Client → server requests, each carrying its reply channel.
 #[derive(Debug)]

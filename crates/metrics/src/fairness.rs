@@ -27,7 +27,10 @@ pub struct UserWaitSummary {
 pub fn per_user_waits(outcomes: &[JobOutcome]) -> Vec<UserWaitSummary> {
     let mut by_user: BTreeMap<UserId, Vec<f64>> = BTreeMap::new();
     for o in outcomes {
-        by_user.entry(o.user).or_default().push(o.wait().as_secs_f64());
+        by_user
+            .entry(o.user)
+            .or_default()
+            .push(o.wait().as_secs_f64());
     }
     by_user
         .into_iter()
@@ -56,17 +59,17 @@ pub fn jain_index(values: &[f64]) -> f64 {
 /// Jain's index over per-user *mean waits* — the fairness headline for one
 /// run.
 pub fn user_wait_fairness(outcomes: &[JobOutcome]) -> f64 {
-    let means: Vec<f64> = per_user_waits(outcomes).iter().map(|u| u.mean_wait_s).collect();
+    let means: Vec<f64> = per_user_waits(outcomes)
+        .iter()
+        .map(|u| u.mean_wait_s)
+        .collect();
     jain_index(&means)
 }
 
 /// Per-user excess wait of `run` over `baseline` (positive = this user's
 /// jobs waited longer here), matched by user id; users missing from either
 /// side are skipped.
-pub fn per_user_excess(
-    run: &[JobOutcome],
-    baseline: &[JobOutcome],
-) -> Vec<(UserId, f64)> {
+pub fn per_user_excess(run: &[JobOutcome], baseline: &[JobOutcome]) -> Vec<(UserId, f64)> {
     let base: BTreeMap<UserId, f64> = per_user_waits(baseline)
         .into_iter()
         .map(|u| (u.user, u.mean_wait_s))
@@ -118,7 +121,10 @@ mod tests {
     fn jain_bounds() {
         assert_eq!(jain_index(&[]), 1.0);
         assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
-        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12, "even = 1");
+        assert!(
+            (jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12,
+            "even = 1"
+        );
         // One user takes everything: index = 1/n.
         let skew = jain_index(&[10.0, 0.0, 0.0, 0.0]);
         assert!((skew - 0.25).abs() < 1e-12, "{skew}");

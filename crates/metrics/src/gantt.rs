@@ -96,7 +96,10 @@ mod tests {
         let outs = vec![outcome("a", 0, 10, 20, 8)];
         let csv = gantt_csv(&outs);
         let mut lines = csv.lines();
-        assert_eq!(lines.next(), Some("name,submit_s,start_s,end_s,cores,backfilled"));
+        assert_eq!(
+            lines.next(),
+            Some("name,submit_s,start_s,end_s,cores,backfilled")
+        );
         assert_eq!(lines.next(), Some("a,0,10,20,8,false"));
 
         let occ = occupancy_csv(&[(SimTime::ZERO, 0), (SimTime::from_secs(10), 8)]);

@@ -16,7 +16,9 @@ pub mod series;
 pub mod stats;
 pub mod summary;
 
-pub use fairness::{jain_index, per_user_excess, per_user_waits, user_wait_fairness, UserWaitSummary};
+pub use fairness::{
+    jain_index, per_user_excess, per_user_waits, user_wait_fairness, UserWaitSummary,
+};
 pub use gantt::{gantt_csv, gantt_rows, occupancy_csv, GanttRow};
 pub use recorder::{throughput_jobs_per_min, UtilizationRecorder};
 pub use report::{ascii_plot, render_csv, render_table2};

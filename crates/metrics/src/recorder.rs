@@ -6,10 +6,9 @@
 //! "Util [%]" column — is busy core-time divided by capacity × makespan.
 
 use dynbatch_core::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Exact busy-core-time integrator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UtilizationRecorder {
     capacity: u32,
     start: SimTime,
@@ -35,7 +34,11 @@ impl UtilizationRecorder {
 
     /// Reports that the busy-core count is `busy` as of `now`.
     pub fn record(&mut self, now: SimTime, busy: u32) {
-        assert!(busy <= self.capacity, "busy {busy} exceeds capacity {}", self.capacity);
+        assert!(
+            busy <= self.capacity,
+            "busy {busy} exceeds capacity {}",
+            self.capacity
+        );
         assert!(now >= self.last_change, "time went backwards");
         self.core_millis +=
             self.busy_now as u128 * now.duration_since(self.last_change).as_millis() as u128;
@@ -48,8 +51,7 @@ impl UtilizationRecorder {
 
     /// Busy core-seconds accumulated up to `end`.
     pub fn core_seconds(&self, end: SimTime) -> f64 {
-        let tail =
-            self.busy_now as u128 * end.duration_since(self.last_change).as_millis() as u128;
+        let tail = self.busy_now as u128 * end.duration_since(self.last_change).as_millis() as u128;
         (self.core_millis + tail) as f64 / 1000.0
     }
 
@@ -134,9 +136,10 @@ mod tests {
 
     #[test]
     fn throughput() {
-        assert!((throughput_jobs_per_min(230, SimDuration::from_mins(265)) - 230.0 / 265.0)
-            .abs()
-            < 1e-12);
+        assert!(
+            (throughput_jobs_per_min(230, SimDuration::from_mins(265)) - 230.0 / 265.0).abs()
+                < 1e-12
+        );
         assert_eq!(throughput_jobs_per_min(10, SimDuration::ZERO), 0.0);
     }
 }

@@ -115,7 +115,10 @@ mod tests {
         assert!(t.contains("Dyn-HP"));
         assert!(t.contains("11.6") || t.contains("11.")); // ~11.6% increase
         let first_data_line = t.lines().nth(2).unwrap();
-        assert!(first_data_line.trim_end().ends_with('-'), "baseline has no incr");
+        assert!(
+            first_data_line.trim_end().ends_with('-'),
+            "baseline has no incr"
+        );
         let _ = SimTime::ZERO; // silence unused import lint paths in some cfgs
     }
 

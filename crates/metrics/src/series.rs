@@ -21,8 +21,7 @@ pub fn waits_by_submission(outcomes: &[JobOutcome]) -> Vec<(u64, f64)> {
 /// Waiting times of jobs named `name`, in submission order (Fig 9:
 /// `name = "L"`).
 pub fn waits_of_type(outcomes: &[JobOutcome], name: &str) -> Vec<f64> {
-    let mut typed: Vec<&JobOutcome> =
-        outcomes.iter().filter(|o| o.name == name).collect();
+    let mut typed: Vec<&JobOutcome> = outcomes.iter().filter(|o| o.name == name).collect();
     typed.sort_by_key(|o| (o.submit_time, o.id));
     typed.iter().map(|o| o.wait().as_secs_f64()).collect()
 }

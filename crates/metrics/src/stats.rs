@@ -41,7 +41,11 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
 
 /// Maximum; 0 for an empty slice.
 pub fn max(values: &[f64]) -> f64 {
-    values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+    values
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(0.0)
 }
 
 #[cfg(test)]

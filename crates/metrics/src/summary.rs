@@ -1,13 +1,12 @@
 //! Run summaries — the paper's Table II row.
 
 use dynbatch_core::{JobOutcome, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::recorder::throughput_jobs_per_min;
 
 /// Aggregate results of one workload run, matching the columns of the
 /// paper's Table II.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     /// Configuration label ("Static", "Dyn-HP", "Dyn-500", ...).
     pub label: String,
@@ -45,7 +44,11 @@ impl RunSummary {
             outcomes.iter().map(|o| o.wait().as_millis()).sum::<u64>() / n,
         );
         let mean_turnaround = SimDuration::from_millis(
-            outcomes.iter().map(|o| o.turnaround().as_millis()).sum::<u64>() / n,
+            outcomes
+                .iter()
+                .map(|o| o.turnaround().as_millis())
+                .sum::<u64>()
+                / n,
         );
         RunSummary {
             label: label.into(),
@@ -94,17 +97,9 @@ mod tests {
 
     #[test]
     fn summary_aggregates() {
-        let outs = vec![
-            outcome(0, 10, 110, 0, false),
-            outcome(0, 30, 100, 1, true),
-        ];
-        let s = RunSummary::from_outcomes(
-            "Test",
-            &outs,
-            SimTime::ZERO,
-            SimTime::from_secs(120),
-            0.8,
-        );
+        let outs = vec![outcome(0, 10, 110, 0, false), outcome(0, 30, 100, 1, true)];
+        let s =
+            RunSummary::from_outcomes("Test", &outs, SimTime::ZERO, SimTime::from_secs(120), 0.8);
         assert_eq!(s.makespan, SimDuration::from_secs(120));
         assert_eq!(s.jobs_completed, 2);
         assert_eq!(s.satisfied_dyn_jobs, 1);

@@ -166,7 +166,11 @@ impl DfsEngine {
             for d in &relevant {
                 let limits = self.config.effective_limits(d.user, d.group);
                 if let Some(limit) = limits.single_delay_time {
-                    let acc = self.job_delay.get(&d.job).copied().unwrap_or(SimDuration::ZERO);
+                    let acc = self
+                        .job_delay
+                        .get(&d.job)
+                        .copied()
+                        .unwrap_or(SimDuration::ZERO);
                     let would_be = acc.saturating_add(d.delay);
                     if would_be > limit {
                         return DfsVerdict::Rejected(DfsReject::SingleExceeded {
@@ -195,7 +199,11 @@ impl DfsEngine {
                 let group = user_group[&user];
                 let limits = self.config.effective_limits(user, group);
                 if let Some(limit) = limits.target_delay_time {
-                    let cur = self.user_delay.get(&user).copied().unwrap_or(SimDuration::ZERO);
+                    let cur = self
+                        .user_delay
+                        .get(&user)
+                        .copied()
+                        .unwrap_or(SimDuration::ZERO);
                     let would_be = cur.saturating_add(charge);
                     if would_be > limit {
                         return DfsVerdict::Rejected(DfsReject::UserTargetExceeded {
@@ -211,8 +219,11 @@ impl DfsEngine {
             for (group, charge) in groups {
                 if let Some(glim) = self.config.groups.get(&group) {
                     if let Some(limit) = glim.target_delay_time {
-                        let cur =
-                            self.group_delay.get(&group).copied().unwrap_or(SimDuration::ZERO);
+                        let cur = self
+                            .group_delay
+                            .get(&group)
+                            .copied()
+                            .unwrap_or(SimDuration::ZERO);
                         let would_be = cur.saturating_add(charge);
                         if would_be > limit {
                             return DfsVerdict::Rejected(DfsReject::GroupTargetExceeded {
@@ -249,17 +260,26 @@ impl DfsEngine {
 
     /// The user's cumulative charged delay in the current interval.
     pub fn user_charged(&self, user: UserId) -> SimDuration {
-        self.user_delay.get(&user).copied().unwrap_or(SimDuration::ZERO)
+        self.user_delay
+            .get(&user)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// The group's cumulative charged delay in the current interval.
     pub fn group_charged(&self, group: GroupId) -> SimDuration {
-        self.group_delay.get(&group).copied().unwrap_or(SimDuration::ZERO)
+        self.group_delay
+            .get(&group)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// The queued job's accumulated delay.
     pub fn job_charged(&self, job: JobId) -> SimDuration {
-        self.job_delay.get(&job).copied().unwrap_or(SimDuration::ZERO)
+        self.job_delay
+            .get(&job)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 
@@ -299,7 +319,11 @@ mod tests {
         // Another 200 s would burst the 500 s cap.
         let d2 = [charge(2, 0, 0, 200)];
         match eng.evaluate(UserId(9), &d2) {
-            DfsVerdict::Rejected(DfsReject::UserTargetExceeded { user, would_be, limit }) => {
+            DfsVerdict::Rejected(DfsReject::UserTargetExceeded {
+                user,
+                would_be,
+                limit,
+            }) => {
                 assert_eq!(user, UserId(0));
                 assert_eq!(would_be, SimDuration::from_secs(600));
                 assert_eq!(limit, SimDuration::from_secs(500));
@@ -332,7 +356,10 @@ mod tests {
         cfg.users.insert(UserId(2), CredLimits::never_delay());
         let eng = DfsEngine::new(cfg, SimTime::ZERO);
         let v = eng.evaluate(UserId(9), &[charge(1, 2, 0, 1)]);
-        assert_eq!(v, DfsVerdict::Rejected(DfsReject::PermDenied { user: UserId(2) }));
+        assert_eq!(
+            v,
+            DfsVerdict::Rejected(DfsReject::PermDenied { user: UserId(2) })
+        );
     }
 
     #[test]
@@ -341,7 +368,10 @@ mod tests {
         cfg.groups.insert(GroupId(6), CredLimits::never_delay());
         let eng = DfsEngine::new(cfg, SimTime::ZERO);
         let v = eng.evaluate(UserId(9), &[charge(1, 2, 6, 1)]);
-        assert_eq!(v, DfsVerdict::Rejected(DfsReject::PermDenied { user: UserId(2) }));
+        assert_eq!(
+            v,
+            DfsVerdict::Rejected(DfsReject::PermDenied { user: UserId(2) })
+        );
     }
 
     #[test]
@@ -377,7 +407,8 @@ mod tests {
             interval: SimDuration::from_hours(6),
             ..DfsConfig::default()
         };
-        cfg.groups.insert(GroupId(5), CredLimits::target(SimDuration::from_hours(4)));
+        cfg.groups
+            .insert(GroupId(5), CredLimits::target(SimDuration::from_hours(4)));
         let mut eng = DfsEngine::new(cfg, SimTime::ZERO);
         // Two users of group 5 accumulate toward the same group cap.
         let d1 = [charge(1, 0, 5, 3 * 3600)];
@@ -386,7 +417,10 @@ mod tests {
         let d2 = [charge(2, 1, 5, 2 * 3600)];
         assert!(matches!(
             eng.evaluate(UserId(9), &d2),
-            DfsVerdict::Rejected(DfsReject::GroupTargetExceeded { group: GroupId(5), .. })
+            DfsVerdict::Rejected(DfsReject::GroupTargetExceeded {
+                group: GroupId(5),
+                ..
+            })
         ));
     }
 
@@ -405,7 +439,10 @@ mod tests {
         let ok = [charge(2, 0, 0, 4080)];
         assert_eq!(eng.evaluate(UserId(9), &ok), DfsVerdict::Allowed);
         let too_much = [charge(2, 0, 0, 4081)];
-        assert!(matches!(eng.evaluate(UserId(9), &too_much), DfsVerdict::Rejected(_)));
+        assert!(matches!(
+            eng.evaluate(UserId(9), &too_much),
+            DfsVerdict::Rejected(_)
+        ));
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!
 //! Module map:
 //!
-//! * [`timeline`] — the availability step function all planning reduces to;
+//! * [`timeline`] — the availability step function all planning reduces to
+//!   (windowed, allocation-free hot paths; see its complexity notes);
+//! * [`reference`] — the naive executable specification the timeline is
+//!   property-checked and benchmarked against;
 //! * [`priority`] / [`fairshare`] — classic Maui job prioritisation;
 //! * [`plan`] — sequential earliest-start planning (reservations,
 //!   StartNow/StartLater, delay what-ifs);
@@ -28,6 +31,7 @@ pub mod fairshare;
 pub mod maui;
 pub mod plan;
 pub mod priority;
+pub mod reference;
 pub mod reservation;
 pub mod snapshot;
 pub mod timeline;

@@ -131,7 +131,34 @@ pub struct IterationOutcome {
 impl IterationOutcome {
     /// Jobs granted dynamic resources this iteration.
     pub fn granted_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
-        self.dyn_decisions.iter().filter(|d| d.is_granted()).map(|d| d.job())
+        self.dyn_decisions
+            .iter()
+            .filter(|d| d.is_granted())
+            .map(|d| d.job())
+    }
+}
+
+/// Reusable profile buffers for the dynamic-request what-if pass. One set
+/// is allocated per iteration and refilled with
+/// [`AvailabilityProfile::assign_from`] per request, so delay measurement
+/// performs no per-request heap allocation.
+#[derive(Debug)]
+struct PlanScratch {
+    /// The partition-released view a request draws resources from.
+    trial: AvailabilityProfile,
+    /// The post-grant world (expansion held, unused partition re-held).
+    expanded: AvailabilityProfile,
+    /// Consumed by `plan_starts` when measuring before/after starts.
+    plan: AvailabilityProfile,
+}
+
+impl PlanScratch {
+    fn new(now: SimTime, total_cores: u32) -> Self {
+        PlanScratch {
+            trial: AvailabilityProfile::new(now, total_cores),
+            expanded: AvailabilityProfile::new(now, total_cores),
+            plan: AvailabilityProfile::new(now, total_cores),
+        }
     }
 }
 
@@ -141,6 +168,10 @@ pub struct Maui {
     config: SchedulerConfig,
     dfs: DfsEngine,
     fairshare: FairshareTracker,
+    /// Reuse the "before" plan across consecutive dynamic requests (it
+    /// only changes when a grant mutates the base profile). Disabled via
+    /// [`Maui::set_plan_cache_enabled`] for equivalence testing.
+    plan_cache_enabled: bool,
 }
 
 impl Maui {
@@ -152,7 +183,20 @@ impl Maui {
         config.validate().expect("invalid scheduler configuration");
         let dfs = DfsEngine::new(config.dfs.clone(), SimTime::ZERO);
         let fairshare = FairshareTracker::new(config.fairshare.clone(), SimTime::ZERO);
-        Maui { config, dfs, fairshare }
+        Maui {
+            config,
+            dfs,
+            fairshare,
+            plan_cache_enabled: true,
+        }
+    }
+
+    /// Test/debug knob: when disabled, the "before" plan of the delay
+    /// measurement is recomputed for every dynamic request instead of
+    /// cached between grants. Decisions are identical either way (the
+    /// integration suite asserts it); the cache only saves work.
+    pub fn set_plan_cache_enabled(&mut self, enabled: bool) {
+        self.plan_cache_enabled = enabled;
     }
 
     /// The site configuration.
@@ -185,9 +229,15 @@ impl Maui {
         self.fairshare.advance_to(now);
 
         // Steps 6–9: select and prioritise static jobs and dynamic
-        // requests.
-        let mut ranked: Vec<QueuedJob> = snap.queued.clone();
-        rank_jobs(&mut ranked, now, &self.config.priority, Some(&self.fairshare));
+        // requests. The queue is ranked through references — the snapshot
+        // is never cloned on this path.
+        let mut ranked: Vec<&QueuedJob> = snap.queued.iter().collect();
+        rank_jobs(
+            &mut ranked,
+            now,
+            &self.config.priority,
+            Some(&self.fairshare),
+        );
 
         // The base profile carries running jobs' remaining walltimes; all
         // planning happens on top of clones of it. The dynamic partition
@@ -210,9 +260,11 @@ impl Maui {
         let mut cur_cores: HashMap<JobId, u32> =
             snap.running.iter().map(|r| (r.id, r.cores)).collect();
         // Step 10: plan static jobs without starting them — the baseline.
+        let mut scratch = PlanScratch::new(now, snap.total_cores);
+        scratch.plan.assign_from(&base);
         let mut outcome = IterationOutcome {
             baseline_plan: plan_starts(
-                &mut base.clone(),
+                &mut scratch.plan,
                 &ranked,
                 self.config.lookahead_depth(),
                 now,
@@ -222,17 +274,28 @@ impl Maui {
 
         // Steps 11–24: the dynamic-request loop.
         if self.config.dynamic_enabled {
-            let mut requests = snap.dyn_requests.clone();
+            let mut requests: Vec<&DynRequest> = snap.dyn_requests.iter().collect();
             requests.sort_by_key(|r| r.seq);
-            for req in &requests {
+            // Resolve `JobId → &QueuedJob` once; the delay loop inside
+            // `decide_dynamic` used to rescan the ranked queue per charge.
+            let jobs_by_id: HashMap<JobId, &QueuedJob> =
+                ranked.iter().map(|j| (j.id, *j)).collect();
+            // The "before" plan of the delay measurement depends only on
+            // `base`, which mutates solely when a grant commits — so it is
+            // computed lazily and carried across requests.
+            let mut before_plan: Option<Vec<PlannedStart>> = None;
+            for req in requests {
                 let decision = self.decide_dynamic(
                     req,
                     &mut base,
                     &mut partition,
                     &ranked,
+                    &jobs_by_id,
                     &snap.running,
                     &mut preempted,
                     &mut cur_cores,
+                    &mut before_plan,
+                    &mut scratch,
                     now,
                 );
                 outcome.dyn_decisions.push(decision);
@@ -361,17 +424,23 @@ impl Maui {
         req: &DynRequest,
         base: &mut AvailabilityProfile,
         partition: &mut u32,
-        ranked: &[QueuedJob],
+        ranked: &[&QueuedJob],
+        jobs_by_id: &HashMap<JobId, &QueuedJob>,
         running: &[RunningJob],
         preempted: &mut HashSet<JobId>,
         cur_cores: &mut HashMap<JobId, u32>,
+        before_plan: &mut Option<Vec<PlannedStart>>,
+        scratch: &mut PlanScratch,
         now: SimTime,
     ) -> DynDecision {
         // A job preempted earlier in this very iteration (to feed another
         // dynamic request) is back in the queue; its own pending request
         // is moot.
         if preempted.contains(&req.job) {
-            return DynDecision::Rejected { job: req.job, reason: DfsReject::NoResources };
+            return DynDecision::Rejected {
+                job: req.job,
+                reason: DfsReject::NoResources,
+            };
         }
 
         // Guaranteeing policy: a request covered by the job's own
@@ -396,7 +465,8 @@ impl Maui {
         // order. The partition hold is lifted only inside the dynamic
         // path: static jobs can never touch it, so partition grants show
         // up as zero delay.
-        let mut trial = base.clone();
+        let trial = &mut scratch.trial;
+        trial.assign_from(base);
         if *partition > 0 {
             // `base` holds the remaining partition to infinity
             // (established in `iterate`); the dynamic path may draw on it.
@@ -460,7 +530,8 @@ impl Maui {
         // held on the partition-free view, then the *unused* slice of the
         // dynamic partition re-held to infinity so static jobs still
         // cannot touch it.
-        let mut expanded = trial.clone();
+        scratch.expanded.assign_from(&scratch.trial);
+        let expanded = &mut scratch.expanded;
         expanded.hold_for(now, req.remaining_walltime, req.extra_cores);
         let unused_partition = partition.saturating_sub(req.extra_cores.min(*partition));
         if unused_partition > 0 {
@@ -470,34 +541,45 @@ impl Maui {
         // Measure delays: plan the top ReservationDelayDepth jobs in the
         // current world (`base`, partition held) and in the post-grant
         // world (paper §III-D). Partition-only grants therefore
-        // measure zero delay — static jobs never had those cores.
+        // measure zero delay — static jobs never had those cores. The
+        // "before" plan is a pure function of `base`, so it is reused
+        // across requests until a grant commits a new base.
         let depth = self.config.reservation_delay_depth;
-        let before = plan_starts(&mut base.clone(), ranked, depth, now);
-        let after = plan_starts(&mut expanded.clone(), ranked, depth, now);
+        if before_plan.is_none() || !self.plan_cache_enabled {
+            scratch.plan.assign_from(base);
+            *before_plan = Some(plan_starts(&mut scratch.plan, ranked, depth, now));
+        }
+        let before = before_plan.as_deref().expect("before plan just ensured");
+        scratch.plan.assign_from(&scratch.expanded);
+        let after = plan_starts(&mut scratch.plan, ranked, depth, now);
 
         let mut delays = Vec::new();
-        for b in &before {
+        for b in before {
             // Match by job id: a plan may skip a job the other fits (e.g.
             // a full-machine job that only fits once the partition is in
             // use). A job plannable before but not after is pushed past
             // the horizon — charge the delay to its walltime as a bound.
+            let job = jobs_by_id.get(&b.job).expect("planned job is queued");
             let delay = match after.iter().find(|a| a.job == b.job) {
                 Some(a) => a.start.duration_since(b.start),
-                None => ranked
-                    .iter()
-                    .find(|j| j.id == b.job)
-                    .map(|j| j.walltime)
-                    .unwrap_or(SimDuration::ZERO),
+                None => job.walltime,
             };
-            let job = ranked.iter().find(|j| j.id == b.job).expect("planned job is queued");
-            delays.push(DelayCharge { job: job.id, user: job.user, group: job.group, delay });
+            delays.push(DelayCharge {
+                job: job.id,
+                user: job.user,
+                group: job.group,
+                delay,
+            });
         }
 
         // Steps 14–20: the fairness gate.
         match self.dfs.evaluate(req.user, &delays) {
             DfsVerdict::Allowed => {
                 self.dfs.commit(req.user, &delays);
-                *base = expanded;
+                base.assign_from(&scratch.expanded);
+                // The new base *is* the expanded world: the plan just
+                // computed against it becomes the next request's "before".
+                *before_plan = self.plan_cache_enabled.then_some(after);
                 *partition = unused_partition;
                 preempted.extend(to_preempt.iter().copied());
                 for r in &to_shrink {
@@ -535,7 +617,10 @@ fn reject_or_defer(
             reason,
             available_hint: base.earliest_fit(req.extra_cores, req.remaining_walltime, now),
         },
-        _ => DynDecision::Rejected { job: req.job, reason },
+        _ => DynDecision::Rejected {
+            job: req.job,
+            reason,
+        },
     }
 }
 
@@ -639,7 +724,10 @@ mod tests {
     #[test]
     fn empty_snapshot_is_a_noop() {
         let mut m = maui(DfsConfig::default());
-        let out = m.iterate(&Snapshot { total_cores: 120, ..Default::default() });
+        let out = m.iterate(&Snapshot {
+            total_cores: 120,
+            ..Default::default()
+        });
         assert!(out.starts.is_empty());
         assert!(out.reservations.is_empty());
         assert!(out.dyn_decisions.is_empty());
@@ -747,7 +835,10 @@ mod tests {
         let out = m.iterate(&snap);
         assert_eq!(
             out.dyn_decisions[0],
-            DynDecision::Rejected { job: JobId(1), reason: DfsReject::NoResources }
+            DynDecision::Rejected {
+                job: JobId(1),
+                reason: DfsReject::NoResources
+            }
         );
     }
 
@@ -810,9 +901,16 @@ mod tests {
         let out = m.iterate(&snap);
         assert!(matches!(
             out.dyn_decisions[0],
-            DynDecision::Rejected { reason: DfsReject::UserTargetExceeded { .. }, .. }
+            DynDecision::Rejected {
+                reason: DfsReject::UserTargetExceeded { .. },
+                ..
+            }
         ));
-        assert_eq!(out.reservations[0].start, t(4 * h), "C's reservation unchanged");
+        assert_eq!(
+            out.reservations[0].start,
+            t(4 * h),
+            "C's reservation unchanged"
+        );
     }
 
     #[test]
@@ -902,7 +1000,10 @@ mod tests {
         let out = m.iterate(&snap);
         assert!(matches!(
             out.dyn_decisions[0],
-            DynDecision::Rejected { reason: DfsReject::NoResources, .. }
+            DynDecision::Rejected {
+                reason: DfsReject::NoResources,
+                ..
+            }
         ));
     }
 

@@ -21,14 +21,18 @@ use dynbatch_core::SimTime;
 ///
 /// Jobs whose core request exceeds the profile capacity are skipped (they
 /// can never run; the server-side validation normally rejects them first).
-pub fn plan_starts(
+///
+/// Generic over ownership (`&[QueuedJob]` or `&[&QueuedJob]`) so callers
+/// can plan over borrowed queues without cloning.
+pub fn plan_starts<J: std::borrow::Borrow<QueuedJob>>(
     profile: &mut AvailabilityProfile,
-    ranked: &[QueuedJob],
+    ranked: &[J],
     depth: usize,
     now: SimTime,
 ) -> Vec<PlannedStart> {
     let mut plans = Vec::with_capacity(depth.min(ranked.len()));
     for job in ranked.iter().take(depth) {
+        let job = job.borrow();
         // Under the guaranteeing policy an evolving job's footprint is its
         // static cores plus its pre-reserve.
         let width = job.cores + job.reserve_extra;
@@ -42,7 +46,11 @@ pub fn plan_starts(
             start,
             end,
             cores: width,
-            kind: if start == now { StartKind::Now } else { StartKind::Later },
+            kind: if start == now {
+                StartKind::Now
+            } else {
+                StartKind::Later
+            },
         });
     }
     plans

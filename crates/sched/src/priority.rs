@@ -50,19 +50,31 @@ pub fn priority_of(
         + weights.expansion_weight * expansion
         + weights.resource_weight * job.cores as f64
         + weights.fairshare_weight * fs_delta;
-    Priority { score, submit_time: job.submit_time, job_seq: job.id.0 }
+    Priority {
+        score,
+        submit_time: job.submit_time,
+        job_seq: job.id.0,
+    }
 }
 
 /// Sorts queued jobs into scheduling order (highest priority first).
-pub fn rank_jobs(
-    jobs: &mut [QueuedJob],
+///
+/// Generic over ownership so the scheduler can rank a vector of
+/// `&QueuedJob` borrowed straight from the snapshot — the hot path never
+/// clones the queue.
+pub fn rank_jobs<J: std::borrow::Borrow<QueuedJob>>(
+    jobs: &mut [J],
     now: SimTime,
     weights: &PriorityWeights,
     fairshare: Option<&FairshareTracker>,
 ) {
     jobs.sort_by(|a, b| {
-        priority_of(a, now, weights, fairshare)
-            .cmp_desc(&priority_of(b, now, weights, fairshare))
+        priority_of(a.borrow(), now, weights, fairshare).cmp_desc(&priority_of(
+            b.borrow(),
+            now,
+            weights,
+            fairshare,
+        ))
     });
 }
 
@@ -89,7 +101,12 @@ mod tests {
     #[test]
     fn queue_time_orders_fifo() {
         let mut jobs = vec![job(2, 100, 4, 0), job(1, 0, 4, 0)];
-        rank_jobs(&mut jobs, SimTime::from_secs(200), &PriorityWeights::default(), None);
+        rank_jobs(
+            &mut jobs,
+            SimTime::from_secs(200),
+            &PriorityWeights::default(),
+            None,
+        );
         assert_eq!(jobs[0].id, JobId(1), "older job first");
     }
 
@@ -97,14 +114,22 @@ mod tests {
     fn boost_dominates() {
         // The Z-job rule: once submitted it has the highest priority.
         let mut jobs = vec![job(1, 0, 4, 0), job(2, 100, 120, 1_000_000)];
-        rank_jobs(&mut jobs, SimTime::from_secs(200), &PriorityWeights::default(), None);
+        rank_jobs(
+            &mut jobs,
+            SimTime::from_secs(200),
+            &PriorityWeights::default(),
+            None,
+        );
         assert_eq!(jobs[0].id, JobId(2));
     }
 
     #[test]
     fn ties_break_by_submit_then_id() {
         let mut jobs = vec![job(3, 50, 4, 0), job(2, 50, 4, 0), job(1, 60, 4, 0)];
-        let w = PriorityWeights { queue_time_weight: 0.0, ..Default::default() };
+        let w = PriorityWeights {
+            queue_time_weight: 0.0,
+            ..Default::default()
+        };
         rank_jobs(&mut jobs, SimTime::from_secs(100), &w, None);
         assert_eq!(
             jobs.iter().map(|j| j.id.0).collect::<Vec<_>>(),

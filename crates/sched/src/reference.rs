@@ -1,0 +1,198 @@
+//! Naive reference implementations — the executable specification.
+//!
+//! [`NaiveProfile`] is the original O(n²) formulation of the
+//! availability timeline, kept verbatim: `hold`/`release` scan and
+//! re-coalesce the whole step vector, `earliest_fit` materialises a
+//! candidate list and re-scans the steps per candidate. It exists for
+//! two jobs:
+//!
+//! 1. the property suite (`tests/prop_timeline.rs`) checks the windowed
+//!    [`crate::AvailabilityProfile`] against it on random operation
+//!    sequences — observational equivalence over `steps()` / `idle_at` /
+//!    `min_idle` / `earliest_fit`;
+//! 2. the `perf_smoke` harness (in `dynbatch-bench`) times it as the
+//!    pre-optimisation baseline recorded in `BENCH_sched.json`.
+//!
+//! Do not "optimise" this module: its value is being obviously correct.
+
+use dynbatch_core::{SimDuration, SimTime};
+
+/// The step function `time → idle cores`, in its original naive
+/// formulation. Semantically identical to [`crate::AvailabilityProfile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveProfile {
+    origin: SimTime,
+    capacity: u32,
+    steps: Vec<(SimTime, u32)>,
+}
+
+impl NaiveProfile {
+    /// A fully idle profile: `capacity` cores free from `origin` onwards.
+    pub fn new(origin: SimTime, capacity: u32) -> Self {
+        NaiveProfile {
+            origin,
+            capacity,
+            steps: vec![(origin, capacity)],
+        }
+    }
+
+    /// The profile's origin.
+    pub fn origin(&self) -> SimTime {
+        self.origin
+    }
+
+    /// Total cores the profile was built with.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Idle cores at instant `t`.
+    pub fn idle_at(&self, t: SimTime) -> u32 {
+        assert!(t >= self.origin, "query before profile origin");
+        match self.steps.binary_search_by(|&(s, _)| s.cmp(&t)) {
+            Ok(i) => self.steps[i].1,
+            Err(0) => unreachable!("first step is at origin"),
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+
+    /// Minimum idle cores over `[from, to)` — full linear scan.
+    pub fn min_idle(&self, from: SimTime, to: SimTime) -> u32 {
+        assert!(from >= self.origin && to >= from);
+        if from == to {
+            return self.idle_at(from);
+        }
+        let mut min = self.idle_at(from);
+        for &(s, idle) in &self.steps {
+            if s > from && s < to {
+                min = min.min(idle);
+            }
+        }
+        min
+    }
+
+    /// Subtracts `cores` over `[from, to)` — full scan + global coalesce.
+    pub fn hold(&mut self, from: SimTime, to: SimTime, cores: u32) {
+        assert!(from >= self.origin, "hold starts before origin");
+        if cores == 0 || from >= to {
+            return;
+        }
+        self.ensure_breakpoint(from);
+        if to < SimTime::MAX {
+            self.ensure_breakpoint(to);
+        }
+        for step in &mut self.steps {
+            if step.0 >= from && (to == SimTime::MAX || step.0 < to) {
+                assert!(
+                    step.1 >= cores,
+                    "hold over-commits at {}: {} idle < {cores}",
+                    step.0,
+                    step.1
+                );
+                step.1 -= cores;
+            }
+        }
+        self.coalesce();
+    }
+
+    /// Convenience: hold for a duration starting at `from`.
+    pub fn hold_for(&mut self, from: SimTime, duration: SimDuration, cores: u32) {
+        self.hold(from, from.saturating_add(duration), cores);
+    }
+
+    /// Returns `cores` over `[from, to)` — full scan + global coalesce.
+    pub fn release(&mut self, from: SimTime, to: SimTime, cores: u32) {
+        assert!(from >= self.origin);
+        if cores == 0 || from >= to {
+            return;
+        }
+        self.ensure_breakpoint(from);
+        if to < SimTime::MAX {
+            self.ensure_breakpoint(to);
+        }
+        for step in &mut self.steps {
+            if step.0 >= from && (to == SimTime::MAX || step.0 < to) {
+                assert!(
+                    step.1 + cores <= self.capacity,
+                    "release exceeds capacity at {}",
+                    step.0
+                );
+                step.1 += cores;
+            }
+        }
+        self.coalesce();
+    }
+
+    /// Earliest fit — candidate list plus per-candidate rescan (O(n²)).
+    pub fn earliest_fit(
+        &self,
+        cores: u32,
+        duration: SimDuration,
+        not_before: SimTime,
+    ) -> Option<SimTime> {
+        if cores > self.capacity {
+            return None;
+        }
+        if cores == 0 {
+            return Some(not_before.max(self.origin));
+        }
+        let start0 = not_before.max(self.origin);
+        let mut candidates: Vec<SimTime> = vec![start0];
+        candidates.extend(self.steps.iter().map(|&(s, _)| s).filter(|&s| s > start0));
+        'candidate: for &t in &candidates {
+            if self.idle_at(t) < cores {
+                continue;
+            }
+            let end = t.saturating_add(duration);
+            for &(s, idle) in &self.steps {
+                if s > t && s < end && idle < cores {
+                    continue 'candidate;
+                }
+            }
+            return Some(t);
+        }
+        None
+    }
+
+    /// All breakpoints.
+    pub fn steps(&self) -> &[(SimTime, u32)] {
+        &self.steps
+    }
+
+    fn ensure_breakpoint(&mut self, t: SimTime) {
+        match self.steps.binary_search_by(|&(s, _)| s.cmp(&t)) {
+            Ok(_) => {}
+            Err(i) => {
+                debug_assert!(i > 0, "breakpoint before origin");
+                let inherited = self.steps[i - 1].1;
+                self.steps.insert(i, (t, inherited));
+            }
+        }
+    }
+
+    fn coalesce(&mut self) {
+        self.steps.dedup_by(|next, prev| next.1 == prev.1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_basic_profile_behaviour() {
+        let t = SimTime::from_secs;
+        let mut p = NaiveProfile::new(t(0), 10);
+        p.hold(t(5), t(15), 4);
+        assert_eq!(p.idle_at(t(0)), 10);
+        assert_eq!(p.idle_at(t(5)), 6);
+        assert_eq!(p.idle_at(t(15)), 10);
+        assert_eq!(p.min_idle(t(0), t(20)), 6);
+        assert_eq!(
+            p.earliest_fit(8, SimDuration::from_secs(10), t(0)),
+            Some(t(15))
+        );
+        p.release(t(5), t(15), 4);
+        assert_eq!(p.steps().len(), 1);
+    }
+}

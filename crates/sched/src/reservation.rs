@@ -65,7 +65,10 @@ mod tests {
             cores: 8,
             kind: StartKind::Later,
         };
-        assert_eq!(p.wait_from(SimTime::from_secs(40)), SimDuration::from_secs(60));
+        assert_eq!(
+            p.wait_from(SimTime::from_secs(40)),
+            SimDuration::from_secs(60)
+        );
         assert_eq!(p.wait_from(SimTime::from_secs(150)), SimDuration::ZERO);
     }
 }

@@ -107,7 +107,10 @@ pub struct Snapshot {
 impl Snapshot {
     /// Cores currently in use or exclusively reserved.
     pub fn busy_cores(&self) -> u32 {
-        self.running.iter().map(|r| r.cores + r.reserved_extra).sum()
+        self.running
+            .iter()
+            .map(|r| r.cores + r.reserved_extra)
+            .sum()
     }
 
     /// Cores currently idle.

@@ -9,8 +9,26 @@
 //! The profile is built per scheduling iteration from the running jobs'
 //! remaining walltimes, then *holds* are layered on as the iteration plans
 //! starts, reservations and candidate dynamic expansions. Cloning a profile
-//! is cheap (one `Vec` copy), which the delay-measurement pass exploits to
-//! run what-if scenarios.
+//! is cheap (one `Vec` copy) and [`AvailabilityProfile::assign_from`]
+//! makes repeated what-if clones allocation-free, which the
+//! delay-measurement pass exploits.
+//!
+//! # Complexity
+//!
+//! With `n` breakpoints and `k` breakpoints inside the mutated window:
+//!
+//! * [`AvailabilityProfile::idle_at`] — O(log n);
+//! * [`AvailabilityProfile::min_idle`] — O(log n + k);
+//! * [`AvailabilityProfile::hold`] / [`AvailabilityProfile::release`] —
+//!   O(log n + k) value updates plus at most two breakpoint insertions
+//!   and two boundary merges (each an O(n) `Vec` shift in the worst
+//!   case, but no full-vector rescan or re-coalesce);
+//! * [`AvailabilityProfile::earliest_fit`] — a single O(n) forward sweep
+//!   with a running infeasibility cursor; no allocation.
+//!
+//! The naive O(n²) formulations these replaced live on as
+//! [`crate::reference::NaiveProfile`], the executable specification the
+//! property suite checks this implementation against.
 
 use dynbatch_core::{SimDuration, SimTime};
 
@@ -28,7 +46,11 @@ pub struct AvailabilityProfile {
 impl AvailabilityProfile {
     /// A fully idle profile: `capacity` cores free from `origin` onwards.
     pub fn new(origin: SimTime, capacity: u32) -> Self {
-        AvailabilityProfile { origin, capacity, steps: vec![(origin, capacity)] }
+        AvailabilityProfile {
+            origin,
+            capacity,
+            steps: vec![(origin, capacity)],
+        }
     }
 
     /// The profile's origin (the scheduling instant).
@@ -44,26 +66,36 @@ impl AvailabilityProfile {
     /// Idle cores at instant `t` (`t` may not precede the origin).
     pub fn idle_at(&self, t: SimTime) -> u32 {
         assert!(t >= self.origin, "query before profile origin");
-        match self.steps.binary_search_by(|&(s, _)| s.cmp(&t)) {
-            Ok(i) => self.steps[i].1,
-            Err(0) => unreachable!("first step is at origin"),
-            Err(i) => self.steps[i - 1].1,
-        }
+        self.steps[self.segment_index(t)].1
     }
 
-    /// Minimum idle cores over `[from, to)`.
+    /// Minimum idle cores over `[from, to)`. O(log n + k) for `k`
+    /// breakpoints inside the window.
     pub fn min_idle(&self, from: SimTime, to: SimTime) -> u32 {
         assert!(from >= self.origin && to >= from);
+        // Index of the segment containing `from`.
+        let lo = self.segment_index(from);
         if from == to {
-            return self.idle_at(from);
+            return self.steps[lo].1;
         }
-        let mut min = self.idle_at(from);
-        for &(s, idle) in &self.steps {
-            if s > from && s < to {
-                min = min.min(idle);
+        let mut min = self.steps[lo].1;
+        for &(s, idle) in &self.steps[lo + 1..] {
+            if s >= to {
+                break;
             }
+            min = min.min(idle);
         }
         min
+    }
+
+    /// Index of the segment whose span contains `t` (requires
+    /// `t >= origin`).
+    fn segment_index(&self, t: SimTime) -> usize {
+        match self.steps.binary_search_by(|&(s, _)| s.cmp(&t)) {
+            Ok(i) => i,
+            Err(0) => unreachable!("first step is at origin"),
+            Err(i) => i - 1,
+        }
     }
 
     /// Subtracts `cores` from the idle count over `[from, to)` — a running
@@ -78,22 +110,16 @@ impl AvailabilityProfile {
         if cores == 0 || from >= to {
             return;
         }
-        self.ensure_breakpoint(from);
-        if to < SimTime::MAX {
-            self.ensure_breakpoint(to);
-        }
-        for step in &mut self.steps {
-            if step.0 >= from && (to == SimTime::MAX || step.0 < to) {
-                assert!(
-                    step.1 >= cores,
-                    "hold over-commits at {}: {} idle < {cores}",
-                    step.0,
-                    step.1
-                );
-                step.1 -= cores;
-            }
-        }
-        self.coalesce();
+        self.apply_window(from, to, |step, capacity| {
+            let _ = capacity;
+            assert!(
+                step.1 >= cores,
+                "hold over-commits at {}: {} idle < {cores}",
+                step.0,
+                step.1
+            );
+            step.1 -= cores;
+        });
     }
 
     /// Convenience: hold for a duration starting at `from`.
@@ -111,21 +137,54 @@ impl AvailabilityProfile {
         if cores == 0 || from >= to {
             return;
         }
+        self.apply_window(from, to, |step, capacity| {
+            assert!(
+                step.1 + cores <= capacity,
+                "release exceeds capacity at {}",
+                step.0
+            );
+            step.1 += cores;
+        });
+    }
+
+    /// Applies `mutate` to every segment overlapping `[from, to)`, touching
+    /// only that index range: breakpoints are materialised at the window
+    /// edges, the affected values updated in place, and only the two
+    /// boundary joints re-checked for coalescing (a uniform update cannot
+    /// make two *interior* neighbours equal — they differed before).
+    fn apply_window(
+        &mut self,
+        from: SimTime,
+        to: SimTime,
+        mut mutate: impl FnMut(&mut (SimTime, u32), u32),
+    ) {
         self.ensure_breakpoint(from);
         if to < SimTime::MAX {
             self.ensure_breakpoint(to);
         }
-        for step in &mut self.steps {
-            if step.0 >= from && (to == SimTime::MAX || step.0 < to) {
-                assert!(
-                    step.1 + cores <= self.capacity,
-                    "release exceeds capacity at {}",
-                    step.0
-                );
-                step.1 += cores;
-            }
+        let lo = self
+            .steps
+            .binary_search_by(|&(s, _)| s.cmp(&from))
+            .expect("breakpoint at `from` was just ensured");
+        let hi = if to == SimTime::MAX {
+            self.steps.len()
+        } else {
+            self.steps
+                .binary_search_by(|&(s, _)| s.cmp(&to))
+                .expect("breakpoint at `to` was just ensured")
+        };
+        let capacity = self.capacity;
+        for step in &mut self.steps[lo..hi] {
+            mutate(step, capacity);
         }
-        self.coalesce();
+        // Coalesce at the window edges only, higher index first so `lo`
+        // stays valid while `hi` is handled.
+        if hi < self.steps.len() && self.steps[hi].1 == self.steps[hi - 1].1 {
+            self.steps.remove(hi);
+        }
+        if lo > 0 && self.steps[lo].1 == self.steps[lo - 1].1 {
+            self.steps.remove(lo);
+        }
     }
 
     /// The earliest `t ≥ not_before` such that at least `cores` cores are
@@ -141,33 +200,62 @@ impl AvailabilityProfile {
         if cores > self.capacity {
             return None;
         }
-        if cores == 0 {
-            return Some(not_before.max(self.origin));
-        }
         let start0 = not_before.max(self.origin);
-        // Candidate start times: `start0` and every breakpoint after it.
-        let mut candidates: Vec<SimTime> = vec![start0];
-        candidates.extend(self.steps.iter().map(|&(s, _)| s).filter(|&s| s > start0));
-        'candidate: for &t in &candidates {
-            if self.idle_at(t) < cores {
+        if cores == 0 {
+            return Some(start0);
+        }
+        // Single forward sweep: `candidate` is the earliest start not yet
+        // ruled out. Every segment is visited at most once — an infeasible
+        // segment pushes the candidate past itself; a feasible one extends
+        // the contiguous feasible run until it covers `duration`.
+        let mut i = self.segment_index(start0);
+        let mut candidate = start0;
+        loop {
+            if self.steps[i].1 < cores {
+                // Infeasible here: restart the window at the next break.
+                i += 1;
+                if i == self.steps.len() {
+                    // Unreachable in practice: holds are finite, so the
+                    // last segment always has idle ≥ cores. Kept as a
+                    // guard.
+                    return None;
+                }
+                candidate = self.steps[i].0;
                 continue;
             }
-            let end = t.saturating_add(duration);
-            for &(s, idle) in &self.steps {
-                if s > t && s < end && idle < cores {
-                    continue 'candidate;
-                }
+            let end = candidate.saturating_add(duration);
+            if i + 1 == self.steps.len() || self.steps[i + 1].0 >= end {
+                // Feasible through `end` (or to ∞): the candidate stands.
+                return Some(candidate);
             }
-            return Some(t);
+            // The window extends into the next segment; keep sweeping.
+            i += 1;
         }
-        // Unreachable in practice: the last segment extends to ∞ and holds
-        // are finite, so some candidate always fits. Kept as a guard.
-        None
     }
 
     /// All breakpoints, for inspection and testing.
     pub fn steps(&self) -> &[(SimTime, u32)] {
         &self.steps
+    }
+
+    /// Overwrites `self` with a copy of `other`, reusing `self`'s step
+    /// buffer. This is the scratch-profile API: a what-if pass keeps one
+    /// scratch `AvailabilityProfile` alive and `assign_from`s the base
+    /// into it before each trial, so steady-state planning allocates
+    /// nothing (`clone()` would allocate a fresh `Vec` per trial).
+    pub fn assign_from(&mut self, other: &AvailabilityProfile) {
+        self.origin = other.origin;
+        self.capacity = other.capacity;
+        self.steps.clear();
+        self.steps.extend_from_slice(&other.steps);
+    }
+
+    /// Resets to a fully idle profile, reusing the step buffer.
+    pub fn reset(&mut self, origin: SimTime, capacity: u32) {
+        self.origin = origin;
+        self.capacity = capacity;
+        self.steps.clear();
+        self.steps.push((origin, capacity));
     }
 
     fn ensure_breakpoint(&mut self, t: SimTime) {
@@ -179,10 +267,6 @@ impl AvailabilityProfile {
                 self.steps.insert(i, (t, inherited));
             }
         }
-    }
-
-    fn coalesce(&mut self) {
-        self.steps.dedup_by(|next, prev| next.1 == prev.1);
     }
 }
 
@@ -271,7 +355,7 @@ mod tests {
     fn earliest_fit_waits_for_release() {
         let mut p = AvailabilityProfile::new(t(0), 10);
         p.hold(t(0), t(50), 8); // running job: 8 cores until t=50
-        // 4 cores for 10s can't fit until t=50.
+                                // 4 cores for 10s can't fit until t=50.
         assert_eq!(p.earliest_fit(4, d(10), t(0)), Some(t(50)));
         // 2 cores fit immediately.
         assert_eq!(p.earliest_fit(2, d(10), t(0)), Some(t(0)));
@@ -281,7 +365,7 @@ mod tests {
     fn earliest_fit_needs_contiguous_window() {
         let mut p = AvailabilityProfile::new(t(0), 10);
         p.hold(t(20), t(30), 8); // a future reservation
-        // 4 cores for 10s fit at t=0 (ends before the reservation).
+                                 // 4 cores for 10s fit at t=0 (ends before the reservation).
         assert_eq!(p.earliest_fit(4, d(10), t(0)), Some(t(0)));
         // 4 cores for 25s would collide with [20,30): next chance is t=30.
         assert_eq!(p.earliest_fit(4, d(25), t(0)), Some(t(30)));
@@ -310,6 +394,52 @@ mod tests {
     }
 
     #[test]
+    fn assign_from_reuses_buffer() {
+        let mut base = AvailabilityProfile::new(t(0), 10);
+        base.hold(t(5), t(15), 4);
+        let mut scratch = AvailabilityProfile::new(t(99), 1);
+        scratch.assign_from(&base);
+        assert_eq!(scratch, base);
+        // Mutating the scratch leaves the base untouched.
+        scratch.hold(t(0), t(5), 2);
+        assert_eq!(base.idle_at(t(0)), 10);
+        assert_eq!(scratch.idle_at(t(0)), 8);
+        // Re-assigning restores equality without reallocating semantics.
+        scratch.assign_from(&base);
+        assert_eq!(scratch, base);
+    }
+
+    #[test]
+    fn reset_restores_flat_profile() {
+        let mut p = AvailabilityProfile::new(t(0), 10);
+        p.hold(t(1), t(2), 3);
+        p.reset(t(7), 20);
+        assert_eq!(p, AvailabilityProfile::new(t(7), 20));
+    }
+
+    #[test]
+    fn boundary_merge_with_preexisting_equal_neighbour() {
+        // A hold whose window ends exactly where an equal-valued segment
+        // begins must merge across that joint.
+        let mut p = AvailabilityProfile::new(t(0), 10);
+        p.hold(t(20), t(30), 4); // (0,10),(20,6),(30,10)
+        p.hold(t(0), t(20), 4); // → (0,6),(30,10) after the hi-side merge
+        assert_eq!(p.steps(), &[(t(0), 6), (t(30), 10)]);
+        p.release(t(0), t(30), 4); // back to flat: lo- and hi-side merges
+        assert_eq!(p.steps(), &[(t(0), 10)]);
+    }
+
+    #[test]
+    fn earliest_fit_from_mid_segment() {
+        let mut p = AvailabilityProfile::new(t(0), 10);
+        p.hold(t(0), t(50), 8);
+        // not_before falls inside the constrained segment; 2 cores fit
+        // right there, 4 must wait for the release at t=50.
+        assert_eq!(p.earliest_fit(2, d(10), t(25)), Some(t(25)));
+        assert_eq!(p.earliest_fit(4, d(10), t(25)), Some(t(50)));
+    }
+
+    #[test]
     fn paper_fig1_scenario() {
         // Fig 1: 6 nodes (here: 6 cores, 1 core = 1 node). Job A holds 2
         // for 8 h; job B holds 2 for 4 h. Queued job C needs 4 for 4 h.
@@ -317,7 +447,7 @@ mod tests {
         let mut p = AvailabilityProfile::new(t(0), 6);
         p.hold(t(0), t(8 * h), 2); // A
         p.hold(t(0), t(4 * h), 2); // B
-        // C's earliest start: when B ends, at 4 h.
+                                   // C's earliest start: when B ends, at 4 h.
         assert_eq!(p.earliest_fit(4, d(4 * h), t(0)), Some(t(4 * h)));
         // Now A dynamically grabs the 2 idle nodes until its walltime end.
         p.hold(t(0), t(8 * h), 2);

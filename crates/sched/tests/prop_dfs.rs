@@ -1,24 +1,34 @@
 //! Property tests of the dynamic-fairness engine: whatever the sequence of
 //! charges, intervals and policies, limits are never silently exceeded.
 
-use dynbatch_core::{CredLimits, DfsConfig, DfsPolicy, GroupId, JobId, SimDuration, SimTime, UserId};
+use dynbatch_core::testkit::{check, TestRng};
+use dynbatch_core::{
+    CredLimits, DfsConfig, DfsPolicy, GroupId, JobId, SimDuration, SimTime, UserId,
+};
 use dynbatch_sched::{DelayCharge, DfsEngine, DfsVerdict};
-use proptest::prelude::*;
 
-fn charge_strategy() -> impl Strategy<Value = Vec<(u64, u32, u32, u64, u64)>> {
-    // (job, user, group, delay_s, gap_s before this evaluation)
-    prop::collection::vec((0u64..20, 0u32..4, 0u32..2, 0u64..2000, 0u64..7200), 0..40)
+/// (job, user, group, delay_s, gap_s before this evaluation)
+fn charges(rng: &mut TestRng) -> Vec<(u64, u32, u32, u64, u64)> {
+    let n = rng.range_usize(0, 40);
+    (0..n)
+        .map(|_| {
+            (
+                rng.below(20),
+                rng.range_u32(0, 4),
+                rng.range_u32(0, 2),
+                rng.below(2000),
+                rng.below(7200),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn target_cap_is_never_exceeded_within_an_interval(
-        charges in charge_strategy(),
-        cap in 100u64..3000,
-        decay in 0.0f64..=1.0,
-    ) {
+#[test]
+fn target_cap_is_never_exceeded_within_an_interval() {
+    check(128, 0xD45, |rng| {
+        let batch_of = charges(rng);
+        let cap = rng.range(100, 3000);
+        let decay = rng.f64();
         let interval = SimDuration::from_hours(1);
         let mut cfg = DfsConfig::uniform_target(cap, interval);
         cfg.decay = decay;
@@ -29,7 +39,7 @@ proptest! {
         // Track our own view of each user's charge, replaying interval
         // decay, and verify the engine never lets a commit push a user past
         // the cap *at commit time*.
-        for (job, user, group, delay_s, gap_s) in charges {
+        for (job, user, group, delay_s, gap_s) in batch_of {
             now += SimDuration::from_secs(gap_s);
             eng.advance_to(now);
             let batch = [DelayCharge {
@@ -43,51 +53,56 @@ proptest! {
             }
             // The invariant: the engine's own ledger never exceeds the cap.
             for u in 0..4 {
-                prop_assert!(
+                assert!(
                     eng.user_charged(UserId(u)) <= SimDuration::from_secs(cap),
                     "user {u} charged {} over cap {cap}",
                     eng.user_charged(UserId(u))
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn decay_shrinks_monotonically(
-        initial_s in 1u64..100_000,
-        decay in 0.0f64..1.0,
-        intervals in 1u64..20,
-    ) {
+#[test]
+fn decay_shrinks_monotonically() {
+    check(128, 0xDECA1, |rng| {
+        let initial_s = rng.range(1, 100_000);
+        let decay = rng.f64();
+        let intervals = rng.range(1, 20);
         let mut cfg = DfsConfig::uniform_target(u64::MAX / 2000, SimDuration::from_hours(1));
         cfg.decay = decay;
         let mut eng = DfsEngine::new(cfg, SimTime::ZERO);
-        eng.commit(UserId(9), &[DelayCharge {
-            job: JobId(1),
-            user: UserId(0),
-            group: GroupId(0),
-            delay: SimDuration::from_secs(initial_s),
-        }]);
+        eng.commit(
+            UserId(9),
+            &[DelayCharge {
+                job: JobId(1),
+                user: UserId(0),
+                group: GroupId(0),
+                delay: SimDuration::from_secs(initial_s),
+            }],
+        );
         let mut prev = eng.user_charged(UserId(0));
         for k in 1..=intervals {
             eng.advance_to(SimTime::ZERO + SimDuration::from_hours(k));
             let cur = eng.user_charged(UserId(0));
-            prop_assert!(cur <= prev, "decay must not grow charge: {cur} > {prev}");
+            assert!(cur <= prev, "decay must not grow charge: {cur} > {prev}");
             prev = cur;
         }
         if decay == 0.0 && intervals >= 1 {
-            prop_assert!(prev.is_zero());
+            assert!(prev.is_zero());
         }
-    }
+    });
+}
 
-    #[test]
-    fn perm_denied_users_are_never_charged(
-        charges in charge_strategy(),
-    ) {
+#[test]
+fn perm_denied_users_are_never_charged() {
+    check(128, 0xBEEF, |rng| {
+        let batch_of = charges(rng);
         let mut cfg = DfsConfig::uniform_target(u64::MAX / 2000, SimDuration::from_hours(1));
         cfg.users.insert(UserId(2), CredLimits::never_delay());
         cfg.policy = DfsPolicy::TargetDelay;
         let mut eng = DfsEngine::new(cfg, SimTime::ZERO);
-        for (job, user, group, delay_s, _) in charges {
+        for (job, user, group, delay_s, _) in batch_of {
             let batch = [DelayCharge {
                 job: JobId(job),
                 user: UserId(user),
@@ -98,16 +113,22 @@ proptest! {
                 eng.commit(UserId(99), &batch);
             }
         }
-        prop_assert!(eng.user_charged(UserId(2)).is_zero(), "protected user stayed clean");
-    }
+        assert!(
+            eng.user_charged(UserId(2)).is_zero(),
+            "protected user stayed clean"
+        );
+    });
+}
 
-    #[test]
-    fn same_user_exemption_is_total(charges in charge_strategy()) {
+#[test]
+fn same_user_exemption_is_total() {
+    check(128, 0x5E1F, |rng| {
         // Every delay belongs to the evolving user itself: always allowed,
         // never charged, regardless of a 1-second cap.
+        let batch_of = charges(rng);
         let cfg = DfsConfig::uniform_target(1, SimDuration::from_hours(1));
         let mut eng = DfsEngine::new(cfg, SimTime::ZERO);
-        for (job, _, group, delay_s, _) in charges {
+        for (job, _, group, delay_s, _) in batch_of {
             let owner = UserId(0);
             let batch = [DelayCharge {
                 job: JobId(job),
@@ -115,9 +136,9 @@ proptest! {
                 group: GroupId(group),
                 delay: SimDuration::from_secs(delay_s),
             }];
-            prop_assert_eq!(eng.evaluate(owner, &batch), DfsVerdict::Allowed);
+            assert_eq!(eng.evaluate(owner, &batch), DfsVerdict::Allowed);
             eng.commit(owner, &batch);
         }
-        prop_assert!(eng.user_charged(UserId(0)).is_zero());
-    }
+        assert!(eng.user_charged(UserId(0)).is_zero());
+    });
 }

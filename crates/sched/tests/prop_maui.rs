@@ -2,123 +2,95 @@
 //! snapshots and site policies, the outcome never violates capacity,
 //! ranges, or determinism.
 
+use dynbatch_core::testkit::{check, TestRng};
 use dynbatch_core::{
     DfsConfig, GroupId, JobId, MalleableRange, SchedulerConfig, SimDuration, SimTime, UserId,
 };
 use dynbatch_sched::{DynDecision, DynRequest, Maui, QueuedJob, RunningJob, Snapshot};
-use proptest::prelude::*;
 
 const CAPACITY: u32 = 64;
 
-#[derive(Debug, Clone)]
-struct RawRunning {
-    cores: u32,
-    end_s: u64,
-    backfilled: bool,
-    malleable: bool,
-    wants_extra: Option<u32>,
-}
-
-fn snapshot_strategy() -> impl Strategy<Value = (Snapshot, SchedulerConfig)> {
-    let running = prop::collection::vec(
-        (1u32..12, 10u64..5000, any::<bool>(), any::<bool>(), prop::option::of(1u32..8)).prop_map(
-            |(cores, end_s, backfilled, malleable, wants_extra)| RawRunning {
-                cores,
-                end_s,
-                backfilled,
-                malleable,
-                wants_extra,
-            },
-        ),
-        0..10,
-    );
-    let queued = prop::collection::vec((1u32..40, 10u64..3000, 0u64..1000), 0..20);
-    let knobs = (
-        0usize..8,          // reservation_depth
-        0usize..8,          // reservation_delay_depth
-        prop::option::of(10u64..5000), // dfs cap
-        any::<bool>(),      // preempt
-        any::<bool>(),      // shrink malleable
-        any::<bool>(),      // grow malleable
-    );
-    (running, queued, knobs).prop_map(|(running, queued, knobs)| {
-        let now = SimTime::from_secs(1000);
-        let mut snap = Snapshot {
-            now,
-            total_cores: CAPACITY,
-            running: Vec::new(),
-            queued: Vec::new(),
-            dyn_requests: Vec::new(),
-        };
-        let mut used = 0u32;
-        let mut seq = 0u64;
-        for (i, r) in running.into_iter().enumerate() {
-            if used + r.cores > CAPACITY {
-                break;
-            }
-            used += r.cores;
-            let id = JobId(i as u64);
-            snap.running.push(RunningJob {
-                id,
+fn random_snapshot(rng: &mut TestRng) -> (Snapshot, SchedulerConfig) {
+    let now = SimTime::from_secs(1000);
+    let mut snap = Snapshot {
+        now,
+        total_cores: CAPACITY,
+        running: Vec::new(),
+        queued: Vec::new(),
+        dyn_requests: Vec::new(),
+    };
+    let mut used = 0u32;
+    let mut seq = 0u64;
+    let n_running = rng.range_usize(0, 10);
+    for i in 0..n_running {
+        let cores = rng.range_u32(1, 12);
+        if used + cores > CAPACITY {
+            break;
+        }
+        used += cores;
+        let id = JobId(i as u64);
+        let end_s = rng.range(10, 5000);
+        let malleable = rng.chance(0.5);
+        snap.running.push(RunningJob {
+            id,
+            user: UserId((i % 5) as u32),
+            group: GroupId((i % 2) as u32),
+            cores,
+            start_time: SimTime::from_secs(500),
+            walltime_end: now + SimDuration::from_secs(end_s),
+            backfilled: rng.chance(0.5),
+            reserved_extra: 0,
+            malleable: malleable.then_some(MalleableRange {
+                min_cores: 1,
+                max_cores: cores + 8,
+            }),
+        });
+        if rng.chance(0.5) {
+            snap.dyn_requests.push(DynRequest {
+                job: id,
                 user: UserId((i % 5) as u32),
                 group: GroupId((i % 2) as u32),
-                cores: r.cores,
-                start_time: SimTime::from_secs(500),
-                walltime_end: now + SimDuration::from_secs(r.end_s),
-                backfilled: r.backfilled,
-                reserved_extra: 0,
-                malleable: r.malleable.then_some(MalleableRange {
-                    min_cores: 1,
-                    max_cores: r.cores + 8,
-                }),
+                extra_cores: rng.range_u32(1, 8),
+                remaining_walltime: SimDuration::from_secs(end_s),
+                seq,
+                deadline: None,
             });
-            if let Some(extra) = r.wants_extra {
-                snap.dyn_requests.push(DynRequest {
-                    job: id,
-                    user: UserId((i % 5) as u32),
-                    group: GroupId((i % 2) as u32),
-                    extra_cores: extra,
-                    remaining_walltime: SimDuration::from_secs(r.end_s),
-                    seq,
-                    deadline: None,
-                });
-                seq += 1;
-            }
+            seq += 1;
         }
-        for (i, (cores, wall_s, age_s)) in queued.into_iter().enumerate() {
-            snap.queued.push(QueuedJob {
-                id: JobId(1000 + i as u64),
-                user: UserId((i % 5) as u32),
-                group: GroupId((i % 2) as u32),
-                cores: cores.min(CAPACITY),
-                walltime: SimDuration::from_secs(wall_s),
-                submit_time: SimTime::from_secs(1000 - age_s),
-                priority_boost: 0,
-                suppress_backfill_while_queued: false,
-                reserve_extra: 0,
-                moldable: None,
-            });
-        }
-        let (rd, rdd, cap, preempt, shrink, grow) = knobs;
-        let mut cfg = SchedulerConfig::paper_eval();
-        cfg.reservation_depth = rd;
-        cfg.reservation_delay_depth = rdd;
-        cfg.dfs = match cap {
-            None => DfsConfig::highest_priority(),
-            Some(c) => DfsConfig::uniform_target(c, SimDuration::from_hours(1)),
-        };
-        cfg.preempt_backfilled_for_dyn = preempt;
-        cfg.shrink_malleable_for_dyn = shrink;
-        cfg.grow_malleable_on_idle = grow;
-        (snap, cfg)
-    })
+    }
+    let n_queued = rng.range_usize(0, 20);
+    for i in 0..n_queued {
+        snap.queued.push(QueuedJob {
+            id: JobId(1000 + i as u64),
+            user: UserId((i % 5) as u32),
+            group: GroupId((i % 2) as u32),
+            cores: rng.range_u32(1, 40).min(CAPACITY),
+            walltime: SimDuration::from_secs(rng.range(10, 3000)),
+            submit_time: SimTime::from_secs(1000 - rng.below(1000)),
+            priority_boost: 0,
+            suppress_backfill_while_queued: false,
+            reserve_extra: 0,
+            moldable: None,
+        });
+    }
+    let mut cfg = SchedulerConfig::paper_eval();
+    cfg.reservation_depth = rng.range_usize(0, 8);
+    cfg.reservation_delay_depth = rng.range_usize(0, 8);
+    cfg.dfs = if rng.chance(0.5) {
+        DfsConfig::highest_priority()
+    } else {
+        DfsConfig::uniform_target(rng.range(10, 5000), SimDuration::from_hours(1))
+    };
+    cfg.preempt_backfilled_for_dyn = rng.chance(0.5);
+    cfg.shrink_malleable_for_dyn = rng.chance(0.5);
+    cfg.grow_malleable_on_idle = rng.chance(0.5);
+    (snap, cfg)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
-
-    #[test]
-    fn iteration_outcomes_are_always_consistent((snap, cfg) in snapshot_strategy()) {
+#[test]
+fn iteration_outcomes_are_always_consistent() {
+    check(192, 0x1417E, |rng| {
+        let (snap, cfg) = random_snapshot(rng);
         let mut maui = Maui::new(cfg.clone());
         let out = maui.iterate(&snap);
 
@@ -129,24 +101,37 @@ proptest! {
             std::collections::HashMap::new();
         for d in &out.dyn_decisions {
             match d {
-                DynDecision::Granted { job, extra_cores, preempted, shrunk, .. } => {
-                    prop_assert!(granted_jobs.insert(*job), "one grant per job");
+                DynDecision::Granted {
+                    job,
+                    extra_cores,
+                    preempted,
+                    shrunk,
+                    ..
+                } => {
+                    assert!(granted_jobs.insert(*job), "one grant per job");
                     granted_extra.insert(*job, *extra_cores as i64);
                     for p in preempted {
-                        let victim = snap.running.iter().find(|r| r.id == *p)
+                        let victim = snap
+                            .running
+                            .iter()
+                            .find(|r| r.id == *p)
                             .expect("preempted job is running");
-                        prop_assert!(victim.backfilled, "only backfilled jobs preempted");
+                        assert!(victim.backfilled, "only backfilled jobs preempted");
                         // The victim releases everything it holds — its
                         // snapshot cores plus any expansion granted to it
                         // earlier this iteration.
                         used -= victim.cores as i64 + granted_extra.remove(p).unwrap_or(0);
                     }
                     for r in shrunk {
-                        let m = snap.running.iter().find(|x| x.id == r.job)
+                        let m = snap
+                            .running
+                            .iter()
+                            .find(|x| x.id == r.job)
                             .expect("shrunk job is running")
-                            .malleable.expect("shrunk job is malleable");
-                        prop_assert!(r.to_cores >= m.min_cores, "never below min");
-                        prop_assert!(r.to_cores < r.from_cores, "shrink shrinks");
+                            .malleable
+                            .expect("shrunk job is malleable");
+                        assert!(r.to_cores >= m.min_cores, "never below min");
+                        assert!(r.to_cores < r.from_cores, "shrink shrinks");
                         used -= (r.from_cores - r.to_cores) as i64;
                     }
                     used += *extra_cores as i64;
@@ -155,43 +140,61 @@ proptest! {
             }
         }
         for s in &out.starts {
-            let job = snap.queued.iter().find(|q| q.id == s.job).expect("started job queued");
+            let job = snap
+                .queued
+                .iter()
+                .find(|q| q.id == s.job)
+                .expect("started job queued");
             used += s.cores.unwrap_or(job.cores) as i64;
         }
         for g in &out.grows {
-            let m = snap.running.iter().find(|x| x.id == g.job)
+            let m = snap
+                .running
+                .iter()
+                .find(|x| x.id == g.job)
                 .expect("grown job is running")
-                .malleable.expect("grown job is malleable");
-            prop_assert!(g.to_cores <= m.max_cores, "never above max");
-            prop_assert!(g.to_cores > g.from_cores, "grow grows");
+                .malleable
+                .expect("grown job is malleable");
+            assert!(g.to_cores <= m.max_cores, "never above max");
+            assert!(g.to_cores > g.from_cores, "grow grows");
             used += (g.to_cores - g.from_cores) as i64;
         }
-        prop_assert!(used <= CAPACITY as i64, "capacity respected: {used}");
+        assert!(used <= CAPACITY as i64, "capacity respected: {used}");
 
         // No duplicate starts; every started job was queued.
         let mut seen = std::collections::HashSet::new();
         for s in &out.starts {
-            prop_assert!(seen.insert(s.job), "{:?} started twice", s.job);
+            assert!(seen.insert(s.job), "{:?} started twice", s.job);
         }
 
         // Reservations begin strictly in the future.
         for r in &out.reservations {
-            prop_assert!(r.start > snap.now);
-            prop_assert!(r.end > r.start);
+            assert!(r.start > snap.now);
+            assert!(r.end > r.start);
         }
 
         // Determinism: a fresh scheduler under the same config agrees.
-        let out2 = Maui::new(cfg).iterate(&snap);
-        prop_assert_eq!(out.starts, out2.starts);
-        prop_assert_eq!(out.dyn_decisions, out2.dyn_decisions);
-        prop_assert_eq!(out.grows, out2.grows);
-    }
+        let out2 = Maui::new(cfg.clone()).iterate(&snap);
+        assert_eq!(out.starts, out2.starts);
+        assert_eq!(out.dyn_decisions, out2.dyn_decisions);
+        assert_eq!(out.grows, out2.grows);
 
-    #[test]
-    fn dfs_cap_bounds_committed_delay(
-        (snap, mut cfg) in snapshot_strategy(),
-        cap in 10u64..500,
-    ) {
+        // And one with the before-plan cache disabled agrees too: the
+        // cache is a pure work-saving device.
+        let mut uncached = Maui::new(cfg);
+        uncached.set_plan_cache_enabled(false);
+        let out3 = uncached.iterate(&snap);
+        assert_eq!(out.starts, out3.starts);
+        assert_eq!(out.dyn_decisions, out3.dyn_decisions);
+        assert_eq!(out.grows, out3.grows);
+    });
+}
+
+#[test]
+fn dfs_cap_bounds_committed_delay() {
+    check(192, 0xCA9, |rng| {
+        let (snap, mut cfg) = random_snapshot(rng);
+        let cap = rng.range(10, 500);
         cfg.dfs = DfsConfig::uniform_target(cap, SimDuration::from_hours(1));
         let mut maui = Maui::new(cfg);
         let out = maui.iterate(&snap);
@@ -208,10 +211,10 @@ proptest! {
             }
         }
         for (user, ms) in per_user {
-            prop_assert!(
+            assert!(
                 ms <= cap * 1000,
                 "{user}: committed {ms} ms exceeds cap {cap} s"
             );
         }
-    }
+    });
 }

@@ -1,13 +1,17 @@
 //! Property tests of the availability timeline: the algebra the whole
 //! scheduler stands on.
 
+use dynbatch_core::testkit::{check, TestRng};
 use dynbatch_core::{SimDuration, SimTime};
+use dynbatch_sched::reference::NaiveProfile;
 use dynbatch_sched::AvailabilityProfile;
-use proptest::prelude::*;
 
 /// A random, always-feasible sequence of holds.
-fn holds() -> impl Strategy<Value = Vec<(u64, u64, u32)>> {
-    prop::collection::vec((0u64..5000, 1u64..5000, 1u32..16), 0..40)
+fn holds(rng: &mut TestRng) -> Vec<(u64, u64, u32)> {
+    let n = rng.range_usize(0, 40);
+    (0..n)
+        .map(|_| (rng.below(5000), rng.range(1, 5000), rng.range_u32(1, 16)))
+        .collect()
 }
 
 fn build(capacity: u32, ops: &[(u64, u64, u32)]) -> AvailabilityProfile {
@@ -22,20 +26,20 @@ fn build(capacity: u32, ops: &[(u64, u64, u32)]) -> AvailabilityProfile {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn idle_never_exceeds_capacity(ops in holds()) {
-        let p = build(64, &ops);
+#[test]
+fn idle_never_exceeds_capacity() {
+    check(128, 0xA11CE, |rng| {
+        let p = build(64, &holds(rng));
         for &(t, idle) in p.steps() {
-            prop_assert!(idle <= 64, "at {t}: {idle}");
+            assert!(idle <= 64, "at {t}: {idle}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn hold_release_round_trips(ops in holds()) {
-        let mut p = build(64, &ops);
+#[test]
+fn hold_release_round_trips() {
+    check(128, 0xB0B, |rng| {
+        let mut p = build(64, &holds(rng));
         let before = p.clone();
         let from = SimTime::from_secs(100);
         let to = SimTime::from_secs(900);
@@ -44,42 +48,44 @@ proptest! {
             p.hold(from, to, cores);
             p.release(from, to, cores);
         }
-        prop_assert_eq!(p, before);
-    }
+        assert_eq!(p, before);
+    });
+}
 
-    #[test]
-    fn earliest_fit_is_sound_and_earliest(
-        ops in holds(),
-        cores in 1u32..64,
-        dur in 1u64..2000,
-        not_before in 0u64..3000,
-    ) {
+#[test]
+fn earliest_fit_is_sound_and_earliest() {
+    check(128, 0xFEED, |rng| {
+        let ops = holds(rng);
+        let cores = rng.range_u32(1, 64);
+        let dur = SimDuration::from_secs(rng.range(1, 2000));
+        let nb = SimTime::from_secs(rng.below(3000));
         let p = build(64, &ops);
-        let dur = SimDuration::from_secs(dur);
-        let nb = SimTime::from_secs(not_before);
         let start = p.earliest_fit(cores, dur, nb).expect("within capacity");
         // Sound: the window really fits.
-        prop_assert!(start >= nb);
-        prop_assert!(p.min_idle(start, start + dur) >= cores);
+        assert!(start >= nb);
+        assert!(p.min_idle(start, start + dur) >= cores);
         // Earliest: no breakpoint (or nb itself) strictly before `start`
         // also fits.
         let mut candidates: Vec<SimTime> = vec![nb];
         candidates.extend(p.steps().iter().map(|&(t, _)| t).filter(|&t| t > nb));
         for t in candidates {
             if t < start {
-                prop_assert!(
+                assert!(
                     p.min_idle(t, t + dur) < cores,
                     "{t} would have fit before {start}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn min_idle_equals_pointwise_minimum(ops in holds(), from in 0u64..4000, len in 1u64..2000) {
+#[test]
+fn min_idle_equals_pointwise_minimum() {
+    check(128, 0xC0FFEE, |rng| {
+        let ops = holds(rng);
+        let from = SimTime::from_secs(rng.below(4000));
+        let to = from + SimDuration::from_secs(rng.range(1, 2000));
         let p = build(64, &ops);
-        let from = SimTime::from_secs(from);
-        let to = from + SimDuration::from_secs(len);
         let reported = p.min_idle(from, to);
         // Sample pointwise (at from + every interior breakpoint).
         let mut minimum = p.idle_at(from);
@@ -88,16 +94,95 @@ proptest! {
                 minimum = minimum.min(p.idle_at(t));
             }
         }
-        prop_assert_eq!(reported, minimum);
-    }
+        assert_eq!(reported, minimum);
+    });
+}
 
-    #[test]
-    fn holds_commute(ops in holds()) {
+#[test]
+fn holds_commute() {
+    check(128, 0xD1CE, |rng| {
         // Applying a feasibility-filtered op list in order equals applying
         // the same accepted ops in one pass (determinism check through the
         // breakpoint/coalescing machinery).
+        let ops = holds(rng);
         let p1 = build(64, &ops);
         let p2 = build(64, &ops);
-        prop_assert_eq!(p1, p2);
-    }
+        assert_eq!(p1, p2);
+    });
+}
+
+/// The windowed implementation is observationally equivalent to the naive
+/// reference ([`NaiveProfile`], the original full-scan formulation) on
+/// random interleavings of `hold` / `release` / queries. This is the
+/// contract that lets the optimised timeline replace the naive one in the
+/// scheduler hot path without changing a single decision.
+#[test]
+fn windowed_profile_matches_naive_reference() {
+    check(256, 0x5EED5, |rng| {
+        const CAPACITY: u32 = 64;
+        let mut fast = AvailabilityProfile::new(SimTime::ZERO, CAPACITY);
+        let mut naive = NaiveProfile::new(SimTime::ZERO, CAPACITY);
+        // Released windows we can later re-hold (so `release` stays
+        // feasible: it must never push idle above capacity).
+        let mut held: Vec<(SimTime, SimTime, u32)> = Vec::new();
+        let ops = rng.range_usize(1, 60);
+        for _ in 0..ops {
+            match rng.below(4) {
+                // hold a feasible window
+                0 => {
+                    let from = SimTime::from_secs(rng.below(5000));
+                    let to = if rng.chance(0.1) {
+                        SimTime::MAX
+                    } else {
+                        from + SimDuration::from_secs(rng.range(1, 5000))
+                    };
+                    let avail = fast.min_idle(from, to);
+                    if avail > 0 {
+                        let cores = rng.range_u32(1, avail + 1);
+                        fast.hold(from, to, cores);
+                        naive.hold(from, to, cores);
+                        held.push((from, to, cores));
+                    }
+                }
+                // release a previously held window (possibly split)
+                1 => {
+                    if let Some(i) =
+                        (!held.is_empty()).then(|| rng.below(held.len() as u64) as usize)
+                    {
+                        let (from, to, cores) = held.swap_remove(i);
+                        let part = rng.range_u32(1, cores + 1);
+                        fast.release(from, to, part);
+                        naive.release(from, to, part);
+                        if part < cores {
+                            held.push((from, to, cores - part));
+                        }
+                    }
+                }
+                // point / window queries
+                2 => {
+                    let t = SimTime::from_secs(rng.below(6000));
+                    assert_eq!(fast.idle_at(t), naive.idle_at(t), "idle_at({t})");
+                    let to = t + SimDuration::from_secs(rng.below(4000));
+                    assert_eq!(
+                        fast.min_idle(t, to),
+                        naive.min_idle(t, to),
+                        "min_idle({t}, {to})"
+                    );
+                }
+                // earliest_fit queries (including infeasible core counts)
+                _ => {
+                    let cores = rng.range_u32(0, CAPACITY + 4);
+                    let dur = SimDuration::from_secs(rng.below(3000));
+                    let nb = SimTime::from_secs(rng.below(6000));
+                    assert_eq!(
+                        fast.earliest_fit(cores, dur, nb),
+                        naive.earliest_fit(cores, dur, nb),
+                        "earliest_fit({cores}, {dur}, {nb})"
+                    );
+                }
+            }
+            // The step vectors agree exactly (both stay coalesced).
+            assert_eq!(fast.steps(), naive.steps(), "step vectors diverged");
+        }
+    });
 }

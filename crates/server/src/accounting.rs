@@ -37,8 +37,7 @@ impl AccountingLog {
     pub fn core_seconds_by_user(&self) -> HashMap<UserId, f64> {
         let mut map = HashMap::new();
         for o in &self.outcomes {
-            *map.entry(o.user).or_insert(0.0) +=
-                o.cores_final as f64 * o.runtime().as_secs_f64();
+            *map.entry(o.user).or_insert(0.0) += o.cores_final as f64 * o.runtime().as_secs_f64();
         }
         map
     }
@@ -64,7 +63,15 @@ mod tests {
     use super::*;
     use dynbatch_core::{JobClass, JobId, SimTime};
 
-    fn outcome(id: u64, user: u32, cores: u32, submit: u64, start: u64, end: u64, grants: u32) -> JobOutcome {
+    fn outcome(
+        id: u64,
+        user: u32,
+        cores: u32,
+        submit: u64,
+        start: u64,
+        end: u64,
+        grants: u32,
+    ) -> JobOutcome {
         JobOutcome {
             id: JobId(id),
             name: "T".into(),

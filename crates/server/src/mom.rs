@@ -45,7 +45,10 @@ pub struct Mom {
 impl Mom {
     /// The mom for `node`.
     pub fn new(node: NodeId) -> Self {
-        Mom { node, jobs: BTreeMap::new() }
+        Mom {
+            node,
+            jobs: BTreeMap::new(),
+        }
     }
 
     /// This mom's node.
@@ -71,7 +74,13 @@ impl Mom {
                     alloc.cores_on(self.node) > 0,
                     "mother superior must be part of the allocation"
                 );
-                self.jobs.insert(job, LocalJob { hostlist: alloc, dyn_in_flight: false });
+                self.jobs.insert(
+                    job,
+                    LocalJob {
+                        hostlist: alloc,
+                        dyn_in_flight: false,
+                    },
+                );
                 vec![MomOutput::ToServer(MomToServer::JobStarted {
                     job,
                     mother_superior: self.node,
@@ -122,12 +131,19 @@ impl Mom {
             return vec![MomOutput::ToApp(job, TmResponse::DynDenied)];
         };
         match req {
-            TmRequest::DynGet { extra_cores, timeout } => {
+            TmRequest::DynGet {
+                extra_cores,
+                timeout,
+            } => {
                 if local.dyn_in_flight {
                     return vec![MomOutput::ToApp(job, TmResponse::DynDenied)];
                 }
                 local.dyn_in_flight = true;
-                vec![MomOutput::ToServer(MomToServer::DynRequest { job, extra_cores, timeout })]
+                vec![MomOutput::ToServer(MomToServer::DynRequest {
+                    job,
+                    extra_cores,
+                    timeout,
+                })]
             }
             TmRequest::DynFree { released } => {
                 // dyn_disjoin locally, then inform the server (paper Fig 4).
@@ -169,7 +185,10 @@ mod tests {
         });
         assert!(matches!(
             out[0],
-            MomOutput::ToServer(MomToServer::JobStarted { job: JobId(1), mother_superior: NodeId(0) })
+            MomOutput::ToServer(MomToServer::JobStarted {
+                job: JobId(1),
+                mother_superior: NodeId(0)
+            })
         ));
         assert_eq!(mom.hostlist(JobId(1)).unwrap().total_cores(), 16);
     }
@@ -177,22 +196,53 @@ mod tests {
     #[test]
     fn dynget_forwards_once() {
         let mut mom = Mom::new(NodeId(0));
-        mom.handle_server(ServerToMom::RunJob { job: JobId(1), alloc: alloc(&[(0, 8)]) });
-        let out = mom.handle_tm(JobId(1), TmRequest::DynGet { extra_cores: 4, timeout: None });
+        mom.handle_server(ServerToMom::RunJob {
+            job: JobId(1),
+            alloc: alloc(&[(0, 8)]),
+        });
+        let out = mom.handle_tm(
+            JobId(1),
+            TmRequest::DynGet {
+                extra_cores: 4,
+                timeout: None,
+            },
+        );
         assert!(matches!(
             out[0],
-            MomOutput::ToServer(MomToServer::DynRequest { job: JobId(1), extra_cores: 4, timeout: None })
+            MomOutput::ToServer(MomToServer::DynRequest {
+                job: JobId(1),
+                extra_cores: 4,
+                timeout: None
+            })
         ));
         // Second concurrent request denied locally.
-        let out2 = mom.handle_tm(JobId(1), TmRequest::DynGet { extra_cores: 4, timeout: None });
-        assert!(matches!(out2[0], MomOutput::ToApp(_, TmResponse::DynDenied)));
+        let out2 = mom.handle_tm(
+            JobId(1),
+            TmRequest::DynGet {
+                extra_cores: 4,
+                timeout: None,
+            },
+        );
+        assert!(matches!(
+            out2[0],
+            MomOutput::ToApp(_, TmResponse::DynDenied)
+        ));
     }
 
     #[test]
     fn dyn_join_merges_and_replies() {
         let mut mom = Mom::new(NodeId(0));
-        mom.handle_server(ServerToMom::RunJob { job: JobId(1), alloc: alloc(&[(0, 8)]) });
-        mom.handle_tm(JobId(1), TmRequest::DynGet { extra_cores: 4, timeout: None });
+        mom.handle_server(ServerToMom::RunJob {
+            job: JobId(1),
+            alloc: alloc(&[(0, 8)]),
+        });
+        mom.handle_tm(
+            JobId(1),
+            TmRequest::DynGet {
+                extra_cores: 4,
+                timeout: None,
+            },
+        );
         let out = mom.handle_server(ServerToMom::DynJoin {
             job: JobId(1),
             added: alloc(&[(2, 4)]),
@@ -205,18 +255,39 @@ mod tests {
         }
         assert_eq!(mom.hostlist(JobId(1)).unwrap().total_cores(), 12);
         // In-flight flag cleared: the app may request again.
-        let again = mom.handle_tm(JobId(1), TmRequest::DynGet { extra_cores: 4, timeout: None });
+        let again = mom.handle_tm(
+            JobId(1),
+            TmRequest::DynGet {
+                extra_cores: 4,
+                timeout: None,
+            },
+        );
         assert!(matches!(again[0], MomOutput::ToServer(_)));
     }
 
     #[test]
     fn dyn_reject_clears_flag() {
         let mut mom = Mom::new(NodeId(0));
-        mom.handle_server(ServerToMom::RunJob { job: JobId(1), alloc: alloc(&[(0, 8)]) });
-        mom.handle_tm(JobId(1), TmRequest::DynGet { extra_cores: 4, timeout: None });
+        mom.handle_server(ServerToMom::RunJob {
+            job: JobId(1),
+            alloc: alloc(&[(0, 8)]),
+        });
+        mom.handle_tm(
+            JobId(1),
+            TmRequest::DynGet {
+                extra_cores: 4,
+                timeout: None,
+            },
+        );
         let out = mom.handle_server(ServerToMom::DynReject { job: JobId(1) });
         assert!(matches!(out[0], MomOutput::ToApp(_, TmResponse::DynDenied)));
-        let retry = mom.handle_tm(JobId(1), TmRequest::DynGet { extra_cores: 4, timeout: None });
+        let retry = mom.handle_tm(
+            JobId(1),
+            TmRequest::DynGet {
+                extra_cores: 4,
+                timeout: None,
+            },
+        );
         assert!(matches!(retry[0], MomOutput::ToServer(_)));
     }
 
@@ -229,9 +300,14 @@ mod tests {
         });
         let out = mom.handle_tm(
             JobId(1),
-            TmRequest::DynFree { released: alloc(&[(1, 4)]) },
+            TmRequest::DynFree {
+                released: alloc(&[(1, 4)]),
+            },
         );
-        assert!(matches!(out[0], MomOutput::ToServer(MomToServer::DynFree { .. })));
+        assert!(matches!(
+            out[0],
+            MomOutput::ToServer(MomToServer::DynFree { .. })
+        ));
         assert!(matches!(out[1], MomOutput::ToApp(_, TmResponse::Freed)));
         assert_eq!(mom.hostlist(JobId(1)).unwrap().total_cores(), 8);
     }
@@ -239,16 +315,28 @@ mod tests {
     #[test]
     fn tm_call_for_unknown_job_denied() {
         let mut mom = Mom::new(NodeId(0));
-        let out = mom.handle_tm(JobId(9), TmRequest::DynGet { extra_cores: 4, timeout: None });
+        let out = mom.handle_tm(
+            JobId(9),
+            TmRequest::DynGet {
+                extra_cores: 4,
+                timeout: None,
+            },
+        );
         assert!(matches!(out[0], MomOutput::ToApp(_, TmResponse::DynDenied)));
     }
 
     #[test]
     fn exit_reports_finished() {
         let mut mom = Mom::new(NodeId(0));
-        mom.handle_server(ServerToMom::RunJob { job: JobId(1), alloc: alloc(&[(0, 8)]) });
+        mom.handle_server(ServerToMom::RunJob {
+            job: JobId(1),
+            alloc: alloc(&[(0, 8)]),
+        });
         let out = mom.job_exited(JobId(1));
-        assert!(matches!(out[0], MomOutput::ToServer(MomToServer::JobFinished { job: JobId(1) })));
+        assert!(matches!(
+            out[0],
+            MomOutput::ToServer(MomToServer::JobFinished { job: JobId(1) })
+        ));
         assert_eq!(mom.job_count(), 0);
         assert!(mom.job_exited(JobId(1)).is_empty());
     }
@@ -256,7 +344,10 @@ mod tests {
     #[test]
     fn kill_removes_job() {
         let mut mom = Mom::new(NodeId(0));
-        mom.handle_server(ServerToMom::RunJob { job: JobId(1), alloc: alloc(&[(0, 8)]) });
+        mom.handle_server(ServerToMom::RunJob {
+            job: JobId(1),
+            alloc: alloc(&[(0, 8)]),
+        });
         mom.handle_server(ServerToMom::KillJob { job: JobId(1) });
         assert_eq!(mom.job_count(), 0);
     }

@@ -18,7 +18,9 @@ use dynbatch_cluster::{Allocation, Cluster};
 use dynbatch_core::{
     AllocPolicy, Error, Job, JobId, JobOutcome, JobSpec, JobState, Result, SimTime,
 };
-use dynbatch_sched::{DfsReject, DynDecision, DynRequest, IterationOutcome, QueuedJob, RunningJob, Snapshot};
+use dynbatch_sched::{
+    DfsReject, DynDecision, DynRequest, IterationOutcome, QueuedJob, RunningJob, Snapshot,
+};
 use std::collections::BTreeMap;
 
 /// A pending dynamic request held at the server.
@@ -123,7 +125,11 @@ impl PbsServer {
     /// Cores currently pre-reserved (held but idle) under the
     /// guaranteeing policy.
     pub fn reserved_unused_cores(&self) -> u32 {
-        self.jobs.values().filter(|j| j.state.is_active()).map(|j| j.reserved_extra).sum()
+        self.jobs
+            .values()
+            .filter(|j| j.state.is_active())
+            .map(|j| j.reserved_extra)
+            .sum()
     }
 
     /// The managed cluster (read-only).
@@ -148,7 +154,10 @@ impl PbsServer {
 
     /// Number of jobs in `Queued` state.
     pub fn queued_count(&self) -> usize {
-        self.jobs.values().filter(|j| j.state == JobState::Queued).count()
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Queued)
+            .count()
     }
 
     /// Number of jobs holding resources.
@@ -180,7 +189,11 @@ impl PbsServer {
     pub fn qdel(&mut self, id: JobId, now: SimTime) -> Result<()> {
         let job = self.jobs.get_mut(&id).ok_or(Error::UnknownJob(id))?;
         if job.state.is_terminal() {
-            return Err(Error::InvalidState { job: id, operation: "qdel", state: "terminal" });
+            return Err(Error::InvalidState {
+                job: id,
+                operation: "qdel",
+                state: "terminal",
+            });
         }
         let was_active = job.state.is_active();
         job.state = JobState::Cancelled;
@@ -231,7 +244,14 @@ impl PbsServer {
         job.dyn_requests += 1;
         let seq = self.next_dyn_seq;
         self.next_dyn_seq += 1;
-        self.dyn_pending.insert(id, PendingDyn { extra_cores, seq, deadline });
+        self.dyn_pending.insert(
+            id,
+            PendingDyn {
+                extra_cores,
+                seq,
+                deadline,
+            },
+        );
         Ok(())
     }
 
@@ -333,9 +353,7 @@ impl PbsServer {
                         walltime: job.spec.walltime,
                         submit_time: job.submit_time,
                         priority_boost: job.spec.priority_boost,
-                        suppress_backfill_while_queued: job
-                            .spec
-                            .suppress_backfill_while_queued,
+                        suppress_backfill_while_queued: job.spec.suppress_backfill_while_queued,
                         reserve_extra: self.reserve_for(job),
                         moldable: job.spec.moldable,
                     });
@@ -363,7 +381,13 @@ impl PbsServer {
 
         for decision in &outcome.dyn_decisions {
             match decision {
-                DynDecision::Granted { job, extra_cores, preempted, shrunk, .. } => {
+                DynDecision::Granted {
+                    job,
+                    extra_cores,
+                    preempted,
+                    shrunk,
+                    ..
+                } => {
                     for victim in preempted {
                         self.preempt(*victim, now).expect("preempt planned victim");
                         applied.push(Applied::Preempted { job: *victim });
@@ -393,9 +417,16 @@ impl PbsServer {
                         }
                     }
                     self.dyn_pending.remove(job);
-                    applied.push(Applied::DynRejected { job: *job, reason: *reason });
+                    applied.push(Applied::DynRejected {
+                        job: *job,
+                        reason: *reason,
+                    });
                 }
-                DynDecision::Deferred { job, available_hint, .. } => {
+                DynDecision::Deferred {
+                    job,
+                    available_hint,
+                    ..
+                } => {
                     // Negotiation: the request stays pending (the job
                     // remains DynQueued and keeps executing); the next
                     // iteration reconsiders it with its original FIFO seq.
@@ -415,7 +446,12 @@ impl PbsServer {
         for start in &outcome.starts {
             let reserve = self.reserve_for(self.jobs.get(&start.job).expect("started job exists"));
             let job = self.jobs.get_mut(&start.job).expect("started job exists");
-            assert_eq!(job.state, JobState::Queued, "{}: start of non-queued job", start.job);
+            assert_eq!(
+                job.state,
+                JobState::Queued,
+                "{}: start of non-queued job",
+                start.job
+            );
             // Moldable jobs start at the scheduler-chosen width.
             let cores = start.cores.unwrap_or(job.spec.cores);
             job.state = JobState::Running;
@@ -441,7 +477,11 @@ impl PbsServer {
     /// job is requeued (progress lost). The returned list names the
     /// victims — the fault-tolerance hook the paper's introduction
     /// motivates (spare nodes can be dynamically allocated to them).
-    pub fn node_failed(&mut self, node: dynbatch_core::NodeId, _now: SimTime) -> Result<Vec<JobId>> {
+    pub fn node_failed(
+        &mut self,
+        node: dynbatch_core::NodeId,
+        _now: SimTime,
+    ) -> Result<Vec<JobId>> {
         let victims = self.cluster.fail_node(node)?;
         for &v in &victims {
             // Release whatever the job still holds on surviving nodes.
@@ -473,9 +513,14 @@ impl PbsServer {
                 state: "not active",
             });
         }
-        debug_assert_eq!(job.cores_allocated, r.from_cores, "{}: resize base mismatch", r.job);
+        debug_assert_eq!(
+            job.cores_allocated, r.from_cores,
+            "{}: resize base mismatch",
+            r.job
+        );
         let changed = if r.to_cores > r.from_cores {
-            self.cluster.expand(r.job, r.to_cores - r.from_cores, self.alloc_policy)?
+            self.cluster
+                .expand(r.job, r.to_cores - r.from_cores, self.alloc_policy)?
         } else {
             let give_back = r.from_cores - r.to_cores;
             let mut alloc = self
@@ -489,7 +534,12 @@ impl PbsServer {
         };
         let job = self.jobs.get_mut(&r.job).expect("checked above");
         job.cores_allocated = r.to_cores;
-        Ok(Applied::Resized { job: r.job, from_cores: r.from_cores, to_cores: r.to_cores, changed })
+        Ok(Applied::Resized {
+            job: r.job,
+            from_cores: r.from_cores,
+            to_cores: r.to_cores,
+            changed,
+        })
     }
 
     /// The pre-reserve a job receives at start under the guaranteeing
@@ -547,9 +597,7 @@ impl PbsServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dynbatch_core::{
-        DfsConfig, ExecutionModel, GroupId, SchedulerConfig, SimDuration, UserId,
-    };
+    use dynbatch_core::{DfsConfig, ExecutionModel, GroupId, SchedulerConfig, SimDuration, UserId};
     use dynbatch_sched::Maui;
 
     fn t(s: u64) -> SimTime {
@@ -645,7 +693,10 @@ mod tests {
         s.tm_dynget(id, 4, t(295)).unwrap();
         assert_eq!(s.job(id).unwrap().state, JobState::DynQueued);
         // A second request while one is pending is refused.
-        assert!(matches!(s.tm_dynget(id, 4, t(296)), Err(Error::DynRequestPending(_))));
+        assert!(matches!(
+            s.tm_dynget(id, 4, t(296)),
+            Err(Error::DynRequestPending(_))
+        ));
 
         let applied = cycle(&mut s, &mut m, t(295));
         assert!(applied.iter().any(|a| matches!(
@@ -765,9 +816,12 @@ mod tests {
         assert_eq!(s.cluster().idle_cores(), 0);
 
         // Negotiated request with a deadline at t=500.
-        s.tm_dynget_negotiated(evolving, 4, Some(t(500)), t(100)).unwrap();
+        s.tm_dynget_negotiated(evolving, 4, Some(t(500)), t(100))
+            .unwrap();
         let applied = cycle(&mut s, &mut m, t(100));
-        assert!(applied.iter().any(|a| matches!(a, Applied::DynDeferred { .. })));
+        assert!(applied
+            .iter()
+            .any(|a| matches!(a, Applied::DynDeferred { .. })));
         // Still pending: the job stays DynQueued across the iteration.
         assert_eq!(s.job(evolving).unwrap().state, JobState::DynQueued);
         // Before the deadline nothing expires.
@@ -827,16 +881,21 @@ mod tests {
             Maui::new(cfg)
         };
         let id = s
-            .qsub(JobSpec::malleable("pool", UserId(0), GroupId(0), 16, 8, 64, 16_000), t(0))
+            .qsub(
+                JobSpec::malleable("pool", UserId(0), GroupId(0), 16, 8, 64, 16_000),
+                t(0),
+            )
             .unwrap();
         // First cycle starts it; second grows it onto the idle machine.
         cycle(&mut s, &mut m, t(0));
         assert_eq!(s.job(id).unwrap().cores_allocated, 16);
         let applied = cycle(&mut s, &mut m, t(1));
-        let grew = applied.iter().any(|a| matches!(
-            a,
-            Applied::Resized { job, from_cores: 16, to_cores: 64, .. } if *job == id
-        ));
+        let grew = applied.iter().any(|a| {
+            matches!(
+                a,
+                Applied::Resized { job, from_cores: 16, to_cores: 64, .. } if *job == id
+            )
+        });
         assert!(grew, "{applied:?}");
         assert_eq!(s.job(id).unwrap().cores_allocated, 64);
         assert_eq!(s.cluster().cores_of(id), 64);
@@ -848,7 +907,10 @@ mod tests {
         let mut s = server();
         let mut m = hp_maui();
         let id = s
-            .qsub(JobSpec::moldable("mold", UserId(0), GroupId(0), 8, 8, 48, 9_600), t(0))
+            .qsub(
+                JobSpec::moldable("mold", UserId(0), GroupId(0), 8, 8, 48, 9_600),
+                t(0),
+            )
             .unwrap();
         let applied = cycle(&mut s, &mut m, t(0));
         assert!(applied.iter().any(|a| matches!(
@@ -864,13 +926,25 @@ mod tests {
         let mut m = hp_maui();
         let a = s
             .qsub(
-                JobSpec::evolving("F", UserId(1), GroupId(0), 8, ExecutionModel::esp_evolving(1000, 700, 4)),
+                JobSpec::evolving(
+                    "F",
+                    UserId(1),
+                    GroupId(0),
+                    8,
+                    ExecutionModel::esp_evolving(1000, 700, 4),
+                ),
                 t(0),
             )
             .unwrap();
         let b = s
             .qsub(
-                JobSpec::evolving("G", UserId(2), GroupId(0), 8, ExecutionModel::esp_evolving(1000, 700, 4)),
+                JobSpec::evolving(
+                    "G",
+                    UserId(2),
+                    GroupId(0),
+                    8,
+                    ExecutionModel::esp_evolving(1000, 700, 4),
+                ),
                 t(0),
             )
             .unwrap();

@@ -18,8 +18,8 @@ use dynbatch_core::{
     ExecutionModel, JobId, JobState, PhasedModel, SchedulerConfig, SimDuration, SimTime,
 };
 use dynbatch_metrics::UtilizationRecorder;
-use dynbatch_server::{Applied, PbsServer};
 use dynbatch_sched::Maui;
+use dynbatch_server::{Applied, PbsServer};
 use dynbatch_simtime::{EventQueue, Token};
 use dynbatch_workload::WorkloadItem;
 use std::collections::HashMap;
@@ -93,6 +93,7 @@ pub struct BatchSim {
     stats: SimStats,
     first_submit: Option<SimTime>,
     last_completion: SimTime,
+    dyn_log: Vec<(SimTime, dynbatch_sched::DynDecision)>,
 }
 
 impl BatchSim {
@@ -114,6 +115,7 @@ impl BatchSim {
             stats: SimStats::default(),
             first_submit: None,
             last_completion: SimTime::ZERO,
+            dyn_log: Vec::new(),
         }
     }
 
@@ -123,8 +125,10 @@ impl BatchSim {
             let idx = self.items.len() as u32;
             self.items.push(item.clone());
             self.queue.schedule(item.at, Event::Submit(idx));
-            self.first_submit =
-                Some(self.first_submit.map_or(item.at, |f: SimTime| f.min(item.at)));
+            self.first_submit = Some(
+                self.first_submit
+                    .map_or(item.at, |f: SimTime| f.min(item.at)),
+            );
         }
     }
 
@@ -168,6 +172,20 @@ impl BatchSim {
     /// The scheduler (for inspection).
     pub fn maui(&self) -> &Maui {
         &self.maui
+    }
+
+    /// Mutable access to the scheduler (for test/debug knobs such as
+    /// [`Maui::set_plan_cache_enabled`]).
+    pub fn maui_mut(&mut self) -> &mut Maui {
+        &mut self.maui
+    }
+
+    /// Every dynamic decision taken over the run, in iteration order with
+    /// the instant it was taken. Grants carry their exact
+    /// [`dynbatch_sched::DelayCharge`]s, so two runs can be compared
+    /// decision-by-decision.
+    pub fn dyn_decision_log(&self) -> &[(SimTime, dynbatch_sched::DynDecision)] {
+        &self.dyn_log
     }
 
     /// Simulation statistics.
@@ -220,7 +238,12 @@ impl BatchSim {
                     return;
                 }
                 // Still active at the walltime limit: the server kills it.
-                if self.server.job(job).map(|j| j.state.is_active()).unwrap_or(false) {
+                if self
+                    .server
+                    .job(job)
+                    .map(|j| j.state.is_active())
+                    .unwrap_or(false)
+                {
                     self.cancel_run_events(job);
                     self.runs.remove(&job);
                     self.server.qdel(job, now).expect("active job killable");
@@ -304,6 +327,7 @@ impl BatchSim {
                 self.stats.delay_charged_ms +=
                     delays.iter().map(|c| c.delay.as_millis()).sum::<u64>();
             }
+            self.dyn_log.push((now, d.clone()));
         }
         let applied = self.server.apply(&outcome, now);
         let mut wake = false;
@@ -314,7 +338,11 @@ impl BatchSim {
                     // snapshot's running set yet; wake the scheduler again so
                     // grow-on-idle can consider it immediately.
                     if self.maui.config().grow_malleable_on_idle
-                        && self.server.job(job).map(|j| j.spec.malleable.is_some()).unwrap_or(false)
+                        && self
+                            .server
+                            .job(job)
+                            .map(|j| j.spec.malleable.is_some())
+                            .unwrap_or(false)
                     {
                         wake = true;
                     }
@@ -359,11 +387,18 @@ impl BatchSim {
         let walltime = j.spec.walltime;
         let gen = self.gen_of(job);
 
-        let mut run = RunState { gen, start: now, finish_token: None, kind: RunKind::Fixed };
+        let mut run = RunState {
+            gen,
+            start: now,
+            finish_token: None,
+            kind: RunKind::Fixed,
+        };
         match &exec {
             ExecutionModel::Fixed { duration } => {
-                run.finish_token =
-                    Some(self.queue.schedule(now + *duration, Event::Finish { job, gen }));
+                run.finish_token = Some(
+                    self.queue
+                        .schedule(now + *duration, Event::Finish { job, gen }),
+                );
             }
             ExecutionModel::Evolving { set, .. } => {
                 run.kind = RunKind::Evolving { granted: false };
@@ -372,7 +407,11 @@ impl BatchSim {
                 for (i, offset) in exec.request_offsets().into_iter().enumerate() {
                     self.queue.schedule(
                         now + offset,
-                        Event::RequestPoint { job, gen, attempt: i as u32 },
+                        Event::RequestPoint {
+                            job,
+                            gen,
+                            attempt: i as u32,
+                        },
                     );
                 }
             }
@@ -383,8 +422,7 @@ impl BatchSim {
                     rate_cores: cores,
                     last_update: now,
                 };
-                run.finish_token =
-                    Some(self.queue.schedule(now + dur, Event::Finish { job, gen }));
+                run.finish_token = Some(self.queue.schedule(now + dur, Event::Finish { job, gen }));
             }
             ExecutionModel::Phased(model) => {
                 // Growth wanted already for phase 0 would mean the user
@@ -392,8 +430,9 @@ impl BatchSim {
                 // the phase would race the start — model it as a request at
                 // the first boundary instead (finite phases guarantee one).
                 let dur = model.phase_duration(0, cores);
-                let token =
-                    self.queue.schedule(now + dur, Event::PhaseEnd { job, gen, phase: 0 });
+                let token = self
+                    .queue
+                    .schedule(now + dur, Event::PhaseEnd { job, gen, phase: 0 });
                 run.kind = RunKind::Phased {
                     model: Box::new(model.clone()),
                     phase: 0,
@@ -420,7 +459,11 @@ impl BatchSim {
             return;
         };
         let gen = run.gen;
-        let RunKind::WorkPool { remaining_core_millis, rate_cores, last_update } = &mut run.kind
+        let RunKind::WorkPool {
+            remaining_core_millis,
+            rate_cores,
+            last_update,
+        } = &mut run.kind
         else {
             return;
         };
@@ -435,7 +478,9 @@ impl BatchSim {
         if let Some(tok) = run.finish_token.take() {
             self.queue.cancel(tok);
         }
-        let token = self.queue.schedule(now + finish_in, Event::Finish { job, gen });
+        let token = self
+            .queue
+            .schedule(now + finish_in, Event::Finish { job, gen });
         if let Some(run) = self.runs.get_mut(&job) {
             run.finish_token = Some(token);
         }
@@ -468,7 +513,12 @@ impl BatchSim {
                     .expect("evolving job has an evolution model");
                 Plan::RescheduleFinish(start + total)
             }
-            RunKind::Phased { model, phase, phase_start, .. } => {
+            RunKind::Phased {
+                model,
+                phase,
+                phase_start,
+                ..
+            } => {
                 // Redistribute the remaining work of the current phase onto
                 // the expanded allocation.
                 let old_cores = cores - exec.extra_cores();
@@ -480,7 +530,10 @@ impl BatchSim {
                     1.0 - (elapsed.as_secs_f64() / old_dur.as_secs_f64()).min(1.0)
                 };
                 let new_remaining = model.phase_duration(*phase, cores).mul_f64(remaining_frac);
-                Plan::ReschedulePhase { at: now + new_remaining, phase: *phase as u32 }
+                Plan::ReschedulePhase {
+                    at: now + new_remaining,
+                    phase: *phase as u32,
+                }
             }
         };
 
@@ -522,7 +575,13 @@ impl BatchSim {
                 return;
             };
             let gen = run.gen;
-            let RunKind::Phased { model, phase: cur, phase_token, .. } = &mut run.kind else {
+            let RunKind::Phased {
+                model,
+                phase: cur,
+                phase_token,
+                ..
+            } = &mut run.kind
+            else {
                 return;
             };
             debug_assert_eq!(*cur, phase);
@@ -535,24 +594,43 @@ impl BatchSim {
             return;
         }
         if let Some(run) = self.runs.get_mut(&job) {
-            if let RunKind::Phased { phase: cur, phase_start, .. } = &mut run.kind {
+            if let RunKind::Phased {
+                phase: cur,
+                phase_start,
+                ..
+            } = &mut run.kind
+            {
                 *cur = next;
                 *phase_start = now;
             }
         }
-        let cores = self.server.job(job).expect("running job exists").cores_allocated;
+        let cores = self
+            .server
+            .job(job)
+            .expect("running job exists")
+            .cores_allocated;
         // Grid adaptation: if the next phase bursts the per-process
         // threshold, ask for more resources (tm_dynget through the mother
         // superior). The answer lands in this timestamp group's scheduler
         // cycle; on grant the phase is rescheduled from its very start.
         if model.wants_growth(next, cores)
-            && self.server.job(job).map(|j| j.state == JobState::Running).unwrap_or(false)
+            && self
+                .server
+                .job(job)
+                .map(|j| j.state == JobState::Running)
+                .unwrap_or(false)
         {
             let _ = self.server.tm_dynget(job, model.extra_cores, now);
         }
         let dur = model.phase_duration(next, cores);
-        let token =
-            self.queue.schedule(now + dur, Event::PhaseEnd { job, gen, phase: next as u32 });
+        let token = self.queue.schedule(
+            now + dur,
+            Event::PhaseEnd {
+                job,
+                gen,
+                phase: next as u32,
+            },
+        );
         if let Some(run) = self.runs.get_mut(&job) {
             if let RunKind::Phased { phase_token, .. } = &mut run.kind {
                 *phase_token = Some(token);
@@ -564,7 +642,9 @@ impl BatchSim {
         self.cancel_run_events(job);
         self.runs.remove(&job);
         self.charge_fairshare(job, now);
-        self.server.job_finished(job, now).expect("active job finishes");
+        self.server
+            .job_finished(job, now)
+            .expect("active job finishes");
         self.maui.dfs_mut().job_left_queue(job);
         self.last_completion = self.last_completion.max(now);
     }
@@ -573,9 +653,11 @@ impl BatchSim {
         if let Ok(j) = self.server.job(job) {
             if let Some(start) = j.start_time {
                 let span = now.duration_since(start);
-                self.maui
-                    .fairshare_mut()
-                    .charge_span(j.spec.user, j.cores_allocated.max(j.spec.cores), span);
+                self.maui.fairshare_mut().charge_span(
+                    j.spec.user,
+                    j.cores_allocated.max(j.spec.cores),
+                    span,
+                );
             }
         }
     }

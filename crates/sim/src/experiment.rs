@@ -26,7 +26,12 @@ pub struct ExperimentConfig {
 impl ExperimentConfig {
     /// The paper's testbed (15 × 8 cores) under `sched`.
     pub fn paper_cluster(label: impl Into<String>, sched: SchedulerConfig) -> Self {
-        ExperimentConfig { label: label.into(), nodes: 15, cores_per_node: 8, sched }
+        ExperimentConfig {
+            label: label.into(),
+            nodes: 15,
+            cores_per_node: 8,
+            sched,
+        }
     }
 }
 
@@ -68,7 +73,11 @@ pub fn run_experiment(cfg: &ExperimentConfig, workload: &[WorkloadItem]) -> Expe
         end,
         utilization,
     );
-    ExperimentResult { summary, outcomes, stats: sim.stats() }
+    ExperimentResult {
+        summary,
+        outcomes,
+        stats: sim.stats(),
+    }
 }
 
 #[cfg(test)]
@@ -88,7 +97,10 @@ mod tests {
         use dynbatch_workload::{generate_synthetic, SyntheticConfig};
         let mut reg = CredRegistry::new();
         let wl = generate_synthetic(
-            &SyntheticConfig { jobs: 40, ..Default::default() },
+            &SyntheticConfig {
+                jobs: 40,
+                ..Default::default()
+            },
             &mut reg,
         );
         let cfg = ExperimentConfig::paper_cluster("synth", sched(DfsConfig::highest_priority()));

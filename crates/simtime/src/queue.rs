@@ -109,7 +109,12 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         let slot = self.cancelled.len();
         self.cancelled.push(false);
-        self.heap.push(HeapEntry { at, seq, payload, cancelled_slot: slot });
+        self.heap.push(HeapEntry {
+            at,
+            seq,
+            payload,
+            cancelled_slot: slot,
+        });
         self.live += 1;
         Token(slot as u64)
     }
@@ -138,7 +143,11 @@ impl<E> EventQueue<E> {
             self.live -= 1;
             debug_assert!(entry.at >= self.now);
             self.now = entry.at;
-            return Some(ScheduledEvent { at: entry.at, seq: entry.seq, payload: entry.payload });
+            return Some(ScheduledEvent {
+                at: entry.at,
+                seq: entry.seq,
+                payload: entry.payload,
+            });
         }
         None
     }

@@ -15,7 +15,6 @@ use dynbatch_core::{
     CredRegistry, ExecutionModel, JobClass, JobSpec, SimDuration, SimTime, SpeedupModel,
 };
 use dynbatch_simtime::SplitMix64;
-use serde::{Deserialize, Serialize};
 
 /// One row of the paper's Table I.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,20 +36,118 @@ pub struct EspJobType {
 
 /// The paper's Table I, verbatim.
 pub const ESP_TABLE: [EspJobType; 14] = [
-    EspJobType { name: "A", user: "user01", size_frac: 0.03125, count: 75, set_secs: 267, det_secs: None },
-    EspJobType { name: "B", user: "user02", size_frac: 0.06250, count: 9, set_secs: 322, det_secs: None },
-    EspJobType { name: "C", user: "user03", size_frac: 0.50000, count: 3, set_secs: 534, det_secs: None },
-    EspJobType { name: "D", user: "user04", size_frac: 0.25000, count: 3, set_secs: 616, det_secs: None },
-    EspJobType { name: "E", user: "user05", size_frac: 0.50000, count: 3, set_secs: 315, det_secs: None },
-    EspJobType { name: "F", user: "user06", size_frac: 0.06250, count: 9, set_secs: 1846, det_secs: Some(1230) },
-    EspJobType { name: "G", user: "user06", size_frac: 0.12500, count: 6, set_secs: 1334, det_secs: Some(1067) },
-    EspJobType { name: "H", user: "user06", size_frac: 0.15820, count: 6, set_secs: 1067, det_secs: Some(896) },
-    EspJobType { name: "I", user: "user06", size_frac: 0.03125, count: 24, set_secs: 1432, det_secs: Some(716) },
-    EspJobType { name: "J", user: "user06", size_frac: 0.06250, count: 24, set_secs: 725, det_secs: Some(483) },
-    EspJobType { name: "K", user: "user07", size_frac: 0.09570, count: 15, set_secs: 487, det_secs: None },
-    EspJobType { name: "L", user: "user08", size_frac: 0.12500, count: 36, set_secs: 366, det_secs: None },
-    EspJobType { name: "M", user: "user09", size_frac: 0.25000, count: 15, set_secs: 187, det_secs: None },
-    EspJobType { name: "Z", user: "user10", size_frac: 1.00000, count: 2, set_secs: 100, det_secs: None },
+    EspJobType {
+        name: "A",
+        user: "user01",
+        size_frac: 0.03125,
+        count: 75,
+        set_secs: 267,
+        det_secs: None,
+    },
+    EspJobType {
+        name: "B",
+        user: "user02",
+        size_frac: 0.06250,
+        count: 9,
+        set_secs: 322,
+        det_secs: None,
+    },
+    EspJobType {
+        name: "C",
+        user: "user03",
+        size_frac: 0.50000,
+        count: 3,
+        set_secs: 534,
+        det_secs: None,
+    },
+    EspJobType {
+        name: "D",
+        user: "user04",
+        size_frac: 0.25000,
+        count: 3,
+        set_secs: 616,
+        det_secs: None,
+    },
+    EspJobType {
+        name: "E",
+        user: "user05",
+        size_frac: 0.50000,
+        count: 3,
+        set_secs: 315,
+        det_secs: None,
+    },
+    EspJobType {
+        name: "F",
+        user: "user06",
+        size_frac: 0.06250,
+        count: 9,
+        set_secs: 1846,
+        det_secs: Some(1230),
+    },
+    EspJobType {
+        name: "G",
+        user: "user06",
+        size_frac: 0.12500,
+        count: 6,
+        set_secs: 1334,
+        det_secs: Some(1067),
+    },
+    EspJobType {
+        name: "H",
+        user: "user06",
+        size_frac: 0.15820,
+        count: 6,
+        set_secs: 1067,
+        det_secs: Some(896),
+    },
+    EspJobType {
+        name: "I",
+        user: "user06",
+        size_frac: 0.03125,
+        count: 24,
+        set_secs: 1432,
+        det_secs: Some(716),
+    },
+    EspJobType {
+        name: "J",
+        user: "user06",
+        size_frac: 0.06250,
+        count: 24,
+        set_secs: 725,
+        det_secs: Some(483),
+    },
+    EspJobType {
+        name: "K",
+        user: "user07",
+        size_frac: 0.09570,
+        count: 15,
+        set_secs: 487,
+        det_secs: None,
+    },
+    EspJobType {
+        name: "L",
+        user: "user08",
+        size_frac: 0.12500,
+        count: 36,
+        set_secs: 366,
+        det_secs: None,
+    },
+    EspJobType {
+        name: "M",
+        user: "user09",
+        size_frac: 0.25000,
+        count: 15,
+        set_secs: 187,
+        det_secs: None,
+    },
+    EspJobType {
+        name: "Z",
+        user: "user10",
+        size_frac: 1.00000,
+        count: 2,
+        set_secs: 100,
+        det_secs: None,
+    },
 ];
 
 impl EspJobType {
@@ -68,7 +165,7 @@ impl EspJobType {
 }
 
 /// Generator configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EspConfig {
     /// System size the fractions apply to (120 in the paper).
     pub total_cores: u32,
@@ -117,7 +214,10 @@ impl Default for EspConfig {
 impl EspConfig {
     /// The paper's static baseline (evolving jobs never request).
     pub fn paper_static() -> Self {
-        EspConfig { evolving: false, ..Default::default() }
+        EspConfig {
+            evolving: false,
+            ..Default::default()
+        }
     }
 
     /// The paper's dynamic workload.
@@ -127,7 +227,7 @@ impl EspConfig {
 }
 
 /// A timed submission.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadItem {
     /// Submission instant.
     pub at: SimTime,
@@ -165,7 +265,9 @@ pub fn generate_esp(cfg: &EspConfig, reg: &mut CredRegistry) -> Vec<WorkloadItem
             } else {
                 (
                     JobClass::Rigid,
-                    ExecutionModel::Fixed { duration: SimDuration::from_secs(ty.set_secs) },
+                    ExecutionModel::Fixed {
+                        duration: SimDuration::from_secs(ty.set_secs),
+                    },
                 )
             };
             let mut spec = JobSpec {
@@ -178,9 +280,9 @@ pub fn generate_esp(cfg: &EspConfig, reg: &mut CredRegistry) -> Vec<WorkloadItem
                 exec,
                 priority_boost: 0,
                 suppress_backfill_while_queued: false,
-            malleable: None,
-            moldable: None,
-            dyn_timeout: None,
+                malleable: None,
+                moldable: None,
+                dyn_timeout: None,
             };
             if ty.name == "Z" {
                 spec.priority_boost = cfg.z_boost;
@@ -231,8 +333,11 @@ mod tests {
     fn table_matches_paper_totals() {
         let total: usize = ESP_TABLE.iter().map(|t| t.count).sum();
         assert_eq!(total, 230);
-        let evolving: usize =
-            ESP_TABLE.iter().filter(|t| t.is_evolving()).map(|t| t.count).sum();
+        let evolving: usize = ESP_TABLE
+            .iter()
+            .filter(|t| t.is_evolving())
+            .map(|t| t.count)
+            .sum();
         assert_eq!(evolving, 69, "30% evolving");
         let rigid = total - evolving - 2; // minus the Z jobs
         assert_eq!(rigid + evolving, 228);
@@ -294,7 +399,10 @@ mod tests {
             assert!(zi.spec.suppress_backfill_while_queued);
         }
         // 69 evolving jobs.
-        let evolving = items.iter().filter(|i| i.spec.class == JobClass::Evolving).count();
+        let evolving = items
+            .iter()
+            .filter(|i| i.spec.class == JobClass::Evolving)
+            .count();
         assert_eq!(evolving, 69);
         // 10 users registered.
         assert_eq!(reg.user_count(), 10);

@@ -55,9 +55,18 @@ impl QuadflowCase {
             QuadflowCase::FlatPlate => PhasedModel {
                 // 2 adaptations ⇒ 3 phases; the final one triples the grid.
                 phases: vec![
-                    Phase { cells: 16_000, cost_milli: 14_355 },
-                    Phase { cells: 24_000, cost_milli: 13_920 },
-                    Phase { cells: 96_000, cost_milli: 3_600 },
+                    Phase {
+                        cells: 16_000,
+                        cost_milli: 14_355,
+                    },
+                    Phase {
+                        cells: 24_000,
+                        cost_milli: 13_920,
+                    },
+                    Phase {
+                        cells: 96_000,
+                        cost_milli: 3_600,
+                    },
                 ],
                 millis_per_cell_core: 1000.0,
                 threshold_cells_per_proc: 3_000,
@@ -68,12 +77,30 @@ impl QuadflowCase {
                 // 5 adaptations ⇒ 6 phases; the bow shock resolves in the
                 // final one.
                 phases: vec![
-                    Phase { cells: 40_000, cost_milli: 1_080 },
-                    Phase { cells: 60_000, cost_milli: 960 },
-                    Phase { cells: 80_000, cost_milli: 990 },
-                    Phase { cells: 100_000, cost_milli: 1_008 },
-                    Phase { cells: 120_000, cost_milli: 960 },
-                    Phase { cells: 480_000, cost_milli: 2_400 },
+                    Phase {
+                        cells: 40_000,
+                        cost_milli: 1_080,
+                    },
+                    Phase {
+                        cells: 60_000,
+                        cost_milli: 960,
+                    },
+                    Phase {
+                        cells: 80_000,
+                        cost_milli: 990,
+                    },
+                    Phase {
+                        cells: 100_000,
+                        cost_milli: 1_008,
+                    },
+                    Phase {
+                        cells: 120_000,
+                        cost_milli: 960,
+                    },
+                    Phase {
+                        cells: 480_000,
+                        cost_milli: 2_400,
+                    },
                 ],
                 millis_per_cell_core: 1000.0,
                 threshold_cells_per_proc: 15_000,
@@ -140,7 +167,11 @@ pub fn dynamic_breakdown(case: QuadflowCase) -> PhaseBreakdown {
         phase_secs.push(m.phase_duration(k, cores).as_secs_f64());
         phase_cores.push(cores);
     }
-    PhaseBreakdown { label: format!("{} dynamic", case.name()), phase_secs, phase_cores }
+    PhaseBreakdown {
+        label: format!("{} dynamic", case.name()),
+        phase_secs,
+        phase_cores,
+    }
 }
 
 #[cfg(test)]
@@ -155,7 +186,8 @@ mod tests {
             let n = s16.phase_secs.len();
             for k in 0..n - 1 {
                 assert_eq!(
-                    s16.phase_secs[k], s32.phase_secs[k],
+                    s16.phase_secs[k],
+                    s32.phase_secs[k],
                     "{}: phase {k} must not speed up with idle extra cores",
                     case.name()
                 );

@@ -17,10 +17,9 @@ use dynbatch_core::{
     CredRegistry, ExecutionModel, JobClass, JobSpec, SimDuration, SimTime, SpeedupModel,
 };
 use dynbatch_simtime::SplitMix64;
-use serde::{Deserialize, Serialize};
 
 /// Conversion options.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SwfConfig {
     /// Jobs requesting more cores than this are clamped down to it
     /// (traces come from machines of arbitrary size).
@@ -107,7 +106,11 @@ pub fn parse_swf(
         let req_time = f(9)?;
         let user_id = f(12)?;
 
-        let procs = if req_procs > 0 { req_procs } else { alloc_procs };
+        let procs = if req_procs > 0 {
+            req_procs
+        } else {
+            alloc_procs
+        };
         if runtime <= 0 || procs <= 0 || submit < 0 {
             continue; // unusable record, standard practice to skip
         }
@@ -119,10 +122,7 @@ pub fn parse_swf(
             runtime
         };
 
-        let user = reg.user_in_group(
-            &format!("swf_user{}", user_id.max(0)),
-            "swfusers",
-        );
+        let user = reg.user_in_group(&format!("swf_user{}", user_id.max(0)), "swfusers");
         let group = reg.group_of(user);
 
         let evolving = cfg.evolving_fraction > 0.0 && rng.next_f64() < cfg.evolving_fraction;
@@ -159,7 +159,10 @@ pub fn parse_swf(
             s.walltime = SimDuration::from_secs(walltime);
             s
         };
-        items.push(WorkloadItem { at: SimTime::from_secs(submit as u64), spec });
+        items.push(WorkloadItem {
+            at: SimTime::from_secs(submit as u64),
+            spec,
+        });
         if cfg.max_jobs > 0 && items.len() >= cfg.max_jobs {
             break;
         }
@@ -237,7 +240,10 @@ mod tests {
     #[test]
     fn exact_walltime_mode() {
         let mut reg = CredRegistry::new();
-        let cfg = SwfConfig { use_requested_walltime: false, ..Default::default() };
+        let cfg = SwfConfig {
+            use_requested_walltime: false,
+            ..Default::default()
+        };
         let items = parse_swf(SAMPLE, &cfg, &mut reg).unwrap();
         assert_eq!(items[0].spec.walltime, SimDuration::from_secs(300));
     }
@@ -245,7 +251,10 @@ mod tests {
     #[test]
     fn evolving_conversion() {
         let mut reg = CredRegistry::new();
-        let cfg = SwfConfig { evolving_fraction: 1.0, ..Default::default() };
+        let cfg = SwfConfig {
+            evolving_fraction: 1.0,
+            ..Default::default()
+        };
         let items = parse_swf(SAMPLE, &cfg, &mut reg).unwrap();
         assert!(items.iter().all(|i| i.spec.class == JobClass::Evolving));
         for i in &items {
@@ -256,7 +265,10 @@ mod tests {
     #[test]
     fn max_jobs_limit() {
         let mut reg = CredRegistry::new();
-        let cfg = SwfConfig { max_jobs: 1, ..Default::default() };
+        let cfg = SwfConfig {
+            max_jobs: 1,
+            ..Default::default()
+        };
         let items = parse_swf(SAMPLE, &cfg, &mut reg).unwrap();
         assert_eq!(items.len(), 1);
     }
@@ -283,7 +295,10 @@ mod tests {
         let original = generate_esp(&EspConfig::paper_static(), &mut reg);
         let text = write_swf(&original, &reg);
         let mut reg2 = CredRegistry::new();
-        let cfg = SwfConfig { total_cores: 120, ..Default::default() };
+        let cfg = SwfConfig {
+            total_cores: 120,
+            ..Default::default()
+        };
         let parsed = parse_swf(&text, &cfg, &mut reg2).expect("parse own output");
         assert_eq!(parsed.len(), original.len());
         for (a, b) in original.iter().zip(&parsed) {
@@ -301,7 +316,10 @@ mod tests {
     fn runs_through_the_simulator() {
         use dynbatch_core::{DfsConfig, SchedulerConfig};
         let mut reg = CredRegistry::new();
-        let cfg = SwfConfig { evolving_fraction: 0.5, ..Default::default() };
+        let cfg = SwfConfig {
+            evolving_fraction: 0.5,
+            ..Default::default()
+        };
         let items = parse_swf(SAMPLE, &cfg, &mut reg).unwrap();
         let mut sched = SchedulerConfig::paper_eval();
         sched.dfs = DfsConfig::highest_priority();

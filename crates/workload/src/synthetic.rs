@@ -6,13 +6,10 @@ use crate::esp::WorkloadItem;
 use dynbatch_core::{
     CredRegistry, ExecutionModel, JobClass, JobSpec, SimDuration, SimTime, SpeedupModel,
 };
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use dynbatch_simtime::SplitMix64;
 
 /// Parameters of a random workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticConfig {
     /// RNG seed.
     pub seed: u64,
@@ -60,30 +57,31 @@ pub fn generate_synthetic(cfg: &SyntheticConfig, reg: &mut CredRegistry) -> Vec<
         (0.0..=1.0).contains(&cfg.evolving_fraction),
         "evolving_fraction out of range"
     );
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed);
     let users: Vec<_> = (0..cfg.users)
         .map(|i| reg.user_in_group(&format!("synth{i:02}"), "synth"))
         .collect();
-    let cores_dist = Uniform::new_inclusive(
-        cfg.cores.0.max(1),
-        cfg.cores.1.min(cfg.total_cores).max(cfg.cores.0.max(1)),
+    let cores_lo = cfg.cores.0.max(1) as u64;
+    let cores_hi = (cfg.cores.1.min(cfg.total_cores) as u64).max(cores_lo);
+    let (lo, hi) = (
+        cfg.runtime_secs.0.max(1) as f64,
+        cfg.runtime_secs.1.max(2) as f64,
     );
-    let (lo, hi) = (cfg.runtime_secs.0.max(1) as f64, cfg.runtime_secs.1.max(2) as f64);
 
     let mut items = Vec::with_capacity(cfg.jobs);
     let mut t = SimTime::ZERO;
     for i in 0..cfg.jobs {
         // Exponential interarrival via inverse CDF.
-        let u: f64 = rng.gen_range(1e-12..1.0);
+        let u: f64 = rng.next_f64().max(1e-12);
         let gap = cfg.mean_interarrival.mul_f64(-u.ln());
         t = t.saturating_add(gap);
 
-        let user = users[rng.gen_range(0..users.len())];
+        let user = users[rng.next_below(users.len() as u64) as usize];
         let group = reg.group_of(user);
-        let cores = cores_dist.sample(&mut rng);
+        let cores = (cores_lo + rng.next_below(cores_hi - cores_lo + 1)) as u32;
         // Log-uniform runtime: heavy-tailed like real workloads.
-        let runtime = (lo.ln() + rng.gen_range(0.0..1.0) * (hi.ln() - lo.ln())).exp() as u64;
-        let evolving = rng.gen_bool(cfg.evolving_fraction);
+        let runtime = (lo.ln() + rng.next_f64() * (hi.ln() - lo.ln())).exp() as u64;
+        let evolving = rng.next_f64() < cfg.evolving_fraction;
 
         let (class, exec) = if evolving {
             let det = ((runtime as f64) * cfg.det_factor).max(1.0) as u64;
@@ -98,7 +96,12 @@ pub fn generate_synthetic(cfg: &SyntheticConfig, reg: &mut CredRegistry) -> Vec<
                 },
             )
         } else {
-            (JobClass::Rigid, ExecutionModel::Fixed { duration: SimDuration::from_secs(runtime) })
+            (
+                JobClass::Rigid,
+                ExecutionModel::Fixed {
+                    duration: SimDuration::from_secs(runtime),
+                },
+            )
         };
         items.push(WorkloadItem {
             at: t,
@@ -112,9 +115,9 @@ pub fn generate_synthetic(cfg: &SyntheticConfig, reg: &mut CredRegistry) -> Vec<
                 exec,
                 priority_boost: 0,
                 suppress_backfill_while_queued: false,
-            malleable: None,
-            moldable: None,
-            dyn_timeout: None,
+                malleable: None,
+                moldable: None,
+                dyn_timeout: None,
             },
         });
     }
@@ -130,13 +133,19 @@ mod tests {
         let mut r1 = CredRegistry::new();
         let mut r2 = CredRegistry::new();
         let cfg = SyntheticConfig::default();
-        assert_eq!(generate_synthetic(&cfg, &mut r1), generate_synthetic(&cfg, &mut r2));
+        assert_eq!(
+            generate_synthetic(&cfg, &mut r1),
+            generate_synthetic(&cfg, &mut r2)
+        );
     }
 
     #[test]
     fn respects_bounds() {
         let mut reg = CredRegistry::new();
-        let cfg = SyntheticConfig { jobs: 200, ..Default::default() };
+        let cfg = SyntheticConfig {
+            jobs: 200,
+            ..Default::default()
+        };
         let items = generate_synthetic(&cfg, &mut reg);
         assert_eq!(items.len(), 200);
         let mut last = SimTime::ZERO;
@@ -153,10 +162,16 @@ mod tests {
     #[test]
     fn evolving_fraction_roughly_holds() {
         let mut reg = CredRegistry::new();
-        let cfg = SyntheticConfig { jobs: 1000, evolving_fraction: 0.3, ..Default::default() };
+        let cfg = SyntheticConfig {
+            jobs: 1000,
+            evolving_fraction: 0.3,
+            ..Default::default()
+        };
         let items = generate_synthetic(&cfg, &mut reg);
-        let evolving =
-            items.iter().filter(|i| i.spec.class == JobClass::Evolving).count() as f64;
+        let evolving = items
+            .iter()
+            .filter(|i| i.spec.class == JobClass::Evolving)
+            .count() as f64;
         let frac = evolving / items.len() as f64;
         assert!((0.25..0.35).contains(&frac), "{frac}");
     }
@@ -164,7 +179,10 @@ mod tests {
     #[test]
     fn zero_fraction_all_rigid() {
         let mut reg = CredRegistry::new();
-        let cfg = SyntheticConfig { evolving_fraction: 0.0, ..Default::default() };
+        let cfg = SyntheticConfig {
+            evolving_fraction: 0.0,
+            ..Default::default()
+        };
         let items = generate_synthetic(&cfg, &mut reg);
         assert!(items.iter().all(|i| i.spec.class == JobClass::Rigid));
     }

@@ -5,15 +5,15 @@
 //! the simulator without writing Rust.
 
 use crate::esp::WorkloadItem;
-use dynbatch_core::CredRegistry;
-use serde::{Deserialize, Serialize};
+use dynbatch_core::json::{model, parse, Json};
+use dynbatch_core::{CredRegistry, SimTime};
 use std::fs;
 use std::io;
 use std::path::Path;
 
 /// A self-contained workload: submissions plus the credential registry
 /// interning their user/group names.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Format version for forward compatibility.
     pub version: u32,
@@ -27,25 +27,85 @@ pub struct Trace {
 
 impl Trace {
     /// Wraps a workload into a versioned trace.
-    pub fn new(description: impl Into<String>, registry: CredRegistry, items: Vec<WorkloadItem>) -> Self {
-        Trace { version: 1, description: description.into(), registry, items }
+    pub fn new(
+        description: impl Into<String>,
+        registry: CredRegistry,
+        items: Vec<WorkloadItem>,
+    ) -> Self {
+        Trace {
+            version: 1,
+            description: description.into(),
+            registry,
+            items,
+        }
     }
 
     /// Serialises to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("trace serialises")
+        let items = self
+            .items
+            .iter()
+            .map(|item| {
+                Json::obj(vec![
+                    ("at_ms", Json::UInt(item.at.as_millis())),
+                    ("spec", model::spec_to_json(&item.spec)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("version", Json::UInt(self.version as u64)),
+            ("description", Json::Str(self.description.clone())),
+            ("registry", self.registry.to_json()),
+            ("items", Json::Arr(items)),
+        ])
+        .to_string_pretty()
     }
 
     /// Parses from JSON.
     pub fn from_json(json: &str) -> Result<Self, String> {
-        let trace: Trace = serde_json::from_str(json).map_err(|e| e.to_string())?;
-        if trace.version != 1 {
-            return Err(format!("unsupported trace version {}", trace.version));
+        let v = parse(json)?;
+        let version = v
+            .req("version")?
+            .as_u64()
+            .ok_or("`version` is not an integer")?;
+        if version != 1 {
+            return Err(format!("unsupported trace version {version}"));
         }
-        for item in &trace.items {
+        let description = v
+            .req("description")?
+            .as_str()
+            .ok_or("`description` is not a string")?
+            .to_owned();
+        let registry = CredRegistry::from_json(v.req("registry")?)?;
+        let items = v
+            .req("items")?
+            .as_arr()
+            .ok_or("`items` is not an array")?
+            .iter()
+            .map(|item| {
+                Ok(WorkloadItem {
+                    at: SimTime::from_millis(
+                        item.req("at_ms")?
+                            .as_u64()
+                            .ok_or("`at_ms` is not an integer")?,
+                    ),
+                    spec: model::spec_from_json(item.req("spec")?)?,
+                })
+            })
+            .collect::<Result<Vec<WorkloadItem>, String>>()?;
+        for item in &items {
             item.spec.validate()?;
+            let max_user = registry.user_count() as u32;
+            if item.spec.user.0 >= max_user {
+                return Err(format!("user {} not in registry", item.spec.user));
+            }
         }
-        Ok(trace)
+        Ok(Trace {
+            version: version as u32,
+            description,
+            registry,
+            items,
+        })
     }
 
     /// Writes to a file.

@@ -12,8 +12,9 @@
 //! cargo run --example fair_site_config
 //! ```
 
-use dynbatch::core::{config::parse_dfs_config, CredRegistry, DfsConfig, SchedulerConfig,
-                     SimDuration, SimTime};
+use dynbatch::core::{
+    config::parse_dfs_config, CredRegistry, DfsConfig, SchedulerConfig, SimDuration, SimTime,
+};
 use dynbatch::sched::{DynRequest, Maui, QueuedJob, RunningJob, Snapshot};
 
 const HOUR: u64 = 3600;
@@ -95,13 +96,19 @@ fn main() {
 
     // Policy 1: DFS disabled — the Dynamic-HP behaviour.
     let mut reg = CredRegistry::new();
-    println!("DFSPolicy NONE:                  {}", verdict(DfsConfig::highest_priority(), &mut reg));
+    println!(
+        "DFSPolicy NONE:                  {}",
+        verdict(DfsConfig::highest_priority(), &mut reg)
+    );
 
     // Policy 2: a uniform 1-hour cumulative cap — the 4 h delay is unfair.
     let mut reg = CredRegistry::new();
     println!(
         "uniform 1 h target cap:          {}",
-        verdict(DfsConfig::uniform_target(3600, SimDuration::from_hours(24)), &mut reg)
+        verdict(
+            DfsConfig::uniform_target(3600, SimDuration::from_hours(24)),
+            &mut reg
+        )
     );
 
     // Policy 3: the paper's Fig 6 site configuration, parsed verbatim.

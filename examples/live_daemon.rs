@@ -12,8 +12,8 @@
 //! ```
 
 use dynbatch::core::{
-    DfsConfig, ExecutionModel, GroupId, JobClass, JobSpec, JobState, SchedulerConfig,
-    SimDuration, UserId,
+    DfsConfig, ExecutionModel, GroupId, JobClass, JobSpec, JobState, SchedulerConfig, SimDuration,
+    UserId,
 };
 use dynbatch::daemon::{DaemonConfig, DaemonHandle};
 use dynbatch::server::TmResponse;
@@ -27,19 +27,25 @@ fn rigid(name: &str, user: u32, cores: u32, millis: u64) -> JobSpec {
         class: JobClass::Rigid,
         cores,
         walltime: SimDuration::from_millis(millis),
-        exec: ExecutionModel::Fixed { duration: SimDuration::from_millis(millis) },
+        exec: ExecutionModel::Fixed {
+            duration: SimDuration::from_millis(millis),
+        },
         priority_boost: 0,
         suppress_backfill_while_queued: false,
-            malleable: None,
-            moldable: None,
-            dyn_timeout: None,
+        malleable: None,
+        moldable: None,
+        dyn_timeout: None,
     }
 }
 
 fn main() {
     let mut sched = SchedulerConfig::paper_eval();
     sched.dfs = DfsConfig::highest_priority();
-    let daemon = DaemonHandle::start(DaemonConfig { nodes: 8, cores_per_node: 8, sched });
+    let daemon = DaemonHandle::start(DaemonConfig {
+        nodes: 8,
+        cores_per_node: 8,
+        sched,
+    });
     println!("booted: 1 pbs_server + 8 pbs_mom daemons (8 cores each)\n");
 
     // The main weather simulation: 24 cores, long-running.
@@ -84,11 +90,16 @@ fn main() {
 
     // Meanwhile other users' rigid jobs keep flowing through the queue.
     for i in 0..4 {
-        daemon.qsub(rigid(&format!("batch{i}"), 1 + i, 16, 150)).expect("qsub batch");
+        daemon
+            .qsub(rigid(&format!("batch{i}"), 1 + i, 16, 150))
+            .expect("qsub batch");
     }
     println!("4 rigid jobs submitted behind the weather job");
 
-    assert!(daemon.await_drained(Duration::from_secs(10)), "workload drains");
+    assert!(
+        daemon.await_drained(Duration::from_secs(10)),
+        "workload drains"
+    );
     println!("\nall jobs completed; shutting down daemons");
     daemon.shutdown();
 }

@@ -11,9 +11,7 @@
 //! ```
 
 use dynbatch::cluster::Cluster;
-use dynbatch::core::{
-    CredRegistry, DfsConfig, JobSpec, SchedulerConfig, SimDuration, SimTime,
-};
+use dynbatch::core::{CredRegistry, DfsConfig, JobSpec, SchedulerConfig, SimDuration, SimTime};
 use dynbatch::sim::BatchSim;
 use dynbatch::workload::{dynamic_breakdown, static_breakdown, QuadflowCase, WorkloadItem};
 

@@ -37,13 +37,7 @@ fn main() {
         // with them would finish in 700 s instead.
         WorkloadItem {
             at: SimTime::ZERO,
-            spec: JobSpec::evolving(
-                "amr",
-                bob,
-                g,
-                8,
-                ExecutionModel::esp_evolving(1000, 700, 4),
-            ),
+            spec: JobSpec::evolving("amr", bob, g, 8, ExecutionModel::esp_evolving(1000, 700, 4)),
         },
         // A latecomer that has to queue.
         WorkloadItem {
@@ -61,7 +55,10 @@ fn main() {
         sim.stats().dyn_granted,
         sim.stats().dyn_rejected
     );
-    println!("\n{:<8} {:>6} {:>8} {:>10} {:>10} {:>7}", "job", "cores", "wait", "runtime", "turnaround", "grants");
+    println!(
+        "\n{:<8} {:>6} {:>8} {:>10} {:>10} {:>7}",
+        "job", "cores", "wait", "runtime", "turnaround", "grants"
+    );
     for o in sim.server().accounting().outcomes() {
         println!(
             "{:<8} {:>2}->{:<3} {:>8} {:>10} {:>10} {:>7}",

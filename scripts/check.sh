@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo-wide gate: formatting, lints, tests, and the quick perf smoke.
+# Run from anywhere; operates on the repo root. Fully offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> perf_smoke --quick"
+cargo run --release -q -p dynbatch-bench --bin perf_smoke -- --quick --out /tmp/BENCH_sched.quick.json
+
+echo "check.sh: all gates passed"

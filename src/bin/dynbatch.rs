@@ -20,9 +20,7 @@
 use dynbatch::core::{CredRegistry, DfsConfig, SchedulerConfig, SimDuration};
 use dynbatch::metrics::{gantt_csv, render_csv, render_table2, waits_by_submission};
 use dynbatch::sim::{run_experiment, ExperimentConfig};
-use dynbatch::workload::{
-    generate_esp, parse_swf, EspConfig, SwfConfig, Trace, WorkloadItem,
-};
+use dynbatch::workload::{generate_esp, parse_swf, EspConfig, SwfConfig, Trace, WorkloadItem};
 use std::process::ExitCode;
 
 /// Minimal flag parser: `--key value` pairs plus boolean `--key`.
@@ -76,7 +74,9 @@ fn sched_from(args: &Args) -> Result<SchedulerConfig, String> {
     s.dfs = match args.get("dfs-cap") {
         None => DfsConfig::highest_priority(),
         Some(v) => {
-            let cap: u64 = v.parse().map_err(|_| format!("--dfs-cap: bad value {v:?}"))?;
+            let cap: u64 = v
+                .parse()
+                .map_err(|_| format!("--dfs-cap: bad value {v:?}"))?;
             DfsConfig::uniform_target(cap, SimDuration::from_hours(1))
         }
     };
@@ -104,8 +104,11 @@ fn cmd_esp(args: &Args) -> Result<(), String> {
     let mut acc: Option<dynbatch::metrics::RunSummary> = None;
     let n = seeds.max(1);
     for k in 0..n {
-        let mut wl_cfg =
-            if args.has("static") { EspConfig::paper_static() } else { EspConfig::paper_dynamic() };
+        let mut wl_cfg = if args.has("static") {
+            EspConfig::paper_static()
+        } else {
+            EspConfig::paper_dynamic()
+        };
         wl_cfg.seed = if n == 1 { base_seed } else { base_seed + k };
         wl_cfg.walltime_factor = args.num("walltime-factor", 1.0f64)?;
         let mut reg = CredRegistry::new();
@@ -128,7 +131,11 @@ fn cmd_esp(args: &Args) -> Result<(), String> {
     s.utilization /= n as f64;
     s.throughput_jobs_per_min /= n as f64;
     s.satisfied_dyn_jobs /= n as usize;
-    s.label = if args.has("static") { "ESP-static".into() } else { "ESP-dynamic".into() };
+    s.label = if args.has("static") {
+        "ESP-static".into()
+    } else {
+        "ESP-dynamic".into()
+    };
     summaries.push(s);
     print!("{}", render_table2(&summaries));
     Ok(())
@@ -185,13 +192,24 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 
 fn cmd_gen_esp(args: &Args) -> Result<(), String> {
     let out = args.get("out").ok_or("gen-esp: need --out FILE.json")?;
-    let mut wl_cfg =
-        if args.has("static") { EspConfig::paper_static() } else { EspConfig::paper_dynamic() };
+    let mut wl_cfg = if args.has("static") {
+        EspConfig::paper_static()
+    } else {
+        EspConfig::paper_dynamic()
+    };
     wl_cfg.seed = args.num("seed", EspConfig::default().seed)?;
     let mut reg = CredRegistry::new();
     let items = generate_esp(&wl_cfg, &mut reg);
     let trace = Trace::new(
-        format!("ESP ({}) seed {}", if args.has("static") { "static" } else { "dynamic" }, wl_cfg.seed),
+        format!(
+            "ESP ({}) seed {}",
+            if args.has("static") {
+                "static"
+            } else {
+                "dynamic"
+            },
+            wl_cfg.seed
+        ),
         reg,
         items,
     );

@@ -2,8 +2,8 @@
 //! protocol the simulator drives, over real threads and channels.
 
 use dynbatch::core::{
-    DfsConfig, ExecutionModel, GroupId, JobClass, JobSpec, JobState, SchedulerConfig,
-    SimDuration, UserId,
+    DfsConfig, ExecutionModel, GroupId, JobClass, JobSpec, JobState, SchedulerConfig, SimDuration,
+    UserId,
 };
 use dynbatch::daemon::{DaemonConfig, DaemonHandle};
 use dynbatch::server::TmResponse;
@@ -17,26 +17,34 @@ fn rigid(name: &str, user: u32, cores: u32, millis: u64) -> JobSpec {
         class: JobClass::Rigid,
         cores,
         walltime: SimDuration::from_millis(millis),
-        exec: ExecutionModel::Fixed { duration: SimDuration::from_millis(millis) },
+        exec: ExecutionModel::Fixed {
+            duration: SimDuration::from_millis(millis),
+        },
         priority_boost: 0,
         suppress_backfill_while_queued: false,
-            malleable: None,
-            moldable: None,
-            dyn_timeout: None,
+        malleable: None,
+        moldable: None,
+        dyn_timeout: None,
     }
 }
 
 fn daemon(nodes: u32) -> DaemonHandle {
     let mut sched = SchedulerConfig::paper_eval();
     sched.dfs = DfsConfig::highest_priority();
-    DaemonHandle::start(DaemonConfig { nodes, cores_per_node: 8, sched })
+    DaemonHandle::start(DaemonConfig {
+        nodes,
+        cores_per_node: 8,
+        sched,
+    })
 }
 
 #[test]
 fn fifo_queue_processes_in_order() {
     let d = daemon(2);
     // Three full-machine jobs: strictly sequential.
-    let ids: Vec<_> = (0..3).map(|i| d.qsub(rigid(&format!("j{i}"), i, 16, 40)).unwrap()).collect();
+    let ids: Vec<_> = (0..3)
+        .map(|i| d.qsub(rigid(&format!("j{i}"), i, 16, 40)).unwrap())
+        .collect();
     assert!(d.await_drained(Duration::from_secs(5)));
     // All terminal; nothing lingers.
     for id in ids {
@@ -88,7 +96,10 @@ fn overhead_grows_but_stays_small() {
             panic!("grant of {nodes} nodes");
         };
         assert_eq!(added.total_cores(), nodes * 8);
-        assert!(latency < Duration::from_millis(500), "{nodes} nodes took {latency:?}");
+        assert!(
+            latency < Duration::from_millis(500),
+            "{nodes} nodes took {latency:?}"
+        );
         assert!(matches!(d.tm_dynfree(job, added), TmResponse::Freed));
     }
     let _ = d.qdel(job);
@@ -122,10 +133,14 @@ fn concurrent_clients_hammer_the_daemon() {
         handles.push(std::thread::spawn(move || {
             for i in 0..10u32 {
                 let id = d
-                    .qsub(rigid(&format!("t{t}-j{i}"), t, 1 + (i % 8), 20 + (i as u64 % 30)))
+                    .qsub(rigid(
+                        &format!("t{t}-j{i}"),
+                        t,
+                        1 + (i % 8),
+                        20 + (i as u64 % 30),
+                    ))
                     .expect("qsub");
-                if i % 3 == 0 && d.wait_for_state(id, JobState::Running, Duration::from_secs(2))
-                {
+                if i % 3 == 0 && d.wait_for_state(id, JobState::Running, Duration::from_secs(2)) {
                     // Try to grow; success depends on contention — both
                     // outcomes are fine, the protocol must just answer.
                     match d.tm_dynget(id, 4) {
@@ -144,7 +159,10 @@ fn concurrent_clients_hammer_the_daemon() {
     for h in handles {
         h.join().expect("client thread");
     }
-    assert!(d.await_drained(Duration::from_secs(20)), "all 60 jobs terminal");
+    assert!(
+        d.await_drained(Duration::from_secs(20)),
+        "all 60 jobs terminal"
+    );
     match Arc::try_unwrap(d) {
         Ok(d) => d.shutdown(),
         Err(_) => panic!("all clients joined"),

@@ -45,7 +45,13 @@ fn different_seeds_differ() {
 #[test]
 fn trace_replay_reproduces_results() {
     let mut reg = CredRegistry::new();
-    let wl = generate_synthetic(&SyntheticConfig { jobs: 60, ..Default::default() }, &mut reg);
+    let wl = generate_synthetic(
+        &SyntheticConfig {
+            jobs: 60,
+            ..Default::default()
+        },
+        &mut reg,
+    );
     let trace = Trace::new("synthetic 60", reg, wl.clone());
 
     // Round-trip through JSON.

@@ -8,7 +8,11 @@ use dynbatch::workload::{generate_esp, EspConfig};
 
 fn run(label: &str, cap: Option<u64>, dynamic: bool, seed: u64) -> ExperimentResult {
     let mut reg = CredRegistry::new();
-    let mut wl_cfg = if dynamic { EspConfig::paper_dynamic() } else { EspConfig::paper_static() };
+    let mut wl_cfg = if dynamic {
+        EspConfig::paper_dynamic()
+    } else {
+        EspConfig::paper_static()
+    };
     wl_cfg.seed = seed;
     let wl = generate_esp(&wl_cfg, &mut reg);
     let mut s = SchedulerConfig::paper_eval();
@@ -28,7 +32,10 @@ fn all_230_jobs_complete_in_every_config() {
     ] {
         let r = run(label, cap, dynamic, 2014);
         assert_eq!(r.outcomes.len(), 230, "{label}");
-        assert_eq!(r.stats.walltime_kills, 0, "{label}: no job overruns its walltime");
+        assert_eq!(
+            r.stats.walltime_kills, 0,
+            "{label}: no job overruns its walltime"
+        );
         // Both Z jobs ran on the full machine.
         let z: Vec<&JobOutcome> = r.outcomes.iter().filter(|o| o.name == "Z").collect();
         assert_eq!(z.len(), 2);
@@ -54,9 +61,18 @@ fn dynamic_hp_beats_static_on_every_system_metric() {
         h_ut += hp.summary.utilization;
         satisfied += hp.summary.satisfied_dyn_jobs;
     }
-    assert!(h_mk < s_mk, "dynamic workload finishes sooner: {h_mk} vs {s_mk}");
-    assert!(h_ut > s_ut, "dynamic workload utilises better: {h_ut} vs {s_ut}");
-    assert!(satisfied / seeds.len() >= 20, "a healthy fraction of the 69 evolving jobs is satisfied");
+    assert!(
+        h_mk < s_mk,
+        "dynamic workload finishes sooner: {h_mk} vs {s_mk}"
+    );
+    assert!(
+        h_ut > s_ut,
+        "dynamic workload utilises better: {h_ut} vs {s_ut}"
+    );
+    assert!(
+        satisfied / seeds.len() >= 20,
+        "a healthy fraction of the 69 evolving jobs is satisfied"
+    );
 }
 
 #[test]
@@ -83,7 +99,10 @@ fn fairness_cap_trades_grants_for_protection() {
     }
     assert!(sats[0] < sats[2], "cap 100 grants fewer than HP: {sats:?}");
     assert!(sats[0] <= sats[1], "tighter cap grants no more: {sats:?}");
-    assert!(fair_rejects[0] > fair_rejects[1], "tighter cap rejects more: {fair_rejects:?}");
+    assert!(
+        fair_rejects[0] > fair_rejects[1],
+        "tighter cap rejects more: {fair_rejects:?}"
+    );
     assert_eq!(fair_rejects[2], 0, "HP never rejects on fairness");
 }
 
@@ -92,8 +111,14 @@ fn hp_hurts_mid_range_waiters_and_dfs_bounds_the_charge() {
     // Fig 8: a band of jobs waits longer under Dyn-HP than Static.
     let st = run("Static", None, false, 2014);
     let hp = run("Dyn-HP", None, true, 2014);
-    let w_st: Vec<f64> = waits_by_submission(&st.outcomes).into_iter().map(|(_, w)| w).collect();
-    let w_hp: Vec<f64> = waits_by_submission(&hp.outcomes).into_iter().map(|(_, w)| w).collect();
+    let w_st: Vec<f64> = waits_by_submission(&st.outcomes)
+        .into_iter()
+        .map(|(_, w)| w)
+        .collect();
+    let w_hp: Vec<f64> = waits_by_submission(&hp.outcomes)
+        .into_iter()
+        .map(|(_, w)| w)
+        .collect();
     let delayed_hp = (0..w_st.len()).filter(|&i| w_hp[i] > w_st[i] + 1.0).count();
     assert!(delayed_hp > 10, "some jobs pay for HP grants: {delayed_hp}");
 
@@ -123,7 +148,10 @@ fn type_l_jobs_observable_as_in_fig9() {
     assert_eq!(l_hp.len(), 36);
     // Some L jobs are affected by dynamic allocations (the paper: half).
     let affected = l_hp.iter().zip(&l_st).filter(|(h, s)| h > s).count();
-    assert!(affected >= 5, "{affected} of 36 L jobs wait longer under HP");
+    assert!(
+        affected >= 5,
+        "{affected} of 36 L jobs wait longer under HP"
+    );
 }
 
 #[test]
@@ -135,6 +163,10 @@ fn z_rule_holds() {
     assert!(!z[0].backfilled && !z[1].backfilled);
     // The second Z starts exactly when the first ends (no idle gap on a
     // drained machine).
-    let (first, second) = if z[0].start_time <= z[1].start_time { (z[0], z[1]) } else { (z[1], z[0]) };
+    let (first, second) = if z[0].start_time <= z[1].start_time {
+        (z[0], z[1])
+    } else {
+        (z[1], z[0])
+    };
     assert_eq!(second.start_time, first.end_time);
 }

@@ -47,17 +47,26 @@ fn scenario(dfs: DfsConfig) -> BatchSim {
         },
         priority_boost: 0,
         suppress_backfill_while_queued: false,
-            malleable: None,
-            moldable: None,
-            dyn_timeout: None,
+        malleable: None,
+        moldable: None,
+        dyn_timeout: None,
     };
     let b = JobSpec::rigid("B", ub, g, 2, SimDuration::from_hours(4));
     let c = JobSpec::rigid("C", uc, g, 4, SimDuration::from_hours(4));
 
     sim.load(&[
-        WorkloadItem { at: SimTime::ZERO, spec: a },
-        WorkloadItem { at: SimTime::ZERO, spec: b },
-        WorkloadItem { at: SimTime::from_secs(60), spec: c },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: a,
+        },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: b,
+        },
+        WorkloadItem {
+            at: SimTime::from_secs(60),
+            spec: c,
+        },
     ]);
     sim
 }
@@ -91,7 +100,11 @@ fn target_policy_protects_c() {
     assert_eq!(sim.stats().dyn_granted, 0);
     assert!(sim.stats().dyn_rejected_fairness >= 1);
     let wait_c = wait_of(&sim, "C");
-    assert_eq!(wait_c, SimDuration::from_secs(4 * HOUR - 60), "C starts when B ends");
+    assert_eq!(
+        wait_c,
+        SimDuration::from_secs(4 * HOUR - 60),
+        "C starts when B ends"
+    );
 }
 
 #[test]
@@ -115,7 +128,8 @@ fn perm_flag_protects_c() {
         ..DfsConfig::default()
     };
     // user_c is interned third (index 2) in the scenario's registry.
-    dfs.users.insert(dynbatch::core::UserId(2), CredLimits::never_delay());
+    dfs.users
+        .insert(dynbatch::core::UserId(2), CredLimits::never_delay());
     let mut sim = scenario(dfs);
     sim.run();
     assert_eq!(sim.stats().dyn_granted, 0);

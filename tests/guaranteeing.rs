@@ -21,7 +21,10 @@ fn every_request_satisfied_under_guarantee() {
     let mut reg = CredRegistry::new();
     let wl = generate_esp(&EspConfig::paper_dynamic(), &mut reg);
     let r = run_experiment(&ExperimentConfig::paper_cluster("guar", sched(true)), &wl);
-    assert_eq!(r.summary.satisfied_dyn_jobs, 69, "all evolving jobs guaranteed");
+    assert_eq!(
+        r.summary.satisfied_dyn_jobs, 69,
+        "all evolving jobs guaranteed"
+    );
     assert_eq!(r.stats.dyn_rejected, 0);
 }
 
@@ -42,8 +45,14 @@ fn guarantee_costs_system_performance() {
         g_mk += g.summary.makespan.as_mins_f64();
         n_mk += n.summary.makespan.as_mins_f64();
     }
-    assert!(g_util < n_util, "guarantee wastes reserved cores: {g_util} vs {n_util}");
-    assert!(g_mk > n_mk, "guarantee lengthens the workload: {g_mk} vs {n_mk}");
+    assert!(
+        g_util < n_util,
+        "guarantee wastes reserved cores: {g_util} vs {n_util}"
+    );
+    assert!(
+        g_mk > n_mk,
+        "guarantee lengthens the workload: {g_mk} vs {n_mk}"
+    );
 }
 
 #[test]
@@ -113,7 +122,11 @@ fn without_guarantee_rigid_job_runs_alongside() {
     sim.run();
     let outcomes = sim.server().accounting().outcomes();
     let rigid = outcomes.iter().find(|o| o.name == "rigid").unwrap();
-    assert_eq!(rigid.start_time, SimTime::from_secs(10), "starts immediately");
+    assert_eq!(
+        rigid.start_time,
+        SimTime::from_secs(10),
+        "starts immediately"
+    );
     let grower = outcomes.iter().find(|o| o.name == "grower").unwrap();
     assert_eq!(grower.dyn_grants, 0, "no cores left to grow onto");
 }

@@ -52,7 +52,10 @@ fn grow_on_idle_shortens_malleable_jobs() {
             spec: JobSpec::malleable("pool", u, g, 16, 8, 32, 16_000),
         }]);
         sim.run();
-        (sim.server().accounting().outcomes()[0].runtime(), sim.stats().malleable_resizes)
+        (
+            sim.server().accounting().outcomes()[0].runtime(),
+            sim.stats().malleable_resizes,
+        )
     };
     let (without, r0) = run(false);
     let (with, r1) = run(true);
@@ -134,17 +137,27 @@ fn dynamic_request_served_by_shrinking_malleable() {
 
     let (outs, stats) = run(false);
     let grower = outs.iter().find(|o| o.name == "grower").unwrap();
-    assert_eq!(grower.dyn_grants, 0, "no idle cores, no shrinking: rejected");
+    assert_eq!(
+        grower.dyn_grants, 0,
+        "no idle cores, no shrinking: rejected"
+    );
     assert_eq!(stats.malleable_resizes, 0);
 
     let (outs, stats) = run(true);
     let grower = outs.iter().find(|o| o.name == "grower").unwrap();
-    assert_eq!(grower.dyn_grants, 1, "served by shrinking the malleable job");
+    assert_eq!(
+        grower.dyn_grants, 1,
+        "served by shrinking the malleable job"
+    );
     assert_eq!(grower.cores_final, 12);
     assert!(stats.malleable_resizes >= 1);
     // The malleable job still completes all its work, just more slowly.
     let pool = outs.iter().find(|o| o.name == "pool").unwrap();
-    assert!(pool.runtime() > SimDuration::from_secs(1000), "{}", pool.runtime());
+    assert!(
+        pool.runtime() > SimDuration::from_secs(1000),
+        "{}",
+        pool.runtime()
+    );
 }
 
 #[test]
@@ -159,7 +172,13 @@ fn shrink_never_goes_below_min() {
     sim.load(&[
         WorkloadItem {
             at: SimTime::ZERO,
-            spec: JobSpec::evolving("grower", e, g, 8, ExecutionModel::esp_evolving(1000, 700, 4)),
+            spec: JobSpec::evolving(
+                "grower",
+                e,
+                g,
+                8,
+                ExecutionModel::esp_evolving(1000, 700, 4),
+            ),
         },
         WorkloadItem {
             at: SimTime::ZERO,
@@ -185,7 +204,10 @@ fn malleable_spec_validation() {
     bad.cores = 2; // below min
     assert!(bad.validate().is_err());
     let mut bad = good.clone();
-    bad.malleable = Some(dynbatch::core::MalleableRange { min_cores: 0, max_cores: 4 });
+    bad.malleable = Some(dynbatch::core::MalleableRange {
+        min_cores: 0,
+        max_cores: 4,
+    });
     assert!(bad.validate().is_err());
     let mut bad = good.clone();
     bad.malleable = None; // malleable class without a range

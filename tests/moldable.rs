@@ -4,9 +4,7 @@
 //! asks during execution).
 
 use dynbatch::cluster::Cluster;
-use dynbatch::core::{
-    CredRegistry, DfsConfig, JobSpec, SchedulerConfig, SimDuration, SimTime,
-};
+use dynbatch::core::{CredRegistry, DfsConfig, JobSpec, SchedulerConfig, SimDuration, SimTime};
 use dynbatch::sim::BatchSim;
 use dynbatch::workload::WorkloadItem;
 
@@ -56,7 +54,11 @@ fn moldable_shrinks_to_fit_now_rather_than_wait() {
     sim.run();
     let outcomes = sim.server().accounting().outcomes();
     let m = outcomes.iter().find(|o| o.name == "mold").unwrap();
-    assert_eq!(m.start_time, SimTime::from_secs(10), "started immediately, molded");
+    assert_eq!(
+        m.start_time,
+        SimTime::from_secs(10),
+        "started immediately, molded"
+    );
     assert_eq!(m.cores_final, 16);
     assert_eq!(m.runtime(), SimDuration::from_secs(1000));
 }
@@ -83,7 +85,10 @@ fn moldable_below_min_waits() {
     let outcomes = sim.server().accounting().outcomes();
     let m = outcomes.iter().find(|o| o.name == "mold").unwrap();
     assert_eq!(m.start_time, SimTime::from_secs(100));
-    assert_eq!(m.cores_final, 16, "molded up once the whole machine is free");
+    assert_eq!(
+        m.cores_final, 16,
+        "molded up once the whole machine is free"
+    );
 }
 
 #[test]

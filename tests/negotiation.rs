@@ -22,11 +22,7 @@ fn hp_sched() -> SchedulerConfig {
 
 /// An evolving spec that issues one negotiated request at 10 % of its
 /// 1000 s static runtime, with the given negotiation window.
-fn negotiating_spec(
-    reg: &mut CredRegistry,
-    name: &str,
-    timeout: Option<SimDuration>,
-) -> JobSpec {
+fn negotiating_spec(reg: &mut CredRegistry, name: &str, timeout: Option<SimDuration>) -> JobSpec {
     let user = reg.user(name);
     let group = reg.group_of(user);
     JobSpec {
@@ -53,7 +49,13 @@ fn negotiating_spec(
 
 fn filler(reg: &mut CredRegistry, cores: u32, secs: u64) -> JobSpec {
     let user = reg.user("filler");
-    JobSpec::rigid("filler", user, reg.group_of(user), cores, SimDuration::from_secs(secs))
+    JobSpec::rigid(
+        "filler",
+        user,
+        reg.group_of(user),
+        cores,
+        SimDuration::from_secs(secs),
+    )
 }
 
 /// Cluster: 2 nodes × 8 = 16 cores. The evolving job holds 8; a filler
@@ -62,8 +64,14 @@ fn scenario(timeout: Option<SimDuration>, filler_secs: u64) -> BatchSim {
     let mut reg = CredRegistry::new();
     let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), hp_sched());
     sim.load(&[
-        WorkloadItem { at: SimTime::ZERO, spec: negotiating_spec(&mut reg, "nego", timeout) },
-        WorkloadItem { at: SimTime::ZERO, spec: filler(&mut reg, 8, filler_secs) },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: negotiating_spec(&mut reg, "nego", timeout),
+        },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: filler(&mut reg, 8, filler_secs),
+        },
     ]);
     sim
 }
@@ -86,7 +94,10 @@ fn negotiated_request_granted_when_resources_free_up() {
     let mut sim = scenario(Some(SimDuration::from_secs(400)), 300);
     sim.run();
     assert_eq!(sim.stats().dyn_granted, 1);
-    assert!(sim.stats().dyn_deferred >= 1, "it waited at least one cycle");
+    assert!(
+        sim.stats().dyn_deferred >= 1,
+        "it waited at least one cycle"
+    );
     assert_eq!(sim.stats().dyn_expired, 0);
     let outcomes = sim.server().accounting().outcomes();
     let nego = outcomes.iter().find(|o| o.name == "nego").unwrap();
@@ -123,18 +134,34 @@ fn negotiation_respects_fairness_once_resources_appear() {
     let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), sched);
     let waiter = {
         let user = reg.user("waiter");
-        JobSpec::rigid("waiter", user, reg.group_of(user), 8, SimDuration::from_secs(500))
+        JobSpec::rigid(
+            "waiter",
+            user,
+            reg.group_of(user),
+            8,
+            SimDuration::from_secs(500),
+        )
     };
     sim.load(&[
         WorkloadItem {
             at: SimTime::ZERO,
             spec: negotiating_spec(&mut reg, "nego", Some(SimDuration::from_secs(600))),
         },
-        WorkloadItem { at: SimTime::ZERO, spec: filler(&mut reg, 8, 300) },
-        WorkloadItem { at: SimTime::from_secs(10), spec: waiter },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: filler(&mut reg, 8, 300),
+        },
+        WorkloadItem {
+            at: SimTime::from_secs(10),
+            spec: waiter,
+        },
     ]);
     sim.run();
-    assert_eq!(sim.stats().dyn_granted, 0, "fairness holds through negotiation");
+    assert_eq!(
+        sim.stats().dyn_granted,
+        0,
+        "fairness holds through negotiation"
+    );
     assert_eq!(sim.stats().dyn_expired, 1);
     // And the protected waiter indeed started as soon as the filler ended.
     let outcomes = sim.server().accounting().outcomes();
@@ -156,7 +183,9 @@ fn daemon_negotiated_roundtrip() {
         class: JobClass::Rigid,
         cores,
         walltime: SimDuration::from_millis(ms),
-        exec: ExecutionModel::Fixed { duration: SimDuration::from_millis(ms) },
+        exec: ExecutionModel::Fixed {
+            duration: SimDuration::from_millis(ms),
+        },
         priority_boost: 0,
         suppress_backfill_while_queued: false,
         malleable: None,
@@ -181,8 +210,14 @@ fn daemon_negotiated_roundtrip() {
         TmResponse::DynGranted { added } => assert_eq!(added.total_cores(), 8),
         other => panic!("expected negotiated grant, got {other:?}"),
     }
-    assert!(waited >= Duration::from_millis(100), "actually waited: {waited:?}");
-    assert!(waited < Duration::from_secs(2), "granted before expiry: {waited:?}");
+    assert!(
+        waited >= Duration::from_millis(100),
+        "actually waited: {waited:?}"
+    );
+    assert!(
+        waited < Duration::from_secs(2),
+        "granted before expiry: {waited:?}"
+    );
 
     // A second negotiated request can only expire (machine is full now).
     let t0 = std::time::Instant::now();

@@ -45,7 +45,10 @@ fn static_jobs_never_enter_the_partition() {
     // a (12) starts first; b (4) cannot share the instant because only
     // 16 − 4(partition) − 12 = 0 cores remain for static work.
     assert_eq!(a.start_time, SimTime::ZERO);
-    assert_eq!(b.start_time, a.end_time, "b waits for a despite idle partition cores");
+    assert_eq!(
+        b.start_time, a.end_time,
+        "b waits for a despite idle partition cores"
+    );
 }
 
 #[test]
@@ -83,9 +86,16 @@ fn partition_serves_dynamic_requests_without_delay_charges() {
     sim.run();
     let outcomes = sim.server().accounting().outcomes();
     let grower = outcomes.iter().find(|o| o.name == "grower").unwrap();
-    assert_eq!(grower.dyn_grants, 1, "partition grant under a 1 s fairness cap");
+    assert_eq!(
+        grower.dyn_grants, 1,
+        "partition grant under a 1 s fairness cap"
+    );
     assert_eq!(grower.cores_final, 12);
-    assert_eq!(sim.stats().delay_charged_ms, 0, "partition grants are delay-free");
+    assert_eq!(
+        sim.stats().delay_charged_ms,
+        0,
+        "partition grants are delay-free"
+    );
 }
 
 #[test]
@@ -129,7 +139,11 @@ fn without_partition_the_same_grant_is_refused() {
         "granting the free cores would delay the waiter past the 1 s cap"
     );
     assert!(sim.stats().dyn_rejected_fairness >= 1);
-    assert_eq!(waiter.start_time, SimTime::from_secs(160), "waiter protected");
+    assert_eq!(
+        waiter.start_time,
+        SimTime::from_secs(160),
+        "waiter protected"
+    );
 }
 
 #[test]

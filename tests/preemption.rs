@@ -57,15 +57,26 @@ fn scenario(preempt: bool) -> BatchSim {
 fn preemption_feeds_the_dynamic_request() {
     let mut sim = scenario(true);
     sim.run();
-    assert_eq!(sim.stats().preemptions, 1, "the backfilled filler was preempted");
+    assert_eq!(
+        sim.stats().preemptions,
+        1,
+        "the backfilled filler was preempted"
+    );
     let outcomes = sim.server().accounting().outcomes();
     let grower = outcomes.iter().find(|o| o.name == "grower").unwrap();
     assert_eq!(grower.dyn_grants, 1);
     assert_eq!(grower.cores_final, 16);
     // The preempted filler restarted from scratch and still completed.
     let filler = outcomes.iter().find(|o| o.name == "filler").unwrap();
-    assert_eq!(filler.runtime(), SimDuration::from_secs(400), "full rerun after requeue");
-    assert!(filler.start_time > SimTime::from_secs(2), "not its original start");
+    assert_eq!(
+        filler.runtime(),
+        SimDuration::from_secs(400),
+        "full rerun after requeue"
+    );
+    assert!(
+        filler.start_time > SimTime::from_secs(2),
+        "not its original start"
+    );
     // Everyone finished; the books balance.
     assert_eq!(outcomes.len(), 3);
     sim.server().cluster().check_invariants().unwrap();
@@ -81,7 +92,11 @@ fn without_preemption_the_request_fails() {
     assert_eq!(grower.dyn_grants, 0);
     assert_eq!(grower.runtime(), SimDuration::from_secs(1000), "ran static");
     let filler = outcomes.iter().find(|o| o.name == "filler").unwrap();
-    assert_eq!(filler.start_time, SimTime::from_secs(2), "backfill undisturbed");
+    assert_eq!(
+        filler.start_time,
+        SimTime::from_secs(2),
+        "backfill undisturbed"
+    );
 }
 
 #[test]
@@ -94,9 +109,14 @@ fn walltime_reaper_kills_overrunning_jobs() {
     let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), sched(false));
     let mut spec = JobSpec::rigid("overrun", u, g, 8, SimDuration::from_secs(100));
     spec.walltime = SimDuration::from_secs(50);
-    spec.exec = ExecutionModel::Fixed { duration: SimDuration::from_secs(100) };
+    spec.exec = ExecutionModel::Fixed {
+        duration: SimDuration::from_secs(100),
+    };
     sim.load(&[
-        WorkloadItem { at: SimTime::ZERO, spec },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec,
+        },
         WorkloadItem {
             at: SimTime::ZERO,
             spec: JobSpec::rigid("honest", u, g, 8, SimDuration::from_secs(30)),
@@ -105,7 +125,11 @@ fn walltime_reaper_kills_overrunning_jobs() {
     sim.run();
     assert_eq!(sim.stats().walltime_kills, 1);
     // The killed job is Cancelled, not Completed; the honest one finished.
-    let overrun = sim.server().jobs().find(|j| j.spec.name == "overrun").unwrap();
+    let overrun = sim
+        .server()
+        .jobs()
+        .find(|j| j.spec.name == "overrun")
+        .unwrap();
     assert_eq!(overrun.state, dynbatch::core::JobState::Cancelled);
     assert_eq!(
         overrun.end_time.unwrap(),

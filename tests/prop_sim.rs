@@ -3,10 +3,10 @@
 //! hold.
 
 use dynbatch::cluster::Cluster;
+use dynbatch::core::testkit::{check, TestRng};
 use dynbatch::core::{CredRegistry, DfsConfig, SchedulerConfig, SimDuration};
 use dynbatch::sim::BatchSim;
 use dynbatch::workload::{generate_synthetic, SyntheticConfig};
-use proptest::prelude::*;
 
 fn sched(cap: Option<u64>, preempt: bool) -> SchedulerConfig {
     let mut s = SchedulerConfig::paper_eval();
@@ -18,17 +18,15 @@ fn sched(cap: Option<u64>, preempt: bool) -> SchedulerConfig {
     s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+#[test]
+fn random_workloads_preserve_invariants() {
+    check(24, 0x51u64, |rng: &mut TestRng| {
+        let seed = rng.below(1_000_000);
+        let jobs = rng.range_usize(5, 60);
+        let evolving_fraction = rng.f64();
+        let cap = rng.chance(0.5).then(|| rng.range(10, 2000));
+        let preempt = rng.chance(0.5);
 
-    #[test]
-    fn random_workloads_preserve_invariants(
-        seed in 0u64..1_000_000,
-        jobs in 5usize..60,
-        evolving_fraction in 0.0f64..1.0,
-        cap in prop::option::of(10u64..2000),
-        preempt in any::<bool>(),
-    ) {
         let mut reg = CredRegistry::new();
         let wl = generate_synthetic(
             &SyntheticConfig {
@@ -44,25 +42,28 @@ proptest! {
         sim.run();
 
         // 1. Every job reached a terminal state and the cluster drained.
-        prop_assert!(sim.server().is_drained());
-        prop_assert_eq!(sim.server().cluster().idle_cores(), 120);
-        sim.server().cluster().check_invariants().map_err(|e| {
-            TestCaseError::fail(format!("cluster invariant: {e}"))
-        })?;
+        assert!(sim.server().is_drained());
+        assert_eq!(sim.server().cluster().idle_cores(), 120);
+        if let Err(e) = sim.server().cluster().check_invariants() {
+            panic!("cluster invariant: {e}");
+        }
 
         // 2. Accounting is complete and causally sane.
         let outcomes = sim.server().accounting().outcomes();
-        prop_assert_eq!(outcomes.len() as u64 + sim.stats().walltime_kills, jobs as u64);
+        assert_eq!(
+            outcomes.len() as u64 + sim.stats().walltime_kills,
+            jobs as u64
+        );
         for o in outcomes {
-            prop_assert!(o.start_time >= o.submit_time, "{:?}", o.id);
-            prop_assert!(o.end_time > o.start_time, "{:?}", o.id);
-            prop_assert!(o.cores_final >= o.cores_requested);
-            prop_assert!(o.dyn_grants <= o.dyn_requests);
+            assert!(o.start_time >= o.submit_time, "{:?}", o.id);
+            assert!(o.end_time > o.start_time, "{:?}", o.id);
+            assert!(o.cores_final >= o.cores_requested);
+            assert!(o.dyn_grants <= o.dyn_requests);
         }
 
         // 3. Utilization is a fraction; busy time never exceeds capacity.
         let util = sim.utilization().utilization(sim.last_completion());
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&util), "util {util}");
+        assert!((0.0..=1.0 + 1e-9).contains(&util), "util {util}");
 
         // 4. Makespan is bounded below by perfect packing of the work
         //    actually performed.
@@ -71,26 +72,35 @@ proptest! {
             .last_completion()
             .duration_since(sim.first_submit())
             .as_secs_f64();
-        prop_assert!(makespan + 1.0 >= core_secs / 120.0, "{makespan} vs {core_secs}");
+        assert!(
+            makespan + 1.0 >= core_secs / 120.0,
+            "{makespan} vs {core_secs}"
+        );
 
         // 5. Grant accounting matches per-job records.
         let grants: u32 = outcomes.iter().map(|o| o.dyn_grants).sum();
-        prop_assert_eq!(grants as u64, sim.stats().dyn_granted);
-    }
+        assert_eq!(grants as u64, sim.stats().dyn_granted);
+    });
+}
 
-    #[test]
-    fn more_resources_never_hurt_makespan_for_rigid_fifo(
-        seed in 0u64..100_000,
-        jobs in 5usize..40,
-    ) {
+#[test]
+fn more_resources_never_hurt_makespan_for_rigid_fifo() {
+    check(12, 0x600D, |rng: &mut TestRng| {
         // With rigid jobs only and identical scheduling, a strictly larger
         // cluster finishes no later (monotonicity sanity of the whole
         // pipeline). Backfill can reorder under equal capacity, but added
         // capacity only removes constraints here because priorities are
         // FIFO and job runtimes are fixed.
+        let seed = rng.below(100_000);
+        let jobs = rng.range_usize(5, 40);
         let mut reg = CredRegistry::new();
         let wl = generate_synthetic(
-            &SyntheticConfig { seed, jobs, evolving_fraction: 0.0, ..Default::default() },
+            &SyntheticConfig {
+                seed,
+                jobs,
+                evolving_fraction: 0.0,
+                ..Default::default()
+            },
             &mut reg,
         );
         let run = |nodes: u32| {
@@ -101,6 +111,6 @@ proptest! {
         };
         let small = run(15);
         let huge = run(60);
-        prop_assert!(huge <= small, "60 nodes {huge} vs 15 nodes {small}");
-    }
+        assert!(huge <= small, "60 nodes {huge} vs 15 nodes {small}");
+    });
 }

@@ -35,7 +35,10 @@ fn synthetic_swf(n: usize) -> String {
 fn swf_trace_runs_to_completion() {
     let text = synthetic_swf(80);
     let mut reg = CredRegistry::new();
-    let cfg = SwfConfig { evolving_fraction: 0.3, ..Default::default() };
+    let cfg = SwfConfig {
+        evolving_fraction: 0.3,
+        ..Default::default()
+    };
     let wl = parse_swf(&text, &cfg, &mut reg).expect("parse");
     assert_eq!(wl.len(), 80);
 
@@ -60,7 +63,10 @@ fn swf_walltime_padding_matters() {
     };
     let run = |use_requested| {
         let mut reg = CredRegistry::new();
-        let cfg = SwfConfig { use_requested_walltime: use_requested, ..Default::default() };
+        let cfg = SwfConfig {
+            use_requested_walltime: use_requested,
+            ..Default::default()
+        };
         let wl = parse_swf(&text, &cfg, &mut reg).unwrap();
         run_experiment(&ExperimentConfig::paper_cluster("swf", sched.clone()), &wl)
     };
