@@ -1,14 +1,37 @@
 //! The threaded deployment: server thread, mom threads, client handle.
+//!
+//! ## Threading model
+//!
+//! An ensemble runs exactly `nodes + 2` threads (+1 with fault injection):
+//! one server, one mom per node, the server's [`TimerService`] worker, and
+//! — when a [`FaultPlan`] is configured — the chaos postman. Every thread
+//! is named with the ensemble's [`DaemonHandle::thread_tag`] prefix and is
+//! joined by [`DaemonHandle::shutdown`]; a drained-and-shut-down ensemble
+//! leaves zero live threads (the chaos suite asserts this by scanning
+//! `/proc/self/task`).
+//!
+//! All deadlines — app exits (the "application" is a timer running the
+//! job's modelled duration) and negotiation expiries — live in the one
+//! timer service and are cancellable. Firings carry the generation (app
+//! timers) or request sequence number (expiry timers) they were armed
+//! against, and the server drops firings whose tag no longer matches, so
+//! a stale timer can never kill a restarted job or reject a granted
+//! request.
 
+use crate::fault::{Chaos, ChaosCore, FaultPlan, MomLink, ServerLink};
+use crate::timer::{TimerHandle, TimerId, TimerService};
 use crate::wire::{ClientReq, MomMsg, PeerMsg, ServerCmd};
 use dynbatch_cluster::{Allocation, Cluster};
-use dynbatch_core::{JobId, JobSpec, JobState, NodeId, SchedulerConfig, SimTime};
-use dynbatch_sched::Maui;
+use dynbatch_core::{
+    JobId, JobOutcome, JobSpec, JobState, NodeId, SchedulerConfig, SimTime, UserId,
+};
+use dynbatch_sched::{FairshareTracker, Maui};
 use dynbatch_server::{
     Applied, Mom, MomOutput, MomToServer, PbsServer, ServerToMom, TmRequest, TmResponse,
 };
-use std::collections::HashMap;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::thread::{self, JoinHandle};
@@ -23,6 +46,8 @@ pub struct DaemonConfig {
     pub cores_per_node: u32,
     /// Scheduler configuration.
     pub sched: SchedulerConfig,
+    /// Optional fault-injection plan for the channel layer.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for DaemonConfig {
@@ -31,9 +56,14 @@ impl Default for DaemonConfig {
             nodes: 15,
             cores_per_node: 8,
             sched: SchedulerConfig::paper_eval(),
+            faults: None,
         }
     }
 }
+
+/// Distinguishes ensembles within one process, so thread names (15-char
+/// budget) stay unique across concurrently running tests.
+static ENSEMBLE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Client handle to a running daemon ensemble.
 ///
@@ -44,56 +74,86 @@ impl Default for DaemonConfig {
 /// point: the Fig 12 overhead study measures these real hops.
 pub struct DaemonHandle {
     server_tx: Sender<ServerCmd>,
-    mom_txs: Vec<Sender<MomMsg>>,
+    mom_links: Vec<MomLink>,
+    raw_mom_txs: Vec<Sender<MomMsg>>,
     ms_directory: Arc<Mutex<HashMap<JobId, NodeId>>>,
     threads: Vec<JoinHandle<()>>,
+    chaos: Option<Chaos>,
+    tag: String,
 }
 
 impl DaemonHandle {
     /// Boots the ensemble: one server thread plus one mom thread per node.
     pub fn start(config: DaemonConfig) -> Self {
+        let ens = ENSEMBLE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tag = format!("pbs{ens}.");
         let (server_tx, server_rx) = channel::<ServerCmd>();
-        let mut mom_txs = Vec::new();
+        let mut raw_mom_txs = Vec::new();
         let mut mom_rxs = Vec::new();
         for _ in 0..config.nodes {
             let (tx, rx) = channel::<MomMsg>();
-            mom_txs.push(tx);
+            raw_mom_txs.push(tx);
             mom_rxs.push(rx);
         }
+        // The chaos postman delivers onto the *raw* senders: a faulted
+        // message passes through the fault layer exactly once.
+        let chaos = config.faults.clone().map(|plan| {
+            Chaos::start(
+                plan,
+                &format!("{tag}post"),
+                server_tx.clone(),
+                raw_mom_txs.clone(),
+            )
+        });
+        let chaos_core: Option<Arc<ChaosCore>> = chaos.as_ref().map(|c| c.core());
+        let mom_links: Vec<MomLink> = raw_mom_txs
+            .iter()
+            .enumerate()
+            .map(|(i, tx)| MomLink::new(i, tx.clone(), chaos_core.clone()))
+            .collect();
         let ms_directory: Arc<Mutex<HashMap<JobId, NodeId>>> = Arc::default();
 
         let mut threads = Vec::new();
         // Mom threads.
         for (i, rx) in mom_rxs.into_iter().enumerate() {
-            let server_tx = server_tx.clone();
-            let peers: Vec<Sender<MomMsg>> = mom_txs.clone();
+            let server = ServerLink::new(server_tx.clone(), chaos_core.clone());
+            let peers = mom_links.clone();
             threads.push(
                 thread::Builder::new()
-                    .name(format!("pbs_mom.{i}"))
-                    .spawn(move || mom_main(NodeId(i as u32), rx, server_tx, peers))
+                    .name(format!("{tag}mom{i}"))
+                    .spawn(move || mom_main(NodeId(i as u32), rx, server, peers))
                     .expect("spawn mom"),
             );
         }
         // Server thread.
         {
-            let mom_txs = mom_txs.clone();
+            let moms = mom_links.clone();
             let ms_dir = Arc::clone(&ms_directory);
-            let server_tx_for_timers = server_tx.clone();
+            let self_tx = server_tx.clone();
+            let tag = tag.clone();
             threads.push(
                 thread::Builder::new()
-                    .name("pbs_server".into())
-                    .spawn(move || {
-                        server_main(config, server_rx, server_tx_for_timers, mom_txs, ms_dir)
-                    })
+                    .name(format!("{tag}srv"))
+                    .spawn(move || server_main(config, server_rx, self_tx, moms, ms_dir, tag))
                     .expect("spawn server"),
             );
         }
         DaemonHandle {
             server_tx,
-            mom_txs,
+            mom_links,
+            raw_mom_txs,
             ms_directory,
             threads,
+            chaos,
+            tag,
         }
+    }
+
+    /// The ensemble's thread-name prefix; every thread this handle owns is
+    /// named `{tag}…`, so a leak check can scan for survivors after
+    /// [`DaemonHandle::shutdown`].
+    pub fn thread_tag(&self) -> &str {
+        &self.tag
     }
 
     /// Submits a job (blocking).
@@ -126,7 +186,26 @@ impl DaemonHandle {
         rx.recv().ok().flatten()
     }
 
-    /// Polls until `job` reaches `state` or `timeout` elapses.
+    /// Blocks until `job` has started (true) or became terminal without
+    /// ever starting (false) — event-driven, no polling.
+    pub fn await_running(&self, job: JobId, timeout: Duration) -> bool {
+        let (tx, rx) = channel();
+        if self
+            .server_tx
+            .send(ServerCmd::Client(ClientReq::AwaitRunning {
+                job,
+                reply: tx,
+            }))
+            .is_err()
+        {
+            return false;
+        }
+        rx.recv_timeout(timeout).unwrap_or(false)
+    }
+
+    /// Polls until `job` reaches `state` or `timeout` elapses. Prefer
+    /// [`DaemonHandle::await_running`] / [`DaemonHandle::await_drained`]
+    /// where they fit — this exists for states they cannot express.
     pub fn wait_for_state(&self, job: JobId, state: JobState, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         while Instant::now() < deadline {
@@ -174,19 +253,14 @@ impl DaemonHandle {
             return TmResponse::DynDenied;
         };
         let (tx, rx) = channel();
-        if self.mom_txs[ms.0 as usize]
-            .send(MomMsg::Tm {
-                job,
-                req: TmRequest::DynGet {
-                    extra_cores,
-                    timeout,
-                },
-                reply: tx,
-            })
-            .is_err()
-        {
-            return TmResponse::DynDenied;
-        }
+        self.mom_links[ms.0 as usize].send(MomMsg::Tm {
+            job,
+            req: TmRequest::DynGet {
+                extra_cores,
+                timeout,
+            },
+            reply: tx,
+        });
         rx.recv().unwrap_or(TmResponse::DynDenied)
     }
 
@@ -204,16 +278,11 @@ impl DaemonHandle {
             return TmResponse::DynDenied;
         };
         let (tx, rx) = channel();
-        if self.mom_txs[ms.0 as usize]
-            .send(MomMsg::Tm {
-                job,
-                req: TmRequest::DynFree { released },
-                reply: tx,
-            })
-            .is_err()
-        {
-            return TmResponse::DynDenied;
-        }
+        self.mom_links[ms.0 as usize].send(MomMsg::Tm {
+            job,
+            req: TmRequest::DynFree { released },
+            reply: tx,
+        });
         rx.recv().unwrap_or(TmResponse::DynDenied)
     }
 
@@ -230,16 +299,123 @@ impl DaemonHandle {
         rx.recv_timeout(timeout).is_ok()
     }
 
-    /// Stops all daemons and joins their threads.
+    /// Snapshot of the accounting log (completed-job outcomes).
+    pub fn outcomes(&self) -> Vec<JobOutcome> {
+        let (tx, rx) = channel();
+        if self
+            .server_tx
+            .send(ServerCmd::Client(ClientReq::Outcomes { reply: tx }))
+            .is_err()
+        {
+            return Vec::new();
+        }
+        rx.recv().unwrap_or_default()
+    }
+
+    /// Total core-seconds the fairshare tracker has charged to `user`.
+    pub fn fairshare_charged(&self, user: UserId) -> f64 {
+        let (tx, rx) = channel();
+        if self
+            .server_tx
+            .send(ServerCmd::Client(ClientReq::FairshareCharged {
+                user,
+                reply: tx,
+            }))
+            .is_err()
+        {
+            return 0.0;
+        }
+        rx.recv().unwrap_or(0.0)
+    }
+
+    /// Stops all daemons and joins their threads (server, moms, timer
+    /// worker, chaos postman) — nothing outlives the handle.
     pub fn shutdown(self) {
+        // Control messages go down the raw channels: shutdown must work
+        // even under a message-dropping fault plan.
         let _ = self.server_tx.send(ServerCmd::Shutdown);
-        for tx in &self.mom_txs {
+        for tx in &self.raw_mom_txs {
             let _ = tx.send(MomMsg::Shutdown);
         }
         for t in self.threads {
             let _ = t.join();
         }
+        drop(self.mom_links);
+        if let Some(chaos) = self.chaos {
+            chaos.shutdown();
+        }
     }
+}
+
+/// Per-job fairshare cursor: tracks the constant-width segment currently
+/// being accumulated.
+#[derive(Debug, Clone, Copy)]
+struct UsageCursor {
+    user: UserId,
+    cores: u32,
+    since: SimTime,
+}
+
+/// Charges fairshare usage in constant-width segments: whenever a job's
+/// core count changes (grant, free, resize) the segment ending now is
+/// charged at its actual width, then a new segment opens. Previously the
+/// daemon charged `final cores × whole runtime`, overcharging every job
+/// that grew mid-run (and undercharging shrinkers).
+#[derive(Debug, Default)]
+struct UsageLedger {
+    cursors: HashMap<JobId, UsageCursor>,
+}
+
+impl UsageLedger {
+    /// A job started (or restarted): open its first segment.
+    fn open(&mut self, job: JobId, user: UserId, cores: u32, now: SimTime) {
+        self.cursors.insert(
+            job,
+            UsageCursor {
+                user,
+                cores,
+                since: now,
+            },
+        );
+    }
+
+    /// The job's width changed: charge the closing segment at its actual
+    /// width and open the next one.
+    fn resize(&mut self, job: JobId, new_cores: u32, now: SimTime, fs: &mut FairshareTracker) {
+        if let Some(c) = self.cursors.get_mut(&job) {
+            fs.charge_span(c.user, c.cores, now.duration_since(c.since));
+            c.cores = new_cores;
+            c.since = now;
+        }
+    }
+
+    /// The job left the machine (finish, preempt, qdel): charge the final
+    /// segment and drop the cursor.
+    fn close(&mut self, job: JobId, now: SimTime, fs: &mut FairshareTracker) {
+        if let Some(c) = self.cursors.remove(&job) {
+            fs.charge_span(c.user, c.cores, now.duration_since(c.since));
+        }
+    }
+}
+
+/// The server daemon's state: `pbs_server` + Maui + the timer bookkeeping
+/// that makes firings cancellable and stale-proof.
+struct ServerDaemon {
+    server: PbsServer,
+    maui: Maui,
+    moms: Vec<MomLink>,
+    ms_directory: Arc<Mutex<HashMap<JobId, NodeId>>>,
+    timers: TimerHandle<ServerCmd>,
+    /// The app-exit timer of each running job.
+    app_timers: HashMap<JobId, TimerId>,
+    /// The negotiation-expiry timer of each pending dynamic request.
+    dyn_timers: HashMap<JobId, TimerId>,
+    /// Run generation per job: bumped at every (re)start; app-exit firings
+    /// carrying an older generation are stale and dropped.
+    job_gen: HashMap<JobId, u64>,
+    ledger: UsageLedger,
+    run_waiters: Vec<(JobId, Sender<bool>)>,
+    drain_waiters: Vec<Sender<()>>,
 }
 
 /// The server daemon: owns `pbs_server` and the Maui scheduler; every
@@ -248,216 +424,331 @@ fn server_main(
     config: DaemonConfig,
     rx: Receiver<ServerCmd>,
     self_tx: Sender<ServerCmd>,
-    mom_txs: Vec<Sender<MomMsg>>,
+    moms: Vec<MomLink>,
     ms_directory: Arc<Mutex<HashMap<JobId, NodeId>>>,
+    tag: String,
 ) {
+    // Timer firings are delivered into the server's own queue on the raw
+    // sender: deadlines are trusted infrastructure, never faulted.
+    let timers = TimerService::start(&format!("{tag}tmr"), move |cmd| {
+        let _ = self_tx.send(cmd);
+    });
     let cluster = Cluster::homogeneous(config.nodes, config.cores_per_node);
     let alloc_policy = config.sched.alloc;
-    let mut server = PbsServer::new(cluster, alloc_policy);
-    let mut maui = Maui::new(config.sched);
+    let mut d = ServerDaemon {
+        server: PbsServer::new(cluster, alloc_policy),
+        maui: Maui::new(config.sched),
+        moms,
+        ms_directory,
+        timers: timers.handle(),
+        app_timers: HashMap::new(),
+        dyn_timers: HashMap::new(),
+        job_gen: HashMap::new(),
+        ledger: UsageLedger::default(),
+        run_waiters: Vec::new(),
+        drain_waiters: Vec::new(),
+    };
     let epoch = Instant::now();
-    let now = move || SimTime::from_millis(epoch.elapsed().as_millis() as u64);
-    let mut drain_waiters: Vec<Sender<()>> = Vec::new();
-    let mut job_gen: HashMap<JobId, u64> = HashMap::new();
-
     while let Ok(cmd) = rx.recv() {
-        let t = now();
-        let mut state_changed = true;
-        match cmd {
-            ServerCmd::Client(ClientReq::QSub { spec, reply }) => {
-                let res = server.qsub(*spec, t).map_err(|e| e.to_string());
-                let _ = reply.send(res);
-            }
-            ServerCmd::Client(ClientReq::QDel { job, reply }) => {
-                let res = server.qdel(job, t).map_err(|e| e.to_string());
-                let _ = reply.send(res);
-            }
-            ServerCmd::Client(ClientReq::QStat { job, reply }) => {
-                let _ = reply.send(server.job(job).map(|j| j.state).ok());
-                state_changed = false;
-            }
-            ServerCmd::Client(ClientReq::AwaitDrained { reply }) => {
-                drain_waiters.push(reply);
-                state_changed = false;
-            }
-            ServerCmd::FromMom(MomToServer::DynRequest {
-                job,
-                extra_cores,
-                timeout,
-            }) => {
-                // tm_dynget landed: DynQueued + immediate scheduling cycle
-                // (paper: "This triggers a new scheduling cycle").
-                let deadline = timeout.map(|w| t + w);
-                let res = server.tm_dynget_negotiated(job, extra_cores, deadline, t);
-                if res.is_ok() {
-                    if let Some(d) = deadline {
-                        // Negotiation expiry timer: wakes the server at the
-                        // deadline to time the request out if still pending.
-                        let tx = self_tx.clone();
-                        let wait = Duration::from_millis(d.duration_since(t).as_millis());
-                        thread::Builder::new()
-                            .name(format!("dyn-expire.{}", job.0))
-                            .spawn(move || {
-                                thread::sleep(wait);
-                                let _ = tx.send(ServerCmd::ExpireDyn(job));
-                            })
-                            .expect("spawn expiry timer");
-                    }
+        let t = SimTime::from_millis(epoch.elapsed().as_millis() as u64);
+        if !d.handle(cmd, t) {
+            break;
+        }
+        d.flush_waiters();
+    }
+    // Joins the worker; pending app/dyn deadlines die with it.
+    timers.shutdown();
+}
+
+impl ServerDaemon {
+    /// Processes one command; returns `false` on shutdown.
+    fn handle(&mut self, cmd: ServerCmd, t: SimTime) -> bool {
+        let state_changed = match cmd {
+            ServerCmd::Client(req) => self.handle_client(req, t),
+            ServerCmd::FromMom(m) => self.handle_mom(m, t),
+            ServerCmd::JobExited(job, gen) => {
+                // Stale firing (job preempted & restarted since this timer
+                // was armed): the generation no longer matches — drop it.
+                if self.job_gen.get(&job).copied() == Some(gen) {
+                    self.finish_job(job, t)
                 } else {
-                    // Already pending or not running: deny straight back.
-                    if let Some(&ms) = ms_directory.lock().unwrap().get(&job) {
-                        let _ = mom_txs[ms.0 as usize]
-                            .send(MomMsg::FromServer(ServerToMom::DynReject { job }));
-                    }
-                    state_changed = false;
+                    false
                 }
             }
-            ServerCmd::ExpireDyn(job) => {
-                let expired = server.expire_dyn_requests(t);
-                if expired.contains(&job) {
-                    if let Some(&ms) = ms_directory.lock().unwrap().get(&job) {
-                        let _ = mom_txs[ms.0 as usize]
-                            .send(MomMsg::FromServer(ServerToMom::DynReject { job }));
-                    }
-                } else {
-                    state_changed = false;
-                }
+            ServerCmd::ExpireDyn { job, seq } => self.handle_expiry(job, seq, t),
+            ServerCmd::MomRestarted(node) => {
+                self.handle_mom_restart(node);
+                false
             }
-            ServerCmd::FromMom(MomToServer::DynFree { job, released }) => {
-                let _ = server.tm_dynfree(job, &released, t);
+            ServerCmd::Shutdown => return false,
+        };
+        if state_changed {
+            self.cycle(t);
+        }
+        true
+    }
+
+    fn handle_client(&mut self, req: ClientReq, t: SimTime) -> bool {
+        match req {
+            ClientReq::QSub { spec, reply } => {
+                let res = self.server.qsub(*spec, t).map_err(|e| e.to_string());
+                let _ = reply.send(res);
+                true
             }
-            ServerCmd::FromMom(MomToServer::JobStarted {
-                job,
-                mother_superior,
-            }) => {
-                ms_directory.lock().unwrap().insert(job, mother_superior);
-                state_changed = false;
-            }
-            ServerCmd::FromMom(MomToServer::JobFinished { job }) | ServerCmd::JobExited(job) => {
-                // Ignore exits of jobs that already left (preempted timer).
-                if server
+            ClientReq::QDel { job, reply } => {
+                let was_active = self
+                    .server
                     .job(job)
                     .map(|j| j.state.is_active())
-                    .unwrap_or(false)
-                {
-                    let user = server.job(job).expect("checked").spec.user;
-                    let start = server.job(job).expect("checked").start_time;
-                    let cores = server.job(job).expect("checked").cores_allocated;
-                    server.job_finished(job, t).expect("active job finishes");
-                    maui.dfs_mut().job_left_queue(job);
-                    if let Some(s) = start {
-                        maui.fairshare_mut()
-                            .charge_span(user, cores, t.duration_since(s));
-                    }
-                    if let Some(&ms) = ms_directory.lock().unwrap().get(&job) {
-                        let _ = mom_txs[ms.0 as usize]
+                    .unwrap_or(false);
+                let res = self.server.qdel(job, t).map_err(|e| e.to_string());
+                let ok = res.is_ok();
+                if ok && was_active {
+                    // A running job dies with its charges settled, its
+                    // timers disarmed and its mom told to kill the app.
+                    self.ledger.close(job, t, self.maui.fairshare_mut());
+                    self.cancel_timers(job);
+                    let ms = self.ms_directory.lock().unwrap().remove(&job);
+                    if let Some(ms) = ms {
+                        self.moms[ms.0 as usize]
                             .send(MomMsg::FromServer(ServerToMom::KillJob { job }));
                     }
-                } else {
-                    state_changed = false;
                 }
+                let _ = reply.send(res);
+                ok
             }
-            ServerCmd::Shutdown => break,
-        }
-
-        if state_changed {
-            run_cycle(
-                &mut server,
-                &mut maui,
-                t,
-                &mom_txs,
-                &ms_directory,
-                &self_tx,
-                &mut job_gen,
-            );
-        }
-        if !drain_waiters.is_empty() && server.is_drained() {
-            for w in drain_waiters.drain(..) {
-                let _ = w.send(());
+            ClientReq::QStat { job, reply } => {
+                let _ = reply.send(self.server.job(job).map(|j| j.state).ok());
+                false
+            }
+            ClientReq::AwaitRunning { job, reply } => {
+                // Parked; resolved by flush_waiters after this command.
+                self.run_waiters.push((job, reply));
+                false
+            }
+            ClientReq::AwaitDrained { reply } => {
+                self.drain_waiters.push(reply);
+                false
+            }
+            ClientReq::Outcomes { reply } => {
+                let _ = reply.send(self.server.accounting().outcomes().to_vec());
+                false
+            }
+            ClientReq::FairshareCharged { user, reply } => {
+                let _ = reply.send(self.maui.fairshare().charged(user));
+                false
             }
         }
     }
-}
 
-fn run_cycle(
-    server: &mut PbsServer,
-    maui: &mut Maui,
-    now: SimTime,
-    mom_txs: &[Sender<MomMsg>],
-    ms_directory: &Arc<Mutex<HashMap<JobId, NodeId>>>,
-    self_tx: &Sender<ServerCmd>,
-    job_gen: &mut HashMap<JobId, u64>,
-) {
-    let snapshot = server.snapshot(now);
-    let outcome = maui.iterate(&snapshot);
-    let applied = server.apply(&outcome, now);
-    for action in applied {
-        match action {
-            Applied::Started { job, alloc, .. } => {
-                let ms = alloc.entries().next().expect("non-empty allocation").0;
-                ms_directory.lock().unwrap().insert(job, ms);
-                let _ = mom_txs[ms.0 as usize]
-                    .send(MomMsg::FromServer(ServerToMom::RunJob { job, alloc }));
-                // The "application": a timer that exits after the job's
-                // modelled runtime (1 SimTime ms == 1 wall ms here).
-                let gen = {
-                    let g = job_gen.entry(job).or_insert(0);
-                    *g += 1;
-                    *g
-                };
-                let dur = {
-                    let j = server.job(job).expect("started job exists");
-                    j.spec.exec.static_duration(j.cores_allocated)
-                };
-                let tx = self_tx.clone();
-                let dir = Arc::clone(ms_directory);
-                let expect_gen = gen;
-                thread::Builder::new()
-                    .name(format!("app.{}", job.0))
-                    .spawn(move || {
-                        thread::sleep(Duration::from_millis(dur.as_millis()));
-                        // Stale timers (job preempted & restarted) are
-                        // filtered by the generation map snapshot below.
-                        let _ = dir; // directory kept alive for symmetry
-                        let _ = expect_gen;
-                        let _ = tx.send(ServerCmd::JobExited(job));
-                    })
-                    .expect("spawn app timer");
-            }
-            Applied::DynGranted { job, added } => {
-                if let Some(&ms) = ms_directory.lock().unwrap().get(&job) {
-                    let _ = mom_txs[ms.0 as usize]
-                        .send(MomMsg::FromServer(ServerToMom::DynJoin { job, added }));
-                }
-            }
-            Applied::DynRejected { job, .. } => {
-                if let Some(&ms) = ms_directory.lock().unwrap().get(&job) {
-                    let _ = mom_txs[ms.0 as usize]
-                        .send(MomMsg::FromServer(ServerToMom::DynReject { job }));
-                }
-            }
-            Applied::DynDeferred { .. } => {
-                // Negotiation: the request stays pending at the server; the
-                // application keeps waiting on its TM reply channel until a
-                // later cycle grants it or the expiry timer fires.
-            }
-            Applied::Preempted { job } => {
-                if let Some(ms) = ms_directory.lock().unwrap().remove(&job) {
-                    let _ = mom_txs[ms.0 as usize]
-                        .send(MomMsg::FromServer(ServerToMom::KillJob { job }));
-                }
-            }
-            Applied::Resized {
+    fn handle_mom(&mut self, msg: MomToServer, t: SimTime) -> bool {
+        match msg {
+            MomToServer::DynRequest {
                 job,
-                from_cores,
-                to_cores,
-                changed,
+                extra_cores,
+                timeout,
             } => {
-                // Keep the mother superior's hostlist current. Note the
-                // daemon's app timers are not re-paced by resizes (the
-                // virtual-time simulator models work-pool speedups; here a
-                // job runs its submitted duration).
-                if let Some(&ms) = ms_directory.lock().unwrap().get(&job) {
+                // tm_dynget landed: DynQueued + immediate scheduling cycle
+                // (paper: "This triggers a new scheduling cycle").
+                let deadline = timeout.map(|w| t + w);
+                let res = self
+                    .server
+                    .tm_dynget_negotiated(job, extra_cores, deadline, t);
+                if res.is_ok() {
+                    if let Some(d) = deadline {
+                        let seq = self
+                            .server
+                            .pending_dyn_seq(job)
+                            .expect("request just queued");
+                        self.arm_dyn_timer(job, seq, d, t);
+                    }
+                    true
+                } else {
+                    // Already pending or not running: deny straight back.
+                    self.send_to_ms(job, ServerToMom::DynReject { job });
+                    false
+                }
+            }
+            MomToServer::DynFree { job, released } => {
+                if self.server.tm_dynfree(job, &released, t).is_ok() {
+                    let cores = self.server.job(job).expect("active job").cores_allocated;
+                    self.ledger.resize(job, cores, t, self.maui.fairshare_mut());
+                }
+                true
+            }
+            MomToServer::JobStarted {
+                job,
+                mother_superior,
+            } => {
+                self.ms_directory
+                    .lock()
+                    .unwrap()
+                    .insert(job, mother_superior);
+                false
+            }
+            MomToServer::JobFinished { job } => self.finish_job(job, t),
+        }
+    }
+
+    /// A negotiation-expiry firing. A no-op unless the *exact* request it
+    /// was armed for (`seq`) is still pending and past its deadline — a
+    /// grant, rejection or supersession in the meantime wins the race.
+    fn handle_expiry(&mut self, job: JobId, seq: u64, t: SimTime) -> bool {
+        if self.server.expire_dyn_request(job, seq, t) {
+            self.dyn_timers.remove(&job);
+            self.send_to_ms(job, ServerToMom::DynReject { job });
+            true
+        } else if self.server.pending_dyn_seq(job) == Some(seq) {
+            // Fired a hair before the deadline (SimTime truncates to whole
+            // milliseconds): re-arm rather than leak a pending request.
+            let id = self
+                .timers
+                .schedule(Duration::from_millis(2), ServerCmd::ExpireDyn { job, seq });
+            self.dyn_timers.insert(job, id);
+            false
+        } else {
+            false
+        }
+    }
+
+    /// A mom lost its state and restarted: re-send `RunJob` for every
+    /// active job it mothers so it can rebuild its hostlists. (App
+    /// processes survive the mom's restart — their deadlines live in the
+    /// server's timer service — so this is pure state repair.)
+    fn handle_mom_restart(&mut self, node: NodeId) {
+        let mothered: Vec<JobId> = self
+            .ms_directory
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|&(_, &ms)| ms == node)
+            .map(|(&job, _)| job)
+            .collect();
+        for job in mothered {
+            let active = self
+                .server
+                .job(job)
+                .map(|j| j.state.is_active())
+                .unwrap_or(false);
+            if !active {
+                continue;
+            }
+            if let Some(alloc) = self.server.cluster().allocation_of(job) {
+                self.moms[node.0 as usize].send(MomMsg::FromServer(ServerToMom::RunJob {
+                    job,
+                    alloc: alloc.clone(),
+                }));
+            }
+        }
+    }
+
+    /// Shared completion path (mom report or app-exit timer): settle the
+    /// ledger, finish at the server, disarm timers, kill the app remnant.
+    fn finish_job(&mut self, job: JobId, t: SimTime) -> bool {
+        let active = self
+            .server
+            .job(job)
+            .map(|j| j.state.is_active())
+            .unwrap_or(false);
+        if !active {
+            return false;
+        }
+        self.ledger.close(job, t, self.maui.fairshare_mut());
+        self.server
+            .job_finished(job, t)
+            .expect("active job finishes");
+        self.maui.dfs_mut().job_left_queue(job);
+        self.cancel_timers(job);
+        let ms = self.ms_directory.lock().unwrap().remove(&job);
+        if let Some(ms) = ms {
+            self.moms[ms.0 as usize].send(MomMsg::FromServer(ServerToMom::KillJob { job }));
+        }
+        true
+    }
+
+    /// One scheduling cycle: snapshot → Maui iteration → apply, then fan
+    /// the applied actions out to the moms.
+    fn cycle(&mut self, now: SimTime) {
+        let snapshot = self.server.snapshot(now);
+        let outcome = self.maui.iterate(&snapshot);
+        let applied = self.server.apply(&outcome, now);
+        for action in applied {
+            match action {
+                Applied::Started { job, alloc, .. } => {
+                    let ms = alloc.entries().next().expect("non-empty allocation").0;
+                    self.ms_directory.lock().unwrap().insert(job, ms);
+                    let (user, cores, dur) = {
+                        let j = self.server.job(job).expect("started job exists");
+                        (
+                            j.spec.user,
+                            j.cores_allocated,
+                            j.spec.exec.static_duration(j.cores_allocated),
+                        )
+                    };
+                    self.moms[ms.0 as usize]
+                        .send(MomMsg::FromServer(ServerToMom::RunJob { job, alloc }));
+                    // The "application": a cancellable deadline that exits
+                    // after the job's modelled runtime (1 SimTime ms == 1
+                    // wall ms here), tagged with this run's generation.
+                    let gen = {
+                        let g = self.job_gen.entry(job).or_insert(0);
+                        *g += 1;
+                        *g
+                    };
+                    self.ledger.open(job, user, cores, now);
+                    let id = self.timers.schedule(
+                        Duration::from_millis(dur.as_millis()),
+                        ServerCmd::JobExited(job, gen),
+                    );
+                    if let Some(old) = self.app_timers.insert(job, id) {
+                        self.timers.cancel(old);
+                    }
+                }
+                Applied::DynGranted { job, added } => {
+                    if let Some(id) = self.dyn_timers.remove(&job) {
+                        self.timers.cancel(id);
+                    }
+                    let cores = self
+                        .server
+                        .job(job)
+                        .expect("granted job exists")
+                        .cores_allocated;
+                    self.ledger
+                        .resize(job, cores, now, self.maui.fairshare_mut());
+                    self.send_to_ms(job, ServerToMom::DynJoin { job, added });
+                }
+                Applied::DynRejected { job, .. } => {
+                    if let Some(id) = self.dyn_timers.remove(&job) {
+                        self.timers.cancel(id);
+                    }
+                    self.send_to_ms(job, ServerToMom::DynReject { job });
+                }
+                Applied::DynDeferred { .. } => {
+                    // Negotiation: the request stays pending at the server;
+                    // the application keeps waiting on its TM reply channel
+                    // until a later cycle grants it or the expiry fires.
+                }
+                Applied::Preempted { job } => {
+                    self.cancel_timers(job);
+                    self.ledger.close(job, now, self.maui.fairshare_mut());
+                    let ms = self.ms_directory.lock().unwrap().remove(&job);
+                    if let Some(ms) = ms {
+                        self.moms[ms.0 as usize]
+                            .send(MomMsg::FromServer(ServerToMom::KillJob { job }));
+                    }
+                }
+                Applied::Resized {
+                    job,
+                    from_cores,
+                    to_cores,
+                    changed,
+                } => {
+                    // Keep the mother superior's hostlist current. Note the
+                    // daemon's app timers are not re-paced by resizes (the
+                    // virtual-time simulator models work-pool speedups;
+                    // here a job runs its submitted duration).
+                    self.ledger
+                        .resize(job, to_cores, now, self.maui.fairshare_mut());
                     let msg = if to_cores > from_cores {
                         ServerToMom::DynJoin {
                             job,
@@ -469,93 +760,328 @@ fn run_cycle(
                             released: changed,
                         }
                     };
-                    let _ = mom_txs[ms.0 as usize].send(MomMsg::FromServer(msg));
+                    self.send_to_ms(job, msg);
                 }
+            }
+        }
+    }
+
+    fn arm_dyn_timer(&mut self, job: JobId, seq: u64, deadline: SimTime, now: SimTime) {
+        // +1 ms guards the SimTime floor: never fire before the deadline.
+        let wait = Duration::from_millis(deadline.duration_since(now).as_millis() + 1);
+        let id = self
+            .timers
+            .schedule(wait, ServerCmd::ExpireDyn { job, seq });
+        if let Some(old) = self.dyn_timers.insert(job, id) {
+            self.timers.cancel(old);
+        }
+    }
+
+    fn cancel_timers(&mut self, job: JobId) {
+        if let Some(id) = self.app_timers.remove(&job) {
+            self.timers.cancel(id);
+        }
+        if let Some(id) = self.dyn_timers.remove(&job) {
+            self.timers.cancel(id);
+        }
+    }
+
+    fn send_to_ms(&self, job: JobId, msg: ServerToMom) {
+        if let Some(&ms) = self.ms_directory.lock().unwrap().get(&job) {
+            self.moms[ms.0 as usize].send(MomMsg::FromServer(msg));
+        }
+    }
+
+    /// Resolves parked `AwaitRunning` / `AwaitDrained` calls against the
+    /// current server state.
+    fn flush_waiters(&mut self) {
+        let server = &self.server;
+        self.run_waiters
+            .retain(|(job, reply)| match server.job(*job) {
+                Ok(j) if j.start_time.is_some() => {
+                    let _ = reply.send(true);
+                    false
+                }
+                Ok(j) if j.state.is_terminal() => {
+                    let _ = reply.send(false);
+                    false
+                }
+                Ok(_) => true,
+                Err(_) => {
+                    let _ = reply.send(false);
+                    false
+                }
+            });
+        if !self.drain_waiters.is_empty() && server.is_drained() {
+            for w in self.drain_waiters.drain(..) {
+                let _ = w.send(());
             }
         }
     }
 }
 
-/// One `pbs_mom` daemon: wraps the pure [`Mom`] state machine with the
-/// dyn_join fan-out (ping/ack every newly allocated node before answering
-/// the application — the real cost Fig 12 measures).
-fn mom_main(
-    node: NodeId,
-    rx: Receiver<MomMsg>,
-    server_tx: Sender<ServerCmd>,
-    peers: Vec<Sender<MomMsg>>,
-) {
-    let mut mom = Mom::new(node);
-    let mut tm_replies: HashMap<JobId, Sender<TmResponse>> = HashMap::new();
-    let mut pending_join: HashMap<JobId, (usize, Allocation)> = HashMap::new();
+/// Which pending TM call a response answers. `tm_dynget` and `tm_dynfree`
+/// replies are routed independently per job: a `tm_dynfree` issued while a
+/// negotiated `tm_dynget` is still pending must not steal (or clobber) the
+/// dynget's reply channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ReplyKind {
+    /// A `tm_dynget` (answered by `DynGranted` / `DynDenied`).
+    Get,
+    /// A `tm_dynfree` (answered by `Freed`).
+    Free,
+}
 
-    let route = |outputs: Vec<MomOutput>,
-                 tm_replies: &mut HashMap<JobId, Sender<TmResponse>>,
-                 server_tx: &Sender<ServerCmd>| {
-        for out in outputs {
-            match out {
-                MomOutput::ToServer(m) => {
-                    let _ = server_tx.send(ServerCmd::FromMom(m));
-                }
-                MomOutput::ToApp(job, resp) => {
-                    if let Some(reply) = tm_replies.remove(&job) {
-                        let _ = reply.send(resp);
-                    }
-                }
+impl ReplyKind {
+    fn of_request(req: &TmRequest) -> Self {
+        match req {
+            TmRequest::DynGet { .. } => ReplyKind::Get,
+            TmRequest::DynFree { .. } => ReplyKind::Free,
+        }
+    }
+
+    fn of_response(resp: &TmResponse) -> Self {
+        match resp {
+            TmResponse::DynGranted { .. } | TmResponse::DynDenied => ReplyKind::Get,
+            TmResponse::Freed => ReplyKind::Free,
+        }
+    }
+}
+
+/// Routes asynchronous TM responses back to the application calls that
+/// await them, keyed by `(job, kind)` with FIFO queues — replacing the
+/// single-slot `HashMap<JobId, Sender>` that let a later call overwrite
+/// an earlier call's pending reply channel.
+#[derive(Debug, Default)]
+struct ReplyRouter {
+    pending: HashMap<(JobId, ReplyKind), VecDeque<Sender<TmResponse>>>,
+}
+
+impl ReplyRouter {
+    /// Parks a caller until a response of the matching kind arrives.
+    fn register(&mut self, job: JobId, kind: ReplyKind, reply: Sender<TmResponse>) {
+        self.pending
+            .entry((job, kind))
+            .or_default()
+            .push_back(reply);
+    }
+
+    /// Delivers a response to the oldest caller awaiting its kind; a
+    /// response nobody awaits (e.g. a grant whose caller was failed over
+    /// a mom restart) is dropped.
+    fn deliver(&mut self, job: JobId, resp: TmResponse) {
+        let key = (job, ReplyKind::of_response(&resp));
+        if let Some(q) = self.pending.get_mut(&key) {
+            if let Some(reply) = q.pop_front() {
+                let _ = reply.send(resp);
+            }
+            if q.is_empty() {
+                self.pending.remove(&key);
             }
         }
-    };
+    }
 
-    while let Ok(msg) = rx.recv() {
+    /// Fails every parked caller (mom crash): dynget callers are denied,
+    /// dynfree callers acked — the release already took effect locally.
+    fn fail_all(&mut self) {
+        for ((_, kind), q) in self.pending.drain() {
+            let resp = match kind {
+                ReplyKind::Get => TmResponse::DynDenied,
+                ReplyKind::Free => TmResponse::Freed,
+            };
+            for reply in q {
+                let _ = reply.send(resp.clone());
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn pending_count(&self) -> usize {
+        self.pending.values().map(|q| q.len()).sum()
+    }
+}
+
+/// Base retransmission interval of an unacked dyn_join ping.
+const JOIN_RETRY_BASE_MS: u64 = 8;
+/// Backoff ceiling: `8 ms << 5` = 256 ms between retries.
+const JOIN_RETRY_MAX_SHIFT: u32 = 5;
+
+/// One in-flight dyn_join fan-out at a mother superior.
+struct PendingJoin {
+    /// The fan-out round; acks from older rounds are ignored.
+    round: u64,
+    /// The allocation being joined (answered to the app when complete).
+    added: Allocation,
+    /// Nodes whose ack is still outstanding (set semantics: a duplicated
+    /// ack counts once).
+    unacked: BTreeSet<NodeId>,
+    /// Retries so far (drives exponential backoff).
+    attempt: u32,
+    /// When to retransmit next.
+    next_retry: Instant,
+}
+
+/// One `pbs_mom` daemon: wraps the pure [`Mom`] state machine with the
+/// dyn_join fan-out (ping/ack every newly allocated node before answering
+/// the application — the real cost Fig 12 measures). Pings are
+/// retransmitted with exponential backoff until acked, so the fan-out
+/// survives dropped peer messages.
+fn mom_main(node: NodeId, rx: Receiver<MomMsg>, server: ServerLink, peers: Vec<MomLink>) {
+    let mut mom = Mom::new(node);
+    let mut replies = ReplyRouter::default();
+    let mut joins: HashMap<JobId, PendingJoin> = HashMap::new();
+    let mut round: u64 = 0;
+    loop {
+        // Retransmit overdue pings (ack timeout + exponential backoff).
+        let now = Instant::now();
+        for (&job, pj) in joins.iter_mut() {
+            if pj.next_retry <= now {
+                for &peer in &pj.unacked {
+                    peers[peer.0 as usize].send(MomMsg::Peer(PeerMsg::JoinPing {
+                        job,
+                        round: pj.round,
+                        reply_to: node,
+                    }));
+                }
+                pj.attempt += 1;
+                let backoff = Duration::from_millis(
+                    JOIN_RETRY_BASE_MS << pj.attempt.min(JOIN_RETRY_MAX_SHIFT),
+                );
+                pj.next_retry = now + backoff;
+            }
+        }
+        let next_retry = joins.values().map(|pj| pj.next_retry).min();
+        let msg = match next_retry {
+            Some(at) => match rx.recv_timeout(at.saturating_duration_since(Instant::now())) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            },
+            None => match rx.recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            },
+        };
         match msg {
             MomMsg::FromServer(ServerToMom::DynJoin { job, added }) => {
                 // dyn_join: every newly allocated host joins the group
                 // before the application gets its hostlist.
-                let others: Vec<NodeId> = added
+                let mut added = added;
+                if let Some(stale) = joins.remove(&job) {
+                    // A second join while one is in flight (e.g. a resize
+                    // racing a grant): fan out the union under a new round.
+                    added.merge(&stale.added);
+                }
+                let others: BTreeSet<NodeId> = added
                     .entries()
                     .map(|(n, _)| n)
                     .filter(|&n| n != node)
                     .collect();
                 if others.is_empty() {
                     let out = mom.handle_server(ServerToMom::DynJoin { job, added });
-                    route(out, &mut tm_replies, &server_tx);
+                    route(out, &mut replies, &server);
                 } else {
-                    pending_join.insert(job, (others.len(), added));
-                    for peer in others {
-                        let _ = peers[peer.0 as usize].send(MomMsg::Peer(PeerMsg::JoinPing {
+                    round += 1;
+                    for &peer in &others {
+                        peers[peer.0 as usize].send(MomMsg::Peer(PeerMsg::JoinPing {
                             job,
+                            round,
                             reply_to: node,
                         }));
                     }
+                    joins.insert(
+                        job,
+                        PendingJoin {
+                            round,
+                            added,
+                            unacked: others,
+                            attempt: 0,
+                            next_retry: Instant::now() + Duration::from_millis(JOIN_RETRY_BASE_MS),
+                        },
+                    );
                 }
             }
             MomMsg::FromServer(other) => {
                 let out = mom.handle_server(other);
-                route(out, &mut tm_replies, &server_tx);
+                route(out, &mut replies, &server);
             }
-            MomMsg::Peer(PeerMsg::JoinPing { job, reply_to }) => {
-                let _ = peers[reply_to.0 as usize].send(MomMsg::Peer(PeerMsg::JoinAck { job }));
+            MomMsg::Peer(PeerMsg::JoinPing {
+                job,
+                round: ping_round,
+                reply_to,
+            }) => {
+                peers[reply_to.0 as usize].send(MomMsg::Peer(PeerMsg::JoinAck {
+                    job,
+                    round: ping_round,
+                    from: node,
+                }));
             }
-            MomMsg::Peer(PeerMsg::JoinAck { job }) => {
-                let complete = match pending_join.get_mut(&job) {
-                    Some((need, _)) => {
-                        *need -= 1;
-                        *need == 0
+            MomMsg::Peer(PeerMsg::JoinAck {
+                job,
+                round: ack_round,
+                from,
+            }) => {
+                let complete = match joins.get_mut(&job) {
+                    Some(pj) => {
+                        if pj.round == ack_round {
+                            pj.unacked.remove(&from);
+                        }
+                        pj.unacked.is_empty()
                     }
                     None => false,
                 };
                 if complete {
-                    let (_, added) = pending_join.remove(&job).expect("present");
-                    let out = mom.handle_server(ServerToMom::DynJoin { job, added });
-                    route(out, &mut tm_replies, &server_tx);
+                    let pj = joins.remove(&job).expect("present");
+                    let out = mom.handle_server(ServerToMom::DynJoin {
+                        job,
+                        added: pj.added,
+                    });
+                    route(out, &mut replies, &server);
                 }
             }
             MomMsg::Tm { job, req, reply } => {
-                tm_replies.insert(job, reply);
-                let out = mom.handle_tm(job, req);
-                route(out, &mut tm_replies, &server_tx);
+                let kind = ReplyKind::of_request(&req);
+                let outs = mom.handle_tm(job, req);
+                // Any response the mom emits synchronously for this job
+                // answers *this* call; only an unanswered caller is parked.
+                let mut direct = Some(reply);
+                for out in outs {
+                    match out {
+                        MomOutput::ToServer(m) => server.send(ServerCmd::FromMom(m)),
+                        MomOutput::ToApp(j, resp) => {
+                            if j == job {
+                                if let Some(tx) = direct.take() {
+                                    let _ = tx.send(resp);
+                                    continue;
+                                }
+                            }
+                            replies.deliver(j, resp);
+                        }
+                    }
+                }
+                if let Some(tx) = direct {
+                    replies.register(job, kind, tx);
+                }
+            }
+            MomMsg::Crash => {
+                // The mom "process" dies: every parked TM caller is failed
+                // back to its application, in-flight fan-outs are lost, and
+                // the fresh mom asks the server to replay its jobs.
+                replies.fail_all();
+                joins.clear();
+                mom = Mom::new(node);
+                server.send(ServerCmd::MomRestarted(node));
             }
             MomMsg::Shutdown => break,
+        }
+    }
+}
+
+fn route(outputs: Vec<MomOutput>, replies: &mut ReplyRouter, server: &ServerLink) {
+    for out in outputs {
+        match out {
+            MomOutput::ToServer(m) => server.send(ServerCmd::FromMom(m)),
+            MomOutput::ToApp(job, resp) => replies.deliver(job, resp),
         }
     }
 }
@@ -591,6 +1117,7 @@ mod tests {
             nodes,
             cores_per_node: 8,
             sched,
+            faults: None,
         }
     }
 
@@ -598,8 +1125,9 @@ mod tests {
     fn submit_run_finish() {
         let d = DaemonHandle::start(hp_config(4));
         let id = d.qsub(spec("demo", 8, 50)).expect("qsub");
-        assert!(d.wait_for_state(id, JobState::Running, Duration::from_secs(2)));
-        assert!(d.wait_for_state(id, JobState::Completed, Duration::from_secs(2)));
+        assert!(d.await_running(id, Duration::from_secs(2)));
+        assert!(d.await_drained(Duration::from_secs(2)));
+        assert_eq!(d.qstat(id), Some(JobState::Completed));
         d.shutdown();
     }
 
@@ -608,7 +1136,7 @@ mod tests {
         let d = DaemonHandle::start(hp_config(4));
         // A long-running 8-core job on a 32-core system.
         let id = d.qsub(spec("app", 8, 5_000)).expect("qsub");
-        assert!(d.wait_for_state(id, JobState::Running, Duration::from_secs(2)));
+        assert!(d.await_running(id, Duration::from_secs(2)));
         let (resp, latency) = d.tm_dynget_timed(id, 8);
         match resp {
             TmResponse::DynGranted { added } => assert_eq!(added.total_cores(), 8),
@@ -619,6 +1147,7 @@ mod tests {
             "sub-second overhead: {latency:?}"
         );
         let _ = d.qdel(id);
+        assert!(d.await_drained(Duration::from_secs(2)));
         d.shutdown();
     }
 
@@ -626,10 +1155,11 @@ mod tests {
     fn dynget_denied_when_full() {
         let d = DaemonHandle::start(hp_config(2));
         let id = d.qsub(spec("big", 16, 5_000)).expect("qsub");
-        assert!(d.wait_for_state(id, JobState::Running, Duration::from_secs(2)));
+        assert!(d.await_running(id, Duration::from_secs(2)));
         let resp = d.tm_dynget(id, 4);
         assert!(matches!(resp, TmResponse::DynDenied), "{resp:?}");
         let _ = d.qdel(id);
+        assert!(d.await_drained(Duration::from_secs(2)));
         d.shutdown();
     }
 
@@ -637,7 +1167,7 @@ mod tests {
     fn dynfree_releases() {
         let d = DaemonHandle::start(hp_config(4));
         let id = d.qsub(spec("app", 16, 5_000)).expect("qsub");
-        assert!(d.wait_for_state(id, JobState::Running, Duration::from_secs(2)));
+        assert!(d.await_running(id, Duration::from_secs(2)));
         let (resp, _) = d.tm_dynget_timed(id, 8);
         let TmResponse::DynGranted { added } = resp else {
             panic!("grant expected");
@@ -645,6 +1175,7 @@ mod tests {
         let resp = d.tm_dynfree(id, added);
         assert!(matches!(resp, TmResponse::Freed), "{resp:?}");
         let _ = d.qdel(id);
+        assert!(d.await_drained(Duration::from_secs(2)));
         d.shutdown();
     }
 
@@ -656,5 +1187,157 @@ mod tests {
         }
         assert!(d.await_drained(Duration::from_secs(5)));
         d.shutdown();
+    }
+
+    #[test]
+    fn await_running_false_for_never_started() {
+        let d = DaemonHandle::start(hp_config(1));
+        let blocker = d.qsub(spec("blocker", 8, 400)).expect("qsub");
+        assert!(d.await_running(blocker, Duration::from_secs(2)));
+        // Queued behind the blocker, then deleted before it can start.
+        let doomed = d.qsub(spec("doomed", 8, 100)).expect("qsub");
+        d.qdel(doomed).expect("qdel queued job");
+        assert!(!d.await_running(doomed, Duration::from_millis(500)));
+        assert_eq!(d.qstat(doomed), Some(JobState::Cancelled));
+        assert!(d.await_drained(Duration::from_secs(2)));
+        d.shutdown();
+    }
+
+    // ------------------------------------------------------------------
+    // ReplyRouter: the reply-channel clobbering fix, unit level.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn reply_router_keys_get_and_free_independently() {
+        let mut r = ReplyRouter::default();
+        let job = JobId(1);
+        let (get_tx, get_rx) = channel();
+        let (free_tx, free_rx) = channel();
+        // A dynget parks first, then a dynfree parks for the same job —
+        // the pre-fix single-slot map would overwrite the dynget sender.
+        r.register(job, ReplyKind::Get, get_tx);
+        r.register(job, ReplyKind::Free, free_tx);
+        r.deliver(job, TmResponse::Freed);
+        assert!(matches!(free_rx.try_recv(), Ok(TmResponse::Freed)));
+        assert!(get_rx.try_recv().is_err(), "dynget reply still parked");
+        r.deliver(
+            job,
+            TmResponse::DynGranted {
+                added: Allocation::from_pairs([(NodeId(2), 4)]),
+            },
+        );
+        match get_rx.try_recv() {
+            Ok(TmResponse::DynGranted { added }) => assert_eq!(added.total_cores(), 4),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(r.pending_count(), 0);
+    }
+
+    #[test]
+    fn reply_router_is_fifo_within_a_kind_and_drops_unaddressed() {
+        let mut r = ReplyRouter::default();
+        let job = JobId(3);
+        let (a_tx, a_rx) = channel();
+        let (b_tx, b_rx) = channel();
+        r.register(job, ReplyKind::Get, a_tx);
+        r.register(job, ReplyKind::Get, b_tx);
+        r.deliver(job, TmResponse::DynDenied);
+        assert!(matches!(a_rx.try_recv(), Ok(TmResponse::DynDenied)));
+        assert!(b_rx.try_recv().is_err());
+        // A response for a job with no parked caller is dropped silently.
+        r.deliver(JobId(99), TmResponse::DynDenied);
+        r.deliver(job, TmResponse::DynDenied);
+        assert!(matches!(b_rx.try_recv(), Ok(TmResponse::DynDenied)));
+        assert_eq!(r.pending_count(), 0);
+    }
+
+    #[test]
+    fn reply_router_fail_all_unblocks_every_caller() {
+        let mut r = ReplyRouter::default();
+        let (get_tx, get_rx) = channel();
+        let (free_tx, free_rx) = channel();
+        r.register(JobId(1), ReplyKind::Get, get_tx);
+        r.register(JobId(2), ReplyKind::Free, free_tx);
+        r.fail_all();
+        assert!(matches!(get_rx.try_recv(), Ok(TmResponse::DynDenied)));
+        assert!(matches!(free_rx.try_recv(), Ok(TmResponse::Freed)));
+        assert_eq!(r.pending_count(), 0);
+    }
+
+    /// The end-to-end clobbering regression: a `tm_dynfree` issued while a
+    /// negotiated `tm_dynget` is parked must be acked immediately *and*
+    /// leave the dynget's reply channel intact for the eventual grant.
+    /// Pre-fix, the dynfree overwrote the parked sender and the dynget
+    /// caller hung forever.
+    #[test]
+    fn dynfree_does_not_clobber_pending_negotiated_dynget() {
+        let d = DaemonHandle::start(hp_config(2));
+        let id = d.qsub(spec("app", 16, 10_000)).expect("qsub");
+        assert!(d.await_running(id, Duration::from_secs(2)));
+
+        // Machine full: a negotiated +4 parks at the server.
+        let (tx, rx) = channel();
+        thread::scope(|s| {
+            s.spawn(|| {
+                let _ = tx.send(d.tm_dynget_negotiated(id, 4, Duration::from_secs(5)));
+            });
+            // Give the dynget time to land and park.
+            thread::sleep(Duration::from_millis(50));
+            // Free 4 cores (the 16-core job holds all of both nodes, so 4
+            // on node 0 is a valid proper subset): must be acked promptly,
+            // and the freed cores let the next cycle grant the parked
+            // request.
+            let part = {
+                let mut a = Allocation::empty();
+                a.add(NodeId(0), 4);
+                a
+            };
+            let freed = d.tm_dynfree(id, part);
+            assert!(matches!(freed, TmResponse::Freed), "{freed:?}");
+            let granted = rx.recv_timeout(Duration::from_secs(2)).unwrap_or_else(|_| {
+                // Pre-fix behaviour: the parked dynget lost its reply
+                // channel. Unstick the scope before failing.
+                let _ = d.qdel(id);
+                panic!("negotiated dynget reply was clobbered by tm_dynfree");
+            });
+            match granted {
+                TmResponse::DynGranted { added } => assert_eq!(added.total_cores(), 4),
+                other => panic!("expected grant after free, got {other:?}"),
+            }
+        });
+        let _ = d.qdel(id);
+        assert!(d.await_drained(Duration::from_secs(2)));
+        d.shutdown();
+    }
+
+    // ------------------------------------------------------------------
+    // UsageLedger: segment-based fairshare charging, unit level.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn ledger_charges_constant_width_segments() {
+        let mut fs = FairshareTracker::new(Default::default(), SimTime::ZERO);
+        let mut ledger = UsageLedger::default();
+        let (job, user) = (JobId(1), UserId(4));
+        ledger.open(job, user, 8, SimTime::from_millis(0));
+        // Doubles at the midpoint of a 300 ms run.
+        ledger.resize(job, 16, SimTime::from_millis(150), &mut fs);
+        ledger.close(job, SimTime::from_millis(300), &mut fs);
+        // 8 cores × 0.15 s + 16 cores × 0.15 s = 3.6 core·s — NOT the
+        // pre-fix 16 × 0.3 = 4.8.
+        assert!(
+            (fs.charged(user) - 3.6).abs() < 1e-9,
+            "{}",
+            fs.charged(user)
+        );
+    }
+
+    #[test]
+    fn ledger_close_without_open_is_a_noop() {
+        let mut fs = FairshareTracker::new(Default::default(), SimTime::ZERO);
+        let mut ledger = UsageLedger::default();
+        ledger.resize(JobId(9), 4, SimTime::from_millis(10), &mut fs);
+        ledger.close(JobId(9), SimTime::from_millis(20), &mut fs);
+        assert_eq!(fs.charged(UserId(0)), 0.0);
     }
 }

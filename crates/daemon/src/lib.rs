@@ -25,7 +25,11 @@
 #![forbid(unsafe_code)]
 
 pub mod daemon;
+pub mod fault;
+pub mod timer;
 pub mod wire;
 
 pub use daemon::{DaemonConfig, DaemonHandle};
+pub use fault::FaultPlan;
+pub use timer::{TimerHandle, TimerId, TimerService};
 pub use wire::{ClientReq, MomMsg, PeerMsg, ServerCmd};

@@ -1,11 +1,17 @@
 //! Channel message types for the threaded deployment.
+//!
+//! Every enum is `Clone` so the fault-injection harness ([`crate::fault`])
+//! can duplicate deliveries. Timer-originated commands carry the tag of
+//! the state they were armed against (`gen` for app-exit timers, `seq` for
+//! negotiation expiries): the server drops firings whose tag no longer
+//! matches, so a stale timer can never act on a successor run or request.
 
-use dynbatch_core::{JobId, JobSpec, JobState, NodeId};
+use dynbatch_core::{JobId, JobOutcome, JobSpec, JobState, NodeId, UserId};
 use dynbatch_server::{MomToServer, ServerToMom, TmResponse};
 use std::sync::mpsc::Sender;
 
 /// Client → server requests, each carrying its reply channel.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum ClientReq {
     /// Submit a job; replies with the assigned id (or an error string).
     QSub {
@@ -28,36 +34,77 @@ pub enum ClientReq {
         /// Reply channel.
         reply: Sender<Option<JobState>>,
     },
+    /// Start notification: replies `true` once the job has started (or
+    /// `false` if it became terminal without ever starting). Event-driven
+    /// — no polling.
+    AwaitRunning {
+        /// The job.
+        job: JobId,
+        /// Reply channel (fires when started or terminally not-started).
+        reply: Sender<bool>,
+    },
     /// Drain notification: replies once no job is queued or active.
     AwaitDrained {
         /// Reply channel (fires when drained).
         reply: Sender<()>,
     },
+    /// Snapshot of the accounting log (completed-job outcomes).
+    Outcomes {
+        /// Reply channel.
+        reply: Sender<Vec<JobOutcome>>,
+    },
+    /// Total core-seconds charged to a user by the fairshare tracker.
+    FairshareCharged {
+        /// The user.
+        user: UserId,
+        /// Reply channel.
+        reply: Sender<f64>,
+    },
 }
 
 /// Everything the server thread receives.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum ServerCmd {
     /// A client request.
     Client(ClientReq),
     /// A mom notification.
     FromMom(MomToServer),
-    /// An application exited (sent by the job timer).
-    JobExited(JobId),
-    /// A negotiated dynamic request's expiry timer fired.
-    ExpireDyn(JobId),
+    /// An application exited (sent by the job's app-exit timer). `gen` is
+    /// the run generation the timer was armed for; a firing whose `gen`
+    /// does not match the job's current generation is stale (the job was
+    /// preempted and restarted since) and is dropped.
+    JobExited(JobId, u64),
+    /// A negotiated dynamic request's expiry timer fired. `seq` identifies
+    /// the exact request the timer was armed for; expiry is a no-op once
+    /// that request left the pending set (granted, rejected, superseded).
+    ExpireDyn {
+        /// The job.
+        job: JobId,
+        /// The pending request's FIFO sequence number.
+        seq: u64,
+    },
+    /// A mom lost its state and restarted (fault injection); the server
+    /// re-sends `RunJob` for every active job mothered there.
+    MomRestarted(NodeId),
     /// Stop the daemon.
     Shutdown,
 }
 
 /// Mom-to-mom messages (the dyn_join fan-out).
+///
+/// Pings and acks are the one *expendable* message class: the mother
+/// superior retransmits unacked pings with exponential backoff, acks are
+/// idempotent (keyed by acker), and both carry the fan-out `round` so a
+/// late ack from a previous round cannot complete the current one.
 #[derive(Debug, Clone)]
 pub enum PeerMsg {
     /// "Join job `job`'s host group" — sent by the mother superior to each
-    /// newly allocated node during dyn_join.
+    /// newly allocated node during dyn_join; retransmitted until acked.
     JoinPing {
         /// The job being expanded.
         job: JobId,
+        /// The mother superior's fan-out round.
+        round: u64,
         /// Who to ack.
         reply_to: NodeId,
     },
@@ -65,11 +112,15 @@ pub enum PeerMsg {
     JoinAck {
         /// The job being expanded.
         job: JobId,
+        /// Echo of the ping's round.
+        round: u64,
+        /// The acking node (dedup key — duplicated acks count once).
+        from: NodeId,
     },
 }
 
 /// Everything a mom thread receives.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum MomMsg {
     /// A server command.
     FromServer(ServerToMom),
@@ -84,6 +135,10 @@ pub enum MomMsg {
         /// Where the TM response goes.
         reply: Sender<TmResponse>,
     },
+    /// Fault injection: the mom "process" dies and restarts, losing all
+    /// in-memory state. Pending TM calls are failed back to their
+    /// applications, then the mom announces [`ServerCmd::MomRestarted`].
+    Crash,
     /// Stop the mom.
     Shutdown,
 }

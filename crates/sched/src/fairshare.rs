@@ -64,6 +64,16 @@ impl FairshareTracker {
         self.charge(user, cores as f64 * span.as_secs_f64());
     }
 
+    /// Total core-seconds charged to `user` across all retained windows,
+    /// undecayed — raw bookkeeping, for accounting assertions (the
+    /// priority path uses [`FairshareTracker::usage_share`]).
+    pub fn charged(&self, user: UserId) -> f64 {
+        self.windows
+            .iter()
+            .map(|w| w.get(&user).copied().unwrap_or(0.0))
+            .sum()
+    }
+
     /// The user's decayed usage share across all retained windows,
     /// in `[0, 1]` (0 when the system has seen no usage at all).
     pub fn usage_share(&self, user: UserId) -> f64 {

@@ -216,6 +216,11 @@ impl Maui {
         &mut self.dfs
     }
 
+    /// The static-fairshare tracker (read-only).
+    pub fn fairshare(&self) -> &FairshareTracker {
+        &self.fairshare
+    }
+
     /// The static-fairshare tracker (the server charges usage here).
     pub fn fairshare_mut(&mut self) -> &mut FairshareTracker {
         &mut self.fairshare

@@ -91,17 +91,34 @@ impl Mom {
                     return vec![];
                 };
                 // dyn_join: the existing hosts and the new hosts merge into
-                // one allocation; the app receives the added hostlist.
+                // one allocation. Only an application that actually has a
+                // `tm_dynget()` in flight receives the added hostlist — a
+                // scheduler-initiated malleable grow (or a grant that raced
+                // a mom restart) updates the hostlist silently.
                 local.hostlist.merge(&added);
+                let was_in_flight = local.dyn_in_flight;
                 local.dyn_in_flight = false;
-                vec![MomOutput::ToApp(job, TmResponse::DynGranted { added })]
+                if was_in_flight {
+                    vec![MomOutput::ToApp(job, TmResponse::DynGranted { added })]
+                } else {
+                    vec![]
+                }
             }
             ServerToMom::DynReject { job } => {
                 let Some(local) = self.jobs.get_mut(&job) else {
                     return vec![];
                 };
+                // A stale rejection (e.g. an expiry that raced a grant the
+                // app already consumed) must not answer a request that is
+                // no longer in flight — it would steal the reply channel of
+                // the *next* request.
+                let was_in_flight = local.dyn_in_flight;
                 local.dyn_in_flight = false;
-                vec![MomOutput::ToApp(job, TmResponse::DynDenied)]
+                if was_in_flight {
+                    vec![MomOutput::ToApp(job, TmResponse::DynDenied)]
+                } else {
+                    vec![]
+                }
             }
             ServerToMom::DynDisjoin { job, released } => {
                 if let Some(local) = self.jobs.get_mut(&job) {
@@ -310,6 +327,26 @@ mod tests {
         ));
         assert!(matches!(out[1], MomOutput::ToApp(_, TmResponse::Freed)));
         assert_eq!(mom.hostlist(JobId(1)).unwrap().total_cores(), 8);
+    }
+
+    #[test]
+    fn stale_reject_and_unsolicited_join_stay_silent() {
+        let mut mom = Mom::new(NodeId(0));
+        mom.handle_server(ServerToMom::RunJob {
+            job: JobId(1),
+            alloc: alloc(&[(0, 8)]),
+        });
+        // No request in flight: a reject produces no app reply.
+        assert!(mom
+            .handle_server(ServerToMom::DynReject { job: JobId(1) })
+            .is_empty());
+        // A scheduler-initiated grow merges the hostlist but stays silent.
+        let out = mom.handle_server(ServerToMom::DynJoin {
+            job: JobId(1),
+            added: alloc(&[(3, 4)]),
+        });
+        assert!(out.is_empty(), "{out:?}");
+        assert_eq!(mom.hostlist(JobId(1)).unwrap().total_cores(), 12);
     }
 
     #[test]

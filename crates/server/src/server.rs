@@ -552,6 +552,39 @@ impl PbsServer {
         }
     }
 
+    /// The FIFO sequence number of `id`'s pending dynamic request, if one
+    /// is queued. Expiry timers capture this so a firing can be matched
+    /// against the *exact* request it was armed for (see
+    /// [`PbsServer::expire_dyn_request`]).
+    pub fn pending_dyn_seq(&self, id: JobId) -> Option<u64> {
+        self.dyn_pending.get(&id).map(|p| p.seq)
+    }
+
+    /// Times out one negotiated dynamic request, identified by `(id, seq)`.
+    ///
+    /// Returns `true` only when that exact request is still pending and its
+    /// deadline has passed — the job then returns to `Running` and the
+    /// caller must relay the denial. A request that was already granted,
+    /// rejected, or superseded by a newer request (different `seq`) makes
+    /// this a **no-op**: a stale expiry timer can never revoke a grant nor
+    /// kill a successor request (the grant-then-expiry race).
+    pub fn expire_dyn_request(&mut self, id: JobId, seq: u64, now: SimTime) -> bool {
+        let due = self
+            .dyn_pending
+            .get(&id)
+            .is_some_and(|p| p.seq == seq && p.deadline.is_some_and(|d| now >= d));
+        if !due {
+            return false;
+        }
+        self.dyn_pending.remove(&id);
+        if let Some(job) = self.jobs.get_mut(&id) {
+            if job.state == JobState::DynQueued {
+                job.state = JobState::Running;
+            }
+        }
+        true
+    }
+
     /// Times out negotiated dynamic requests whose deadline has passed:
     /// each expired job returns to `Running` and its application is told
     /// the request failed (it may retry). Returns the expired jobs.
@@ -833,6 +866,56 @@ mod tests {
         assert_eq!(s.job(evolving).unwrap().state, JobState::Running);
         // The snapshot carries no stale request afterwards.
         assert!(s.snapshot(t(501)).dyn_requests.is_empty());
+    }
+
+    #[test]
+    fn stale_expiry_never_revokes_a_grant_or_kills_a_successor() {
+        // Regression: the expiry path used to sweep *every* due request
+        // when any timer fired, so a stale timer could expire a request
+        // that had since been granted and replaced. Seq-matched expiry
+        // makes the stale firing a no-op.
+        let mut s = server();
+        let mut m = hp_maui();
+        let id = s
+            .qsub(
+                JobSpec::evolving(
+                    "F",
+                    UserId(6),
+                    GroupId(0),
+                    8,
+                    ExecutionModel::esp_evolving(1846, 1230, 4),
+                ),
+                t(0),
+            )
+            .unwrap();
+        cycle(&mut s, &mut m, t(0));
+
+        // First negotiated request: granted on the idle machine.
+        s.tm_dynget_negotiated(id, 4, Some(t(500)), t(100)).unwrap();
+        let seq1 = s.pending_dyn_seq(id).expect("pending");
+        let applied = cycle(&mut s, &mut m, t(100));
+        assert!(applied
+            .iter()
+            .any(|a| matches!(a, Applied::DynGranted { .. })));
+        // Its expiry timer fires after the grant: must be a no-op.
+        assert!(!s.expire_dyn_request(id, seq1, t(600)));
+        assert_eq!(s.job(id).unwrap().state, JobState::Running);
+
+        // A successor request must not be killable by the stale seq.
+        s.tm_dynget_negotiated(id, 4, Some(t(900)), t(700)).unwrap();
+        let seq2 = s.pending_dyn_seq(id).expect("pending again");
+        assert_ne!(seq1, seq2);
+        assert!(!s.expire_dyn_request(id, seq1, t(950)), "stale seq no-ops");
+        assert_eq!(s.job(id).unwrap().state, JobState::DynQueued);
+        // The matching (seq, past-deadline) firing does expire it.
+        assert!(s.expire_dyn_request(id, seq2, t(950)));
+        assert_eq!(s.job(id).unwrap().state, JobState::Running);
+        // And before its deadline, even the matching seq does nothing.
+        s.tm_dynget_negotiated(id, 4, Some(t(2000)), t(960))
+            .unwrap();
+        let seq3 = s.pending_dyn_seq(id).unwrap();
+        assert!(!s.expire_dyn_request(id, seq3, t(1000)));
+        assert_eq!(s.job(id).unwrap().state, JobState::DynQueued);
     }
 
     #[test]

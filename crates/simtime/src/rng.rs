@@ -46,6 +46,36 @@ impl SplitMix64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// A Bernoulli draw: true with probability `permille`/1000.
+    ///
+    /// `permille >= 1000` is always true, `0` never — so a zero-fault
+    /// plan consumes no randomness budget unevenly across classes.
+    pub fn chance_permille(&mut self, permille: u32) -> bool {
+        if permille == 0 {
+            return false;
+        }
+        if permille >= 1000 {
+            return true;
+        }
+        self.next_below(1000) < permille as u64
+    }
+
+    /// A statistically independent child generator for stream `label`.
+    ///
+    /// Deriving (rather than cloning) keeps sub-systems that draw at
+    /// different rates from perturbing each other's sequences — the
+    /// fault-injection harness derives one stream per concern.
+    pub fn derive(&self, label: u64) -> SplitMix64 {
+        let mut child = SplitMix64 {
+            state: self
+                .state
+                .wrapping_add(label.wrapping_mul(0xD1B5_4A32_D192_ED03)),
+        };
+        // One warm-up step decorrelates nearby labels.
+        let _ = child.next_u64();
+        child
+    }
+
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
@@ -108,5 +138,34 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn zero_bound_panics() {
         SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn chance_extremes_draw_nothing() {
+        let mut r = SplitMix64::new(11);
+        let before = r.next_u64();
+        let mut r = SplitMix64::new(11);
+        assert!(!r.chance_permille(0));
+        assert!(r.chance_permille(1000));
+        // Neither extreme consumed the stream.
+        assert_eq!(r.next_u64(), before);
+    }
+
+    #[test]
+    fn chance_rate_roughly_matches() {
+        let mut r = SplitMix64::new(5);
+        let hits = (0..10_000).filter(|_| r.chance_permille(250)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn derived_streams_are_deterministic_and_distinct() {
+        let root = SplitMix64::new(99);
+        let mut a1 = root.derive(1);
+        let mut a2 = root.derive(1);
+        let mut b = root.derive(2);
+        let x = a1.next_u64();
+        assert_eq!(x, a2.next_u64(), "same label, same stream");
+        assert_ne!(x, b.next_u64(), "different labels diverge");
     }
 }

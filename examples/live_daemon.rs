@@ -45,6 +45,7 @@ fn main() {
         nodes: 8,
         cores_per_node: 8,
         sched,
+        faults: None,
     });
     println!("booted: 1 pbs_server + 8 pbs_mom daemons (8 cores each)\n");
 

@@ -16,6 +16,9 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> chaos zero-fault smoke"
+cargo test -q --test chaos_daemon chaos_zero_fault
+
 echo "==> perf_smoke --quick"
 cargo run --release -q -p dynbatch-bench --bin perf_smoke -- --quick --out /tmp/BENCH_sched.quick.json
 

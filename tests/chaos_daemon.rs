@@ -1,0 +1,188 @@
+//! Chaos suite: the daemon protocol path under seeded fault injection.
+//!
+//! Every test drives the same submit / dynget / dynfree / preempt / qdel
+//! workload through a live ensemble while a seeded [`FaultPlan`] drops,
+//! delays, duplicates and reorders channel deliveries and crash-restarts
+//! moms. The interleaving-independent invariants asserted for every seed:
+//!
+//! 1. the ensemble **drains** — no lost message may wedge a job;
+//! 2. per-job **final states match the fault-free run** (everything
+//!    completes; the deliberately qdel'd job is cancelled);
+//! 3. `shutdown()` leaves **zero live daemon threads** (checked by
+//!    scanning `/proc/self/task` for the ensemble's thread-name tag).
+//!
+//! The 50 seeds are split across five `#[test]` functions so the sweep
+//! parallelises under the default test runner.
+
+use dynbatch::core::{
+    DfsConfig, ExecutionModel, GroupId, JobClass, JobSpec, JobState, SchedulerConfig, SimDuration,
+    UserId,
+};
+use dynbatch::daemon::{DaemonConfig, DaemonHandle, FaultPlan};
+use dynbatch::server::TmResponse;
+use std::time::Duration;
+
+fn rigid(name: &str, user: u32, cores: u32, millis: u64) -> JobSpec {
+    JobSpec {
+        name: name.into(),
+        user: UserId(user),
+        group: GroupId(0),
+        class: JobClass::Rigid,
+        cores,
+        walltime: SimDuration::from_millis(millis),
+        exec: ExecutionModel::Fixed {
+            duration: SimDuration::from_millis(millis),
+        },
+        priority_boost: 0,
+        suppress_backfill_while_queued: false,
+        malleable: None,
+        moldable: None,
+        dyn_timeout: None,
+    }
+}
+
+/// Daemon threads still alive that carry `tag` (ensemble thread prefix).
+fn tagged_threads(tag: &str) -> Vec<String> {
+    let mut live = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc/self/task") else {
+        return live; // not Linux: skip the leak check
+    };
+    for e in entries.flatten() {
+        if let Ok(name) = std::fs::read_to_string(e.path().join("comm")) {
+            let name = name.trim_end().to_string();
+            if name.starts_with(tag) {
+                live.push(name);
+            }
+        }
+    }
+    live
+}
+
+fn assert_no_tagged_threads(tag: &str) {
+    // A joined thread's /proc entry disappears promptly, but give the
+    // kernel a moment before declaring a leak.
+    for _ in 0..250 {
+        if tagged_threads(tag).is_empty() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!(
+        "daemon threads leaked past shutdown: {:?}",
+        tagged_threads(tag)
+    );
+}
+
+/// Runs the canonical workload under `plan` and returns each job's final
+/// state in submission order. Asserts drain and clean shutdown.
+fn run_workload(plan: FaultPlan) -> Vec<Option<JobState>> {
+    let mut sched = SchedulerConfig::paper_eval();
+    sched.dfs = DfsConfig::highest_priority();
+    sched.preempt_backfilled_for_dyn = true;
+    let seed = plan.seed;
+    let d = DaemonHandle::start(DaemonConfig {
+        nodes: 4,
+        cores_per_node: 8,
+        sched,
+        faults: Some(plan),
+    });
+    let tag = d.thread_tag().to_string();
+
+    // 32 cores. The grower holds 8; "blocked" (32 cores) reserves the
+    // whole machine behind it; three fillers backfill into the remaining
+    // 24, so the grower's +8 can only be fed by preempting one of them.
+    let grower = d.qsub(rigid("grower", 0, 8, 250)).unwrap();
+    assert!(
+        d.await_running(grower, Duration::from_secs(5)),
+        "seed {seed}: grower must start"
+    );
+    let blocked = d.qsub(rigid("blocked", 1, 32, 60)).unwrap();
+    let fillers: Vec<_> = (0..3)
+        .map(|i| {
+            d.qsub(rigid(&format!("filler{i}"), 2 + i, 8, 200 - 40 * i as u64))
+                .unwrap()
+        })
+        .collect();
+    // Queued with a 30 s walltime: can never backfill, gets qdel'd below.
+    let victim = d.qsub(rigid("victim", 9, 8, 30_000)).unwrap();
+
+    std::thread::sleep(Duration::from_millis(40));
+    // Under faults the reply may be a denial (e.g. the mother superior
+    // crashed mid-call) — the grant is not part of the invariant, the
+    // drain and final states are.
+    let granted = match d.tm_dynget(grower, 8) {
+        TmResponse::DynGranted { added } => Some(added),
+        _ => None,
+    };
+    std::thread::sleep(Duration::from_millis(80));
+    if let Some(added) = granted {
+        let _ = d.tm_dynfree(grower, added);
+    }
+    let _ = d.qdel(victim);
+
+    assert!(
+        d.await_drained(Duration::from_secs(10)),
+        "seed {seed}: ensemble must drain"
+    );
+    let mut ids = vec![grower, blocked];
+    ids.extend(fillers);
+    ids.push(victim);
+    let states: Vec<_> = ids.into_iter().map(|id| d.qstat(id)).collect();
+    d.shutdown();
+    assert_no_tagged_threads(&tag);
+    states
+}
+
+/// Fault-free reference, asserted against the scenario's intent so a
+/// silent workload drift cannot hollow out the sweep.
+fn baseline() -> Vec<Option<JobState>> {
+    let states = run_workload(FaultPlan::none(0));
+    let mut expected = vec![Some(JobState::Completed); 5];
+    expected.push(Some(JobState::Cancelled));
+    assert_eq!(states, expected, "fault-free run must complete everything");
+    states
+}
+
+fn sweep(seeds: std::ops::Range<u64>) {
+    let reference = baseline();
+    for seed in seeds {
+        let plan = FaultPlan::from_seed(seed, 4, Duration::from_millis(300));
+        let states = run_workload(plan);
+        assert_eq!(
+            states, reference,
+            "seed {seed} diverged from fault-free run"
+        );
+    }
+}
+
+/// The harness engaged but silent: behaviour must match no-harness runs.
+/// (`scripts/check.sh` runs this one as its quick smoke.)
+#[test]
+fn chaos_zero_fault_seed_matches_intent() {
+    baseline();
+}
+
+#[test]
+fn chaos_seeds_00_09() {
+    sweep(0..10);
+}
+
+#[test]
+fn chaos_seeds_10_19() {
+    sweep(10..20);
+}
+
+#[test]
+fn chaos_seeds_20_29() {
+    sweep(20..30);
+}
+
+#[test]
+fn chaos_seeds_30_39() {
+    sweep(30..40);
+}
+
+#[test]
+fn chaos_seeds_40_49() {
+    sweep(40..50);
+}

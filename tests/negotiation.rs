@@ -5,8 +5,8 @@
 
 use dynbatch::cluster::Cluster;
 use dynbatch::core::{
-    CredRegistry, DfsConfig, ExecutionModel, JobClass, JobSpec, JobState, SchedulerConfig,
-    SimDuration, SimTime, SpeedupModel, UserId,
+    CredRegistry, DfsConfig, ExecutionModel, JobClass, JobSpec, SchedulerConfig, SimDuration,
+    SimTime, SpeedupModel, UserId,
 };
 use dynbatch::daemon::{DaemonConfig, DaemonHandle};
 use dynbatch::server::TmResponse;
@@ -175,6 +175,7 @@ fn daemon_negotiated_roundtrip() {
         nodes: 2,
         cores_per_node: 8,
         sched: hp_sched(),
+        faults: None,
     });
     let mk = |name: &str, user: u32, cores: u32, ms: u64| JobSpec {
         name: name.into(),
@@ -193,10 +194,10 @@ fn daemon_negotiated_roundtrip() {
         dyn_timeout: None,
     };
     let app = d.qsub(mk("app", 0, 8, 60_000)).expect("qsub");
-    assert!(d.wait_for_state(app, JobState::Running, Duration::from_secs(2)));
+    assert!(d.await_running(app, Duration::from_secs(2)));
     // Fill the second node for ~200 ms.
     let blocker = d.qsub(mk("blocker", 1, 8, 200)).expect("qsub blocker");
-    assert!(d.wait_for_state(blocker, JobState::Running, Duration::from_secs(2)));
+    assert!(d.await_running(blocker, Duration::from_secs(2)));
 
     // Non-negotiated request fails immediately.
     assert!(matches!(d.tm_dynget(app, 8), TmResponse::DynDenied));
