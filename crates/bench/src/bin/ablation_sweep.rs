@@ -11,13 +11,17 @@
 //! * a malleable admixture — the future-work extension quantified.
 //!
 //! Each row is a full dynamic-ESP (or modified) run, averaged over seeds.
+//! The per-seed runs of a row are sharded over all cores by the
+//! deterministic sweep engine (`sim::sweep`) — row values are identical
+//! to the serial loop at any worker count; `--workers N` overrides the
+//! default of one worker per core.
 //!
 //! ```text
-//! cargo run --release -p dynbatch-bench --bin ablation_sweep [-- --seeds N]
+//! cargo run --release -p dynbatch-bench --bin ablation_sweep [-- --seeds N] [--workers W]
 //! ```
 
 use dynbatch_core::{CredRegistry, DfsConfig, JobClass, JobSpec, SchedulerConfig, SimDuration};
-use dynbatch_sim::{run_experiment, ExperimentConfig, ExperimentResult};
+use dynbatch_sim::{run_sweep, ExperimentConfig, ExperimentResult};
 use dynbatch_workload::{generate_esp, EspConfig};
 
 fn seeds_from_args() -> Vec<u64> {
@@ -29,6 +33,15 @@ fn seeds_from_args() -> Vec<u64> {
         }
         None => vec![1, 2, 3],
     }
+}
+
+fn workers_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0) // 0 = one worker per available core
 }
 
 struct Avg {
@@ -99,26 +112,29 @@ fn row(label: &str, a: &Avg) {
 
 fn run_many(
     seeds: &[u64],
-    wl_mut: impl Fn(&mut EspConfig),
+    wl_mut: impl Fn(&mut EspConfig) + Sync,
     sched_mut: impl Fn(&mut SchedulerConfig),
-    post: impl Fn(&mut Vec<dynbatch_workload::WorkloadItem>, &mut CredRegistry),
+    post: impl Fn(&mut Vec<dynbatch_workload::WorkloadItem>, &mut CredRegistry) + Sync,
 ) -> Avg {
-    let mut results = Vec::new();
-    for &seed in seeds {
-        let mut reg = CredRegistry::new();
-        let mut wl_cfg = EspConfig::paper_dynamic();
-        wl_cfg.seed = seed;
-        wl_mut(&mut wl_cfg);
-        let mut wl = generate_esp(&wl_cfg, &mut reg);
-        post(&mut wl, &mut reg);
-        let mut sched = SchedulerConfig::paper_eval();
-        sched.dfs = DfsConfig::uniform_target(200, SimDuration::from_hours(1));
-        sched_mut(&mut sched);
-        results.push(run_experiment(
-            &ExperimentConfig::paper_cluster("ablation", sched),
-            &wl,
-        ));
-    }
+    let mut sched = SchedulerConfig::paper_eval();
+    sched.dfs = DfsConfig::uniform_target(200, SimDuration::from_hours(1));
+    sched_mut(&mut sched);
+    let configs = [ExperimentConfig::paper_cluster("ablation", sched)];
+    // One row = one configuration × all seeds, sharded across the worker
+    // pool; each cell regenerates its workload from its own seed.
+    let results: Vec<ExperimentResult> =
+        run_sweep(&configs, seeds, workers_from_args(), |_, seed| {
+            let mut reg = CredRegistry::new();
+            let mut wl_cfg = EspConfig::paper_dynamic();
+            wl_cfg.seed = seed;
+            wl_mut(&mut wl_cfg);
+            let mut wl = generate_esp(&wl_cfg, &mut reg);
+            post(&mut wl, &mut reg);
+            wl
+        })
+        .into_iter()
+        .map(|cell| cell.result)
+        .collect();
     average(&results)
 }
 

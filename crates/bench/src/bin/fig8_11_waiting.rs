@@ -17,33 +17,53 @@ use dynbatch_core::{CredRegistry, DfsConfig, JobOutcome, SchedulerConfig, SimDur
 use dynbatch_metrics::{
     ascii_plot, per_user_excess, render_csv, user_wait_fairness, waits_by_submission, waits_of_type,
 };
-use dynbatch_sim::{run_experiment, ExperimentConfig};
+use dynbatch_sim::{run_sweep, ExperimentConfig};
 use dynbatch_workload::{generate_esp, EspConfig};
 
-fn run(label: &str, cap: Option<u64>, dynamic: bool) -> Vec<JobOutcome> {
-    let mut reg = CredRegistry::new();
-    let wl_cfg = if dynamic {
-        EspConfig::paper_dynamic()
-    } else {
-        EspConfig::paper_static()
-    };
-    let wl = generate_esp(&wl_cfg, &mut reg);
+fn config(label: &str, cap: Option<u64>) -> ExperimentConfig {
     let mut s = SchedulerConfig::paper_eval();
     s.dfs = match cap {
         None => DfsConfig::highest_priority(),
         Some(c) => DfsConfig::uniform_target(c, SimDuration::from_hours(1)),
     };
-    run_experiment(&ExperimentConfig::paper_cluster(label, s), &wl).outcomes
+    ExperimentConfig::paper_cluster(label, s)
 }
 
 fn main() {
     let csv_only = std::env::args().any(|a| a == "--csv-only");
 
     eprintln!("running Static, Dyn-HP, Dyn-500, Dyn-600 ...");
-    let st = run("Static", None, false);
-    let hp = run("Dyn-HP", None, true);
-    let d500 = run("Dyn-500", Some(500), true);
-    let d600 = run("Dyn-600", Some(600), true);
+    // All four configurations run concurrently on the sweep engine; the
+    // outputs are identical to four serial `run_experiment` calls.
+    let configs = [
+        config("Static", None),
+        config("Dyn-HP", None),
+        config("Dyn-500", Some(500)),
+        config("Dyn-600", Some(600)),
+    ];
+    let seeds = [EspConfig::paper_dynamic().seed];
+    let mut cells = run_sweep(&configs, &seeds, 0, |cfg, seed| {
+        let mut reg = CredRegistry::new();
+        let mut wl_cfg = if cfg.label == "Static" {
+            EspConfig::paper_static()
+        } else {
+            EspConfig::paper_dynamic()
+        };
+        wl_cfg.seed = seed;
+        generate_esp(&wl_cfg, &mut reg)
+    })
+    .into_iter();
+    let mut next = || -> Vec<JobOutcome> {
+        cells
+            .next()
+            .expect("one sweep cell per configuration")
+            .result
+            .outcomes
+    };
+    let st = next();
+    let hp = next();
+    let d500 = next();
+    let d600 = next();
 
     let w_st: Vec<f64> = waits_by_submission(&st)
         .into_iter()

@@ -15,23 +15,29 @@
 //!    identical before trusting the timing.
 //! 2. **Full `Maui::iterate`** on the same scaled snapshot, before-plan
 //!    cache on vs off, decisions asserted identical.
-//! 3. **Table II end-to-end** — the four paper configurations (Static,
-//!    Dyn-HP, Dyn-500, Dyn-100) over the ESP workload, wall clock plus
+//! 3. **Table II end-to-end** — the paper configurations (Static, Dyn-HP,
+//!    Dyn-500, Dyn-100) over the ESP workload, wall clock plus
 //!    per-iteration stats.
+//! 4. **Sweep engine** — a `(config × seed)` ESP campaign run serially
+//!    (fresh simulator per run) and on the parallel sweep engine at two
+//!    different worker counts, per-seed `RunSummary`s asserted identical
+//!    across all three. Written to `BENCH_sweep.json`.
 //!
-//! `--quick` shrinks the workload and repetition counts for CI; the full
-//! run is the one whose numbers are recorded in `BENCH_sched.json`.
+//! `--quick` (or `DYNBATCH_QUICK=1`) shrinks the workload, repetition
+//! counts and sweep matrix in **every** section for CI; the full run is
+//! the one whose numbers are recorded in the committed JSON files.
 
 use dynbatch_cluster::Cluster;
 use dynbatch_core::json::Json;
 use dynbatch_core::{CredRegistry, DfsConfig, JobId, SchedulerConfig, SimDuration, SimTime};
+use dynbatch_metrics::{summarize_ensemble, Aggregate, RunSummary};
 use dynbatch_sched::reference::NaiveProfile;
 use dynbatch_sched::{
     rank_jobs, AvailabilityProfile, DynRequest, Maui, QueuedJob, RunningJob, Snapshot,
 };
-use dynbatch_sim::BatchSim;
+use dynbatch_sim::{run_experiment, run_sweep, sweep::worker_count, BatchSim, ExperimentConfig};
 use dynbatch_simtime::SplitMix64;
-use dynbatch_workload::{generate_esp, EspConfig};
+use dynbatch_workload::{generate_esp, EspConfig, WorkloadItem};
 use std::collections::HashMap;
 use std::hint::black_box;
 use std::time::Instant;
@@ -371,12 +377,7 @@ fn run_esp_config(label: &str, cap: Option<u64>, dynamic: bool, seed: u64) -> Js
     };
     wl_cfg.seed = seed;
     let wl = generate_esp(&wl_cfg, &mut reg);
-    let mut cfg = SchedulerConfig::paper_eval();
-    cfg.dfs = match cap {
-        None => DfsConfig::highest_priority(),
-        Some(c) => DfsConfig::uniform_target(c, SimDuration::from_hours(1)),
-    };
-    let mut sim = BatchSim::new(Cluster::homogeneous(15, 8), cfg);
+    let mut sim = BatchSim::new(Cluster::homogeneous(15, 8), table2_sched(cap));
     sim.load(&wl);
     let t0 = Instant::now();
     sim.run();
@@ -408,14 +409,53 @@ fn run_esp_config(label: &str, cap: Option<u64>, dynamic: bool, seed: u64) -> Js
     ])
 }
 
+/// The scheduler configuration of one Table-II/sweep column.
+fn table2_sched(cap: Option<u64>) -> SchedulerConfig {
+    let mut cfg = SchedulerConfig::paper_eval();
+    cfg.dfs = match cap {
+        None => DfsConfig::highest_priority(),
+        Some(c) => DfsConfig::uniform_target(c, SimDuration::from_hours(1)),
+    };
+    cfg
+}
+
+/// The per-cell workload of the sweep campaign: a pure function of the
+/// cell's configuration and seed (the engine's determinism contract).
+fn sweep_workload(cfg: &ExperimentConfig, seed: u64) -> Vec<WorkloadItem> {
+    let mut reg = CredRegistry::new();
+    let mut wl_cfg = if cfg.label == "Static" {
+        EspConfig::paper_static()
+    } else {
+        EspConfig::paper_dynamic()
+    };
+    wl_cfg.seed = seed;
+    generate_esp(&wl_cfg, &mut reg)
+}
+
+fn aggregate_json(a: &Aggregate) -> Json {
+    Json::obj(vec![
+        ("mean", Json::Float(a.mean)),
+        ("stddev", Json::Float(a.stddev)),
+        ("p50", Json::Float(a.p50)),
+        ("p95", Json::Float(a.p95)),
+        ("p99", Json::Float(a.p99)),
+    ])
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("DYNBATCH_QUICK").is_ok_and(|v| v == "1");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_sched.json".to_owned());
+    let out_sweep_path = args
+        .iter()
+        .position(|a| a == "--out-sweep")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_sweep.json".to_owned());
 
     let (nodes, jobs, reps) = if quick { (40, 600, 3) } else { (150, 2300, 10) };
     // Deep-lookahead stress configuration for the scaled measurements: at
@@ -459,14 +499,20 @@ fn main() {
         uncached_ms / cached_ms
     );
 
-    // 3. Table II end-to-end sweep.
+    // 3. Table II end-to-end sweep. Quick mode keeps the two extreme
+    // columns (Static, Dyn-HP) rather than all four.
     let esp_seed = 2014;
-    let configs: &[(&str, Option<u64>, bool)] = &[
+    let all_configs: &[(&str, Option<u64>, bool)] = &[
         ("Static", None, false),
         ("Dyn-HP", None, true),
         ("Dyn-500", Some(500), true),
         ("Dyn-100", Some(100), true),
     ];
+    let configs = if quick {
+        &all_configs[..2]
+    } else {
+        all_configs
+    };
     let mut esp = Vec::new();
     for &(label, cap, dynamic) in configs {
         let row = run_esp_config(label, cap, dynamic, esp_seed);
@@ -508,11 +554,127 @@ fn main() {
     std::fs::write(&out_path, report.to_string_pretty()).expect("write report");
     eprintln!("perf_smoke: wrote {out_path}");
 
+    // 4. Sweep engine: the same (config × seed) ESP campaign serially and
+    // in parallel at two worker counts, per-seed summaries asserted equal.
+    let (sweep_seed_count, sweep_configs) = if quick { (8, 2) } else { (256, 4) };
+    let seeds: Vec<u64> = (0..sweep_seed_count).map(|i| 2014 + i as u64).collect();
+    let sweep_cfgs: Vec<ExperimentConfig> = all_configs[..sweep_configs]
+        .iter()
+        .map(|&(label, cap, _)| ExperimentConfig {
+            label: label.to_owned(),
+            nodes: 15,
+            cores_per_node: 8,
+            sched: table2_sched(cap),
+        })
+        .collect();
+    let total_runs = sweep_cfgs.len() * seeds.len();
+    eprintln!(
+        "perf_smoke: sweep engine ({} configs x {} seeds = {total_runs} runs)",
+        sweep_cfgs.len(),
+        seeds.len()
+    );
+
+    // Serial baseline: a fresh simulator per run, in task-id order —
+    // exactly what the engine must reproduce bit for bit.
+    let t0 = Instant::now();
+    let mut serial: Vec<RunSummary> = Vec::with_capacity(total_runs);
+    for cfg in &sweep_cfgs {
+        for &seed in &seeds {
+            let wl = sweep_workload(cfg, seed);
+            serial.push(run_experiment(cfg, &wl).summary);
+        }
+    }
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let w_a = worker_count(0).max(2);
+    let w_b = if w_a > 2 { w_a / 2 } else { w_a + 1 };
+    let mut parallel_rows = Vec::new();
+    let mut best_speedup = 0.0f64;
+    for workers in [w_a, w_b] {
+        let t0 = Instant::now();
+        let cells = run_sweep(&sweep_cfgs, &seeds, workers, sweep_workload);
+        let par_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(cells.len(), total_runs);
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(
+                cell.result.summary, serial[i],
+                "sweep[{workers} workers] task {i} ({} seed {}) diverged from serial",
+                sweep_cfgs[cell.config].label, cell.seed
+            );
+        }
+        let speedup = serial_secs / par_secs;
+        best_speedup = best_speedup.max(speedup);
+        eprintln!(
+            "  {workers:>2} workers  {par_secs:>6.2} s  ({:.0} runs/s, {speedup:.2}x vs serial)",
+            total_runs as f64 / par_secs
+        );
+        parallel_rows.push(Json::obj(vec![
+            ("workers", Json::UInt(workers as u64)),
+            ("wall_secs", Json::Float(par_secs)),
+            ("runs_per_sec", Json::Float(total_runs as f64 / par_secs)),
+            ("speedup_vs_serial", Json::Float(speedup)),
+            ("summaries_match_serial", Json::Bool(true)),
+        ]));
+    }
+
+    // Per-config ensemble statistics over the (identical) summaries.
+    let ensembles: Vec<Json> = sweep_cfgs
+        .iter()
+        .enumerate()
+        .map(|(ci, cfg)| {
+            let runs = &serial[ci * seeds.len()..(ci + 1) * seeds.len()];
+            let e = summarize_ensemble(&cfg.label, runs);
+            Json::obj(vec![
+                ("config", Json::Str(e.label.clone())),
+                ("runs", Json::UInt(e.runs as u64)),
+                ("makespan_mins", aggregate_json(&e.makespan_mins)),
+                ("utilization", aggregate_json(&e.utilization)),
+                ("mean_wait_secs", aggregate_json(&e.mean_wait_secs)),
+                (
+                    "throughput_jobs_per_min",
+                    aggregate_json(&e.throughput_jobs_per_min),
+                ),
+                ("satisfied_dyn_jobs", aggregate_json(&e.satisfied_dyn_jobs)),
+            ])
+        })
+        .collect();
+
+    let sweep_report = Json::obj(vec![
+        ("version", Json::UInt(1)),
+        ("quick", Json::Bool(quick)),
+        ("configs", Json::UInt(sweep_cfgs.len() as u64)),
+        ("seeds", Json::UInt(seeds.len() as u64)),
+        ("total_runs", Json::UInt(total_runs as u64)),
+        ("available_parallelism", Json::UInt(worker_count(0) as u64)),
+        (
+            "serial",
+            Json::obj(vec![
+                ("wall_secs", Json::Float(serial_secs)),
+                ("runs_per_sec", Json::Float(total_runs as f64 / serial_secs)),
+            ]),
+        ),
+        ("parallel", Json::Arr(parallel_rows)),
+        ("best_speedup", Json::Float(best_speedup)),
+        ("per_config_ensemble", Json::Arr(ensembles)),
+    ]);
+    std::fs::write(&out_sweep_path, sweep_report.to_string_pretty()).expect("write sweep report");
+    eprintln!("perf_smoke: wrote {out_sweep_path}");
+
     if !quick {
         assert!(
             kernel_speedup >= 5.0,
             "scaled kernel speedup regressed below 5x: {kernel_speedup:.2}x"
         );
+        // The parallel-efficiency bar only applies where there are cores
+        // to scale onto; the determinism asserts above always run.
+        if worker_count(0) >= 4 {
+            assert!(
+                best_speedup >= 3.0,
+                "sweep engine speedup regressed below 3x on a {}-core host: {best_speedup:.2}x",
+                worker_count(0)
+            );
+        }
     }
     println!("kernel_speedup_x {kernel_speedup:.2}");
+    println!("sweep_speedup_x {best_speedup:.2}");
 }

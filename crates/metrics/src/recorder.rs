@@ -32,6 +32,18 @@ impl UtilizationRecorder {
         }
     }
 
+    /// Rewinds to a just-constructed recorder for `capacity` cores at
+    /// `start`, retaining the sample buffer's storage (run recycling).
+    pub fn reset(&mut self, capacity: u32, start: SimTime) {
+        self.capacity = capacity;
+        self.start = start;
+        self.last_change = start;
+        self.busy_now = 0;
+        self.core_millis = 0;
+        self.samples.clear();
+        self.samples.push((start, 0));
+    }
+
     /// Reports that the busy-core count is `busy` as of `now`.
     pub fn record(&mut self, now: SimTime, busy: u32) {
         assert!(

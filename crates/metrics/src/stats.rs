@@ -1,4 +1,11 @@
-//! Small statistics helpers.
+//! Small statistics helpers and ensemble aggregation.
+//!
+//! The sweep engine turns one experiment into hundreds of per-seed
+//! [`RunSummary`]s; [`summarize_ensemble`] collapses such an ensemble
+//! into per-metric [`Aggregate`]s (mean, stddev, p50/p95/p99) for the
+//! sweep reports.
+
+use crate::summary::RunSummary;
 
 /// Arithmetic mean; 0 for an empty slice.
 pub fn mean(values: &[f64]) -> f64 {
@@ -27,6 +34,14 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
     }
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    sorted_quantile(&sorted, q)
+}
+
+/// [`quantile`] on an already ascending-sorted sample.
+fn sorted_quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -36,6 +51,86 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
     } else {
         let frac = pos - lo as f64;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Distribution aggregate of one metric across an ensemble of runs.
+/// All fields are 0 for an empty sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Aggregate {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (interpolated).
+    pub p50: f64,
+    /// 95th percentile (interpolated).
+    pub p95: f64,
+    /// 99th percentile (interpolated).
+    pub p99: f64,
+}
+
+/// Aggregates a sample into mean/stddev plus the p50/p95/p99 percentiles
+/// the sweep reports quote. One sort serves all three percentiles.
+pub fn aggregate(values: &[f64]) -> Aggregate {
+    if values.is_empty() {
+        return Aggregate::default();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    Aggregate {
+        n: sorted.len(),
+        mean: mean(&sorted),
+        stddev: stddev(&sorted),
+        min: sorted[0],
+        max: sorted[sorted.len() - 1],
+        p50: sorted_quantile(&sorted, 0.50),
+        p95: sorted_quantile(&sorted, 0.95),
+        p99: sorted_quantile(&sorted, 0.99),
+    }
+}
+
+/// Per-metric [`Aggregate`]s across an ensemble of [`RunSummary`]s —
+/// what a multi-seed sweep reports per configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleStats {
+    /// Configuration label (taken from the caller, not the summaries).
+    pub label: String,
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Makespan in minutes.
+    pub makespan_mins: Aggregate,
+    /// System utilization in `[0, 1]`.
+    pub utilization: Aggregate,
+    /// Mean job waiting time in seconds.
+    pub mean_wait_secs: Aggregate,
+    /// Throughput in jobs per minute.
+    pub throughput_jobs_per_min: Aggregate,
+    /// Evolving jobs whose dynamic request succeeded at least once.
+    pub satisfied_dyn_jobs: Aggregate,
+}
+
+/// Aggregates an ensemble of per-seed [`RunSummary`]s into per-metric
+/// distributions.
+pub fn summarize_ensemble(label: impl Into<String>, summaries: &[RunSummary]) -> EnsembleStats {
+    fn collect(summaries: &[RunSummary], f: impl Fn(&RunSummary) -> f64) -> Aggregate {
+        let values: Vec<f64> = summaries.iter().map(f).collect();
+        aggregate(&values)
+    }
+    EnsembleStats {
+        label: label.into(),
+        runs: summaries.len(),
+        makespan_mins: collect(summaries, |s| s.makespan.as_mins_f64()),
+        utilization: collect(summaries, |s| s.utilization),
+        mean_wait_secs: collect(summaries, |s| s.mean_wait.as_secs_f64()),
+        throughput_jobs_per_min: collect(summaries, |s| s.throughput_jobs_per_min),
+        satisfied_dyn_jobs: collect(summaries, |s| s.satisfied_dyn_jobs as f64),
     }
 }
 
@@ -74,5 +169,62 @@ mod tests {
     fn max_handles_empty() {
         assert_eq!(max(&[]), 0.0);
         assert_eq!(max(&[1.0, 9.0, 3.0]), 9.0);
+    }
+
+    #[test]
+    fn aggregate_on_known_uniform_distribution() {
+        // 1..=99 in shuffled order: every statistic is known exactly.
+        let mut v: Vec<f64> = (1..=99).map(|i| ((i * 37) % 99 + 1) as f64).collect();
+        v.dedup();
+        let a = aggregate(&v);
+        assert_eq!(a.n, 99);
+        assert!((a.mean - 50.0).abs() < 1e-12);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 99.0);
+        assert_eq!(a.p50, 50.0);
+        assert!((a.p95 - 94.1).abs() < 1e-9, "p95 {}", a.p95);
+        assert!((a.p99 - 98.02).abs() < 1e-9, "p99 {}", a.p99);
+        // Population stddev of 1..=99: sqrt((99^2 - 1) / 12).
+        let expected = ((99.0f64 * 99.0 - 1.0) / 12.0).sqrt();
+        assert!((a.stddev - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_degenerate_samples() {
+        assert_eq!(aggregate(&[]), Aggregate::default());
+        let a = aggregate(&[7.0, 7.0, 7.0]);
+        assert_eq!(
+            (a.mean, a.stddev, a.p50, a.p95, a.p99),
+            (7.0, 0.0, 7.0, 7.0, 7.0)
+        );
+        let single = aggregate(&[3.5]);
+        assert_eq!(
+            (single.n, single.min, single.max, single.p99),
+            (1, 3.5, 3.5, 3.5)
+        );
+    }
+
+    #[test]
+    fn ensemble_stats_aggregate_each_metric() {
+        use dynbatch_core::{SimDuration, SimTime};
+        let mk = |mins: u64, util: f64, satisfied: usize| {
+            let mut s = RunSummary::from_outcomes("x", &[], SimTime::ZERO, SimTime::ZERO, util);
+            s.makespan = SimDuration::from_secs(mins * 60);
+            s.mean_wait = SimDuration::from_secs(mins);
+            s.throughput_jobs_per_min = mins as f64;
+            s.satisfied_dyn_jobs = satisfied;
+            s
+        };
+        let e = summarize_ensemble("Dyn-HP", &[mk(10, 0.5, 3), mk(20, 0.7, 5)]);
+        assert_eq!(e.label, "Dyn-HP");
+        assert_eq!(e.runs, 2);
+        assert!((e.makespan_mins.mean - 15.0).abs() < 1e-12);
+        assert!((e.makespan_mins.p50 - 15.0).abs() < 1e-12);
+        assert!((e.utilization.max - 0.7).abs() < 1e-12);
+        assert!((e.mean_wait_secs.min - 10.0).abs() < 1e-12);
+        assert!((e.satisfied_dyn_jobs.mean - 4.0).abs() < 1e-12);
+        let empty = summarize_ensemble("none", &[]);
+        assert_eq!(empty.runs, 0);
+        assert_eq!(empty.makespan_mins, Aggregate::default());
     }
 }

@@ -25,6 +25,11 @@ impl AccountingLog {
         self.outcomes.push(outcome);
     }
 
+    /// Empties the ledger, retaining its storage (run-recycling path).
+    pub fn clear(&mut self) {
+        self.outcomes.clear();
+    }
+
     /// All outcomes in completion order.
     pub fn outcomes(&self) -> &[JobOutcome] {
         &self.outcomes

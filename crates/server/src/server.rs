@@ -115,6 +115,22 @@ impl PbsServer {
         }
     }
 
+    /// Rewinds the server to the just-constructed state over a fresh
+    /// `cluster`, **retaining** the accounting ledger's storage. Sweep
+    /// workers recycle one server across hundreds of runs this way
+    /// instead of reallocating per run; the result is indistinguishable
+    /// from [`PbsServer::new`].
+    pub fn reset(&mut self, cluster: Cluster, alloc_policy: AllocPolicy) {
+        self.cluster = cluster;
+        self.jobs.clear();
+        self.dyn_pending.clear();
+        self.next_job_id = 1;
+        self.next_dyn_seq = 0;
+        self.alloc_policy = alloc_policy;
+        self.accounting.clear();
+        self.guarantee_evolving = false;
+    }
+
     /// Enables the *guaranteeing* site policy (paper §II-B): evolving jobs
     /// pre-reserve their maximum dynamic demand at start and every dynamic
     /// request is served from that reserve.

@@ -20,7 +20,7 @@ use dynbatch_core::{
 use dynbatch_metrics::UtilizationRecorder;
 use dynbatch_sched::Maui;
 use dynbatch_server::{Applied, PbsServer};
-use dynbatch_simtime::{EventQueue, Token};
+use dynbatch_simtime::{EventQueue, ScheduledEvent, Token};
 use dynbatch_workload::WorkloadItem;
 use std::collections::HashMap;
 
@@ -94,6 +94,9 @@ pub struct BatchSim {
     first_submit: Option<SimTime>,
     last_completion: SimTime,
     dyn_log: Vec<(SimTime, dynbatch_sched::DynDecision)>,
+    /// Reusable buffer for [`EventQueue::pop_group_into`]: one timestamp
+    /// group of simultaneous events per [`BatchSim::step`].
+    batch: Vec<ScheduledEvent<Event>>,
 }
 
 impl BatchSim {
@@ -116,7 +119,34 @@ impl BatchSim {
             first_submit: None,
             last_completion: SimTime::ZERO,
             dyn_log: Vec::new(),
+            batch: Vec::new(),
         }
+    }
+
+    /// Rewinds this simulator to the state [`BatchSim::new`]`(cluster,
+    /// config)` would construct, **reusing** the event-queue storage, the
+    /// utilization sample buffer, the accounting ledger, the run/
+    /// generation maps and the event-batch scratch. Behaviour after a
+    /// reset is bit-identical to a fresh simulator (the sweep engine's
+    /// equality tests pin this); only the allocator traffic differs —
+    /// which is the point: a sweep worker recycles one `BatchSim` across
+    /// hundreds of runs.
+    pub fn reset(&mut self, cluster: Cluster, config: SchedulerConfig) {
+        let capacity = cluster.total_cores();
+        let alloc = config.alloc;
+        let guarantee = config.guarantee_evolving;
+        self.queue.reset();
+        self.server.reset(cluster, alloc);
+        self.server.set_guarantee_evolving(guarantee);
+        self.maui = Maui::new(config);
+        self.util.reset(capacity, SimTime::ZERO);
+        self.items.clear();
+        self.runs.clear();
+        self.gens.clear();
+        self.stats = SimStats::default();
+        self.first_submit = None;
+        self.last_completion = SimTime::ZERO;
+        self.dyn_log.clear();
     }
 
     /// Loads a workload; submissions become events.
@@ -150,15 +180,27 @@ impl BatchSim {
     /// Processes one timestamp group (all simultaneous events plus the
     /// scheduler iteration that follows). Returns `false` when drained.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
+        // Batched pop: take the whole timestamp group in one call instead
+        // of a pop-then-`peek_time` per event (`peek_time` is a linear
+        // scan once cancelled finish/phase timers are buried in the
+        // heap). Events scheduled *at* `now` while the group is applied —
+        // zero-delay wakes, immediate expiries — join the same timestamp
+        // group, exactly as the serial pop loop processed them.
+        let mut batch = std::mem::take(&mut self.batch);
+        let Some(now) = self.queue.pop_group_into(&mut batch) else {
+            self.batch = batch;
             return false;
         };
-        let now = ev.at;
-        self.apply_event(ev.payload, now);
-        while self.queue.peek_time() == Some(now) {
-            let ev = self.queue.pop().expect("peeked event exists");
-            self.apply_event(ev.payload, now);
+        loop {
+            for ev in batch.drain(..) {
+                self.apply_event(ev.payload, now);
+            }
+            if self.queue.peek_time() != Some(now) {
+                break;
+            }
+            self.queue.pop_group_into(&mut batch);
         }
+        self.batch = batch;
         self.run_cycle(now);
         self.util.record(now, self.server.cluster().busy_cores());
         true

@@ -14,7 +14,9 @@
 pub mod batch_sim;
 pub mod event;
 pub mod experiment;
+pub mod sweep;
 
 pub use batch_sim::{BatchSim, SimStats};
 pub use event::Event;
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use experiment::{run_experiment, run_experiment_on, ExperimentConfig, ExperimentResult};
+pub use sweep::{parallel_tasks, parallel_tasks_with, run_sweep, task_rng, SweepResult};

@@ -152,6 +152,82 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// Pops **all** live events sharing the earliest pending timestamp
+    /// into `out` (cleared first), in insertion-sequence order, and
+    /// advances the clock to that timestamp. Returns the group's time, or
+    /// `None` when the queue is drained.
+    ///
+    /// This is the batched-pop fast path for simultaneous-event bursts:
+    /// the caller pays one peek per event instead of a full
+    /// [`EventQueue::peek_time`] between pops — and `peek_time` degrades
+    /// to a linear scan whenever lazily-cancelled entries are buried in
+    /// the heap, which made the pop-then-peek loop quadratic on
+    /// cancellation-heavy runs.
+    pub fn pop_group_into(&mut self, out: &mut Vec<ScheduledEvent<E>>) -> Option<SimTime> {
+        out.clear();
+        let first = self.pop()?;
+        let at = first.at;
+        out.push(first);
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled[top.cancelled_slot] {
+                // Lazily-cancelled entry: discard and keep scanning.
+                self.heap.pop();
+                continue;
+            }
+            if top.at != at {
+                break;
+            }
+            let entry = self.heap.pop().expect("peeked entry exists");
+            self.cancelled[entry.cancelled_slot] = true; // slot consumed
+            self.live -= 1;
+            out.push(ScheduledEvent {
+                at: entry.at,
+                seq: entry.seq,
+                payload: entry.payload,
+            });
+        }
+        Some(at)
+    }
+
+    /// Pops all live events with time ≤ `limit` into `out` (cleared
+    /// first), in `(time, insertion sequence)` order, advancing the clock
+    /// to the last popped event's time. Events scheduled after `limit`
+    /// stay queued.
+    pub fn drain_until(&mut self, limit: SimTime, out: &mut Vec<ScheduledEvent<E>>) {
+        out.clear();
+        loop {
+            match self.heap.peek() {
+                Some(top) if self.cancelled[top.cancelled_slot] => {
+                    self.heap.pop();
+                }
+                Some(top) if top.at <= limit => {
+                    let entry = self.heap.pop().expect("peeked entry exists");
+                    self.cancelled[entry.cancelled_slot] = true; // slot consumed
+                    self.live -= 1;
+                    self.now = entry.at;
+                    out.push(ScheduledEvent {
+                        at: entry.at,
+                        seq: entry.seq,
+                        payload: entry.payload,
+                    });
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Empties the queue and rewinds the clock to zero, **retaining** the
+    /// heap and cancellation-table storage. A sweep worker recycling one
+    /// simulator across hundreds of runs calls this instead of allocating
+    /// a fresh queue per run.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+        self.live = 0;
+    }
+
     /// The time of the next live event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
         // Fast path: nothing cancelled, the heap top is authoritative.
@@ -249,6 +325,79 @@ mod tests {
         // Scheduling at the current instant is allowed (zero-delay events).
         q.schedule(q.now(), 2);
         assert_eq!(q.pop().unwrap().payload, 2);
+    }
+
+    #[test]
+    fn pop_group_collects_one_timestamp_in_seq_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(2), "late");
+        q.schedule(t(1), "a");
+        q.schedule(t(1), "b");
+        let c = q.schedule(t(1), "c");
+        q.schedule(t(1), "d");
+        q.cancel(c);
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_group_into(&mut buf), Some(t(1)));
+        let got: Vec<_> = buf.iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec!["a", "b", "d"], "seq order, cancelled skipped");
+        assert_eq!(q.now(), t(1));
+        assert_eq!(q.pop_group_into(&mut buf), Some(t(2)));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(q.pop_group_into(&mut buf), None);
+        assert!(buf.is_empty(), "drained pop_group clears the buffer");
+    }
+
+    #[test]
+    fn pop_group_leaves_later_events_live() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), 1);
+        q.schedule(t(1), 2);
+        q.schedule(t(5), 3);
+        let mut buf = Vec::new();
+        q.pop_group_into(&mut buf);
+        assert_eq!(q.len(), 1);
+        // Zero-delay events scheduled mid-group land in a *new* group at
+        // the same instant — exactly what the pop-then-peek loop did.
+        q.schedule(t(1), 4);
+        assert_eq!(q.pop_group_into(&mut buf), Some(t(1)));
+        assert_eq!(buf[0].payload, 4);
+    }
+
+    #[test]
+    fn drain_until_respects_limit_and_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3), "c");
+        q.schedule(t(1), "a");
+        let b = q.schedule(t(2), "b");
+        q.schedule(t(2), "b2");
+        q.schedule(t(9), "z");
+        q.cancel(b);
+        let mut buf = Vec::new();
+        q.drain_until(t(3), &mut buf);
+        let got: Vec<_> = buf.iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec!["a", "b2", "c"]);
+        assert_eq!(q.now(), t(3));
+        assert_eq!(q.len(), 1);
+        q.drain_until(t(3), &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn reset_rewinds_clock_and_clears_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(4), "a");
+        q.schedule(t(6), "b");
+        q.pop();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert!(!q.cancel(a), "stale tokens are dead after reset");
+        // Scheduling "into the past" relative to the pre-reset clock is
+        // legal again, and sequence numbering restarts.
+        q.schedule(t(1), "x");
+        q.schedule(t(1), "y");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["x", "y"]);
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Property test pinning [`EventQueue`]'s observable semantics — FIFO
+//! tie-break at equal timestamps, lazy cancellation, clock advancement,
+//! and the batched `pop_group_into` / `drain_until` fast paths — against
+//! a naive sorted-Vec reference model over random operation
+//! interleavings.
+//!
+//! The model stores every scheduled event in issue order and answers each
+//! query by scanning for the minimum `(time, issue index)` among live
+//! entries; issue index equals the queue's tie-breaking sequence number,
+//! so any divergence in ordering, liveness accounting or clock state
+//! between the two implementations fails the run. Times are drawn from a
+//! deliberately tiny domain so timestamp collisions (the FIFO-tie-break
+//! regime) and cancellations of already-buried entries (the
+//! lazy-cancellation regime) both occur constantly.
+
+use dynbatch_core::testkit::{check, TestRng};
+use dynbatch_core::SimTime;
+use dynbatch_simtime::{EventQueue, ScheduledEvent, Token};
+
+/// One scheduled event as the reference model sees it. The issue index
+/// doubles as the expected sequence number and the payload.
+struct ModelEvent {
+    at: SimTime,
+    alive: bool,
+}
+
+/// Naive reference: a flat Vec in issue order, scanned on every query.
+#[derive(Default)]
+struct Model {
+    events: Vec<ModelEvent>,
+    now: SimTime,
+}
+
+impl Model {
+    fn live_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.alive)
+            .map(|(i, _)| i)
+    }
+
+    fn len(&self) -> usize {
+        self.live_indices().count()
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.live_indices().map(|i| self.events[i].at).min()
+    }
+
+    fn schedule(&mut self, at: SimTime) -> usize {
+        self.events.push(ModelEvent { at, alive: true });
+        self.events.len() - 1
+    }
+
+    fn cancel(&mut self, idx: usize) -> bool {
+        let was_alive = self.events[idx].alive;
+        self.events[idx].alive = false;
+        was_alive
+    }
+
+    /// Earliest live event by `(time, issue index)` — the contract's
+    /// FIFO tie-break, computed the obvious quadratic way.
+    fn pop(&mut self) -> Option<(SimTime, usize)> {
+        let idx = self
+            .live_indices()
+            .min_by_key(|&i| (self.events[i].at, i))?;
+        self.events[idx].alive = false;
+        self.now = self.events[idx].at;
+        Some((self.events[idx].at, idx))
+    }
+
+    fn pop_group(&mut self) -> Option<(SimTime, Vec<usize>)> {
+        let at = self.peek_time()?;
+        let group: Vec<usize> = self
+            .live_indices()
+            .filter(|&i| self.events[i].at == at)
+            .collect();
+        for &i in &group {
+            self.events[i].alive = false;
+        }
+        self.now = at;
+        Some((at, group))
+    }
+
+    fn drain_until(&mut self, limit: SimTime) -> Vec<(SimTime, usize)> {
+        let mut due: Vec<(SimTime, usize)> = self
+            .live_indices()
+            .filter(|&i| self.events[i].at <= limit)
+            .map(|i| (self.events[i].at, i))
+            .collect();
+        due.sort();
+        for &(at, i) in &due {
+            self.events[i].alive = false;
+            self.now = at;
+        }
+        due
+    }
+}
+
+fn assert_events_match(got: &[ScheduledEvent<usize>], want: &[(SimTime, usize)]) {
+    let got: Vec<(SimTime, usize)> = got.iter().map(|e| (e.at, e.payload)).collect();
+    assert_eq!(got, want, "popped events diverged from reference model");
+    // Payload was chosen to equal the issue index, which must also equal
+    // the tie-breaking sequence number the queue reports.
+}
+
+#[test]
+fn queue_matches_sorted_vec_model() {
+    check(64, 0xE0_51, |rng: &mut TestRng| {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let mut model = Model::default();
+        let mut tokens: Vec<Token> = Vec::new();
+        let mut group = Vec::new();
+
+        for _ in 0..120 {
+            match rng.below(10) {
+                // Schedule (weighted heaviest so the queue stays busy).
+                0..=3 => {
+                    // Tiny time domain: collisions are the common case.
+                    let at = q.now() + dynbatch_core::SimDuration::from_secs(rng.below(6));
+                    let idx = model.schedule(at);
+                    tokens.push(q.schedule(at, idx));
+                }
+                // Cancel a random token — possibly already popped or
+                // already cancelled, exercising the `false` path.
+                4..=5 => {
+                    if !tokens.is_empty() {
+                        let idx = rng.below(tokens.len() as u64) as usize;
+                        assert_eq!(q.cancel(tokens[idx]), model.cancel(idx));
+                    }
+                }
+                6 => {
+                    let got = q.pop();
+                    let want = model.pop();
+                    match (got, want) {
+                        (None, None) => {}
+                        (Some(e), Some((at, idx))) => {
+                            assert_eq!((e.at, e.payload), (at, idx));
+                            assert_eq!(e.seq, idx as u64, "seq must be issue order");
+                        }
+                        (got, want) => panic!("pop diverged: {got:?} vs {want:?}"),
+                    }
+                }
+                7 => {
+                    let got_time = q.pop_group_into(&mut group);
+                    match (got_time, model.pop_group()) {
+                        (None, None) => assert!(group.is_empty()),
+                        (Some(at), Some((want_at, idxs))) => {
+                            assert_eq!(at, want_at);
+                            let want: Vec<(SimTime, usize)> =
+                                idxs.into_iter().map(|i| (want_at, i)).collect();
+                            assert_events_match(&group, &want);
+                        }
+                        (got, want) => panic!("pop_group diverged: {got:?} vs {want:?}"),
+                    }
+                }
+                8 => {
+                    let limit = q.now() + dynbatch_core::SimDuration::from_secs(rng.below(8));
+                    q.drain_until(limit, &mut group);
+                    let want = model.drain_until(limit);
+                    assert_events_match(&group, &want);
+                }
+                _ => {
+                    assert_eq!(q.peek_time(), model.peek_time());
+                }
+            }
+            // Invariants checked after every single operation.
+            assert_eq!(q.len(), model.len());
+            assert_eq!(q.is_empty(), model.len() == 0);
+            assert_eq!(q.now(), model.now);
+            assert_eq!(q.peek_time(), model.peek_time());
+        }
+
+        // Drain both to the end: total order must match exactly.
+        while let Some((at, idx)) = model.pop() {
+            let e = q.pop().expect("queue drained before model");
+            assert_eq!((e.at, e.payload, e.seq), (at, idx, idx as u64));
+        }
+        assert!(q.pop().is_none());
+    });
+}
+
+#[test]
+fn reset_preserves_semantics() {
+    // After reset, a recycled queue must behave exactly like a fresh one:
+    // sequence numbers restart at zero and the clock rewinds.
+    check(16, 2014, |rng: &mut TestRng| {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for i in 0..rng.range_usize(1, 20) {
+            q.schedule(SimTime::from_secs(rng.below(50)), i);
+        }
+        for _ in 0..rng.range_usize(0, 10) {
+            q.pop();
+        }
+        q.reset();
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.peek_time(), None);
+        let tok = q.schedule(SimTime::from_secs(3), 7);
+        let e = q.pop().expect("just scheduled");
+        assert_eq!((e.at, e.seq, e.payload), (SimTime::from_secs(3), 0, 7));
+        assert!(!q.cancel(tok), "already popped");
+    });
+}

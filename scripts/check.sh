@@ -19,7 +19,11 @@ cargo test -q --workspace
 echo "==> chaos zero-fault smoke"
 cargo test -q --test chaos_daemon chaos_zero_fault
 
+echo "==> parallel sweep smoke (serial == parallel)"
+cargo test -q --test sweep_engine
+
 echo "==> perf_smoke --quick"
-cargo run --release -q -p dynbatch-bench --bin perf_smoke -- --quick --out /tmp/BENCH_sched.quick.json
+cargo run --release -q -p dynbatch-bench --bin perf_smoke -- --quick \
+  --out /tmp/BENCH_sched.quick.json --out-sweep /tmp/BENCH_sweep.quick.json
 
 echo "check.sh: all gates passed"

@@ -12,7 +12,10 @@
 //!    scanning `/proc/self/task` for the ensemble's thread-name tag).
 //!
 //! The 50 seeds are split across five `#[test]` functions so the sweep
-//! parallelises under the default test runner.
+//! parallelises under the default test runner, and each function shards
+//! its seeds over the deterministic sweep engine
+//! (`sim::sweep::parallel_tasks`): every seed's ensemble is independent,
+//! so the per-seed final states are identical at any worker count.
 
 use dynbatch::core::{
     DfsConfig, ExecutionModel, GroupId, JobClass, JobSpec, JobState, SchedulerConfig, SimDuration,
@@ -145,9 +148,19 @@ fn baseline() -> Vec<Option<JobState>> {
 
 fn sweep(seeds: std::ops::Range<u64>) {
     let reference = baseline();
-    for seed in seeds {
-        let plan = FaultPlan::from_seed(seed, 4, Duration::from_millis(300));
-        let states = run_workload(plan);
+    let seeds: Vec<u64> = seeds.collect();
+    // Each ensemble is thread-heavy but sleep-bound, so a few in flight
+    // overlap their waits; stay well under the core count because the
+    // five chaos test functions already run concurrently.
+    let workers = dynbatch::sim::sweep::worker_count(0).div_ceil(4).min(4);
+    let all_states = dynbatch::sim::sweep::parallel_tasks(seeds.len(), workers, |i| {
+        run_workload(FaultPlan::from_seed(
+            seeds[i],
+            4,
+            Duration::from_millis(300),
+        ))
+    });
+    for (seed, states) in seeds.iter().zip(all_states) {
         assert_eq!(
             states, reference,
             "seed {seed} diverged from fault-free run"

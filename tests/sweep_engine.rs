@@ -1,0 +1,71 @@
+//! Quick parallel-sweep smoke: the sweep engine's determinism contract
+//! end to end through the facade crate, sized for CI (2 configs × 8
+//! seeds). The serial baseline — a fresh simulator per run, task-id
+//! order — must be reproduced bit-for-bit at every worker count.
+
+use dynbatch::core::{CredRegistry, DfsConfig, SchedulerConfig, SimDuration};
+use dynbatch::sim::{run_experiment, run_sweep, ExperimentConfig};
+use dynbatch::workload::{generate_esp, EspConfig, WorkloadItem};
+
+fn configs() -> Vec<ExperimentConfig> {
+    let static_sched = {
+        let mut s = SchedulerConfig::paper_eval();
+        s.dfs = DfsConfig::highest_priority();
+        s
+    };
+    let capped_sched = {
+        let mut s = SchedulerConfig::paper_eval();
+        s.dfs = DfsConfig::uniform_target(500, SimDuration::from_hours(1));
+        s
+    };
+    vec![
+        ExperimentConfig::paper_cluster("Static", static_sched),
+        ExperimentConfig::paper_cluster("Dyn-500", capped_sched),
+    ]
+}
+
+fn workload(cfg: &ExperimentConfig, seed: u64) -> Vec<WorkloadItem> {
+    let mut reg = CredRegistry::new();
+    let mut wl = if cfg.label == "Static" {
+        EspConfig::paper_static()
+    } else {
+        EspConfig::paper_dynamic()
+    };
+    wl.seed = seed;
+    generate_esp(&wl, &mut reg)
+}
+
+#[test]
+fn parallel_sweep_matches_serial_baseline() {
+    let configs = configs();
+    let seeds: Vec<u64> = (0..8).map(|i| 2014 + i).collect();
+
+    // Serial baseline in task-id order: config-major, then seed.
+    let mut serial = Vec::new();
+    for cfg in &configs {
+        for &seed in &seeds {
+            serial.push(run_experiment(cfg, &workload(cfg, seed)));
+        }
+    }
+
+    for workers in [2usize, 3] {
+        let cells = run_sweep(&configs, &seeds, workers, workload);
+        assert_eq!(cells.len(), serial.len());
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.config, i / seeds.len(), "task-id slotting broken");
+            assert_eq!(cell.seed, seeds[i % seeds.len()]);
+            let expect = &serial[i];
+            assert_eq!(
+                cell.result.summary, expect.summary,
+                "{} seed {} summary diverged at {workers} workers",
+                configs[cell.config].label, cell.seed
+            );
+            assert_eq!(
+                cell.result.outcomes, expect.outcomes,
+                "{} seed {} outcomes diverged at {workers} workers",
+                configs[cell.config].label, cell.seed
+            );
+            assert_eq!(cell.result.stats, expect.stats);
+        }
+    }
+}
