@@ -16,6 +16,7 @@ fn loaded_snapshot() -> Snapshot {
         running: Vec::new(),
         queued: Vec::new(),
         dyn_requests: Vec::new(),
+        deltas: None,
     };
     for i in 0..12u64 {
         snap.running.push(RunningJob {

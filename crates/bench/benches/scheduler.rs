@@ -17,6 +17,7 @@ fn snapshot(running: usize, queued: usize, dyn_reqs: usize) -> Snapshot {
         running: Vec::new(),
         queued: Vec::new(),
         dyn_requests: Vec::new(),
+        deltas: None,
     };
     let mut used = 0u32;
     for i in 0..running {

@@ -15,10 +15,16 @@
 //!    identical before trusting the timing.
 //! 2. **Full `Maui::iterate`** on the same scaled snapshot, before-plan
 //!    cache on vs off, decisions asserted identical.
-//! 3. **Table II end-to-end** — the paper configurations (Static, Dyn-HP,
+//! 3. **Incremental timeline** — a multi-tick snapshot sequence (jobs
+//!    finishing, starting and resizing between scheduler cycles, each
+//!    tick carrying the server's [`DeltaLog`]) driven through a delta-fed
+//!    `Maui` and a rebuild-every-iteration `Maui`. Decisions are asserted
+//!    identical tick by tick — with the rebuild-equivalence guard enabled
+//!    on the correctness pass — before either path is timed.
+//! 4. **Table II end-to-end** — the paper configurations (Static, Dyn-HP,
 //!    Dyn-500, Dyn-100) over the ESP workload, wall clock plus
 //!    per-iteration stats.
-//! 4. **Sweep engine** — a `(config × seed)` ESP campaign run serially
+//! 5. **Sweep engine** — a `(config × seed)` ESP campaign run serially
 //!    (fresh simulator per run) and on the parallel sweep engine at two
 //!    different worker counts, per-seed `RunSummary`s asserted identical
 //!    across all three. Written to `BENCH_sweep.json`.
@@ -31,9 +37,11 @@ use dynbatch_cluster::Cluster;
 use dynbatch_core::json::Json;
 use dynbatch_core::{CredRegistry, DfsConfig, JobId, SchedulerConfig, SimDuration, SimTime};
 use dynbatch_metrics::{summarize_ensemble, Aggregate, RunSummary};
+use dynbatch_sched::incremental::rebuild_into;
 use dynbatch_sched::reference::NaiveProfile;
 use dynbatch_sched::{
-    rank_jobs, AvailabilityProfile, DynRequest, Maui, QueuedJob, RunningJob, Snapshot,
+    rank_jobs, AvailabilityProfile, DeltaLog, DynRequest, IncrementalTimeline, Maui, ProfileDelta,
+    QueuedJob, RunningJob, Snapshot,
 };
 use dynbatch_sim::{run_experiment, run_sweep, sweep::worker_count, BatchSim, ExperimentConfig};
 use dynbatch_simtime::SplitMix64;
@@ -70,6 +78,7 @@ fn scaled_snapshot(nodes: u32, jobs: usize, seed: u64) -> Snapshot {
         running: Vec::new(),
         queued: Vec::new(),
         dyn_requests: Vec::new(),
+        deltas: None,
     };
     // Fill ~95% of the machine with small running jobs so planning is
     // forced to look ahead and the availability timeline carries many
@@ -123,6 +132,127 @@ fn scaled_snapshot(nodes: u32, jobs: usize, seed: u64) -> Snapshot {
         id += 1;
     }
     snap
+}
+
+/// A multi-cycle snapshot sequence over the scaled cluster, mimicking
+/// what [`PbsServer::snapshot_incremental`] feeds the scheduler: each
+/// tick advances `now` by 30 s, retires running jobs well past their
+/// walltime (a short overdue tail survives, exercising the grace
+/// re-clamp), starts queued jobs into the freed cores, resizes one
+/// running job, and stamps a [`DeltaLog`] mirroring exactly those edits
+/// with consecutive epochs.
+fn tick_sequence(nodes: u32, jobs: usize, seed: u64, ticks: usize) -> Vec<Snapshot> {
+    let total_cores = nodes * 8;
+    let mut rng = SplitMix64::new(seed ^ 0x71C5);
+    let mut snap = scaled_snapshot(nodes, jobs, seed);
+    let mut epoch = 0u64;
+    let mut seq = snap
+        .dyn_requests
+        .iter()
+        .map(|r| r.seq + 1)
+        .max()
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(ticks);
+    snap.deltas = Some(DeltaLog {
+        base_epoch: epoch,
+        epoch: epoch + 1,
+        deltas: Vec::new(),
+    });
+    epoch += 1;
+    out.push(snap.clone());
+    for _ in 1..ticks {
+        snap.now += SimDuration::from_secs(30);
+        let now = snap.now;
+        let mut deltas = Vec::new();
+        // Retire jobs 60 s past their walltime; until then they stay
+        // running overdue, pinned to the one-grace clamp on both paths.
+        let mut i = 0;
+        while i < snap.running.len() {
+            if snap.running[i].walltime_end + SimDuration::from_secs(60) <= now {
+                let gone = snap.running.swap_remove(i);
+                deltas.push(ProfileDelta::Finished { job: gone.id });
+            } else {
+                i += 1;
+            }
+        }
+        let mut used: u32 = snap
+            .running
+            .iter()
+            .map(|r| r.cores + r.reserved_extra)
+            .sum();
+        // Resize one running job by a core (grow if it fits, else shrink).
+        if !snap.running.is_empty() {
+            let i = rng.next_below(snap.running.len() as u64) as usize;
+            let r = &mut snap.running[i];
+            if used < total_cores {
+                r.cores += 1;
+                used += 1;
+            } else if r.cores > 1 {
+                r.cores -= 1;
+                used -= 1;
+            }
+            deltas.push(ProfileDelta::Resized {
+                job: r.id,
+                held_cores: r.cores + r.reserved_extra,
+            });
+        }
+        // Start queued jobs into whatever the retirements freed.
+        let mut started = 0;
+        while started < 4 {
+            match snap.queued.last() {
+                Some(q) if used + q.cores <= total_cores => {
+                    let q = snap.queued.pop().expect("just peeked");
+                    used += q.cores;
+                    let end = now + SimDuration::from_secs(120 + rng.next_below(7_200));
+                    deltas.push(ProfileDelta::Started {
+                        job: q.id,
+                        held_cores: q.cores,
+                        walltime_end: end,
+                    });
+                    snap.running.push(RunningJob {
+                        id: q.id,
+                        user: q.user,
+                        group: q.group,
+                        cores: q.cores,
+                        start_time: now,
+                        walltime_end: end,
+                        backfilled: false,
+                        reserved_extra: 0,
+                        malleable: None,
+                    });
+                    started += 1;
+                }
+                _ => break,
+            }
+        }
+        // Fresh dynamic requests from the surviving evolving jobs.
+        snap.dyn_requests = snap
+            .running
+            .iter()
+            .filter(|r| r.id.0.is_multiple_of(4) && r.walltime_end > now)
+            .take(16)
+            .map(|r| {
+                seq += 1;
+                DynRequest {
+                    job: r.id,
+                    user: r.user,
+                    group: r.group,
+                    extra_cores: 2,
+                    remaining_walltime: r.walltime_end.duration_since(now),
+                    seq,
+                    deadline: None,
+                }
+            })
+            .collect();
+        snap.deltas = Some(DeltaLog {
+            base_epoch: epoch,
+            epoch: epoch + 1,
+            deltas,
+        });
+        epoch += 1;
+        out.push(snap.clone());
+    }
+    out
 }
 
 /// `plan_starts` in the pre-change formulation.
@@ -499,7 +629,75 @@ fn main() {
         uncached_ms / cached_ms
     );
 
-    // 3. Table II end-to-end sweep. Quick mode keeps the two extreme
+    // 3. Incremental timeline: a multi-tick delta-carrying snapshot
+    // sequence through a delta-fed Maui and a rebuild-every-iteration
+    // Maui. Correctness first (decisions asserted identical per tick,
+    // rebuild-equivalence guard enabled), then timing with the guard off.
+    let ticks = if quick { 40 } else { 150 };
+    eprintln!("perf_smoke: incremental timeline ({ticks} ticks)");
+    let seq_snaps = tick_sequence(nodes, jobs, 43, ticks);
+    {
+        let mut m_inc = Maui::new(cfg.clone());
+        m_inc.set_incremental_check_enabled(true);
+        let mut m_reb = Maui::new(cfg.clone());
+        m_reb.set_incremental_enabled(false);
+        for (i, s) in seq_snaps.iter().enumerate() {
+            let a = m_inc.iterate(s);
+            let b = m_reb.iterate(s);
+            assert_eq!(a.starts, b.starts, "tick {i}: starts diverged");
+            assert_eq!(
+                a.dyn_decisions, b.dyn_decisions,
+                "tick {i}: dynamic decisions diverged"
+            );
+            assert_eq!(
+                a.reservations, b.reservations,
+                "tick {i}: reservations diverged"
+            );
+            assert_eq!(a.grows, b.grows, "tick {i}: grows diverged");
+        }
+        let st = m_inc.timeline_stats();
+        assert_eq!(st.rebuilds, 1, "only the first tick may rebuild");
+        assert_eq!(st.delta_batches as usize, ticks - 1);
+    }
+    // Maintenance alone: applying each tick's deltas (plus re-anchoring)
+    // vs rebuilding the base profile from the running set — the edit this
+    // section exists to measure.
+    let (reb_profile_ms, _) = time_ms(reps, || {
+        let mut buf = AvailabilityProfile::new(SimTime::ZERO, 0);
+        for s in &seq_snaps {
+            rebuild_into(&mut buf, s.now, s.total_cores, &s.running);
+            black_box(buf.steps().len());
+        }
+    });
+    let (inc_profile_ms, _) = time_ms(reps, || {
+        let mut tl = IncrementalTimeline::new();
+        for s in &seq_snaps {
+            tl.advance(s);
+            black_box(tl.profile().steps().len());
+        }
+    });
+    let maintenance_speedup = reb_profile_ms / inc_profile_ms;
+    // End to end: the full iterate sequence both ways. Planning dominates
+    // each iteration, so the headline here is the maintenance speedup;
+    // this pins "incremental is never slower overall".
+    let run_seq = |incremental: bool| {
+        let mut m = Maui::new(cfg.clone());
+        m.set_incremental_enabled(incremental);
+        let mut n = 0usize;
+        for s in &seq_snaps {
+            n += black_box(m.iterate(s)).starts.len();
+        }
+        n
+    };
+    let it_reps = reps.min(3);
+    let (it_reb_ms, _) = time_ms(it_reps, || run_seq(false));
+    let (it_inc_ms, _) = time_ms(it_reps, || run_seq(true));
+    eprintln!(
+        "  profile rebuild {reb_profile_ms:.2} ms  incremental {inc_profile_ms:.2} ms  \
+         ({maintenance_speedup:.1}x); iterate {it_reb_ms:.2} -> {it_inc_ms:.2} ms"
+    );
+
+    // 4. Table II end-to-end sweep. Quick mode keeps the two extreme
     // columns (Static, Dyn-HP) rather than all four.
     let esp_seed = 2014;
     let all_configs: &[(&str, Option<u64>, bool)] = &[
@@ -549,12 +747,25 @@ fn main() {
                 ("identical_decisions", Json::Bool(true)),
             ]),
         ),
+        (
+            "incremental_timeline",
+            Json::obj(vec![
+                ("ticks", Json::UInt(ticks as u64)),
+                ("profile_rebuild_ms", Json::Float(reb_profile_ms)),
+                ("profile_incremental_ms", Json::Float(inc_profile_ms)),
+                ("maintenance_speedup", Json::Float(maintenance_speedup)),
+                ("iterate_rebuild_ms", Json::Float(it_reb_ms)),
+                ("iterate_incremental_ms", Json::Float(it_inc_ms)),
+                ("iterate_speedup", Json::Float(it_reb_ms / it_inc_ms)),
+                ("identical_decisions", Json::Bool(true)),
+            ]),
+        ),
         ("esp_table2", Json::Arr(esp)),
     ]);
     std::fs::write(&out_path, report.to_string_pretty()).expect("write report");
     eprintln!("perf_smoke: wrote {out_path}");
 
-    // 4. Sweep engine: the same (config × seed) ESP campaign serially and
+    // 5. Sweep engine: the same (config × seed) ESP campaign serially and
     // in parallel at two worker counts, per-seed summaries asserted equal.
     let (sweep_seed_count, sweep_configs) = if quick { (8, 2) } else { (256, 4) };
     let seeds: Vec<u64> = (0..sweep_seed_count).map(|i| 2014 + i as u64).collect();
@@ -664,6 +875,10 @@ fn main() {
         assert!(
             kernel_speedup >= 5.0,
             "scaled kernel speedup regressed below 5x: {kernel_speedup:.2}x"
+        );
+        assert!(
+            maintenance_speedup >= 2.0,
+            "incremental profile maintenance regressed below 2x: {maintenance_speedup:.2}x"
         );
         // The parallel-efficiency bar only applies where there are cores
         // to scale onto; the determinism asserts above always run.

@@ -669,7 +669,7 @@ impl ServerDaemon {
     /// One scheduling cycle: snapshot → Maui iteration → apply, then fan
     /// the applied actions out to the moms.
     fn cycle(&mut self, now: SimTime) {
-        let snapshot = self.server.snapshot(now);
+        let snapshot = self.server.snapshot_incremental(now);
         let outcome = self.maui.iterate(&snapshot);
         let applied = self.server.apply(&outcome, now);
         for action in applied {

@@ -15,6 +15,8 @@
 //!   (windowed, allocation-free hot paths; see its complexity notes);
 //! * [`reference`] — the naive executable specification the timeline is
 //!   property-checked and benchmarked against;
+//! * [`incremental`] — the delta-maintained base profile carried across
+//!   iterations (with its rebuild-equivalence contract);
 //! * [`priority`] / [`fairshare`] — classic Maui job prioritisation;
 //! * [`plan`] — sequential earliest-start planning (reservations,
 //!   StartNow/StartLater, delay what-ifs);
@@ -28,6 +30,7 @@
 
 pub mod dfs;
 pub mod fairshare;
+pub mod incremental;
 pub mod maui;
 pub mod plan;
 pub mod priority;
@@ -38,9 +41,12 @@ pub mod timeline;
 
 pub use dfs::{DelayCharge, DfsEngine, DfsReject, DfsVerdict};
 pub use fairshare::FairshareTracker;
-pub use maui::{DynDecision, IterationOutcome, Maui, ResizeDecision, StartDecision};
+pub use incremental::{
+    profile_from_running, DeltaLog, IncrementalTimeline, ProfileDelta, TimelineStats,
+};
+pub use maui::{mold_fit, DynDecision, IterationOutcome, Maui, ResizeDecision, StartDecision};
 pub use plan::plan_starts;
 pub use priority::{priority_of, rank_jobs, Priority};
 pub use reservation::{PlannedStart, Reservation, StartKind};
 pub use snapshot::{DynRequest, QueuedJob, RunningJob, Snapshot};
-pub use timeline::AvailabilityProfile;
+pub use timeline::{planned_end, AvailabilityProfile, OVERDUE_GRACE};

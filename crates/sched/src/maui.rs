@@ -22,12 +22,13 @@
 
 use crate::dfs::{DelayCharge, DfsEngine, DfsReject, DfsVerdict};
 use crate::fairshare::FairshareTracker;
+use crate::incremental::{profile_from_running, rebuild_into, IncrementalTimeline, TimelineStats};
 use crate::plan::plan_starts;
 use crate::priority::rank_jobs;
 use crate::reservation::{PlannedStart, Reservation};
 use crate::snapshot::{DynRequest, QueuedJob, RunningJob, Snapshot};
-use crate::timeline::AvailabilityProfile;
-use dynbatch_core::{BackfillPolicy, JobId, SchedulerConfig, SimDuration, SimTime};
+use crate::timeline::{planned_end, AvailabilityProfile};
+use dynbatch_core::{BackfillPolicy, JobId, SchedulerConfig, SimTime};
 use std::collections::{HashMap, HashSet};
 
 /// A batch-system-initiated resize of a running malleable job.
@@ -162,6 +163,16 @@ impl PlanScratch {
     }
 }
 
+/// The delay-measurement "before" plan, tagged with the base-profile
+/// revision it was computed against. A grant (or any other base mutation)
+/// bumps the revision, so a stale cached plan self-invalidates instead of
+/// relying on callers remembering every mutation site.
+#[derive(Debug)]
+struct CachedPlan {
+    base_rev: u64,
+    plan: Vec<PlannedStart>,
+}
+
 /// The extended Maui scheduler.
 #[derive(Debug, Clone)]
 pub struct Maui {
@@ -172,6 +183,18 @@ pub struct Maui {
     /// only changes when a grant mutates the base profile). Disabled via
     /// [`Maui::set_plan_cache_enabled`] for equivalence testing.
     plan_cache_enabled: bool,
+    /// Maintain the base profile incrementally from snapshot delta logs
+    /// instead of rebuilding from the running set each iteration.
+    /// Disabled via [`Maui::set_incremental_enabled`] for equivalence
+    /// testing (decisions are byte-identical either way).
+    incremental_enabled: bool,
+    /// Assert the incremental profile byte-equal to the rebuild on every
+    /// iteration even in release builds (debug builds always check).
+    incremental_check: bool,
+    /// The persistent delta-maintained profile.
+    timeline: IncrementalTimeline,
+    /// Recycled buffer the per-iteration working base is staged in.
+    base_buf: AvailabilityProfile,
 }
 
 impl Maui {
@@ -188,6 +211,10 @@ impl Maui {
             dfs,
             fairshare,
             plan_cache_enabled: true,
+            incremental_enabled: true,
+            incremental_check: false,
+            timeline: IncrementalTimeline::new(),
+            base_buf: AvailabilityProfile::new(SimTime::ZERO, 0),
         }
     }
 
@@ -197,6 +224,34 @@ impl Maui {
     /// integration suite asserts it); the cache only saves work.
     pub fn set_plan_cache_enabled(&mut self, enabled: bool) {
         self.plan_cache_enabled = enabled;
+    }
+
+    /// Test/debug knob: when disabled, the base profile is rebuilt from
+    /// the running set every iteration (the pre-incremental behaviour)
+    /// instead of maintained from snapshot delta logs. Decisions are
+    /// byte-identical either way (`tests/timeline_incremental.rs` and the
+    /// `perf_smoke` bench both assert it); the delta path only saves
+    /// work.
+    pub fn set_incremental_enabled(&mut self, enabled: bool) {
+        self.incremental_enabled = enabled;
+        if !enabled {
+            // Deltas drained while the knob is off are never applied;
+            // drop continuity so re-enabling starts from a rebuild.
+            self.timeline.invalidate();
+        }
+    }
+
+    /// Test knob: force the rebuild-equivalence assert even in release
+    /// builds (debug builds always check). The quick CI smoke enables
+    /// this so the incremental path is exercised under the guard outside
+    /// `cfg(debug_assertions)` too.
+    pub fn set_incremental_check_enabled(&mut self, enabled: bool) {
+        self.incremental_check = enabled;
+    }
+
+    /// Counters for the incremental timeline (rebuilds vs delta batches).
+    pub fn timeline_stats(&self) -> TimelineStats {
+        self.timeline.stats()
     }
 
     /// The site configuration.
@@ -245,10 +300,27 @@ impl Maui {
         );
 
         // The base profile carries running jobs' remaining walltimes; all
-        // planning happens on top of clones of it. The dynamic partition
-        // (paper §II-B) is held out of every *static* plan; the dynamic
-        // path releases it when sizing requests.
-        let mut base = profile_from_running(now, snap.total_cores, &snap.running);
+        // planning happens on top of clones of it. On the incremental
+        // path it comes from the persistent delta-maintained timeline
+        // (re-anchored to `now`); otherwise it is rebuilt from the
+        // running set. The dynamic partition (paper §II-B) is held out of
+        // every *static* plan; the dynamic path releases it when sizing
+        // requests.
+        let mut base = std::mem::replace(&mut self.base_buf, AvailabilityProfile::new(now, 0));
+        if self.incremental_enabled {
+            self.timeline.advance(snap);
+            if cfg!(debug_assertions) || self.incremental_check {
+                let rebuilt = profile_from_running(now, snap.total_cores, &snap.running);
+                assert_eq!(
+                    *self.timeline.profile(),
+                    rebuilt,
+                    "incremental availability timeline diverged from the rebuild at {now}"
+                );
+            }
+            base.assign_from(self.timeline.profile());
+        } else {
+            rebuild_into(&mut base, now, snap.total_cores, &snap.running);
+        }
         // The partition may be partly consumed by grants during this
         // iteration; `partition` tracks what remains held.
         let mut partition = self
@@ -285,14 +357,17 @@ impl Maui {
             // `decide_dynamic` used to rescan the ranked queue per charge.
             let jobs_by_id: HashMap<JobId, &QueuedJob> =
                 ranked.iter().map(|j| (j.id, *j)).collect();
-            // The "before" plan of the delay measurement depends only on
-            // `base`, which mutates solely when a grant commits — so it is
-            // computed lazily and carried across requests.
-            let mut before_plan: Option<Vec<PlannedStart>> = None;
+            // The "before" plan of the delay measurement is a pure
+            // function of `base`; it is computed lazily, tagged with the
+            // base revision, and carried across requests until a base
+            // mutation bumps the revision.
+            let mut before_plan: Option<CachedPlan> = None;
+            let mut base_rev: u64 = 0;
             for req in requests {
                 let decision = self.decide_dynamic(
                     req,
                     &mut base,
+                    &mut base_rev,
                     &mut partition,
                     &ranked,
                     &jobs_by_id,
@@ -399,7 +474,7 @@ impl Maui {
                 if cores_now >= max {
                     continue;
                 }
-                let end = r.walltime_end.max(now + SimDuration::from_millis(1));
+                let end = planned_end(now, r.walltime_end);
                 let available = profile.min_idle(now, end);
                 let give = available.min(max - cores_now);
                 if give > 0 {
@@ -419,6 +494,10 @@ impl Maui {
             self.dfs.job_left_queue(s.job);
         }
 
+        // Recycle the working profile's step buffer for the next
+        // iteration.
+        self.base_buf = profile;
+
         outcome
     }
 
@@ -428,13 +507,14 @@ impl Maui {
         &mut self,
         req: &DynRequest,
         base: &mut AvailabilityProfile,
+        base_rev: &mut u64,
         partition: &mut u32,
         ranked: &[&QueuedJob],
         jobs_by_id: &HashMap<JobId, &QueuedJob>,
         running: &[RunningJob],
         preempted: &mut HashSet<JobId>,
         cur_cores: &mut HashMap<JobId, u32>,
-        before_plan: &mut Option<Vec<PlannedStart>>,
+        before_plan: &mut Option<CachedPlan>,
         scratch: &mut PlanScratch,
         now: SimTime,
     ) -> DynDecision {
@@ -502,7 +582,7 @@ impl Maui {
                 let min = cand.malleable.expect("filtered").min_cores;
                 let deficit = req.extra_cores - trial.idle_at(now);
                 let give = (cores_now - min).min(deficit);
-                trial.release(now, cand.walltime_end.max(now), give);
+                trial.release(now, planned_end(now, cand.walltime_end), give);
                 to_shrink.push(ResizeDecision {
                     job: cand.id,
                     from_cores: cores_now,
@@ -522,7 +602,11 @@ impl Maui {
                 if trial.idle_at(now) >= req.extra_cores {
                     break;
                 }
-                trial.release(now, cand.walltime_end.max(now), cur_cores[&cand.id]);
+                trial.release(
+                    now,
+                    planned_end(now, cand.walltime_end),
+                    cur_cores[&cand.id],
+                );
                 to_preempt.push(cand.id);
             }
         }
@@ -548,13 +632,21 @@ impl Maui {
         // world (paper §III-D). Partition-only grants therefore
         // measure zero delay — static jobs never had those cores. The
         // "before" plan is a pure function of `base`, so it is reused
-        // across requests until a grant commits a new base.
+        // across requests while its revision tag matches; any base
+        // mutation bumps `base_rev` and invalidates it.
         let depth = self.config.reservation_delay_depth;
-        if before_plan.is_none() || !self.plan_cache_enabled {
+        let cache_valid = self.plan_cache_enabled
+            && before_plan
+                .as_ref()
+                .is_some_and(|c| c.base_rev == *base_rev);
+        if !cache_valid {
             scratch.plan.assign_from(base);
-            *before_plan = Some(plan_starts(&mut scratch.plan, ranked, depth, now));
+            *before_plan = Some(CachedPlan {
+                base_rev: *base_rev,
+                plan: plan_starts(&mut scratch.plan, ranked, depth, now),
+            });
         }
-        let before = before_plan.as_deref().expect("before plan just ensured");
+        let before = &before_plan.as_ref().expect("before plan just ensured").plan;
         scratch.plan.assign_from(&scratch.expanded);
         let after = plan_starts(&mut scratch.plan, ranked, depth, now);
 
@@ -582,10 +674,30 @@ impl Maui {
             DfsVerdict::Allowed => {
                 self.dfs.commit(req.user, &delays);
                 base.assign_from(&scratch.expanded);
-                // The new base *is* the expanded world: the plan just
-                // computed against it becomes the next request's "before".
-                *before_plan = self.plan_cache_enabled.then_some(after);
+                *base_rev += 1;
                 *partition = unused_partition;
+                // Re-expand the partition toward its configured width:
+                // shrinks and preemptions can leave cores durably free
+                // (a preempted job frees its whole width, not just the
+                // deficit), and without this the opening clamp would pin
+                // the partition below `dyn_partition_cores` for the rest
+                // of the iteration.
+                let want = self.config.dyn_partition_cores.saturating_sub(*partition);
+                let regrow = want.min(base.min_idle(now, SimTime::MAX));
+                if regrow > 0 {
+                    base.hold(now, SimTime::MAX, regrow);
+                    *partition += regrow;
+                    *base_rev += 1;
+                }
+                // The new base *is* the expanded world — unless the
+                // partition just re-grew, the plan computed against it
+                // becomes the next request's "before". (A re-grow holds
+                // cores `after` was planned without, so the revision tag
+                // keeps the cache cold and the next request replans.)
+                *before_plan = (self.plan_cache_enabled && regrow == 0).then_some(CachedPlan {
+                    base_rev: *base_rev,
+                    plan: after,
+                });
                 preempted.extend(to_preempt.iter().copied());
                 for r in &to_shrink {
                     cur_cores.insert(r.job, r.to_cores);
@@ -629,33 +741,14 @@ fn reject_or_defer(
     }
 }
 
-/// Builds the availability profile of the running workload: each running
-/// job holds its cores until its walltime end.
-fn profile_from_running(
-    now: SimTime,
-    total_cores: u32,
-    running: &[RunningJob],
-) -> AvailabilityProfile {
-    let mut p = AvailabilityProfile::new(now, total_cores);
-    let grace = SimDuration::from_millis(1);
-    for r in running {
-        // A job past its walltime still physically holds its cores until
-        // the resource manager reaps it. Plan as if it ends one grace tick
-        // from now: its cores cannot be double-booked *now*, yet they
-        // free up almost immediately for reservations. (In the simulator
-        // kills are exact and this path never triggers; the wall-clock
-        // daemon needs it.)
-        let end = r.walltime_end.max(now + grace);
-        p.hold(now, end, r.cores + r.reserved_extra);
-    }
-    p
-}
-
 /// The core count `job` can start on right now: its requested cores, or —
 /// for a moldable job — the largest count in its range that fits (molding
 /// happens before start and never after; paper §I). `None` when nothing
 /// fits.
-fn mold_fit(profile: &AvailabilityProfile, job: &QueuedJob, now: SimTime) -> Option<u32> {
+///
+/// Public for the brute-force oracle test that pins the `reserve_extra`
+/// subtraction path; it is not part of the scheduler's driving API.
+pub fn mold_fit(profile: &AvailabilityProfile, job: &QueuedJob, now: SimTime) -> Option<u32> {
     let idle = profile.min_idle(now, now.saturating_add(job.walltime));
     match job.moldable {
         None => (idle >= job.cores + job.reserve_extra).then_some(job.cores),
@@ -727,6 +820,68 @@ mod tests {
     }
 
     #[test]
+    fn overdue_running_jobs_use_one_grace_clamp_at_every_site() {
+        // Regression for the duplicated overdue-grace logic: the base
+        // profile builder, the shrink/preempt what-if releases, and the
+        // malleable grow pass must all clamp an overdue job's planning
+        // window through the same `planned_end` helper. A job whose
+        // walltime expired before `now` is held (and released) over
+        // `[now, now + grace)`; a raw `walltime_end` at any one site
+        // would produce a reversed window and panic, or silently release
+        // cores the profile never held.
+        let now = t(1000);
+        let mut cfg = SchedulerConfig::paper_eval();
+        cfg.dfs = DfsConfig::highest_priority();
+        cfg.shrink_malleable_for_dyn = true;
+        cfg.preempt_backfilled_for_dyn = true;
+        cfg.grow_malleable_on_idle = true;
+        let mut m = Maui::new(cfg);
+
+        // All three running jobs except E are overdue (walltime_end < now).
+        let mut bf = running(1, 0, 4, 500); // overdue, preemptible
+        bf.backfilled = true;
+        let mut shrinkable = running(2, 0, 4, 900); // overdue, malleable
+        shrinkable.malleable = Some(dynbatch_core::MalleableRange {
+            min_cores: 2,
+            max_cores: 8,
+        });
+        let mut growable = running(4, 0, 2, 950); // overdue, at its minimum
+        growable.malleable = Some(dynbatch_core::MalleableRange {
+            min_cores: 2,
+            max_cores: 8,
+        });
+        let evolving = running(3, 1, 4, 2000);
+
+        let snap = Snapshot {
+            now,
+            total_cores: 20,
+            running: vec![bf, shrinkable, growable, evolving],
+            queued: vec![],
+            // +10 forces the full source chain: 6 idle + 2 shrunk from the
+            // overdue malleable + 4 preempted from the overdue backfill.
+            dyn_requests: vec![dyn_req(3, 1, 10, 1000, 0)],
+            deltas: None,
+        };
+        let out = m.iterate(&snap);
+
+        match &out.dyn_decisions[0] {
+            DynDecision::Granted {
+                preempted, shrunk, ..
+            } => {
+                assert_eq!(preempted, &[JobId(1)], "overdue backfill preempted");
+                assert_eq!(shrunk.len(), 1);
+                assert_eq!((shrunk[0].job, shrunk[0].to_cores), (JobId(2), 2));
+            }
+            other => panic!("expected a grant, got {other:?}"),
+        }
+        // The grow pass sees the overdue malleable job through the same
+        // clamp: 2 cores stay durably free after the over-freeing
+        // preemption, and the grow window `[now, planned_end)` is valid.
+        assert_eq!(out.grows.len(), 1);
+        assert_eq!((out.grows[0].job, out.grows[0].to_cores), (JobId(4), 4));
+    }
+
+    #[test]
     fn empty_snapshot_is_a_noop() {
         let mut m = maui(DfsConfig::default());
         let out = m.iterate(&Snapshot {
@@ -747,6 +902,7 @@ mod tests {
             running: vec![],
             queued: vec![queued(2, 0, 4, 100, 50), queued(1, 0, 4, 100, 0)],
             dyn_requests: vec![],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         assert_eq!(out.starts.len(), 2);
@@ -766,6 +922,7 @@ mod tests {
             running: vec![running(1, 0, 6, 100)],
             queued: vec![queued(2, 0, 8, 100, 0), queued(3, 1, 2, 50, 10)],
             dyn_requests: vec![],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         assert_eq!(out.reservations.len(), 1);
@@ -787,6 +944,7 @@ mod tests {
             running: vec![running(1, 0, 6, 100)],
             queued: vec![queued(2, 0, 8, 100, 0), queued(3, 1, 2, 150, 10)],
             dyn_requests: vec![],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         assert!(out.starts.is_empty(), "nothing may start: {:?}", out.starts);
@@ -804,6 +962,7 @@ mod tests {
             running: vec![running(1, 0, 6, 100)],
             queued: vec![z, queued(3, 1, 2, 50, 10)],
             dyn_requests: vec![],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         assert!(
@@ -821,6 +980,7 @@ mod tests {
             running: vec![running(1, 0, 4, 200)],
             queued: vec![],
             dyn_requests: vec![dyn_req(1, 0, 4, 190, 0)],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         assert_eq!(out.dyn_decisions.len(), 1);
@@ -836,6 +996,7 @@ mod tests {
             running: vec![running(1, 0, 8, 200)],
             queued: vec![],
             dyn_requests: vec![dyn_req(1, 0, 4, 190, 0)],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         assert_eq!(
@@ -858,6 +1019,7 @@ mod tests {
             running: vec![running(1, 0, 4, 200)],
             queued: vec![],
             dyn_requests: vec![dyn_req(1, 0, 4, 190, 0)],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         assert!(out.dyn_decisions.is_empty());
@@ -875,6 +1037,7 @@ mod tests {
             running: vec![running(1, 0, 2, 8 * h), running(2, 1, 2, 4 * h)],
             queued: vec![queued(3, 2, 4, 4 * h, 0)],
             dyn_requests: vec![dyn_req(1, 0, 2, 8 * h, 0)],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         match &out.dyn_decisions[0] {
@@ -902,6 +1065,7 @@ mod tests {
             running: vec![running(1, 0, 2, 8 * h), running(2, 1, 2, 4 * h)],
             queued: vec![queued(3, 2, 4, 4 * h, 0)],
             dyn_requests: vec![dyn_req(1, 0, 2, 8 * h, 0)],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         assert!(matches!(
@@ -931,6 +1095,7 @@ mod tests {
             running: vec![running(1, 0, 2, 8 * h), running(2, 1, 2, 4 * h)],
             queued: vec![queued(3, 0, 4, 4 * h, 0)],
             dyn_requests: vec![dyn_req(1, 0, 2, 8 * h, 0)],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         assert!(out.dyn_decisions[0].is_granted());
@@ -951,6 +1116,7 @@ mod tests {
             running: vec![running(1, 0, 2, 8 * h), running(2, 1, 2, 4 * h)],
             queued: vec![queued(3, 2, 4, 4 * h, 0), queued(4, 3, 4, 4 * h, 10)],
             dyn_requests: vec![dyn_req(1, 0, 2, 8 * h, 0)],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         match &out.dyn_decisions[0] {
@@ -977,6 +1143,7 @@ mod tests {
             running: vec![running(1, 0, 4, 300), bf],
             queued: vec![],
             dyn_requests: vec![dyn_req(1, 0, 4, 290, 0)],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         match &out.dyn_decisions[0] {
@@ -1001,6 +1168,7 @@ mod tests {
             running: vec![running(1, 0, 4, 300), bf],
             queued: vec![],
             dyn_requests: vec![dyn_req(1, 0, 4, 290, 0)],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         assert!(matches!(
@@ -1023,6 +1191,7 @@ mod tests {
             running: vec![running(1, 0, 2, 200), running(2, 1, 2, 200)],
             queued: vec![],
             dyn_requests: vec![dyn_req(2, 1, 4, 190, 7), dyn_req(1, 0, 4, 190, 3)],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         assert_eq!(out.dyn_decisions.len(), 2);
@@ -1042,6 +1211,7 @@ mod tests {
             running: vec![running(1, 0, 4, 100)],
             queued: vec![queued(2, 1, 4, 50, 0)],
             dyn_requests: vec![dyn_req(1, 0, 4, 100, 0)],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         assert!(out.dyn_decisions[0].is_granted());
@@ -1076,6 +1246,7 @@ mod tests {
                 queued(4, 2, 8, 100, 2),
             ],
             dyn_requests: vec![],
+            deltas: None,
         };
         let out = m.iterate(&snap);
         assert_eq!(out.reservations.len(), 3, "conservative ignores depth");
@@ -1093,6 +1264,7 @@ mod tests {
                 queued(4, 2, 16, 30, 20),
             ],
             dyn_requests: vec![dyn_req(1, 0, 4, 90, 0)],
+            deltas: None,
         };
         let out1 = maui(DfsConfig::highest_priority()).iterate(&snap);
         let out2 = maui(DfsConfig::highest_priority()).iterate(&snap);

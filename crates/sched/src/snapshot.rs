@@ -7,6 +7,7 @@
 //! [`crate::maui::Maui::iterate`]. Keeping it a plain value keeps the
 //! scheduler deterministic and trivially testable.
 
+use crate::incremental::DeltaLog;
 use dynbatch_core::{GroupId, JobId, MalleableRange, SimDuration, SimTime, UserId};
 
 /// A job currently holding resources.
@@ -102,6 +103,11 @@ pub struct Snapshot {
     /// Pending dynamic requests, in any order (the scheduler sorts by
     /// `seq`).
     pub dyn_requests: Vec<DynRequest>,
+    /// Running-set mutations since the previous snapshot, for the
+    /// scheduler's incremental timeline ([`crate::incremental`]).
+    /// `None` (a snapshot built outside the incremental protocol) simply
+    /// forces a full profile rebuild — correctness never depends on it.
+    pub deltas: Option<DeltaLog>,
 }
 
 impl Snapshot {
@@ -146,6 +152,7 @@ mod tests {
             }],
             queued: vec![],
             dyn_requests: vec![],
+            deltas: None,
         };
         assert_eq!(snap.busy_cores(), 50);
         assert_eq!(snap.idle_cores(), 70);
@@ -171,6 +178,7 @@ mod tests {
                 moldable: None,
             }],
             dyn_requests: vec![],
+            deltas: None,
         };
         assert!(snap.backfill_suppressed());
     }

@@ -32,6 +32,25 @@
 
 use dynbatch_core::{SimDuration, SimTime};
 
+/// How long past its walltime an overdue running job is still planned to
+/// hold its cores (see [`planned_end`]).
+pub const OVERDUE_GRACE: SimDuration = SimDuration::from_millis(1);
+
+/// The instant the planner books a running job's hold as ending: its
+/// walltime end, clamped to at least one grace tick past `now`.
+///
+/// A job past its walltime still physically holds its cores until the
+/// resource manager reaps it. Planning it as ending at `now + 1 ms` keeps
+/// the cores un-bookable *right now* while freeing them almost immediately
+/// for reservations. (In the simulator kills are exact and the clamp never
+/// engages; the wall-clock daemon needs it.) Every path that books running
+/// jobs — the base rebuild, the malleable grow pass, shrink/preempt
+/// releases, and the incremental delta applier — must agree on this clamp,
+/// which is why it lives here rather than inline at each call site.
+pub fn planned_end(now: SimTime, walltime_end: SimTime) -> SimTime {
+    walltime_end.max(now.saturating_add(OVERDUE_GRACE))
+}
+
 /// A step function `time → idle cores` over `[origin, ∞)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AvailabilityProfile {
@@ -250,6 +269,29 @@ impl AvailabilityProfile {
         self.steps.extend_from_slice(&other.steps);
     }
 
+    /// Re-anchors the profile at `new_origin` (which may not precede the
+    /// current origin), dropping every breakpoint strictly before it. The
+    /// step function over `[new_origin, ∞)` is unchanged, and the result
+    /// is identical to rebuilding the same holds with `new_origin` as the
+    /// origin — dropping a prefix cannot make two surviving neighbours
+    /// equal, so the canonical (coalesced) form is preserved.
+    ///
+    /// This is the incremental timeline's re-anchor step: amortised O(1)
+    /// per breakpoint ever created, versus the O(running jobs) full
+    /// rebuild it replaces.
+    pub fn advance_origin(&mut self, new_origin: SimTime) {
+        assert!(new_origin >= self.origin, "profile origin may only advance");
+        if new_origin == self.origin {
+            return;
+        }
+        let i = self.segment_index(new_origin);
+        if i > 0 {
+            self.steps.drain(..i);
+        }
+        self.steps[0].0 = new_origin;
+        self.origin = new_origin;
+    }
+
     /// Resets to a fully idle profile, reusing the step buffer.
     pub fn reset(&mut self, origin: SimTime, capacity: u32) {
         self.origin = origin;
@@ -437,6 +479,55 @@ mod tests {
         // right there, 4 must wait for the release at t=50.
         assert_eq!(p.earliest_fit(2, d(10), t(25)), Some(t(25)));
         assert_eq!(p.earliest_fit(4, d(10), t(25)), Some(t(50)));
+    }
+
+    #[test]
+    fn advance_origin_preserves_suffix_and_canonical_form() {
+        let mut p = AvailabilityProfile::new(t(0), 10);
+        p.hold(t(5), t(15), 4);
+        p.hold(t(20), t(30), 7);
+
+        // Advance into the middle of the first hold: the prefix breakpoints
+        // vanish, the suffix is untouched.
+        p.advance_origin(t(7));
+        let mut fresh = AvailabilityProfile::new(t(7), 10);
+        fresh.hold(t(7), t(15), 4);
+        fresh.hold(t(20), t(30), 7);
+        assert_eq!(p, fresh, "re-anchored profile must match a rebuild");
+
+        // Advancing to an existing breakpoint and past all holds also
+        // matches rebuilds.
+        p.advance_origin(t(20));
+        let mut fresh = AvailabilityProfile::new(t(20), 10);
+        fresh.hold(t(20), t(30), 7);
+        assert_eq!(p, fresh);
+        p.advance_origin(t(40));
+        assert_eq!(p, AvailabilityProfile::new(t(40), 10));
+        assert_eq!(p.steps().len(), 1);
+
+        // Same-instant advance is a no-op.
+        p.advance_origin(t(40));
+        assert_eq!(p, AvailabilityProfile::new(t(40), 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "origin may only advance")]
+    fn advance_origin_backwards_panics() {
+        let mut p = AvailabilityProfile::new(t(10), 4);
+        p.advance_origin(t(9));
+    }
+
+    #[test]
+    fn planned_end_clamps_overdue_jobs() {
+        // Future walltime end: untouched.
+        assert_eq!(planned_end(t(10), t(50)), t(50));
+        // Overdue (or exactly due) job: one grace tick past now.
+        let tick = SimTime::from_millis(10_001);
+        assert_eq!(planned_end(t(10), t(10)), tick);
+        assert_eq!(planned_end(t(10), t(3)), tick);
+        // At the far-future boundary the clamp saturates instead of
+        // overflowing.
+        assert_eq!(planned_end(SimTime::MAX, t(3)), SimTime::MAX);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Brute-force oracle for `mold_fit`, the start-width chooser.
+//!
+//! The production code computes the moldable width arithmetically
+//! (`max_cores.min(idle.saturating_sub(reserve_extra))`); the oracle
+//! instead *tries every candidate width* in the moldable range against
+//! the naive reference profile. Equality over random profiles and jobs
+//! pins the `reserve_extra` subtraction (a width fits only if the job's
+//! guaranteeing pre-reserve fits on top of it) and the saturation when
+//! the reserve alone exceeds the idle cores.
+
+use dynbatch_core::testkit::{check, TestRng};
+use dynbatch_core::{GroupId, JobId, MalleableRange, SimDuration, SimTime, UserId};
+use dynbatch_sched::reference::NaiveProfile;
+use dynbatch_sched::{mold_fit, AvailabilityProfile, QueuedJob};
+
+/// Random feasible holds applied to both representations.
+fn build(rng: &mut TestRng, capacity: u32) -> (AvailabilityProfile, NaiveProfile) {
+    let mut fast = AvailabilityProfile::new(SimTime::ZERO, capacity);
+    let mut naive = NaiveProfile::new(SimTime::ZERO, capacity);
+    for _ in 0..rng.range_usize(0, 30) {
+        let from = SimTime::from_secs(rng.below(2000));
+        let to = from + SimDuration::from_secs(rng.range(1, 2000));
+        let avail = fast.min_idle(from, to);
+        if avail > 0 {
+            let cores = rng.range_u32(1, avail + 1);
+            fast.hold(from, to, cores);
+            naive.hold(from, to, cores);
+        }
+    }
+    (fast, naive)
+}
+
+/// The spec: the largest width in the moldable range (or the fixed
+/// request) whose `width + reserve_extra` fits `[now, now + walltime)`,
+/// found by trying every candidate against the naive profile.
+fn oracle(naive: &NaiveProfile, job: &QueuedJob, now: SimTime) -> Option<u32> {
+    let idle = naive.min_idle(now, now.saturating_add(job.walltime));
+    let fits = |w: u32| idle >= w + job.reserve_extra;
+    match job.moldable {
+        None => fits(job.cores).then_some(job.cores),
+        Some(r) => (r.min_cores..=r.max_cores).rev().find(|&w| fits(w)),
+    }
+}
+
+#[test]
+fn mold_fit_matches_brute_force_oracle() {
+    check(512, 0x401D, |rng| {
+        const CAPACITY: u32 = 48;
+        let (fast, naive) = build(rng, CAPACITY);
+        let now = SimTime::from_secs(rng.below(3000));
+        // 70 % moldable (ranges may exceed capacity), 30 % rigid; half
+        // the jobs carry a guaranteeing pre-reserve.
+        let moldable = rng.chance(0.7).then(|| {
+            let min_cores = rng.range_u32(1, CAPACITY + 1);
+            MalleableRange {
+                min_cores,
+                max_cores: rng.range_u32(min_cores, CAPACITY + 4),
+            }
+        });
+        let job = QueuedJob {
+            id: JobId(1),
+            user: UserId(0),
+            group: GroupId(0),
+            cores: rng.range_u32(1, CAPACITY + 4),
+            walltime: SimDuration::from_secs(rng.range(1, 3000)),
+            submit_time: SimTime::ZERO,
+            priority_boost: 0,
+            suppress_backfill_while_queued: false,
+            reserve_extra: if rng.chance(0.5) {
+                rng.range_u32(0, 9)
+            } else {
+                0
+            },
+            moldable,
+        };
+        assert_eq!(
+            mold_fit(&fast, &job, now),
+            oracle(&naive, &job, now),
+            "molding diverged (cores {}, moldable {:?}, reserve {})",
+            job.cores,
+            job.moldable,
+            job.reserve_extra
+        );
+    });
+}

@@ -18,6 +18,7 @@ fn random_snapshot(rng: &mut TestRng) -> (Snapshot, SchedulerConfig) {
         running: Vec::new(),
         queued: Vec::new(),
         dyn_requests: Vec::new(),
+        deltas: None,
     };
     let mut used = 0u32;
     let mut seq = 0u64;

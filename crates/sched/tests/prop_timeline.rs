@@ -111,6 +111,102 @@ fn holds_commute() {
     });
 }
 
+/// A time either within 10 s of the origin or within 10 s of
+/// `SimTime::MAX` — every interesting overflow boundary lives there.
+fn edge_time(rng: &mut TestRng) -> SimTime {
+    if rng.chance(0.5) {
+        SimTime::from_millis(u64::MAX - rng.below(10_000))
+    } else {
+        SimTime::from_millis(rng.below(10_000))
+    }
+}
+
+/// `hold` / `release` / `earliest_fit` at the far end of the time axis:
+/// the timeline saturates window ends at `SimTime::MAX` (`hold_for` and
+/// `earliest_fit`'s end computation) rather than overflowing, and the
+/// naive reference must agree observationally on windows and durations
+/// within a hair of `MAX` — including `to == SimTime::MAX` ("to
+/// infinity") itself.
+#[test]
+fn operations_near_simtime_max_match_naive_reference() {
+    check(256, 0x7EE7, |rng| {
+        const CAPACITY: u32 = 32;
+        let mut fast = AvailabilityProfile::new(SimTime::ZERO, CAPACITY);
+        let mut naive = NaiveProfile::new(SimTime::ZERO, CAPACITY);
+        let mut held: Vec<(SimTime, SimTime, u32)> = Vec::new();
+        let ops = rng.range_usize(1, 50);
+        for _ in 0..ops {
+            match rng.below(4) {
+                // hold an explicit (possibly infinite) window
+                0 => {
+                    let a = edge_time(rng);
+                    let b = if rng.chance(0.25) {
+                        SimTime::MAX
+                    } else {
+                        edge_time(rng)
+                    };
+                    let (from, to) = if a <= b { (a, b) } else { (b, a) };
+                    let avail = fast.min_idle(from, to);
+                    if avail > 0 && from < to {
+                        let cores = rng.range_u32(1, avail + 1);
+                        fast.hold(from, to, cores);
+                        naive.hold(from, to, cores);
+                        held.push((from, to, cores));
+                    }
+                }
+                // hold_for with a duration that saturates past MAX
+                1 => {
+                    let from = edge_time(rng);
+                    let dur = SimDuration::from_millis(u64::MAX - rng.below(20_000));
+                    let to = from.saturating_add(dur);
+                    let avail = fast.min_idle(from, to);
+                    if avail > 0 && from < to {
+                        let cores = rng.range_u32(1, avail + 1);
+                        fast.hold_for(from, dur, cores);
+                        naive.hold_for(from, dur, cores);
+                        held.push((from, to, cores));
+                    }
+                }
+                // release a previously held window (possibly split)
+                2 => {
+                    if let Some(i) =
+                        (!held.is_empty()).then(|| rng.below(held.len() as u64) as usize)
+                    {
+                        let (from, to, cores) = held.swap_remove(i);
+                        let part = rng.range_u32(1, cores + 1);
+                        fast.release(from, to, part);
+                        naive.release(from, to, part);
+                        if part < cores {
+                            held.push((from, to, cores - part));
+                        }
+                    }
+                }
+                // queries, with durations big enough to saturate
+                _ => {
+                    let t = edge_time(rng);
+                    assert_eq!(fast.idle_at(t), naive.idle_at(t), "idle_at({t})");
+                    let b = edge_time(rng);
+                    let (from, to) = if t <= b { (t, b) } else { (b, t) };
+                    assert_eq!(
+                        fast.min_idle(from, to),
+                        naive.min_idle(from, to),
+                        "min_idle({from}, {to})"
+                    );
+                    let cores = rng.range_u32(0, CAPACITY + 4);
+                    let dur = SimDuration::from_millis(u64::MAX - rng.below(20_000));
+                    let nb = edge_time(rng);
+                    assert_eq!(
+                        fast.earliest_fit(cores, dur, nb),
+                        naive.earliest_fit(cores, dur, nb),
+                        "earliest_fit({cores}, {dur}, {nb})"
+                    );
+                }
+            }
+            assert_eq!(fast.steps(), naive.steps(), "step vectors diverged");
+        }
+    });
+}
+
 /// The windowed implementation is observationally equivalent to the naive
 /// reference ([`NaiveProfile`], the original full-scan formulation) on
 /// random interleavings of `hold` / `release` / queries. This is the

@@ -19,7 +19,8 @@ use dynbatch_core::{
     AllocPolicy, Error, Job, JobId, JobOutcome, JobSpec, JobState, Result, SimTime,
 };
 use dynbatch_sched::{
-    DfsReject, DynDecision, DynRequest, IterationOutcome, QueuedJob, RunningJob, Snapshot,
+    DeltaLog, DfsReject, DynDecision, DynRequest, IterationOutcome, ProfileDelta, QueuedJob,
+    RunningJob, Snapshot,
 };
 use std::collections::BTreeMap;
 
@@ -98,6 +99,14 @@ pub struct PbsServer {
     alloc_policy: AllocPolicy,
     accounting: AccountingLog,
     guarantee_evolving: bool,
+    /// Running-set mutations since the last incremental snapshot, in
+    /// occurrence order — the feed for the scheduler's incremental
+    /// timeline (`dynbatch_sched::incremental`). Drained by
+    /// [`PbsServer::snapshot_incremental`].
+    deltas: Vec<ProfileDelta>,
+    /// Continuity epoch: incremented per incremental snapshot, stamped
+    /// into each drained [`DeltaLog`].
+    snapshot_epoch: u64,
 }
 
 impl PbsServer {
@@ -112,6 +121,8 @@ impl PbsServer {
             alloc_policy,
             accounting: AccountingLog::new(),
             guarantee_evolving: false,
+            deltas: Vec::new(),
+            snapshot_epoch: 0,
         }
     }
 
@@ -129,6 +140,8 @@ impl PbsServer {
         self.alloc_policy = alloc_policy;
         self.accounting.clear();
         self.guarantee_evolving = false;
+        self.deltas.clear();
+        self.snapshot_epoch = 0;
     }
 
     /// Enables the *guaranteeing* site policy (paper §II-B): evolving jobs
@@ -217,6 +230,7 @@ impl PbsServer {
         if was_active {
             self.cluster.release_all(id)?;
             self.dyn_pending.remove(&id);
+            self.deltas.push(ProfileDelta::Finished { job: id });
         }
         Ok(())
     }
@@ -289,6 +303,11 @@ impl PbsServer {
         }
         self.cluster.release_partial(id, released)?;
         job.cores_allocated -= total;
+        let held_cores = job.cores_allocated + job.reserved_extra;
+        self.deltas.push(ProfileDelta::Resized {
+            job: id,
+            held_cores,
+        });
         Ok(())
     }
 
@@ -306,6 +325,7 @@ impl PbsServer {
         job.end_time = Some(now);
         self.dyn_pending.remove(&id);
         self.cluster.release_all(id)?;
+        self.deltas.push(ProfileDelta::Finished { job: id });
         let job = &self.jobs[&id];
         let outcome = JobOutcome {
             id,
@@ -383,7 +403,28 @@ impl PbsServer {
             running,
             queued,
             dyn_requests,
+            deltas: None,
         }
+    }
+
+    /// Like [`PbsServer::snapshot`], but participates in the incremental
+    /// timeline protocol: drains the running-set mutations recorded since
+    /// the previous incremental snapshot and stamps them with continuity
+    /// epochs, letting the scheduler update its availability profile by
+    /// delta instead of rebuilding it. [`PbsServer::snapshot`] (which
+    /// leaves `deltas` as `None` and drains nothing) remains available for
+    /// out-of-band inspection; the scheduler simply rebuilds on the next
+    /// epoch gap.
+    pub fn snapshot_incremental(&mut self, now: SimTime) -> Snapshot {
+        let mut snap = self.snapshot(now);
+        let base_epoch = self.snapshot_epoch;
+        self.snapshot_epoch += 1;
+        snap.deltas = Some(DeltaLog {
+            base_epoch,
+            epoch: self.snapshot_epoch,
+            deltas: std::mem::take(&mut self.deltas),
+        });
+        snap
     }
 
     /// Applies a scheduler outcome to real state, in the scheduler's
@@ -423,6 +464,11 @@ impl PbsServer {
                     // Under the guaranteeing policy the grant consumes the
                     // job's own pre-reserve.
                     j.reserved_extra = j.reserved_extra.saturating_sub(*extra_cores);
+                    let held_cores = j.cores_allocated + j.reserved_extra;
+                    self.deltas.push(ProfileDelta::Resized {
+                        job: *job,
+                        held_cores,
+                    });
                     self.dyn_pending.remove(job);
                     applied.push(Applied::DynGranted { job: *job, added });
                 }
@@ -475,10 +521,16 @@ impl PbsServer {
             job.cores_allocated = cores;
             job.backfilled = start.backfilled;
             job.reserved_extra = reserve;
+            let walltime_end = job.walltime_end().expect("just started");
             let alloc = self
                 .cluster
                 .allocate(start.job, cores, self.alloc_policy)
                 .expect("planned start must fit");
+            self.deltas.push(ProfileDelta::Started {
+                job: start.job,
+                held_cores: cores + reserve,
+                walltime_end,
+            });
             applied.push(Applied::Started {
                 job: start.job,
                 alloc,
@@ -510,13 +562,17 @@ impl PbsServer {
             job.start_time = None;
             job.cores_allocated = 0;
             job.backfilled = false;
+            self.deltas.push(ProfileDelta::Finished { job: v });
         }
+        self.deltas.push(ProfileDelta::CapacityChanged);
         Ok(victims)
     }
 
     /// A failed node returned to service.
     pub fn node_repaired(&mut self, node: dynbatch_core::NodeId) -> Result<()> {
-        self.cluster.repair_node(node)
+        self.cluster.repair_node(node)?;
+        self.deltas.push(ProfileDelta::CapacityChanged);
+        Ok(())
     }
 
     /// Applies a scheduler-initiated malleable resize.
@@ -550,6 +606,11 @@ impl PbsServer {
         };
         let job = self.jobs.get_mut(&r.job).expect("checked above");
         job.cores_allocated = r.to_cores;
+        let held_cores = r.to_cores + job.reserved_extra;
+        self.deltas.push(ProfileDelta::Resized {
+            job: r.job,
+            held_cores,
+        });
         Ok(Applied::Resized {
             job: r.job,
             from_cores: r.from_cores,
@@ -639,6 +700,7 @@ impl PbsServer {
         job.start_time = None;
         job.cores_allocated = 0;
         job.backfilled = false;
+        self.deltas.push(ProfileDelta::Finished { job: id });
         Ok(())
     }
 }

@@ -362,7 +362,7 @@ impl BatchSim {
     /// One scheduler iteration plus application of its outcome.
     fn run_cycle(&mut self, now: SimTime) {
         self.stats.cycles += 1;
-        let snapshot = self.server.snapshot(now);
+        let snapshot = self.server.snapshot_incremental(now);
         let outcome = self.maui.iterate(&snapshot);
         for d in &outcome.dyn_decisions {
             if let dynbatch_sched::DynDecision::Granted { delays, .. } = d {

@@ -72,6 +72,7 @@ fn fig1_snapshot(reg: &mut CredRegistry) -> Snapshot {
             seq: 0,
             deadline: None,
         }],
+        deltas: None,
     }
 }
 

@@ -22,7 +22,14 @@ cargo test -q --test chaos_daemon chaos_zero_fault
 echo "==> parallel sweep smoke (serial == parallel)"
 cargo test -q --test sweep_engine
 
-echo "==> perf_smoke --quick"
+echo "==> incremental timeline equivalence (delta path == rebuild path)"
+cargo test -q --test timeline_incremental
+
+echo "==> dynamic-partition regressions (same-cycle re-expansion / shrink)"
+cargo test -q --test partition
+
+echo "==> perf_smoke --quick (runs the incremental path with the"
+echo "    rebuild-equivalence assert enabled on every tick)"
 cargo run --release -q -p dynbatch-bench --bin perf_smoke -- --quick \
   --out /tmp/BENCH_sched.quick.json --out-sweep /tmp/BENCH_sweep.quick.json
 

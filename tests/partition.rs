@@ -147,6 +147,124 @@ fn without_partition_the_same_grant_is_refused() {
 }
 
 #[test]
+fn partition_reexpands_after_overfreeing_preemption_in_same_cycle() {
+    // Regression for the dynamic-partition width pin: the opening clamp
+    // `dyn_partition_cores.min(base.min_idle(..))` sizes the partition
+    // once per iteration, so cores durably freed *mid-iteration* — a
+    // preempted victim frees its whole width, not just the request's
+    // deficit — used to stay outside the partition for the rest of the
+    // cycle. A later request in the same cycle then drew them from the
+    // idle pool, delaying queued jobs, and strict fairness refused it.
+    //
+    // 16 cores, 4 partitioned, 1 s cap. At t=0: E1 (4, will ask +6) and
+    // E2 (4, will ask +2) start; "big" (12) blocks and reserves; "bf" (4,
+    // 400 s) backfills. "waiter" (2) queues at t=10. Both requests fire
+    // at t=160 (16 % of SET):
+    //   E1 +6: partition (4) + preempting bf (4) over-frees 2 cores.
+    //     Without re-expansion those 2 stay idle; with it the partition
+    //     re-grows to 2.
+    //   E2 +2: served from the re-grown partition — zero delay, granted.
+    //     Without re-expansion the same 2 cores are the waiter's earliest
+    //     start, so the grant would charge ~840 s and be refused.
+    let mut reg = CredRegistry::new();
+    let e1 = reg.user("e1");
+    let e2 = reg.user("e2");
+    let r = reg.user("rigid");
+    let g = reg.group_of(e1);
+    let mut cfg = sched(4, Some(1));
+    cfg.preempt_backfilled_for_dyn = true;
+    let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), cfg);
+    sim.load(&[
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::evolving("E1", e1, g, 4, ExecutionModel::esp_evolving(1000, 700, 6)),
+        },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::evolving("E2", e2, g, 4, ExecutionModel::esp_evolving(1000, 700, 2)),
+        },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid("big", r, g, 12, SimDuration::from_secs(500)),
+        },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::rigid("bf", r, g, 4, SimDuration::from_secs(400)),
+        },
+        WorkloadItem {
+            at: SimTime::from_secs(10),
+            spec: JobSpec::rigid("waiter", r, g, 2, SimDuration::from_secs(300)),
+        },
+    ]);
+    sim.run();
+    let outcomes = sim.server().accounting().outcomes();
+    let e1_out = outcomes.iter().find(|o| o.name == "E1").unwrap();
+    let e2_out = outcomes.iter().find(|o| o.name == "E2").unwrap();
+    assert_eq!(e1_out.dyn_grants, 1, "E1's preempting grant");
+    assert_eq!(e1_out.cores_final, 10);
+    assert_eq!(
+        e2_out.dyn_grants, 1,
+        "E2 must be served from the re-expanded partition"
+    );
+    assert_eq!(e2_out.cores_final, 6);
+    assert_eq!(
+        sim.stats().delay_charged_ms,
+        0,
+        "both grants drew on partition/preempted cores only"
+    );
+    assert_eq!(
+        sim.stats().dyn_rejected_fairness,
+        0,
+        "nothing should have been refused on fairness grounds"
+    );
+}
+
+#[test]
+fn shrink_then_dynamic_request_in_same_cycle() {
+    // The shrink path frees exactly the request's deficit, so nothing is
+    // durably freed; a second request in the same cycle must see the
+    // updated (post-shrink) core counts and shrink further rather than
+    // double-count the first shrink's cores. M (6 cores, malleable
+    // [2, 8]) is shrunk twice in one cycle: 6 → 4 for E1's +6, then
+    // 4 → 2 for E2's +2.
+    let mut reg = CredRegistry::new();
+    let e1 = reg.user("e1");
+    let e2 = reg.user("e2");
+    let m = reg.user("mall");
+    let g = reg.group_of(e1);
+    let mut cfg = sched(4, Some(1));
+    cfg.shrink_malleable_for_dyn = true;
+    let mut sim = BatchSim::new(Cluster::homogeneous(2, 8), cfg);
+    sim.load(&[
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::evolving("E1", e1, g, 4, ExecutionModel::esp_evolving(1000, 700, 6)),
+        },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::evolving("E2", e2, g, 2, ExecutionModel::esp_evolving(1000, 700, 2)),
+        },
+        WorkloadItem {
+            at: SimTime::ZERO,
+            spec: JobSpec::malleable("M", m, g, 6, 2, 8, 4000),
+        },
+    ]);
+    sim.run();
+    let outcomes = sim.server().accounting().outcomes();
+    let e1_out = outcomes.iter().find(|o| o.name == "E1").unwrap();
+    let e2_out = outcomes.iter().find(|o| o.name == "E2").unwrap();
+    let m_out = outcomes.iter().find(|o| o.name == "M").unwrap();
+    assert_eq!(e1_out.dyn_grants, 1);
+    assert_eq!(e1_out.cores_final, 10);
+    assert_eq!(
+        e2_out.dyn_grants, 1,
+        "second request sees post-shrink state"
+    );
+    assert_eq!(e2_out.cores_final, 4);
+    assert_eq!(m_out.cores_final, 2, "M shrunk twice in one cycle: 6→4→2");
+}
+
+#[test]
 fn oversized_jobs_block_on_partition_forever_guard() {
     // A full-machine job can never run while a partition exists; it is
     // killed at its walltime... actually it never starts — the workload
