@@ -24,7 +24,11 @@
 //! 4. **Table II end-to-end** — the paper configurations (Static, Dyn-HP,
 //!    Dyn-500, Dyn-100) over the ESP workload, wall clock plus
 //!    per-iteration stats.
-//! 5. **Sweep engine** — a `(config × seed)` ESP campaign run serially
+//! 5. **Journal overhead** — the Dyn-HP ESP run with the write-ahead
+//!    state journal disabled vs enabled, append cost charged per
+//!    scheduled job, with a ≤10 % regression sanity bound (durability
+//!    must stay in the noise).
+//! 6. **Sweep engine** — a `(config × seed)` ESP campaign run serially
 //!    (fresh simulator per run) and on the parallel sweep engine at two
 //!    different worker counts, per-seed `RunSummary`s asserted identical
 //!    across all three. Written to `BENCH_sweep.json`.
@@ -722,6 +726,50 @@ fn main() {
         esp.push(row);
     }
 
+    // 5. Journal overhead: the Dyn-HP ESP run with the write-ahead
+    // journal off vs on (compacting snapshot every 64 records). The two
+    // runs must agree on the outcome count — journaling is observation,
+    // not policy — and durability must stay in the noise: the journaled
+    // run is asserted within 10 % of the baseline (plus a small floor so
+    // a sub-millisecond quick run can't fail on timer jitter).
+    eprintln!("perf_smoke: journal overhead (Dyn-HP ESP, journal off vs on)");
+    let journal_wl = {
+        let mut reg = CredRegistry::new();
+        let mut wl_cfg = EspConfig::paper_dynamic();
+        wl_cfg.seed = esp_seed;
+        generate_esp(&wl_cfg, &mut reg)
+    };
+    let journal_run = |journal: bool| {
+        let mut sim = BatchSim::new(Cluster::homogeneous(15, 8), table2_sched(None));
+        if journal {
+            sim.enable_journal(64);
+        }
+        sim.load(&journal_wl);
+        sim.run();
+        assert!(sim.server().is_drained(), "journal section: run must drain");
+        let jobs = sim.server().accounting().outcomes().len();
+        let records = sim.server().journal().map_or(0, |j| j.total_appended());
+        (jobs, records)
+    };
+    let (base_ms, (base_jobs, _)) = time_ms(reps, || journal_run(false));
+    let (journal_ms, (journal_jobs, journal_records)) = time_ms(reps, || journal_run(true));
+    assert_eq!(
+        base_jobs, journal_jobs,
+        "journaling changed the outcome count — it must be pure observation"
+    );
+    let journal_overhead_pct = (journal_ms - base_ms) / base_ms * 100.0;
+    let append_us_per_job = ((journal_ms - base_ms) * 1e3 / base_jobs.max(1) as f64).max(0.0);
+    eprintln!(
+        "  baseline {base_ms:.2} ms  journaled {journal_ms:.2} ms  \
+         ({journal_overhead_pct:+.1}%, {append_us_per_job:.2} us/job, \
+         {journal_records} records)"
+    );
+    assert!(
+        journal_ms <= base_ms * 1.10 + 2.0,
+        "journal append overhead regressed past the 10% bound: \
+         {journal_ms:.2} ms vs baseline {base_ms:.2} ms"
+    );
+
     let report = Json::obj(vec![
         ("version", Json::UInt(1)),
         ("quick", Json::Bool(quick)),
@@ -761,11 +809,23 @@ fn main() {
             ]),
         ),
         ("esp_table2", Json::Arr(esp)),
+        (
+            "journal",
+            Json::obj(vec![
+                ("jobs", Json::UInt(base_jobs as u64)),
+                ("records", Json::UInt(journal_records)),
+                ("snapshot_every", Json::UInt(64)),
+                ("baseline_ms", Json::Float(base_ms)),
+                ("journaled_ms", Json::Float(journal_ms)),
+                ("overhead_pct", Json::Float(journal_overhead_pct)),
+                ("append_us_per_job", Json::Float(append_us_per_job)),
+            ]),
+        ),
     ]);
     std::fs::write(&out_path, report.to_string_pretty()).expect("write report");
     eprintln!("perf_smoke: wrote {out_path}");
 
-    // 5. Sweep engine: the same (config × seed) ESP campaign serially and
+    // 6. Sweep engine: the same (config × seed) ESP campaign serially and
     // in parallel at two worker counts, per-seed summaries asserted equal.
     let (sweep_seed_count, sweep_configs) = if quick { (8, 2) } else { (256, 4) };
     let seeds: Vec<u64> = (0..sweep_seed_count).map(|i| 2014 + i as u64).collect();

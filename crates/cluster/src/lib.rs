@@ -267,6 +267,27 @@ impl Cluster {
         Ok(())
     }
 
+    /// Installs an **exact** allocation for `job` — the restore half of
+    /// crash recovery. [`Cluster::allocate`] re-plans placement against the
+    /// current load, but a server rebuilding itself from a journal snapshot
+    /// must re-commit the very placement that was recorded, or every later
+    /// replayed decision would see a different cluster.
+    pub fn adopt(&mut self, job: JobId, alloc: &Allocation) -> Result<()> {
+        if self.jobs.contains_key(&job) {
+            return Err(Error::InvalidState {
+                job,
+                operation: "adopt",
+                state: "already allocated",
+            });
+        }
+        if alloc.is_empty() {
+            return Err(Error::BadConfig(format!(
+                "{job}: adopt of empty allocation"
+            )));
+        }
+        self.commit(job, alloc)
+    }
+
     fn commit(&mut self, job: JobId, alloc: &Allocation) -> Result<()> {
         // Validate the whole placement before mutating anything.
         for (node, cores) in alloc.entries() {

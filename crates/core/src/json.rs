@@ -535,9 +535,9 @@ mod tests {
 pub mod model {
     use super::Json;
     use crate::exec::{ExecutionModel, Phase, PhasedModel, SpeedupModel};
-    use crate::ids::{GroupId, UserId};
-    use crate::job::{JobClass, JobSpec, MalleableRange};
-    use crate::time::SimDuration;
+    use crate::ids::{GroupId, JobId, UserId};
+    use crate::job::{Job, JobClass, JobOutcome, JobSpec, JobState, MalleableRange};
+    use crate::time::{SimDuration, SimTime};
 
     fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
         v.req(key)?
@@ -791,6 +791,124 @@ pub mod model {
         })
     }
 
+    fn state_name(state: JobState) -> &'static str {
+        match state {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::DynQueued => "dyn_queued",
+            JobState::Completed => "completed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    fn state_from_name(name: &str) -> Result<JobState, String> {
+        match name {
+            "queued" => Ok(JobState::Queued),
+            "running" => Ok(JobState::Running),
+            "dyn_queued" => Ok(JobState::DynQueued),
+            "completed" => Ok(JobState::Completed),
+            "cancelled" => Ok(JobState::Cancelled),
+            other => Err(format!("unknown job state `{other}`")),
+        }
+    }
+
+    fn opt_time_to_json(t: Option<SimTime>) -> Json {
+        t.map(|t| Json::UInt(t.as_millis())).unwrap_or(Json::Null)
+    }
+
+    fn opt_time_from_json(v: &Json, key: &str) -> Result<Option<SimTime>, String> {
+        match v.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(t) => {
+                Ok(Some(SimTime::from_millis(t.as_u64().ok_or_else(|| {
+                    format!("field `{key}` is not an integer")
+                })?)))
+            }
+        }
+    }
+
+    fn time_field(v: &Json, key: &str) -> Result<SimTime, String> {
+        Ok(SimTime::from_millis(u64_field(v, key)?))
+    }
+
+    fn bool_field(v: &Json, key: &str) -> Result<bool, String> {
+        v.req(key)?
+            .as_bool()
+            .ok_or_else(|| format!("field `{key}` is not a bool"))
+    }
+
+    /// Serialises a server-side job record (spec + lifecycle bookkeeping) —
+    /// the unit the write-ahead journal's snapshots are made of.
+    pub fn job_to_json(job: &Job) -> Json {
+        Json::obj(vec![
+            ("id", Json::UInt(job.id.0)),
+            ("spec", spec_to_json(&job.spec)),
+            ("state", Json::Str(state_name(job.state).into())),
+            ("submit_ms", Json::UInt(job.submit_time.as_millis())),
+            ("start_ms", opt_time_to_json(job.start_time)),
+            ("end_ms", opt_time_to_json(job.end_time)),
+            ("cores_allocated", Json::UInt(job.cores_allocated as u64)),
+            ("dyn_requests", Json::UInt(job.dyn_requests as u64)),
+            ("dyn_grants", Json::UInt(job.dyn_grants as u64)),
+            ("backfilled", Json::Bool(job.backfilled)),
+            ("reserved_extra", Json::UInt(job.reserved_extra as u64)),
+        ])
+    }
+
+    /// Parses a job written by [`job_to_json`].
+    pub fn job_from_json(v: &Json) -> Result<Job, String> {
+        Ok(Job {
+            id: JobId(u64_field(v, "id")?),
+            spec: spec_from_json(v.req("spec")?)?,
+            state: state_from_name(str_field(v, "state")?)?,
+            submit_time: time_field(v, "submit_ms")?,
+            start_time: opt_time_from_json(v, "start_ms")?,
+            end_time: opt_time_from_json(v, "end_ms")?,
+            cores_allocated: u32_field(v, "cores_allocated")?,
+            dyn_requests: u32_field(v, "dyn_requests")?,
+            dyn_grants: u32_field(v, "dyn_grants")?,
+            backfilled: bool_field(v, "backfilled")?,
+            reserved_extra: u32_field(v, "reserved_extra")?,
+        })
+    }
+
+    /// Serialises an accounting outcome. The crash-recovery suite compares
+    /// accounting logs *textually*, so this is the canonical form.
+    pub fn outcome_to_json(o: &JobOutcome) -> Json {
+        Json::obj(vec![
+            ("id", Json::UInt(o.id.0)),
+            ("name", Json::Str(o.name.clone())),
+            ("user", Json::UInt(o.user.0 as u64)),
+            ("class", Json::Str(class_name(o.class).into())),
+            ("cores_requested", Json::UInt(o.cores_requested as u64)),
+            ("cores_final", Json::UInt(o.cores_final as u64)),
+            ("submit_ms", Json::UInt(o.submit_time.as_millis())),
+            ("start_ms", Json::UInt(o.start_time.as_millis())),
+            ("end_ms", Json::UInt(o.end_time.as_millis())),
+            ("dyn_requests", Json::UInt(o.dyn_requests as u64)),
+            ("dyn_grants", Json::UInt(o.dyn_grants as u64)),
+            ("backfilled", Json::Bool(o.backfilled)),
+        ])
+    }
+
+    /// Parses an outcome written by [`outcome_to_json`].
+    pub fn outcome_from_json(v: &Json) -> Result<JobOutcome, String> {
+        Ok(JobOutcome {
+            id: JobId(u64_field(v, "id")?),
+            name: str_field(v, "name")?.to_owned(),
+            user: UserId(u32_field(v, "user")?),
+            class: class_from_name(str_field(v, "class")?)?,
+            cores_requested: u32_field(v, "cores_requested")?,
+            cores_final: u32_field(v, "cores_final")?,
+            submit_time: time_field(v, "submit_ms")?,
+            start_time: time_field(v, "start_ms")?,
+            end_time: time_field(v, "end_ms")?,
+            dyn_requests: u32_field(v, "dyn_requests")?,
+            dyn_grants: u32_field(v, "dyn_grants")?,
+            backfilled: bool_field(v, "backfilled")?,
+        })
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -830,6 +948,54 @@ pub mod model {
                 let back = spec_from_json(&parsed).unwrap();
                 assert_eq!(spec, back, "{text}");
             }
+        }
+
+        #[test]
+        fn jobs_and_outcomes_round_trip() {
+            let spec = JobSpec::evolving(
+                "F",
+                UserId(5),
+                GroupId(1),
+                8,
+                ExecutionModel::esp_evolving(1846, 1230, 4),
+            );
+            let mut job = Job::new(JobId(7), spec, SimTime::from_secs(3));
+            for state in [
+                JobState::Queued,
+                JobState::Running,
+                JobState::DynQueued,
+                JobState::Completed,
+                JobState::Cancelled,
+            ] {
+                job.state = state;
+                job.start_time = state.is_active().then(|| SimTime::from_secs(10));
+                job.cores_allocated = 12;
+                job.dyn_requests = 2;
+                job.dyn_grants = 1;
+                job.backfilled = true;
+                job.reserved_extra = 4;
+                let text = job_to_json(&job).to_string_compact();
+                let back = job_from_json(&super::super::parse(&text).unwrap()).unwrap();
+                assert_eq!(job, back, "{text}");
+            }
+
+            let o = JobOutcome {
+                id: JobId(7),
+                name: "F".into(),
+                user: UserId(5),
+                class: JobClass::Evolving,
+                cores_requested: 8,
+                cores_final: 12,
+                submit_time: SimTime::from_secs(3),
+                start_time: SimTime::from_secs(10),
+                end_time: SimTime::from_secs(500),
+                dyn_requests: 2,
+                dyn_grants: 1,
+                backfilled: false,
+            };
+            let text = outcome_to_json(&o).to_string_compact();
+            let back = outcome_from_json(&super::super::parse(&text).unwrap()).unwrap();
+            assert_eq!(o, back);
         }
 
         #[test]

@@ -398,11 +398,21 @@ impl UsageLedger {
     }
 }
 
+/// Compaction interval of the daemon's write-ahead journal: a snapshot
+/// record replaces the history every this-many mutation records.
+const JOURNAL_SNAPSHOT_EVERY: usize = 64;
+
 /// The server daemon's state: `pbs_server` + Maui + the timer bookkeeping
 /// that makes firings cancellable and stale-proof.
 struct ServerDaemon {
     server: PbsServer,
     maui: Maui,
+    /// Scheduler configuration, kept to rebuild a fresh Maui when the
+    /// server crash-restarts (scheduler soft state dies with the process).
+    sched: SchedulerConfig,
+    /// Outstanding server-crash points from the fault plan, ascending, in
+    /// journal-record coordinates.
+    crash_points: VecDeque<u64>,
     moms: Vec<MomLink>,
     ms_directory: Arc<Mutex<HashMap<JobId, NodeId>>>,
     timers: TimerHandle<ServerCmd>,
@@ -435,9 +445,21 @@ fn server_main(
     });
     let cluster = Cluster::homogeneous(config.nodes, config.cores_per_node);
     let alloc_policy = config.sched.alloc;
+    let crash_points: VecDeque<u64> = config
+        .faults
+        .as_ref()
+        .map(|p| p.server_crashes.iter().map(|c| c.after_record).collect())
+        .unwrap_or_default();
+    // The daemon always journals: crash recovery (scheduled by the fault
+    // plan or exercised by the chaos suite) depends on it, and the append
+    // cost is measured and bounded by the perf harness.
+    let mut server = PbsServer::new(cluster, alloc_policy);
+    server.enable_journal(JOURNAL_SNAPSHOT_EVERY);
     let mut d = ServerDaemon {
-        server: PbsServer::new(cluster, alloc_policy),
-        maui: Maui::new(config.sched),
+        server,
+        maui: Maui::new(config.sched.clone()),
+        sched: config.sched,
+        crash_points,
         moms,
         ms_directory,
         timers: timers.handle(),
@@ -454,6 +476,7 @@ fn server_main(
         if !d.handle(cmd, t) {
             break;
         }
+        d.maybe_crash(t);
         d.flush_waiters();
     }
     // Joins the worker; pending app/dyn deadlines die with it.
@@ -640,6 +663,122 @@ impl ServerDaemon {
                 }));
             }
         }
+    }
+
+    /// Honours the fault plan's server-crash schedule: once the journal has
+    /// appended the next crash point's record count, the server "process"
+    /// dies at this command boundary and restarts from its journal.
+    fn maybe_crash(&mut self, t: SimTime) {
+        loop {
+            let appended = match self.server.journal() {
+                Some(j) => j.total_appended(),
+                None => return,
+            };
+            match self.crash_points.front() {
+                Some(&k) if appended >= k => {
+                    self.crash_points.pop_front();
+                    self.crash_restart(t);
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// The server dies and comes back: scheduler soft state, armed
+    /// deadlines and the fairshare ledger's open segments are lost; the
+    /// write-ahead journal is the only survivor. Recovery rebuilds the
+    /// server by snapshot-load + replay, re-arms every outstanding
+    /// deadline from recovered state (not from wall-clock leftovers), and
+    /// re-attaches the moms by replaying each active job's placement.
+    fn crash_restart(&mut self, t: SimTime) {
+        // All pre-crash timers die with the process. `job_gen` is
+        // deliberately carried across — it is a monotonic nonce, not
+        // recoverable state: bumping it below makes any pre-crash firing
+        // already sitting in the command queue stale on arrival.
+        for (_, id) in self.app_timers.drain() {
+            self.timers.cancel(id);
+        }
+        for (_, id) in self.dyn_timers.drain() {
+            self.timers.cancel(id);
+        }
+        let journal = self
+            .server
+            .take_journal()
+            .expect("daemon servers always journal");
+        self.server = PbsServer::recover(journal).expect("journal replays cleanly");
+        // Scheduler soft state (reservation history, fairshare charges,
+        // negotiation-delay bookkeeping) is not journalled: a fresh Maui
+        // restarts from the recovered server state, exactly as a real
+        // scheduler restart would. Fairshare usage accrued before the
+        // crash is forfeit; segments reopen at the recovery instant.
+        self.maui = Maui::new(self.sched.clone());
+        self.ledger = UsageLedger::default();
+        struct Revive {
+            job: JobId,
+            user: UserId,
+            cores: u32,
+            remaining: Duration,
+            alloc: Allocation,
+        }
+        let revive: Vec<Revive> = self
+            .server
+            .jobs()
+            .filter(|j| j.state.is_active() && j.start_time.is_some())
+            .filter_map(|j| {
+                let alloc = self.server.cluster().allocation_of(j.id)?.clone();
+                let ends_at = j.start_time.expect("filtered")
+                    + j.spec.exec.static_duration(j.cores_allocated);
+                Revive {
+                    job: j.id,
+                    user: j.spec.user,
+                    cores: j.cores_allocated,
+                    remaining: Duration::from_millis(ends_at.duration_since(t).as_millis()),
+                    alloc,
+                }
+                .into()
+            })
+            .collect();
+        for r in revive {
+            // The application outlived the server: re-open its fairshare
+            // segment, re-arm its exit deadline for the *remaining*
+            // modelled runtime under a fresh generation, and replay its
+            // placement to the mother superior so the mom can reconcile
+            // (an unknown job re-registers; a known one keeps its
+            // hostlist and any parked TM caller).
+            self.ledger.open(r.job, r.user, r.cores, t);
+            let gen = {
+                let g = self.job_gen.entry(r.job).or_insert(0);
+                *g += 1;
+                *g
+            };
+            let id = self
+                .timers
+                .schedule(r.remaining, ServerCmd::JobExited(r.job, gen));
+            self.app_timers.insert(r.job, id);
+            let ms = {
+                let mut dir = self.ms_directory.lock().unwrap();
+                *dir.entry(r.job)
+                    .or_insert_with(|| r.alloc.entries().next().expect("non-empty allocation").0)
+            };
+            self.moms[ms.0 as usize].send(MomMsg::FromServer(ServerToMom::RunJob {
+                job: r.job,
+                alloc: r.alloc,
+            }));
+        }
+        // Outstanding negotiation windows continue from their *recovered*
+        // deadlines; a window that elapsed while the server was down
+        // expires on the next firing rather than silently leaking.
+        let pending: Vec<(JobId, u64, SimTime)> = self
+            .server
+            .pending_dyn_requests()
+            .filter_map(|p| p.deadline.map(|d| (p.job, p.seq, d)))
+            .collect();
+        for (job, seq, deadline) in pending {
+            self.arm_dyn_timer(job, seq, deadline, t);
+        }
+        // The world may have moved while the server was down: run a cycle
+        // against recovered state immediately.
+        self.cycle(t);
     }
 
     /// Shared completion path (mom report or app-exit timer): settle the
@@ -1089,6 +1228,7 @@ fn route(outputs: Vec<MomOutput>, replies: &mut ReplyRouter, server: &ServerLink
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::ServerCrash;
     use dynbatch_core::{DfsConfig, ExecutionModel, GroupId, SimDuration, UserId};
 
     fn spec(name: &str, cores: u32, millis: u64) -> JobSpec {
@@ -1307,6 +1447,110 @@ mod tests {
         });
         let _ = d.qdel(id);
         assert!(d.await_drained(Duration::from_secs(2)));
+        d.shutdown();
+    }
+
+    // ------------------------------------------------------------------
+    // Server crash / journal recovery, ensemble level.
+    // ------------------------------------------------------------------
+
+    /// A workload drains to the same terminal states across two scheduled
+    /// server crashes: every job survives via snapshot-load + replay.
+    #[test]
+    fn server_crash_recovery_drains_workload() {
+        let mut config = hp_config(2);
+        config.faults = Some(FaultPlan {
+            server_crashes: vec![
+                ServerCrash { after_record: 3 },
+                ServerCrash { after_record: 8 },
+            ],
+            ..FaultPlan::none(5)
+        });
+        let d = DaemonHandle::start(config);
+        let mut ids = Vec::new();
+        for i in 0..6 {
+            ids.push(d.qsub(spec(&format!("j{i}"), 8, 30)).expect("qsub"));
+        }
+        assert!(d.await_drained(Duration::from_secs(10)));
+        for id in ids {
+            assert_eq!(d.qstat(id), Some(JobState::Completed));
+        }
+        assert_eq!(d.outcomes().len(), 6);
+        d.shutdown();
+    }
+
+    /// A negotiated `tm_dynget` parked at the moment the server dies must
+    /// still be answered: recovery rebuilds the pending request from the
+    /// journal, re-arms its expiry, replays the job's placement to the
+    /// mom (which keeps the in-flight flag), and a post-recovery free
+    /// lets the next cycle grant it.
+    #[test]
+    fn negotiated_dynget_survives_server_crash() {
+        let mut config = hp_config(2);
+        // Records: genesis snapshot, submit, start outcome, then the
+        // DynGet — the server dies at the first command boundary after
+        // the request hits the journal.
+        config.faults = Some(FaultPlan {
+            server_crashes: vec![ServerCrash { after_record: 4 }],
+            ..FaultPlan::none(9)
+        });
+        let d = DaemonHandle::start(config);
+        let id = d.qsub(spec("app", 16, 10_000)).expect("qsub");
+        assert!(d.await_running(id, Duration::from_secs(2)));
+        let (tx, rx) = channel();
+        thread::scope(|s| {
+            s.spawn(|| {
+                let _ = tx.send(d.tm_dynget_negotiated(id, 4, Duration::from_secs(5)));
+            });
+            // Let the request land, the crash fire, and recovery finish.
+            thread::sleep(Duration::from_millis(100));
+            let part = {
+                let mut a = Allocation::empty();
+                a.add(NodeId(0), 4);
+                a
+            };
+            let freed = d.tm_dynfree(id, part);
+            assert!(matches!(freed, TmResponse::Freed), "{freed:?}");
+            let granted = rx
+                .recv_timeout(Duration::from_secs(3))
+                .expect("parked dynget must survive the server crash");
+            match granted {
+                TmResponse::DynGranted { added } => assert_eq!(added.total_cores(), 4),
+                other => panic!("expected grant after crash + free, got {other:?}"),
+            }
+        });
+        let _ = d.qdel(id);
+        assert!(d.await_drained(Duration::from_secs(2)));
+        d.shutdown();
+    }
+
+    /// The qdel-of-a-DynQueued-job leak, end to end: deleting a job whose
+    /// negotiated request is parked must promptly deny the parked caller
+    /// (pre-fix it hung until its negotiation timeout, its reply channel
+    /// leaked at the mom).
+    #[test]
+    fn qdel_of_dyn_queued_job_denies_parked_caller() {
+        let d = DaemonHandle::start(hp_config(2));
+        let id = d.qsub(spec("app", 16, 10_000)).expect("qsub");
+        assert!(d.await_running(id, Duration::from_secs(2)));
+        let (tx, rx) = channel();
+        thread::scope(|s| {
+            s.spawn(|| {
+                // Machine full and nothing will free cores: parks until
+                // answered. The 30 s window is far past the test timeout —
+                // only the qdel path can unblock it promptly.
+                let _ = tx.send(d.tm_dynget_negotiated(id, 4, Duration::from_secs(30)));
+            });
+            thread::sleep(Duration::from_millis(50));
+            assert_eq!(d.qstat(id), Some(JobState::DynQueued));
+            d.qdel(id).expect("qdel DynQueued job");
+            let resp = rx
+                .recv_timeout(Duration::from_secs(2))
+                .expect("qdel must answer the parked negotiated dynget");
+            assert!(matches!(resp, TmResponse::DynDenied), "{resp:?}");
+        });
+        assert!(d.await_drained(Duration::from_secs(2)));
+        assert_eq!(d.qstat(id), Some(JobState::Cancelled));
         d.shutdown();
     }
 

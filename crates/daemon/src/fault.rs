@@ -53,6 +53,20 @@ pub struct FaultPlan {
     pub max_delay: Duration,
     /// Mom crash/restart schedule: (time after boot, node index).
     pub mom_kills: Vec<(Duration, u32)>,
+    /// Server crash/recovery schedule, in journal-record coordinates:
+    /// the server daemon crashes at the first command boundary once its
+    /// write-ahead journal has appended `after_record` records, then
+    /// restarts by snapshot-load + replay.
+    pub server_crashes: Vec<ServerCrash>,
+}
+
+/// One scheduled server crash, positioned by journal progress rather than
+/// wall time so a seed pins *where in the mutation history* the server
+/// dies, independent of thread interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerCrash {
+    /// Crash once this many journal records have been appended.
+    pub after_record: u64,
 }
 
 impl FaultPlan {
@@ -67,6 +81,7 @@ impl FaultPlan {
             delay_permille: 0,
             max_delay: Duration::ZERO,
             mom_kills: Vec::new(),
+            server_crashes: Vec::new(),
         }
     }
 
@@ -82,13 +97,31 @@ impl FaultPlan {
                 (at, rng.next_below(nodes.max(1) as u64) as u32)
             })
             .collect();
+        // Server crash points are drawn *after* every other field so that
+        // adding them left the pre-existing derivation (and thus every
+        // previously pinned seed's drop/dup/delay pressure) untouched.
+        let (drop_permille, dup_permille, delay_permille, max_delay) = (
+            rng.next_below(301) as u32,
+            rng.next_below(201) as u32,
+            rng.next_below(251) as u32,
+            Duration::from_millis(5 + rng.next_below(36)),
+        );
+        let crashes = rng.next_below(3) as usize;
+        let mut server_crashes: Vec<ServerCrash> = (0..crashes)
+            .map(|_| ServerCrash {
+                after_record: 1 + rng.next_below(40),
+            })
+            .collect();
+        server_crashes.sort_by_key(|c| c.after_record);
+        server_crashes.dedup();
         FaultPlan {
             seed,
-            drop_permille: rng.next_below(301) as u32,
-            dup_permille: rng.next_below(201) as u32,
-            delay_permille: rng.next_below(251) as u32,
-            max_delay: Duration::from_millis(5 + rng.next_below(36)),
+            drop_permille,
+            dup_permille,
+            delay_permille,
+            max_delay,
             mom_kills,
+            server_crashes,
         }
     }
 }
@@ -262,6 +295,7 @@ mod tests {
         assert_eq!(plan.dup_permille, 0);
         assert_eq!(plan.delay_permille, 0);
         assert!(plan.mom_kills.is_empty());
+        assert!(plan.server_crashes.is_empty());
     }
 
     #[test]
@@ -270,6 +304,8 @@ mod tests {
         let b = FaultPlan::from_seed(42, 8, Duration::from_millis(400));
         assert_eq!(a.drop_permille, b.drop_permille);
         assert_eq!(a.mom_kills, b.mom_kills);
+        assert_eq!(a.server_crashes, b.server_crashes);
+        let mut seeds_with_crashes = 0;
         for seed in 0..200 {
             let p = FaultPlan::from_seed(seed, 4, Duration::from_millis(300));
             assert!(p.drop_permille <= 300);
@@ -281,7 +317,18 @@ mod tests {
                 assert!(at < Duration::from_millis(300));
                 assert!(node < 4);
             }
+            assert!(p.server_crashes.len() <= 2);
+            assert!(p
+                .server_crashes
+                .windows(2)
+                .all(|w| w[0].after_record < w[1].after_record));
+            for c in &p.server_crashes {
+                assert!((1..=40).contains(&c.after_record));
+            }
+            seeds_with_crashes += usize::from(!p.server_crashes.is_empty());
         }
+        // The stream really exercises server crashes across the seed space.
+        assert!(seeds_with_crashes > 50, "{seeds_with_crashes}");
     }
 
     #[test]

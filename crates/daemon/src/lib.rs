@@ -30,6 +30,6 @@ pub mod timer;
 pub mod wire;
 
 pub use daemon::{DaemonConfig, DaemonHandle};
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, ServerCrash};
 pub use timer::{TimerHandle, TimerId, TimerService};
 pub use wire::{ClientReq, MomMsg, PeerMsg, ServerCmd};

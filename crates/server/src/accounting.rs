@@ -111,4 +111,52 @@ mod tests {
         let cs = log.core_seconds_by_user();
         assert!((cs[&UserId(0)] - 500.0).abs() < 1e-9);
     }
+
+    /// Property: the log is strictly append-only. Whatever interleaving of
+    /// records and reads happens, every previously observed prefix is a
+    /// verbatim prefix of every later observation — nothing is reordered,
+    /// rewritten or dropped. (Crash recovery leans on this: replaying a
+    /// journal prefix must reproduce exactly the accounting records
+    /// emitted up to that point, which is only well-defined because the
+    /// live log never mutates its past.)
+    #[test]
+    fn prop_log_is_append_only() {
+        dynbatch_core::testkit::check(200, 0xACC0, |rng| {
+            let mut log = AccountingLog::new();
+            let mut observed: Vec<Vec<JobOutcome>> = vec![log.outcomes().to_vec()];
+            let steps = rng.range_usize(1, 40);
+            for i in 0..steps {
+                let batch = rng.range_usize(1, 4);
+                for b in 0..batch {
+                    log.record(outcome(
+                        (i * 8 + b) as u64,
+                        rng.range_u32(0, 4),
+                        rng.range_u32(1, 64),
+                        rng.range(0, 50),
+                        rng.range(50, 100),
+                        rng.range(100, 500),
+                        rng.range_u32(0, 3),
+                    ));
+                }
+                observed.push(log.outcomes().to_vec());
+            }
+            for pair in observed.windows(2) {
+                let (earlier, later) = (&pair[0], &pair[1]);
+                assert!(earlier.len() <= later.len());
+                for (a, b) in earlier.iter().zip(later.iter()) {
+                    assert_eq!(a.id, b.id);
+                    assert_eq!(a.user, b.user);
+                    assert_eq!(a.end_time, b.end_time);
+                    assert_eq!(a.cores_final, b.cores_final);
+                }
+            }
+            // Aggregates are pure functions of the full log: reading them
+            // repeatedly neither mutates nor reorders it.
+            let before = log.outcomes().to_vec();
+            let _ = log.mean_wait();
+            let _ = log.core_seconds_by_user();
+            let _ = log.satisfied_dyn_jobs();
+            assert_eq!(before.len(), log.outcomes().len());
+        });
+    }
 }

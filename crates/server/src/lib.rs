@@ -11,7 +11,10 @@
 //!   `DynQueued` state, snapshot production for the scheduler and outcome
 //!   application back onto the cluster;
 //! * [`mom`] — the per-node `pbs_mom` state machine: mother-superior
-//!   hostlist tracking, `dyn_join` / `dyn_disjoin`.
+//!   hostlist tracking, `dyn_join` / `dyn_disjoin`;
+//! * [`journal`] — the write-ahead state journal (the `server_priv/`
+//!   analogue): append-only mutation records plus compacting snapshots,
+//!   consumed by [`server::PbsServer::recover`] for crash recovery.
 //!
 //! Everything is a pure state machine over message values so that the
 //! discrete-event simulator (`dynbatch-sim`) and the threaded daemon
@@ -21,11 +24,13 @@
 #![forbid(unsafe_code)]
 
 pub mod accounting;
+pub mod journal;
 pub mod messages;
 pub mod mom;
 pub mod server;
 
 pub use accounting::AccountingLog;
+pub use journal::{Journal, PendingDynImage, Record, ServerImage};
 pub use messages::{ClientMsg, MomToServer, ServerToMom, TmRequest, TmResponse};
 pub use mom::{Mom, MomOutput};
 pub use server::{Applied, PbsServer};

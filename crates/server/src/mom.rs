@@ -74,11 +74,15 @@ impl Mom {
                     alloc.cores_on(self.node) > 0,
                     "mother superior must be part of the allocation"
                 );
+                // A re-sent RunJob (server recovering from a crash, or a
+                // mom-restart replay) must not clear an in-flight dynamic
+                // request: the application is still parked on its TM reply.
+                let dyn_in_flight = self.jobs.get(&job).is_some_and(|j| j.dyn_in_flight);
                 self.jobs.insert(
                     job,
                     LocalJob {
                         hostlist: alloc,
-                        dyn_in_flight: false,
+                        dyn_in_flight,
                     },
                 );
                 vec![MomOutput::ToServer(MomToServer::JobStarted {
@@ -129,8 +133,17 @@ impl Mom {
                 vec![]
             }
             ServerToMom::KillJob { job } => {
-                self.jobs.remove(&job);
-                vec![]
+                // A qdel can land while a negotiated `tm_dynget` is still
+                // parked (the job is `DynQueued` at the server). Dropping
+                // the job silently would strand that caller forever — the
+                // server cancels the expiry timer as part of the delete, so
+                // nothing else will ever answer. Deny it on the way out.
+                let dyn_in_flight = self.jobs.remove(&job).is_some_and(|j| j.dyn_in_flight);
+                if dyn_in_flight {
+                    vec![MomOutput::ToApp(job, TmResponse::DynDenied)]
+                } else {
+                    vec![]
+                }
             }
         }
     }
@@ -385,7 +398,68 @@ mod tests {
             job: JobId(1),
             alloc: alloc(&[(0, 8)]),
         });
-        mom.handle_server(ServerToMom::KillJob { job: JobId(1) });
+        let out = mom.handle_server(ServerToMom::KillJob { job: JobId(1) });
+        assert!(out.is_empty(), "no dynget in flight, nothing to answer");
         assert_eq!(mom.job_count(), 0);
+    }
+
+    /// The qdel-during-negotiation leak: killing a job whose application
+    /// is parked on a negotiated `tm_dynget` must deny that caller.
+    /// Pre-fix, `KillJob` dropped the job silently and the caller hung.
+    #[test]
+    fn kill_denies_in_flight_dynget() {
+        let mut mom = Mom::new(NodeId(0));
+        mom.handle_server(ServerToMom::RunJob {
+            job: JobId(1),
+            alloc: alloc(&[(0, 8)]),
+        });
+        mom.handle_tm(
+            JobId(1),
+            TmRequest::DynGet {
+                extra_cores: 4,
+                timeout: Some(dynbatch_core::SimDuration::from_millis(500)),
+            },
+        );
+        let out = mom.handle_server(ServerToMom::KillJob { job: JobId(1) });
+        assert!(
+            matches!(out[0], MomOutput::ToApp(JobId(1), TmResponse::DynDenied)),
+            "{out:?}"
+        );
+        assert_eq!(mom.job_count(), 0);
+    }
+
+    /// A re-sent `RunJob` (server crash recovery re-attaching the mom)
+    /// must not clear the in-flight flag of a parked dynamic request —
+    /// the eventual grant still has to reach the application.
+    #[test]
+    fn rerun_preserves_in_flight_dynget() {
+        let mut mom = Mom::new(NodeId(0));
+        mom.handle_server(ServerToMom::RunJob {
+            job: JobId(1),
+            alloc: alloc(&[(0, 8)]),
+        });
+        mom.handle_tm(
+            JobId(1),
+            TmRequest::DynGet {
+                extra_cores: 4,
+                timeout: None,
+            },
+        );
+        // Recovery replays the job's placement.
+        mom.handle_server(ServerToMom::RunJob {
+            job: JobId(1),
+            alloc: alloc(&[(0, 8)]),
+        });
+        let out = mom.handle_server(ServerToMom::DynJoin {
+            job: JobId(1),
+            added: alloc(&[(2, 4)]),
+        });
+        assert!(
+            matches!(
+                &out[0],
+                MomOutput::ToApp(JobId(1), TmResponse::DynGranted { .. })
+            ),
+            "{out:?}"
+        );
     }
 }

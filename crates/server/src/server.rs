@@ -14,6 +14,7 @@
 //!   can deliver hostlists and schedule completions.
 
 use crate::accounting::AccountingLog;
+use crate::journal::{self, Journal, PendingDynImage, Record, ServerImage};
 use dynbatch_cluster::{Allocation, Cluster};
 use dynbatch_core::{
     AllocPolicy, Error, Job, JobId, JobOutcome, JobSpec, JobState, Result, SimTime,
@@ -107,6 +108,11 @@ pub struct PbsServer {
     /// Continuity epoch: incremented per incremental snapshot, stamped
     /// into each drained [`DeltaLog`].
     snapshot_epoch: u64,
+    /// The write-ahead journal, when durability is enabled
+    /// ([`PbsServer::enable_journal`]). Every successful state mutation
+    /// appends a record *after* taking effect, so the log tail is always
+    /// consistent with in-memory state; crash points sit between records.
+    journal: Option<Journal>,
 }
 
 impl PbsServer {
@@ -123,6 +129,7 @@ impl PbsServer {
             guarantee_evolving: false,
             deltas: Vec::new(),
             snapshot_epoch: 0,
+            journal: None,
         }
     }
 
@@ -142,6 +149,7 @@ impl PbsServer {
         self.guarantee_evolving = false;
         self.deltas.clear();
         self.snapshot_epoch = 0;
+        self.journal = None;
     }
 
     /// Enables the *guaranteeing* site policy (paper §II-B): evolving jobs
@@ -149,6 +157,209 @@ impl PbsServer {
     /// request is served from that reserve.
     pub fn set_guarantee_evolving(&mut self, on: bool) {
         self.guarantee_evolving = on;
+        if self.journal.is_some() {
+            self.log(Record::Guarantee { on });
+        }
+    }
+
+    /// Turns on write-ahead journaling: a genesis snapshot is written, and
+    /// every subsequent mutation appends a record. `snapshot_every` sets
+    /// the compaction interval — once that many records accumulate after
+    /// the last snapshot, the history is replaced by a fresh compacting
+    /// snapshot (`0` disables compaction; crash-sweep tests rely on stable
+    /// record indices).
+    pub fn enable_journal(&mut self, snapshot_every: usize) {
+        let mut j = Journal::new();
+        j.set_snapshot_every(snapshot_every);
+        j.append(Record::Snapshot(Box::new(self.image())));
+        self.journal = Some(j);
+    }
+
+    /// The journal, when enabled.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Detaches the journal (e.g. to recover from it after a simulated
+    /// crash); journaling is off afterwards.
+    pub fn take_journal(&mut self) -> Option<Journal> {
+        self.journal.take()
+    }
+
+    /// Appends a record and compacts when the interval is reached. Only
+    /// called after the corresponding mutation succeeded, so a compacting
+    /// snapshot always captures a state consistent with the log tail.
+    fn log(&mut self, record: Record) {
+        let journal = self.journal.as_mut().expect("journal enabled");
+        journal.append(record);
+        if journal.wants_snapshot() {
+            let image = self.image();
+            self.journal
+                .as_mut()
+                .expect("journal enabled")
+                .compact(image);
+        }
+    }
+
+    /// Captures the full durable state — the payload of snapshot records,
+    /// and (serialised) the canonical digest the crash-recovery suite
+    /// compares byte-for-byte. Scheduler-coupling soft state (the
+    /// `ProfileDelta` buffer and snapshot epoch) is excluded: recovery
+    /// breaks timeline continuity and the scheduler rebuilds on the first
+    /// epoch gap.
+    pub fn image(&self) -> ServerImage {
+        ServerImage {
+            next_job_id: self.next_job_id,
+            next_dyn_seq: self.next_dyn_seq,
+            alloc_policy: self.alloc_policy,
+            guarantee_evolving: self.guarantee_evolving,
+            node_cores: self.cluster.nodes().map(|n| n.cores_total()).collect(),
+            down_nodes: self
+                .cluster
+                .nodes()
+                .filter(|n| !n.is_up())
+                .map(|n| n.id())
+                .collect(),
+            jobs: self
+                .jobs
+                .values()
+                .map(|job| (job.clone(), self.cluster.allocation_of(job.id).cloned()))
+                .collect(),
+            dyn_pending: self.pending_dyn_requests().collect(),
+            outcomes: self.accounting.outcomes().to_vec(),
+        }
+    }
+
+    /// The serialised [`PbsServer::image`]: a deterministic, byte-comparable
+    /// digest of the durable state.
+    pub fn state_digest(&self) -> String {
+        journal::image_to_json(&self.image()).to_string_compact()
+    }
+
+    /// Rebuilds a server from a snapshot image: cluster shape, node
+    /// up/down state, exact per-job allocations, job table, pending
+    /// negotiations and the accounting log.
+    fn restore(img: &ServerImage) -> Result<PbsServer> {
+        let mut cluster = Cluster::from_core_counts(&img.node_cores);
+        for &n in &img.down_nodes {
+            cluster.fail_node(n)?;
+        }
+        for (job, alloc) in &img.jobs {
+            if let Some(alloc) = alloc {
+                cluster.adopt(job.id, alloc)?;
+            }
+        }
+        let mut accounting = AccountingLog::new();
+        for o in &img.outcomes {
+            accounting.record(o.clone());
+        }
+        Ok(PbsServer {
+            cluster,
+            jobs: img.jobs.iter().map(|(j, _)| (j.id, j.clone())).collect(),
+            dyn_pending: img
+                .dyn_pending
+                .iter()
+                .map(|p| {
+                    (
+                        p.job,
+                        PendingDyn {
+                            extra_cores: p.extra_cores,
+                            seq: p.seq,
+                            deadline: p.deadline,
+                        },
+                    )
+                })
+                .collect(),
+            next_job_id: img.next_job_id,
+            next_dyn_seq: img.next_dyn_seq,
+            alloc_policy: img.alloc_policy,
+            accounting,
+            guarantee_evolving: img.guarantee_evolving,
+            deltas: Vec::new(),
+            snapshot_epoch: 0,
+            journal: None,
+        })
+    }
+
+    /// Crash recovery: rebuilds the server a journal describes by loading
+    /// its latest snapshot record and replaying every record after it
+    /// through the ordinary (deterministic) mutation paths. The journal is
+    /// then re-installed, so the recovered server keeps journaling where
+    /// the crashed one stopped.
+    ///
+    /// Invariant (pinned by the crash-at-every-record sweep): recovered
+    /// state ≡ crash-free state, byte-for-byte.
+    pub fn recover(journal: Journal) -> Result<PbsServer> {
+        let mut server = {
+            let records = journal.records();
+            let last_snap = records
+                .iter()
+                .rposition(|r| matches!(r, Record::Snapshot(_)))
+                .ok_or_else(|| Error::BadConfig("journal has no snapshot record".into()))?;
+            let Record::Snapshot(img) = &records[last_snap] else {
+                unreachable!("rposition matched a snapshot");
+            };
+            let mut server = Self::restore(img)?;
+            for record in &records[last_snap + 1..] {
+                server.replay(record)?;
+            }
+            server
+        };
+        server.journal = Some(journal);
+        Ok(server)
+    }
+
+    /// Replays one journalled mutation. Journaling is off while recovering
+    /// (`self.journal` is `None`), so replay never re-appends.
+    fn replay(&mut self, record: &Record) -> Result<()> {
+        debug_assert!(self.journal.is_none(), "journaling must be off in replay");
+        match record {
+            Record::Snapshot(_) => {
+                return Err(Error::BadConfig(
+                    "snapshot record after the recovery point".into(),
+                ))
+            }
+            Record::Submit { spec, now } => {
+                self.qsub(spec.clone(), *now)?;
+            }
+            Record::Qdel { job, now } => self.qdel(*job, *now)?,
+            Record::DynGet {
+                job,
+                extra_cores,
+                deadline,
+                now,
+            } => self.tm_dynget_negotiated(*job, *extra_cores, *deadline, *now)?,
+            Record::DynFree { job, released, now } => self.tm_dynfree(*job, released, *now)?,
+            Record::Finish { job, now } => {
+                self.job_finished(*job, *now)?;
+            }
+            Record::Outcome { outcome, now } => {
+                self.apply(outcome, *now);
+            }
+            Record::ExpireOne { job, seq, now } => {
+                self.expire_dyn_request(*job, *seq, *now);
+            }
+            Record::ExpireSweep { now } => {
+                self.expire_dyn_requests(*now);
+            }
+            Record::NodeFailed { node, now } => {
+                self.node_failed(*node, *now)?;
+            }
+            Record::NodeRepaired { node } => self.node_repaired(*node)?,
+            Record::Guarantee { on } => self.guarantee_evolving = *on,
+        }
+        Ok(())
+    }
+
+    /// Every pending dynamic request, in job-id order — the daemon re-arms
+    /// negotiation-expiry timers from this after recovery.
+    pub fn pending_dyn_requests(&self) -> impl Iterator<Item = PendingDynImage> + '_ {
+        self.dyn_pending.iter().map(|(&job, p)| PendingDynImage {
+            job,
+            extra_cores: p.extra_cores,
+            seq: p.seq,
+            deadline: p.deadline,
+        })
     }
 
     /// Cores currently pre-reserved (held but idle) under the
@@ -210,7 +421,17 @@ impl PbsServer {
         }
         let id = JobId(self.next_job_id);
         self.next_job_id += 1;
+        // The assigned id is implied by replay order; only the inputs are
+        // journalled. The record is built first (the spec moves into the
+        // job) but appended only after the insert, like every other hook.
+        let record = self.journal.is_some().then(|| Record::Submit {
+            spec: spec.clone(),
+            now,
+        });
         self.jobs.insert(id, Job::new(id, spec, now));
+        if let Some(record) = record {
+            self.log(record);
+        }
         Ok(id)
     }
 
@@ -231,6 +452,9 @@ impl PbsServer {
             self.cluster.release_all(id)?;
             self.dyn_pending.remove(&id);
             self.deltas.push(ProfileDelta::Finished { job: id });
+        }
+        if self.journal.is_some() {
+            self.log(Record::Qdel { job: id, now });
         }
         Ok(())
     }
@@ -253,7 +477,7 @@ impl PbsServer {
         id: JobId,
         extra_cores: u32,
         deadline: Option<SimTime>,
-        _now: SimTime,
+        now: SimTime,
     ) -> Result<()> {
         let job = self.jobs.get_mut(&id).ok_or(Error::UnknownJob(id))?;
         match job.state {
@@ -282,11 +506,19 @@ impl PbsServer {
                 deadline,
             },
         );
+        if self.journal.is_some() {
+            self.log(Record::DynGet {
+                job: id,
+                extra_cores,
+                deadline,
+                now,
+            });
+        }
         Ok(())
     }
 
     /// A `tm_dynfree()` release: takes effect immediately (paper Fig 4).
-    pub fn tm_dynfree(&mut self, id: JobId, released: &Allocation, _now: SimTime) -> Result<()> {
+    pub fn tm_dynfree(&mut self, id: JobId, released: &Allocation, now: SimTime) -> Result<()> {
         let job = self.jobs.get_mut(&id).ok_or(Error::UnknownJob(id))?;
         if !job.state.is_active() {
             return Err(Error::InvalidState {
@@ -308,6 +540,13 @@ impl PbsServer {
             job: id,
             held_cores,
         });
+        if self.journal.is_some() {
+            self.log(Record::DynFree {
+                job: id,
+                released: released.clone(),
+                now,
+            });
+        }
         Ok(())
     }
 
@@ -342,6 +581,9 @@ impl PbsServer {
             backfilled: job.backfilled,
         };
         self.accounting.record(outcome.clone());
+        if self.journal.is_some() {
+            self.log(Record::Finish { job: id, now });
+        }
         Ok(outcome)
     }
 
@@ -435,6 +677,12 @@ impl PbsServer {
     /// snapshot this server produced, so failure is a bookkeeping bug).
     pub fn apply(&mut self, outcome: &IterationOutcome, now: SimTime) -> Vec<Applied> {
         let mut applied = Vec::new();
+        // Journal the decision set up front (reduced to what `apply` reads);
+        // an outcome with no decisions mutates nothing and is not logged.
+        let journal_outcome = self.journal.is_some()
+            && !(outcome.starts.is_empty()
+                && outcome.dyn_decisions.is_empty()
+                && outcome.grows.is_empty());
 
         for decision in &outcome.dyn_decisions {
             match decision {
@@ -538,6 +786,13 @@ impl PbsServer {
             });
         }
 
+        if journal_outcome {
+            self.log(Record::Outcome {
+                outcome: journal::reduce_outcome(outcome),
+                now,
+            });
+        }
+
         applied
     }
 
@@ -545,11 +800,7 @@ impl PbsServer {
     /// job is requeued (progress lost). The returned list names the
     /// victims — the fault-tolerance hook the paper's introduction
     /// motivates (spare nodes can be dynamically allocated to them).
-    pub fn node_failed(
-        &mut self,
-        node: dynbatch_core::NodeId,
-        _now: SimTime,
-    ) -> Result<Vec<JobId>> {
+    pub fn node_failed(&mut self, node: dynbatch_core::NodeId, now: SimTime) -> Result<Vec<JobId>> {
         let victims = self.cluster.fail_node(node)?;
         for &v in &victims {
             // Release whatever the job still holds on surviving nodes.
@@ -565,6 +816,9 @@ impl PbsServer {
             self.deltas.push(ProfileDelta::Finished { job: v });
         }
         self.deltas.push(ProfileDelta::CapacityChanged);
+        if self.journal.is_some() {
+            self.log(Record::NodeFailed { node, now });
+        }
         Ok(victims)
     }
 
@@ -572,6 +826,9 @@ impl PbsServer {
     pub fn node_repaired(&mut self, node: dynbatch_core::NodeId) -> Result<()> {
         self.cluster.repair_node(node)?;
         self.deltas.push(ProfileDelta::CapacityChanged);
+        if self.journal.is_some() {
+            self.log(Record::NodeRepaired { node });
+        }
         Ok(())
     }
 
@@ -659,6 +916,9 @@ impl PbsServer {
                 job.state = JobState::Running;
             }
         }
+        if self.journal.is_some() {
+            self.log(Record::ExpireOne { job: id, seq, now });
+        }
         true
     }
 
@@ -679,6 +939,9 @@ impl PbsServer {
                     job.state = JobState::Running;
                 }
             }
+        }
+        if self.journal.is_some() && !expired.is_empty() {
+            self.log(Record::ExpireSweep { now });
         }
         expired
     }
@@ -1079,6 +1342,63 @@ mod tests {
             Applied::Started { job, alloc, .. } if *job == id && alloc.total_cores() == 48
         )));
         assert_eq!(s.job(id).unwrap().cores_allocated, 48);
+    }
+
+    #[test]
+    fn recover_from_journal_matches_live_state() {
+        let mut s = server();
+        s.enable_journal(0);
+        let mut m = hp_maui();
+        let a = s.qsub(rigid("A", 0, 16, 100), t(0)).unwrap();
+        let b = s.qsub(rigid("B", 1, 64, 500), t(0)).unwrap();
+        let ev = s
+            .qsub(
+                JobSpec::evolving(
+                    "F",
+                    UserId(6),
+                    GroupId(0),
+                    8,
+                    ExecutionModel::esp_evolving(1846, 1230, 4),
+                ),
+                t(1),
+            )
+            .unwrap();
+        cycle(&mut s, &mut m, t(1));
+        s.job_finished(a, t(100)).unwrap();
+        cycle(&mut s, &mut m, t(100));
+        s.tm_dynget_negotiated(ev, 4, Some(t(900)), t(200)).unwrap();
+        cycle(&mut s, &mut m, t(200));
+        s.qdel(b, t(300)).unwrap();
+        let _ = b;
+
+        let digest = s.state_digest();
+        let recovered = PbsServer::recover(s.take_journal().unwrap()).unwrap();
+        assert_eq!(recovered.state_digest(), digest);
+        recovered.cluster().check_invariants().unwrap();
+        // The recovered server keeps journaling where the crashed one
+        // stopped.
+        assert!(recovered.journal().is_some());
+    }
+
+    #[test]
+    fn compacting_snapshots_bound_the_journal_and_stay_exact() {
+        let mut s = server();
+        s.enable_journal(4);
+        let mut m = hp_maui();
+        for i in 0..6 {
+            let id = s.qsub(rigid("J", i, 8, 50), t(i as u64)).unwrap();
+            cycle(&mut s, &mut m, t(i as u64));
+            s.job_finished(id, t(100 + i as u64)).unwrap();
+        }
+        let journal = s.journal().unwrap();
+        assert!(
+            journal.len() <= 5,
+            "compaction must bound the log, got {} records",
+            journal.len()
+        );
+        let digest = s.state_digest();
+        let recovered = PbsServer::recover(s.take_journal().unwrap()).unwrap();
+        assert_eq!(recovered.state_digest(), digest);
     }
 
     #[test]

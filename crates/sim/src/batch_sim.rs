@@ -172,6 +172,21 @@ impl BatchSim {
         self.queue.schedule(at, Event::RepairNode(node));
     }
 
+    /// Turns on the server's write-ahead journal (a prerequisite for
+    /// [`BatchSim::inject_server_crash`]). Cleared by [`BatchSim::reset`],
+    /// like the rest of the server state.
+    pub fn enable_journal(&mut self, snapshot_every: usize) {
+        self.server.enable_journal(snapshot_every);
+    }
+
+    /// Schedules a server crash + journal recovery at `at`. The server is
+    /// rebuilt by snapshot-load + replay and the scheduler restarts with
+    /// empty soft state; applications (their finish/phase/request events)
+    /// are unaffected, exactly as in the threaded daemon's crash model.
+    pub fn inject_server_crash(&mut self, at: SimTime) {
+        self.queue.schedule(at, Event::ServerCrash);
+    }
+
     /// Runs to completion (event queue drained).
     pub fn run(&mut self) {
         while self.step() {}
@@ -354,6 +369,17 @@ impl BatchSim {
             }
             Event::RepairNode(node) => {
                 self.server.node_repaired(node).expect("known node");
+            }
+            Event::ServerCrash => {
+                let journal = self
+                    .server
+                    .take_journal()
+                    .expect("server crash events require enable_journal");
+                self.server = PbsServer::recover(journal).expect("journal replays cleanly");
+                // The scheduler process dies with the server: reservation
+                // history, fairshare charges and negotiation-delay
+                // bookkeeping restart empty, as on a real restart.
+                self.maui = Maui::new(self.maui.config().clone());
             }
         }
         self.util.record(now, self.server.cluster().busy_cores());

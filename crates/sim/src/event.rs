@@ -60,4 +60,10 @@ pub enum Event {
     FailNode(NodeId),
     /// Node repair injection.
     RepairNode(NodeId),
+    /// The server crashes and restarts by snapshot-load + replay of its
+    /// write-ahead journal. Requires journaling to be enabled on the
+    /// simulated server; scheduler soft state is rebuilt from scratch,
+    /// modelling a real server-process death (applications keep running —
+    /// their events stay in the queue).
+    ServerCrash,
 }

@@ -19,6 +19,9 @@ cargo test -q --workspace
 echo "==> chaos zero-fault smoke"
 cargo test -q --test chaos_daemon chaos_zero_fault
 
+echo "==> crash-recovery smoke (~5 sampled journal crash points)"
+cargo test -q --test crash_recovery crash_smoke_sampled_indices
+
 echo "==> parallel sweep smoke (serial == parallel)"
 cargo test -q --test sweep_engine
 

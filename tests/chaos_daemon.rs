@@ -2,8 +2,11 @@
 //!
 //! Every test drives the same submit / dynget / dynfree / preempt / qdel
 //! workload through a live ensemble while a seeded [`FaultPlan`] drops,
-//! delays, duplicates and reorders channel deliveries and crash-restarts
-//! moms. The interleaving-independent invariants asserted for every seed:
+//! delays, duplicates and reorders channel deliveries, crash-restarts
+//! moms, and crash-restarts the **server** itself at seeded points in its
+//! write-ahead journal (recovery = snapshot-load + replay, then re-arming
+//! deadlines and re-attaching moms). The interleaving-independent
+//! invariants asserted for every seed:
 //!
 //! 1. the ensemble **drains** — no lost message may wedge a job;
 //! 2. per-job **final states match the fault-free run** (everything

@@ -1,0 +1,368 @@
+//! Crash-recovery correctness: the crash-at-every-record sweep.
+//!
+//! The durability invariant under test: **recovered state ≡ crash-free
+//! state**. A server killed after *any* journal record, rebuilt by
+//! snapshot-load + replay and then driven through the remainder of the
+//! run, must end with an accounting log and a final state digest that are
+//! byte-identical to a run that never crashed.
+//!
+//! The sweep drives a scripted scenario directly against
+//! `PbsServer` + `Maui` (every input's journal position is then known
+//! exactly), under the scheduler-soft-state-free configuration
+//! (`paper_eval` + `highest_priority`): a fresh scheduler mid-run makes
+//! identical decisions, so the comparison isolates the journal layer.
+
+use dynbatch_cluster::{Allocation, Cluster};
+use dynbatch_core::{
+    json, AllocPolicy, DfsConfig, ExecutionModel, GroupId, JobId, JobSpec, NodeId, SchedulerConfig,
+    SimDuration, SimTime, UserId,
+};
+use dynbatch_sched::Maui;
+use dynbatch_server::{Journal, PbsServer};
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn rigid(name: &str, user: u32, cores: u32, secs: u64) -> JobSpec {
+    JobSpec::rigid(
+        name,
+        UserId(user),
+        GroupId(0),
+        cores,
+        SimDuration::from_secs(secs),
+    )
+}
+
+fn evolving(name: &str, user: u32, cores: u32) -> JobSpec {
+    JobSpec::evolving(
+        name,
+        UserId(user),
+        GroupId(0),
+        cores,
+        ExecutionModel::esp_evolving(1846, 1230, 4),
+    )
+}
+
+fn hp_maui() -> Maui {
+    let mut cfg = SchedulerConfig::paper_eval();
+    cfg.dfs = DfsConfig::highest_priority();
+    Maui::new(cfg)
+}
+
+/// One scripted input. Each op maps to at most one journal record, so a
+/// crash "after record k" is a crash at the op boundary that wrote it.
+enum Op {
+    Sub(JobSpec),
+    Cycle,
+    Finish(JobId),
+    DynGet {
+        job: JobId,
+        extra: u32,
+        deadline: Option<u64>,
+    },
+    DynFree {
+        job: JobId,
+        node: u32,
+        cores: u32,
+    },
+    Qdel(JobId),
+    Fail(u32),
+    Repair(u32),
+    Expire,
+}
+
+fn apply_op(s: &mut PbsServer, m: &mut Maui, op: &Op, now: SimTime) {
+    match op {
+        Op::Sub(spec) => {
+            let _ = s.qsub(spec.clone(), now);
+        }
+        Op::Cycle => {
+            let snap = s.snapshot_incremental(now);
+            let outcome = m.iterate(&snap);
+            s.apply(&outcome, now);
+        }
+        Op::Finish(job) => {
+            let _ = s.job_finished(*job, now);
+            m.dfs_mut().job_left_queue(*job);
+        }
+        Op::DynGet {
+            job,
+            extra,
+            deadline,
+        } => {
+            let _ = s.tm_dynget_negotiated(*job, *extra, deadline.map(t), now);
+        }
+        Op::DynFree { job, node, cores } => {
+            let released = Allocation::from_pairs([(NodeId(*node), *cores)]);
+            let _ = s.tm_dynfree(*job, &released, now);
+        }
+        Op::Qdel(job) => {
+            let _ = s.qdel(*job, now);
+        }
+        Op::Fail(node) => {
+            let _ = s.node_failed(NodeId(*node), now);
+        }
+        Op::Repair(node) => {
+            let _ = s.node_repaired(NodeId(*node));
+        }
+        Op::Expire => {
+            let _ = s.expire_dyn_requests(now);
+        }
+    }
+}
+
+/// A scenario touching every record kind the journal knows: submit,
+/// start, finish, qdel (of queued, running and DynQueued jobs), the
+/// dynget/dynfree negotiation phases, expiry, node fail/repair.
+/// Job ids are assigned sequentially by the server: A=1, B=2, EV=3,
+/// D=4, C=5, E=6.
+fn script() -> Vec<(u64, Op)> {
+    const A: JobId = JobId(1);
+    const B: JobId = JobId(2);
+    const EV: JobId = JobId(3);
+    const D: JobId = JobId(4);
+    const E: JobId = JobId(6);
+    vec![
+        (0, Op::Sub(rigid("A", 0, 16, 100))),
+        (0, Op::Cycle),
+        (1, Op::Sub(rigid("B", 1, 64, 500))),
+        (1, Op::Cycle),
+        (2, Op::Sub(evolving("EV", 2, 8))),
+        (2, Op::Cycle),
+        (3, Op::Sub(evolving("D", 3, 8))),
+        (3, Op::Cycle),
+        // EV asks for +4 within a negotiation window; grantable (24 idle).
+        (
+            5,
+            Op::DynGet {
+                job: EV,
+                extra: 4,
+                deadline: Some(60),
+            },
+        ),
+        (5, Op::Cycle),
+        // D asks for more than the machine can ever free within its
+        // window: stays DynQueued (deferred each cycle).
+        (
+            6,
+            Op::DynGet {
+                job: D,
+                extra: 100,
+                deadline: Some(400),
+            },
+        ),
+        (6, Op::Cycle),
+        // A 40-core job queues behind the running set.
+        (7, Op::Sub(rigid("C", 4, 40, 50))),
+        (7, Op::Cycle),
+        // qdel of the DynQueued job D: pending negotiation must die too.
+        (20, Op::Qdel(D)),
+        (20, Op::Cycle),
+        // EV gives back part of its grant.
+        (
+            30,
+            Op::DynFree {
+                job: EV,
+                node: 11,
+                cores: 2,
+            },
+        ),
+        (30, Op::Cycle),
+        // A node dies (whatever it hosts is requeued), later repaired.
+        (40, Op::Fail(2)),
+        (40, Op::Cycle),
+        (50, Op::Repair(2)),
+        (50, Op::Cycle),
+        (105, Op::Finish(A)),
+        (105, Op::Cycle),
+        (130, Op::Sub(rigid("E", 5, 8, 40))),
+        (130, Op::Cycle),
+        (170, Op::Finish(E)),
+        (170, Op::Cycle),
+        // Sweep any pending windows past their deadlines.
+        (450, Op::Expire),
+        (450, Op::Cycle),
+        (520, Op::Finish(B)),
+        (520, Op::Cycle),
+        (600, Op::Finish(EV)),
+        (600, Op::Cycle),
+    ]
+}
+
+fn accounting_text(s: &PbsServer) -> String {
+    s.accounting()
+        .outcomes()
+        .iter()
+        .map(|o| json::model::outcome_to_json(o).to_string_compact())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Reference run: journal on, after every op capture the journal clone
+/// and the accounting text observed so far.
+struct Reference {
+    journals: Vec<Journal>,
+    accounting_at: Vec<String>,
+    final_digest: String,
+    final_accounting: String,
+}
+
+fn run_reference(snapshot_every: usize) -> Reference {
+    let mut s = PbsServer::new(Cluster::homogeneous(15, 8), AllocPolicy::Pack);
+    s.enable_journal(snapshot_every);
+    let mut m = hp_maui();
+    let mut journals = Vec::new();
+    let mut accounting_at = Vec::new();
+    let mut last_total = s.journal().unwrap().total_appended();
+    for (secs, op) in &script() {
+        apply_op(&mut s, &mut m, op, t(*secs));
+        let j = s.journal().unwrap();
+        // One mutation record per op; a compacting run may add a snapshot
+        // record in the same append.
+        let cap = if snapshot_every == 0 { 1 } else { 2 };
+        assert!(
+            j.total_appended() - last_total <= cap,
+            "an op must append at most one mutation record (got {} new)",
+            j.total_appended() - last_total
+        );
+        last_total = j.total_appended();
+        journals.push(j.clone());
+        accounting_at.push(accounting_text(&s));
+    }
+    Reference {
+        journals,
+        accounting_at,
+        final_digest: s.state_digest(),
+        final_accounting: accounting_text(&s),
+    }
+}
+
+/// Crash after op boundary `i`: recover from the journal as it stood
+/// there, resume the remaining script with a **fresh** scheduler, and
+/// return the final digest + accounting.
+fn resume_from(reference: &Reference, i: usize) -> (String, String) {
+    let mut s = PbsServer::recover(reference.journals[i].clone()).expect("journal replays");
+    // Satellite-3 property en route: replaying a journal prefix yields
+    // exactly the accounting records emitted up to that point.
+    assert_eq!(
+        accounting_text(&s),
+        reference.accounting_at[i],
+        "accounting after recovery at boundary {i} must match the live log"
+    );
+    s.cluster().check_invariants().unwrap();
+    let mut m = hp_maui();
+    for (secs, op) in script().iter().skip(i + 1) {
+        apply_op(&mut s, &mut m, op, t(*secs));
+    }
+    (s.state_digest(), accounting_text(&s))
+}
+
+fn assert_boundary_matches(reference: &Reference, i: usize) {
+    let (digest, accounting) = resume_from(reference, i);
+    assert_eq!(
+        digest, reference.final_digest,
+        "state diverged when crashing after op {i}"
+    );
+    assert_eq!(
+        accounting, reference.final_accounting,
+        "accounting diverged when crashing after op {i}"
+    );
+}
+
+/// The tentpole guarantee: crash after **every** journal record (every
+/// op boundary — each op writes at most one record), recover, resume,
+/// and land byte-identical to the crash-free run.
+#[test]
+fn crash_at_every_record_is_byte_identical() {
+    let reference = run_reference(0);
+    let total = reference.journals.last().unwrap().total_appended();
+    assert!(
+        total >= 20,
+        "scenario too small to be interesting: {total} records"
+    );
+    for i in 0..reference.journals.len() {
+        assert_boundary_matches(&reference, i);
+    }
+}
+
+/// The same sweep with aggressive compaction: crash points now land on a
+/// journal that is mostly a snapshot plus a short tail, exercising the
+/// snapshot-load half of recovery at every position.
+#[test]
+fn crash_sweep_survives_compaction() {
+    let reference = run_reference(4);
+    for i in 0..reference.journals.len() {
+        assert!(
+            reference.journals[i].len() <= 5,
+            "compaction must bound the log at boundary {i}"
+        );
+        assert_boundary_matches(&reference, i);
+    }
+}
+
+/// Quick smoke for `scripts/check.sh`: the same sweep at ~5 sampled
+/// crash points instead of all of them.
+#[test]
+fn crash_smoke_sampled_indices() {
+    let reference = run_reference(0);
+    let n = reference.journals.len();
+    for i in [0, n / 4, n / 2, 3 * n / 4, n - 1] {
+        assert_boundary_matches(&reference, i);
+    }
+}
+
+/// `Journal::prefix` agrees with the journal as it actually stood at
+/// each boundary (no compaction): "the first k records" really is the
+/// crash image.
+#[test]
+fn prefix_matches_live_boundaries() {
+    let reference = run_reference(0);
+    let full = reference.journals.last().unwrap();
+    for j in &reference.journals {
+        let k = j.len();
+        assert_eq!(full.prefix(k).to_text(), j.to_text());
+    }
+}
+
+/// End-to-end in the simulator: a run interrupted by scripted server
+/// crashes finishes with the same outcomes as a crash-free run.
+#[test]
+fn sim_server_crashes_preserve_outcomes() {
+    use dynbatch_sim::BatchSim;
+    use dynbatch_workload::WorkloadItem;
+
+    let mut cfg = SchedulerConfig::paper_eval();
+    cfg.dfs = DfsConfig::highest_priority();
+    let items: Vec<WorkloadItem> = (0..8)
+        .map(|i| {
+            let spec = if i % 3 == 2 {
+                let mut spec = evolving(&format!("ev{i}"), i, 8);
+                spec.dyn_timeout = Some(SimDuration::from_secs(300));
+                spec
+            } else {
+                rigid(&format!("j{i}"), i, 8 * (1 + i % 4), 120 + 60 * i as u64)
+            };
+            WorkloadItem {
+                at: t(5 * i as u64),
+                spec,
+            }
+        })
+        .collect();
+
+    let run = |crashes: &[u64]| {
+        let mut sim = BatchSim::new(Cluster::homogeneous(15, 8), cfg.clone());
+        sim.enable_journal(8);
+        sim.load(&items);
+        for &at in crashes {
+            sim.inject_server_crash(t(at));
+        }
+        sim.run();
+        assert!(sim.server().is_drained());
+        accounting_text(sim.server())
+    };
+
+    let clean = run(&[]);
+    let crashed = run(&[30, 200, 900]);
+    assert_eq!(clean, crashed, "server crashes must not change outcomes");
+}
