@@ -13,13 +13,19 @@
 //! Each row is a full dynamic-ESP (or modified) run, averaged over seeds.
 //! The per-seed runs of a row are sharded over all cores by the
 //! deterministic sweep engine (`sim::sweep`) — row values are identical
-//! to the serial loop at any worker count; `--workers N` overrides the
-//! default of one worker per core.
+//! to the serial loop at any worker count. Both `--workers` (sweep-engine
+//! pool width) and `--shards` (in-run scheduler shard count) default to
+//! `std::thread::available_parallelism()`; the resolved values are echoed
+//! as a JSON line before the tables so campaign logs record what actually
+//! ran. Either way the results are bit-identical — both knobs are pure
+//! parallelism.
 //!
 //! ```text
-//! cargo run --release -p dynbatch-bench --bin ablation_sweep [-- --seeds N] [--workers W]
+//! cargo run --release -p dynbatch-bench --bin ablation_sweep \
+//!     [-- --seeds N] [--workers W] [--shards S]
 //! ```
 
+use dynbatch_core::json::Json;
 use dynbatch_core::{CredRegistry, DfsConfig, JobClass, JobSpec, SchedulerConfig, SimDuration};
 use dynbatch_sim::{run_sweep, ExperimentConfig, ExperimentResult};
 use dynbatch_workload::{generate_esp, EspConfig};
@@ -35,13 +41,30 @@ fn seeds_from_args() -> Vec<u64> {
     }
 }
 
-fn workers_from_args() -> usize {
+fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn flag_value(flag: &str) -> Option<usize> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
-        .position(|a| a == "--workers")
+        .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
-        .unwrap_or(0) // 0 = one worker per available core
+        .filter(|&n| n >= 1)
+}
+
+/// Sweep-engine pool width: one worker per available core unless
+/// `--workers` overrides it.
+fn workers_from_args() -> usize {
+    flag_value("--workers").unwrap_or_else(available_cores)
+}
+
+/// In-run scheduler shard count: one shard per available core unless
+/// `--shards` overrides it. Sharding is decision-invariant, so any value
+/// reproduces the same rows.
+fn shards_from_args() -> usize {
+    flag_value("--shards").unwrap_or_else(available_cores)
 }
 
 struct Avg {
@@ -118,6 +141,7 @@ fn run_many(
 ) -> Avg {
     let mut sched = SchedulerConfig::paper_eval();
     sched.dfs = DfsConfig::uniform_target(200, SimDuration::from_hours(1));
+    sched.shards = shards_from_args();
     sched_mut(&mut sched);
     let configs = [ExperimentConfig::paper_cluster("ablation", sched)];
     // One row = one configuration × all seeds, sharded across the worker
@@ -140,6 +164,20 @@ fn run_many(
 
 fn main() {
     let seeds = seeds_from_args();
+    // Echo the resolved parallelism settings as JSON so a campaign log
+    // records what actually ran (both default to the core count).
+    println!(
+        "{}",
+        Json::to_string_compact(&Json::obj(vec![
+            ("seeds", Json::UInt(seeds.len() as u64)),
+            ("workers", Json::UInt(workers_from_args() as u64)),
+            ("shards", Json::UInt(shards_from_args() as u64)),
+            (
+                "available_parallelism",
+                Json::UInt(available_cores() as u64)
+            ),
+        ]))
+    );
     println!(
         "Ablations on the dynamic ESP workload (DFS target 200 s/h unless varied; {} seeds)",
         seeds.len()

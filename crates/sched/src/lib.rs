@@ -22,6 +22,9 @@
 //!   StartNow/StartLater, delay what-ifs);
 //! * [`dfs`] — the dynamic-fairness engine (paper §III-D);
 //! * [`maui`] — the extended scheduling iteration (paper Algorithm 2);
+//! * [`router`] / [`shard`] — within-run sharding: deterministic
+//!   work routing, partitioned timelines, cross-shard reservations and
+//!   the round-synchronised worker pool behind `shards > 1`;
 //! * [`snapshot`] / [`reservation`] — the value types crossing the
 //!   scheduler boundary.
 
@@ -36,6 +39,8 @@ pub mod plan;
 pub mod priority;
 pub mod reference;
 pub mod reservation;
+pub mod router;
+pub mod shard;
 pub mod snapshot;
 pub mod timeline;
 
@@ -48,5 +53,7 @@ pub use maui::{mold_fit, DynDecision, IterationOutcome, Maui, ResizeDecision, St
 pub use plan::plan_starts;
 pub use priority::{priority_of, rank_jobs, Priority};
 pub use reservation::{PlannedStart, Reservation, StartKind};
+pub use router::{MultiShardHold, ShardRouter, StealQueues};
+pub use shard::{with_round_pool, ShardCommitError, ShardLayout, ShardedTimeline};
 pub use snapshot::{DynRequest, QueuedJob, RunningJob, Snapshot};
 pub use timeline::{planned_end, AvailabilityProfile, OVERDUE_GRACE};

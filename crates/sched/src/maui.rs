@@ -24,12 +24,16 @@ use crate::dfs::{DelayCharge, DfsEngine, DfsReject, DfsVerdict};
 use crate::fairshare::FairshareTracker;
 use crate::incremental::{profile_from_running, rebuild_into, IncrementalTimeline, TimelineStats};
 use crate::plan::plan_starts;
-use crate::priority::rank_jobs;
+use crate::priority::{priority_of, rank_jobs, Priority};
 use crate::reservation::{PlannedStart, Reservation};
+use crate::router::{ShardRouter, StealQueues};
+use crate::shard::{with_round_pool, ShardedTimeline};
 use crate::snapshot::{DynRequest, QueuedJob, RunningJob, Snapshot};
 use crate::timeline::{planned_end, AvailabilityProfile};
 use dynbatch_core::{BackfillPolicy, JobId, SchedulerConfig, SimTime};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
 
 /// A batch-system-initiated resize of a running malleable job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -193,6 +197,12 @@ pub struct Maui {
     incremental_check: bool,
     /// The persistent delta-maintained profile.
     timeline: IncrementalTimeline,
+    /// The partitioned timelines behind `shards > 1` (created lazily on
+    /// the first sharded iteration).
+    sharded: Option<ShardedTimeline>,
+    /// Worker-thread count of the sharded planner; 0 = one per available
+    /// core, capped at the shard count.
+    shard_workers: usize,
     /// Recycled buffer the per-iteration working base is staged in.
     base_buf: AvailabilityProfile,
 }
@@ -214,8 +224,42 @@ impl Maui {
             incremental_enabled: true,
             incremental_check: false,
             timeline: IncrementalTimeline::new(),
+            sharded: None,
+            shard_workers: 0,
             base_buf: AvailabilityProfile::new(SimTime::ZERO, 0),
         }
+    }
+
+    /// Reconfigures the shard count (1 = the serial path). Decisions are
+    /// byte-identical at every count — the serial path is the executable
+    /// spec and the sharded planner commits in the same order — so this
+    /// only changes wall-clock. Resets the partitioned timeline; the next
+    /// iteration rebuilds it.
+    ///
+    /// # Panics
+    /// If `shards` is zero.
+    pub fn set_shards(&mut self, shards: usize) {
+        assert!(shards >= 1, "at least one shard");
+        self.config.shards = shards;
+        self.sharded = None;
+        self.timeline.invalidate();
+    }
+
+    /// Test/benchmark knob: fixes the worker-thread count of the sharded
+    /// planner (0 = one per available core, capped at the shard count).
+    /// Results never depend on it; only wall-clock does.
+    pub fn set_shard_workers(&mut self, workers: usize) {
+        self.shard_workers = workers;
+    }
+
+    fn shard_worker_count(&self) -> usize {
+        let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let w = if self.shard_workers > 0 {
+            self.shard_workers
+        } else {
+            auto
+        };
+        w.clamp(1, self.config.shards)
     }
 
     /// Test/debug knob: when disabled, the "before" plan of the delay
@@ -238,6 +282,9 @@ impl Maui {
             // Deltas drained while the knob is off are never applied;
             // drop continuity so re-enabling starts from a rebuild.
             self.timeline.invalidate();
+            if let Some(t) = &mut self.sharded {
+                t.invalidate();
+            }
         }
     }
 
@@ -250,8 +297,15 @@ impl Maui {
     }
 
     /// Counters for the incremental timeline (rebuilds vs delta batches).
+    /// With `shards > 1` these come from the partitioned timeline.
     pub fn timeline_stats(&self) -> TimelineStats {
-        self.timeline.stats()
+        if self.config.shards > 1 {
+            self.sharded
+                .as_ref()
+                .map_or_else(TimelineStats::default, ShardedTimeline::stats)
+        } else {
+            self.timeline.stats()
+        }
     }
 
     /// The site configuration.
@@ -282,7 +336,15 @@ impl Maui {
     }
 
     /// Runs one scheduling iteration (paper Algorithm 2).
+    ///
+    /// With `shards > 1` the three expensive phases (ranking, the
+    /// dynamic-request loop, backfill) run speculatively on a
+    /// round-synchronised worker pool; all commits are applied in the
+    /// serial order, so the outcome is byte-identical to `shards == 1`.
     pub fn iterate(&mut self, snap: &Snapshot) -> IterationOutcome {
+        if self.config.shards > 1 {
+            return self.iterate_sharded(snap);
+        }
         let now = snap.now;
         // Step 4 of Algorithm 1/2: update statistics.
         self.dfs.advance_to(now);
@@ -323,19 +385,13 @@ impl Maui {
         }
         // The partition may be partly consumed by grants during this
         // iteration; `partition` tracks what remains held.
-        let mut partition = self
+        let partition = self
             .config
             .dyn_partition_cores
             .min(base.min_idle(now, SimTime::MAX));
         if partition > 0 {
             base.hold(now, SimTime::MAX, partition);
         }
-        let mut preempted: HashSet<JobId> = HashSet::new();
-        // Live view of running jobs' core counts: same-iteration shrinks
-        // must be visible to later dynamic requests and to the grow pass,
-        // or resizes would be computed from stale counts.
-        let mut cur_cores: HashMap<JobId, u32> =
-            snap.running.iter().map(|r| (r.id, r.cores)).collect();
         // Step 10: plan static jobs without starting them — the baseline.
         let mut scratch = PlanScratch::new(now, snap.total_cores);
         scratch.plan.assign_from(&base);
@@ -349,82 +405,43 @@ impl Maui {
             ..Default::default()
         };
 
-        // Steps 11–24: the dynamic-request loop.
+        // Steps 11–24: the dynamic-request loop, threading the mutable
+        // world through evaluate → commit per request (the sharded path
+        // runs the same two functions, evaluating speculatively).
+        let mut world = DynWorld::new(base, partition, &snap.running);
         if self.config.dynamic_enabled {
             let mut requests: Vec<&DynRequest> = snap.dyn_requests.iter().collect();
             requests.sort_by_key(|r| r.seq);
-            // Resolve `JobId → &QueuedJob` once; the delay loop inside
-            // `decide_dynamic` used to rescan the ranked queue per charge.
+            // Resolve `JobId → &QueuedJob` once; the delay loop used to
+            // rescan the ranked queue per charge.
             let jobs_by_id: HashMap<JobId, &QueuedJob> =
                 ranked.iter().map(|j| (j.id, *j)).collect();
-            // The "before" plan of the delay measurement is a pure
-            // function of `base`; it is computed lazily, tagged with the
-            // base revision, and carried across requests until a base
-            // mutation bumps the revision.
-            let mut before_plan: Option<CachedPlan> = None;
-            let mut base_rev: u64 = 0;
+            let ctx = DynCtx {
+                config: &self.config,
+                ranked: &ranked,
+                jobs_by_id: &jobs_by_id,
+                running: &snap.running,
+                now,
+                plan_cache_enabled: self.plan_cache_enabled,
+            };
             for req in requests {
-                let decision = self.decide_dynamic(
-                    req,
-                    &mut base,
-                    &mut base_rev,
-                    &mut partition,
-                    &ranked,
-                    &jobs_by_id,
-                    &snap.running,
-                    &mut preempted,
-                    &mut cur_cores,
-                    &mut before_plan,
-                    &mut scratch,
-                    now,
-                );
+                let eval = evaluate_dynamic(&ctx, &self.dfs, &world, req, &mut scratch);
+                let decision = commit_dynamic(&ctx, &mut self.dfs, &mut world, req, eval);
                 outcome.dyn_decisions.push(decision);
             }
         }
+        let DynWorld {
+            base,
+            preempted,
+            mut cur_cores,
+            ..
+        } = world;
 
         // Step 25: schedule static jobs (with starts) and create
         // reservations against the post-grant profile.
         let mut profile = base;
-        let mut blocked = false;
-        let mut started: HashSet<JobId> = HashSet::new();
-        let mut reserved: HashSet<JobId> = HashSet::new();
-        let reservation_limit = match self.config.backfill {
-            BackfillPolicy::Conservative => usize::MAX,
-            _ => self.config.reservation_depth,
-        };
-        for job in &ranked {
-            if !blocked {
-                if let Some(width) = mold_fit(&profile, job, now) {
-                    profile.hold_for(now, job.walltime, width + job.reserve_extra);
-                    started.insert(job.id);
-                    outcome.starts.push(StartDecision {
-                        job: job.id,
-                        backfilled: false,
-                        cores: (width != job.cores).then_some(width),
-                    });
-                    continue;
-                }
-                blocked = true;
-            }
-            if outcome.reservations.len() < reservation_limit {
-                let width = job.cores + job.reserve_extra;
-                if let Some(start) = profile.earliest_fit(width, job.walltime, now) {
-                    // A job whose earliest fit is *now* is not blocked — it
-                    // is a backfill candidate, not a reservation holder.
-                    if start > now {
-                        let end = start.saturating_add(job.walltime);
-                        profile.hold(start, end, width);
-                        reserved.insert(job.id);
-                        outcome.reservations.push(Reservation {
-                            job: job.id,
-                            start,
-                            end,
-                            cores: width,
-                        });
-                    }
-                }
-            }
-        }
+        let (started, reserved) =
+            static_pass(&self.config, &ranked, &mut profile, &mut outcome, now);
 
         // Step 26: backfill.
         if self.config.backfill != BackfillPolicy::None && !snap.backfill_suppressed() {
@@ -434,7 +451,6 @@ impl Maui {
                 }
                 if let Some(width) = mold_fit(&profile, job, now) {
                     profile.hold_for(now, job.walltime, width + job.reserve_extra);
-                    started.insert(job.id);
                     outcome.starts.push(StartDecision {
                         job: job.id,
                         backfilled: true,
@@ -446,48 +462,15 @@ impl Maui {
 
         // Malleability: pour leftover idle capacity into running malleable
         // jobs (never into cores the reservations already claim).
-        if self.config.grow_malleable_on_idle {
-            // A shrink decided this very iteration must not be undone by a
-            // grow in the same breath.
-            let shrunk_now: HashSet<JobId> = outcome
-                .dyn_decisions
-                .iter()
-                .filter_map(|d| match d {
-                    DynDecision::Granted { shrunk, .. } => Some(shrunk.iter().map(|r| r.job)),
-                    _ => None,
-                })
-                .flatten()
-                .collect();
-            let mut growables: Vec<&RunningJob> = snap
-                .running
-                .iter()
-                .filter(|r| {
-                    !preempted.contains(&r.id)
-                        && !shrunk_now.contains(&r.id)
-                        && r.malleable.is_some()
-                })
-                .collect();
-            growables.sort_by_key(|r| r.id);
-            for r in growables {
-                let cores_now = cur_cores[&r.id];
-                let max = r.malleable.expect("filtered").max_cores;
-                if cores_now >= max {
-                    continue;
-                }
-                let end = planned_end(now, r.walltime_end);
-                let available = profile.min_idle(now, end);
-                let give = available.min(max - cores_now);
-                if give > 0 {
-                    profile.hold(now, end, give);
-                    cur_cores.insert(r.id, cores_now + give);
-                    outcome.grows.push(ResizeDecision {
-                        job: r.id,
-                        from_cores: cores_now,
-                        to_cores: cores_now + give,
-                    });
-                }
-            }
-        }
+        grow_pass(
+            &self.config,
+            &snap.running,
+            &mut profile,
+            &preempted,
+            &mut cur_cores,
+            &mut outcome,
+            now,
+        );
 
         // Started jobs leave the queue: wipe their per-job DFS slates.
         for s in &outcome.starts {
@@ -501,220 +484,593 @@ impl Maui {
         outcome
     }
 
-    /// Steps 12–23 for a single dynamic request.
-    #[allow(clippy::too_many_arguments)]
-    fn decide_dynamic(
-        &mut self,
-        req: &DynRequest,
-        base: &mut AvailabilityProfile,
-        base_rev: &mut u64,
-        partition: &mut u32,
-        ranked: &[&QueuedJob],
-        jobs_by_id: &HashMap<JobId, &QueuedJob>,
-        running: &[RunningJob],
-        preempted: &mut HashSet<JobId>,
-        cur_cores: &mut HashMap<JobId, u32>,
-        before_plan: &mut Option<CachedPlan>,
-        scratch: &mut PlanScratch,
-        now: SimTime,
-    ) -> DynDecision {
-        // A job preempted earlier in this very iteration (to feed another
-        // dynamic request) is back in the queue; its own pending request
-        // is moot.
-        if preempted.contains(&req.job) {
-            return DynDecision::Rejected {
-                job: req.job,
-                reason: DfsReject::NoResources,
+    /// The sharded iteration: same algorithm, same commit order, same
+    /// bytes out — but the three expensive phases (ranking, dynamic-
+    /// request evaluation, backfill fit tests) run speculatively on a
+    /// round-synchronised worker pool, and the base profile is maintained
+    /// by the partitioned [`ShardedTimeline`] instead of the serial one.
+    ///
+    /// Determinism argument, phase by phase:
+    ///
+    /// * **Base profile** — the merged shard profile is the pointwise sum
+    ///   of the per-shard step functions, and the canonical profile form
+    ///   is unique, so it is byte-equal to the serial rebuild (asserted
+    ///   under the same guard as the serial incremental path).
+    /// * **Rank** — workers sort chunks by the total order
+    ///   `(cmp_desc, original index)` and the driver k-way-merges with
+    ///   the same comparator; job ids are unique, so the order is *the*
+    ///   sorted permutation whatever the chunking — identical to the
+    ///   serial stable sort.
+    /// * **Dynamic requests** — workers evaluate a window of requests
+    ///   against the world at revision `r` ([`evaluate_dynamic`] is pure);
+    ///   the driver commits strictly in seq order and discards any
+    ///   evaluation whose revision went stale. Request *i* is only ever
+    ///   committed from an evaluation against exactly the world the
+    ///   serial loop would have shown it.
+    /// * **Backfill** — same speculate/commit scheme over `mold_fit`,
+    ///   with the twist that a miss leaves the profile untouched and so
+    ///   does not invalidate the rest of the window.
+    ///
+    /// Which worker evaluates a task is decided by the deterministic
+    /// steal queues ([`ShardRouter::assign_tasks`]), but results land in
+    /// task-indexed slots, so thread timing is unobservable.
+    fn iterate_sharded(&mut self, snap: &Snapshot) -> IterationOutcome {
+        let now = snap.now;
+        self.dfs.advance_to(now);
+        self.fairshare.advance_to(now);
+        let shards = self.config.shards;
+        let workers = self.shard_worker_count();
+
+        // Base profile from the partitioned timeline (or a plain rebuild
+        // when the incremental path is switched off — serial semantics).
+        let mut base = std::mem::replace(&mut self.base_buf, AvailabilityProfile::new(now, 0));
+        if self.incremental_enabled {
+            let tl = match &mut self.sharded {
+                Some(t) if t.shard_count() == shards => t,
+                slot => slot.insert(ShardedTimeline::new(shards)),
             };
-        }
-
-        // Guaranteeing policy: a request covered by the job's own
-        // pre-reserve is granted instantly — the capacity is already held
-        // in every plan, so nobody is delayed and no fairness question
-        // arises.
-        if let Some(holder) = running.iter().find(|r| r.id == req.job) {
-            if holder.reserved_extra >= req.extra_cores {
-                return DynDecision::Granted {
-                    job: req.job,
-                    extra_cores: req.extra_cores,
-                    delays: Vec::new(),
-                    preempted: Vec::new(),
-                    shrunk: Vec::new(),
-                };
-            }
-        }
-
-        // Step 12: try to allocate from the dynamic partition and the idle
-        // cores, then (if the site allows) by shrinking malleable jobs,
-        // then from preemptible (backfilled) resources — the §II-B source
-        // order. The partition hold is lifted only inside the dynamic
-        // path: static jobs can never touch it, so partition grants show
-        // up as zero delay.
-        let trial = &mut scratch.trial;
-        trial.assign_from(base);
-        if *partition > 0 {
-            // `base` holds the remaining partition to infinity
-            // (established in `iterate`); the dynamic path may draw on it.
-            trial.release(now, SimTime::MAX, *partition);
-        }
-        let mut to_preempt: Vec<JobId> = Vec::new();
-        let mut to_shrink: Vec<ResizeDecision> = Vec::new();
-        if trial.idle_at(now) < req.extra_cores && self.config.shrink_malleable_for_dyn {
-            // Shrink the jobs with the most slack first: they lose the
-            // smallest fraction of their rate.
-            let mut candidates: Vec<&RunningJob> = running
-                .iter()
-                .filter(|r| {
-                    r.id != req.job
-                        && !preempted.contains(&r.id)
-                        && r.malleable.is_some_and(|m| cur_cores[&r.id] > m.min_cores)
-                })
-                .collect();
-            candidates.sort_by_key(|r| {
-                let slack = cur_cores[&r.id] - r.malleable.expect("filtered").min_cores;
-                (std::cmp::Reverse(slack), r.id)
-            });
-            for cand in candidates {
-                if trial.idle_at(now) >= req.extra_cores {
-                    break;
-                }
-                let cores_now = cur_cores[&cand.id];
-                let min = cand.malleable.expect("filtered").min_cores;
-                let deficit = req.extra_cores - trial.idle_at(now);
-                let give = (cores_now - min).min(deficit);
-                trial.release(now, planned_end(now, cand.walltime_end), give);
-                to_shrink.push(ResizeDecision {
-                    job: cand.id,
-                    from_cores: cores_now,
-                    to_cores: cores_now - give,
-                });
-            }
-        }
-        if trial.idle_at(now) < req.extra_cores && self.config.preempt_backfilled_for_dyn {
-            // Preempt the youngest backfilled jobs first: they have
-            // sacrificed the least work.
-            let mut candidates: Vec<&RunningJob> = running
-                .iter()
-                .filter(|r| r.backfilled && r.id != req.job && !preempted.contains(&r.id))
-                .collect();
-            candidates.sort_by_key(|r| std::cmp::Reverse((r.start_time, r.id)));
-            for cand in candidates {
-                if trial.idle_at(now) >= req.extra_cores {
-                    break;
-                }
-                trial.release(
-                    now,
-                    planned_end(now, cand.walltime_end),
-                    cur_cores[&cand.id],
+            let merged = tl.advance(snap);
+            if cfg!(debug_assertions) || self.incremental_check {
+                let rebuilt = profile_from_running(now, snap.total_cores, &snap.running);
+                assert_eq!(
+                    *merged, rebuilt,
+                    "sharded availability timeline diverged from the rebuild at {now}"
                 );
-                to_preempt.push(cand.id);
             }
+            base.assign_from(merged);
+        } else {
+            rebuild_into(&mut base, now, snap.total_cores, &snap.running);
         }
-        if trial.idle_at(now) < req.extra_cores {
-            // Step 22: no resources at all.
-            return reject_or_defer(req, DfsReject::NoResources, base, now);
-        }
-
-        // Build the post-grant world for static planning: the expansion
-        // held on the partition-free view, then the *unused* slice of the
-        // dynamic partition re-held to infinity so static jobs still
-        // cannot touch it.
-        scratch.expanded.assign_from(&scratch.trial);
-        let expanded = &mut scratch.expanded;
-        expanded.hold_for(now, req.remaining_walltime, req.extra_cores);
-        let unused_partition = partition.saturating_sub(req.extra_cores.min(*partition));
-        if unused_partition > 0 {
-            expanded.hold(now, SimTime::MAX, unused_partition);
+        let partition = self
+            .config
+            .dyn_partition_cores
+            .min(base.min_idle(now, SimTime::MAX));
+        if partition > 0 {
+            base.hold(now, SimTime::MAX, partition);
         }
 
-        // Measure delays: plan the top ReservationDelayDepth jobs in the
-        // current world (`base`, partition held) and in the post-grant
-        // world (paper §III-D). Partition-only grants therefore
-        // measure zero delay — static jobs never had those cores. The
-        // "before" plan is a pure function of `base`, so it is reused
-        // across requests while its revision tag matches; any base
-        // mutation bumps `base_rev` and invalidates it.
-        let depth = self.config.reservation_delay_depth;
-        let cache_valid = self.plan_cache_enabled
-            && before_plan
-                .as_ref()
-                .is_some_and(|c| c.base_rev == *base_rev);
-        if !cache_valid {
-            scratch.plan.assign_from(base);
-            *before_plan = Some(CachedPlan {
-                base_rev: *base_rev,
-                plan: plan_starts(&mut scratch.plan, ranked, depth, now),
-            });
-        }
-        let before = &before_plan.as_ref().expect("before plan just ensured").plan;
-        scratch.plan.assign_from(&scratch.expanded);
-        let after = plan_starts(&mut scratch.plan, ranked, depth, now);
+        // ---- Shared state of the worker pool, hoisted so both closures
+        // can borrow it. Everything below is either immutable input or a
+        // lock-guarded cell the driver fills between rounds.
+        let config = &self.config;
+        let fairshare = &self.fairshare;
+        let plan_cache_enabled = self.plan_cache_enabled;
+        // The DFS engine moves into a lock for the duration of the
+        // iteration: workers read it while evaluating, the driver writes
+        // it between rounds when committing.
+        let dfs_cell = RwLock::new(std::mem::replace(
+            &mut self.dfs,
+            DfsEngine::new(config.dfs.clone(), now),
+        ));
 
-        let mut delays = Vec::new();
-        for b in before {
-            // Match by job id: a plan may skip a job the other fits (e.g.
-            // a full-machine job that only fits once the partition is in
-            // use). A job plannable before but not after is pushed past
-            // the horizon — charge the delay to its walltime as a bound.
-            let job = jobs_by_id.get(&b.job).expect("planned job is queued");
-            let delay = match after.iter().find(|a| a.job == b.job) {
-                Some(a) => a.start.duration_since(b.start),
-                None => job.walltime,
+        // Dynamic requests in FIFO order plus their deterministic shard
+        // assignment (the router's pure hash-plus-load fold).
+        let mut requests: Vec<&DynRequest> = if config.dynamic_enabled {
+            snap.dyn_requests.iter().collect()
+        } else {
+            Vec::new()
+        };
+        requests.sort_by_key(|r| r.seq);
+        let router = ShardRouter::new(shards);
+        let assign = router.assign_tasks(requests.iter().map(|r| r.job));
+        let dyn_queues = StealQueues::new(&assign, shards);
+        let jobs_by_id: HashMap<JobId, &QueuedJob> =
+            snap.queued.iter().map(|j| (j.id, j)).collect();
+
+        let phase = AtomicUsize::new(PHASE_IDLE);
+        let scratches: Vec<Mutex<PlanScratch>> = (0..workers)
+            .map(|_| Mutex::new(PlanScratch::new(now, snap.total_cores)))
+            .collect();
+
+        // Rank phase cells.
+        let rank_len = snap.queued.len();
+        let parallel_rank = workers > 1 && rank_len >= RANK_PARALLEL_MIN;
+        let rank_chunks = if parallel_rank {
+            (workers * 4).min(rank_len)
+        } else {
+            0
+        };
+        let rank_slots: Vec<Mutex<Vec<(Priority, u32)>>> =
+            (0..rank_chunks).map(|_| Mutex::new(Vec::new())).collect();
+        let rank_cursor = AtomicUsize::new(0);
+        let ranked_cell: RwLock<Vec<&QueuedJob>> = RwLock::new(Vec::new());
+
+        // Dynamic phase cells: one slot per request, windowed speculation.
+        let world_cell: RwLock<Option<DynWorld>> = RwLock::new(None);
+        let dyn_slots: Vec<Mutex<Option<DynEval>>> =
+            (0..requests.len()).map(|_| Mutex::new(None)).collect();
+        let dyn_next = AtomicUsize::new(0);
+        let dyn_window = (4 * workers).max(16);
+
+        // Backfill phase cells: one slot per candidate (bounded by the
+        // queue length), claimed through a plain cursor.
+        let bf_cell: RwLock<Option<BfParallel>> = RwLock::new(None);
+        let bf_cands_cell: RwLock<Vec<&QueuedJob>> = RwLock::new(Vec::new());
+        let bf_slots: Vec<Mutex<Option<BfEval>>> =
+            (0..rank_len).map(|_| Mutex::new(None)).collect();
+        let bf_next = AtomicUsize::new(0);
+        let bf_cursor = AtomicUsize::new(0);
+        let bf_window = (32 * workers).max(64);
+
+        // What every worker (the driver participates as worker 0) does
+        // each round, dispatched on the current phase.
+        let work = |_shared: &(), wid: usize| match phase.load(Ordering::Acquire) {
+            PHASE_RANK => loop {
+                let c = rank_cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= rank_chunks {
+                    break;
+                }
+                let (lo, hi) = chunk_bounds(rank_len, rank_chunks, c);
+                let mut keys: Vec<(Priority, u32)> = snap.queued[lo..hi]
+                    .iter()
+                    .enumerate()
+                    .map(|(k, j)| {
+                        (
+                            priority_of(j, now, &config.priority, Some(fairshare)),
+                            (lo + k) as u32,
+                        )
+                    })
+                    .collect();
+                keys.sort_unstable_by(|a, b| a.0.cmp_desc(&b.0).then(a.1.cmp(&b.1)));
+                *rank_slots[c].lock().expect("rank slot") = keys;
+            },
+            PHASE_DYN => {
+                let ranked_g = ranked_cell.read().expect("ranked cell");
+                let world_g = world_cell.read().expect("world cell");
+                let Some(w) = world_g.as_ref() else { return };
+                let dfs_g = dfs_cell.read().expect("dfs cell");
+                let start = dyn_next.load(Ordering::Acquire);
+                let end = (start + dyn_window).min(requests.len());
+                let rev = w.rev;
+                let ctx = DynCtx {
+                    config,
+                    ranked: &ranked_g,
+                    jobs_by_id: &jobs_by_id,
+                    running: &snap.running,
+                    now,
+                    plan_cache_enabled,
+                };
+                let mut scratch = scratches[wid].lock().expect("scratch");
+                while let Some(task) = dyn_queues.next_for(wid) {
+                    if task < start || task >= end {
+                        continue;
+                    }
+                    if dyn_slots[task]
+                        .lock()
+                        .expect("dyn slot")
+                        .as_ref()
+                        .is_some_and(|e| e.rev == rev)
+                    {
+                        continue;
+                    }
+                    let eval = evaluate_dynamic(&ctx, &dfs_g, w, requests[task], &mut scratch);
+                    *dyn_slots[task].lock().expect("dyn slot") = Some(eval);
+                }
+            }
+            PHASE_BACKFILL => {
+                let cands_g = bf_cands_cell.read().expect("bf cands");
+                let st_g = bf_cell.read().expect("bf cell");
+                let Some(st) = st_g.as_ref() else { return };
+                let start = bf_next.load(Ordering::Acquire);
+                let end = (start + bf_window).min(cands_g.len());
+                let rev = st.rev;
+                loop {
+                    let i = bf_cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= end {
+                        break;
+                    }
+                    if i < start {
+                        continue;
+                    }
+                    if bf_slots[i]
+                        .lock()
+                        .expect("bf slot")
+                        .as_ref()
+                        .is_some_and(|e| e.rev == rev)
+                    {
+                        continue;
+                    }
+                    let fit = mold_fit(&st.profile, cands_g[i], now);
+                    *bf_slots[i].lock().expect("bf slot") = Some(BfEval { rev, fit });
+                }
+            }
+            _ => {}
+        };
+
+        let drive = |round: &mut dyn FnMut()| -> (IterationOutcome, AvailabilityProfile) {
+            // Phase 1: rank. Parallel chunk-sort + merge when the queue is
+            // long enough to pay for it; otherwise the serial sort.
+            let ranked: Vec<&QueuedJob> = if parallel_rank {
+                phase.store(PHASE_RANK, Ordering::Release);
+                rank_cursor.store(0, Ordering::Relaxed);
+                round();
+                phase.store(PHASE_IDLE, Ordering::Release);
+                let chunks: Vec<Vec<(Priority, u32)>> = rank_slots
+                    .iter()
+                    .map(|m| std::mem::take(&mut *m.lock().expect("rank slot")))
+                    .collect();
+                merge_ranked(&chunks)
+                    .into_iter()
+                    .map(|i| &snap.queued[i as usize])
+                    .collect()
+            } else {
+                let mut r: Vec<&QueuedJob> = snap.queued.iter().collect();
+                rank_jobs(&mut r, now, &config.priority, Some(fairshare));
+                r
             };
-            delays.push(DelayCharge {
-                job: job.id,
-                user: job.user,
-                group: job.group,
-                delay,
-            });
-        }
+            // Workers read a clone (the driver must not hold a read guard
+            // across rounds it participates in).
+            ranked_cell
+                .write()
+                .expect("ranked cell")
+                .clone_from(&ranked);
 
-        // Steps 14–20: the fairness gate.
-        match self.dfs.evaluate(req.user, &delays) {
-            DfsVerdict::Allowed => {
-                self.dfs.commit(req.user, &delays);
-                base.assign_from(&scratch.expanded);
-                *base_rev += 1;
-                *partition = unused_partition;
-                // Re-expand the partition toward its configured width:
-                // shrinks and preemptions can leave cores durably free
-                // (a preempted job frees its whole width, not just the
-                // deficit), and without this the opening clamp would pin
-                // the partition below `dyn_partition_cores` for the rest
-                // of the iteration.
-                let want = self.config.dyn_partition_cores.saturating_sub(*partition);
-                let regrow = want.min(base.min_idle(now, SimTime::MAX));
-                if regrow > 0 {
-                    base.hold(now, SimTime::MAX, regrow);
-                    *partition += regrow;
-                    *base_rev += 1;
-                }
-                // The new base *is* the expanded world — unless the
-                // partition just re-grew, the plan computed against it
-                // becomes the next request's "before". (A re-grow holds
-                // cores `after` was planned without, so the revision tag
-                // keeps the cache cold and the next request replans.)
-                *before_plan = (self.plan_cache_enabled && regrow == 0).then_some(CachedPlan {
-                    base_rev: *base_rev,
-                    plan: after,
-                });
-                preempted.extend(to_preempt.iter().copied());
-                for r in &to_shrink {
-                    cur_cores.insert(r.job, r.to_cores);
-                }
-                if let Some(c) = cur_cores.get_mut(&req.job) {
-                    *c += req.extra_cores;
-                }
-                DynDecision::Granted {
-                    job: req.job,
-                    extra_cores: req.extra_cores,
-                    delays,
-                    preempted: to_preempt,
-                    shrunk: to_shrink,
+            // Baseline plan (step 10).
+            let mut outcome = IterationOutcome::default();
+            {
+                let mut scratch = scratches[0].lock().expect("scratch");
+                scratch.plan.assign_from(&base);
+                outcome.baseline_plan =
+                    plan_starts(&mut scratch.plan, &ranked, config.lookahead_depth(), now);
+            }
+
+            // Phase 2: the dynamic-request loop.
+            let mut world = DynWorld::new(base, partition, &snap.running);
+            if !requests.is_empty() {
+                let ctx = DynCtx {
+                    config,
+                    ranked: &ranked,
+                    jobs_by_id: &jobs_by_id,
+                    running: &snap.running,
+                    now,
+                    plan_cache_enabled,
+                };
+                if workers == 1 || requests.len() == 1 {
+                    // Degenerate path: the plain serial loop.
+                    let mut dfs = dfs_cell.write().expect("dfs cell");
+                    let mut scratch = scratches[0].lock().expect("scratch");
+                    for req in &requests {
+                        let eval = evaluate_dynamic(&ctx, &dfs, &world, req, &mut scratch);
+                        let d = commit_dynamic(&ctx, &mut dfs, &mut world, req, eval);
+                        outcome.dyn_decisions.push(d);
+                    }
+                } else {
+                    *world_cell.write().expect("world cell") = Some(world);
+                    phase.store(PHASE_DYN, Ordering::Release);
+                    let mut next = 0;
+                    while next < requests.len() {
+                        {
+                            // Pre-warm the "before" plan so the whole
+                            // window shares one computation; the value is
+                            // exactly what the serial lazy ensure stores
+                            // (a pure function of the base at this rev).
+                            let mut wg = world_cell.write().expect("world cell");
+                            let w = wg.as_mut().expect("world present");
+                            let valid = w.before.as_ref().is_some_and(|c| c.base_rev == w.rev);
+                            if plan_cache_enabled && !valid {
+                                let mut scratch = scratches[0].lock().expect("scratch");
+                                scratch.plan.assign_from(&w.base);
+                                let plan = plan_starts(
+                                    &mut scratch.plan,
+                                    &ranked,
+                                    config.reservation_delay_depth,
+                                    now,
+                                );
+                                w.before = Some(CachedPlan {
+                                    base_rev: w.rev,
+                                    plan,
+                                });
+                            }
+                        }
+                        dyn_queues.reset();
+                        dyn_next.store(next, Ordering::Release);
+                        round();
+                        let mut wg = world_cell.write().expect("world cell");
+                        let w = wg.as_mut().expect("world present");
+                        let mut dfs = dfs_cell.write().expect("dfs cell");
+                        while next < requests.len() {
+                            let taken = dyn_slots[next].lock().expect("dyn slot").take();
+                            match taken {
+                                Some(e) if e.rev == w.rev => {
+                                    let d = commit_dynamic(&ctx, &mut dfs, w, requests[next], e);
+                                    outcome.dyn_decisions.push(d);
+                                    next += 1;
+                                }
+                                // Not evaluated yet, or evaluated against
+                                // a world a grant has since replaced:
+                                // re-evaluate next round.
+                                _ => break,
+                            }
+                        }
+                    }
+                    phase.store(PHASE_IDLE, Ordering::Release);
+                    world = world_cell
+                        .write()
+                        .expect("world cell")
+                        .take()
+                        .expect("world present");
                 }
             }
-            DfsVerdict::Rejected(reason) => reject_or_defer(req, reason, base, now),
+            let DynWorld {
+                base,
+                preempted,
+                mut cur_cores,
+                ..
+            } = world;
+
+            // Phase 3: static starts and reservations (driver-serial — it
+            // is a single cheap pass over the ranked queue).
+            let mut profile = base;
+            let (started, reserved) = static_pass(config, &ranked, &mut profile, &mut outcome, now);
+
+            // Phase 4: backfill.
+            if config.backfill != BackfillPolicy::None && !snap.backfill_suppressed() {
+                let cands: Vec<&QueuedJob> = ranked
+                    .iter()
+                    .filter(|j| !started.contains(&j.id) && !reserved.contains(&j.id))
+                    .copied()
+                    .collect();
+                if workers == 1 || cands.len() < 2 {
+                    for job in &cands {
+                        if let Some(width) = mold_fit(&profile, job, now) {
+                            profile.hold_for(now, job.walltime, width + job.reserve_extra);
+                            outcome.starts.push(StartDecision {
+                                job: job.id,
+                                backfilled: true,
+                                cores: (width != job.cores).then_some(width),
+                            });
+                        }
+                    }
+                } else {
+                    bf_cands_cell.write().expect("bf cands").clone_from(&cands);
+                    *bf_cell.write().expect("bf cell") = Some(BfParallel { profile, rev: 0 });
+                    phase.store(PHASE_BACKFILL, Ordering::Release);
+                    let mut next = 0;
+                    while next < cands.len() {
+                        bf_cursor.store(next, Ordering::Relaxed);
+                        bf_next.store(next, Ordering::Release);
+                        round();
+                        let mut bg = bf_cell.write().expect("bf cell");
+                        let st = bg.as_mut().expect("bf state present");
+                        while next < cands.len() {
+                            let taken = bf_slots[next].lock().expect("bf slot").take();
+                            match taken {
+                                Some(e) if e.rev == st.rev => {
+                                    if let Some(width) = e.fit {
+                                        let job = cands[next];
+                                        st.profile.hold_for(
+                                            now,
+                                            job.walltime,
+                                            width + job.reserve_extra,
+                                        );
+                                        outcome.starts.push(StartDecision {
+                                            job: job.id,
+                                            backfilled: true,
+                                            cores: (width != job.cores).then_some(width),
+                                        });
+                                        // A hit mutates the profile: the
+                                        // rest of the window is stale.
+                                        st.rev += 1;
+                                    }
+                                    // A miss leaves the profile unchanged,
+                                    // so later evaluations stay valid.
+                                    next += 1;
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
+                    phase.store(PHASE_IDLE, Ordering::Release);
+                    profile = bf_cell
+                        .write()
+                        .expect("bf cell")
+                        .take()
+                        .expect("bf state present")
+                        .profile;
+                }
+            }
+
+            // Phase 5: malleable grows, DFS slate wipes.
+            grow_pass(
+                config,
+                &snap.running,
+                &mut profile,
+                &preempted,
+                &mut cur_cores,
+                &mut outcome,
+                now,
+            );
+            let mut dfs = dfs_cell.write().expect("dfs cell");
+            for s in &outcome.starts {
+                dfs.job_left_queue(s.job);
+            }
+            (outcome, profile)
+        };
+
+        let (outcome, profile) = with_round_pool(workers, &(), work, drive);
+        self.dfs = dfs_cell.into_inner().expect("dfs cell");
+        self.base_buf = profile;
+        outcome
+    }
+}
+
+/// Phase tags of the sharded worker pool (stored in an atomic the workers
+/// dispatch on at the start of every round).
+const PHASE_IDLE: usize = 0;
+const PHASE_RANK: usize = 1;
+const PHASE_DYN: usize = 2;
+const PHASE_BACKFILL: usize = 3;
+
+/// Queues shorter than this rank serially — the chunk-sort + merge does
+/// not pay for itself.
+const RANK_PARALLEL_MIN: usize = 64;
+
+/// Per-round state of the parallel backfill pass.
+struct BfParallel {
+    profile: AvailabilityProfile,
+    rev: u64,
+}
+
+/// One speculative backfill fit test, tagged with the profile revision it
+/// ran against.
+struct BfEval {
+    rev: u64,
+    fit: Option<u32>,
+}
+
+/// Bounds of chunk `c` of `chunks` even slices over `len` items (the
+/// first `len % chunks` chunks take one extra item).
+fn chunk_bounds(len: usize, chunks: usize, c: usize) -> (usize, usize) {
+    let base = len / chunks;
+    let rem = len % chunks;
+    let lo = c * base + c.min(rem);
+    (lo, lo + base + usize::from(c < rem))
+}
+
+/// K-way merge of chunk-sorted `(priority, original index)` keys by the
+/// total order `(cmp_desc, index)` — job indices are unique, so the
+/// result is *the* sorted permutation, independent of chunking, and equal
+/// to the serial stable sort by `cmp_desc`.
+fn merge_ranked(chunks: &[Vec<(Priority, u32)>]) -> Vec<u32> {
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let mut heads = vec![0usize; chunks.len()];
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        let mut best: Option<usize> = None;
+        for (c, &h) in heads.iter().enumerate() {
+            if h >= chunks[c].len() {
+                continue;
+            }
+            best = Some(match best {
+                None => c,
+                Some(b) => {
+                    let (bp, bi) = &chunks[b][heads[b]];
+                    let (cp, ci) = &chunks[c][h];
+                    if cp.cmp_desc(bp).then(ci.cmp(bi)).is_lt() {
+                        c
+                    } else {
+                        b
+                    }
+                }
+            });
         }
+        let b = best.expect("`total` items remain across the heads");
+        out.push(chunks[b][heads[b]].1);
+        heads[b] += 1;
+    }
+    out
+}
+
+/// Read-only inputs of the dynamic-request loop, shared by the serial
+/// and sharded paths (and across worker threads in the latter).
+struct DynCtx<'a> {
+    config: &'a SchedulerConfig,
+    ranked: &'a [&'a QueuedJob],
+    jobs_by_id: &'a HashMap<JobId, &'a QueuedJob>,
+    running: &'a [RunningJob],
+    now: SimTime,
+    plan_cache_enabled: bool,
+}
+
+/// The mutable world the dynamic loop threads through requests. Only
+/// [`commit_dynamic`] mutates it; `rev` counts base-profile mutations so
+/// speculative evaluations can detect staleness — every state a
+/// [`evaluate_dynamic`] result depends on (base, partition, the preempted
+/// set, live core counts, the DFS slate) changes only alongside a `rev`
+/// bump.
+struct DynWorld {
+    /// The base profile (dynamic partition held).
+    base: AvailabilityProfile,
+    /// Cores of the dynamic partition still held in `base`.
+    partition: u32,
+    /// Revision counter; bumped by every grant-side mutation.
+    rev: u64,
+    /// Jobs preempted earlier in this iteration.
+    preempted: HashSet<JobId>,
+    /// Live view of running jobs' core counts: same-iteration shrinks
+    /// must be visible to later dynamic requests and to the grow pass.
+    cur_cores: HashMap<JobId, u32>,
+    /// The cached "before" plan of the delay measurement.
+    before: Option<CachedPlan>,
+}
+
+impl DynWorld {
+    fn new(base: AvailabilityProfile, partition: u32, running: &[RunningJob]) -> Self {
+        DynWorld {
+            base,
+            partition,
+            rev: 0,
+            preempted: HashSet::new(),
+            cur_cores: running.iter().map(|r| (r.id, r.cores)).collect(),
+            before: None,
+        }
+    }
+}
+
+/// What [`evaluate_dynamic`] decided a request deserves, pending commit.
+enum DynEvalKind {
+    /// The job was preempted earlier this iteration; its request is moot.
+    Preempted,
+    /// Covered by the job's own pre-reserve (guaranteeing policy).
+    FromReserve,
+    /// No resources even after shrinks and preemptions (step 22).
+    NoFit { hint: Option<SimTime> },
+    /// The DFS engine vetoed the measured delays.
+    Veto {
+        reason: DfsReject,
+        hint: Option<SimTime>,
+    },
+    /// The DFS engine allowed the expansion.
+    Grant {
+        delays: Vec<DelayCharge>,
+        to_preempt: Vec<JobId>,
+        to_shrink: Vec<ResizeDecision>,
+        /// The post-grant base profile (owned — the scratch buffer it was
+        /// staged in is reused by the next evaluation).
+        expanded: AvailabilityProfile,
+        /// The plan over `expanded`, which becomes the next "before".
+        after: Vec<PlannedStart>,
+        unused_partition: u32,
+    },
+}
+
+/// One evaluated dynamic request: pure output of [`evaluate_dynamic`],
+/// applied by [`commit_dynamic`] iff `rev` still matches the world.
+struct DynEval {
+    /// World revision this evaluation is valid against.
+    rev: u64,
+    /// The "before" plan computed because the cache was stale — installed
+    /// at commit, mirroring the serial lazy ensure-and-store.
+    computed_before: Option<Vec<PlannedStart>>,
+    kind: DynEvalKind,
+}
+
+/// The availability hint attached to a deferral, computed only when the
+/// request can actually be deferred (a live deadline).
+fn defer_hint(req: &DynRequest, base: &AvailabilityProfile, now: SimTime) -> Option<SimTime> {
+    match req.deadline {
+        Some(d) if now < d => base.earliest_fit(req.extra_cores, req.remaining_walltime, now),
+        _ => None,
     }
 }
 
@@ -725,19 +1081,417 @@ impl Maui {
 fn reject_or_defer(
     req: &DynRequest,
     reason: DfsReject,
-    base: &AvailabilityProfile,
+    hint: Option<SimTime>,
     now: SimTime,
 ) -> DynDecision {
     match req.deadline {
         Some(d) if now < d => DynDecision::Deferred {
             job: req.job,
             reason,
-            available_hint: base.earliest_fit(req.extra_cores, req.remaining_walltime, now),
+            available_hint: hint,
         },
         _ => DynDecision::Rejected {
             job: req.job,
             reason,
         },
+    }
+}
+
+/// Steps 12–23 for a single dynamic request, side-effect-free: everything
+/// the request would do to the world is computed against `w` (at revision
+/// `w.rev`) and returned for [`commit_dynamic`] to apply. The serial loop
+/// runs evaluate → commit per request; the sharded loop evaluates
+/// speculatively on worker threads and commits in seq order, discarding
+/// evaluations whose revision went stale — both paths therefore execute
+/// the same decision code and produce byte-identical outcomes.
+fn evaluate_dynamic(
+    ctx: &DynCtx<'_>,
+    dfs: &DfsEngine,
+    w: &DynWorld,
+    req: &DynRequest,
+    scratch: &mut PlanScratch,
+) -> DynEval {
+    let now = ctx.now;
+    let rev = w.rev;
+    // A job preempted earlier in this very iteration (to feed another
+    // dynamic request) is back in the queue; its own pending request is
+    // moot.
+    if w.preempted.contains(&req.job) {
+        return DynEval {
+            rev,
+            computed_before: None,
+            kind: DynEvalKind::Preempted,
+        };
+    }
+
+    // Guaranteeing policy: a request covered by the job's own pre-reserve
+    // is granted instantly — the capacity is already held in every plan,
+    // so nobody is delayed and no fairness question arises.
+    if let Some(holder) = ctx.running.iter().find(|r| r.id == req.job) {
+        if holder.reserved_extra >= req.extra_cores {
+            return DynEval {
+                rev,
+                computed_before: None,
+                kind: DynEvalKind::FromReserve,
+            };
+        }
+    }
+
+    // Step 12: try to allocate from the dynamic partition and the idle
+    // cores, then (if the site allows) by shrinking malleable jobs, then
+    // from preemptible (backfilled) resources — the §II-B source order.
+    // The partition hold is lifted only inside the dynamic path: static
+    // jobs can never touch it, so partition grants show up as zero delay.
+    let trial = &mut scratch.trial;
+    trial.assign_from(&w.base);
+    if w.partition > 0 {
+        // `base` holds the remaining partition to infinity (established
+        // in `iterate`); the dynamic path may draw on it.
+        trial.release(now, SimTime::MAX, w.partition);
+    }
+    let mut to_preempt: Vec<JobId> = Vec::new();
+    let mut to_shrink: Vec<ResizeDecision> = Vec::new();
+    if trial.idle_at(now) < req.extra_cores && ctx.config.shrink_malleable_for_dyn {
+        // Shrink the jobs with the most slack first: they lose the
+        // smallest fraction of their rate.
+        let mut candidates: Vec<&RunningJob> = ctx
+            .running
+            .iter()
+            .filter(|r| {
+                r.id != req.job
+                    && !w.preempted.contains(&r.id)
+                    && r.malleable
+                        .is_some_and(|m| w.cur_cores[&r.id] > m.min_cores)
+            })
+            .collect();
+        candidates.sort_by_key(|r| {
+            let slack = w.cur_cores[&r.id] - r.malleable.expect("filtered").min_cores;
+            (std::cmp::Reverse(slack), r.id)
+        });
+        for cand in candidates {
+            if trial.idle_at(now) >= req.extra_cores {
+                break;
+            }
+            let cores_now = w.cur_cores[&cand.id];
+            let min = cand.malleable.expect("filtered").min_cores;
+            let deficit = req.extra_cores - trial.idle_at(now);
+            let give = (cores_now - min).min(deficit);
+            trial.release(now, planned_end(now, cand.walltime_end), give);
+            to_shrink.push(ResizeDecision {
+                job: cand.id,
+                from_cores: cores_now,
+                to_cores: cores_now - give,
+            });
+        }
+    }
+    if trial.idle_at(now) < req.extra_cores && ctx.config.preempt_backfilled_for_dyn {
+        // Preempt the youngest backfilled jobs first: they have
+        // sacrificed the least work.
+        let mut candidates: Vec<&RunningJob> = ctx
+            .running
+            .iter()
+            .filter(|r| r.backfilled && r.id != req.job && !w.preempted.contains(&r.id))
+            .collect();
+        candidates.sort_by_key(|r| std::cmp::Reverse((r.start_time, r.id)));
+        for cand in candidates {
+            if trial.idle_at(now) >= req.extra_cores {
+                break;
+            }
+            trial.release(
+                now,
+                planned_end(now, cand.walltime_end),
+                w.cur_cores[&cand.id],
+            );
+            to_preempt.push(cand.id);
+        }
+    }
+    if trial.idle_at(now) < req.extra_cores {
+        // Step 22: no resources at all.
+        return DynEval {
+            rev,
+            computed_before: None,
+            kind: DynEvalKind::NoFit {
+                hint: defer_hint(req, &w.base, now),
+            },
+        };
+    }
+
+    // Build the post-grant world for static planning: the expansion held
+    // on the partition-free view, then the *unused* slice of the dynamic
+    // partition re-held to infinity so static jobs still cannot touch it.
+    scratch.expanded.assign_from(&scratch.trial);
+    let expanded = &mut scratch.expanded;
+    expanded.hold_for(now, req.remaining_walltime, req.extra_cores);
+    let unused_partition = w.partition.saturating_sub(req.extra_cores.min(w.partition));
+    if unused_partition > 0 {
+        expanded.hold(now, SimTime::MAX, unused_partition);
+    }
+
+    // Measure delays: plan the top ReservationDelayDepth jobs in the
+    // current world (`base`, partition held) and in the post-grant world
+    // (paper §III-D). Partition-only grants therefore measure zero delay
+    // — static jobs never had those cores. The "before" plan is a pure
+    // function of `base`, reused across requests while its revision tag
+    // matches; when stale it is recomputed here and installed at commit.
+    let depth = ctx.config.reservation_delay_depth;
+    let cache_valid =
+        ctx.plan_cache_enabled && w.before.as_ref().is_some_and(|c| c.base_rev == rev);
+    let computed_before = if cache_valid {
+        None
+    } else {
+        scratch.plan.assign_from(&w.base);
+        Some(plan_starts(&mut scratch.plan, ctx.ranked, depth, now))
+    };
+    let before: &[PlannedStart] = match &computed_before {
+        Some(p) => p,
+        None => &w.before.as_ref().expect("cache checked valid").plan,
+    };
+    scratch.plan.assign_from(&scratch.expanded);
+    let after = plan_starts(&mut scratch.plan, ctx.ranked, depth, now);
+
+    let mut delays = Vec::new();
+    for b in before {
+        // Match by job id: a plan may skip a job the other fits (e.g. a
+        // full-machine job that only fits once the partition is in use).
+        // A job plannable before but not after is pushed past the horizon
+        // — charge the delay to its walltime as a bound.
+        let job = ctx.jobs_by_id.get(&b.job).expect("planned job is queued");
+        let delay = match after.iter().find(|a| a.job == b.job) {
+            Some(a) => a.start.duration_since(b.start),
+            None => job.walltime,
+        };
+        delays.push(DelayCharge {
+            job: job.id,
+            user: job.user,
+            group: job.group,
+            delay,
+        });
+    }
+
+    // Steps 14–20: the fairness gate (read-only here; the slate is
+    // charged at commit).
+    match dfs.evaluate(req.user, &delays) {
+        DfsVerdict::Allowed => DynEval {
+            rev,
+            computed_before,
+            kind: DynEvalKind::Grant {
+                delays,
+                to_preempt,
+                to_shrink,
+                expanded: scratch.expanded.clone(),
+                after,
+                unused_partition,
+            },
+        },
+        DfsVerdict::Rejected(reason) => DynEval {
+            rev,
+            computed_before,
+            kind: DynEvalKind::Veto {
+                reason,
+                hint: defer_hint(req, &w.base, now),
+            },
+        },
+    }
+}
+
+/// Applies one evaluated request to the world — DFS charge, base-profile
+/// swap, partition accounting, plan-cache install — and produces the
+/// outward decision. Must be called with `eval.rev == w.rev`; the
+/// sharded driver guarantees it by discarding stale slots.
+fn commit_dynamic(
+    ctx: &DynCtx<'_>,
+    dfs: &mut DfsEngine,
+    w: &mut DynWorld,
+    req: &DynRequest,
+    eval: DynEval,
+) -> DynDecision {
+    debug_assert_eq!(eval.rev, w.rev, "committing a stale evaluation");
+    let now = ctx.now;
+    // The serial semantics store the lazily-computed "before" plan
+    // whenever the measurement ran against an invalid cache; install it
+    // so later requests at this revision reuse it.
+    let cache_valid =
+        ctx.plan_cache_enabled && w.before.as_ref().is_some_and(|c| c.base_rev == w.rev);
+    match eval.kind {
+        DynEvalKind::Preempted => DynDecision::Rejected {
+            job: req.job,
+            reason: DfsReject::NoResources,
+        },
+        DynEvalKind::FromReserve => DynDecision::Granted {
+            job: req.job,
+            extra_cores: req.extra_cores,
+            delays: Vec::new(),
+            preempted: Vec::new(),
+            shrunk: Vec::new(),
+        },
+        DynEvalKind::NoFit { hint } => reject_or_defer(req, DfsReject::NoResources, hint, now),
+        DynEvalKind::Veto { reason, hint } => {
+            if !cache_valid {
+                if let Some(plan) = eval.computed_before {
+                    w.before = Some(CachedPlan {
+                        base_rev: w.rev,
+                        plan,
+                    });
+                }
+            }
+            reject_or_defer(req, reason, hint, now)
+        }
+        DynEvalKind::Grant {
+            delays,
+            to_preempt,
+            to_shrink,
+            expanded,
+            after,
+            unused_partition,
+        } => {
+            dfs.commit(req.user, &delays);
+            w.base.assign_from(&expanded);
+            w.rev += 1;
+            w.partition = unused_partition;
+            // Re-expand the partition toward its configured width:
+            // shrinks and preemptions can leave cores durably free (a
+            // preempted job frees its whole width, not just the deficit),
+            // and without this the opening clamp would pin the partition
+            // below `dyn_partition_cores` for the rest of the iteration.
+            let want = ctx.config.dyn_partition_cores.saturating_sub(w.partition);
+            let regrow = want.min(w.base.min_idle(now, SimTime::MAX));
+            if regrow > 0 {
+                w.base.hold(now, SimTime::MAX, regrow);
+                w.partition += regrow;
+                w.rev += 1;
+            }
+            // The new base *is* the expanded world — unless the partition
+            // just re-grew, the plan computed against it becomes the next
+            // request's "before". (A re-grow holds cores `after` was
+            // planned without, so the revision tag keeps the cache cold
+            // and the next request replans.)
+            w.before = (ctx.plan_cache_enabled && regrow == 0).then_some(CachedPlan {
+                base_rev: w.rev,
+                plan: after,
+            });
+            w.preempted.extend(to_preempt.iter().copied());
+            for r in &to_shrink {
+                w.cur_cores.insert(r.job, r.to_cores);
+            }
+            if let Some(c) = w.cur_cores.get_mut(&req.job) {
+                *c += req.extra_cores;
+            }
+            DynDecision::Granted {
+                job: req.job,
+                extra_cores: req.extra_cores,
+                delays,
+                preempted: to_preempt,
+                shrunk: to_shrink,
+            }
+        }
+    }
+}
+
+/// Step 25: schedule static jobs (with starts) and create reservations
+/// against the post-grant profile. Returns the started and reserved job
+/// sets the backfill pass must skip. Shared verbatim by the serial and
+/// sharded paths.
+fn static_pass(
+    config: &SchedulerConfig,
+    ranked: &[&QueuedJob],
+    profile: &mut AvailabilityProfile,
+    outcome: &mut IterationOutcome,
+    now: SimTime,
+) -> (HashSet<JobId>, HashSet<JobId>) {
+    let mut blocked = false;
+    let mut started: HashSet<JobId> = HashSet::new();
+    let mut reserved: HashSet<JobId> = HashSet::new();
+    let reservation_limit = match config.backfill {
+        BackfillPolicy::Conservative => usize::MAX,
+        _ => config.reservation_depth,
+    };
+    for job in ranked {
+        if !blocked {
+            if let Some(width) = mold_fit(profile, job, now) {
+                profile.hold_for(now, job.walltime, width + job.reserve_extra);
+                started.insert(job.id);
+                outcome.starts.push(StartDecision {
+                    job: job.id,
+                    backfilled: false,
+                    cores: (width != job.cores).then_some(width),
+                });
+                continue;
+            }
+            blocked = true;
+        }
+        if outcome.reservations.len() < reservation_limit {
+            let width = job.cores + job.reserve_extra;
+            if let Some(start) = profile.earliest_fit(width, job.walltime, now) {
+                // A job whose earliest fit is *now* is not blocked — it
+                // is a backfill candidate, not a reservation holder.
+                if start > now {
+                    let end = start.saturating_add(job.walltime);
+                    profile.hold(start, end, width);
+                    reserved.insert(job.id);
+                    outcome.reservations.push(Reservation {
+                        job: job.id,
+                        start,
+                        end,
+                        cores: width,
+                    });
+                }
+            }
+        }
+    }
+    (started, reserved)
+}
+
+/// Malleability: pour leftover idle capacity into running malleable jobs
+/// (never into cores the reservations already claim). Shared verbatim by
+/// the serial and sharded paths.
+fn grow_pass(
+    config: &SchedulerConfig,
+    running: &[RunningJob],
+    profile: &mut AvailabilityProfile,
+    preempted: &HashSet<JobId>,
+    cur_cores: &mut HashMap<JobId, u32>,
+    outcome: &mut IterationOutcome,
+    now: SimTime,
+) {
+    if !config.grow_malleable_on_idle {
+        return;
+    }
+    // A shrink decided this very iteration must not be undone by a grow
+    // in the same breath.
+    let shrunk_now: HashSet<JobId> = outcome
+        .dyn_decisions
+        .iter()
+        .filter_map(|d| match d {
+            DynDecision::Granted { shrunk, .. } => Some(shrunk.iter().map(|r| r.job)),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+    let mut growables: Vec<&RunningJob> = running
+        .iter()
+        .filter(|r| {
+            !preempted.contains(&r.id) && !shrunk_now.contains(&r.id) && r.malleable.is_some()
+        })
+        .collect();
+    growables.sort_by_key(|r| r.id);
+    for r in growables {
+        let cores_now = cur_cores[&r.id];
+        let max = r.malleable.expect("filtered").max_cores;
+        if cores_now >= max {
+            continue;
+        }
+        let end = planned_end(now, r.walltime_end);
+        let available = profile.min_idle(now, end);
+        let give = available.min(max - cores_now);
+        if give > 0 {
+            profile.hold(now, end, give);
+            cur_cores.insert(r.id, cores_now + give);
+            outcome.grows.push(ResizeDecision {
+                job: r.id,
+                from_cores: cores_now,
+                to_cores: cores_now + give,
+            });
+        }
     }
 }
 
@@ -1271,5 +2025,81 @@ mod tests {
         assert_eq!(out1.starts, out2.starts);
         assert_eq!(out1.reservations, out2.reservations);
         assert_eq!(out1.dyn_decisions, out2.dyn_decisions);
+    }
+
+    #[test]
+    fn shard_smoke_serial_matches_three_shards() {
+        // The quick sharded-equivalence gate `scripts/check.sh` runs by
+        // name: a busy 120-core snapshot driven through the serial
+        // scheduler and the 3-shard scheduler (threaded rounds pinned on
+        // with two workers) for a few re-anchoring ticks. Every decision
+        // field must be byte-identical; the full-run gates live in
+        // `tests/sharded_equivalence.rs`.
+        let build = |shards: usize| {
+            let mut cfg = SchedulerConfig::paper_eval();
+            cfg.dfs = DfsConfig::highest_priority();
+            cfg.shards = shards;
+            let mut m = Maui::new(cfg);
+            m.set_shard_workers(2);
+            m
+        };
+        let mut snap = Snapshot {
+            now: t(1_000),
+            total_cores: 120,
+            running: Vec::new(),
+            queued: Vec::new(),
+            dyn_requests: Vec::new(),
+            deltas: None,
+        };
+        for i in 0..40u64 {
+            snap.running.push(running(
+                i,
+                (i % 7) as u32,
+                1 + (i % 3) as u32,
+                1_200 + 37 * i,
+            ));
+        }
+        for i in 0..30u64 {
+            snap.queued.push(queued(
+                100 + i,
+                (i % 5) as u32,
+                2 + (i * i % 17) as u32,
+                300 + 91 * i,
+                13 * i,
+            ));
+        }
+        for (seq, id) in [0u64, 4, 8, 12, 20, 32].into_iter().enumerate() {
+            snap.dyn_requests.push(dyn_req(
+                id,
+                (id % 7) as u32,
+                2 + (id % 4) as u32,
+                900 + 31 * id,
+                seq as u64,
+            ));
+        }
+        let mut serial = build(1);
+        let mut sharded = build(3);
+        for tick in 0..3u64 {
+            let a = serial.iterate(&snap);
+            let b = sharded.iterate(&snap);
+            assert_eq!(a.starts, b.starts, "tick {tick}: starts diverged");
+            assert_eq!(
+                a.dyn_decisions, b.dyn_decisions,
+                "tick {tick}: dynamic decisions diverged"
+            );
+            assert_eq!(
+                a.reservations, b.reservations,
+                "tick {tick}: reservations diverged"
+            );
+            assert_eq!(
+                a.baseline_plan, b.baseline_plan,
+                "tick {tick}: baseline plans diverged"
+            );
+            assert_eq!(a.grows, b.grows, "tick {tick}: grows diverged");
+            snap.now += d(60);
+            for r in &mut snap.dyn_requests {
+                r.seq += 100; // fresh requests next tick
+            }
+        }
     }
 }

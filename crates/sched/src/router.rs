@@ -1,0 +1,332 @@
+//! Deterministic routing of work onto scheduler shards.
+//!
+//! A sharded scheduler splits the cluster's cores into contiguous slices
+//! (see [`crate::shard`]) and must answer two questions without ever
+//! consulting a clock or a thread id:
+//!
+//! 1. **Where does a job's hold live?** [`ShardRouter::compose_hold`]
+//!    places a job's booked cores by a pure *hash-plus-load* rule: the
+//!    job-id hash picks a home shard; if the home's free slice cannot
+//!    carry the whole width, the remainder spills across the other shards
+//!    in shard-id order starting after the home. A job wider than any
+//!    single shard's free slice therefore becomes a [`MultiShardHold`] —
+//!    the cross-shard reservation the coordinator commits part by part.
+//! 2. **Which shard evaluates a request?** [`ShardRouter::assign_tasks`]
+//!    folds over the request list in submission order, sending each
+//!    request to its hash shard unless that shard is already more than
+//!    one task ahead of the lightest shard, in which case the lightest
+//!    (lowest-id on ties) takes it. The fold is a pure function of the
+//!    id sequence — shard completion order cannot perturb it.
+//!
+//! Execution is decoupled from assignment: [`StealQueues`] hands the
+//! per-shard task queues to a worker pool with *deterministic work
+//! stealing* — a worker drains its own shards first and then steals from
+//! victims in shard-id order. Which worker runs a task remains a race,
+//! but results land in task-indexed slots ([`run_on_shards`]), so
+//! stealing is unobservable in the output, exactly like the sweep
+//! engine's cursor pool (`sim::sweep`).
+
+use dynbatch_core::JobId;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// SplitMix64 finalizer: a well-mixed pure hash of a job id.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One slice of a cross-shard hold: `(shard index, cores booked there)`.
+pub type HoldPart = (usize, u32);
+
+/// A hold composed across shards for a job wider than one shard's free
+/// slice. Parts are sorted by shard id; commit and abort walk them in
+/// that order (see `ShardedTimeline::commit_hold`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiShardHold {
+    /// The job the hold belongs to.
+    pub job: JobId,
+    /// Non-zero core slices, sorted by shard id.
+    pub parts: Vec<HoldPart>,
+}
+
+impl MultiShardHold {
+    /// Total cores across all parts.
+    pub fn width(&self) -> u32 {
+        self.parts.iter().map(|p| p.1).sum()
+    }
+}
+
+/// The pure decision rules mapping jobs and requests to shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards (at least one).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        ShardRouter { shards }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The hash-preferred shard of a job: a pure function of the id.
+    pub fn hash_shard(&self, job: JobId) -> usize {
+        (mix64(job.0) % self.shards as u64) as usize
+    }
+
+    /// The home shard given the current free summaries: the hash shard
+    /// unless it has no free cores, in which case the shard with the most
+    /// free cores (lowest id on ties).
+    pub fn home_shard(&self, job: JobId, free: &[u32]) -> usize {
+        debug_assert_eq!(free.len(), self.shards);
+        let h = self.hash_shard(job);
+        if free[h] > 0 {
+            return h;
+        }
+        let mut best = 0;
+        for (s, &f) in free.iter().enumerate() {
+            if f > free[best] {
+                best = s;
+            }
+        }
+        best
+    }
+
+    /// Composes a hold of `width` cores from the per-shard free
+    /// summaries: the home shard takes what it can, the remainder spills
+    /// across the other shards in shard-id order starting after the home.
+    /// Returns `None` if the shards' free cores cannot carry the width
+    /// (a stale summary, or a genuinely full machine).
+    pub fn compose_hold(&self, job: JobId, width: u32, free: &[u32]) -> Option<MultiShardHold> {
+        debug_assert_eq!(free.len(), self.shards);
+        let mut parts: Vec<HoldPart> = Vec::new();
+        let mut rem = width;
+        let home = self.home_shard(job, free);
+        for k in 0..self.shards {
+            if rem == 0 {
+                break;
+            }
+            let s = (home + k) % self.shards;
+            let take = rem.min(free[s]);
+            if take > 0 {
+                parts.push((s, take));
+                rem -= take;
+            }
+        }
+        if rem > 0 {
+            return None;
+        }
+        parts.sort_unstable_by_key(|p| p.0);
+        Some(MultiShardHold { job, parts })
+    }
+
+    /// Assigns a sequence of requests (in submission order) to shards by
+    /// hash-plus-load: each request goes to its hash shard unless that
+    /// shard already carries more than one task over the lightest shard,
+    /// in which case the lightest shard (lowest id on ties) takes it.
+    ///
+    /// The result is a pure fold over the id sequence — independent of
+    /// which shard *finishes* its work first, of worker count, and of
+    /// thread timing.
+    pub fn assign_tasks(&self, ids: impl IntoIterator<Item = JobId>) -> Vec<usize> {
+        let mut load = vec![0usize; self.shards];
+        ids.into_iter()
+            .map(|id| {
+                let h = self.hash_shard(id);
+                let lightest = (0..self.shards)
+                    .min_by_key(|&s| load[s])
+                    .expect(">= 1 shard");
+                let s = if load[h] <= load[lightest] + 1 {
+                    h
+                } else {
+                    lightest
+                };
+                load[s] += 1;
+                s
+            })
+            .collect()
+    }
+}
+
+/// Per-shard task queues with deterministic work stealing.
+///
+/// Tasks are global indices pre-assigned to shards (see
+/// [`ShardRouter::assign_tasks`]). A worker drains the queue of its own
+/// shard first (`worker % shards`), then steals from victim shards in
+/// shard-id order — the *victim order* is fixed by shard id, never by
+/// thread timing. Claims go through per-shard atomic cursors, so each
+/// task is handed out exactly once however many workers pull.
+pub struct StealQueues {
+    queues: Vec<Vec<usize>>,
+    cursors: Vec<AtomicUsize>,
+}
+
+impl StealQueues {
+    /// Builds the queues from a per-task shard assignment
+    /// (`assign[task] = shard`).
+    pub fn new(assign: &[usize], shards: usize) -> Self {
+        assert!(shards >= 1);
+        let mut queues = vec![Vec::new(); shards];
+        for (task, &s) in assign.iter().enumerate() {
+            queues[s].push(task);
+        }
+        StealQueues {
+            queues,
+            cursors: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Rewinds all cursors so the queues can be drained again (single
+    /// writer only — callers synchronise rounds themselves).
+    pub fn reset(&self) {
+        for c in &self.cursors {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Claims the next task for `worker`: own shard first, then victims
+    /// in shard-id order. Returns `None` when every queue is drained.
+    pub fn next_for(&self, worker: usize) -> Option<usize> {
+        let n = self.queues.len();
+        let first = worker % n;
+        for k in 0..n {
+            let s = (first + k) % n;
+            let p = self.cursors[s].fetch_add(1, Ordering::Relaxed);
+            if p < self.queues[s].len() {
+                return Some(self.queues[s][p]);
+            }
+        }
+        None
+    }
+}
+
+/// Runs every pre-assigned task on up to `workers` scoped threads through
+/// [`StealQueues`] and returns results **indexed by task** — which worker
+/// ran a task, and in what order the shards drained, is unobservable.
+pub fn run_on_shards<T, F>(assign: &[usize], shards: usize, workers: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let queues = StealQueues::new(assign, shards);
+    let slots: Vec<Mutex<Option<T>>> = (0..assign.len()).map(|_| Mutex::new(None)).collect();
+    let workers = workers.clamp(1, shards.max(1));
+    let worker_loop = |w: usize| {
+        while let Some(task) = queues.next_for(w) {
+            let value = run(task);
+            *slots[task].lock().expect("slot poisoned") = Some(value);
+        }
+    };
+    if workers <= 1 {
+        worker_loop(0);
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..workers)
+                .map(|w| scope.spawn(move || worker_loop(w)))
+                .collect();
+            worker_loop(0);
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot poisoned")
+                .expect("every task claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_shard_is_pure_and_in_range() {
+        let r = ShardRouter::new(5);
+        for id in 0..200u64 {
+            let s = r.hash_shard(JobId(id));
+            assert!(s < 5);
+            assert_eq!(s, r.hash_shard(JobId(id)), "hash must be pure");
+        }
+    }
+
+    #[test]
+    fn home_shard_prefers_hash_then_most_free() {
+        let r = ShardRouter::new(3);
+        let job = JobId(7);
+        let h = r.hash_shard(job);
+        let mut free = vec![4u32; 3];
+        assert_eq!(r.home_shard(job, &free), h);
+        // Exhaust the hash shard: the fullest shard takes over, lowest id
+        // winning ties.
+        free[h] = 0;
+        let others: Vec<usize> = (0..3).filter(|&s| s != h).collect();
+        free[others[0]] = 2;
+        free[others[1]] = 2;
+        assert_eq!(r.home_shard(job, &free), others[0].min(others[1]));
+    }
+
+    #[test]
+    fn compose_hold_spills_in_shard_id_order() {
+        let r = ShardRouter::new(4);
+        // Find a job whose hash shard is 1 so the spill order is fixed.
+        let job = (0..100u64)
+            .map(JobId)
+            .find(|&j| r.hash_shard(j) == 1)
+            .expect("some id hashes to shard 1");
+        let free = [3u32, 2, 5, 1];
+        let hold = r.compose_hold(job, 8, &free).expect("8 <= 11 free");
+        // Home 1 takes 2, spill to 2 (5), then 3 (1): sorted by shard id.
+        assert_eq!(hold.parts, vec![(1, 2), (2, 5), (3, 1)]);
+        assert_eq!(hold.width(), 8);
+        // Exact fit across everything succeeds; one more core fails.
+        assert!(r.compose_hold(job, 11, &free).is_some());
+        assert!(r.compose_hold(job, 12, &free).is_none());
+        // Zero width composes an empty hold.
+        assert_eq!(r.compose_hold(job, 0, &free).expect("fits").parts, vec![]);
+    }
+
+    #[test]
+    fn assign_tasks_balances_load() {
+        let r = ShardRouter::new(3);
+        let ids: Vec<JobId> = (0..60).map(JobId).collect();
+        let assign = r.assign_tasks(ids.iter().copied());
+        let mut load = [0usize; 3];
+        for &s in &assign {
+            load[s] += 1;
+        }
+        let (lo, hi) = (load.iter().min().unwrap(), load.iter().max().unwrap());
+        assert!(
+            hi - lo <= 2,
+            "hash-plus-load keeps shards within 2: {load:?}"
+        );
+        // Purity: same ids, same assignment.
+        assert_eq!(assign, r.assign_tasks(ids.iter().copied()));
+    }
+
+    #[test]
+    fn stealing_is_unobservable_in_results() {
+        let r = ShardRouter::new(4);
+        let ids: Vec<JobId> = (0..97).map(|i| JobId(i * 13 + 5)).collect();
+        let assign = r.assign_tasks(ids.iter().copied());
+        let expect: Vec<u64> = (0..97u64).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 4, 7] {
+            let got = run_on_shards(&assign, 4, workers, |task| (task as u64).pow(2));
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+}

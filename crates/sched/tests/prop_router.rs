@@ -1,0 +1,147 @@
+//! Property tests of the deterministic shard router: the assignment of
+//! dynamic requests to shards, and the claim order of the stealing
+//! queues, are pure functions of the id sequence — no interleaving of
+//! shard completion order, worker count, or claim timing can perturb
+//! what lands where.
+
+use dynbatch_core::testkit::{check, TestRng};
+use dynbatch_core::JobId;
+use dynbatch_sched::{ShardRouter, StealQueues};
+
+fn random_ids(rng: &mut TestRng) -> Vec<JobId> {
+    let n = rng.range_usize(0, 120);
+    (0..n).map(|_| JobId(rng.below(1 << 20))).collect()
+}
+
+#[test]
+fn assignment_is_a_pure_function_of_the_id_sequence() {
+    check(200, 0x51AD_0001, |rng| {
+        let shards = rng.range_usize(1, 8);
+        let router = ShardRouter::new(shards);
+        let ids = random_ids(rng);
+        let assign = router.assign_tasks(ids.iter().copied());
+        assert_eq!(assign.len(), ids.len());
+        assert!(assign.iter().all(|&s| s < shards));
+        // Re-running the fold — or a freshly built router — changes
+        // nothing.
+        assert_eq!(assign, router.assign_tasks(ids.iter().copied()));
+        assert_eq!(
+            assign,
+            ShardRouter::new(shards).assign_tasks(ids.iter().copied())
+        );
+        // Hash-plus-load keeps any two shards within two tasks of each
+        // other: a shard only receives an off-hash task while lightest.
+        let mut load = vec![0usize; shards];
+        for &s in &assign {
+            load[s] += 1;
+        }
+        let (lo, hi) = (
+            *load.iter().min().expect("shards >= 1"),
+            *load.iter().max().expect("shards >= 1"),
+        );
+        assert!(hi - lo <= 2, "load skew {load:?}");
+    });
+}
+
+#[test]
+fn any_claim_interleaving_yields_the_same_task_placement() {
+    // Simulate arbitrary "completion order" interleavings: a random
+    // schedule of which worker claims next. Whatever the interleaving,
+    // (a) every task is claimed exactly once, and (b) a task-indexed
+    // result table is identical — the worker a task lands on is
+    // unobservable, which is exactly why the speculative phases of the
+    // sharded `Maui::iterate` are deterministic.
+    check(120, 0x51AD_0002, |rng| {
+        let shards = rng.range_usize(1, 6);
+        let workers = rng.range_usize(1, 6);
+        let router = ShardRouter::new(shards);
+        let ids = random_ids(rng);
+        let assign = router.assign_tasks(ids.iter().copied());
+        let queues = StealQueues::new(&assign, shards);
+
+        let reference: Vec<u64> = (0..ids.len()).map(|t| ids[t].0.wrapping_mul(31)).collect();
+        let mut results: Vec<Option<u64>> = vec![None; ids.len()];
+        let mut live: Vec<usize> = (0..workers).collect();
+        while !live.is_empty() {
+            let pick = rng.range_usize(0, live.len());
+            let w = live[pick];
+            match queues.next_for(w) {
+                Some(task) => {
+                    assert!(
+                        results[task].is_none(),
+                        "task {task} claimed twice (worker {w})"
+                    );
+                    results[task] = Some(ids[task].0.wrapping_mul(31));
+                }
+                None => {
+                    live.swap_remove(pick);
+                }
+            }
+        }
+        let results: Vec<u64> = results
+            .into_iter()
+            .map(|r| r.expect("every task claimed exactly once"))
+            .collect();
+        assert_eq!(results, reference);
+    });
+}
+
+#[test]
+fn reset_replays_the_identical_queues() {
+    check(60, 0x51AD_0003, |rng| {
+        let shards = rng.range_usize(1, 5);
+        let router = ShardRouter::new(shards);
+        let ids = random_ids(rng);
+        let queues = StealQueues::new(&router.assign_tasks(ids.iter().copied()), shards);
+        let drain = |start_worker: usize| {
+            let mut seen = Vec::new();
+            while let Some(t) = queues.next_for(start_worker) {
+                seen.push(t);
+            }
+            seen
+        };
+        let first = drain(0);
+        queues.reset();
+        // A single worker drains in the fixed victim order, so a replay
+        // from the same worker is byte-identical.
+        assert_eq!(first, drain(0));
+        queues.reset();
+        // From any other worker the *set* of claimed tasks is the same.
+        let mut a = first.clone();
+        let mut b = drain(rng.range_usize(0, 7));
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    });
+}
+
+#[test]
+fn compose_hold_is_exact_and_deterministic() {
+    check(200, 0x51AD_0004, |rng| {
+        let shards = rng.range_usize(1, 6);
+        let router = ShardRouter::new(shards);
+        let free: Vec<u32> = (0..shards).map(|_| rng.range_u32(0, 40)).collect();
+        let total: u32 = free.iter().sum();
+        let job = JobId(rng.below(1 << 20));
+        let width = rng.range_u32(0, 50);
+        match router.compose_hold(job, width, &free) {
+            Some(hold) => {
+                assert!(width <= total, "hold composed beyond capacity");
+                assert_eq!(hold.width(), width, "parts must sum to the width");
+                // Parts sorted by shard id, non-zero, within free cores.
+                for pair in hold.parts.windows(2) {
+                    assert!(pair[0].0 < pair[1].0, "parts out of order");
+                }
+                for &(s, c) in &hold.parts {
+                    assert!(c > 0 && c <= free[s], "part ({s},{c}) vs free {free:?}");
+                }
+                assert_eq!(
+                    Some(hold),
+                    router.compose_hold(job, width, &free),
+                    "composition must be pure"
+                );
+            }
+            None => assert!(width > total, "refused a hold that fits: {free:?}"),
+        }
+    });
+}

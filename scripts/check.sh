@@ -28,12 +28,25 @@ cargo test -q --test sweep_engine
 echo "==> incremental timeline equivalence (delta path == rebuild path)"
 cargo test -q --test timeline_incremental
 
+echo "==> sharded-scheduler equivalence (partitioned path == serial path)"
+cargo test -q --test sharded_equivalence
+cargo test -q -p dynbatch-sched --test prop_router
+
 echo "==> dynamic-partition regressions (same-cycle re-expansion / shrink)"
 cargo test -q --test partition
 
 echo "==> perf_smoke --quick (runs the incremental path with the"
-echo "    rebuild-equivalence assert enabled on every tick)"
+echo "    rebuild-equivalence assert enabled on every tick, and the"
+echo "    sharded kernel with byte-equality asserted at shards 2/4/8)"
 cargo run --release -q -p dynbatch-bench --bin perf_smoke -- --quick \
   --out /tmp/BENCH_sched.quick.json --out-sweep /tmp/BENCH_sweep.quick.json
+
+echo "==> sharded-equivalence smoke (quick kernel, shards 1 and 3)"
+cargo test -q --release -p dynbatch-sched shard_smoke_serial_matches_three_shards
+
+echo "==> committed BENCH_sched.json must carry the sharded_kernel section"
+grep -q '"sharded_kernel"' BENCH_sched.json \
+  || { echo "BENCH_sched.json lacks the sharded_kernel section — regenerate \
+with: cargo run --release -p dynbatch-bench --bin perf_smoke"; exit 1; }
 
 echo "check.sh: all gates passed"

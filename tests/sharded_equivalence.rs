@@ -1,0 +1,236 @@
+//! The sharded scheduler is a pure optimisation: for every shard count
+//! the full simulator run takes byte-identical decisions (dynamic grants
+//! with their `DelayCharge`s included), produces byte-identical job
+//! outcomes, and finishes at the same instant as the serial `shards == 1`
+//! path — across the ESP, Quadflow and SWF scenario suites.
+//!
+//! This is the determinism gate of the partitioned-timeline /
+//! speculative-planning path in `dynbatch-sched::shard`: any divergence
+//! between the per-shard merged profile and the serial one, or any
+//! commit of a stale speculative evaluation, surfaces here as a
+//! differing grant, start, or completion record.
+
+use dynbatch::cluster::Cluster;
+use dynbatch::core::{CredRegistry, DfsConfig, JobSpec, SchedulerConfig, SimDuration, SimTime};
+use dynbatch::sched::DynDecision;
+use dynbatch::sim::BatchSim;
+use dynbatch::workload::{
+    generate_esp, generate_synthetic, parse_swf, write_swf, EspConfig, QuadflowCase, SwfConfig,
+    SyntheticConfig, WorkloadItem,
+};
+
+/// One scenario: a cluster, a workload, and the scheduler settings.
+struct Scenario {
+    label: &'static str,
+    nodes: u32,
+    cores_per_node: u32,
+    sched: SchedulerConfig,
+    workload: Vec<WorkloadItem>,
+}
+
+/// Full-run fingerprint: every dynamic decision with its timestamp, every
+/// job outcome, and the completion instant.
+type Fingerprint = (
+    Vec<(SimTime, DynDecision)>,
+    Vec<dynbatch::core::JobOutcome>,
+    SimTime,
+);
+
+fn run(scenario: &Scenario, shards: usize, workers: usize) -> Fingerprint {
+    let mut sched = scenario.sched.clone();
+    sched.shards = shards;
+    let mut sim = BatchSim::new(
+        Cluster::homogeneous(scenario.nodes, scenario.cores_per_node),
+        sched,
+    );
+    // Pin the worker count so the threaded rounds are exercised even on a
+    // single-core CI host (results must not depend on it either way).
+    sim.maui_mut().set_shard_workers(workers);
+    sim.load(&scenario.workload);
+    sim.run();
+    assert!(
+        sim.server().is_drained(),
+        "{} did not drain at shards={shards}",
+        scenario.label
+    );
+    (
+        sim.dyn_decision_log().to_vec(),
+        sim.server().accounting().outcomes().to_vec(),
+        sim.last_completion(),
+    )
+}
+
+/// Asserts `shards ∈ counts` all reproduce the serial run byte for byte.
+fn assert_equivalent(scenario: &Scenario, counts: &[usize], workers: usize) {
+    let serial = run(scenario, 1, 1);
+    for &shards in counts {
+        let sharded = run(scenario, shards, workers);
+        assert_eq!(
+            serial.0, sharded.0,
+            "{}: dynamic decisions diverged at shards={shards}",
+            scenario.label
+        );
+        assert_eq!(
+            serial.1, sharded.1,
+            "{}: job outcomes diverged at shards={shards}",
+            scenario.label
+        );
+        assert_eq!(
+            serial.2, sharded.2,
+            "{}: makespan diverged at shards={shards}",
+            scenario.label
+        );
+    }
+}
+
+fn esp_scenario(dynamic: bool, dfs: DfsConfig, seed: u64) -> Scenario {
+    let mut reg = CredRegistry::new();
+    let mut wl_cfg = if dynamic {
+        EspConfig::paper_dynamic()
+    } else {
+        EspConfig::paper_static()
+    };
+    wl_cfg.seed = seed;
+    let mut sched = SchedulerConfig::paper_eval();
+    sched.dfs = dfs;
+    Scenario {
+        label: if dynamic { "esp-dynamic" } else { "esp-static" },
+        nodes: 15,
+        cores_per_node: 8,
+        sched,
+        workload: generate_esp(&wl_cfg, &mut reg),
+    }
+}
+
+/// The paper's Quadflow cases as evolving jobs competing with rigid
+/// fillers — exercises the dynamic grant/defer paths with cross-job
+/// interference on a small cluster.
+fn quadflow_scenario() -> Scenario {
+    let mut reg = CredRegistry::new();
+    let mut workload = Vec::new();
+    for (i, case) in [QuadflowCase::FlatPlate, QuadflowCase::Cylinder]
+        .into_iter()
+        .enumerate()
+    {
+        let user = reg.user_in_group(&format!("cfd{i}"), "cfd");
+        let group = reg.group_of(user);
+        workload.push(WorkloadItem {
+            at: SimTime::from_secs(i as u64 * 600),
+            spec: JobSpec::evolving(
+                case.name(),
+                user,
+                group,
+                case.base_cores(),
+                case.execution_model(),
+            ),
+        });
+    }
+    let filler_user = reg.user_in_group("filler", "batch");
+    let filler_group = reg.group_of(filler_user);
+    for i in 0..6u64 {
+        workload.push(WorkloadItem {
+            at: SimTime::from_secs(i * 1800),
+            spec: JobSpec::rigid(
+                format!("filler-{i}"),
+                filler_user,
+                filler_group,
+                16 + 8 * (i % 3) as u32,
+                SimDuration::from_hours(3 + i),
+            ),
+        });
+    }
+    let mut sched = SchedulerConfig::paper_eval();
+    sched.dfs = DfsConfig::uniform_target(500, SimDuration::from_hours(1));
+    Scenario {
+        label: "quadflow",
+        nodes: 15,
+        cores_per_node: 8,
+        sched,
+        workload,
+    }
+}
+
+/// A synthetic workload round-tripped through the SWF writer/parser with
+/// a slice of jobs converted to evolving — the trace-replay suite.
+fn swf_scenario() -> Scenario {
+    let mut reg = CredRegistry::new();
+    let synth = generate_synthetic(
+        &SyntheticConfig {
+            jobs: 120,
+            ..Default::default()
+        },
+        &mut reg,
+    );
+    let text = write_swf(&synth, &reg);
+    let mut reg2 = CredRegistry::new();
+    let swf_cfg = SwfConfig {
+        total_cores: 120,
+        evolving_fraction: 0.3,
+        ..Default::default()
+    };
+    let workload = parse_swf(&text, &swf_cfg, &mut reg2).expect("own SWF output parses");
+    let mut sched = SchedulerConfig::paper_eval();
+    sched.dfs = DfsConfig::highest_priority();
+    Scenario {
+        label: "swf",
+        nodes: 15,
+        cores_per_node: 8,
+        sched,
+        workload,
+    }
+}
+
+#[test]
+fn esp_dynamic_is_shard_count_invariant() {
+    // 2 and 4 do not divide the 15-node cluster — slice boundaries cross
+    // nodes; 3 and 5 are node-aligned. All must be byte-identical.
+    let scenario = esp_scenario(true, DfsConfig::highest_priority(), 2014);
+    let serial = run(&scenario, 1, 1);
+    assert!(
+        serial.0.iter().any(|(_, d)| d.is_granted()),
+        "no grants — the comparison would be vacuous"
+    );
+    assert_equivalent(&scenario, &[2, 3, 4, 5], 3);
+}
+
+#[test]
+fn esp_static_is_shard_count_invariant() {
+    // No dynamic requests: pins the sharded rank + backfill phases alone.
+    let scenario = esp_scenario(false, DfsConfig::highest_priority(), 1);
+    assert_equivalent(&scenario, &[3, 4], 2);
+}
+
+#[test]
+fn esp_fairness_policies_are_shard_count_invariant() {
+    let scenario = esp_scenario(
+        true,
+        DfsConfig::uniform_target(100, SimDuration::from_hours(1)),
+        7,
+    );
+    assert_equivalent(&scenario, &[2, 5], 3);
+}
+
+#[test]
+fn quadflow_is_shard_count_invariant() {
+    assert_equivalent(&quadflow_scenario(), &[2, 3, 5], 3);
+}
+
+#[test]
+fn swf_replay_is_shard_count_invariant() {
+    assert_equivalent(&swf_scenario(), &[2, 4], 2);
+}
+
+#[test]
+fn worker_count_is_unobservable() {
+    // Same shard count, different worker-pool widths (1 = no threads at
+    // all): stealing and round timing must not leak into decisions.
+    let scenario = esp_scenario(true, DfsConfig::highest_priority(), 42);
+    let baseline = run(&scenario, 4, 1);
+    for workers in [2, 3, 4] {
+        let threaded = run(&scenario, 4, workers);
+        assert_eq!(
+            baseline, threaded,
+            "results depend on the worker count {workers}"
+        );
+    }
+}
