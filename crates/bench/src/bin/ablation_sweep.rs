@@ -15,10 +15,13 @@
 //! deterministic sweep engine (`sim::sweep`) — row values are identical
 //! to the serial loop at any worker count. Both `--workers` (sweep-engine
 //! pool width) and `--shards` (in-run scheduler shard count) default to
-//! `std::thread::available_parallelism()`; the resolved values are echoed
-//! as a JSON line before the tables so campaign logs record what actually
-//! ran. Either way the results are bit-identical — both knobs are pure
-//! parallelism.
+//! `std::thread::available_parallelism()`. The JSON echo before the
+//! tables records the *requested* values (null when defaulted) separately
+//! from the *effective* ones, so campaign logs from different hosts stay
+//! comparable: everything below the echo line is host-independent, and a
+//! startup pin re-runs the baseline row single-threaded/unsharded to
+//! assert the per-seed summaries are byte-identical to the host-derived
+//! settings — both knobs are pure parallelism, enforced, not assumed.
 //!
 //! ```text
 //! cargo run --release -p dynbatch-bench --bin ablation_sweep \
@@ -54,17 +57,28 @@ fn flag_value(flag: &str) -> Option<usize> {
         .filter(|&n| n >= 1)
 }
 
-/// Sweep-engine pool width: one worker per available core unless
-/// `--workers` overrides it.
-fn workers_from_args() -> usize {
-    flag_value("--workers").unwrap_or_else(available_cores)
+/// Sweep-engine pool width as requested on the command line — `None`
+/// when `--workers` was absent and the host default applies.
+fn workers_requested() -> Option<usize> {
+    flag_value("--workers")
 }
 
-/// In-run scheduler shard count: one shard per available core unless
-/// `--shards` overrides it. Sharding is decision-invariant, so any value
-/// reproduces the same rows.
-fn shards_from_args() -> usize {
-    flag_value("--shards").unwrap_or_else(available_cores)
+/// The pool width actually used: the request, or one worker per
+/// available core.
+fn workers_effective() -> usize {
+    workers_requested().unwrap_or_else(available_cores)
+}
+
+/// In-run scheduler shard count as requested — `None` when `--shards`
+/// was absent and the host default applies.
+fn shards_requested() -> Option<usize> {
+    flag_value("--shards")
+}
+
+/// The shard count actually used. Sharding is decision-invariant, so any
+/// value reproduces the same rows (see [`determinism_pin`]).
+fn shards_effective() -> usize {
+    shards_requested().unwrap_or_else(available_cores)
 }
 
 struct Avg {
@@ -141,13 +155,13 @@ fn run_many(
 ) -> Avg {
     let mut sched = SchedulerConfig::paper_eval();
     sched.dfs = DfsConfig::uniform_target(200, SimDuration::from_hours(1));
-    sched.shards = shards_from_args();
+    sched.shards = shards_effective();
     sched_mut(&mut sched);
     let configs = [ExperimentConfig::paper_cluster("ablation", sched)];
     // One row = one configuration × all seeds, sharded across the worker
     // pool; each cell regenerates its workload from its own seed.
     let results: Vec<ExperimentResult> =
-        run_sweep(&configs, seeds, workers_from_args(), |_, seed| {
+        run_sweep(&configs, seeds, workers_effective(), |_, seed| {
             let mut reg = CredRegistry::new();
             let mut wl_cfg = EspConfig::paper_dynamic();
             wl_cfg.seed = seed;
@@ -162,22 +176,56 @@ fn run_many(
     average(&results)
 }
 
+/// Host-independence pin: the baseline row re-run single-threaded and
+/// unsharded must produce per-seed summaries byte-identical to the
+/// effective (possibly host-derived) settings. A host with a different
+/// core count changes only the echo line, never a table value.
+fn determinism_pin(seeds: &[u64]) {
+    let run = |workers: usize, shards: usize| {
+        let mut sched = SchedulerConfig::paper_eval();
+        sched.dfs = DfsConfig::uniform_target(200, SimDuration::from_hours(1));
+        sched.shards = shards;
+        let configs = [ExperimentConfig::paper_cluster("pin", sched)];
+        run_sweep(&configs, seeds, workers, |_, seed| {
+            let mut reg = CredRegistry::new();
+            let mut wl_cfg = EspConfig::paper_dynamic();
+            wl_cfg.seed = seed;
+            generate_esp(&wl_cfg, &mut reg)
+        })
+        .into_iter()
+        .map(|cell| cell.result.summary)
+        .collect::<Vec<_>>()
+    };
+    let reference = run(1, 1);
+    let host = run(workers_effective(), shards_effective());
+    assert_eq!(
+        reference, host,
+        "ablation rows depend on host parallelism — workers/shards must be pure mechanism"
+    );
+}
+
 fn main() {
     let seeds = seeds_from_args();
-    // Echo the resolved parallelism settings as JSON so a campaign log
-    // records what actually ran (both default to the core count).
+    // Echo the parallelism settings as JSON so a campaign log records
+    // what was asked for (null = defaulted) and what actually ran; only
+    // this line may vary across hosts.
+    let requested = |r: Option<usize>| r.map_or(Json::Null, |n| Json::UInt(n as u64));
     println!(
         "{}",
         Json::to_string_compact(&Json::obj(vec![
             ("seeds", Json::UInt(seeds.len() as u64)),
-            ("workers", Json::UInt(workers_from_args() as u64)),
-            ("shards", Json::UInt(shards_from_args() as u64)),
+            ("workers_requested", requested(workers_requested())),
+            ("workers_effective", Json::UInt(workers_effective() as u64)),
+            ("shards_requested", requested(shards_requested())),
+            ("shards_effective", Json::UInt(shards_effective() as u64)),
             (
                 "available_parallelism",
                 Json::UInt(available_cores() as u64)
             ),
         ]))
     );
+    determinism_pin(&seeds);
+    println!("(parallelism pin: baseline row identical at workers=1/shards=1 and host settings)");
     println!(
         "Ablations on the dynamic ESP workload (DFS target 200 s/h unless varied; {} seeds)",
         seeds.len()

@@ -35,10 +35,18 @@
 //!    state journal disabled vs enabled, append cost charged per
 //!    scheduled job, with a ≤10 % regression sanity bound (durability
 //!    must stay in the noise).
-//! 7. **Sweep engine** — a `(config × seed)` ESP campaign run serially
+//! 7. **Command reactor** — sustained submissions/sec through the
+//!    `server::reactor` front-end: N client threads race `qsub` lines
+//!    into the reactor while the host drains admission batches into a
+//!    journaled `PbsServer`, with group-commit acks vs per-command acks.
+//!    Every command's journal record is appended before its reply either
+//!    way (ack-on-append); the contrast isolates the ack-batching cost.
+//! 8. **Sweep engine** — a `(config × seed)` ESP campaign run serially
 //!    (fresh simulator per run) and on the parallel sweep engine at two
 //!    different worker counts, per-seed `RunSummary`s asserted identical
-//!    across all three. Written to `BENCH_sweep.json`.
+//!    across all three. Written to `BENCH_sweep.json`, with requested
+//!    (null when auto-derived) and effective worker counts recorded
+//!    separately so emitted content stays comparable across hosts.
 //!
 //! `--quick` (or `DYNBATCH_QUICK=1`) shrinks the workload, repetition
 //! counts and sweep matrix in **every** section for CI; the full run is
@@ -46,7 +54,9 @@
 
 use dynbatch_cluster::Cluster;
 use dynbatch_core::json::Json;
-use dynbatch_core::{CredRegistry, DfsConfig, JobId, SchedulerConfig, SimDuration, SimTime};
+use dynbatch_core::{
+    AllocPolicy, CredRegistry, DfsConfig, JobId, SchedulerConfig, SimDuration, SimTime,
+};
 use dynbatch_metrics::{summarize_ensemble, Aggregate, RunSummary};
 use dynbatch_sched::incremental::rebuild_into;
 use dynbatch_sched::reference::NaiveProfile;
@@ -54,11 +64,14 @@ use dynbatch_sched::{
     rank_jobs, AvailabilityProfile, DeltaLog, DynRequest, IncrementalTimeline, Maui, ProfileDelta,
     QueuedJob, RunningJob, Snapshot,
 };
+use dynbatch_server::reactor::apply_to_server;
+use dynbatch_server::{PbsServer, Reactor};
 use dynbatch_sim::{run_experiment, run_sweep, sweep::worker_count, BatchSim, ExperimentConfig};
 use dynbatch_simtime::SplitMix64;
 use dynbatch_workload::{generate_esp, EspConfig, WorkloadItem};
 use std::collections::HashMap;
 use std::hint::black_box;
+use std::thread;
 use std::time::Instant;
 
 /// A planned (job, start) pair — the comparable output of both kernels.
@@ -846,6 +859,77 @@ fn main() {
          {journal_ms:.2} ms vs baseline {base_ms:.2} ms"
     );
 
+    // 7. Command reactor: sustained submissions/sec through the reactor
+    // front-end, group-commit acks (replies flushed once per admission
+    // batch, after every record of the batch is journaled) vs per-command
+    // acks. The journal append precedes the reply in both modes — the
+    // ack-on-append contract — so the contrast isolates ack batching.
+    let reactor_clients = 8usize;
+    let reactor_subs: usize = if quick { 2_000 } else { 20_000 };
+    eprintln!(
+        "perf_smoke: command reactor ({reactor_clients} clients, {reactor_subs} submissions)"
+    );
+    let reactor_run = |group_commit: bool| -> (f64, u64) {
+        let mut reactor = Reactor::new();
+        reactor.set_ack_each(!group_commit);
+        // Clients pipeline their whole share before reading replies;
+        // size the reply channels so the slow-reader path never engages.
+        reactor.set_reply_capacity(reactor_subs / reactor_clients + 2);
+        let clients: Vec<_> = (0..reactor_clients).map(|_| reactor.connect()).collect();
+        let mut server = PbsServer::new(Cluster::homogeneous(150, 8), AllocPolicy::Pack);
+        server.enable_journal(4096);
+        let lines: Vec<String> = (0..reactor_subs)
+            .map(|i| {
+                format!(
+                    "qsub name=s{i} user={} group=0 cores=1 wall_ms=60000",
+                    i % 32
+                )
+            })
+            .collect();
+        let t0 = Instant::now();
+        thread::scope(|scope| {
+            for (c, client) in clients.into_iter().enumerate() {
+                let lines = &lines;
+                scope.spawn(move || {
+                    let mine: Vec<&String> =
+                        lines.iter().skip(c).step_by(reactor_clients).collect();
+                    for l in &mine {
+                        client.send(l);
+                    }
+                    for _ in &mine {
+                        client.recv().expect("reactor dropped before acking");
+                    }
+                });
+            }
+            let mut applied = 0usize;
+            while applied < reactor_subs {
+                let n =
+                    reactor.poll_with(|_, cmd| apply_to_server(&mut server, cmd, SimTime::ZERO));
+                applied += n;
+                if n == 0 {
+                    thread::yield_now();
+                }
+            }
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let stats = reactor.stats();
+        assert_eq!(stats.applied as usize, reactor_subs);
+        assert_eq!(stats.denied_parse, 0, "generated qsub lines must all parse");
+        assert!(
+            server.journal().map_or(0, |j| j.total_appended()) >= reactor_subs as u64,
+            "every acked submission must have a journal record"
+        );
+        (secs, stats.batches)
+    };
+    let (gc_secs, gc_batches) = reactor_run(true);
+    let (ae_secs, ae_batches) = reactor_run(false);
+    let gc_rate = reactor_subs as f64 / gc_secs;
+    let ae_rate = reactor_subs as f64 / ae_secs;
+    eprintln!(
+        "  group-commit {gc_rate:>9.0} subs/s ({gc_batches} batches)  \
+         ack-each {ae_rate:>9.0} subs/s ({ae_batches} batches)"
+    );
+
     let report = Json::obj(vec![
         ("version", Json::UInt(1)),
         ("quick", Json::Bool(quick)),
@@ -899,6 +983,30 @@ fn main() {
         ),
         ("esp_table2", Json::Arr(esp)),
         (
+            "reactor",
+            Json::obj(vec![
+                ("clients", Json::UInt(reactor_clients as u64)),
+                ("submissions", Json::UInt(reactor_subs as u64)),
+                (
+                    "group_commit",
+                    Json::obj(vec![
+                        ("wall_secs", Json::Float(gc_secs)),
+                        ("subs_per_sec", Json::Float(gc_rate)),
+                        ("batches", Json::UInt(gc_batches)),
+                    ]),
+                ),
+                (
+                    "ack_each",
+                    Json::obj(vec![
+                        ("wall_secs", Json::Float(ae_secs)),
+                        ("subs_per_sec", Json::Float(ae_rate)),
+                        ("batches", Json::UInt(ae_batches)),
+                    ]),
+                ),
+                ("group_commit_speedup", Json::Float(ae_secs / gc_secs)),
+            ]),
+        ),
+        (
             "journal",
             Json::obj(vec![
                 ("jobs", Json::UInt(base_jobs as u64)),
@@ -946,7 +1054,18 @@ fn main() {
     }
     let serial_secs = t0.elapsed().as_secs_f64();
 
-    let w_a = worker_count(0).max(2);
+    // The two worker counts: `--workers N` pins the first and is recorded
+    // as the requested value; absent, both derive from the host's core
+    // count and the request is recorded as null. The per-seed summaries
+    // are asserted identical to serial either way, so only the clearly
+    // labeled effective/timing fields may vary across hosts.
+    let workers_requested: Option<usize> = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1);
+    let w_a = workers_requested.unwrap_or_else(|| worker_count(0)).max(2);
     let w_b = if w_a > 2 { w_a / 2 } else { w_a + 1 };
     let mut parallel_rows = Vec::new();
     let mut best_speedup = 0.0f64;
@@ -969,7 +1088,7 @@ fn main() {
             total_runs as f64 / par_secs
         );
         parallel_rows.push(Json::obj(vec![
-            ("workers", Json::UInt(workers as u64)),
+            ("workers_effective", Json::UInt(workers as u64)),
             ("wall_secs", Json::Float(par_secs)),
             ("runs_per_sec", Json::Float(total_runs as f64 / par_secs)),
             ("speedup_vs_serial", Json::Float(speedup)),
@@ -1005,6 +1124,10 @@ fn main() {
         ("configs", Json::UInt(sweep_cfgs.len() as u64)),
         ("seeds", Json::UInt(seeds.len() as u64)),
         ("total_runs", Json::UInt(total_runs as u64)),
+        (
+            "workers_requested",
+            workers_requested.map_or(Json::Null, |n| Json::UInt(n as u64)),
+        ),
         ("available_parallelism", Json::UInt(worker_count(0) as u64)),
         (
             "serial",

@@ -86,6 +86,10 @@ pub enum ServerCmd {
     /// A mom lost its state and restarted (fault injection); the server
     /// re-sends `RunJob` for every active job mothered there.
     MomRestarted(NodeId),
+    /// A reactor client sent something: poll the command reactor. Pure
+    /// nudge — commands travel on the reactor's own (unfaultable)
+    /// channel; spurious wakes poll an empty mailbox and move on.
+    ReactorWake,
     /// Stop the daemon.
     Shutdown,
 }

@@ -24,7 +24,7 @@
 
 use dynbatch_cluster::Allocation;
 use dynbatch_core::json::{model, Json};
-use dynbatch_core::{AllocPolicy, Job, JobId, JobOutcome, JobSpec, NodeId, SimTime};
+use dynbatch_core::{AllocPolicy, Job, JobId, JobOutcome, JobSpec, NodeId, SimTime, UserId};
 use dynbatch_sched::{DfsReject, DynDecision, IterationOutcome, ResizeDecision, StartDecision};
 
 /// A pending dynamic request, as captured in a snapshot record.
@@ -68,6 +68,11 @@ pub struct ServerImage {
     pub dyn_pending: Vec<PendingDynImage>,
     /// The accounting log, in emission order.
     pub outcomes: Vec<JobOutcome>,
+    /// Per-user fairshare usage in core-milliseconds (closed segments),
+    /// in user-id order.
+    pub usage: Vec<(UserId, u64)>,
+    /// Open usage-segment cursors (job, segment start), in job-id order.
+    pub usage_since: Vec<(JobId, SimTime)>,
 }
 
 /// One journal record.
@@ -705,6 +710,24 @@ pub fn image_to_json(img: &ServerImage) -> Json {
             "outcomes",
             Json::Arr(img.outcomes.iter().map(model::outcome_to_json).collect()),
         ),
+        (
+            "usage",
+            Json::Arr(
+                img.usage
+                    .iter()
+                    .map(|&(u, ms)| Json::Arr(vec![Json::UInt(u.0 as u64), Json::UInt(ms)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "usage_since",
+            Json::Arr(
+                img.usage_since
+                    .iter()
+                    .map(|&(j, at)| Json::Arr(vec![Json::UInt(j.0), time(at)]))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -763,6 +786,33 @@ pub fn image_from_json(v: &Json) -> Result<ServerImage, String> {
             .iter()
             .map(model::outcome_from_json)
             .collect::<Result<_, _>>()?,
+        usage: arr_field(v, "usage")?
+            .iter()
+            .map(|p| {
+                let pair = p.as_arr().ok_or("usage entry is not a pair")?;
+                let [user, ms] = pair else {
+                    return Err("usage entry is not a pair".to_owned());
+                };
+                let user = user
+                    .as_u64()
+                    .and_then(|u| u32::try_from(u).ok())
+                    .ok_or("usage user is not a u32")?;
+                let ms = ms.as_u64().ok_or("usage core-ms is not an integer")?;
+                Ok((UserId(user), ms))
+            })
+            .collect::<Result<_, String>>()?,
+        usage_since: arr_field(v, "usage_since")?
+            .iter()
+            .map(|p| {
+                let pair = p.as_arr().ok_or("usage_since entry is not a pair")?;
+                let [j, at] = pair else {
+                    return Err("usage_since entry is not a pair".to_owned());
+                };
+                let j = j.as_u64().ok_or("usage_since job is not an integer")?;
+                let at = at.as_u64().ok_or("usage_since time is not an integer")?;
+                Ok((JobId(j), SimTime::from_millis(at)))
+            })
+            .collect::<Result<_, String>>()?,
     })
 }
 
@@ -921,6 +971,8 @@ mod tests {
                 deadline: Some(SimTime::from_secs(60)),
             }],
             outcomes: vec![],
+            usage: vec![(UserId(1), 123_456)],
+            usage_since: vec![(JobId(1), SimTime::from_secs(5))],
         }
     }
 

@@ -14,7 +14,10 @@
 //!   hostlist tracking, `dyn_join` / `dyn_disjoin`;
 //! * [`journal`] — the write-ahead state journal (the `server_priv/`
 //!   analogue): append-only mutation records plus compacting snapshots,
-//!   consumed by [`server::PbsServer::recover`] for crash recovery.
+//!   consumed by [`server::PbsServer::recover`] for crash recovery;
+//! * [`reactor`] — the multi-tenant command front-end: ticket-ordered
+//!   admission of concurrent client commands with group-commit acks
+//!   released only once the batch's journal records are appended.
 //!
 //! Everything is a pure state machine over message values so that the
 //! discrete-event simulator (`dynbatch-sim`) and the threaded daemon
@@ -27,10 +30,12 @@ pub mod accounting;
 pub mod journal;
 pub mod messages;
 pub mod mom;
+pub mod reactor;
 pub mod server;
 
 pub use accounting::AccountingLog;
 pub use journal::{Journal, PendingDynImage, Record, ServerImage};
 pub use messages::{ClientMsg, MomToServer, ServerToMom, TmRequest, TmResponse};
 pub use mom::{Mom, MomOutput};
+pub use reactor::{Command, Reactor, ReactorClient, ReactorConnector, ReactorStats, Reply};
 pub use server::{Applied, PbsServer};

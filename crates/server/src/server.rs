@@ -17,7 +17,7 @@ use crate::accounting::AccountingLog;
 use crate::journal::{self, Journal, PendingDynImage, Record, ServerImage};
 use dynbatch_cluster::{Allocation, Cluster};
 use dynbatch_core::{
-    AllocPolicy, Error, Job, JobId, JobOutcome, JobSpec, JobState, Result, SimTime,
+    AllocPolicy, Error, Job, JobId, JobOutcome, JobSpec, JobState, Result, SimTime, UserId,
 };
 use dynbatch_sched::{
     DeltaLog, DfsReject, DynDecision, DynRequest, IterationOutcome, ProfileDelta, QueuedJob,
@@ -113,6 +113,19 @@ pub struct PbsServer {
     /// appends a record *after* taking effect, so the log tail is always
     /// consistent with in-memory state; crash points sit between records.
     journal: Option<Journal>,
+    /// Per-user historical usage in core-milliseconds, accumulated in
+    /// constant-width segments: whenever a job's width changes or it
+    /// leaves the machine, the segment ending now is charged at its
+    /// actual width. Durable — snapshotted in [`ServerImage`] and
+    /// reconstructed exactly by replay — so recovered fairshare
+    /// priorities match a crash-free run byte-for-byte (the daemon used
+    /// to keep this ledger in memory only and forfeit it on crash).
+    usage: BTreeMap<UserId, u64>,
+    /// Open-segment cursor per active job: when its current
+    /// constant-width segment started. The width is read from the job at
+    /// charge time (segments close *before* any width mutation), so only
+    /// the start instant needs recording.
+    usage_since: BTreeMap<JobId, SimTime>,
 }
 
 impl PbsServer {
@@ -130,6 +143,8 @@ impl PbsServer {
             deltas: Vec::new(),
             snapshot_epoch: 0,
             journal: None,
+            usage: BTreeMap::new(),
+            usage_since: BTreeMap::new(),
         }
     }
 
@@ -150,6 +165,8 @@ impl PbsServer {
         self.deltas.clear();
         self.snapshot_epoch = 0;
         self.journal = None;
+        self.usage.clear();
+        self.usage_since.clear();
     }
 
     /// Enables the *guaranteeing* site policy (paper §II-B): evolving jobs
@@ -227,6 +244,8 @@ impl PbsServer {
                 .collect(),
             dyn_pending: self.pending_dyn_requests().collect(),
             outcomes: self.accounting.outcomes().to_vec(),
+            usage: self.usage.iter().map(|(&u, &ms)| (u, ms)).collect(),
+            usage_since: self.usage_since.iter().map(|(&j, &at)| (j, at)).collect(),
         }
     }
 
@@ -278,6 +297,8 @@ impl PbsServer {
             deltas: Vec::new(),
             snapshot_epoch: 0,
             journal: None,
+            usage: img.usage.iter().copied().collect(),
+            usage_since: img.usage_since.iter().copied().collect(),
         })
     }
 
@@ -382,6 +403,45 @@ impl PbsServer {
         &self.accounting
     }
 
+    /// Per-user historical usage in core-milliseconds (closed segments
+    /// only), in user-id order — the durable feed the daemon recharges
+    /// its fairshare tracker from, including after crash recovery.
+    pub fn usage(&self) -> impl Iterator<Item = (UserId, u64)> + '_ {
+        self.usage.iter().map(|(&u, &ms)| (u, ms))
+    }
+
+    /// Total core-milliseconds charged to `user` so far (excluding the
+    /// still-open segment of any active job).
+    pub fn usage_core_millis(&self, user: UserId) -> u64 {
+        self.usage.get(&user).copied().unwrap_or(0)
+    }
+
+    /// Opens the usage cursor for a job that just started holding cores.
+    fn usage_open(&mut self, id: JobId, now: SimTime) {
+        self.usage_since.insert(id, now);
+    }
+
+    /// Charges the open segment `[since, now)` at the job's *current*
+    /// width and restarts the cursor at `now`. Must run after the last
+    /// fallible step of a mutation but **before** `cores_allocated`
+    /// changes, so every charged segment has constant width and a failed
+    /// command leaves the ledger untouched (replay equivalence).
+    fn usage_mark(&mut self, id: JobId, now: SimTime) {
+        let (Some(since), Some(job)) = (self.usage_since.get_mut(&id), self.jobs.get(&id)) else {
+            return;
+        };
+        let span = now.duration_since(*since).as_millis();
+        *self.usage.entry(job.spec.user).or_insert(0) += job.cores_allocated as u64 * span;
+        *since = now;
+    }
+
+    /// Charges the final segment and drops the cursor (finish, qdel,
+    /// preempt, node failure).
+    fn usage_close(&mut self, id: JobId, now: SimTime) {
+        self.usage_mark(id, now);
+        self.usage_since.remove(&id);
+    }
+
     /// Looks up a job.
     pub fn job(&self, id: JobId) -> Result<&Job> {
         self.jobs.get(&id).ok_or(Error::UnknownJob(id))
@@ -450,6 +510,7 @@ impl PbsServer {
         job.end_time = Some(now);
         if was_active {
             self.cluster.release_all(id)?;
+            self.usage_close(id, now);
             self.dyn_pending.remove(&id);
             self.deltas.push(ProfileDelta::Finished { job: id });
         }
@@ -534,6 +595,8 @@ impl PbsServer {
             ));
         }
         self.cluster.release_partial(id, released)?;
+        self.usage_mark(id, now);
+        let job = self.jobs.get_mut(&id).expect("checked above");
         job.cores_allocated -= total;
         let held_cores = job.cores_allocated + job.reserved_extra;
         self.deltas.push(ProfileDelta::Resized {
@@ -553,17 +616,20 @@ impl PbsServer {
     /// The application exited: release everything and record the outcome.
     pub fn job_finished(&mut self, id: JobId, now: SimTime) -> Result<JobOutcome> {
         let job = self.jobs.get_mut(&id).ok_or(Error::UnknownJob(id))?;
-        if !job.state.is_active() {
+        // Validate everything before the first mutation: an out-of-order
+        // finish (double delivery, stale timer) must deny, never panic.
+        let Some(start_time) = job.start_time.filter(|_| job.state.is_active()) else {
             return Err(Error::InvalidState {
                 job: id,
                 operation: "finish",
                 state: "not active",
             });
-        }
+        };
         job.state = JobState::Completed;
         job.end_time = Some(now);
         self.dyn_pending.remove(&id);
         self.cluster.release_all(id)?;
+        self.usage_close(id, now);
         self.deltas.push(ProfileDelta::Finished { job: id });
         let job = &self.jobs[&id];
         let outcome = JobOutcome {
@@ -574,7 +640,7 @@ impl PbsServer {
             cores_requested: job.spec.cores,
             cores_final: job.cores_allocated,
             submit_time: job.submit_time,
-            start_time: job.start_time.expect("active job has a start time"),
+            start_time,
             end_time: now,
             dyn_requests: job.dyn_requests,
             dyn_grants: job.dyn_grants,
@@ -607,19 +673,24 @@ impl PbsServer {
                         reserved_extra: job.reserved_extra,
                         malleable: job.spec.malleable,
                     });
+                    // Checked lookup: a DynQueued job without a pending
+                    // entry is an invariant breach, but the snapshot path
+                    // degrades it to "no request this cycle" rather than
+                    // panicking the daemon.
                     if job.state == JobState::DynQueued {
-                        let pending = self.dyn_pending[&job.id];
-                        dyn_requests.push(DynRequest {
-                            job: job.id,
-                            user: job.spec.user,
-                            group: job.spec.group,
-                            extra_cores: pending.extra_cores,
-                            remaining_walltime: job
-                                .remaining_walltime(now)
-                                .expect("running job started"),
-                            seq: pending.seq,
-                            deadline: pending.deadline,
-                        });
+                        if let (Some(pending), Some(remaining_walltime)) =
+                            (self.dyn_pending.get(&job.id), job.remaining_walltime(now))
+                        {
+                            dyn_requests.push(DynRequest {
+                                job: job.id,
+                                user: job.spec.user,
+                                group: job.spec.group,
+                                extra_cores: pending.extra_cores,
+                                remaining_walltime,
+                                seq: pending.seq,
+                                deadline: pending.deadline,
+                            });
+                        }
                     }
                 }
                 JobState::Queued => {
@@ -698,12 +769,15 @@ impl PbsServer {
                         applied.push(Applied::Preempted { job: *victim });
                     }
                     for resize in shrunk {
-                        applied.push(self.resize(*resize).expect("planned shrink applies"));
+                        applied.push(self.resize(*resize, now).expect("planned shrink applies"));
                     }
                     let added = self
                         .cluster
                         .expand(*job, *extra_cores, self.alloc_policy)
                         .expect("planned expansion must fit");
+                    // Charge the pre-grant constant-width segment before
+                    // the width grows.
+                    self.usage_mark(*job, now);
                     let j = self.jobs.get_mut(job).expect("granted job exists");
                     debug_assert_eq!(j.state, JobState::DynQueued);
                     j.state = JobState::Running;
@@ -750,7 +824,7 @@ impl PbsServer {
         }
 
         for resize in &outcome.grows {
-            applied.push(self.resize(*resize).expect("planned grow applies"));
+            applied.push(self.resize(*resize, now).expect("planned grow applies"));
         }
 
         for start in &outcome.starts {
@@ -779,6 +853,7 @@ impl PbsServer {
                 held_cores: cores + reserve,
                 walltime_end,
             });
+            self.usage_open(start.job, now);
             applied.push(Applied::Started {
                 job: start.job,
                 alloc,
@@ -807,6 +882,7 @@ impl PbsServer {
             if self.cluster.allocation_of(v).is_some() {
                 self.cluster.release_all(v)?;
             }
+            self.usage_close(v, now);
             self.dyn_pending.remove(&v);
             let job = self.jobs.get_mut(&v).expect("victim is a known job");
             job.state = JobState::Queued;
@@ -833,7 +909,7 @@ impl PbsServer {
     }
 
     /// Applies a scheduler-initiated malleable resize.
-    fn resize(&mut self, r: dynbatch_sched::ResizeDecision) -> Result<Applied> {
+    fn resize(&mut self, r: dynbatch_sched::ResizeDecision, now: SimTime) -> Result<Applied> {
         let job = self.jobs.get(&r.job).ok_or(Error::UnknownJob(r.job))?;
         if !job.state.is_active() {
             return Err(Error::InvalidState {
@@ -861,6 +937,7 @@ impl PbsServer {
             self.cluster.release_partial(r.job, &part)?;
             part
         };
+        self.usage_mark(r.job, now);
         let job = self.jobs.get_mut(&r.job).expect("checked above");
         job.cores_allocated = r.to_cores;
         let held_cores = r.to_cores + job.reserved_extra;
@@ -948,8 +1025,8 @@ impl PbsServer {
 
     /// Requeues a running backfilled job (preempted for a dynamic request).
     /// Its progress is lost; it competes in the queue again.
-    fn preempt(&mut self, id: JobId, _now: SimTime) -> Result<()> {
-        let job = self.jobs.get_mut(&id).ok_or(Error::UnknownJob(id))?;
+    fn preempt(&mut self, id: JobId, now: SimTime) -> Result<()> {
+        let job = self.jobs.get(&id).ok_or(Error::UnknownJob(id))?;
         if !job.state.is_active() {
             return Err(Error::InvalidState {
                 job: id,
@@ -958,7 +1035,9 @@ impl PbsServer {
             });
         }
         self.cluster.release_all(id)?;
+        self.usage_close(id, now);
         self.dyn_pending.remove(&id);
+        let job = self.jobs.get_mut(&id).expect("checked above");
         job.state = JobState::Queued;
         job.start_time = None;
         job.cores_allocated = 0;
@@ -1342,6 +1421,69 @@ mod tests {
             Applied::Started { job, alloc, .. } if *job == id && alloc.total_cores() == 48
         )));
         assert_eq!(s.job(id).unwrap().cores_allocated, 48);
+    }
+
+    #[test]
+    fn usage_charges_constant_width_segments() {
+        // An 8-core evolving job runs 150 ms at width 8, grows to 16 and
+        // runs another 150 ms: 8×150 + 16×150 = 3600 core-ms — charging
+        // final-width × runtime (the old daemon-side bug) would say 4800.
+        let mut s = server();
+        let mut m = hp_maui();
+        let id = s
+            .qsub(
+                JobSpec::evolving(
+                    "F",
+                    UserId(7),
+                    GroupId(0),
+                    8,
+                    ExecutionModel::esp_evolving(1846, 1230, 8),
+                ),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        cycle(&mut s, &mut m, SimTime::ZERO);
+        s.tm_dynget(id, 8, SimTime::from_millis(150)).unwrap();
+        cycle(&mut s, &mut m, SimTime::from_millis(150));
+        assert_eq!(s.job(id).unwrap().cores_allocated, 16);
+        s.job_finished(id, SimTime::from_millis(300)).unwrap();
+        assert_eq!(s.usage_core_millis(UserId(7)), 3600);
+        assert_eq!(s.usage().collect::<Vec<_>>(), vec![(UserId(7), 3600)]);
+    }
+
+    #[test]
+    fn usage_survives_recovery_exactly() {
+        // Crash mid-run with an open segment: the snapshot carries both
+        // the closed core-ms and the open cursor, so the recovered server
+        // keeps charging from the exact same split.
+        let mut s = server();
+        s.enable_journal(0);
+        let mut m = hp_maui();
+        let a = s.qsub(rigid("A", 1, 8, 100), SimTime::ZERO).unwrap();
+        let b = s.qsub(rigid("B", 2, 4, 100), SimTime::ZERO).unwrap();
+        cycle(&mut s, &mut m, SimTime::ZERO);
+        s.job_finished(a, SimTime::from_millis(500)).unwrap();
+        let digest = s.state_digest();
+        let mut r = PbsServer::recover(s.take_journal().unwrap()).unwrap();
+        assert_eq!(r.state_digest(), digest);
+        assert_eq!(r.usage_core_millis(UserId(1)), 8 * 500);
+        assert_eq!(r.usage_core_millis(UserId(2)), 0, "open segment uncharged");
+        r.job_finished(b, SimTime::from_millis(900)).unwrap();
+        assert_eq!(r.usage_core_millis(UserId(2)), 4 * 900);
+    }
+
+    #[test]
+    fn out_of_order_finish_denies_instead_of_panicking() {
+        let mut s = server();
+        let mut m = hp_maui();
+        let id = s.qsub(rigid("A", 0, 8, 100), t(0)).unwrap();
+        // Finish before start: the job is queued, not active.
+        assert!(s.job_finished(id, t(1)).is_err());
+        cycle(&mut s, &mut m, t(1));
+        s.job_finished(id, t(50)).unwrap();
+        // Duplicate finish (double-delivered exit) denies too.
+        assert!(s.job_finished(id, t(51)).is_err());
+        assert!(s.job_finished(JobId(99), t(51)).is_err());
     }
 
     #[test]

@@ -14,9 +14,13 @@
 pub mod batch_sim;
 pub mod event;
 pub mod experiment;
+pub mod reactor_drive;
 pub mod sweep;
 
 pub use batch_sim::{BatchSim, SimStats};
 pub use event::Event;
 pub use experiment::{run_experiment, run_experiment_on, ExperimentConfig, ExperimentResult};
+pub use reactor_drive::{
+    drive_reactor, drive_serial, script_from_workload, CommandScript, DriveResult, ScriptStep,
+};
 pub use sweep::{parallel_tasks, parallel_tasks_with, run_sweep, task_rng, SweepResult};

@@ -1,0 +1,433 @@
+//! Driving replayed command streams through the [`Reactor`] — the
+//! equivalence harness behind the reactor's determinism gate.
+//!
+//! A [`CommandScript`] is a timestamped list of textual commands (built
+//! from an SWF-style workload plus seeded dynamic/cancel/malformed ops).
+//! [`drive_serial`] applies it directly to a `PbsServer` — the reference
+//! semantics. [`drive_reactor`] delivers the same stream through N real
+//! client threads racing into a [`Reactor`], tickets pre-assigned to the
+//! stream order, while the host loop interleaves the identical
+//! world-advance rule between admissions. The gate: state digest,
+//! accounting log and every reply byte-identical to serial, at any client
+//! count, with or without a mid-stream server crash (recovery from the
+//! journal, fresh scheduler) — acked commands always survive.
+//!
+//! The world-advance rule between steps at time `now`: finish every
+//! active job whose planned end (`start + walltime`) has passed, oldest
+//! end first, cycling the scheduler at each finish instant; then expire
+//! overdue negotiation windows; then apply the command and cycle. Both
+//! paths run this exact loop, so any divergence is the reactor's fault.
+
+use dynbatch_cluster::Cluster;
+use dynbatch_core::{json, AllocPolicy, JobId, SchedulerConfig, SimTime};
+use dynbatch_sched::Maui;
+use dynbatch_server::reactor::{apply_to_server, parse_command, Reply};
+use dynbatch_server::{PbsServer, Reactor, ReactorClient};
+use dynbatch_simtime::SplitMix64;
+use dynbatch_workload::WorkloadItem;
+use std::thread;
+
+/// One timestamped command line.
+#[derive(Debug, Clone)]
+pub struct ScriptStep {
+    /// World time at which the command is applied.
+    pub at: SimTime,
+    /// The command text (possibly malformed — denials are part of the
+    /// contract under test).
+    pub line: String,
+}
+
+/// A deterministic command stream. Step index == reactor ticket.
+#[derive(Debug, Clone)]
+pub struct CommandScript {
+    /// The steps, non-decreasing in `at`.
+    pub steps: Vec<ScriptStep>,
+}
+
+/// Builds a command script from a workload: one `qsub` per item at its
+/// submit time, plus seeded follow-up traffic — `dynget` for evolving
+/// jobs, `qstat` probes, `qdel` of a sprinkle of jobs (some unknown, so
+/// denials are exercised) and deterministic malformed lines. Everything
+/// derives from `seed`; the same seed always yields the same bytes.
+pub fn script_from_workload(items: &[WorkloadItem], seed: u64) -> CommandScript {
+    use dynbatch_server::reactor::format_qsub;
+    let mut rng = SplitMix64::new(seed).derive(0x5C71);
+    // (at, tiebreak, line): tiebreak preserves insertion order among
+    // same-instant commands after the sort.
+    let mut raw: Vec<(SimTime, usize, String)> = Vec::new();
+    let mut n = 0usize;
+    let mut push = |raw: &mut Vec<(SimTime, usize, String)>, at: SimTime, line: String| {
+        raw.push((at, n, line));
+        n += 1;
+    };
+    for (i, item) in items.iter().enumerate() {
+        push(&mut raw, item.at, format_qsub(&item.spec));
+        // Valid submissions get sequential ids starting at 1; every qsub
+        // the generator emits is valid, so the id is known statically.
+        let id = i as u64 + 1;
+        if item.spec.exec.extra_cores() > 0 {
+            let delay = 30 + rng.next_below(120);
+            let extra = 1 + rng.next_below(item.spec.exec.extra_cores() as u64 + 2);
+            let line = if rng.chance_permille(500) {
+                format!("dynget {id} {extra} {}", 30_000 + rng.next_below(90) * 1000)
+            } else {
+                format!("dynget {id} {extra}")
+            };
+            push(
+                &mut raw,
+                item.at + dynbatch_core::SimDuration::from_secs(delay),
+                line,
+            );
+        }
+        if rng.chance_permille(250) {
+            let probe = 1 + rng.next_below(items.len() as u64 + 4); // may be unknown
+            push(
+                &mut raw,
+                item.at + dynbatch_core::SimDuration::from_secs(5),
+                format!("qstat {probe}"),
+            );
+        }
+        if rng.chance_permille(150) {
+            let victim = 1 + rng.next_below(id + 3); // may be unknown/terminal
+            push(
+                &mut raw,
+                item.at + dynbatch_core::SimDuration::from_secs(10 + rng.next_below(200)),
+                format!("qdel {victim}"),
+            );
+        }
+        if rng.chance_permille(120) {
+            let bad = match rng.next_below(4) {
+                0 => "qsub name=broken cores=banana".to_owned(),
+                1 => format!("dynget {id}"),
+                2 => "frobnicate 7".to_owned(),
+                _ => format!("dynfree {id} 0"),
+            };
+            push(
+                &mut raw,
+                item.at + dynbatch_core::SimDuration::from_secs(1),
+                bad,
+            );
+        }
+    }
+    raw.sort_by_key(|(at, tie, _)| (*at, *tie));
+    CommandScript {
+        steps: raw
+            .into_iter()
+            .map(|(at, _, line)| ScriptStep { at, line })
+            .collect(),
+    }
+}
+
+/// What a drive run produces; every field must be byte-identical between
+/// serial and reactor paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriveResult {
+    /// Reply per step, indexed by ticket.
+    pub replies: Vec<Reply>,
+    /// Final `PbsServer::state_digest`.
+    pub digest: String,
+    /// Final accounting log, compact-JSON lines.
+    pub accounting: String,
+}
+
+/// The shared world: server (journal on) + scheduler, advanced under the
+/// module-documented rule.
+struct World {
+    server: PbsServer,
+    maui: Maui,
+    sched: SchedulerConfig,
+}
+
+impl World {
+    fn new(cluster: Cluster, sched: SchedulerConfig) -> Self {
+        let mut server = PbsServer::new(cluster, AllocPolicy::Pack);
+        server.enable_journal(64);
+        World {
+            maui: Maui::new(sched.clone()),
+            sched,
+            server,
+        }
+    }
+
+    fn cycle(&mut self, now: SimTime) {
+        let snap = self.server.snapshot_incremental(now);
+        let outcome = self.maui.iterate(&snap);
+        self.server.apply(&outcome, now);
+    }
+
+    /// Finishes due jobs (oldest planned end first, cycling at each
+    /// finish instant) and expires overdue negotiation windows.
+    fn advance_to(&mut self, now: SimTime) {
+        loop {
+            let due = self
+                .server
+                .jobs()
+                .filter(|j| j.state.is_active())
+                .filter_map(|j| j.start_time.map(|s| (s + j.spec.walltime, j.id)))
+                .filter(|(end, _)| *end <= now)
+                .min();
+            let Some((end, id)) = due else { break };
+            let _ = self.server.job_finished(id, end);
+            self.maui.dfs_mut().job_left_queue(id);
+            self.cycle(end);
+        }
+        let _ = self.server.expire_dyn_requests(now);
+    }
+
+    /// One step: advance, apply (parse failures deny without touching the
+    /// server — same bytes the reactor's parse stage produces), cycle.
+    fn apply_line(&mut self, line: &str, now: SimTime) -> Reply {
+        let reply = match parse_command(line) {
+            Ok(cmd) => apply_to_server(&mut self.server, &cmd, now),
+            Err(e) => Reply::Denied(e),
+        };
+        self.cycle(now);
+        reply
+    }
+
+    /// The server "process" dies at a step boundary and recovers from its
+    /// journal; scheduler soft state is rebuilt fresh. Every job whose
+    /// submission was acked must still exist — ack-on-append means an
+    /// acked command is in the journal by definition.
+    fn crash_recover(&mut self, acked_jobs: &[JobId], now: SimTime) {
+        let journal = self.server.take_journal().expect("journal enabled");
+        self.server = PbsServer::recover(journal).expect("journal replays");
+        self.maui = Maui::new(self.sched.clone());
+        for &id in acked_jobs {
+            assert!(
+                self.server.job(id).is_ok(),
+                "acked submission {id:?} lost in the crash"
+            );
+        }
+        self.cycle(now);
+    }
+}
+
+/// Extracts the jobs whose submission was acked so far (for the
+/// acked-commands-survive assertion at a crash point).
+fn acked_jobs(replies: &[Reply]) -> Vec<JobId> {
+    replies
+        .iter()
+        .filter_map(|r| match r {
+            Reply::Submitted(id) => Some(*id),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Serial reference: the script applied directly, one command at a time.
+/// `crash_after`: crash + recover at that step boundary (after the step's
+/// command applied and was acked).
+pub fn drive_serial(
+    script: &CommandScript,
+    cluster: Cluster,
+    sched: SchedulerConfig,
+    crash_after: Option<usize>,
+) -> DriveResult {
+    let mut world = World::new(cluster, sched);
+    let mut replies = Vec::with_capacity(script.steps.len());
+    for (i, step) in script.steps.iter().enumerate() {
+        world.advance_to(step.at);
+        replies.push(world.apply_line(&step.line, step.at));
+        if crash_after == Some(i) {
+            world.crash_recover(&acked_jobs(&replies), step.at);
+        }
+    }
+    DriveResult {
+        replies,
+        digest: world.server.state_digest(),
+        accounting: accounting_text(&world.server),
+    }
+}
+
+/// The reactor path: the same script, delivered by `n_clients` real
+/// threads racing into one [`Reactor`] (step index pre-assigned as the
+/// ticket, commands round-robined over connections), the host applying
+/// admissible commands between the same world-advances as serial.
+pub fn drive_reactor(
+    script: &CommandScript,
+    cluster: Cluster,
+    sched: SchedulerConfig,
+    n_clients: usize,
+    crash_after: Option<usize>,
+) -> DriveResult {
+    assert!(n_clients > 0);
+    let mut reactor = Reactor::new();
+    // Replies must never spill into the slow-reader overflow path here:
+    // clients pipeline every command before reading anything back.
+    reactor.set_reply_capacity(script.steps.len() + 1);
+    let clients: Vec<ReactorClient> = (0..n_clients).map(|_| reactor.connect()).collect();
+    let mut world = World::new(cluster, sched);
+    let mut replies: Vec<Option<Reply>> = vec![None; script.steps.len()];
+
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (c, client) in clients.into_iter().enumerate() {
+            let steps = &script.steps;
+            handles.push(scope.spawn(move || {
+                // Send this connection's share (true interleaving: all
+                // clients race), then collect its replies — FIFO per
+                // connection, so they pair with the sent tickets in order.
+                let mine: Vec<u64> = (0..steps.len() as u64)
+                    .filter(|t| *t as usize % n_clients == c)
+                    .collect();
+                for &t in &mine {
+                    client.send_ticketed(t, &steps[t as usize].line);
+                }
+                let mut got: Vec<(u64, Reply)> = Vec::with_capacity(mine.len());
+                for &t in &mine {
+                    let r = client.recv().expect("reactor dropped before replying");
+                    got.push((t, r));
+                }
+                got
+            }));
+        }
+
+        // Host loop: admit exactly one ticket per step, running the
+        // world-advance at the step's timestamp first — identical to the
+        // serial loop even though arrival order is a thread race.
+        for (i, step) in script.steps.iter().enumerate() {
+            world.advance_to(step.at);
+            while reactor.next_apply() <= i as u64 {
+                let polled = reactor.poll_bounded(i as u64 + 1, |_, cmd| {
+                    apply_to_server(&mut world.server, cmd, step.at)
+                });
+                if polled == 0 {
+                    thread::yield_now();
+                }
+            }
+            world.cycle(step.at);
+            if crash_after == Some(i) {
+                // All tickets ≤ i are applied AND acked (group commit
+                // flushed inside poll); the crash must lose none of them.
+                let acked: Vec<JobId> = script.steps[..=i]
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(t, s)| match parse_command(&s.line) {
+                        Ok(dynbatch_server::reactor::Command::QSub(_)) => {
+                            Some(JobId(count_qsubs(&script.steps[..t]) as u64 + 1))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                world.crash_recover(&acked, step.at);
+            }
+        }
+
+        for h in handles {
+            for (t, r) in h.join().expect("client thread") {
+                replies[t as usize] = Some(r);
+            }
+        }
+    });
+
+    DriveResult {
+        replies: replies
+            .into_iter()
+            .map(|r| r.expect("every ticket must be answered"))
+            .collect(),
+        digest: world.server.state_digest(),
+        accounting: accounting_text(&world.server),
+    }
+}
+
+/// Well-formed `qsub` lines in a prefix — the count determines the next
+/// assigned job id (parse is pure, so this is exact).
+fn count_qsubs(steps: &[ScriptStep]) -> usize {
+    steps
+        .iter()
+        .filter(|s| {
+            matches!(
+                parse_command(&s.line),
+                Ok(dynbatch_server::reactor::Command::QSub(_))
+            )
+        })
+        .count()
+}
+
+/// Accounting log as compact-JSON lines (shared digest format).
+pub fn accounting_text(s: &PbsServer) -> String {
+    s.accounting()
+        .outcomes()
+        .iter()
+        .map(|o| json::model::outcome_to_json(o).to_string_compact())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynbatch_core::{DfsConfig, ExecutionModel, GroupId, JobSpec, SimDuration, UserId};
+
+    fn hp_sched() -> SchedulerConfig {
+        let mut cfg = SchedulerConfig::paper_eval();
+        cfg.dfs = DfsConfig::highest_priority();
+        cfg
+    }
+
+    fn small_workload(n: usize) -> Vec<WorkloadItem> {
+        (0..n)
+            .map(|i| {
+                let spec = if i % 4 == 2 {
+                    JobSpec::evolving(
+                        format!("ev{i}"),
+                        UserId(i as u32 % 5),
+                        GroupId(0),
+                        4 + (i as u32 % 3) * 4,
+                        ExecutionModel::esp_evolving(600 + 40 * i as u64, 400, 4),
+                    )
+                } else {
+                    JobSpec::rigid(
+                        format!("j{i}"),
+                        UserId(i as u32 % 5),
+                        GroupId(0),
+                        1 + (i as u32 * 13) % 48,
+                        SimDuration::from_secs(120 + (i as u64 * 37) % 900),
+                    )
+                };
+                WorkloadItem {
+                    at: SimTime::from_secs(20 * i as u64),
+                    spec,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn script_generation_is_deterministic() {
+        let items = small_workload(12);
+        let a = script_from_workload(&items, 7);
+        let b = script_from_workload(&items, 7);
+        let lines = |s: &CommandScript| s.steps.iter().map(|x| x.line.clone()).collect::<Vec<_>>();
+        assert_eq!(lines(&a), lines(&b));
+        assert!(a.steps.len() >= items.len());
+        assert!(a.steps.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn reactor_path_matches_serial_small() {
+        let items = small_workload(10);
+        let script = script_from_workload(&items, 3);
+        let serial = drive_serial(&script, Cluster::homogeneous(15, 8), hp_sched(), None);
+        for n in [1, 3] {
+            let r = drive_reactor(&script, Cluster::homogeneous(15, 8), hp_sched(), n, None);
+            assert_eq!(r, serial, "reactor path diverged at {n} clients");
+        }
+    }
+
+    #[test]
+    fn crash_mid_stream_matches_serial_crash() {
+        let items = small_workload(10);
+        let script = script_from_workload(&items, 11);
+        let crash = Some(script.steps.len() / 2);
+        let serial = drive_serial(&script, Cluster::homogeneous(15, 8), hp_sched(), crash);
+        let reactor = drive_reactor(&script, Cluster::homogeneous(15, 8), hp_sched(), 2, crash);
+        assert_eq!(reactor, serial);
+        // hp scheduling is soft-state-free: the crashed run's final state
+        // equals the crash-free run's too.
+        let clean = drive_serial(&script, Cluster::homogeneous(15, 8), hp_sched(), None);
+        assert_eq!(serial.digest, clean.digest);
+        assert_eq!(serial.accounting, clean.accounting);
+    }
+}

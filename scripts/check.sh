@@ -32,6 +32,10 @@ echo "==> sharded-scheduler equivalence (partitioned path == serial path)"
 cargo test -q --test sharded_equivalence
 cargo test -q -p dynbatch-sched --test prop_router
 
+echo "==> reactor smoke (serial apply vs reactor-batched apply, identical digest)"
+cargo test -q --test reactor_equivalence reactor_equivalence_at_1_8_64_clients
+cargo test -q --test reactor_chaos stalled_reader_blocks_nothing
+
 echo "==> dynamic-partition regressions (same-cycle re-expansion / shrink)"
 cargo test -q --test partition
 
@@ -47,6 +51,11 @@ cargo test -q --release -p dynbatch-sched shard_smoke_serial_matches_three_shard
 echo "==> committed BENCH_sched.json must carry the sharded_kernel section"
 grep -q '"sharded_kernel"' BENCH_sched.json \
   || { echo "BENCH_sched.json lacks the sharded_kernel section — regenerate \
+with: cargo run --release -p dynbatch-bench --bin perf_smoke"; exit 1; }
+
+echo "==> committed BENCH_sched.json must carry the reactor section"
+grep -q '"reactor"' BENCH_sched.json \
+  || { echo "BENCH_sched.json lacks the reactor section — regenerate \
 with: cargo run --release -p dynbatch-bench --bin perf_smoke"; exit 1; }
 
 echo "check.sh: all gates passed"

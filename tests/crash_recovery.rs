@@ -17,7 +17,7 @@ use dynbatch_core::{
     json, AllocPolicy, DfsConfig, ExecutionModel, GroupId, JobId, JobSpec, NodeId, SchedulerConfig,
     SimDuration, SimTime, UserId,
 };
-use dynbatch_sched::Maui;
+use dynbatch_sched::{FairshareTracker, Maui};
 use dynbatch_server::{Journal, PbsServer};
 
 fn t(s: u64) -> SimTime {
@@ -199,11 +199,27 @@ fn accounting_text(s: &PbsServer) -> String {
         .join("\n")
 }
 
+/// The fairshare priorities a scheduler would derive from the server's
+/// journalled usage ledger, as a byte-comparable string: recharge each
+/// user's core-milliseconds into a fresh tracker (exactly what the daemon
+/// does after a crash-restart) and print the charged totals.
+fn fairshare_fingerprint(s: &PbsServer) -> String {
+    let mut fs = FairshareTracker::new(Default::default(), SimTime::ZERO);
+    for (user, ms) in s.usage() {
+        fs.charge(user, ms as f64 / 1000.0);
+    }
+    s.usage()
+        .map(|(user, _)| format!("{}:{:.6};", user.0, fs.charged(user)))
+        .collect()
+}
+
 /// Reference run: journal on, after every op capture the journal clone
 /// and the accounting text observed so far.
 struct Reference {
     journals: Vec<Journal>,
     accounting_at: Vec<String>,
+    usage_at: Vec<Vec<(UserId, u64)>>,
+    fairshare_at: Vec<String>,
     final_digest: String,
     final_accounting: String,
 }
@@ -214,6 +230,8 @@ fn run_reference(snapshot_every: usize) -> Reference {
     let mut m = hp_maui();
     let mut journals = Vec::new();
     let mut accounting_at = Vec::new();
+    let mut usage_at = Vec::new();
+    let mut fairshare_at = Vec::new();
     let mut last_total = s.journal().unwrap().total_appended();
     for (secs, op) in &script() {
         apply_op(&mut s, &mut m, op, t(*secs));
@@ -229,10 +247,14 @@ fn run_reference(snapshot_every: usize) -> Reference {
         last_total = j.total_appended();
         journals.push(j.clone());
         accounting_at.push(accounting_text(&s));
+        usage_at.push(s.usage().collect());
+        fairshare_at.push(fairshare_fingerprint(&s));
     }
     Reference {
         journals,
         accounting_at,
+        usage_at,
+        fairshare_at,
         final_digest: s.state_digest(),
         final_accounting: accounting_text(&s),
     }
@@ -249,6 +271,20 @@ fn resume_from(reference: &Reference, i: usize) -> (String, String) {
         accounting_text(&s),
         reference.accounting_at[i],
         "accounting after recovery at boundary {i} must match the live log"
+    );
+    // The fairshare bugfix's gate: the per-user usage ledger — and the
+    // priorities a fresh scheduler derives from it — must survive the
+    // crash byte-identically at every crash point (pre-fix the charges
+    // lived only in daemon memory and recovered as zero).
+    assert_eq!(
+        s.usage().collect::<Vec<_>>(),
+        reference.usage_at[i],
+        "per-user usage diverged after recovery at boundary {i}"
+    );
+    assert_eq!(
+        fairshare_fingerprint(&s),
+        reference.fairshare_at[i],
+        "fairshare priorities diverged after recovery at boundary {i}"
     );
     s.cluster().check_invariants().unwrap();
     let mut m = hp_maui();

@@ -1,0 +1,230 @@
+//! Reactor chaos: client connect/disconnect churn over a live daemon
+//! ensemble under seeded fault injection, including mid-burst server
+//! crashes (journal-positioned, recovery = snapshot-load + replay).
+//!
+//! Each seed derives — entirely from the seed, on the test thread, so no
+//! timing race can change the schedule — a wave pattern of short-lived
+//! reactor clients: every wave connects a few clients, each submits a
+//! handful of jobs through the text protocol, and then either reads its
+//! acks or vanishes without reading a single reply (the churn half).
+//! Meanwhile the ensemble's `FaultPlan` drops/delays/duplicates mom
+//! traffic, kills moms, and crashes the server once its journal passes a
+//! seeded record count (every plan here is forced to carry at least one
+//! server crash, so the burst always spans a recovery).
+//!
+//! Invariants per seed:
+//!
+//! 1. the ensemble **drains** — churned clients' unread acks included,
+//!    every submitted job runs to completion;
+//! 2. **no acked command is lost** — every `Submitted(id)` a client
+//!    actually received still names a (completed) job after the crashes,
+//!    the ack-on-append contract end to end;
+//! 3. `shutdown()` leaves **zero live daemon threads** (the
+//!    `/proc/self/task` scan from the chaos suite).
+//!
+//! A separate test pins the backpressure policy at ensemble level: a
+//! stalled reader that never drains its replies must not block the
+//! scheduler cycle or any other client's acks.
+
+use dynbatch::core::{DfsConfig, JobId, JobState, SchedulerConfig};
+use dynbatch::daemon::{DaemonConfig, DaemonHandle, FaultPlan, ServerCrash};
+use dynbatch::server::Reply;
+use dynbatch::simtime::SplitMix64;
+use std::time::Duration;
+
+/// Daemon threads still alive that carry `tag` (ensemble thread prefix).
+fn tagged_threads(tag: &str) -> Vec<String> {
+    let mut live = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc/self/task") else {
+        return live; // not Linux: skip the leak check
+    };
+    for e in entries.flatten() {
+        if let Ok(name) = std::fs::read_to_string(e.path().join("comm")) {
+            let name = name.trim_end().to_string();
+            if name.starts_with(tag) {
+                live.push(name);
+            }
+        }
+    }
+    live
+}
+
+fn assert_no_tagged_threads(tag: &str) {
+    for _ in 0..250 {
+        if tagged_threads(tag).is_empty() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!(
+        "daemon threads leaked past shutdown: {:?}",
+        tagged_threads(tag)
+    );
+}
+
+fn sched() -> SchedulerConfig {
+    let mut s = SchedulerConfig::paper_eval();
+    s.dfs = DfsConfig::highest_priority();
+    s
+}
+
+/// The seeded fault plan, forced to include at least one mid-burst server
+/// crash so every seed exercises recovery under open connections.
+fn plan_with_crash(seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::from_seed(seed, 2, Duration::from_millis(300));
+    if plan.server_crashes.is_empty() {
+        plan.server_crashes.push(ServerCrash {
+            after_record: 3 + seed % 10,
+        });
+    }
+    plan
+}
+
+/// One chaos run: seed-derived waves of connect / submit / (read | churn)
+/// against a faulted 2-node ensemble. Returns nothing — the invariants
+/// are asserted inside.
+fn churn_run(seed: u64) {
+    let d = DaemonHandle::start(DaemonConfig {
+        nodes: 2,
+        cores_per_node: 8,
+        sched: sched(),
+        faults: Some(plan_with_crash(seed)),
+    });
+    let tag = d.thread_tag().to_string();
+
+    let mut rng = SplitMix64::new(seed).derive(0xC4A0);
+    let mut acked: Vec<JobId> = Vec::new();
+    let waves = 2 + rng.next_below(3);
+    for w in 0..waves {
+        let n_clients = 1 + rng.next_below(3) as usize;
+        let mut clients = Vec::with_capacity(n_clients);
+        // All clients of a wave submit before any reads replies — their
+        // commands genuinely interleave at the reactor.
+        for c in 0..n_clients {
+            let client = d.connect();
+            let n_jobs = 1 + rng.next_below(3);
+            for j in 0..n_jobs {
+                let line = format!(
+                    "qsub name=w{w}c{c}j{j} user={} group=0 cores={} wall_ms={}",
+                    rng.next_below(5),
+                    1 + rng.next_below(4),
+                    40 + rng.next_below(160)
+                );
+                client.send(&line);
+            }
+            clients.push((client, n_jobs));
+        }
+        for (c, (client, n_jobs)) in clients.into_iter().enumerate() {
+            // The first client of every wave always reads, so each seed
+            // has acked commands to hold the crash accountable for.
+            if c > 0 && rng.chance_permille(350) {
+                // Churn: the client vanishes without reading one reply.
+                // Its commands are already in flight and must still apply
+                // (the drain assertion covers them); the unread acks are
+                // discarded, never leaked, never blocking.
+                client.disconnect();
+                continue;
+            }
+            for _ in 0..n_jobs {
+                let reply = client
+                    .recv_timeout(Duration::from_secs(10))
+                    .unwrap_or_else(|| panic!("seed {seed}: ack lost in wave {w}"));
+                match reply {
+                    Reply::Submitted(id) => acked.push(id),
+                    other => panic!("seed {seed}: qsub answered {other:?}"),
+                }
+            }
+            client.disconnect();
+        }
+    }
+
+    assert!(
+        d.await_drained(Duration::from_secs(15)),
+        "seed {seed}: ensemble must drain through churn + server crash"
+    );
+    // Ack-on-append, end to end: every submission a client saw acked
+    // survived the seeded server crash(es) and ran to completion.
+    for id in &acked {
+        assert_eq!(
+            d.qstat(*id),
+            Some(JobState::Completed),
+            "seed {seed}: acked job {id:?} lost or wedged after recovery"
+        );
+    }
+    assert!(!acked.is_empty(), "seed {seed}: no client ever read an ack");
+    d.shutdown();
+    assert_no_tagged_threads(&tag);
+}
+
+fn sweep(seeds: std::ops::Range<u64>) {
+    let seeds: Vec<u64> = seeds.collect();
+    let workers = dynbatch::sim::sweep::worker_count(0).div_ceil(4).min(4);
+    dynbatch::sim::sweep::parallel_tasks(seeds.len(), workers, |i| churn_run(seeds[i]));
+}
+
+#[test]
+fn reactor_churn_seeds_00_09() {
+    sweep(0..10);
+}
+
+#[test]
+fn reactor_churn_seeds_10_19() {
+    sweep(10..20);
+}
+
+#[test]
+fn reactor_churn_seeds_20_29() {
+    sweep(20..30);
+}
+
+#[test]
+fn reactor_churn_seeds_30_39() {
+    sweep(30..40);
+}
+
+#[test]
+fn reactor_churn_seeds_40_49() {
+    sweep(40..50);
+}
+
+/// Backpressure at ensemble level: a client that floods commands and
+/// never reads a reply must not block the scheduler cycle or another
+/// client's acks. Its replies fill the bounded channel, spill to the
+/// overflow queue, and are discarded on disconnect — the reactor never
+/// performs a blocking send.
+#[test]
+fn stalled_reader_blocks_nothing() {
+    let d = DaemonHandle::start(DaemonConfig {
+        nodes: 2,
+        cores_per_node: 8,
+        sched: sched(),
+        faults: None,
+    });
+    let tag = d.thread_tag().to_string();
+
+    let stalled = d.connect();
+    // Well past the reply-channel capacity: the surplus lands in the
+    // reactor's overflow queue while the stalled socket stays full.
+    for i in 0..200u64 {
+        stalled.send(&format!("qstat {}", i + 1));
+    }
+
+    let live = d.connect();
+    live.send("qsub name=live user=1 group=0 cores=4 wall_ms=80");
+    let reply = live
+        .recv_timeout(Duration::from_secs(5))
+        .expect("live client must be acked despite the stalled peer");
+    let Reply::Submitted(id) = reply else {
+        panic!("expected submission ack, got {reply:?}");
+    };
+
+    assert!(
+        d.await_drained(Duration::from_secs(10)),
+        "scheduler must keep cycling with a stalled reader attached"
+    );
+    assert_eq!(d.qstat(id), Some(JobState::Completed));
+    drop(stalled); // unread replies die with the connection
+    live.disconnect();
+    d.shutdown();
+    assert_no_tagged_threads(&tag);
+}
