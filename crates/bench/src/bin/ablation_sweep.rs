@@ -28,10 +28,14 @@
 //!     [-- --seeds N] [--workers W] [--shards S]
 //! ```
 
+use dynbatch_bench::alloc_meter;
 use dynbatch_core::json::Json;
 use dynbatch_core::{CredRegistry, DfsConfig, JobClass, JobSpec, SchedulerConfig, SimDuration};
 use dynbatch_sim::{run_sweep, ExperimentConfig, ExperimentResult};
 use dynbatch_workload::{generate_esp, EspConfig};
+
+#[global_allocator]
+static ALLOC: alloc_meter::CountingAlloc = alloc_meter::CountingAlloc;
 
 fn seeds_from_args() -> Vec<u64> {
     let args: Vec<String> = std::env::args().collect();
@@ -168,7 +172,7 @@ fn run_many(
             wl_mut(&mut wl_cfg);
             let mut wl = generate_esp(&wl_cfg, &mut reg);
             post(&mut wl, &mut reg);
-            wl
+            wl.into_iter()
         })
         .into_iter()
         .map(|cell| cell.result)
@@ -190,7 +194,7 @@ fn determinism_pin(seeds: &[u64]) {
             let mut reg = CredRegistry::new();
             let mut wl_cfg = EspConfig::paper_dynamic();
             wl_cfg.seed = seed;
-            generate_esp(&wl_cfg, &mut reg)
+            generate_esp(&wl_cfg, &mut reg).into_iter()
         })
         .into_iter()
         .map(|cell| cell.result.summary)
@@ -206,6 +210,14 @@ fn determinism_pin(seeds: &[u64]) {
 
 fn main() {
     let seeds = seeds_from_args();
+    // The pin runs first so the header can also echo memory: its second
+    // leg replays the baseline row at the host's effective settings, so
+    // the allocator high-water mark over it is the real working set of a
+    // full sweep round, and peak/workers approximates the per-worker
+    // (simulator + in-flight streamed workload) footprint.
+    let alloc_base = alloc_meter::reset_peak();
+    determinism_pin(&seeds);
+    let pin_peak = alloc_meter::peak_bytes().saturating_sub(alloc_base);
     // Echo the parallelism settings as JSON so a campaign log records
     // what was asked for (null = defaulted) and what actually ran; only
     // this line may vary across hosts.
@@ -222,9 +234,13 @@ fn main() {
                 "available_parallelism",
                 Json::UInt(available_cores() as u64)
             ),
+            ("pin_peak_alloc_bytes", Json::UInt(pin_peak as u64)),
+            (
+                "peak_alloc_per_worker_bytes",
+                Json::UInt((pin_peak / workers_effective().max(1)) as u64)
+            ),
         ]))
     );
-    determinism_pin(&seeds);
     println!("(parallelism pin: baseline row identical at workers=1/shards=1 and host settings)");
     println!(
         "Ablations on the dynamic ESP workload (DFS target 200 s/h unless varied; {} seeds)",

@@ -18,7 +18,7 @@ use dynbatch_metrics::{
     ascii_plot, per_user_excess, render_csv, user_wait_fairness, waits_by_submission, waits_of_type,
 };
 use dynbatch_sim::{run_sweep, ExperimentConfig};
-use dynbatch_workload::{generate_esp, EspConfig};
+use dynbatch_workload::{stream_esp, EspConfig};
 
 fn config(label: &str, cap: Option<u64>) -> ExperimentConfig {
     let mut s = SchedulerConfig::paper_eval();
@@ -50,7 +50,7 @@ fn main() {
             EspConfig::paper_dynamic()
         };
         wl_cfg.seed = seed;
-        generate_esp(&wl_cfg, &mut reg)
+        stream_esp(&wl_cfg, &mut reg)
     })
     .into_iter();
     let mut next = || -> Vec<JobOutcome> {

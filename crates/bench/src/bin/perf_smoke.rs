@@ -48,10 +48,20 @@
 //!    (null when auto-derived) and effective worker counts recorded
 //!    separately so emitted content stays comparable across hosts.
 //!
+//! 9. **Streaming ingestion** — a month-scale synthetic SWF trace is
+//!    written to disk once, then replayed twice under a counting global
+//!    allocator: streamed (`SwfSource` over a `BufRead`, lazy admission
+//!    through a bounded lookahead window, O(trace) side buffers off) and
+//!    materialized (slurp + `parse_swf` + eager `load`, same retention
+//!    mode). End-state fingerprints, summaries and counters are asserted
+//!    identical before the peak-allocation ratio is trusted; the full run
+//!    gates the ratio at ≥10×.
+//!
 //! `--quick` (or `DYNBATCH_QUICK=1`) shrinks the workload, repetition
 //! counts and sweep matrix in **every** section for CI; the full run is
 //! the one whose numbers are recorded in the committed JSON files.
 
+use dynbatch_bench::alloc_meter;
 use dynbatch_cluster::Cluster;
 use dynbatch_core::json::Json;
 use dynbatch_core::{
@@ -68,11 +78,16 @@ use dynbatch_server::reactor::apply_to_server;
 use dynbatch_server::{PbsServer, Reactor};
 use dynbatch_sim::{run_experiment, run_sweep, sweep::worker_count, BatchSim, ExperimentConfig};
 use dynbatch_simtime::SplitMix64;
-use dynbatch_workload::{generate_esp, EspConfig, WorkloadItem};
+use dynbatch_workload::{generate_esp, stream_esp, EspConfig, WorkloadItem};
 use std::collections::HashMap;
 use std::hint::black_box;
 use std::thread;
 use std::time::Instant;
+
+/// Every byte the harness allocates flows through the counter so the
+/// ingest section can assert a peak-memory *ratio* deterministically.
+#[global_allocator]
+static ALLOC: alloc_meter::CountingAlloc = alloc_meter::CountingAlloc;
 
 /// A planned (job, start) pair — the comparable output of both kernels.
 type Plan = Vec<(JobId, SimTime)>;
@@ -575,7 +590,7 @@ fn table2_sched(cap: Option<u64>) -> SchedulerConfig {
 
 /// The per-cell workload of the sweep campaign: a pure function of the
 /// cell's configuration and seed (the engine's determinism contract).
-fn sweep_workload(cfg: &ExperimentConfig, seed: u64) -> Vec<WorkloadItem> {
+fn sweep_workload(cfg: &ExperimentConfig, seed: u64) -> dynbatch_workload::EspStream {
     let mut reg = CredRegistry::new();
     let mut wl_cfg = if cfg.label == "Static" {
         EspConfig::paper_static()
@@ -583,7 +598,7 @@ fn sweep_workload(cfg: &ExperimentConfig, seed: u64) -> Vec<WorkloadItem> {
         EspConfig::paper_dynamic()
     };
     wl_cfg.seed = seed;
-    generate_esp(&wl_cfg, &mut reg)
+    stream_esp(&wl_cfg, &mut reg)
 }
 
 fn aggregate_json(a: &Aggregate) -> Json {
@@ -930,6 +945,102 @@ fn main() {
          ack-each {ae_rate:>9.0} subs/s ({ae_batches} batches)"
     );
 
+    // 9. Streaming ingestion: a month-scale synthetic SWF trace replayed
+    // streamed vs materialized under the counting allocator. The trace is
+    // written to disk streaming too — it never exists in memory here.
+    let ingest_days: usize = if quick { 2 } else { 30 };
+    let ingest_jobs = ingest_days * 86_400 / 25; // 25 s mean interarrival
+    eprintln!("perf_smoke: streaming ingestion ({ingest_days}-day trace, {ingest_jobs} jobs)");
+    let swf_path = std::env::temp_dir().join(format!("dynbatch-ingest-{}.swf", std::process::id()));
+    {
+        let mut reg = CredRegistry::new();
+        let src = dynbatch_workload::stream_synthetic(
+            &dynbatch_workload::SyntheticConfig {
+                seed: 20_140_808,
+                jobs: ingest_jobs,
+                users: 32,
+                total_cores: 120,
+                mean_interarrival: SimDuration::from_secs(25),
+                runtime_secs: (60, 1800),
+                cores: (1, 8),
+                evolving_fraction: 0.0, // the evolving conversion happens at parse time
+                extra_cores: 4,
+                det_factor: 0.7,
+            },
+            &mut reg,
+        );
+        let file = std::fs::File::create(&swf_path).expect("create trace file");
+        let mut out = std::io::BufWriter::new(file);
+        let written = dynbatch_workload::write_swf_to(&mut out, src, 8).expect("write trace");
+        std::io::Write::flush(&mut out).expect("flush trace");
+        assert_eq!(written, ingest_jobs);
+    }
+    let swf_cfg = dynbatch_workload::SwfConfig {
+        evolving_fraction: 0.1,
+        seed: 77,
+        ..Default::default()
+    };
+    let ingest_cfg = ExperimentConfig::paper_cluster("ingest", table2_sched(None));
+    let ingest_window_hours = 6u64;
+    let ingest_opts = dynbatch_sim::IngestOptions {
+        window: SimDuration::from_hours(ingest_window_hours),
+        low_memory: true,
+        fingerprint: true,
+    };
+
+    // Streamed replay: file → BufRead → lazy admission. Peak allocation
+    // above the entry level is the number under test.
+    let t0 = Instant::now();
+    let stream_base = alloc_meter::reset_peak();
+    let (stream_result, stream_peak) = {
+        let file = std::fs::File::open(&swf_path).expect("open trace");
+        let reader = std::io::BufReader::new(file);
+        let mut src = dynbatch_workload::SwfSource::with_own_registry(reader, swf_cfg.clone());
+        let result = dynbatch_sim::run_experiment_streamed(&ingest_cfg, &mut src, &ingest_opts);
+        assert!(src.error().is_none(), "generated trace parses cleanly");
+        assert_eq!(src.emitted(), ingest_jobs);
+        let peak = alloc_meter::peak_bytes().saturating_sub(stream_base);
+        (result, peak)
+    };
+    let stream_secs = t0.elapsed().as_secs_f64();
+
+    // Materialized replay: slurp + parse + eager load, identical
+    // retention mode so the comparison isolates the ingestion pipeline.
+    let t0 = Instant::now();
+    let mat_base = alloc_meter::reset_peak();
+    let (mat_result, mat_peak) = {
+        let text = std::fs::read_to_string(&swf_path).expect("read trace");
+        let mut reg = CredRegistry::new();
+        let items = dynbatch_workload::parse_swf(&text, &swf_cfg, &mut reg).expect("trace parses");
+        assert_eq!(items.len(), ingest_jobs);
+        let result = dynbatch_sim::run_experiment_materialized(&ingest_cfg, &items, &ingest_opts);
+        let peak = alloc_meter::peak_bytes().saturating_sub(mat_base);
+        (result, peak)
+    };
+    let mat_secs = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&swf_path);
+
+    assert_eq!(
+        stream_result.fingerprint, mat_result.fingerprint,
+        "streamed vs materialized ingestion diverged in end state"
+    );
+    assert_eq!(stream_result.summary, mat_result.summary);
+    assert_eq!(stream_result.stats, mat_result.stats);
+    let ingest_ratio = mat_peak as f64 / stream_peak.max(1) as f64;
+    eprintln!(
+        "  streamed {:>7.1} MiB peak  materialized {:>7.1} MiB peak  ({ingest_ratio:.1}x less, \
+         {} jobs completed)",
+        stream_peak as f64 / (1u64 << 20) as f64,
+        mat_peak as f64 / (1u64 << 20) as f64,
+        stream_result.summary.jobs_completed
+    );
+    if !quick {
+        assert!(
+            ingest_ratio >= 10.0,
+            "streaming ingestion peak-memory advantage regressed below 10x: {ingest_ratio:.2}x"
+        );
+    }
+
     let report = Json::obj(vec![
         ("version", Json::UInt(1)),
         ("quick", Json::Bool(quick)),
@@ -1018,6 +1129,32 @@ fn main() {
                 ("append_us_per_job", Json::Float(append_us_per_job)),
             ]),
         ),
+        (
+            "ingest",
+            Json::obj(vec![
+                ("trace_days", Json::UInt(ingest_days as u64)),
+                ("trace_jobs", Json::UInt(ingest_jobs as u64)),
+                ("lookahead_hours", Json::UInt(ingest_window_hours)),
+                (
+                    "streamed",
+                    Json::obj(vec![
+                        ("peak_alloc_bytes", Json::UInt(stream_peak as u64)),
+                        ("wall_secs", Json::Float(stream_secs)),
+                    ]),
+                ),
+                (
+                    "materialized",
+                    Json::obj(vec![
+                        ("peak_alloc_bytes", Json::UInt(mat_peak as u64)),
+                        ("wall_secs", Json::Float(mat_secs)),
+                    ]),
+                ),
+                ("peak_reduction", Json::Float(ingest_ratio)),
+                // Set only after the fingerprint/summary/stats asserts
+                // above — false is unrepresentable in an emitted report.
+                ("identical_results", Json::Bool(true)),
+            ]),
+        ),
     ]);
     std::fs::write(&out_path, report.to_string_pretty()).expect("write report");
     eprintln!("perf_smoke: wrote {out_path}");
@@ -1048,7 +1185,7 @@ fn main() {
     let mut serial: Vec<RunSummary> = Vec::with_capacity(total_runs);
     for cfg in &sweep_cfgs {
         for &seed in &seeds {
-            let wl = sweep_workload(cfg, seed);
+            let wl: Vec<WorkloadItem> = sweep_workload(cfg, seed).collect();
             serial.push(run_experiment(cfg, &wl).summary);
         }
     }

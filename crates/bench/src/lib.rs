@@ -1,2 +1,4 @@
 //! # dynbatch-bench
 //! Benchmark harness; see `src/bin` and `benches`.
+
+pub mod alloc_meter;

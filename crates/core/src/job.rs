@@ -409,6 +409,40 @@ impl JobOutcome {
     }
 }
 
+/// Incrementally-maintained aggregate over a sequence of [`JobOutcome`]s.
+///
+/// Carries exactly the integer sums a [`JobOutcome`]-derived run summary
+/// needs, so accounting can serve summaries in O(1) memory without
+/// retaining the per-job outcome log (streaming / low-memory replays).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTotals {
+    /// Completed jobs folded in.
+    pub jobs: u64,
+    /// Sum of queue waits, in milliseconds.
+    pub sum_wait_ms: u64,
+    /// Sum of turnaround times, in milliseconds.
+    pub sum_turnaround_ms: u64,
+    /// Jobs with at least one dynamic grant.
+    pub satisfied_dyn: u64,
+    /// Jobs started by backfill.
+    pub backfilled: u64,
+}
+
+impl OutcomeTotals {
+    /// Folds one completed job into the totals.
+    pub fn add(&mut self, o: &JobOutcome) {
+        self.jobs += 1;
+        self.sum_wait_ms += o.wait().as_millis();
+        self.sum_turnaround_ms += o.turnaround().as_millis();
+        if o.dyn_satisfied() {
+            self.satisfied_dyn += 1;
+        }
+        if o.backfilled {
+            self.backfilled += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

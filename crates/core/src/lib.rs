@@ -44,5 +44,5 @@ pub use config::{
 pub use error::{Error, Result};
 pub use exec::{ExecutionModel, Phase, PhasedModel, SpeedupModel};
 pub use ids::{CredRegistry, GroupId, JobId, NodeId, UserId};
-pub use job::{Job, JobClass, JobOutcome, JobSpec, JobState, MalleableRange};
+pub use job::{Job, JobClass, JobOutcome, JobSpec, JobState, MalleableRange, OutcomeTotals};
 pub use time::{SimDuration, SimTime};

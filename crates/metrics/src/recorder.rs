@@ -17,6 +17,9 @@ pub struct UtilizationRecorder {
     core_millis: u128,
     /// (time, busy) samples at every change, for time-series plots.
     samples: Vec<(SimTime, u32)>,
+    /// When false, the time series is not retained (low-memory streamed
+    /// replays); the core-millis integral is exact either way.
+    samples_enabled: bool,
 }
 
 impl UtilizationRecorder {
@@ -29,11 +32,13 @@ impl UtilizationRecorder {
             busy_now: 0,
             core_millis: 0,
             samples: vec![(start, 0)],
+            samples_enabled: true,
         }
     }
 
     /// Rewinds to a just-constructed recorder for `capacity` cores at
     /// `start`, retaining the sample buffer's storage (run recycling).
+    /// Sample retention is re-enabled: it is a per-run choice.
     pub fn reset(&mut self, capacity: u32, start: SimTime) {
         self.capacity = capacity;
         self.start = start;
@@ -42,6 +47,18 @@ impl UtilizationRecorder {
         self.core_millis = 0;
         self.samples.clear();
         self.samples.push((start, 0));
+        self.samples_enabled = true;
+    }
+
+    /// Enables or disables time-series sample retention. With samples off
+    /// the recorder runs in O(1) memory; `core_seconds`/`utilization`
+    /// stay exact (they read the integral, not the series). Disabling
+    /// drops any samples already buffered.
+    pub fn set_samples_enabled(&mut self, enabled: bool) {
+        self.samples_enabled = enabled;
+        if !enabled {
+            self.samples.clear();
+        }
     }
 
     /// Reports that the busy-core count is `busy` as of `now`.
@@ -57,7 +74,9 @@ impl UtilizationRecorder {
         self.last_change = now;
         if busy != self.busy_now {
             self.busy_now = busy;
-            self.samples.push((now, busy));
+            if self.samples_enabled {
+                self.samples.push((now, busy));
+            }
         }
     }
 

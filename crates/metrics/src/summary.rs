@@ -1,6 +1,6 @@
 //! Run summaries — the paper's Table II row.
 
-use dynbatch_core::{JobOutcome, SimDuration, SimTime};
+use dynbatch_core::{JobOutcome, OutcomeTotals, SimDuration, SimTime};
 
 use crate::recorder::throughput_jobs_per_min;
 
@@ -38,28 +38,37 @@ impl RunSummary {
         last_completion: SimTime,
         utilization: f64,
     ) -> Self {
+        let mut totals = OutcomeTotals::default();
+        for o in outcomes {
+            totals.add(o);
+        }
+        Self::from_totals(label, &totals, first_submit, last_completion, utilization)
+    }
+
+    /// Builds a summary from incrementally-maintained [`OutcomeTotals`] —
+    /// the O(1)-memory path for streamed replays that never retain the
+    /// per-job outcome log. Integer math is identical to
+    /// [`RunSummary::from_outcomes`], so both paths yield byte-equal
+    /// summaries for the same run.
+    pub fn from_totals(
+        label: impl Into<String>,
+        totals: &OutcomeTotals,
+        first_submit: SimTime,
+        last_completion: SimTime,
+        utilization: f64,
+    ) -> Self {
         let makespan = last_completion.duration_since(first_submit);
-        let n = outcomes.len().max(1) as u64;
-        let mean_wait = SimDuration::from_millis(
-            outcomes.iter().map(|o| o.wait().as_millis()).sum::<u64>() / n,
-        );
-        let mean_turnaround = SimDuration::from_millis(
-            outcomes
-                .iter()
-                .map(|o| o.turnaround().as_millis())
-                .sum::<u64>()
-                / n,
-        );
+        let n = totals.jobs.max(1);
         RunSummary {
             label: label.into(),
             makespan,
-            jobs_completed: outcomes.len(),
-            satisfied_dyn_jobs: outcomes.iter().filter(|o| o.dyn_satisfied()).count(),
+            jobs_completed: totals.jobs as usize,
+            satisfied_dyn_jobs: totals.satisfied_dyn as usize,
             utilization,
-            throughput_jobs_per_min: throughput_jobs_per_min(outcomes.len(), makespan),
-            mean_wait,
-            mean_turnaround,
-            backfilled_jobs: outcomes.iter().filter(|o| o.backfilled).count(),
+            throughput_jobs_per_min: throughput_jobs_per_min(totals.jobs as usize, makespan),
+            mean_wait: SimDuration::from_millis(totals.sum_wait_ms / n),
+            mean_turnaround: SimDuration::from_millis(totals.sum_turnaround_ms / n),
+            backfilled_jobs: totals.backfilled as usize,
         }
     }
 

@@ -126,6 +126,12 @@ pub struct PbsServer {
     /// charge time (segments close *before* any width mutation), so only
     /// the start instant needs recording.
     usage_since: BTreeMap<JobId, SimTime>,
+    /// Keep terminal (completed/cancelled) jobs in the job table for
+    /// inspection (`true`, the default) or drop them as they terminate
+    /// (`false` — bounded-memory replay of month-scale traces; their
+    /// outcomes live on in the accounting ledger's totals and digest,
+    /// and the usage ledger is charged before the drop).
+    retain_terminal_jobs: bool,
 }
 
 impl PbsServer {
@@ -145,6 +151,7 @@ impl PbsServer {
             journal: None,
             usage: BTreeMap::new(),
             usage_since: BTreeMap::new(),
+            retain_terminal_jobs: true,
         }
     }
 
@@ -167,6 +174,7 @@ impl PbsServer {
         self.journal = None;
         self.usage.clear();
         self.usage_since.clear();
+        self.retain_terminal_jobs = true;
     }
 
     /// Enables the *guaranteeing* site policy (paper §II-B): evolving jobs
@@ -299,6 +307,7 @@ impl PbsServer {
             journal: None,
             usage: img.usage.iter().copied().collect(),
             usage_since: img.usage_since.iter().copied().collect(),
+            retain_terminal_jobs: true,
         })
     }
 
@@ -401,6 +410,29 @@ impl PbsServer {
     /// The accounting log of completed jobs.
     pub fn accounting(&self) -> &AccountingLog {
         &self.accounting
+    }
+
+    /// Enables or disables per-job outcome retention in the accounting
+    /// log (see [`AccountingLog::set_retain`]). `reset` restores the
+    /// default (retained) — low-memory is a per-run choice. Note that
+    /// [`PbsServer::image`] embeds the retained outcome log, so snapshots
+    /// and state digests taken with retention off only cover live state
+    /// plus the O(1) accounting derivatives.
+    pub fn set_accounting_retention(&mut self, retain: bool) {
+        self.accounting.set_retain(retain);
+    }
+
+    /// Whether terminal jobs stay in the job table (default: yes). With
+    /// retention off, a job is dropped the moment it completes or is
+    /// cancelled — after its outcome is recorded and its usage segment
+    /// charged — so the table holds only live jobs and month-scale
+    /// replays run in bounded memory. Turning retention off also sweeps
+    /// jobs that are already terminal. Restored by [`PbsServer::reset`].
+    pub fn set_job_retention(&mut self, retain: bool) {
+        self.retain_terminal_jobs = retain;
+        if !retain {
+            self.jobs.retain(|_, j| !j.state.is_terminal());
+        }
     }
 
     /// Per-user historical usage in core-milliseconds (closed segments
@@ -516,6 +548,9 @@ impl PbsServer {
         }
         if self.journal.is_some() {
             self.log(Record::Qdel { job: id, now });
+        }
+        if !self.retain_terminal_jobs {
+            self.jobs.remove(&id);
         }
         Ok(())
     }
@@ -649,6 +684,9 @@ impl PbsServer {
         self.accounting.record(outcome.clone());
         if self.journal.is_some() {
             self.log(Record::Finish { job: id, now });
+        }
+        if !self.retain_terminal_jobs {
+            self.jobs.remove(&id);
         }
         Ok(outcome)
     }

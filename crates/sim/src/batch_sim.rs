@@ -22,7 +22,13 @@ use dynbatch_sched::Maui;
 use dynbatch_server::{Applied, PbsServer};
 use dynbatch_simtime::{EventQueue, ScheduledEvent, Token};
 use dynbatch_workload::WorkloadItem;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+/// Default lookahead window for streamed ingestion: submissions are
+/// admitted into the event queue no further than this far beyond the
+/// earliest pending event. One hour comfortably covers scheduler
+/// reservation horizons while keeping resident admissions O(window).
+pub const DEFAULT_LOOKAHEAD: SimDuration = SimDuration::from_hours(1);
 
 /// Per-execution runtime bookkeeping for an active job.
 #[derive(Debug)]
@@ -79,6 +85,89 @@ pub struct SimStats {
     pub dyn_expired: u64,
     /// Malleable resizes applied (shrinks + grows).
     pub malleable_resizes: u64,
+    /// Workload-item deletions applied (`qdel` by submission index),
+    /// whether the item was running, queued, admitted-but-unsubmitted or
+    /// not yet streamed in.
+    pub qdels: u64,
+}
+
+/// Lifecycle of a `qdel` targeting a workload item by submission index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QdelPhase {
+    /// Deletion requested; the item has not been submitted yet.
+    Armed,
+    /// The item submitted as this job before the deletion fired.
+    Submitted(JobId),
+    /// The deletion fired before the item was submitted; if the item has
+    /// not even been admitted yet (streamed ingestion), admission must
+    /// drop it rather than resurrect it.
+    Cancelled,
+}
+
+/// Admission window over the workload: the specs of items whose Submit
+/// events are in flight, indexed by workload position. A ring buffer —
+/// `slots[i]` holds item `base + i`; consumed and cancelled slots at the
+/// front are compacted away, so residency tracks the lookahead window
+/// rather than the trace. The eager `load` path uses the same structure
+/// (every item resident at once, shrinking as the run consumes them).
+#[derive(Debug, Default)]
+struct ItemWindow {
+    base: u32,
+    slots: VecDeque<Option<(dynbatch_core::JobSpec, Token)>>,
+    resident: usize,
+    peak_resident: usize,
+}
+
+impl ItemWindow {
+    /// The workload index the next pushed item will get.
+    fn next_index(&self) -> u32 {
+        self.base + self.slots.len() as u32
+    }
+
+    fn push(&mut self, spec: dynbatch_core::JobSpec, token: Token) {
+        self.slots.push_back(Some((spec, token)));
+        self.resident += 1;
+        self.peak_resident = self.peak_resident.max(self.resident);
+    }
+
+    /// Records an item that was qdel'd before admission: it occupies its
+    /// index (keeping later indices stable) but holds nothing.
+    fn push_cancelled(&mut self) {
+        self.slots.push_back(None);
+        self.compact();
+    }
+
+    fn take(&mut self, idx: u32) -> Option<dynbatch_core::JobSpec> {
+        let off = idx.checked_sub(self.base)? as usize;
+        let slot = self.slots.get_mut(off)?.take()?;
+        self.resident -= 1;
+        self.compact();
+        Some(slot.0)
+    }
+
+    /// Empties the slot, returning the pending Submit's token so the
+    /// caller can cancel it.
+    fn cancel_slot(&mut self, idx: u32) -> Option<Token> {
+        let off = idx.checked_sub(self.base)? as usize;
+        let slot = self.slots.get_mut(off)?.take()?;
+        self.resident -= 1;
+        self.compact();
+        Some(slot.1)
+    }
+
+    fn compact(&mut self) {
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.base = 0;
+        self.slots.clear();
+        self.resident = 0;
+        self.peak_resident = 0;
+    }
 }
 
 /// The simulator.
@@ -87,13 +176,16 @@ pub struct BatchSim {
     server: PbsServer,
     maui: Maui,
     util: UtilizationRecorder,
-    items: Vec<WorkloadItem>,
+    window: ItemWindow,
+    qdel_targets: HashMap<u32, QdelPhase>,
+    stream_last_at: Option<SimTime>,
     runs: HashMap<JobId, RunState>,
     gens: HashMap<JobId, u64>,
     stats: SimStats,
     first_submit: Option<SimTime>,
     last_completion: SimTime,
     dyn_log: Vec<(SimTime, dynbatch_sched::DynDecision)>,
+    dyn_log_enabled: bool,
     /// Reusable buffer for [`EventQueue::pop_group_into`]: one timestamp
     /// group of simultaneous events per [`BatchSim::step`].
     batch: Vec<ScheduledEvent<Event>>,
@@ -112,13 +204,16 @@ impl BatchSim {
             server,
             maui: Maui::new(config),
             util: UtilizationRecorder::new(capacity, SimTime::ZERO),
-            items: Vec::new(),
+            window: ItemWindow::default(),
+            qdel_targets: HashMap::new(),
+            stream_last_at: None,
             runs: HashMap::new(),
             gens: HashMap::new(),
             stats: SimStats::default(),
             first_submit: None,
             last_completion: SimTime::ZERO,
             dyn_log: Vec::new(),
+            dyn_log_enabled: true,
             batch: Vec::new(),
         }
     }
@@ -140,25 +235,96 @@ impl BatchSim {
         self.server.set_guarantee_evolving(guarantee);
         self.maui = Maui::new(config);
         self.util.reset(capacity, SimTime::ZERO);
-        self.items.clear();
+        self.window.clear();
+        self.qdel_targets.clear();
+        self.stream_last_at = None;
         self.runs.clear();
         self.gens.clear();
         self.stats = SimStats::default();
         self.first_submit = None;
         self.last_completion = SimTime::ZERO;
         self.dyn_log.clear();
+        self.dyn_log_enabled = true;
     }
 
-    /// Loads a workload; submissions become events.
+    /// Loads a workload eagerly; every submission becomes an event at
+    /// once. Equivalent to streamed ingestion with an unbounded lookahead
+    /// window — [`BatchSim::run_streamed`] replays the same workload in
+    /// O(window) resident items instead.
     pub fn load(&mut self, items: &[WorkloadItem]) {
         for item in items {
-            let idx = self.items.len() as u32;
-            self.items.push(item.clone());
-            self.queue.schedule(item.at, Event::Submit(idx));
-            self.first_submit = Some(
-                self.first_submit
-                    .map_or(item.at, |f: SimTime| f.min(item.at)),
-            );
+            self.admit(item.clone());
+        }
+    }
+
+    /// Admits one workload item: its Submit event enters the queue and
+    /// its spec parks in the admission window until the event fires —
+    /// unless a qdel already cancelled this index, in which case the item
+    /// is dropped on the floor (and still occupies its index).
+    fn admit(&mut self, item: WorkloadItem) {
+        self.first_submit = Some(
+            self.first_submit
+                .map_or(item.at, |f: SimTime| f.min(item.at)),
+        );
+        let idx = self.window.next_index();
+        if self.qdel_targets.get(&idx) == Some(&QdelPhase::Cancelled) {
+            self.window.push_cancelled();
+            return;
+        }
+        let token = self.queue.schedule(item.at, Event::Submit(idx));
+        self.window.push(item.spec, token);
+    }
+
+    /// Runs a streamed workload to completion: items are admitted lazily,
+    /// no further than `window` beyond the earliest pending event, so
+    /// resident admissions stay O(window) regardless of trace length.
+    /// The stream must yield items in non-decreasing submit-time order
+    /// (every `stream_*` generator and `SwfSource` does); results are
+    /// identical to [`BatchSim::load`] + [`BatchSim::run`] on the
+    /// materialized stream, for any window — the equality is pinned by
+    /// the streaming-ingest test suite.
+    pub fn run_streamed<S>(&mut self, mut stream: S, window: SimDuration)
+    where
+        S: Iterator<Item = WorkloadItem>,
+    {
+        let mut pending: Option<WorkloadItem> = None;
+        loop {
+            self.feed(&mut stream, &mut pending, window);
+            if !self.step() {
+                break;
+            }
+        }
+    }
+
+    /// Admits items from `stream` while they fall within `window` of the
+    /// earliest pending event. With the queue empty the next item itself
+    /// sets the horizon, so progress is guaranteed. Causality: any item
+    /// left unadmitted lies strictly beyond every queued event, so the
+    /// simulation clock can never pass an unadmitted submission time.
+    fn feed<S>(&mut self, stream: &mut S, pending: &mut Option<WorkloadItem>, window: SimDuration)
+    where
+        S: Iterator<Item = WorkloadItem>,
+    {
+        loop {
+            if pending.is_none() {
+                *pending = stream.next();
+            }
+            let Some(item) = pending.as_ref() else {
+                return;
+            };
+            let horizon = self.queue.peek_time().unwrap_or(item.at);
+            if item.at > horizon.saturating_add(window) {
+                return;
+            }
+            let item = pending.take().expect("checked above");
+            if let Some(last) = self.stream_last_at {
+                assert!(
+                    item.at >= last,
+                    "workload stream must yield submissions in non-decreasing time order"
+                );
+            }
+            self.stream_last_at = Some(item.at);
+            self.admit(item);
         }
     }
 
@@ -187,6 +353,17 @@ impl BatchSim {
         self.queue.schedule(at, Event::ServerCrash);
     }
 
+    /// Schedules an operator `qdel` of workload item `item` (0-based
+    /// submission index) at `at`. Works in both ingestion modes: if the
+    /// item is running or queued it is killed like a walltime kill; if it
+    /// is admitted but not yet submitted its pending Submit is cancelled;
+    /// if it has not even been streamed in yet (lazy ingestion) the index
+    /// is marked so admission drops it instead of resurrecting it.
+    pub fn inject_qdel(&mut self, at: SimTime, item: u32) {
+        self.qdel_targets.entry(item).or_insert(QdelPhase::Armed);
+        self.queue.schedule(at, Event::QDelItem(item));
+    }
+
     /// Runs to completion (event queue drained).
     pub fn run(&mut self) {
         while self.step() {}
@@ -207,6 +384,14 @@ impl BatchSim {
             return false;
         };
         loop {
+            // Submissions first within a timestamp group. Eager loading
+            // hands Submits the lowest sequence numbers (everything else
+            // is scheduled later), so the queue already yields them
+            // first; lazy admission interleaves sequence numbers, so the
+            // order is restored here. The sort is stable: relative order
+            // among Submits and among non-Submits is untouched, making
+            // this a no-op for eager runs.
+            batch.sort_by_key(|ev| !matches!(ev.payload, Event::Submit(_)));
             for ev in batch.drain(..) {
                 self.apply_event(ev.payload, now);
             }
@@ -250,6 +435,37 @@ impl BatchSim {
         self.stats
     }
 
+    /// Whether dynamic decisions are appended to the decision log
+    /// (default: yes). Disabled by long replays that only need the
+    /// accounting digest; the counters in [`SimStats`] accumulate either
+    /// way. Restored by [`BatchSim::reset`].
+    pub fn set_dyn_log_enabled(&mut self, enabled: bool) {
+        self.dyn_log_enabled = enabled;
+        if !enabled {
+            self.dyn_log.clear();
+        }
+    }
+
+    /// Puts every O(trace)-growth side buffer into bounded-memory mode
+    /// (or back): per-job accounting outcomes, utilization samples and
+    /// the dynamic-decision log stop retaining history. All O(1)
+    /// derivatives — accounting totals and digest, utilization integral,
+    /// [`SimStats`] — keep accumulating identically. Restored to full
+    /// retention by [`BatchSim::reset`].
+    pub fn set_low_memory(&mut self, on: bool) {
+        self.server.set_accounting_retention(!on);
+        self.server.set_job_retention(!on);
+        self.util.set_samples_enabled(!on);
+        self.set_dyn_log_enabled(!on);
+    }
+
+    /// Peak number of simultaneously resident admitted-but-unsubmitted
+    /// items over the run so far: O(trace) under [`BatchSim::load`],
+    /// O(lookahead window) under [`BatchSim::run_streamed`].
+    pub fn admission_peak(&self) -> usize {
+        self.window.peak_resident
+    }
+
     /// The utilization recorder.
     pub fn utilization(&self) -> &UtilizationRecorder {
         &self.util
@@ -281,8 +497,50 @@ impl BatchSim {
     fn apply_event(&mut self, ev: Event, now: SimTime) {
         match ev {
             Event::Submit(idx) => {
-                let spec = self.items[idx as usize].spec.clone();
-                self.server.qsub(spec, now).expect("workload spec is valid");
+                let spec = self
+                    .window
+                    .take(idx)
+                    .expect("admitted item is submitted exactly once");
+                let job = self.server.qsub(spec, now).expect("workload spec is valid");
+                if let Some(phase) = self.qdel_targets.get_mut(&idx) {
+                    if *phase == QdelPhase::Armed {
+                        *phase = QdelPhase::Submitted(job);
+                    }
+                }
+            }
+            Event::QDelItem(idx) => {
+                match self.qdel_targets.get(&idx).copied() {
+                    Some(QdelPhase::Submitted(job)) => {
+                        // The item became a job before the deletion fired:
+                        // kill it like a walltime kill if still alive.
+                        if self
+                            .server
+                            .job(job)
+                            .map(|j| !j.state.is_terminal())
+                            .unwrap_or(false)
+                        {
+                            self.cancel_run_events(job);
+                            self.runs.remove(&job);
+                            // Charge before the qdel, as in the WallKill
+                            // arm: retention-off drops the record there.
+                            self.charge_fairshare(job, now);
+                            self.server.qdel(job, now).expect("live job deletable");
+                            self.stats.qdels += 1;
+                        }
+                    }
+                    Some(QdelPhase::Armed) | None => {
+                        // Not yet submitted. If admitted, cancel the
+                        // pending Submit; either way mark the index so a
+                        // later lazy admission drops the item instead of
+                        // resurrecting it.
+                        if let Some(token) = self.window.cancel_slot(idx) {
+                            self.queue.cancel(token);
+                        }
+                        self.qdel_targets.insert(idx, QdelPhase::Cancelled);
+                        self.stats.qdels += 1;
+                    }
+                    Some(QdelPhase::Cancelled) => {}
+                }
             }
             Event::Finish { job, gen } => {
                 if !self.is_current(job, gen) {
@@ -303,9 +561,13 @@ impl BatchSim {
                 {
                     self.cancel_run_events(job);
                     self.runs.remove(&job);
+                    // Fairshare is charged *before* the qdel: with job
+                    // retention off the record is dropped at the qdel,
+                    // and the charge reads nothing the qdel mutates, so
+                    // the order is behaviour-neutral under retention.
+                    self.charge_fairshare(job, now);
                     self.server.qdel(job, now).expect("active job killable");
                     self.stats.walltime_kills += 1;
-                    self.charge_fairshare(job, now);
                 }
             }
             Event::RequestPoint { job, gen, attempt } => {
@@ -395,7 +657,9 @@ impl BatchSim {
                 self.stats.delay_charged_ms +=
                     delays.iter().map(|c| c.delay.as_millis()).sum::<u64>();
             }
-            self.dyn_log.push((now, d.clone()));
+            if self.dyn_log_enabled {
+                self.dyn_log.push((now, d.clone()));
+            }
         }
         let applied = self.server.apply(&outcome, now);
         let mut wake = false;

@@ -12,6 +12,13 @@ use dynbatch_core::{JobId, NodeId};
 pub enum Event {
     /// Submit workload item `idx`.
     Submit(u32),
+    /// Operator `qdel` of workload item `idx` (by submission index).
+    /// Kills the job if it already submitted; cancels the pending
+    /// submission if the item is admitted but not yet submitted; and —
+    /// the streamed-ingestion case — marks a not-yet-admitted item so
+    /// lazy admission drops it instead of resurrecting it when the
+    /// lookahead window reaches it.
+    QDelItem(u32),
     /// The application of `job` exits.
     Finish {
         /// The job.

@@ -4,9 +4,9 @@
 //! a Table-II row ([`RunSummary`]), the per-job outcomes behind the
 //! waiting-time figures, and the simulator counters.
 
-use crate::batch_sim::{BatchSim, SimStats};
+use crate::batch_sim::{BatchSim, SimStats, DEFAULT_LOOKAHEAD};
 use dynbatch_cluster::Cluster;
-use dynbatch_core::{JobOutcome, SchedulerConfig};
+use dynbatch_core::{JobOutcome, SchedulerConfig, SimDuration};
 use dynbatch_metrics::RunSummary;
 use dynbatch_workload::WorkloadItem;
 
@@ -35,15 +35,57 @@ impl ExperimentConfig {
     }
 }
 
+/// How a run ingests its workload and what it retains.
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// Streamed ingestion's lookahead window: submissions enter the event
+    /// queue no further than this beyond the earliest pending event.
+    pub window: SimDuration,
+    /// Disable every O(trace) side buffer (per-job outcomes, utilization
+    /// samples, the dynamic-decision log); aggregates and digests still
+    /// accumulate. `ExperimentResult::outcomes` comes back empty.
+    pub low_memory: bool,
+    /// Capture a [`RunFingerprint`] of the end state, for byte-equality
+    /// comparisons between ingestion modes.
+    pub fingerprint: bool,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            window: DEFAULT_LOOKAHEAD,
+            low_memory: false,
+            fingerprint: false,
+        }
+    }
+}
+
+/// An end-of-run identity check: two runs over the same workload under
+/// the same configuration and retention mode must produce equal
+/// fingerprints, whatever their ingestion mode or lookahead window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunFingerprint {
+    /// The server's full-state digest (jobs, cluster, allocator, plus
+    /// retained outcomes when retention is on).
+    pub state_digest: String,
+    /// The accounting ledger's rolling FNV-1a digest over every recorded
+    /// outcome — retention-mode independent by construction.
+    pub accounting_digest: u64,
+}
+
 /// Everything a run produced.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// The Table-II row.
     pub summary: RunSummary,
-    /// Per-job outcomes (for the waiting-time figures).
+    /// Per-job outcomes (for the waiting-time figures). Empty when the
+    /// run used [`IngestOptions::low_memory`].
     pub outcomes: Vec<JobOutcome>,
     /// Simulator counters.
     pub stats: SimStats,
+    /// End-state fingerprint, when [`IngestOptions::fingerprint`] asked
+    /// for one.
+    pub fingerprint: Option<RunFingerprint>,
 }
 
 /// Runs `workload` to completion under `cfg` and aggregates the results.
@@ -74,6 +116,59 @@ pub fn run_experiment_on(
     run_loaded(sim, cfg, workload)
 }
 
+/// Like [`run_experiment`], but ingests the workload through a stream
+/// with a bounded lookahead window: per-run peak memory is O(window),
+/// independent of trace length. Results are identical to the eager path
+/// for any window (the streaming-ingest test suite pins it).
+pub fn run_experiment_streamed<S>(
+    cfg: &ExperimentConfig,
+    stream: S,
+    opts: &IngestOptions,
+) -> ExperimentResult
+where
+    S: Iterator<Item = WorkloadItem>,
+{
+    let cluster = Cluster::homogeneous(cfg.nodes, cfg.cores_per_node);
+    let mut sim = BatchSim::new(cluster, cfg.sched.clone());
+    run_experiment_streamed_on(&mut sim, cfg, stream, opts)
+}
+
+/// [`run_experiment_streamed`] over a recycled simulator — the sweep
+/// engine's per-worker fast path in streaming form.
+pub fn run_experiment_streamed_on<S>(
+    sim: &mut BatchSim,
+    cfg: &ExperimentConfig,
+    stream: S,
+    opts: &IngestOptions,
+) -> ExperimentResult
+where
+    S: Iterator<Item = WorkloadItem>,
+{
+    sim.reset(
+        Cluster::homogeneous(cfg.nodes, cfg.cores_per_node),
+        cfg.sched.clone(),
+    );
+    sim.set_low_memory(opts.low_memory);
+    sim.run_streamed(stream, opts.window);
+    finish(sim, cfg, opts)
+}
+
+/// The eager counterpart of [`run_experiment_streamed`]: materialized
+/// ingestion under the same [`IngestOptions`] (for apples-to-apples
+/// memory and fingerprint comparisons).
+pub fn run_experiment_materialized(
+    cfg: &ExperimentConfig,
+    workload: &[WorkloadItem],
+    opts: &IngestOptions,
+) -> ExperimentResult {
+    let cluster = Cluster::homogeneous(cfg.nodes, cfg.cores_per_node);
+    let mut sim = BatchSim::new(cluster, cfg.sched.clone());
+    sim.set_low_memory(opts.low_memory);
+    sim.load(workload);
+    sim.run();
+    finish(&mut sim, cfg, opts)
+}
+
 /// The shared tail of both entry points: `sim` must be in the fresh (or
 /// just-reset) state for `cfg`.
 fn run_loaded(
@@ -83,6 +178,14 @@ fn run_loaded(
 ) -> ExperimentResult {
     sim.load(workload);
     sim.run();
+    finish(sim, cfg, &IngestOptions::default())
+}
+
+/// Aggregates a completed run. The summary is computed from the
+/// accounting ledger's O(1) running totals — identical arithmetic to
+/// [`RunSummary::from_outcomes`], but independent of whether per-job
+/// outcomes were retained.
+fn finish(sim: &mut BatchSim, cfg: &ExperimentConfig, opts: &IngestOptions) -> ExperimentResult {
     assert!(
         sim.server().is_drained(),
         "{}: workload did not drain ({} jobs stuck)",
@@ -93,17 +196,22 @@ fn run_loaded(
     let outcomes: Vec<JobOutcome> = sim.server().accounting().outcomes().to_vec();
     let end = sim.last_completion();
     let utilization = sim.utilization().utilization(end);
-    let summary = RunSummary::from_outcomes(
+    let summary = RunSummary::from_totals(
         cfg.label.clone(),
-        &outcomes,
+        sim.server().accounting().totals(),
         sim.first_submit(),
         end,
         utilization,
     );
+    let fingerprint = opts.fingerprint.then(|| RunFingerprint {
+        state_digest: sim.server().state_digest(),
+        accounting_digest: sim.server().accounting().digest(),
+    });
     ExperimentResult {
         summary,
         outcomes,
         stats: sim.stats(),
+        fingerprint,
     }
 }
 

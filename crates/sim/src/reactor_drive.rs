@@ -44,6 +44,18 @@ pub struct CommandScript {
     pub steps: Vec<ScriptStep>,
 }
 
+/// [`script_from_workload`] over a workload stream. Script derivation is
+/// inherently whole-trace (follow-up traffic draws on the total item
+/// count), so the stream is materialized first; the bytes are identical
+/// to calling [`script_from_workload`] on the materialized items.
+pub fn script_from_stream<S>(stream: S, seed: u64) -> CommandScript
+where
+    S: Iterator<Item = WorkloadItem>,
+{
+    let items: Vec<WorkloadItem> = stream.collect();
+    script_from_workload(&items, seed)
+}
+
 /// Builds a command script from a workload: one `qsub` per item at its
 /// submit time, plus seeded follow-up traffic — `dynget` for evolving
 /// jobs, `qstat` probes, `qdel` of a sprinkle of jobs (some unknown, so
@@ -403,6 +415,20 @@ mod tests {
         assert_eq!(lines(&a), lines(&b));
         assert!(a.steps.len() >= items.len());
         assert!(a.steps.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn script_from_stream_matches_materialized() {
+        let items = small_workload(12);
+        let streamed = script_from_stream(items.iter().cloned(), 7);
+        let eager = script_from_workload(&items, 7);
+        let lines = |s: &CommandScript| {
+            s.steps
+                .iter()
+                .map(|x| (x.at, x.line.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(lines(&streamed), lines(&eager));
     }
 
     #[test]

@@ -28,7 +28,9 @@
 //! workspace fully offline-buildable.
 
 use crate::batch_sim::BatchSim;
-use crate::experiment::{run_experiment_on, ExperimentConfig, ExperimentResult};
+use crate::experiment::{
+    run_experiment_streamed_on, ExperimentConfig, ExperimentResult, IngestOptions,
+};
 use dynbatch_simtime::SplitMix64;
 use dynbatch_workload::WorkloadItem;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -140,23 +142,28 @@ pub struct SweepResult {
 /// row-major task order (`config` major, `seed` minor) — exactly the
 /// order two nested serial loops would produce, whatever `workers` is.
 ///
-/// `generate` builds the workload for one cell from its configuration and
-/// seed; it must be a pure function of those two values. `workers = 0`
+/// `generate` builds the workload **stream** for one cell from its
+/// configuration and seed; it must be a pure function of those two
+/// values. The stream is admitted lazily through the default lookahead
+/// window, so per-worker peak memory is O(window) rather than O(trace) —
+/// a materialized `Vec` still works via `.into_iter()`. `workers = 0`
 /// uses one worker per available core; `workers = 1` degrades to the
 /// serial loop (same code path, same results).
-pub fn run_sweep<G>(
+pub fn run_sweep<G, S>(
     configs: &[ExperimentConfig],
     seeds: &[u64],
     workers: usize,
     generate: G,
 ) -> Vec<SweepResult>
 where
-    G: Fn(&ExperimentConfig, u64) -> Vec<WorkloadItem> + Sync,
+    G: Fn(&ExperimentConfig, u64) -> S + Sync,
+    S: Iterator<Item = WorkloadItem>,
 {
     if configs.is_empty() || seeds.is_empty() {
         return Vec::new();
     }
     let tasks = configs.len() * seeds.len();
+    let opts = IngestOptions::default();
     parallel_tasks_with(
         tasks,
         workers,
@@ -166,19 +173,15 @@ where
             let seed = seeds[idx % seeds.len()];
             let cfg = &configs[config];
             let workload = generate(cfg, seed);
-            let result = match sim_slot.as_mut() {
-                // Recycled path: rewind the worker's simulator in place.
-                Some(sim) => run_experiment_on(sim, cfg, &workload),
-                // First task on this worker: build the simulator the
-                // recycled path will reuse. Routing through `reset` keeps
-                // both arms on the identical code path.
-                None => {
-                    let cluster =
-                        dynbatch_cluster::Cluster::homogeneous(cfg.nodes, cfg.cores_per_node);
-                    let sim = sim_slot.insert(BatchSim::new(cluster, cfg.sched.clone()));
-                    run_experiment_on(sim, cfg, &workload)
-                }
-            };
+            // Recycled path: rewind the worker's simulator in place. The
+            // first task on a worker builds the simulator the recycled
+            // path will reuse; routing both arms through the runner's
+            // `reset` keeps them on the identical code path.
+            let sim = sim_slot.get_or_insert_with(|| {
+                let cluster = dynbatch_cluster::Cluster::homogeneous(cfg.nodes, cfg.cores_per_node);
+                BatchSim::new(cluster, cfg.sched.clone())
+            });
+            let result = run_experiment_streamed_on(sim, cfg, workload, &opts);
             SweepResult {
                 config,
                 seed,
@@ -267,9 +270,9 @@ mod tests {
             ),
         ];
         let seeds = vec![1, 2, 3];
-        let serial = run_sweep(&configs, &seeds, 1, gen);
+        let serial = run_sweep(&configs, &seeds, 1, |c, s| gen(c, s).into_iter());
         for workers in [2, 3, 5] {
-            let parallel = run_sweep(&configs, &seeds, workers, gen);
+            let parallel = run_sweep(&configs, &seeds, workers, |c, s| gen(c, s).into_iter());
             assert_eq!(serial.len(), parallel.len());
             for (s, p) in serial.iter().zip(&parallel) {
                 assert_eq!(s.config, p.config);
@@ -285,7 +288,7 @@ mod tests {
     fn sweep_matches_fresh_serial_experiments() {
         let configs = vec![small_config("hp", DfsConfig::highest_priority())];
         let seeds = vec![7, 8];
-        let swept = run_sweep(&configs, &seeds, 2, gen);
+        let swept = run_sweep(&configs, &seeds, 2, |c, s| gen(c, s).into_iter());
         for cell in &swept {
             let fresh =
                 crate::experiment::run_experiment(&configs[0], &gen(&configs[0], cell.seed));
@@ -298,7 +301,7 @@ mod tests {
     #[test]
     fn empty_axes_yield_empty_sweeps() {
         let configs = vec![small_config("hp", DfsConfig::highest_priority())];
-        assert!(run_sweep(&configs, &[], 4, gen).is_empty());
-        assert!(run_sweep(&[], &[1], 4, gen).is_empty());
+        assert!(run_sweep(&configs, &[], 4, |c, s| gen(c, s).into_iter()).is_empty());
+        assert!(run_sweep(&[], &[1], 4, |c, s| gen(c, s).into_iter()).is_empty());
     }
 }

@@ -243,6 +243,16 @@ pub struct WorkloadItem {
 /// regular submission, flagged to take highest priority and suppress
 /// backfilling while queued.
 pub fn generate_esp(cfg: &EspConfig, reg: &mut CredRegistry) -> Vec<WorkloadItem> {
+    use crate::stream::WorkloadStream as _;
+    stream_esp(cfg, reg).materialize()
+}
+
+/// The streaming form of [`generate_esp`]: yields the same items in the
+/// same (non-decreasing submit-time) order without materialising
+/// `WorkloadItem`s up front. ESP is a fixed 230-job benchmark so its
+/// state is constant-sized either way; the stream exists so every
+/// generator speaks the same pull-based interface.
+pub fn stream_esp(cfg: &EspConfig, reg: &mut CredRegistry) -> EspStream {
     let mut regular: Vec<JobSpec> = Vec::new();
     let mut z_jobs: Vec<JobSpec> = Vec::new();
 
@@ -297,22 +307,52 @@ pub fn generate_esp(cfg: &EspConfig, reg: &mut CredRegistry) -> Vec<WorkloadItem
     let mut rng = SplitMix64::new(cfg.seed);
     rng.shuffle(&mut regular);
 
-    let mut items = Vec::with_capacity(regular.len() + z_jobs.len());
-    let mut last_regular = SimTime::ZERO;
-    for (i, spec) in regular.into_iter().enumerate() {
-        let at = if i < cfg.initial_burst {
-            SimTime::ZERO
-        } else {
-            SimTime::ZERO + cfg.submit_interval * (i - cfg.initial_burst + 1) as u64
-        };
-        last_regular = last_regular.max(at);
-        items.push(WorkloadItem { at, spec });
+    EspStream {
+        regular: regular.into_iter(),
+        z_jobs: z_jobs.into_iter(),
+        i: 0,
+        initial_burst: cfg.initial_burst,
+        submit_interval: cfg.submit_interval,
+        z_delay: cfg.z_delay,
+        last_regular: SimTime::ZERO,
     }
-    let z_at = last_regular + cfg.z_delay;
-    for spec in z_jobs {
-        items.push(WorkloadItem { at: z_at, spec });
+}
+
+/// Iterator over ESP submissions in submit-time order (see
+/// [`stream_esp`]). Submission instants are computed lazily from the
+/// schedule formula; regular specs are held pre-shuffled (the shuffle
+/// needs the full population by definition).
+#[derive(Debug, Clone)]
+pub struct EspStream {
+    regular: std::vec::IntoIter<JobSpec>,
+    z_jobs: std::vec::IntoIter<JobSpec>,
+    i: usize,
+    initial_burst: usize,
+    submit_interval: SimDuration,
+    z_delay: SimDuration,
+    last_regular: SimTime,
+}
+
+impl Iterator for EspStream {
+    type Item = WorkloadItem;
+
+    fn next(&mut self) -> Option<WorkloadItem> {
+        if let Some(spec) = self.regular.next() {
+            let at = if self.i < self.initial_burst {
+                SimTime::ZERO
+            } else {
+                SimTime::ZERO + self.submit_interval * (self.i - self.initial_burst + 1) as u64
+            };
+            self.i += 1;
+            self.last_regular = self.last_regular.max(at);
+            return Some(WorkloadItem { at, spec });
+        }
+        let spec = self.z_jobs.next()?;
+        Some(WorkloadItem {
+            at: self.last_regular + self.z_delay,
+            spec,
+        })
     }
-    items
 }
 
 /// Total work of the workload in core-seconds, assuming every job runs its

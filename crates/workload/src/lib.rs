@@ -11,18 +11,36 @@
 //! * [`swf`] — Standard Workload Format ingestion (Parallel Workloads
 //!   Archive traces);
 //! * [`trace`] — JSON serialisation/replay of any workload.
+//!
+//! Every generator has a **streaming** form (`stream_*`, [`SwfSource`])
+//! yielding [`WorkloadItem`]s in submit-time order on demand, and a
+//! materialising form (`generate_*`, [`parse_swf`]) defined as the
+//! stream's [`WorkloadStream::materialize`] — so the two are identical
+//! by construction and month-scale traces can replay in O(lookahead)
+//! memory through `BatchSim::run_streamed`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod esp;
 pub mod quadflow;
+pub mod stream;
 pub mod swf;
 pub mod synthetic;
 pub mod trace;
 
-pub use esp::{generate_esp, static_core_seconds, EspConfig, EspJobType, WorkloadItem, ESP_TABLE};
-pub use quadflow::{dynamic_breakdown, static_breakdown, PhaseBreakdown, QuadflowCase};
-pub use swf::{parse_swf, write_swf, SwfConfig, SwfError};
-pub use synthetic::{generate_synthetic, SyntheticConfig};
+pub use esp::{
+    generate_esp, static_core_seconds, stream_esp, EspConfig, EspJobType, EspStream, WorkloadItem,
+    ESP_TABLE,
+};
+pub use quadflow::{
+    dynamic_breakdown, generate_quadflow, static_breakdown, stream_quadflow, PhaseBreakdown,
+    QuadflowCase, QuadflowConfig, QuadflowStream,
+};
+pub use stream::WorkloadStream;
+pub use swf::{
+    parse_swf, parse_swf_with_stats, write_swf, write_swf_to, SwfConfig, SwfError, SwfSource,
+    SwfStats,
+};
+pub use synthetic::{generate_synthetic, stream_synthetic, SyntheticConfig, SyntheticStream};
 pub use trace::Trace;

@@ -1,0 +1,58 @@
+//! The pull-based workload stream contract.
+//!
+//! A [`WorkloadStream`] is any iterator of [`WorkloadItem`]s that yields
+//! submissions in **non-decreasing submit-time order**. Generators expose
+//! streams so month-scale traces replay in O(lookahead-window) memory:
+//! the simulator pulls items as virtual time advances instead of
+//! materialising the whole trace up front (`BatchSim::run_streamed`).
+//!
+//! The ordering requirement is the whole contract — it is what lets the
+//! simulator merge a stream into its event queue through a bounded
+//! lookahead window without ever scheduling into the past. The simulator
+//! asserts it at admission time; generator streams uphold it by
+//! construction (and are pinned byte-equal to their materialising
+//! counterparts in `tests/streaming_ingest.rs`).
+
+use crate::esp::WorkloadItem;
+
+/// A lazily-produced workload: an iterator of timed submissions in
+/// non-decreasing submit-time order.
+///
+/// Blanket-implemented for every `Iterator<Item = WorkloadItem>`, so a
+/// materialised `Vec<WorkloadItem>` participates via `.into_iter()` and
+/// any stream converts back with [`WorkloadStream::materialize`].
+pub trait WorkloadStream: Iterator<Item = WorkloadItem> {
+    /// Drains the stream into a `Vec` — the adapter that pins streaming
+    /// and materialising code paths to identical output.
+    fn materialize(self) -> Vec<WorkloadItem>
+    where
+        Self: Sized,
+    {
+        self.collect()
+    }
+}
+
+impl<T: Iterator<Item = WorkloadItem>> WorkloadStream for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynbatch_core::{GroupId, JobSpec, SimDuration, SimTime, UserId};
+
+    #[test]
+    fn vec_round_trips_through_materialize() {
+        let items: Vec<WorkloadItem> = (0..5)
+            .map(|i| WorkloadItem {
+                at: SimTime::from_secs(i * 10),
+                spec: JobSpec::rigid(
+                    format!("j{i}"),
+                    UserId(0),
+                    GroupId(0),
+                    2,
+                    SimDuration::from_secs(60),
+                ),
+            })
+            .collect();
+        assert_eq!(items.clone().into_iter().materialize(), items);
+    }
+}

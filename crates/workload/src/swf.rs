@@ -17,6 +17,7 @@ use dynbatch_core::{
     CredRegistry, ExecutionModel, JobClass, JobSpec, SimDuration, SimTime, SpeedupModel,
 };
 use dynbatch_simtime::SplitMix64;
+use std::io::BufRead;
 
 /// Conversion options.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +38,10 @@ pub struct SwfConfig {
     /// Use the *requested* walltime field when present (`true`, realistic:
     /// users over-request) or the actual runtime (`false`, exact).
     pub use_requested_walltime: bool,
+    /// Skip malformed lines (counting them in [`SwfStats`]) instead of
+    /// stopping with a line-numbered error. Real archive dumps carry the
+    /// occasional truncated record; replay pipelines set this.
+    pub skip_malformed: bool,
 }
 
 impl Default for SwfConfig {
@@ -49,8 +54,23 @@ impl Default for SwfConfig {
             det_factor: 0.7,
             extra_cores: 4,
             use_requested_walltime: true,
+            skip_malformed: false,
         }
     }
+}
+
+/// Per-parse counters of everything that did *not* become a job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwfStats {
+    /// `;`-prefixed header/comment lines.
+    pub comments: usize,
+    /// Empty (or whitespace-only) lines.
+    pub blanks: usize,
+    /// Well-formed records skipped as unusable (zero/unknown runtime or
+    /// processors, negative submit time — standard SWF practice).
+    pub skipped_unusable: usize,
+    /// Malformed lines skipped under [`SwfConfig::skip_malformed`].
+    pub skipped_malformed: usize,
 }
 
 /// A parse problem, with its line number.
@@ -70,105 +90,300 @@ impl std::fmt::Display for SwfError {
 
 impl std::error::Error for SwfError {}
 
+/// What one SWF line turned out to be.
+enum LineResult {
+    Item(WorkloadItem),
+    Blank,
+    Comment,
+    Unusable,
+    Malformed(SwfError),
+}
+
+/// Parses one raw SWF line. This is the single shared code path behind
+/// both [`parse_swf`] and [`SwfSource`]; field-evaluation order and RNG
+/// draw order are therefore identical by construction, which is what the
+/// streaming-equals-materializing property test leans on.
+fn parse_line(
+    raw: &str,
+    line_no: usize,
+    cfg: &SwfConfig,
+    reg: &mut CredRegistry,
+    rng: &mut SplitMix64,
+) -> LineResult {
+    let line = raw.trim();
+    if line.is_empty() {
+        return LineResult::Blank;
+    }
+    if line.starts_with(';') {
+        return LineResult::Comment;
+    }
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() < 12 {
+        return LineResult::Malformed(SwfError {
+            line: line_no,
+            message: format!("expected ≥12 fields, found {}", fields.len()),
+        });
+    }
+    let f = |i: usize| -> Result<i64, SwfError> {
+        fields[i - 1].parse().map_err(|_| SwfError {
+            line: line_no,
+            message: format!("field {i} ({:?}) is not an integer", fields[i - 1]),
+        })
+    };
+    macro_rules! field {
+        ($i:expr) => {
+            match f($i) {
+                Ok(v) => v,
+                Err(e) => return LineResult::Malformed(e),
+            }
+        };
+    }
+    let submit = field!(2);
+    let runtime = field!(4);
+    let alloc_procs = field!(5);
+    let req_procs = field!(8);
+    let req_time = field!(9);
+    let user_id = field!(12);
+
+    let procs = if req_procs > 0 {
+        req_procs
+    } else {
+        alloc_procs
+    };
+    if runtime <= 0 || procs <= 0 || submit < 0 {
+        return LineResult::Unusable; // standard practice to skip
+    }
+    let cores = (procs as u32).min(cfg.total_cores);
+    let runtime = runtime as u64;
+    let walltime = if cfg.use_requested_walltime && req_time > 0 {
+        (req_time as u64).max(runtime)
+    } else {
+        runtime
+    };
+
+    let user = reg.user_in_group(&format!("swf_user{}", user_id.max(0)), "swfusers");
+    let group = reg.group_of(user);
+
+    let evolving = cfg.evolving_fraction > 0.0 && rng.next_f64() < cfg.evolving_fraction;
+    let spec = if evolving {
+        let det = ((runtime as f64) * cfg.det_factor).max(1.0) as u64;
+        JobSpec {
+            name: format!("swf-{}", field!(1)),
+            user,
+            group,
+            class: JobClass::Evolving,
+            cores,
+            walltime: SimDuration::from_secs(walltime),
+            exec: ExecutionModel::Evolving {
+                set: SimDuration::from_secs(runtime),
+                det: SimDuration::from_secs(det),
+                extra_cores: cfg.extra_cores,
+                request_points: vec![0.16, 0.25],
+                speedup: SpeedupModel::Interpolate,
+            },
+            priority_boost: 0,
+            suppress_backfill_while_queued: false,
+            malleable: None,
+            moldable: None,
+            dyn_timeout: None,
+        }
+    } else {
+        let mut s = JobSpec::rigid(
+            format!("swf-{}", field!(1)),
+            user,
+            group,
+            cores,
+            SimDuration::from_secs(runtime),
+        );
+        s.walltime = SimDuration::from_secs(walltime);
+        s
+    };
+    LineResult::Item(WorkloadItem {
+        at: SimTime::from_secs(submit as u64),
+        spec,
+    })
+}
+
+enum RegHandle<'a> {
+    Borrowed(&'a mut CredRegistry),
+    Owned(Box<CredRegistry>),
+}
+
+impl RegHandle<'_> {
+    fn get(&mut self) -> &mut CredRegistry {
+        match self {
+            RegHandle::Borrowed(r) => r,
+            RegHandle::Owned(r) => r,
+        }
+    }
+}
+
+/// A line-by-line streaming SWF reader: an iterator of [`WorkloadItem`]s
+/// pulled on demand from any [`BufRead`], in file order, in O(1) memory —
+/// the trace never exists as a `String` or `Vec`.
+///
+/// SWF archives are submit-time-sorted by convention; the simulator's
+/// streamed admission path re-checks monotonicity, so an unsorted file
+/// fails loudly rather than silently reordering (the materialising
+/// [`parse_swf`] sorts instead, which on a sorted file is the identity —
+/// the property test pins the two paths equal).
+///
+/// Error handling: a malformed line either bumps
+/// [`SwfStats::skipped_malformed`] (when [`SwfConfig::skip_malformed`] is
+/// set) or stops the stream with the line-numbered error retrievable via
+/// [`SwfSource::error`]. Iterate by `&mut` reference to keep the source
+/// inspectable afterwards:
+///
+/// ```ignore
+/// let mut src = SwfSource::new(reader, cfg, &mut reg);
+/// let result = run_experiment_streamed(&cfg, &mut src, &opts);
+/// assert!(src.error().is_none(), "{:?}", src.error());
+/// ```
+pub struct SwfSource<'a, R: BufRead> {
+    reader: R,
+    cfg: SwfConfig,
+    reg: RegHandle<'a>,
+    rng: SplitMix64,
+    line_no: usize,
+    emitted: usize,
+    stats: SwfStats,
+    error: Option<SwfError>,
+    done: bool,
+    buf: String,
+}
+
+impl<'a, R: BufRead> SwfSource<'a, R> {
+    /// A streaming parser over `reader`, interning users into `reg`.
+    pub fn new(reader: R, cfg: SwfConfig, reg: &'a mut CredRegistry) -> Self {
+        Self::build(reader, cfg, RegHandle::Borrowed(reg))
+    }
+
+    fn build(reader: R, cfg: SwfConfig, reg: RegHandle<'a>) -> Self {
+        let rng = SplitMix64::new(cfg.seed);
+        SwfSource {
+            reader,
+            cfg,
+            reg,
+            rng,
+            line_no: 0,
+            emitted: 0,
+            stats: SwfStats::default(),
+            error: None,
+            done: false,
+            buf: String::new(),
+        }
+    }
+
+    /// Counters of skipped/non-record lines seen so far.
+    pub fn stats(&self) -> &SwfStats {
+        &self.stats
+    }
+
+    /// The error that stopped the stream, if any.
+    pub fn error(&self) -> Option<&SwfError> {
+        self.error.as_ref()
+    }
+
+    /// Takes the stopping error out of the source.
+    pub fn take_error(&mut self) -> Option<SwfError> {
+        self.error.take()
+    }
+
+    /// Jobs emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+}
+
+impl<R: BufRead> SwfSource<'static, R> {
+    /// A streaming parser that owns its credential registry — for
+    /// closures that must return a `'static` stream (sweep tasks).
+    pub fn with_own_registry(reader: R, cfg: SwfConfig) -> Self {
+        Self::build(reader, cfg, RegHandle::Owned(Box::default()))
+    }
+}
+
+impl<R: BufRead> Iterator for SwfSource<'_, R> {
+    type Item = WorkloadItem;
+
+    fn next(&mut self) -> Option<WorkloadItem> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.buf.clear();
+            let n = match self.reader.read_line(&mut self.buf) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.error = Some(SwfError {
+                        line: self.line_no + 1,
+                        message: format!("I/O error: {e}"),
+                    });
+                    self.done = true;
+                    return None;
+                }
+            };
+            if n == 0 {
+                self.done = true;
+                return None;
+            }
+            self.line_no += 1;
+            let buf = std::mem::take(&mut self.buf);
+            let parsed = parse_line(&buf, self.line_no, &self.cfg, self.reg.get(), &mut self.rng);
+            self.buf = buf;
+            match parsed {
+                LineResult::Item(item) => {
+                    self.emitted += 1;
+                    if self.cfg.max_jobs > 0 && self.emitted >= self.cfg.max_jobs {
+                        self.done = true;
+                    }
+                    return Some(item);
+                }
+                LineResult::Blank => self.stats.blanks += 1,
+                LineResult::Comment => self.stats.comments += 1,
+                LineResult::Unusable => self.stats.skipped_unusable += 1,
+                LineResult::Malformed(err) => {
+                    if self.cfg.skip_malformed {
+                        self.stats.skipped_malformed += 1;
+                    } else {
+                        self.error = Some(err);
+                        self.done = true;
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Parses SWF text into a workload. Unusable jobs (zero/unknown runtime or
 /// processors, cancelled before start) are skipped, matching common SWF
-/// practice; malformed lines are errors.
+/// practice; malformed lines are errors unless
+/// [`SwfConfig::skip_malformed`] is set. Items are sorted by submit time.
 pub fn parse_swf(
     text: &str,
     cfg: &SwfConfig,
     reg: &mut CredRegistry,
 ) -> Result<Vec<WorkloadItem>, SwfError> {
-    let mut rng = SplitMix64::new(cfg.seed);
-    let mut items = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with(';') {
-            continue;
-        }
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        if fields.len() < 12 {
-            return Err(SwfError {
-                line: line_no,
-                message: format!("expected ≥12 fields, found {}", fields.len()),
-            });
-        }
-        let f = |i: usize| -> Result<i64, SwfError> {
-            fields[i - 1].parse().map_err(|_| SwfError {
-                line: line_no,
-                message: format!("field {i} ({:?}) is not an integer", fields[i - 1]),
-            })
-        };
-        let submit = f(2)?;
-        let runtime = f(4)?;
-        let alloc_procs = f(5)?;
-        let req_procs = f(8)?;
-        let req_time = f(9)?;
-        let user_id = f(12)?;
+    parse_swf_with_stats(text, cfg, reg).map(|(items, _)| items)
+}
 
-        let procs = if req_procs > 0 {
-            req_procs
-        } else {
-            alloc_procs
-        };
-        if runtime <= 0 || procs <= 0 || submit < 0 {
-            continue; // unusable record, standard practice to skip
-        }
-        let cores = (procs as u32).min(cfg.total_cores);
-        let runtime = runtime as u64;
-        let walltime = if cfg.use_requested_walltime && req_time > 0 {
-            (req_time as u64).max(runtime)
-        } else {
-            runtime
-        };
-
-        let user = reg.user_in_group(&format!("swf_user{}", user_id.max(0)), "swfusers");
-        let group = reg.group_of(user);
-
-        let evolving = cfg.evolving_fraction > 0.0 && rng.next_f64() < cfg.evolving_fraction;
-        let spec = if evolving {
-            let det = ((runtime as f64) * cfg.det_factor).max(1.0) as u64;
-            JobSpec {
-                name: format!("swf-{}", f(1)?),
-                user,
-                group,
-                class: JobClass::Evolving,
-                cores,
-                walltime: SimDuration::from_secs(walltime),
-                exec: ExecutionModel::Evolving {
-                    set: SimDuration::from_secs(runtime),
-                    det: SimDuration::from_secs(det),
-                    extra_cores: cfg.extra_cores,
-                    request_points: vec![0.16, 0.25],
-                    speedup: SpeedupModel::Interpolate,
-                },
-                priority_boost: 0,
-                suppress_backfill_while_queued: false,
-                malleable: None,
-                moldable: None,
-                dyn_timeout: None,
-            }
-        } else {
-            let mut s = JobSpec::rigid(
-                format!("swf-{}", f(1)?),
-                user,
-                group,
-                cores,
-                SimDuration::from_secs(runtime),
-            );
-            s.walltime = SimDuration::from_secs(walltime);
-            s
-        };
-        items.push(WorkloadItem {
-            at: SimTime::from_secs(submit as u64),
-            spec,
-        });
-        if cfg.max_jobs > 0 && items.len() >= cfg.max_jobs {
-            break;
-        }
+/// [`parse_swf`], also returning the skipped-line counters. Implemented
+/// on top of [`SwfSource`] so the materialising and streaming parsers are
+/// the same code.
+pub fn parse_swf_with_stats(
+    text: &str,
+    cfg: &SwfConfig,
+    reg: &mut CredRegistry,
+) -> Result<(Vec<WorkloadItem>, SwfStats), SwfError> {
+    let mut src = SwfSource::new(std::io::Cursor::new(text), cfg.clone(), reg);
+    let mut items: Vec<WorkloadItem> = (&mut src).collect();
+    if let Some(err) = src.take_error() {
+        return Err(err);
     }
+    let stats = *src.stats();
     items.sort_by_key(|i| i.at);
-    Ok(items)
+    Ok((items, stats))
 }
 
 /// Serialises a workload to SWF text (the inverse of [`parse_swf`]),
@@ -182,21 +397,48 @@ pub fn write_swf(items: &[WorkloadItem], reg: &CredRegistry) -> String {
     let max_procs = items.iter().map(|i| i.spec.cores).max().unwrap_or(0);
     let _ = writeln!(out, "; MaxProcs: {max_procs}");
     for (idx, item) in items.iter().enumerate() {
-        let runtime = item.spec.exec.static_duration(item.spec.cores).as_secs();
-        let _ = writeln!(
-            out,
-            "{} {} -1 {} {} -1 -1 {} {} -1 1 {} {} -1 1 -1 -1 -1",
-            idx + 1,
-            item.at.as_secs(),
-            runtime,
-            item.spec.cores,
-            item.spec.cores,
-            item.spec.walltime.as_secs(),
-            item.spec.user.0,
-            reg.group_of(item.spec.user).0,
-        );
+        let _ = out.write_str(&swf_record(idx, item, reg.group_of(item.spec.user).0));
     }
     out
+}
+
+/// One SWF record line (with trailing newline) for `item`, as job number
+/// `idx + 1`.
+fn swf_record(idx: usize, item: &WorkloadItem, group: u32) -> String {
+    let runtime = item.spec.exec.static_duration(item.spec.cores).as_secs();
+    format!(
+        "{} {} -1 {} {} -1 -1 {} {} -1 1 {} {} -1 1 -1 -1 -1\n",
+        idx + 1,
+        item.at.as_secs(),
+        runtime,
+        item.spec.cores,
+        item.spec.cores,
+        item.spec.walltime.as_secs(),
+        item.spec.user.0,
+        group,
+    )
+}
+
+/// Streams a workload out as SWF without materialising the text or the
+/// item list — the writer dual of [`SwfSource`]. Because the `MaxProcs`
+/// header precedes the records, the caller supplies the processor bound
+/// up front (any upper bound is fine; [`write_swf`] uses the exact max).
+/// Groups are taken from each spec's own `group` field, which every
+/// generator sets to `reg.group_of(user)`, so output matches
+/// [`write_swf`] byte-for-byte given the same bound.
+pub fn write_swf_to<W: std::io::Write>(
+    out: &mut W,
+    items: impl IntoIterator<Item = WorkloadItem>,
+    max_procs: u32,
+) -> std::io::Result<usize> {
+    out.write_all(b"; generated by dynbatch (SWF v2 subset)\n")?;
+    writeln!(out, "; MaxProcs: {max_procs}")?;
+    let mut written = 0;
+    for (idx, item) in items.into_iter().enumerate() {
+        out.write_all(swf_record(idx, &item, item.spec.group.0).as_bytes())?;
+        written += 1;
+    }
+    Ok(written)
 }
 
 #[cfg(test)]
@@ -286,6 +528,149 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("not an integer"));
+    }
+
+    #[test]
+    fn stats_count_skipped_lines() {
+        let mut reg = CredRegistry::new();
+        let (items, stats) =
+            parse_swf_with_stats(SAMPLE, &SwfConfig::default(), &mut reg).expect("parse");
+        assert_eq!(items.len(), 3);
+        assert_eq!(stats.comments, 2);
+        assert_eq!(stats.blanks, 0);
+        assert_eq!(stats.skipped_unusable, 1, "cancelled job 2");
+        assert_eq!(stats.skipped_malformed, 0);
+    }
+
+    #[test]
+    fn skip_malformed_counts_instead_of_erroring() {
+        let text = format!("junk line\n{SAMPLE}\n1 2 x 4\n");
+        let mut reg = CredRegistry::new();
+        let cfg = SwfConfig {
+            skip_malformed: true,
+            ..Default::default()
+        };
+        let (items, stats) = parse_swf_with_stats(&text, &cfg, &mut reg).expect("parse");
+        assert_eq!(items.len(), 3, "good records still parse");
+        assert_eq!(stats.skipped_malformed, 2);
+        // Without the flag the first junk line is a line-numbered error.
+        let err = parse_swf(&text, &SwfConfig::default(), &mut reg).unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn streaming_source_is_inspectable_after_error() {
+        let text = "1 0 -1 300 16 -1 -1 16 600 -1 1 3 1 -1 1 -1 -1 -1\nbad\n";
+        let mut reg = CredRegistry::new();
+        let mut src = SwfSource::new(std::io::Cursor::new(text), SwfConfig::default(), &mut reg);
+        let items: Vec<_> = (&mut src).collect();
+        assert_eq!(items.len(), 1);
+        let err = src.error().expect("stopped on line 2");
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("12 fields"));
+        // The stream stays stopped.
+        assert!(src.next().is_none());
+    }
+
+    /// Property (ISSUE 8 satellite): the streaming parser is byte-equal
+    /// to the materialising one on fuzzed inputs — valid records (with
+    /// monotone submit times, so the materialising sort is the identity)
+    /// interleaved with junk: comments, blanks, truncated records,
+    /// non-integer fields, unusable records. Items, stats, error line
+    /// numbers and interned registries must all agree, and chunked reads
+    /// (1-byte `BufReader`) must not matter.
+    #[test]
+    fn prop_streaming_parser_matches_materializing() {
+        dynbatch_core::testkit::check(120, 0x5117F, |rng| {
+            let mut text = String::new();
+            let mut submit = 0u64;
+            let poison = rng.chance(0.3); // some cases end in a hard error
+            let lines = rng.range_usize(0, 40);
+            for _ in 0..lines {
+                match rng.range_u32(0, 9) {
+                    0 => text.push_str("; a header comment\n"),
+                    1 => text.push('\n'),
+                    2 => text.push_str("   \n"),
+                    3 => text.push_str("1 2 3 4 5\n"), // truncated → malformed
+                    4 => text.push_str("1 z 10 300 16 -1 -1 16 600 -1 1 3 1 -1 1 -1 -1 -1\n"),
+                    5 => {
+                        // Unusable: cancelled (runtime −1).
+                        use std::fmt::Write as _;
+                        let _ = writeln!(
+                            text,
+                            "9 {submit} -1 -1 -1 -1 -1 8 60 -1 5 1 1 -1 1 -1 -1 -1"
+                        );
+                    }
+                    _ => {
+                        use std::fmt::Write as _;
+                        submit += rng.range(0, 50);
+                        let _ = writeln!(
+                            text,
+                            "{} {} 0 {} {} -1 -1 {} {} -1 1 {} 1 -1 1 -1 -1 -1",
+                            rng.range(1, 10_000),
+                            submit,
+                            rng.range(1, 900),
+                            rng.range_u32(1, 64),
+                            rng.range_u32(1, 64),
+                            rng.range(1, 1200),
+                            rng.range_u32(0, 9),
+                        );
+                    }
+                }
+            }
+            let cfg = SwfConfig {
+                evolving_fraction: 0.4,
+                seed: rng.range(0, u64::MAX / 2),
+                skip_malformed: !poison,
+                max_jobs: if rng.chance(0.3) {
+                    rng.range_usize(1, 10)
+                } else {
+                    0
+                },
+                ..Default::default()
+            };
+
+            let mut reg_mat = CredRegistry::new();
+            let materialized = parse_swf_with_stats(&text, &cfg, &mut reg_mat);
+
+            // Stream through a 1-byte-buffered reader: chunking must be
+            // invisible.
+            let mut reg_str = CredRegistry::new();
+            let reader = std::io::BufReader::with_capacity(
+                1,
+                std::io::Cursor::new(text.clone().into_bytes()),
+            );
+            let mut src = SwfSource::new(reader, cfg.clone(), &mut reg_str);
+            let streamed: Vec<_> = (&mut src).collect();
+            let stream_err = src.take_error();
+            let stream_stats = *src.stats();
+
+            match materialized {
+                Ok((items, stats)) => {
+                    assert!(stream_err.is_none(), "{stream_err:?}");
+                    assert_eq!(streamed, items);
+                    assert_eq!(stream_stats, stats);
+                    assert_eq!(reg_mat, reg_str);
+                }
+                Err(e) => {
+                    let se = stream_err.expect("both paths fail");
+                    assert_eq!(se, e, "same line number and message");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn write_swf_to_matches_write_swf() {
+        use crate::esp::{generate_esp, EspConfig};
+        let mut reg = CredRegistry::new();
+        let items = generate_esp(&EspConfig::paper_static(), &mut reg);
+        let max_procs = items.iter().map(|i| i.spec.cores).max().unwrap_or(0);
+        let text = write_swf(&items, &reg);
+        let mut buf = Vec::new();
+        let n = write_swf_to(&mut buf, items.iter().cloned(), max_procs).expect("write");
+        assert_eq!(n, items.len());
+        assert_eq!(String::from_utf8(buf).unwrap(), text);
     }
 
     #[test]

@@ -52,45 +52,99 @@ impl Default for SyntheticConfig {
 
 /// Generates a random workload; deterministic per seed.
 pub fn generate_synthetic(cfg: &SyntheticConfig, reg: &mut CredRegistry) -> Vec<WorkloadItem> {
+    use crate::stream::WorkloadStream as _;
+    stream_synthetic(cfg, reg).materialize()
+}
+
+/// The streaming form of [`generate_synthetic`]: yields the same items,
+/// same seeds, same RNG draw order, in O(1) memory per item — the
+/// arrival process is monotone by construction, so arbitrarily long
+/// synthetic traces replay without ever existing as a `Vec`.
+///
+/// Users are interned into `reg` up front; the returned stream owns all
+/// its state (no registry borrow), so it can be moved into sweep-task
+/// closures.
+pub fn stream_synthetic(cfg: &SyntheticConfig, reg: &mut CredRegistry) -> SyntheticStream {
     assert!(cfg.users > 0 && cfg.jobs > 0, "need users and jobs");
     assert!(
         (0.0..=1.0).contains(&cfg.evolving_fraction),
         "evolving_fraction out of range"
     );
-    let mut rng = SplitMix64::new(cfg.seed);
     let users: Vec<_> = (0..cfg.users)
-        .map(|i| reg.user_in_group(&format!("synth{i:02}"), "synth"))
+        .map(|i| {
+            let user = reg.user_in_group(&format!("synth{i:02}"), "synth");
+            (user, reg.group_of(user))
+        })
         .collect();
     let cores_lo = cfg.cores.0.max(1) as u64;
     let cores_hi = (cfg.cores.1.min(cfg.total_cores) as u64).max(cores_lo);
-    let (lo, hi) = (
-        cfg.runtime_secs.0.max(1) as f64,
-        cfg.runtime_secs.1.max(2) as f64,
-    );
+    SyntheticStream {
+        rng: SplitMix64::new(cfg.seed),
+        users,
+        cores_lo,
+        cores_hi,
+        runtime_lo: cfg.runtime_secs.0.max(1) as f64,
+        runtime_hi: cfg.runtime_secs.1.max(2) as f64,
+        mean_interarrival: cfg.mean_interarrival,
+        evolving_fraction: cfg.evolving_fraction,
+        extra_cores: cfg.extra_cores,
+        det_factor: cfg.det_factor,
+        jobs: cfg.jobs,
+        t: SimTime::ZERO,
+        i: 0,
+    }
+}
 
-    let mut items = Vec::with_capacity(cfg.jobs);
-    let mut t = SimTime::ZERO;
-    for i in 0..cfg.jobs {
+/// Iterator over synthetic submissions in arrival order (see
+/// [`stream_synthetic`]).
+#[derive(Debug, Clone)]
+pub struct SyntheticStream {
+    rng: SplitMix64,
+    users: Vec<(dynbatch_core::UserId, dynbatch_core::GroupId)>,
+    cores_lo: u64,
+    cores_hi: u64,
+    runtime_lo: f64,
+    runtime_hi: f64,
+    mean_interarrival: SimDuration,
+    evolving_fraction: f64,
+    extra_cores: u32,
+    det_factor: f64,
+    jobs: usize,
+    t: SimTime,
+    i: usize,
+}
+
+impl Iterator for SyntheticStream {
+    type Item = WorkloadItem;
+
+    fn next(&mut self) -> Option<WorkloadItem> {
+        if self.i >= self.jobs {
+            return None;
+        }
+        let i = self.i;
+        self.i += 1;
+
         // Exponential interarrival via inverse CDF.
-        let u: f64 = rng.next_f64().max(1e-12);
-        let gap = cfg.mean_interarrival.mul_f64(-u.ln());
-        t = t.saturating_add(gap);
+        let u: f64 = self.rng.next_f64().max(1e-12);
+        let gap = self.mean_interarrival.mul_f64(-u.ln());
+        self.t = self.t.saturating_add(gap);
 
-        let user = users[rng.next_below(users.len() as u64) as usize];
-        let group = reg.group_of(user);
-        let cores = (cores_lo + rng.next_below(cores_hi - cores_lo + 1)) as u32;
+        let (user, group) = self.users[self.rng.next_below(self.users.len() as u64) as usize];
+        let cores = (self.cores_lo + self.rng.next_below(self.cores_hi - self.cores_lo + 1)) as u32;
         // Log-uniform runtime: heavy-tailed like real workloads.
-        let runtime = (lo.ln() + rng.next_f64() * (hi.ln() - lo.ln())).exp() as u64;
-        let evolving = rng.next_f64() < cfg.evolving_fraction;
+        let runtime = (self.runtime_lo.ln()
+            + self.rng.next_f64() * (self.runtime_hi.ln() - self.runtime_lo.ln()))
+        .exp() as u64;
+        let evolving = self.rng.next_f64() < self.evolving_fraction;
 
         let (class, exec) = if evolving {
-            let det = ((runtime as f64) * cfg.det_factor).max(1.0) as u64;
+            let det = ((runtime as f64) * self.det_factor).max(1.0) as u64;
             (
                 JobClass::Evolving,
                 ExecutionModel::Evolving {
                     set: SimDuration::from_secs(runtime),
                     det: SimDuration::from_secs(det),
-                    extra_cores: cfg.extra_cores,
+                    extra_cores: self.extra_cores,
                     request_points: vec![0.16, 0.25],
                     speedup: SpeedupModel::Interpolate,
                 },
@@ -103,8 +157,8 @@ pub fn generate_synthetic(cfg: &SyntheticConfig, reg: &mut CredRegistry) -> Vec<
                 },
             )
         };
-        items.push(WorkloadItem {
-            at: t,
+        Some(WorkloadItem {
+            at: self.t,
             spec: JobSpec {
                 name: format!("synth-{i}"),
                 user,
@@ -119,9 +173,8 @@ pub fn generate_synthetic(cfg: &SyntheticConfig, reg: &mut CredRegistry) -> Vec<
                 moldable: None,
                 dyn_timeout: None,
             },
-        });
+        })
     }
-    items
 }
 
 #[cfg(test)]

@@ -39,6 +39,10 @@ cargo test -q --test reactor_chaos stalled_reader_blocks_nothing
 echo "==> dynamic-partition regressions (same-cycle re-expansion / shrink)"
 cargo test -q --test partition
 
+echo "==> streaming ingestion (streamed == materialized for every generator,"
+echo "    qdel-before-admission, window-bounded residency)"
+cargo test -q --test streaming_ingest
+
 echo "==> perf_smoke --quick (runs the incremental path with the"
 echo "    rebuild-equivalence assert enabled on every tick, and the"
 echo "    sharded kernel with byte-equality asserted at shards 2/4/8)"
@@ -57,5 +61,14 @@ echo "==> committed BENCH_sched.json must carry the reactor section"
 grep -q '"reactor"' BENCH_sched.json \
   || { echo "BENCH_sched.json lacks the reactor section — regenerate \
 with: cargo run --release -p dynbatch-bench --bin perf_smoke"; exit 1; }
+
+echo "==> committed BENCH_sched.json must carry the ingest section with"
+echo "    byte-identical streamed-vs-materialized results"
+grep -q '"ingest"' BENCH_sched.json \
+  || { echo "BENCH_sched.json lacks the ingest section — regenerate \
+with: cargo run --release -p dynbatch-bench --bin perf_smoke"; exit 1; }
+grep -q '"identical_results": *true' BENCH_sched.json \
+  || { echo "BENCH_sched.json ingest section does not assert identical \
+results — regenerate with: cargo run --release -p dynbatch-bench --bin perf_smoke"; exit 1; }
 
 echo "check.sh: all gates passed"

@@ -49,7 +49,7 @@ fn parallel_sweep_matches_serial_baseline() {
     }
 
     for workers in [2usize, 3] {
-        let cells = run_sweep(&configs, &seeds, workers, workload);
+        let cells = run_sweep(&configs, &seeds, workers, |c, s| workload(c, s).into_iter());
         assert_eq!(cells.len(), serial.len());
         for (i, cell) in cells.iter().enumerate() {
             assert_eq!(cell.config, i / seeds.len(), "task-id slotting broken");
