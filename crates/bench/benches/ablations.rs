@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dynbatch_core::{
-    BackfillPolicy, DfsConfig, GroupId, JobId, SchedulerConfig, SimDuration, SimTime, UserId,
+    BackfillPolicy, DfsConfig, GroupId, JobId, QueueId, SchedulerConfig, SimDuration, SimTime,
+    UserId,
 };
 use dynbatch_sched::{DelayCharge, DfsEngine, DynRequest, Maui, QueuedJob, RunningJob, Snapshot};
 use std::hint::black_box;
@@ -16,6 +17,7 @@ fn loaded_snapshot() -> Snapshot {
         running: Vec::new(),
         queued: Vec::new(),
         dyn_requests: Vec::new(),
+        usage: None,
         deltas: None,
     };
     for i in 0..12u64 {
@@ -36,6 +38,7 @@ fn loaded_snapshot() -> Snapshot {
             id: JobId(100 + i),
             user: UserId((i % 6) as u32),
             group: GroupId(0),
+            queue: QueueId(0),
             cores: 8 + (i % 5) as u32 * 8,
             walltime: SimDuration::from_secs(600),
             submit_time: SimTime::from_secs(i),

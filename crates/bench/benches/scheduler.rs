@@ -2,7 +2,9 @@
 //! ranking, planning, delay measurement, DFS checks, backfill.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dynbatch_core::{DfsConfig, GroupId, JobId, SchedulerConfig, SimDuration, SimTime, UserId};
+use dynbatch_core::{
+    DfsConfig, GroupId, JobId, QueueId, SchedulerConfig, SimDuration, SimTime, UserId,
+};
 use dynbatch_sched::{DynRequest, Maui, QueuedJob, RunningJob, Snapshot};
 use dynbatch_simtime::SplitMix64;
 use std::hint::black_box;
@@ -17,6 +19,7 @@ fn snapshot(running: usize, queued: usize, dyn_reqs: usize) -> Snapshot {
         running: Vec::new(),
         queued: Vec::new(),
         dyn_requests: Vec::new(),
+        usage: None,
         deltas: None,
     };
     let mut used = 0u32;
@@ -42,6 +45,7 @@ fn snapshot(running: usize, queued: usize, dyn_reqs: usize) -> Snapshot {
             id: JobId((1000 + i) as u64),
             user: UserId((i % 10) as u32),
             group: GroupId(0),
+            queue: QueueId(0),
             cores: 4 + rng.next_below(40) as u32,
             walltime: SimDuration::from_secs(300 + rng.next_below(1500)),
             submit_time: SimTime::from_secs(rng.next_below(1000)),

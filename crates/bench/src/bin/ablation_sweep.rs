@@ -30,7 +30,9 @@
 
 use dynbatch_bench::alloc_meter;
 use dynbatch_core::json::Json;
-use dynbatch_core::{CredRegistry, DfsConfig, JobClass, JobSpec, SchedulerConfig, SimDuration};
+use dynbatch_core::{
+    CredRegistry, DfsConfig, FairshareMode, JobClass, JobSpec, SchedulerConfig, SimDuration,
+};
 use dynbatch_sim::{run_sweep, ExperimentConfig, ExperimentResult};
 use dynbatch_workload::{generate_esp, EspConfig};
 
@@ -71,6 +73,32 @@ fn workers_requested() -> Option<usize> {
 /// available core.
 fn workers_effective() -> usize {
     workers_requested().unwrap_or_else(available_cores)
+}
+
+/// The `--fairness {static,time-aware}` axis: the fairshare mode every
+/// table runs under. Static (the default) is the classic windowed
+/// tracker; time-aware switches the whole campaign onto the decayed
+/// resource-hour accounts (6 h half-life, uniform 0.1 target).
+fn fairness_mode() -> FairshareMode {
+    let args: Vec<String> = std::env::args().collect();
+    let v = args
+        .iter()
+        .position(|a| a == "--fairness")
+        .and_then(|i| args.get(i + 1));
+    match v.map(|s| s.as_str()) {
+        None | Some("static") => FairshareMode::Static,
+        Some("time-aware") => FairshareMode::TimeAware,
+        Some(other) => panic!("--fairness must be 'static' or 'time-aware', got '{other}'"),
+    }
+}
+
+fn apply_fairness(sched: &mut SchedulerConfig, mode: FairshareMode) {
+    if mode == FairshareMode::TimeAware {
+        sched.fairshare.enabled = true;
+        sched.fairshare.mode = mode;
+        sched.fairshare.half_life = SimDuration::from_hours(6);
+        sched.fairshare.default_target = 0.1;
+    }
 }
 
 /// In-run scheduler shard count as requested — `None` when `--shards`
@@ -160,6 +188,7 @@ fn run_many(
     let mut sched = SchedulerConfig::paper_eval();
     sched.dfs = DfsConfig::uniform_target(200, SimDuration::from_hours(1));
     sched.shards = shards_effective();
+    apply_fairness(&mut sched, fairness_mode());
     sched_mut(&mut sched);
     let configs = [ExperimentConfig::paper_cluster("ablation", sched)];
     // One row = one configuration × all seeds, sharded across the worker
@@ -189,6 +218,7 @@ fn determinism_pin(seeds: &[u64]) {
         let mut sched = SchedulerConfig::paper_eval();
         sched.dfs = DfsConfig::uniform_target(200, SimDuration::from_hours(1));
         sched.shards = shards;
+        apply_fairness(&mut sched, fairness_mode());
         let configs = [ExperimentConfig::paper_cluster("pin", sched)];
         run_sweep(&configs, seeds, workers, |_, seed| {
             let mut reg = CredRegistry::new();
@@ -233,6 +263,16 @@ fn main() {
             (
                 "available_parallelism",
                 Json::UInt(available_cores() as u64)
+            ),
+            (
+                "fairness_mode",
+                Json::Str(
+                    match fairness_mode() {
+                        FairshareMode::Static => "static",
+                        FairshareMode::TimeAware => "time-aware",
+                    }
+                    .into()
+                )
             ),
             ("pin_peak_alloc_bytes", Json::UInt(pin_peak as u64)),
             (
@@ -307,6 +347,31 @@ fn main() {
     }
     println!("(partition grants are delay-free, but the slice is lost to static work — the");
     println!(" paper's §II-B trade-off: availability for evolving jobs vs system capacity)");
+
+    header("Fairness mode (decayed resource-hour axis)");
+    for (label, mode, half_hours) in [
+        ("static windowed", FairshareMode::Static, 0u64),
+        ("time-aware 1 h", FairshareMode::TimeAware, 1),
+        ("time-aware 6 h", FairshareMode::TimeAware, 6),
+        ("time-aware 24 h", FairshareMode::TimeAware, 24),
+    ] {
+        let a = run_many(
+            &seeds,
+            |_| {},
+            |s| {
+                s.fairshare.enabled = true;
+                s.fairshare.mode = mode;
+                if mode == FairshareMode::TimeAware {
+                    s.fairshare.half_life = SimDuration::from_hours(half_hours);
+                    s.fairshare.default_target = 0.1;
+                }
+            },
+            |_, _| {},
+        );
+        row(label, &a);
+    }
+    println!("(shorter half-lives forgive past heavy use faster; the static window forgets");
+    println!(" in whole-window steps — the time-aware axis trades memory for reactivity)");
 
     header("Malleable admixture (future-work extension)");
     for (label, enable) in [("no malleability", false), ("shrink+grow", true)] {

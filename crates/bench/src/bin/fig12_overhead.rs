@@ -47,6 +47,7 @@ fn spec(name: &str, user: u32, cores: u32, millis: u64) -> JobSpec {
         malleable: None,
         moldable: None,
         dyn_timeout: None,
+        queue: None,
     }
 }
 

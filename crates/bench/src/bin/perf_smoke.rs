@@ -65,20 +65,25 @@ use dynbatch_bench::alloc_meter;
 use dynbatch_cluster::Cluster;
 use dynbatch_core::json::Json;
 use dynbatch_core::{
-    AllocPolicy, CredRegistry, DfsConfig, JobId, SchedulerConfig, SimDuration, SimTime,
+    AllocPolicy, CredRegistry, DfsConfig, FairshareMode, JobId, JobOutcome, QueueId,
+    SchedulerConfig, SimDuration, SimTime,
 };
-use dynbatch_metrics::{summarize_ensemble, Aggregate, RunSummary};
+use dynbatch_metrics::{
+    stats::quantile, summarize_ensemble, user_wait_fairness, Aggregate, RunSummary,
+};
 use dynbatch_sched::incremental::rebuild_into;
 use dynbatch_sched::reference::NaiveProfile;
 use dynbatch_sched::{
-    rank_jobs, AvailabilityProfile, DeltaLog, DynRequest, IncrementalTimeline, Maui, ProfileDelta,
-    QueuedJob, RunningJob, Snapshot,
+    rank_jobs, AvailabilityProfile, DeltaLog, DynRequest, FairnessView, IncrementalTimeline, Maui,
+    ProfileDelta, QueuedJob, RunningJob, Snapshot,
 };
 use dynbatch_server::reactor::apply_to_server;
 use dynbatch_server::{PbsServer, Reactor};
 use dynbatch_sim::{run_experiment, run_sweep, sweep::worker_count, BatchSim, ExperimentConfig};
 use dynbatch_simtime::SplitMix64;
-use dynbatch_workload::{generate_esp, stream_esp, EspConfig, WorkloadItem};
+use dynbatch_workload::{
+    generate_esp, stream_esp, stream_synthetic, EspConfig, SyntheticConfig, WorkloadItem,
+};
 use std::collections::HashMap;
 use std::hint::black_box;
 use std::thread;
@@ -117,6 +122,7 @@ fn scaled_snapshot(nodes: u32, jobs: usize, seed: u64) -> Snapshot {
         running: Vec::new(),
         queued: Vec::new(),
         dyn_requests: Vec::new(),
+        usage: None,
         deltas: None,
     };
     // Fill ~95% of the machine with small running jobs so planning is
@@ -160,6 +166,7 @@ fn scaled_snapshot(nodes: u32, jobs: usize, seed: u64) -> Snapshot {
             id: JobId(100_000 + id),
             user: dynbatch_core::UserId((id % 10) as u32),
             group: dynbatch_core::GroupId(0),
+            queue: QueueId(0),
             cores: 4 + rng.next_below(40) as u32,
             walltime: SimDuration::from_secs(300 + rng.next_below(1_500)),
             submit_time: SimTime::from_secs(rng.next_below(10_000)),
@@ -601,6 +608,66 @@ fn sweep_workload(cfg: &ExperimentConfig, seed: u64) -> dynbatch_workload::EspSt
     stream_esp(&wl_cfg, &mut reg)
 }
 
+/// One fairness-ensemble column: the sweep workload under a fairshare
+/// mode. The synthetic mix is deliberately **skewed** — user 0 owns a
+/// third of the submissions (`users: 3` over round-robin assignment ⇒
+/// uneven per-user demand once core sizes randomise) — so per-user wait
+/// spread has something to measure.
+fn fairness_sched(mode: FairshareMode) -> SchedulerConfig {
+    let mut cfg = SchedulerConfig::paper_eval();
+    cfg.dfs = DfsConfig::uniform_target(500, SimDuration::from_hours(1));
+    // Give the fairshare delta real weight in both arms (the default is
+    // 0.0 — pure FIFO — under which the two modes are indistinguishable):
+    // a full share deviation is worth ~an hour of queueing.
+    cfg.priority.fairshare_weight = 60.0;
+    cfg.fairshare.enabled = true;
+    cfg.fairshare.mode = mode;
+    cfg.fairshare.half_life = SimDuration::from_hours(6);
+    cfg.fairshare.default_target = 1.0 / 6.0;
+    if mode == FairshareMode::TimeAware {
+        cfg.fairshare.user_budget_core_hours = Some(60.0);
+    }
+    cfg
+}
+
+fn fairness_workload(cfg: &ExperimentConfig, seed: u64) -> dynbatch_workload::SyntheticStream {
+    let _ = cfg;
+    let mut reg = CredRegistry::new();
+    let wl = SyntheticConfig {
+        seed,
+        jobs: 80,
+        users: 6,
+        total_cores: 120,
+        mean_interarrival: SimDuration::from_secs(25),
+        runtime_secs: (60, 900),
+        cores: (1, 12),
+        evolving_fraction: 0.3,
+        extra_cores: 4,
+        det_factor: 0.7,
+    };
+    stream_synthetic(&wl, &mut reg)
+}
+
+/// The fairness headline: the spread (max − min) of per-user p95 waiting
+/// times, seconds — 0 when every user experiences the same tail latency.
+fn p95_wait_spread_s(outcomes: &[JobOutcome]) -> f64 {
+    let mut by_user: HashMap<u32, Vec<f64>> = HashMap::new();
+    for o in outcomes {
+        by_user
+            .entry(o.user.0)
+            .or_default()
+            .push(o.wait().as_secs_f64());
+    }
+    let p95s: Vec<f64> = by_user.values().map(|w| quantile(w, 0.95)).collect();
+    let max = p95s.iter().copied().fold(f64::MIN, f64::max);
+    let min = p95s.iter().copied().fold(f64::MAX, f64::min);
+    if p95s.is_empty() {
+        0.0
+    } else {
+        max - min
+    }
+}
+
 fn aggregate_json(a: &Aggregate) -> Json {
     Json::obj(vec![
         ("mean", Json::Float(a.mean)),
@@ -640,7 +707,7 @@ fn main() {
     let snap = scaled_snapshot(nodes, jobs, 42);
     let ranked: Vec<QueuedJob> = {
         let mut v = snap.queued.clone();
-        rank_jobs(&mut v, snap.now, &cfg.priority, None);
+        rank_jobs(&mut v, snap.now, &cfg.priority, FairnessView::None);
         v
     };
     let (naive_ms, naive_out) = time_ms(reps, || naive_kernel(&snap, &ranked, &cfg));
@@ -1041,6 +1108,57 @@ fn main() {
         );
     }
 
+    // 8. Fairness ensemble: the same skewed synthetic campaign under the
+    // classic windowed fairshare (Static) and the decayed resource-hour
+    // mode (TimeAware), per-seed per-user p95 wait spread + Jain's index
+    // over user mean waits, aggregated across the seed ensemble.
+    let fair_seed_count: usize = if quick { 8 } else { 256 };
+    let fair_seeds: Vec<u64> = (0..fair_seed_count).map(|i| 7_000 + i as u64).collect();
+    eprintln!(
+        "perf_smoke: fairness ensemble ({} seeds x static/time-aware)",
+        fair_seeds.len()
+    );
+    let fair_cfgs = vec![
+        ExperimentConfig::paper_cluster("static", fairness_sched(FairshareMode::Static)),
+        ExperimentConfig::paper_cluster("time-aware", fairness_sched(FairshareMode::TimeAware)),
+    ];
+    let fair_cells = run_sweep(&fair_cfgs, &fair_seeds, 0, fairness_workload);
+    let fairness_modes: Vec<Json> = fair_cfgs
+        .iter()
+        .enumerate()
+        .map(|(ci, cfg)| {
+            let mut spreads = Vec::new();
+            let mut jains = Vec::new();
+            for cell in fair_cells.iter().filter(|c| c.config == ci) {
+                spreads.push(p95_wait_spread_s(&cell.result.outcomes));
+                jains.push(user_wait_fairness(&cell.result.outcomes));
+            }
+            let spread = dynbatch_metrics::aggregate(&spreads);
+            let jain = dynbatch_metrics::aggregate(&jains);
+            eprintln!(
+                "  {:<11} p95-wait spread mean {:>7.1} s  jain mean {:.4}",
+                cfg.label, spread.mean, jain.mean
+            );
+            Json::obj(vec![
+                ("mode", Json::Str(cfg.label.clone())),
+                ("p95_wait_spread_s", aggregate_json(&spread)),
+                ("jain_user_mean_wait", aggregate_json(&jain)),
+            ])
+        })
+        .collect();
+    let fairness_json = Json::obj(vec![
+        ("seeds", Json::UInt(fair_seeds.len() as u64)),
+        (
+            "workload",
+            Json::Str("synthetic 80 jobs / 6 users / 120 cores".into()),
+        ),
+        (
+            "headline",
+            Json::Str("per-user p95 wait spread, seconds".into()),
+        ),
+        ("modes", Json::Arr(fairness_modes)),
+    ]);
+
     let report = Json::obj(vec![
         ("version", Json::UInt(1)),
         ("quick", Json::Bool(quick)),
@@ -1155,6 +1273,7 @@ fn main() {
                 ("identical_results", Json::Bool(true)),
             ]),
         ),
+        ("fairness", fairness_json),
     ]);
     std::fs::write(&out_path, report.to_string_pretty()).expect("write report");
     eprintln!("perf_smoke: wrote {out_path}");

@@ -71,29 +71,68 @@ impl Default for PriorityWeights {
 pub struct FairshareConfig {
     /// Whether fairshare influences priority at all.
     pub enabled: bool,
-    /// Length of one fairshare window.
+    /// Which usage-accounting backend feeds the fairshare priority term.
+    pub mode: FairshareMode,
+    /// Length of one fairshare window (static mode). `ZERO` means an
+    /// **infinite window**: usage accumulates forever with no decay, and
+    /// only a single window may be configured (`windows == 1`) — any other
+    /// combination is rejected by [`SchedulerConfig::validate`].
     pub window: SimDuration,
-    /// Number of historical windows retained.
+    /// Number of historical windows retained (static mode).
     pub windows: usize,
     /// Per-window decay applied to historical usage (newest window weight 1,
-    /// then ×decay per step back).
+    /// then ×decay per step back; static mode).
     pub decay: f64,
+    /// Half-life of the decayed resource-hour accounts (time-aware mode):
+    /// a charge loses half its weight every `half_life`.
+    pub half_life: SimDuration,
     /// Per-user usage-share targets (fraction of the system); users absent
     /// here get `default_target`.
     pub user_targets: HashMap<UserId, f64>,
     /// Target for users without an explicit entry.
     pub default_target: f64,
+    /// Per-user decayed resource-hour budget (time-aware mode). A user
+    /// whose decayed account exceeds this many core-hours has their queued
+    /// jobs demoted (not denied) until decay drains the account.
+    pub user_budget_core_hours: Option<f64>,
+    /// Per-queue decayed resource-hour budget (time-aware mode), same
+    /// demotion semantics as the user budget.
+    pub queue_budget_core_hours: Option<f64>,
+    /// Priority subtracted from a job whose owner (user or queue) is over
+    /// budget. Large enough to rank over-budget work behind everything
+    /// else, small enough that explicit `priority_boost` escalation can
+    /// still outrank it.
+    pub budget_demotion: f64,
+}
+
+/// Which usage history backs the fairshare priority component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FairshareMode {
+    /// The paper's windowed tracker: geometric decay over rotating
+    /// fixed-length windows, charged by the sim/daemon at segment sync.
+    #[default]
+    Static,
+    /// Decayed resource-hour accounts fed segment-exactly from the
+    /// server's journalled usage ledger: exponential half-life decay,
+    /// cluster-capacity normalization, per-user/per-queue budgets, and a
+    /// heavy-user penalty on dynamic-request admission.
+    TimeAware,
 }
 
 impl Default for FairshareConfig {
     fn default() -> Self {
         FairshareConfig {
             enabled: false,
+            mode: FairshareMode::Static,
             window: SimDuration::from_hours(1),
             windows: 8,
             decay: 0.7,
+            half_life: SimDuration::from_hours(24),
             user_targets: HashMap::new(),
             default_target: 0.1,
+            user_budget_core_hours: None,
+            queue_budget_core_hours: None,
+            budget_demotion: 1e6,
         }
     }
 }
@@ -378,6 +417,27 @@ impl SchedulerConfig {
         self.dfs.validate()?;
         if self.fairshare.enabled && !(0.0..=1.0).contains(&self.fairshare.decay) {
             return Err("fairshare decay must be within [0,1]".into());
+        }
+        if self.fairshare.enabled && self.fairshare.window.is_zero() && self.fairshare.windows != 1
+        {
+            return Err(
+                "fairshare window ZERO means an infinite window and admits exactly one \
+                 window (windows = 1); retained windows and decay would silently never apply"
+                    .into(),
+            );
+        }
+        if self.fairshare.mode == FairshareMode::TimeAware && self.fairshare.half_life.is_zero() {
+            return Err("time-aware fairshare requires a positive half_life".into());
+        }
+        if let Some(b) = self.fairshare.user_budget_core_hours {
+            if b.is_nan() || b < 0.0 {
+                return Err("user resource-hour budget must be non-negative".into());
+            }
+        }
+        if let Some(b) = self.fairshare.queue_budget_core_hours {
+            if b.is_nan() || b < 0.0 {
+                return Err("queue resource-hour budget must be non-negative".into());
+            }
         }
         if self.shards == 0 {
             return Err("shards must be at least 1".into());

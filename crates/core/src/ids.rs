@@ -24,6 +24,12 @@ pub struct UserId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GroupId(pub u32);
 
+/// A submission-queue identifier. Sites that do not configure explicit
+/// queues get one queue per user group ([`crate::JobSpec::effective_queue`]),
+/// so per-queue resource-hour accounting degenerates to per-group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueueId(pub u32);
+
 impl fmt::Display for JobId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "job.{}", self.0)
@@ -45,6 +51,12 @@ impl fmt::Display for UserId {
 impl fmt::Display for GroupId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "gid{}", self.0)
+    }
+}
+
+impl fmt::Display for QueueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
     }
 }
 

@@ -1,7 +1,7 @@
 //! Jobs: the unit of work a batch system schedules.
 
 use crate::exec::ExecutionModel;
-use crate::ids::{GroupId, JobId, UserId};
+use crate::ids::{GroupId, JobId, QueueId, UserId};
 use crate::time::{SimDuration, SimTime};
 use std::fmt;
 
@@ -109,6 +109,10 @@ pub struct JobSpec {
     /// `None` (the default) is the paper's simple reject-and-retry
     /// protocol.
     pub dyn_timeout: Option<SimDuration>,
+    /// Submission queue for per-queue resource-hour accounting. `None`
+    /// (the default) falls back to one queue per user group
+    /// ([`JobSpec::effective_queue`]).
+    pub queue: Option<QueueId>,
 }
 
 impl JobSpec {
@@ -133,6 +137,7 @@ impl JobSpec {
             malleable: None,
             moldable: None,
             dyn_timeout: None,
+            queue: None,
         }
     }
 
@@ -159,6 +164,7 @@ impl JobSpec {
             malleable: None,
             moldable: None,
             dyn_timeout: None,
+            queue: None,
         }
     }
 
@@ -192,6 +198,7 @@ impl JobSpec {
             }),
             moldable: None,
             dyn_timeout: None,
+            queue: None,
         }
     }
 
@@ -226,6 +233,7 @@ impl JobSpec {
                 max_cores,
             }),
             dyn_timeout: None,
+            queue: None,
         }
     }
 
@@ -240,6 +248,18 @@ impl JobSpec {
     pub fn with_priority_boost(mut self, boost: i64) -> Self {
         self.priority_boost = boost;
         self
+    }
+
+    /// Routes the job to an explicit submission queue.
+    pub fn with_queue(mut self, queue: QueueId) -> Self {
+        self.queue = Some(queue);
+        self
+    }
+
+    /// The queue this job's usage is accounted to: the explicit queue, or
+    /// the group-derived default (one queue per user group).
+    pub fn effective_queue(&self) -> QueueId {
+        self.queue.unwrap_or(QueueId(self.group.0))
     }
 
     /// Validates the spec.

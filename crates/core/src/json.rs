@@ -535,7 +535,7 @@ mod tests {
 pub mod model {
     use super::Json;
     use crate::exec::{ExecutionModel, Phase, PhasedModel, SpeedupModel};
-    use crate::ids::{GroupId, JobId, UserId};
+    use crate::ids::{GroupId, JobId, QueueId, UserId};
     use crate::job::{Job, JobClass, JobOutcome, JobSpec, JobState, MalleableRange};
     use crate::time::{SimDuration, SimTime};
 
@@ -744,6 +744,12 @@ pub mod model {
                     .map(|d| Json::UInt(d.as_millis()))
                     .unwrap_or(Json::Null),
             ),
+            (
+                "queue",
+                spec.queue
+                    .map(|q| Json::UInt(q.0 as u64))
+                    .unwrap_or(Json::Null),
+            ),
         ])
     }
 
@@ -769,6 +775,13 @@ pub mod model {
                 d.as_u64().ok_or("`dyn_timeout_ms` is not an integer")?,
             )),
         };
+        let queue = match v.get("queue") {
+            None | Some(Json::Null) => None,
+            Some(q) => Some(QueueId(
+                u32::try_from(q.as_u64().ok_or("`queue` is not an integer")?)
+                    .map_err(|_| "`queue` out of range".to_string())?,
+            )),
+        };
         Ok(JobSpec {
             name: str_field(v, "name")?.to_owned(),
             user: UserId(u32_field(v, "user")?),
@@ -788,6 +801,7 @@ pub mod model {
             malleable: opt_range("malleable")?,
             moldable: opt_range("moldable")?,
             dyn_timeout,
+            queue,
         })
     }
 

@@ -38,11 +38,11 @@ pub mod testkit;
 pub mod time;
 
 pub use config::{
-    AllocPolicy, BackfillPolicy, CredLimits, DfsConfig, DfsPolicy, FairshareConfig,
+    AllocPolicy, BackfillPolicy, CredLimits, DfsConfig, DfsPolicy, FairshareConfig, FairshareMode,
     PriorityWeights, SchedulerConfig,
 };
 pub use error::{Error, Result};
 pub use exec::{ExecutionModel, Phase, PhasedModel, SpeedupModel};
-pub use ids::{CredRegistry, GroupId, JobId, NodeId, UserId};
+pub use ids::{CredRegistry, GroupId, JobId, NodeId, QueueId, UserId};
 pub use job::{Job, JobClass, JobOutcome, JobSpec, JobState, MalleableRange, OutcomeTotals};
 pub use time::{SimDuration, SimTime};

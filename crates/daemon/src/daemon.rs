@@ -23,7 +23,8 @@ use crate::timer::{TimerHandle, TimerId, TimerService};
 use crate::wire::{ClientReq, MomMsg, PeerMsg, ServerCmd};
 use dynbatch_cluster::{Allocation, Cluster};
 use dynbatch_core::{
-    JobId, JobOutcome, JobSpec, JobState, NodeId, SchedulerConfig, SimDuration, SimTime, UserId,
+    FairshareMode, JobId, JobOutcome, JobSpec, JobState, NodeId, SchedulerConfig, SimDuration,
+    SimTime, UserId,
 };
 use dynbatch_sched::Maui;
 use dynbatch_server::reactor::{Command as ReactorCommand, Reply as ReactorReply};
@@ -440,6 +441,12 @@ fn server_main(
     // plan or exercised by the chaos suite) depends on it, and the append
     // cost is measured and bounded by the perf harness.
     let mut server = PbsServer::new(cluster, alloc_policy);
+    // Half-life before `enable_journal` so the genesis image already
+    // carries it; segment-close events feed the window-exact fairshare
+    // sync below.
+    server.set_usage_half_life(config.sched.fairshare.half_life);
+    server.set_publish_usage(config.sched.fairshare.mode == FairshareMode::TimeAware);
+    server.set_collect_usage_events(true);
     server.enable_journal(JOURNAL_SNAPSHOT_EVERY);
     let mut d = ServerDaemon {
         server,
@@ -701,6 +708,15 @@ impl ServerDaemon {
         // and post-recovery priorities diverged from a crash-free run).
         self.maui = Maui::new(self.sched.clone());
         self.fs_synced.clear();
+        // Per-process flags are not journalled; re-arm them. (The decayed
+        // usage accounts themselves were recovered bit-exact from the
+        // image, half-life included, so the half-life setter is a no-op
+        // unless the recovered accounts are empty.)
+        self.server
+            .set_usage_half_life(self.sched.fairshare.half_life);
+        self.server
+            .set_publish_usage(self.sched.fairshare.mode == FairshareMode::TimeAware);
+        self.server.set_collect_usage_events(true);
         struct Revive {
             job: JobId,
             remaining: Duration,
@@ -890,6 +906,23 @@ impl ServerDaemon {
     /// crash-consistent: after a crash-restart `fs_synced` is cleared and
     /// the recovered totals recharge in full.
     fn sync_fairshare(&mut self) {
+        // Exact path: each closed usage segment is charged into the
+        // fairshare window covering its *close instant*. A cycle that
+        // runs just after a window boundary must not attribute the old
+        // window's compute to the new one (that mis-attribution let a
+        // user shed decayed history by idling across boundaries).
+        for (user, delta_ms, at) in self.server.take_usage_events() {
+            *self.fs_synced.entry(user).or_insert(0) += delta_ms;
+            self.maui
+                .fairshare_mut()
+                .charge_at(user, delta_ms as f64 / 1000.0, at);
+        }
+        // Fallback for charges with no event: after a crash-restart the
+        // events died with the process, so the recovered totals recharge
+        // in full here. Close-instant attribution is lost for those, but
+        // the compute is not forfeited. In steady state the event drain
+        // above keeps `fs_synced` flush with the ledger and this loop
+        // charges nothing.
         for (user, total) in self.server.usage() {
             let seen = self.fs_synced.entry(user).or_insert(0);
             if total > *seen {
@@ -1330,6 +1363,7 @@ mod tests {
             malleable: None,
             moldable: None,
             dyn_timeout: None,
+            queue: None,
         }
     }
 
@@ -1424,6 +1458,69 @@ mod tests {
         assert_eq!(d.qstat(doomed), Some(JobState::Cancelled));
         assert!(d.await_drained(Duration::from_secs(2)));
         d.shutdown();
+    }
+
+    // ------------------------------------------------------------------
+    // sync_fairshare window attribution (mechanism level).
+    // ------------------------------------------------------------------
+
+    /// The window-attribution regression: a usage segment that closes at
+    /// t=59 min but is synced at t=61 min — after the 1 h fairshare
+    /// window boundary — must charge the window covering the close
+    /// instant, so a late-syncing daemon agrees exactly with one that
+    /// synced eagerly. Pre-fix, `sync_fairshare` charged the window
+    /// current at sync time and the two diverged (the late charge
+    /// escaped one decay step).
+    #[test]
+    fn fairshare_sync_attributes_segment_close_across_window_boundary() {
+        use dynbatch_core::{AllocPolicy, FairshareConfig};
+        use dynbatch_sched::FairshareTracker;
+
+        let mut server = PbsServer::new(Cluster::homogeneous(1, 8), AllocPolicy::Pack);
+        server.set_collect_usage_events(true);
+        let mut maui = Maui::new(SchedulerConfig::paper_eval());
+        let id = server
+            .qsub(spec("seg", 8, 3_600_000), SimTime::ZERO)
+            .expect("qsub");
+        let snap = server.snapshot_incremental(SimTime::ZERO);
+        server.apply(&maui.iterate(&snap), SimTime::ZERO);
+        assert_eq!(server.job(id).expect("known").state, JobState::Running);
+
+        // The segment closes at 59 min: 8 cores × 59 min.
+        let close = SimTime::from_secs(59 * 60);
+        server.job_finished(id, close).expect("finishes");
+
+        let fs = FairshareConfig {
+            enabled: true,
+            window: SimDuration::from_hours(1),
+            windows: 4,
+            decay: 0.5,
+            ..FairshareConfig::default()
+        };
+        // Eager daemon: syncs the event inside the window it closed in,
+        // then advances over the boundary. Late daemon: its first cycle
+        // after the close happens at 61 min, past the boundary.
+        let mut eager = FairshareTracker::new(fs.clone(), SimTime::ZERO);
+        let mut late = FairshareTracker::new(fs, SimTime::ZERO);
+        let sync_at = SimTime::from_secs(61 * 60);
+        late.advance_to(sync_at);
+
+        let events = server.take_usage_events();
+        assert_eq!(events.len(), 1, "one closed segment, one event");
+        for &(user, delta_ms, at) in &events {
+            assert_eq!(at, close, "event carries the close instant");
+            eager.charge_at(user, delta_ms as f64 / 1000.0, at);
+            late.charge_at(user, delta_ms as f64 / 1000.0, at);
+        }
+        eager.advance_to(sync_at);
+
+        let user = UserId(0);
+        assert!(late.usage_share(user) > 0.0, "charge must not be dropped");
+        assert_eq!(
+            late.priority_delta(user),
+            eager.priority_delta(user),
+            "late sync must agree with eager sync bit-for-bit"
+        );
     }
 
     // ------------------------------------------------------------------

@@ -113,22 +113,60 @@ impl DfsEngine {
 
     /// Rolls interval boundaries forward to cover `now`, decaying
     /// accumulated user/group delay by `DFSDecay` per boundary crossed.
+    ///
+    /// The naive implementation walks one boundary at a time — a
+    /// month-scale gap with a 1 h interval is ~720 decay sweeps on the
+    /// scheduler hot path. [`SimDuration::mul_f64`] rounds to the
+    /// millisecond per application, so `k` sweeps are *not* one
+    /// `decay^k`; instead the common cases short-circuit (empty maps,
+    /// decay 0 or 1) and the general loop stops as soon as the maps drain
+    /// or hit a rounding fixed point, then jumps the remaining
+    /// boundaries. Equivalence with the naive loop is pinned by a
+    /// property test below.
     pub fn advance_to(&mut self, now: SimTime) {
-        if self.config.interval.is_zero() {
+        if self.config.interval.is_zero() || now < self.interval_start + self.config.interval {
             return;
         }
-        while now >= self.interval_start + self.config.interval {
-            let decay = self.config.decay;
-            for v in self.user_delay.values_mut() {
-                *v = v.mul_f64(decay);
-            }
-            for v in self.group_delay.values_mut() {
-                *v = v.mul_f64(decay);
-            }
+        let i_ms = self.config.interval.as_millis();
+        let k = (now - self.interval_start).as_millis() / i_ms;
+        let end = self.interval_start + SimDuration::from_millis(k * i_ms);
+        let decay = self.config.decay;
+        if self.user_delay.is_empty() && self.group_delay.is_empty() {
+            // Nothing to decay: every boundary is a no-op.
+        } else if decay == 0.0 {
+            // The first boundary already wipes everything.
+            self.user_delay.clear();
+            self.group_delay.clear();
+        } else if decay == 1.0 {
+            // Values are fixed under decay; one sweep drops the zero
+            // entries the naive loop would have retained out.
             self.user_delay.retain(|_, v| !v.is_zero());
             self.group_delay.retain(|_, v| !v.is_zero());
-            self.interval_start += self.config.interval;
+        } else {
+            // General decay: walk boundaries, but stop once the maps
+            // drain or a rounding fixed point makes further sweeps
+            // no-ops (`mul_f64` can pin small values, e.g. 1 ms × 0.9
+            // rounds back to 1 ms).
+            for _ in 0..k {
+                let mut changed = false;
+                for v in self.user_delay.values_mut() {
+                    let next = v.mul_f64(decay);
+                    changed |= next != *v;
+                    *v = next;
+                }
+                for v in self.group_delay.values_mut() {
+                    let next = v.mul_f64(decay);
+                    changed |= next != *v;
+                    *v = next;
+                }
+                self.user_delay.retain(|_, v| !v.is_zero());
+                self.group_delay.retain(|_, v| !v.is_zero());
+                if !changed {
+                    break;
+                }
+            }
         }
+        self.interval_start = end;
     }
 
     /// Evaluates whether charging `delays` (on behalf of an evolving job
@@ -138,6 +176,28 @@ impl DfsEngine {
     /// evolving job and the static job are from the same user, the delay is
     /// not considered").
     pub fn evaluate(&self, evolving_user: UserId, delays: &[DelayCharge]) -> DfsVerdict {
+        self.evaluate_scaled(evolving_user, delays, 1.0)
+    }
+
+    /// [`DfsEngine::evaluate`] with the `DFSTargetDelay` budgets scaled by
+    /// `target_scale` — the time-aware heavy-user penalty. The Maui gate
+    /// passes a scale < 1 when the requesting user is above their decayed
+    /// resource-hour share, so recent heavy users get proportionally less
+    /// headroom to inflict delays on queued jobs. A scale ≥ 1 leaves the
+    /// configured budgets untouched (`evaluate` is exactly scale = 1).
+    pub fn evaluate_scaled(
+        &self,
+        evolving_user: UserId,
+        delays: &[DelayCharge],
+        target_scale: f64,
+    ) -> DfsVerdict {
+        let scale_limit = |limit: SimDuration| {
+            if target_scale < 1.0 {
+                limit.mul_f64(target_scale)
+            } else {
+                limit
+            }
+        };
         let policy = self.config.policy;
         let relevant: Vec<&DelayCharge> = delays
             .iter()
@@ -198,7 +258,7 @@ impl DfsEngine {
             for (user, charge) in users {
                 let group = user_group[&user];
                 let limits = self.config.effective_limits(user, group);
-                if let Some(limit) = limits.target_delay_time {
+                if let Some(limit) = limits.target_delay_time.map(scale_limit) {
                     let cur = self
                         .user_delay
                         .get(&user)
@@ -218,7 +278,7 @@ impl DfsEngine {
             groups.sort_by_key(|(g, _)| *g);
             for (group, charge) in groups {
                 if let Some(glim) = self.config.groups.get(&group) {
-                    if let Some(limit) = glim.target_delay_time {
+                    if let Some(limit) = glim.target_delay_time.map(scale_limit) {
                         let cur = self
                             .group_delay
                             .get(&group)
@@ -464,6 +524,119 @@ mod tests {
         assert_eq!(
             eng.evaluate(UserId(9), &[charge(2, 0, 0, 500)]),
             DfsVerdict::Allowed
+        );
+    }
+
+    /// The naive one-sweep-per-boundary loop `advance_to` replaced —
+    /// retained as the executable specification.
+    fn naive_advance(eng: &mut DfsEngine, now: SimTime) {
+        if eng.config.interval.is_zero() {
+            return;
+        }
+        while now >= eng.interval_start + eng.config.interval {
+            let decay = eng.config.decay;
+            for v in eng.user_delay.values_mut() {
+                *v = v.mul_f64(decay);
+            }
+            for v in eng.group_delay.values_mut() {
+                *v = v.mul_f64(decay);
+            }
+            eng.user_delay.retain(|_, v| !v.is_zero());
+            eng.group_delay.retain(|_, v| !v.is_zero());
+            eng.interval_start += eng.config.interval;
+        }
+    }
+
+    fn assert_engines_equal(a: &DfsEngine, b: &DfsEngine, ctx: &str) {
+        assert_eq!(a.interval_start, b.interval_start, "{ctx}: interval_start");
+        assert_eq!(a.user_delay, b.user_delay, "{ctx}: user_delay");
+        assert_eq!(a.group_delay, b.group_delay, "{ctx}: group_delay");
+        assert_eq!(a.job_delay, b.job_delay, "{ctx}: job_delay");
+    }
+
+    #[test]
+    fn advance_jump_matches_naive_loop() {
+        // Property test: random commit/advance interleavings — gaps up to
+        // a month against a 1 h interval, decays including the 0.0 / 1.0
+        // fast paths and rounding-fixed-point cases — leave the
+        // fast-path engine in exactly the naive engine's state.
+        let mut rng = 0x2014_0907_u64;
+        let mut next = move || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        for decay in [0.0, 0.2, 0.5, 0.9, 1.0] {
+            let mut cfg = target_cfg(1_000_000);
+            cfg.decay = decay;
+            let mut fast = DfsEngine::new(cfg.clone(), SimTime::ZERO);
+            let mut slow = DfsEngine::new(cfg, SimTime::ZERO);
+            let mut now = SimTime::ZERO;
+            for step in 0..150 {
+                let gap_ms = match next() % 4 {
+                    0 => next() % 3_600_000,
+                    1 => 3_600_000 + next() % 3_600_000,
+                    2 => next() % (24 * 3_600_000),
+                    _ => next() % (31 * 24 * 3_600_000),
+                };
+                now += SimDuration::from_millis(gap_ms);
+                fast.advance_to(now);
+                naive_advance(&mut slow, now);
+                // Charge a small delay (sometimes 1 ms, to exercise the
+                // mul_f64 rounding fixed point) to a random user/group.
+                let d = [charge_ms(
+                    next() % 8,
+                    (next() % 4) as u32,
+                    (next() % 2) as u32,
+                    {
+                        if next() % 3 == 0 {
+                            1
+                        } else {
+                            next() % 10_000
+                        }
+                    },
+                )];
+                fast.commit(UserId(99), &d);
+                slow.commit(UserId(99), &d);
+                assert_engines_equal(&fast, &slow, &format!("decay={decay} step={step}"));
+            }
+        }
+    }
+
+    fn charge_ms(job: u64, user: u32, group: u32, ms: u64) -> DelayCharge {
+        DelayCharge {
+            job: JobId(job),
+            user: UserId(user),
+            group: GroupId(group),
+            delay: SimDuration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn scaled_budget_tightens_target() {
+        let eng = DfsEngine::new(target_cfg(500), SimTime::ZERO);
+        let d = [charge(1, 0, 0, 400)];
+        // Full budget: 400 s under the 500 s cap.
+        assert_eq!(eng.evaluate_scaled(UserId(9), &d, 1.0), DfsVerdict::Allowed);
+        // Heavy-user penalty halves the cap: 400 s bursts 250 s.
+        assert!(matches!(
+            eng.evaluate_scaled(UserId(9), &d, 0.5),
+            DfsVerdict::Rejected(DfsReject::UserTargetExceeded {
+                limit,
+                ..
+            }) if limit == SimDuration::from_secs(250)
+        ));
+        // Scales above 1 never loosen the configured cap.
+        let big = [charge(1, 0, 0, 501)];
+        assert!(matches!(
+            eng.evaluate_scaled(UserId(9), &big, 4.0),
+            DfsVerdict::Rejected(DfsReject::UserTargetExceeded { .. })
+        ));
+        // evaluate() is exactly scale = 1.
+        assert_eq!(
+            eng.evaluate(UserId(9), &d),
+            eng.evaluate_scaled(UserId(9), &d, 1.0)
         );
     }
 

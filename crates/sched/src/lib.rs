@@ -18,6 +18,8 @@
 //! * [`incremental`] — the delta-maintained base profile carried across
 //!   iterations (with its rebuild-equivalence contract);
 //! * [`priority`] / [`fairshare`] — classic Maui job prioritisation;
+//! * [`usage_history`] — decayed resource-hour accounts behind the
+//!   time-aware fairshare mode, budgets and heavy-user DFS penalties;
 //! * [`plan`] — sequential earliest-start planning (reservations,
 //!   StartNow/StartLater, delay what-ifs);
 //! * [`dfs`] — the dynamic-fairness engine (paper §III-D);
@@ -43,6 +45,7 @@ pub mod router;
 pub mod shard;
 pub mod snapshot;
 pub mod timeline;
+pub mod usage_history;
 
 pub use dfs::{DelayCharge, DfsEngine, DfsReject, DfsVerdict};
 pub use fairshare::FairshareTracker;
@@ -51,9 +54,10 @@ pub use incremental::{
 };
 pub use maui::{mold_fit, DynDecision, IterationOutcome, Maui, ResizeDecision, StartDecision};
 pub use plan::plan_starts;
-pub use priority::{priority_of, rank_jobs, Priority};
+pub use priority::{priority_of, rank_jobs, FairnessView, Priority};
 pub use reservation::{PlannedStart, Reservation, StartKind};
 pub use router::{MultiShardHold, ShardRouter, StealQueues};
 pub use shard::{with_round_pool, ShardCommitError, ShardLayout, ShardedTimeline};
 pub use snapshot::{DynRequest, QueuedJob, RunningJob, Snapshot};
 pub use timeline::{planned_end, AvailabilityProfile, OVERDUE_GRACE};
+pub use usage_history::{DecayedAccount, UsageHistory, UsageSnapshot};

@@ -24,13 +24,16 @@ use crate::dfs::{DelayCharge, DfsEngine, DfsReject, DfsVerdict};
 use crate::fairshare::FairshareTracker;
 use crate::incremental::{profile_from_running, rebuild_into, IncrementalTimeline, TimelineStats};
 use crate::plan::plan_starts;
-use crate::priority::{priority_of, rank_jobs, Priority};
+use crate::priority::{priority_of, rank_jobs, FairnessView, Priority};
 use crate::reservation::{PlannedStart, Reservation};
 use crate::router::{ShardRouter, StealQueues};
 use crate::shard::{with_round_pool, ShardedTimeline};
 use crate::snapshot::{DynRequest, QueuedJob, RunningJob, Snapshot};
 use crate::timeline::{planned_end, AvailabilityProfile};
-use dynbatch_core::{BackfillPolicy, JobId, SchedulerConfig, SimTime};
+use crate::usage_history::UsageSnapshot;
+use dynbatch_core::{
+    BackfillPolicy, FairshareConfig, FairshareMode, JobId, SchedulerConfig, SimTime, UserId,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
@@ -353,13 +356,9 @@ impl Maui {
         // Steps 6–9: select and prioritise static jobs and dynamic
         // requests. The queue is ranked through references — the snapshot
         // is never cloned on this path.
+        let fairness = fairness_view(&self.config, &self.fairshare, snap.usage.as_ref());
         let mut ranked: Vec<&QueuedJob> = snap.queued.iter().collect();
-        rank_jobs(
-            &mut ranked,
-            now,
-            &self.config.priority,
-            Some(&self.fairshare),
-        );
+        rank_jobs(&mut ranked, now, &self.config.priority, fairness);
 
         // The base profile carries running jobs' remaining walltimes; all
         // planning happens on top of clones of it. On the incremental
@@ -421,6 +420,7 @@ impl Maui {
                 ranked: &ranked,
                 jobs_by_id: &jobs_by_id,
                 running: &snap.running,
+                usage: snap.usage.as_ref(),
                 now,
                 plan_cache_enabled: self.plan_cache_enabled,
             };
@@ -553,7 +553,7 @@ impl Maui {
         // can borrow it. Everything below is either immutable input or a
         // lock-guarded cell the driver fills between rounds.
         let config = &self.config;
-        let fairshare = &self.fairshare;
+        let fairness = fairness_view(&self.config, &self.fairshare, snap.usage.as_ref());
         let plan_cache_enabled = self.plan_cache_enabled;
         // The DFS engine moves into a lock for the duration of the
         // iteration: workers read it while evaluating, the driver writes
@@ -626,7 +626,7 @@ impl Maui {
                     .enumerate()
                     .map(|(k, j)| {
                         (
-                            priority_of(j, now, &config.priority, Some(fairshare)),
+                            priority_of(j, now, &config.priority, fairness),
                             (lo + k) as u32,
                         )
                     })
@@ -647,6 +647,7 @@ impl Maui {
                     ranked: &ranked_g,
                     jobs_by_id: &jobs_by_id,
                     running: &snap.running,
+                    usage: snap.usage.as_ref(),
                     now,
                     plan_cache_enabled,
                 };
@@ -715,7 +716,7 @@ impl Maui {
                     .collect()
             } else {
                 let mut r: Vec<&QueuedJob> = snap.queued.iter().collect();
-                rank_jobs(&mut r, now, &config.priority, Some(fairshare));
+                rank_jobs(&mut r, now, &config.priority, fairness);
                 r
             };
             // Workers read a clone (the driver must not hold a read guard
@@ -742,6 +743,7 @@ impl Maui {
                     ranked: &ranked,
                     jobs_by_id: &jobs_by_id,
                     running: &snap.running,
+                    usage: snap.usage.as_ref(),
                     now,
                     plan_cache_enabled,
                 };
@@ -981,6 +983,48 @@ fn merge_ranked(chunks: &[Vec<(Priority, u32)>]) -> Vec<u32> {
     out
 }
 
+/// Selects the fairness mechanism for this iteration per
+/// [`FairshareConfig::mode`]. A pure function of config + published
+/// usage, so the serial and sharded paths see the identical view.
+fn fairness_view<'a>(
+    config: &'a SchedulerConfig,
+    tracker: &'a FairshareTracker,
+    usage: Option<&'a UsageSnapshot>,
+) -> FairnessView<'a> {
+    match config.fairshare.mode {
+        FairshareMode::Static => FairnessView::Static(tracker),
+        FairshareMode::TimeAware => FairnessView::TimeAware {
+            config: &config.fairshare,
+            usage,
+        },
+    }
+}
+
+/// The heavy-user penalty on the DFS target budget (time-aware mode
+/// only): a requesting user above their decayed resource-hour share gets
+/// their victims' `DFSTargetDelay` budgets scaled by `target / share`,
+/// floored at 1/4 so over-budget users can still obtain small grants.
+/// Everyone at or under target — and every static-mode run — scales by
+/// exactly 1 (evaluate unchanged).
+fn dfs_target_scale(fs: &FairshareConfig, usage: Option<&UsageSnapshot>, user: UserId) -> f64 {
+    if fs.mode != FairshareMode::TimeAware || !fs.enabled {
+        return 1.0;
+    }
+    let Some(u) = usage else {
+        return 1.0;
+    };
+    let target = fs
+        .user_targets
+        .get(&user)
+        .copied()
+        .unwrap_or(fs.default_target);
+    let share = u.user_share(user);
+    if target <= 0.0 || share <= target {
+        return 1.0;
+    }
+    (target / share).clamp(0.25, 1.0)
+}
+
 /// Read-only inputs of the dynamic-request loop, shared by the serial
 /// and sharded paths (and across worker threads in the latter).
 struct DynCtx<'a> {
@@ -988,6 +1032,9 @@ struct DynCtx<'a> {
     ranked: &'a [&'a QueuedJob],
     jobs_by_id: &'a HashMap<JobId, &'a QueuedJob>,
     running: &'a [RunningJob],
+    /// Decayed usage accounts published with the snapshot (time-aware
+    /// mode), for the DFS heavy-user penalty.
+    usage: Option<&'a UsageSnapshot>,
     now: SimTime,
     plan_cache_enabled: bool,
 }
@@ -1270,7 +1317,11 @@ fn evaluate_dynamic(
 
     // Steps 14–20: the fairness gate (read-only here; the slate is
     // charged at commit).
-    match dfs.evaluate(req.user, &delays) {
+    match dfs.evaluate_scaled(
+        req.user,
+        &delays,
+        dfs_target_scale(&ctx.config.fairshare, ctx.usage, req.user),
+    ) {
         DfsVerdict::Allowed => DynEval {
             rev,
             computed_before,
@@ -1517,7 +1568,7 @@ pub fn mold_fit(profile: &AvailabilityProfile, job: &QueuedJob, now: SimTime) ->
 mod tests {
     use super::*;
     use crate::reservation::StartKind;
-    use dynbatch_core::{DfsConfig, GroupId, SimDuration, UserId};
+    use dynbatch_core::{DfsConfig, GroupId, QueueId, SimDuration, UserId};
 
     fn t(s: u64) -> SimTime {
         SimTime::from_secs(s)
@@ -1545,6 +1596,7 @@ mod tests {
             id: JobId(id),
             user: UserId(user),
             group: GroupId(0),
+            queue: QueueId(0),
             cores,
             walltime: d(walltime_s),
             submit_time: t(submit_s),
@@ -1614,6 +1666,7 @@ mod tests {
             // +10 forces the full source chain: 6 idle + 2 shrunk from the
             // overdue malleable + 4 preempted from the overdue backfill.
             dyn_requests: vec![dyn_req(3, 1, 10, 1000, 0)],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -1656,6 +1709,7 @@ mod tests {
             running: vec![],
             queued: vec![queued(2, 0, 4, 100, 50), queued(1, 0, 4, 100, 0)],
             dyn_requests: vec![],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -1676,6 +1730,7 @@ mod tests {
             running: vec![running(1, 0, 6, 100)],
             queued: vec![queued(2, 0, 8, 100, 0), queued(3, 1, 2, 50, 10)],
             dyn_requests: vec![],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -1698,6 +1753,7 @@ mod tests {
             running: vec![running(1, 0, 6, 100)],
             queued: vec![queued(2, 0, 8, 100, 0), queued(3, 1, 2, 150, 10)],
             dyn_requests: vec![],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -1716,6 +1772,7 @@ mod tests {
             running: vec![running(1, 0, 6, 100)],
             queued: vec![z, queued(3, 1, 2, 50, 10)],
             dyn_requests: vec![],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -1734,6 +1791,7 @@ mod tests {
             running: vec![running(1, 0, 4, 200)],
             queued: vec![],
             dyn_requests: vec![dyn_req(1, 0, 4, 190, 0)],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -1750,6 +1808,7 @@ mod tests {
             running: vec![running(1, 0, 8, 200)],
             queued: vec![],
             dyn_requests: vec![dyn_req(1, 0, 4, 190, 0)],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -1773,6 +1832,7 @@ mod tests {
             running: vec![running(1, 0, 4, 200)],
             queued: vec![],
             dyn_requests: vec![dyn_req(1, 0, 4, 190, 0)],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -1791,6 +1851,7 @@ mod tests {
             running: vec![running(1, 0, 2, 8 * h), running(2, 1, 2, 4 * h)],
             queued: vec![queued(3, 2, 4, 4 * h, 0)],
             dyn_requests: vec![dyn_req(1, 0, 2, 8 * h, 0)],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -1819,6 +1880,7 @@ mod tests {
             running: vec![running(1, 0, 2, 8 * h), running(2, 1, 2, 4 * h)],
             queued: vec![queued(3, 2, 4, 4 * h, 0)],
             dyn_requests: vec![dyn_req(1, 0, 2, 8 * h, 0)],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -1849,6 +1911,7 @@ mod tests {
             running: vec![running(1, 0, 2, 8 * h), running(2, 1, 2, 4 * h)],
             queued: vec![queued(3, 0, 4, 4 * h, 0)],
             dyn_requests: vec![dyn_req(1, 0, 2, 8 * h, 0)],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -1870,6 +1933,7 @@ mod tests {
             running: vec![running(1, 0, 2, 8 * h), running(2, 1, 2, 4 * h)],
             queued: vec![queued(3, 2, 4, 4 * h, 0), queued(4, 3, 4, 4 * h, 10)],
             dyn_requests: vec![dyn_req(1, 0, 2, 8 * h, 0)],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -1897,6 +1961,7 @@ mod tests {
             running: vec![running(1, 0, 4, 300), bf],
             queued: vec![],
             dyn_requests: vec![dyn_req(1, 0, 4, 290, 0)],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -1922,6 +1987,7 @@ mod tests {
             running: vec![running(1, 0, 4, 300), bf],
             queued: vec![],
             dyn_requests: vec![dyn_req(1, 0, 4, 290, 0)],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -1945,6 +2011,7 @@ mod tests {
             running: vec![running(1, 0, 2, 200), running(2, 1, 2, 200)],
             queued: vec![],
             dyn_requests: vec![dyn_req(2, 1, 4, 190, 7), dyn_req(1, 0, 4, 190, 3)],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -1965,6 +2032,7 @@ mod tests {
             running: vec![running(1, 0, 4, 100)],
             queued: vec![queued(2, 1, 4, 50, 0)],
             dyn_requests: vec![dyn_req(1, 0, 4, 100, 0)],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -2000,6 +2068,7 @@ mod tests {
                 queued(4, 2, 8, 100, 2),
             ],
             dyn_requests: vec![],
+            usage: None,
             deltas: None,
         };
         let out = m.iterate(&snap);
@@ -2018,6 +2087,7 @@ mod tests {
                 queued(4, 2, 16, 30, 20),
             ],
             dyn_requests: vec![dyn_req(1, 0, 4, 90, 0)],
+            usage: None,
             deltas: None,
         };
         let out1 = maui(DfsConfig::highest_priority()).iterate(&snap);
@@ -2049,6 +2119,7 @@ mod tests {
             running: Vec::new(),
             queued: Vec::new(),
             dyn_requests: Vec::new(),
+            usage: None,
             deltas: None,
         };
         for i in 0..40u64 {

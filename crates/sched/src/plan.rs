@@ -59,7 +59,7 @@ pub fn plan_starts<J: std::borrow::Borrow<QueuedJob>>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dynbatch_core::{GroupId, JobId, SimDuration, UserId};
+    use dynbatch_core::{GroupId, JobId, QueueId, SimDuration, UserId};
 
     fn t(s: u64) -> SimTime {
         SimTime::from_secs(s)
@@ -70,6 +70,7 @@ mod tests {
             id: JobId(id),
             user: UserId(0),
             group: GroupId(0),
+            queue: QueueId(0),
             cores,
             walltime: SimDuration::from_secs(walltime_s),
             submit_time: SimTime::ZERO,

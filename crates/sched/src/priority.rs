@@ -8,8 +8,83 @@
 
 use crate::fairshare::FairshareTracker;
 use crate::snapshot::QueuedJob;
-use dynbatch_core::{PriorityWeights, SimTime};
+use crate::usage_history::UsageSnapshot;
+use dynbatch_core::{FairshareConfig, PriorityWeights, QueueId, SimTime, UserId};
 use std::cmp::Ordering;
+
+/// The fairness mechanism feeding the composite priority — selected by
+/// [`dynbatch_core::FairshareMode`].
+///
+/// `Static` is the classic windowed tracker; `TimeAware` reads the
+/// decayed resource-hour accounts ([`crate::usage_history`]) and adds
+/// budget demotion on top of the share-deviation delta. Passed by value:
+/// it is a couple of borrows.
+#[derive(Debug, Clone, Copy)]
+pub enum FairnessView<'a> {
+    /// No fairness contribution at all.
+    None,
+    /// Classic windowed fairshare (byte-identical to the historical
+    /// behavior of passing `Option<&FairshareTracker>`).
+    Static(&'a FairshareTracker),
+    /// Decayed resource-hour fairness: share deviation plus budget
+    /// demotion. `usage: None` (no accounts published yet) contributes
+    /// the target-only delta, exactly like an empty history.
+    TimeAware {
+        /// The fairshare configuration (targets, budgets, demotion).
+        config: &'a FairshareConfig,
+        /// The decayed accounts valued at the scheduling instant.
+        usage: Option<&'a UsageSnapshot>,
+    },
+}
+
+impl FairnessView<'_> {
+    /// The fairshare priority component for `user`: `target − share`,
+    /// positive when the user is under-served.
+    pub fn delta(&self, user: UserId) -> f64 {
+        match self {
+            FairnessView::None => 0.0,
+            FairnessView::Static(fs) => fs.priority_delta(user),
+            FairnessView::TimeAware { config, usage } => {
+                if !config.enabled {
+                    return 0.0;
+                }
+                let target = config
+                    .user_targets
+                    .get(&user)
+                    .copied()
+                    .unwrap_or(config.default_target);
+                target - usage.map_or(0.0, |u| u.user_share(user))
+            }
+        }
+    }
+
+    /// The resource-hour budget demotion for a job of `user` in `queue`:
+    /// `budget_demotion` when either the user or the queue is over its
+    /// decayed core-hour budget, else `0.0`. Over-budget owners' jobs
+    /// are *demoted*, never denied — they rank behind in-budget work and
+    /// recover as decay drains the account.
+    pub fn demotion(&self, user: UserId, queue: QueueId) -> f64 {
+        match self {
+            FairnessView::TimeAware {
+                config,
+                usage: Some(u),
+            } if config.enabled => {
+                let over_user = config
+                    .user_budget_core_hours
+                    .is_some_and(|b| u.user_core_hours(user) > b);
+                let over_queue = config
+                    .queue_budget_core_hours
+                    .is_some_and(|b| u.queue_core_hours(queue) > b);
+                if over_user || over_queue {
+                    config.budget_demotion
+                } else {
+                    0.0
+                }
+            }
+            _ => 0.0,
+        }
+    }
+}
 
 /// A queued job's computed priority, with deterministic tie-breaking.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,21 +110,26 @@ impl Priority {
 }
 
 /// Computes the composite priority of a queued job at instant `now`.
+///
+/// The budget demotion subtracts after the weighted sum; a demotion of
+/// `0.0` (every non-time-aware view) leaves the score bit-identical to
+/// the historical formula.
 pub fn priority_of(
     job: &QueuedJob,
     now: SimTime,
     weights: &PriorityWeights,
-    fairshare: Option<&FairshareTracker>,
+    fairness: FairnessView<'_>,
 ) -> Priority {
     let wait_min = now.duration_since(job.submit_time).as_mins_f64();
     let walltime_min = job.walltime.as_mins_f64().max(1e-9);
     let expansion = wait_min / walltime_min;
-    let fs_delta = fairshare.map_or(0.0, |fs| fs.priority_delta(job.user));
+    let fs_delta = fairness.delta(job.user);
     let score = job.priority_boost as f64
         + weights.queue_time_weight * wait_min
         + weights.expansion_weight * expansion
         + weights.resource_weight * job.cores as f64
-        + weights.fairshare_weight * fs_delta;
+        + weights.fairshare_weight * fs_delta
+        - fairness.demotion(job.user, job.queue);
     Priority {
         score,
         submit_time: job.submit_time,
@@ -66,14 +146,14 @@ pub fn rank_jobs<J: std::borrow::Borrow<QueuedJob>>(
     jobs: &mut [J],
     now: SimTime,
     weights: &PriorityWeights,
-    fairshare: Option<&FairshareTracker>,
+    fairness: FairnessView<'_>,
 ) {
     jobs.sort_by(|a, b| {
-        priority_of(a.borrow(), now, weights, fairshare).cmp_desc(&priority_of(
+        priority_of(a.borrow(), now, weights, fairness).cmp_desc(&priority_of(
             b.borrow(),
             now,
             weights,
-            fairshare,
+            fairness,
         ))
     });
 }
@@ -88,6 +168,7 @@ mod tests {
             id: JobId(id),
             user: UserId(0),
             group: GroupId(0),
+            queue: QueueId(0),
             cores,
             walltime: SimDuration::from_secs(600),
             submit_time: SimTime::from_secs(submit_s),
@@ -105,7 +186,7 @@ mod tests {
             &mut jobs,
             SimTime::from_secs(200),
             &PriorityWeights::default(),
-            None,
+            FairnessView::None,
         );
         assert_eq!(jobs[0].id, JobId(1), "older job first");
     }
@@ -118,7 +199,7 @@ mod tests {
             &mut jobs,
             SimTime::from_secs(200),
             &PriorityWeights::default(),
-            None,
+            FairnessView::None,
         );
         assert_eq!(jobs[0].id, JobId(2));
     }
@@ -130,7 +211,7 @@ mod tests {
             queue_time_weight: 0.0,
             ..Default::default()
         };
-        rank_jobs(&mut jobs, SimTime::from_secs(100), &w, None);
+        rank_jobs(&mut jobs, SimTime::from_secs(100), &w, FairnessView::None);
         assert_eq!(
             jobs.iter().map(|j| j.id.0).collect::<Vec<_>>(),
             vec![2, 3, 1]
@@ -145,8 +226,122 @@ mod tests {
             ..Default::default()
         };
         let mut jobs = vec![job(1, 0, 4, 0), job(2, 0, 60, 0)];
-        rank_jobs(&mut jobs, SimTime::from_secs(100), &w, None);
+        rank_jobs(&mut jobs, SimTime::from_secs(100), &w, FairnessView::None);
         assert_eq!(jobs[0].id, JobId(2));
+    }
+
+    #[test]
+    fn static_view_matches_tracker_delta() {
+        use dynbatch_core::FairshareConfig;
+        let cfg = FairshareConfig {
+            enabled: true,
+            default_target: 0.5,
+            ..FairshareConfig::default()
+        };
+        let mut fs = FairshareTracker::new(cfg, SimTime::ZERO);
+        fs.charge(UserId(0), 100.0);
+        let view = FairnessView::Static(&fs);
+        assert_eq!(view.delta(UserId(0)), fs.priority_delta(UserId(0)));
+        assert_eq!(view.demotion(UserId(0), QueueId(0)), 0.0);
+    }
+
+    #[test]
+    fn time_aware_delta_reads_decayed_share() {
+        use crate::usage_history::UsageHistory;
+        use dynbatch_core::FairshareConfig;
+        let cfg = FairshareConfig {
+            enabled: true,
+            default_target: 0.25,
+            ..FairshareConfig::default()
+        };
+        let mut hist = UsageHistory::new(cfg.half_life, 100);
+        // Long steady 50-core usage → share ≈ 0.5, delta ≈ −0.25.
+        for hour in 0..24 * 20 {
+            hist.charge(
+                UserId(0),
+                QueueId(0),
+                50 * 3_600_000,
+                SimTime::ZERO + SimDuration::from_hours(hour),
+            );
+        }
+        let now = SimTime::ZERO + SimDuration::from_hours(24 * 20);
+        let snap = hist.snapshot(now);
+        let view = FairnessView::TimeAware {
+            config: &cfg,
+            usage: Some(&snap),
+        };
+        assert!((view.delta(UserId(0)) - (0.25 - 0.5)).abs() < 0.02);
+        // An unseen user gets the full target.
+        assert!((view.delta(UserId(7)) - 0.25).abs() < 1e-12);
+        // No published accounts yet: target-only delta, no demotion.
+        let unpublished = FairnessView::TimeAware {
+            config: &cfg,
+            usage: None,
+        };
+        assert_eq!(unpublished.delta(UserId(0)), 0.25);
+        assert_eq!(unpublished.demotion(UserId(0), QueueId(0)), 0.0);
+    }
+
+    #[test]
+    fn budget_demotion_ranks_over_budget_last() {
+        use crate::usage_history::UsageHistory;
+        use dynbatch_core::FairshareConfig;
+        let cfg = FairshareConfig {
+            enabled: true,
+            user_budget_core_hours: Some(10.0),
+            ..FairshareConfig::default()
+        };
+        let mut hist = UsageHistory::new(cfg.half_life, 100);
+        hist.charge(UserId(0), QueueId(0), 20 * 3_600_000, SimTime::ZERO); // 20 core-h
+        let snap = hist.snapshot(SimTime::ZERO);
+        let view = FairnessView::TimeAware {
+            config: &cfg,
+            usage: Some(&snap),
+        };
+        assert_eq!(view.demotion(UserId(0), QueueId(0)), cfg.budget_demotion);
+        assert_eq!(view.demotion(UserId(1), QueueId(1)), 0.0);
+        // Demotion outranks ordinary priority differences.
+        let mut over = job(1, 0, 4, 0);
+        over.user = UserId(0);
+        let mut under = job(2, 100, 4, 0);
+        under.user = UserId(1);
+        let mut jobs = vec![over, under];
+        rank_jobs(
+            &mut jobs,
+            SimTime::from_secs(5000),
+            &PriorityWeights::default(),
+            view,
+        );
+        assert_eq!(jobs[0].id, JobId(2), "in-budget user first");
+        // Decay drains the account below budget → demotion lifts.
+        let wk = SimTime::ZERO + SimDuration::from_hours(24 * 7);
+        let later = hist.snapshot(wk);
+        let view = FairnessView::TimeAware {
+            config: &cfg,
+            usage: Some(&later),
+        };
+        assert_eq!(view.demotion(UserId(0), QueueId(0)), 0.0);
+    }
+
+    #[test]
+    fn queue_budget_demotes_whole_queue() {
+        use crate::usage_history::UsageHistory;
+        use dynbatch_core::FairshareConfig;
+        let cfg = FairshareConfig {
+            enabled: true,
+            queue_budget_core_hours: Some(5.0),
+            ..FairshareConfig::default()
+        };
+        let mut hist = UsageHistory::new(cfg.half_life, 100);
+        hist.charge(UserId(0), QueueId(3), 6 * 3_600_000, SimTime::ZERO);
+        let snap = hist.snapshot(SimTime::ZERO);
+        let view = FairnessView::TimeAware {
+            config: &cfg,
+            usage: Some(&snap),
+        };
+        // Any user submitting into queue 3 is demoted; other queues fine.
+        assert_eq!(view.demotion(UserId(9), QueueId(3)), cfg.budget_demotion);
+        assert_eq!(view.demotion(UserId(0), QueueId(1)), 0.0);
     }
 
     #[test]
@@ -161,7 +356,7 @@ mod tests {
         let mut long = job(2, 0, 4, 0);
         long.walltime = SimDuration::from_secs(6000);
         let mut jobs = vec![long, short];
-        rank_jobs(&mut jobs, SimTime::from_secs(120), &w, None);
+        rank_jobs(&mut jobs, SimTime::from_secs(120), &w, FairnessView::None);
         // Same wait, but the short job's expansion factor is larger.
         assert_eq!(jobs[0].id, JobId(1));
     }

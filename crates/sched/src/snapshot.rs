@@ -8,7 +8,8 @@
 //! scheduler deterministic and trivially testable.
 
 use crate::incremental::DeltaLog;
-use dynbatch_core::{GroupId, JobId, MalleableRange, SimDuration, SimTime, UserId};
+use crate::usage_history::UsageSnapshot;
+use dynbatch_core::{GroupId, JobId, MalleableRange, QueueId, SimDuration, SimTime, UserId};
 
 /// A job currently holding resources.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +46,9 @@ pub struct QueuedJob {
     pub user: UserId,
     /// Owner's group.
     pub group: GroupId,
+    /// Submission queue ([`dynbatch_core::JobSpec::effective_queue`]):
+    /// the per-queue resource-hour budget key.
+    pub queue: QueueId,
     /// Requested cores.
     pub cores: u32,
     /// Requested walltime.
@@ -103,6 +107,10 @@ pub struct Snapshot {
     /// Pending dynamic requests, in any order (the scheduler sorts by
     /// `seq`).
     pub dyn_requests: Vec<DynRequest>,
+    /// Decayed resource-hour accounts valued at `now`, when the resource
+    /// manager runs time-aware fairness (`None` keeps the static path
+    /// byte-identical to a build without the feature).
+    pub usage: Option<UsageSnapshot>,
     /// Running-set mutations since the previous snapshot, for the
     /// scheduler's incremental timeline ([`crate::incremental`]).
     /// `None` (a snapshot built outside the incremental protocol) simply
@@ -152,6 +160,7 @@ mod tests {
             }],
             queued: vec![],
             dyn_requests: vec![],
+            usage: None,
             deltas: None,
         };
         assert_eq!(snap.busy_cores(), 50);
@@ -169,6 +178,7 @@ mod tests {
                 id: JobId(9),
                 user: UserId(9),
                 group: GroupId(0),
+                queue: QueueId(0),
                 cores: 120,
                 walltime: SimDuration::from_secs(100),
                 submit_time: SimTime::ZERO,
@@ -178,6 +188,7 @@ mod tests {
                 moldable: None,
             }],
             dyn_requests: vec![],
+            usage: None,
             deltas: None,
         };
         assert!(snap.backfill_suppressed());

@@ -9,7 +9,7 @@
 //! the reserve alone exceeds the idle cores.
 
 use dynbatch_core::testkit::{check, TestRng};
-use dynbatch_core::{GroupId, JobId, MalleableRange, SimDuration, SimTime, UserId};
+use dynbatch_core::{GroupId, JobId, MalleableRange, QueueId, SimDuration, SimTime, UserId};
 use dynbatch_sched::reference::NaiveProfile;
 use dynbatch_sched::{mold_fit, AvailabilityProfile, QueuedJob};
 
@@ -61,6 +61,7 @@ fn mold_fit_matches_brute_force_oracle() {
             id: JobId(1),
             user: UserId(0),
             group: GroupId(0),
+            queue: QueueId(0),
             cores: rng.range_u32(1, CAPACITY + 4),
             walltime: SimDuration::from_secs(rng.range(1, 3000)),
             submit_time: SimTime::ZERO,

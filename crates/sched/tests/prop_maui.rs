@@ -4,7 +4,8 @@
 
 use dynbatch_core::testkit::{check, TestRng};
 use dynbatch_core::{
-    DfsConfig, GroupId, JobId, MalleableRange, SchedulerConfig, SimDuration, SimTime, UserId,
+    DfsConfig, GroupId, JobId, MalleableRange, QueueId, SchedulerConfig, SimDuration, SimTime,
+    UserId,
 };
 use dynbatch_sched::{DynDecision, DynRequest, Maui, QueuedJob, RunningJob, Snapshot};
 
@@ -18,6 +19,7 @@ fn random_snapshot(rng: &mut TestRng) -> (Snapshot, SchedulerConfig) {
         running: Vec::new(),
         queued: Vec::new(),
         dyn_requests: Vec::new(),
+        usage: None,
         deltas: None,
     };
     let mut used = 0u32;
@@ -65,6 +67,7 @@ fn random_snapshot(rng: &mut TestRng) -> (Snapshot, SchedulerConfig) {
             id: JobId(1000 + i as u64),
             user: UserId((i % 5) as u32),
             group: GroupId((i % 2) as u32),
+            queue: QueueId(0),
             cores: rng.range_u32(1, 40).min(CAPACITY),
             walltime: SimDuration::from_secs(rng.range(10, 3000)),
             submit_time: SimTime::from_secs(1000 - rng.below(1000)),

@@ -25,7 +25,9 @@
 use dynbatch_cluster::Allocation;
 use dynbatch_core::json::{model, Json};
 use dynbatch_core::{AllocPolicy, Job, JobId, JobOutcome, JobSpec, NodeId, SimTime, UserId};
-use dynbatch_sched::{DfsReject, DynDecision, IterationOutcome, ResizeDecision, StartDecision};
+use dynbatch_sched::{
+    DfsReject, DynDecision, IterationOutcome, ResizeDecision, StartDecision, UsageHistory,
+};
 
 /// A pending dynamic request, as captured in a snapshot record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +75,8 @@ pub struct ServerImage {
     pub usage: Vec<(UserId, u64)>,
     /// Open usage-segment cursors (job, segment start), in job-id order.
     pub usage_since: Vec<(JobId, SimTime)>,
+    /// Decayed resource-hour accounts (time-aware fairness), bit-exact.
+    pub usage_hist: UsageHistory,
 }
 
 /// One journal record.
@@ -728,6 +732,7 @@ pub fn image_to_json(img: &ServerImage) -> Json {
                     .collect(),
             ),
         ),
+        ("usage_hist", img.usage_hist.to_json()),
     ])
 }
 
@@ -813,6 +818,7 @@ pub fn image_from_json(v: &Json) -> Result<ServerImage, String> {
                 Ok((JobId(j), SimTime::from_millis(at)))
             })
             .collect::<Result<_, String>>()?,
+        usage_hist: UsageHistory::from_json(v.req("usage_hist")?)?,
     })
 }
 
@@ -947,6 +953,23 @@ mod tests {
         Allocation::from_pairs(pairs.iter().map(|&(n, c)| (NodeId(n), c)))
     }
 
+    fn sample_usage_hist() -> UsageHistory {
+        let mut h = UsageHistory::new(SimDuration::from_hours(12), 20);
+        h.charge(
+            UserId(1),
+            dynbatch_core::QueueId(0),
+            123_456,
+            SimTime::from_secs(5),
+        );
+        h.charge(
+            UserId(2),
+            dynbatch_core::QueueId(1),
+            7,
+            SimTime::from_secs(999),
+        );
+        h
+    }
+
     fn sample_image() -> ServerImage {
         let spec = JobSpec::rigid("A", UserId(1), GroupId(0), 8, SimDuration::from_secs(100));
         let mut running = Job::new(JobId(1), spec.clone(), SimTime::from_secs(0));
@@ -973,6 +996,7 @@ mod tests {
             outcomes: vec![],
             usage: vec![(UserId(1), 123_456)],
             usage_since: vec![(JobId(1), SimTime::from_secs(5))],
+            usage_hist: sample_usage_hist(),
         }
     }
 

@@ -17,11 +17,12 @@ use crate::accounting::AccountingLog;
 use crate::journal::{self, Journal, PendingDynImage, Record, ServerImage};
 use dynbatch_cluster::{Allocation, Cluster};
 use dynbatch_core::{
-    AllocPolicy, Error, Job, JobId, JobOutcome, JobSpec, JobState, Result, SimTime, UserId,
+    AllocPolicy, Error, Job, JobId, JobOutcome, JobSpec, JobState, Result, SimDuration, SimTime,
+    UserId,
 };
 use dynbatch_sched::{
     DeltaLog, DfsReject, DynDecision, DynRequest, IterationOutcome, ProfileDelta, QueuedJob,
-    RunningJob, Snapshot,
+    RunningJob, Snapshot, UsageHistory,
 };
 use std::collections::BTreeMap;
 
@@ -126,6 +127,24 @@ pub struct PbsServer {
     /// charge time (segments close *before* any width mutation), so only
     /// the start instant needs recording.
     usage_since: BTreeMap<JobId, SimTime>,
+    /// Decayed per-user/per-queue resource-hour accounts (time-aware
+    /// fairness), charged in lock-step with the `usage` ledger at exact
+    /// segment-close instants. Always maintained (the charge is O(1));
+    /// snapshotted bit-exactly in [`ServerImage`] so recovery is O(1) and
+    /// byte-identical, like the raw ledger.
+    usage_hist: UsageHistory,
+    /// Exact `(user, core_ms, close_instant)` tuples of segments closed
+    /// since the last drain — the daemon's window-boundary-correct
+    /// fairshare sync feed. Volatile by design (the journal already
+    /// carries everything needed to rebuild totals); only collected when
+    /// [`PbsServer::set_collect_usage_events`] is on, since nothing
+    /// bounds the buffer in a simulator run.
+    usage_events: Vec<(UserId, u64, SimTime)>,
+    collect_usage_events: bool,
+    /// Attach a decayed-usage snapshot to every incremental scheduler
+    /// snapshot (time-aware fairshare mode). Off by default: static-mode
+    /// runs stay byte-identical to builds without the feature.
+    publish_usage: bool,
     /// Keep terminal (completed/cancelled) jobs in the job table for
     /// inspection (`true`, the default) or drop them as they terminate
     /// (`false` — bounded-memory replay of month-scale traces; their
@@ -137,6 +156,7 @@ pub struct PbsServer {
 impl PbsServer {
     /// A server managing `cluster`, placing cores with `alloc_policy`.
     pub fn new(cluster: Cluster, alloc_policy: AllocPolicy) -> Self {
+        let capacity = cluster.total_cores() as u64;
         PbsServer {
             cluster,
             jobs: BTreeMap::new(),
@@ -151,6 +171,10 @@ impl PbsServer {
             journal: None,
             usage: BTreeMap::new(),
             usage_since: BTreeMap::new(),
+            usage_hist: UsageHistory::new(SimDuration::from_hours(24), capacity),
+            usage_events: Vec::new(),
+            collect_usage_events: false,
+            publish_usage: false,
             retain_terminal_jobs: true,
         }
     }
@@ -174,6 +198,13 @@ impl PbsServer {
         self.journal = None;
         self.usage.clear();
         self.usage_since.clear();
+        self.usage_hist = UsageHistory::new(
+            self.usage_hist.half_life(),
+            self.cluster.total_cores() as u64,
+        );
+        self.usage_events.clear();
+        self.collect_usage_events = false;
+        self.publish_usage = false;
         self.retain_terminal_jobs = true;
     }
 
@@ -254,6 +285,7 @@ impl PbsServer {
             outcomes: self.accounting.outcomes().to_vec(),
             usage: self.usage.iter().map(|(&u, &ms)| (u, ms)).collect(),
             usage_since: self.usage_since.iter().map(|(&j, &at)| (j, at)).collect(),
+            usage_hist: self.usage_hist.clone(),
         }
     }
 
@@ -307,6 +339,10 @@ impl PbsServer {
             journal: None,
             usage: img.usage.iter().copied().collect(),
             usage_since: img.usage_since.iter().copied().collect(),
+            usage_hist: img.usage_hist.clone(),
+            usage_events: Vec::new(),
+            collect_usage_events: false,
+            publish_usage: false,
             retain_terminal_jobs: true,
         })
     }
@@ -448,6 +484,41 @@ impl PbsServer {
         self.usage.get(&user).copied().unwrap_or(0)
     }
 
+    /// The decayed per-user/per-queue resource-hour accounts (time-aware
+    /// fairness), charged in lock-step with [`PbsServer::usage`].
+    pub fn usage_history(&self) -> &UsageHistory {
+        &self.usage_hist
+    }
+
+    /// Sets the decay half-life of the time-aware usage accounts. Call
+    /// before [`PbsServer::enable_journal`] and before any job runs —
+    /// changing the half-life mid-history would silently reinterpret
+    /// already-decayed charges, so this only takes effect while the
+    /// accounts are empty.
+    pub fn set_usage_half_life(&mut self, half_life: SimDuration) {
+        if self.usage_hist.is_empty() {
+            self.usage_hist.set_half_life(half_life);
+        }
+    }
+
+    /// Attach a decayed-usage snapshot to every
+    /// [`PbsServer::snapshot_incremental`] (time-aware fairshare mode).
+    pub fn set_publish_usage(&mut self, on: bool) {
+        self.publish_usage = on;
+    }
+
+    /// Collect exact `(user, core_ms, close_instant)` tuples per closed
+    /// usage segment, for the daemon's window-boundary-correct fairshare
+    /// sync. Off by default (nothing bounds the buffer in a sim run).
+    pub fn set_collect_usage_events(&mut self, on: bool) {
+        self.collect_usage_events = on;
+    }
+
+    /// Drains the segment-close events collected since the last call.
+    pub fn take_usage_events(&mut self) -> Vec<(UserId, u64, SimTime)> {
+        std::mem::take(&mut self.usage_events)
+    }
+
     /// Opens the usage cursor for a job that just started holding cores.
     fn usage_open(&mut self, id: JobId, now: SimTime) {
         self.usage_since.insert(id, now);
@@ -463,7 +534,21 @@ impl PbsServer {
             return;
         };
         let span = now.duration_since(*since).as_millis();
-        *self.usage.entry(job.spec.user).or_insert(0) += job.cores_allocated as u64 * span;
+        let charge = job.cores_allocated as u64 * span;
+        *self.usage.entry(job.spec.user).or_insert(0) += charge;
+        if charge > 0 {
+            // Charge-at-close: the whole segment lands at its close
+            // instant in the decayed accounts (a segment is at most one
+            // width-change interval long, far shorter than any sensible
+            // half-life, so the approximation error is negligible — and
+            // replay re-issues the identical charge sequence, keeping
+            // recovery byte-exact).
+            self.usage_hist
+                .charge(job.spec.user, job.spec.effective_queue(), charge, now);
+            if self.collect_usage_events {
+                self.usage_events.push((job.spec.user, charge, now));
+            }
+        }
         *since = now;
     }
 
@@ -736,6 +821,7 @@ impl PbsServer {
                         id: job.id,
                         user: job.spec.user,
                         group: job.spec.group,
+                        queue: job.spec.effective_queue(),
                         cores: job.spec.cores,
                         walltime: job.spec.walltime,
                         submit_time: job.submit_time,
@@ -754,6 +840,7 @@ impl PbsServer {
             running,
             queued,
             dyn_requests,
+            usage: None,
             deltas: None,
         }
     }
@@ -768,6 +855,7 @@ impl PbsServer {
     /// epoch gap.
     pub fn snapshot_incremental(&mut self, now: SimTime) -> Snapshot {
         let mut snap = self.snapshot(now);
+        snap.usage = self.publish_usage.then(|| self.usage_hist.snapshot(now));
         let base_epoch = self.snapshot_epoch;
         self.snapshot_epoch += 1;
         snap.deltas = Some(DeltaLog {

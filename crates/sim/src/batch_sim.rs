@@ -15,7 +15,8 @@
 use crate::event::Event;
 use dynbatch_cluster::Cluster;
 use dynbatch_core::{
-    ExecutionModel, JobId, JobState, PhasedModel, SchedulerConfig, SimDuration, SimTime,
+    ExecutionModel, FairshareMode, JobId, JobState, PhasedModel, SchedulerConfig, SimDuration,
+    SimTime,
 };
 use dynbatch_metrics::UtilizationRecorder;
 use dynbatch_sched::Maui;
@@ -199,6 +200,8 @@ impl BatchSim {
         let guarantee = config.guarantee_evolving;
         let mut server = PbsServer::new(cluster, alloc);
         server.set_guarantee_evolving(guarantee);
+        server.set_usage_half_life(config.fairshare.half_life);
+        server.set_publish_usage(config.fairshare.mode == FairshareMode::TimeAware);
         BatchSim {
             queue: EventQueue::new(),
             server,
@@ -233,6 +236,9 @@ impl BatchSim {
         self.queue.reset();
         self.server.reset(cluster, alloc);
         self.server.set_guarantee_evolving(guarantee);
+        self.server.set_usage_half_life(config.fairshare.half_life);
+        self.server
+            .set_publish_usage(config.fairshare.mode == FairshareMode::TimeAware);
         self.maui = Maui::new(config);
         self.util.reset(capacity, SimTime::ZERO);
         self.window.clear();
@@ -638,6 +644,11 @@ impl BatchSim {
                     .take_journal()
                     .expect("server crash events require enable_journal");
                 self.server = PbsServer::recover(journal).expect("journal replays cleanly");
+                // Recovery rebuilds journalled state only; per-process
+                // flags are re-armed from the live config.
+                let fs = &self.maui.config().fairshare;
+                self.server
+                    .set_publish_usage(fs.mode == FairshareMode::TimeAware);
                 // The scheduler process dies with the server: reservation
                 // history, fairshare charges and negotiation-delay
                 // bookkeeping restart empty, as on a real restart.

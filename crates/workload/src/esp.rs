@@ -293,6 +293,7 @@ pub fn stream_esp(cfg: &EspConfig, reg: &mut CredRegistry) -> EspStream {
                 malleable: None,
                 moldable: None,
                 dyn_timeout: None,
+                queue: None,
             };
             if ty.name == "Z" {
                 spec.priority_boost = cfg.z_boost;

@@ -186,6 +186,7 @@ fn parse_line(
             malleable: None,
             moldable: None,
             dyn_timeout: None,
+            queue: None,
         }
     } else {
         let mut s = JobSpec::rigid(

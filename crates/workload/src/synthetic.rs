@@ -172,6 +172,7 @@ impl Iterator for SyntheticStream {
                 malleable: None,
                 moldable: None,
                 dyn_timeout: None,
+                queue: None,
             },
         })
     }

@@ -13,7 +13,8 @@
 //! ```
 
 use dynbatch::core::{
-    config::parse_dfs_config, CredRegistry, DfsConfig, SchedulerConfig, SimDuration, SimTime,
+    config::parse_dfs_config, CredRegistry, DfsConfig, QueueId, SchedulerConfig, SimDuration,
+    SimTime,
 };
 use dynbatch::sched::{DynRequest, Maui, QueuedJob, RunningJob, Snapshot};
 
@@ -55,6 +56,7 @@ fn fig1_snapshot(reg: &mut CredRegistry) -> Snapshot {
             id: dynbatch::core::JobId(3),
             user: user03,
             group: reg.group_of(user03),
+            queue: QueueId(0),
             cores: 4,
             walltime: SimDuration::from_hours(4),
             submit_time: SimTime::ZERO,
@@ -72,6 +74,7 @@ fn fig1_snapshot(reg: &mut CredRegistry) -> Snapshot {
             seq: 0,
             deadline: None,
         }],
+        usage: None,
         deltas: None,
     }
 }

@@ -43,6 +43,13 @@ echo "==> streaming ingestion (streamed == materialized for every generator,"
 echo "    qdel-before-admission, window-bounded residency)"
 cargo test -q --test streaming_ingest
 
+echo "==> time-aware fairness suite (static inertness, shard/worker"
+echo "    determinism, demote-not-deny budgets)"
+cargo test -q --test fairness
+cargo test -q -p dynbatch-sched --lib usage_history
+cargo test -q -p dynbatch-sched --lib fairshare
+cargo test -q -p dynbatch-sched --lib dfs
+
 echo "==> perf_smoke --quick (runs the incremental path with the"
 echo "    rebuild-equivalence assert enabled on every tick, and the"
 echo "    sharded kernel with byte-equality asserted at shards 2/4/8)"
@@ -70,5 +77,10 @@ with: cargo run --release -p dynbatch-bench --bin perf_smoke"; exit 1; }
 grep -q '"identical_results": *true' BENCH_sched.json \
   || { echo "BENCH_sched.json ingest section does not assert identical \
 results — regenerate with: cargo run --release -p dynbatch-bench --bin perf_smoke"; exit 1; }
+
+echo "==> committed BENCH_sched.json must carry the fairness section"
+grep -q '"fairness"' BENCH_sched.json \
+  || { echo "BENCH_sched.json lacks the fairness section — regenerate \
+with: cargo run --release -p dynbatch-bench --bin perf_smoke"; exit 1; }
 
 echo "check.sh: all gates passed"

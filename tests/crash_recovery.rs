@@ -220,6 +220,7 @@ struct Reference {
     accounting_at: Vec<String>,
     usage_at: Vec<Vec<(UserId, u64)>>,
     fairshare_at: Vec<String>,
+    usage_hist_at: Vec<String>,
     final_digest: String,
     final_accounting: String,
 }
@@ -232,6 +233,7 @@ fn run_reference(snapshot_every: usize) -> Reference {
     let mut accounting_at = Vec::new();
     let mut usage_at = Vec::new();
     let mut fairshare_at = Vec::new();
+    let mut usage_hist_at = Vec::new();
     let mut last_total = s.journal().unwrap().total_appended();
     for (secs, op) in &script() {
         apply_op(&mut s, &mut m, op, t(*secs));
@@ -249,12 +251,14 @@ fn run_reference(snapshot_every: usize) -> Reference {
         accounting_at.push(accounting_text(&s));
         usage_at.push(s.usage().collect());
         fairshare_at.push(fairshare_fingerprint(&s));
+        usage_hist_at.push(s.usage_history().fingerprint());
     }
     Reference {
         journals,
         accounting_at,
         usage_at,
         fairshare_at,
+        usage_hist_at,
         final_digest: s.state_digest(),
         final_accounting: accounting_text(&s),
     }
@@ -285,6 +289,15 @@ fn resume_from(reference: &Reference, i: usize) -> (String, String) {
         fairshare_fingerprint(&s),
         reference.fairshare_at[i],
         "fairshare priorities diverged after recovery at boundary {i}"
+    );
+    // Time-aware fairness gate: the decayed resource-hour accounts ride
+    // the snapshot image as bit-patterns, so recovery must reproduce the
+    // accumulators (value *and* decay reference instant) byte-for-byte —
+    // `2^-(dt)/h` replays would drift in the last ulp otherwise.
+    assert_eq!(
+        s.usage_history().fingerprint(),
+        reference.usage_hist_at[i],
+        "decayed usage accounts diverged after recovery at boundary {i}"
     );
     s.cluster().check_invariants().unwrap();
     let mut m = hp_maui();

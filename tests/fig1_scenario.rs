@@ -50,6 +50,7 @@ fn scenario(dfs: DfsConfig) -> BatchSim {
         malleable: None,
         moldable: None,
         dyn_timeout: None,
+        queue: None,
     };
     let b = JobSpec::rigid("B", ub, g, 2, SimDuration::from_hours(4));
     let c = JobSpec::rigid("C", uc, g, 4, SimDuration::from_hours(4));

@@ -44,6 +44,7 @@ fn negotiating_spec(reg: &mut CredRegistry, name: &str, timeout: Option<SimDurat
         malleable: None,
         moldable: None,
         dyn_timeout: timeout,
+        queue: None,
     }
 }
 
@@ -192,6 +193,7 @@ fn daemon_negotiated_roundtrip() {
         malleable: None,
         moldable: None,
         dyn_timeout: None,
+        queue: None,
     };
     let app = d.qsub(mk("app", 0, 8, 60_000)).expect("qsub");
     assert!(d.await_running(app, Duration::from_secs(2)));

@@ -8,7 +8,9 @@
 //! itself.
 
 use dynbatch::cluster::Cluster;
-use dynbatch::core::{CredRegistry, DfsConfig, SchedulerConfig, SimDuration, SimTime};
+use dynbatch::core::{
+    CredRegistry, DfsConfig, FairshareMode, SchedulerConfig, SimDuration, SimTime,
+};
 use dynbatch::sim::{
     run_experiment_materialized, run_experiment_streamed, run_experiment_streamed_on, BatchSim,
     ExperimentConfig, IngestOptions,
@@ -50,7 +52,14 @@ where
     F: Fn() -> S,
     S: Iterator<Item = WorkloadItem>,
 {
-    let cfg = config();
+    assert_stream_matches_under(config(), label, make_stream)
+}
+
+fn assert_stream_matches_under<F, S>(cfg: ExperimentConfig, label: &str, make_stream: F)
+where
+    F: Fn() -> S,
+    S: Iterator<Item = WorkloadItem>,
+{
     let opts = IngestOptions {
         fingerprint: true,
         ..Default::default()
@@ -83,6 +92,26 @@ where
             streamed.stats, reference.stats,
             "{label}: stats diverged at window {window}"
         );
+    }
+}
+
+/// Time-aware fairness parity: decayed-usage fairshare (with demotion
+/// budgets and a heavy-user DFS penalty in play) reads server state
+/// through the published usage snapshot, so the streamed pipeline must
+/// stay byte-identical to the materialized reference under it too.
+#[test]
+fn time_aware_fairness_streams_equal_materialized() {
+    let mut cfg = config();
+    cfg.sched.fairshare.enabled = true;
+    cfg.sched.fairshare.mode = FairshareMode::TimeAware;
+    cfg.sched.fairshare.half_life = SimDuration::from_hours(6);
+    cfg.sched.fairshare.default_target = 0.15;
+    cfg.sched.fairshare.user_budget_core_hours = Some(40.0);
+    for seed in [1u64, 2] {
+        assert_stream_matches_under(cfg.clone(), &format!("time-aware seed {seed}"), || {
+            let mut reg = CredRegistry::new();
+            stream_synthetic(&synth_cfg(seed, 60), &mut reg)
+        });
     }
 }
 
