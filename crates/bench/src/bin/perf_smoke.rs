@@ -941,6 +941,155 @@ fn main() {
          {journal_ms:.2} ms vs baseline {base_ms:.2} ms"
     );
 
+    // 5b. Replication: the same Dyn-HP ESP run (same journal config) with
+    // the journal streamed to two hot followers. Before any number is
+    // trusted, the replicated leader's end digest is asserted
+    // byte-identical to the journal-only run — streaming is observation,
+    // not policy — and every follower must converge to that digest
+    // (checked outside the timed region: convergence is a correctness
+    // barrier, not hot-path work). The hot-path bound: the leader's run
+    // with journal + streaming stays within 15 % of journal-only (same
+    // jitter floor as the journal gate). Followers apply every record on
+    // their own threads, so the 15 % bound is only physical when the box
+    // has cores for them to run on — with `cores > followers` it is
+    // enforced as-is; on smaller boxes the follower apply work has
+    // nowhere to overlap and serialises into the leader's wall clock, so
+    // the gate degrades to the serialized-ensemble bound (leader + every
+    // follower's apply, each within the same 15 %). Perf posture mirrors
+    // a group-commit deployment: the stream pumps every 16 event steps,
+    // watermark polls batch every 64 pumps, and rolling-digest frames are
+    // off (each serialises the full image); `converge()` still
+    // byte-compares every follower against the leader at the end. Also
+    // measured: worst append→apply lag, sustained follower-read
+    // throughput from racing client threads, and the wall-clock cost of
+    // a failover through to the promoted leader's first scheduling
+    // decision.
+    eprintln!("perf_smoke: replication (Dyn-HP ESP, journal-only vs journal+2 followers)");
+    let repl_followers = 2u32;
+    let journal_digest = {
+        let mut sim = BatchSim::new(Cluster::homogeneous(15, 8), table2_sched(None));
+        sim.enable_journal(64);
+        sim.load(&journal_wl);
+        sim.run();
+        sim.server().state_digest()
+    };
+    let mut repl_ms = f64::INFINITY;
+    let mut repl_kept = None;
+    for _ in 0..reps {
+        let mut sim = BatchSim::new(Cluster::homogeneous(15, 8), table2_sched(None));
+        sim.enable_journal(64);
+        sim.load(&journal_wl);
+        let mut rs = dynbatch_sim::ReplicatedSim::new(
+            sim,
+            repl_followers,
+            dynbatch_server::replication::HubConfig {
+                digest_every: 0,
+                ack_every: 64,
+                ..Default::default()
+            },
+        );
+        rs.set_pump_stride(16);
+        let t_run = Instant::now();
+        rs.run();
+        repl_ms = repl_ms.min(t_run.elapsed().as_secs_f64() * 1e3);
+        rs.converge()
+            .expect("followers converge to the leader digest");
+        if let Some(prev) = repl_kept.replace(rs) {
+            dynbatch_sim::ReplicatedSim::shutdown(prev);
+        }
+    }
+    let mut repl_rs = repl_kept.expect("at least one rep ran");
+    let repl_stats = repl_rs.stats();
+    assert_eq!(
+        repl_rs.sim().server().state_digest(),
+        journal_digest,
+        "streaming must not perturb the leader (replication-off byte-identity)"
+    );
+    let repl_overhead_pct = (repl_ms - journal_ms) / journal_ms * 100.0;
+    let repl_parallel = cores > repl_followers as usize;
+    let repl_gate = if repl_parallel {
+        "parallel"
+    } else {
+        "serialized"
+    };
+    let repl_budget_ms = if repl_parallel {
+        journal_ms * 1.15 + 2.0
+    } else {
+        journal_ms * (1.0 + repl_followers as f64) * 1.15 + 2.0
+    };
+    eprintln!(
+        "  journal-only {journal_ms:.2} ms  replicated {repl_ms:.2} ms \
+         ({repl_overhead_pct:+.1}%, max lag {} records, {repl_gate} gate \
+         on {cores} cores: budget {repl_budget_ms:.2} ms)",
+        repl_stats.max_lag
+    );
+    assert!(
+        repl_ms <= repl_budget_ms,
+        "journal+streaming overhead regressed past the 15% {repl_gate} bound: \
+         {repl_ms:.2} ms vs budget {repl_budget_ms:.2} ms \
+         (journal-only {journal_ms:.2} ms)"
+    );
+
+    // Follower-read throughput: client threads hammer the replicas
+    // directly (the daemon's qstat offload path) while the leader idles.
+    let read_threads = 4usize;
+    let reads_per_thread: usize = if quick { 2_000 } else { 20_000 };
+    let repl_jobs = repl_rs.sim().server().accounting().outcomes().len() as u64;
+    let readers: Vec<_> = (0..read_threads)
+        .map(|i| {
+            repl_rs
+                .hub()
+                .reader(i % repl_followers as usize)
+                .expect("live follower")
+        })
+        .collect();
+    let t0 = Instant::now();
+    thread::scope(|scope| {
+        for (i, reader) in readers.into_iter().enumerate() {
+            scope.spawn(move || {
+                for k in 0..reads_per_thread {
+                    let id = JobId(
+                        1 + (k as u64)
+                            .wrapping_mul(2_654_435_761)
+                            .wrapping_add(i as u64)
+                            % repl_jobs.max(1),
+                    );
+                    let read = reader.read(id).expect("follower answers reads");
+                    assert!(read.watermark > 0, "replica reads echo their watermark");
+                }
+            });
+        }
+    });
+    let follower_reads_per_sec =
+        (read_threads * reads_per_thread) as f64 / t0.elapsed().as_secs_f64();
+    eprintln!(
+        "  follower reads {follower_reads_per_sec:>9.0}/s ({read_threads} threads x {reads_per_thread})"
+    );
+
+    // Failover-to-first-decision: kill the (converged) leader, promote,
+    // re-journal, and run one scheduling cycle on the promoted state.
+    let repl_appended = repl_stats.leader_appended;
+    let repl_now = repl_rs.sim().now();
+    let t0 = Instant::now();
+    let (mut promoted, failover_report) = repl_rs
+        .hub()
+        .fail_over(repl_appended, repl_appended)
+        .expect("a converged follower promotes");
+    promoted.enable_journal(64);
+    let mut promoted_maui = Maui::new(table2_sched(None));
+    let outcome = promoted_maui.iterate(&promoted.snapshot(repl_now));
+    promoted.apply(&outcome, repl_now);
+    let failover_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        failover_report.lost_records, 0,
+        "a converged ensemble loses nothing at failover"
+    );
+    eprintln!(
+        "  failover-to-first-decision {failover_ms:.2} ms (promoted {})",
+        failover_report.promoted
+    );
+    repl_rs.shutdown();
+
     // 7. Command reactor: sustained submissions/sec through the reactor
     // front-end, group-commit acks (replies flushed once per admission
     // batch, after every record of the batch is journaled) vs per-command
@@ -1245,6 +1394,30 @@ fn main() {
                 ("journaled_ms", Json::Float(journal_ms)),
                 ("overhead_pct", Json::Float(journal_overhead_pct)),
                 ("append_us_per_job", Json::Float(append_us_per_job)),
+            ]),
+        ),
+        (
+            "replication",
+            Json::obj(vec![
+                ("followers", Json::UInt(u64::from(repl_followers))),
+                ("journal_only_ms", Json::Float(journal_ms)),
+                ("replicated_ms", Json::Float(repl_ms)),
+                ("overhead_pct", Json::Float(repl_overhead_pct)),
+                ("gate", Json::Str(repl_gate.to_owned())),
+                ("gate_budget_ms", Json::Float(repl_budget_ms)),
+                (
+                    "max_append_apply_lag_records",
+                    Json::UInt(repl_stats.max_lag),
+                ),
+                ("leader_records", Json::UInt(repl_stats.leader_appended)),
+                (
+                    "follower_reads_per_sec",
+                    Json::Float(follower_reads_per_sec),
+                ),
+                ("failover_to_first_decision_ms", Json::Float(failover_ms)),
+                // Set only after the digest asserts above — false is
+                // unrepresentable in an emitted report.
+                ("leader_digest_identical", Json::Bool(true)),
             ]),
         ),
         (

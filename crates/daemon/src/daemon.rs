@@ -20,14 +20,15 @@
 
 use crate::fault::{Chaos, ChaosCore, FaultPlan, MomLink, ServerLink};
 use crate::timer::{TimerHandle, TimerId, TimerService};
-use crate::wire::{ClientReq, MomMsg, PeerMsg, ServerCmd};
+use crate::wire::{ClientReq, MomMsg, PeerMsg, ReplicationStatus, ServerCmd};
 use dynbatch_cluster::{Allocation, Cluster};
 use dynbatch_core::{
     FairshareMode, JobId, JobOutcome, JobSpec, JobState, NodeId, SchedulerConfig, SimDuration,
     SimTime, UserId,
 };
 use dynbatch_sched::Maui;
-use dynbatch_server::reactor::{Command as ReactorCommand, Reply as ReactorReply};
+use dynbatch_server::reactor::{BatchEvent, Command as ReactorCommand, Reply as ReactorReply};
+use dynbatch_server::replication::{HubConfig, ReadRouter, ReplFaultPlan, ReplicationHub};
 use dynbatch_server::{
     Applied, Mom, MomOutput, MomToServer, PbsServer, Reactor, ReactorClient, ReactorConnector,
     ServerToMom, TmRequest, TmResponse,
@@ -51,6 +52,8 @@ pub struct DaemonConfig {
     pub sched: SchedulerConfig,
     /// Optional fault-injection plan for the channel layer.
     pub faults: Option<FaultPlan>,
+    /// Optional journal-streaming replication (hot followers + failover).
+    pub replication: Option<ReplicationConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -60,6 +63,43 @@ impl Default for DaemonConfig {
             cores_per_node: 8,
             sched: SchedulerConfig::paper_eval(),
             faults: None,
+            replication: None,
+        }
+    }
+}
+
+/// Replication deployment parameters.
+#[derive(Debug, Clone)]
+pub struct ReplicationConfig {
+    /// Hot follower servers fed from the leader's journal stream.
+    pub followers: u32,
+    /// Gate group-commit reactor acks on replication: an ack is released
+    /// only once every live follower has applied the batch's records, so
+    /// no acked command can die with the leader. Off = ack-on-append
+    /// (crash-safe via the local journal, but a failover may lose acked
+    /// tail records — reported, not silent).
+    pub ack_after_replicate: bool,
+    /// Serve reactor `qstat` from followers (bounded staleness; replies
+    /// carry the serving follower's watermark).
+    pub read_offload: bool,
+    /// With read offload: a connection's reads only go to a follower
+    /// whose watermark covers the connection's last acked write.
+    pub read_your_writes: bool,
+    /// Rolling-digest frame interval (leader-record coordinates).
+    pub digest_every: u64,
+}
+
+impl ReplicationConfig {
+    /// `followers` hot replicas with the safe defaults: replication-gated
+    /// acks, read offload with read-your-writes routing, digests every 32
+    /// records.
+    pub fn new(followers: u32) -> Self {
+        ReplicationConfig {
+            followers,
+            ack_after_replicate: true,
+            read_offload: true,
+            read_your_writes: true,
+            digest_every: 32,
         }
     }
 }
@@ -340,6 +380,22 @@ impl DaemonHandle {
         rx.recv().unwrap_or_default()
     }
 
+    /// Point-in-time view of the replication layer; `None` when the
+    /// daemon runs without followers (or has already shut down).
+    pub fn replication_status(&self) -> Option<ReplicationStatus> {
+        let (tx, rx) = channel();
+        if self
+            .server_tx
+            .send(ServerCmd::Client(ClientReq::ReplicationStatus {
+                reply: tx,
+            }))
+            .is_err()
+        {
+            return None;
+        }
+        rx.recv().ok().flatten()
+    }
+
     /// Total core-seconds the fairshare tracker has charged to `user`.
     pub fn fairshare_charged(&self, user: UserId) -> f64 {
         let (tx, rx) = channel();
@@ -412,6 +468,29 @@ struct ServerDaemon {
     reactor: Option<Reactor>,
     run_waiters: Vec<(JobId, Sender<bool>)>,
     drain_waiters: Vec<Sender<()>>,
+    /// The replication host, when configured.
+    repl: Option<ReplHost>,
+    /// Outstanding leader-kill points from the fault plan, ascending, in
+    /// journal-record coordinates (consumed only while `repl` is live).
+    leader_kill_points: VecDeque<u64>,
+}
+
+/// Everything the server daemon keeps for replication: the streaming hub
+/// (owning the follower threads), staleness-aware read routing, and the
+/// accounting the availability story is judged by.
+struct ReplHost {
+    hub: ReplicationHub,
+    router: ReadRouter,
+    cfg: ReplicationConfig,
+    /// Completed failovers.
+    failovers: u64,
+    /// Watermark through which replication-gated acks were released.
+    acked_watermark: u64,
+    /// Lost-tail accounting from the most recent failover.
+    lost_records: u64,
+    acked_lost: u64,
+    /// Divergence errors surfaced by followers (sticky until queried).
+    errors: Vec<String>,
 }
 
 /// The server daemon: owns `pbs_server` and the Maui scheduler; every
@@ -437,6 +516,39 @@ fn server_main(
         .as_ref()
         .map(|p| p.server_crashes.iter().map(|c| c.after_record).collect())
         .unwrap_or_default();
+    let leader_kill_points: VecDeque<u64> = config
+        .faults
+        .as_ref()
+        .map(|p| p.leader_kills.iter().map(|c| c.after_record).collect())
+        .unwrap_or_default();
+    // The replication hub and its follower threads live on the server
+    // thread's side of the world: streaming is pumped at every command
+    // boundary, so follower state only ever reflects journal prefixes.
+    let repl = config.replication.as_ref().map(|rc| {
+        let faults = config
+            .faults
+            .as_ref()
+            .and_then(|p| p.replication.clone())
+            .unwrap_or_else(|| ReplFaultPlan::none(0));
+        let mut hub = ReplicationHub::new(HubConfig {
+            digest_every: rc.digest_every,
+            faults,
+            ..HubConfig::default()
+        });
+        for i in 0..rc.followers {
+            hub.add_follower(&format!("{tag}rep{i}"));
+        }
+        ReplHost {
+            hub,
+            router: ReadRouter::new(rc.read_your_writes),
+            cfg: rc.clone(),
+            failovers: 0,
+            acked_watermark: 0,
+            lost_records: 0,
+            acked_lost: 0,
+            errors: Vec::new(),
+        }
+    });
     // The daemon always journals: crash recovery (scheduled by the fault
     // plan or exercised by the chaos suite) depends on it, and the append
     // cost is measured and bounded by the perf harness.
@@ -463,7 +575,10 @@ fn server_main(
         reactor: Some(reactor),
         run_waiters: Vec::new(),
         drain_waiters: Vec::new(),
+        repl,
+        leader_kill_points,
     };
+    d.pump_replication(); // seed followers with the genesis snapshot
     let epoch = Instant::now();
     while let Ok(cmd) = rx.recv() {
         let t = SimTime::from_millis(epoch.elapsed().as_millis() as u64);
@@ -471,7 +586,13 @@ fn server_main(
             break;
         }
         d.maybe_crash(t);
+        d.pump_replication();
         d.flush_waiters();
+    }
+    // Follower threads are joined before the timer worker: nothing owned
+    // by the ensemble outlives the server thread.
+    if let Some(mut repl) = d.repl.take() {
+        repl.hub.shutdown();
     }
     // Joins the worker; pending app/dyn deadlines die with it.
     timers.shutdown();
@@ -554,6 +675,11 @@ impl ServerDaemon {
             }
             ClientReq::FairshareCharged { user, reply } => {
                 let _ = reply.send(self.maui.fairshare().charged(user));
+                false
+            }
+            ClientReq::ReplicationStatus { reply } => {
+                let status = self.replication_status();
+                let _ = reply.send(status);
                 false
             }
         }
@@ -671,6 +797,21 @@ impl ServerDaemon {
                     self.crash_points.pop_front();
                     self.crash_restart(t);
                 }
+                _ => break,
+            }
+        }
+        // Leader kills: unlike a crash-restart, the leader's process (and
+        // its journal file) is gone for good — a follower must take over.
+        loop {
+            let appended = match self.server.journal() {
+                Some(j) => j.total_appended(),
+                None => return,
+            };
+            match self.leader_kill_points.front() {
+                Some(&k) if appended >= k && self.repl.is_some() => {
+                    self.leader_kill_points.pop_front();
+                    self.failover_restart(t);
+                }
                 _ => return,
             }
         }
@@ -698,6 +839,86 @@ impl ServerDaemon {
             .take_journal()
             .expect("daemon servers always journal");
         self.server = PbsServer::recover(journal).expect("journal replays cleanly");
+        self.adopt_recovered(t);
+    }
+
+    /// Leader failover: this "process" is dead — journal and all — and
+    /// the highest-watermark follower takes over. The promoted replica is
+    /// byte-identical to the dead leader at its watermark; records past it
+    /// are reconciled into the failover accounting as lost (and, under
+    /// `ack_after_replicate`, provably exclude anything acked). The same
+    /// adoption path as a local crash-restart then re-arms timers and
+    /// re-attaches moms, plus a negotiation reconcile so no application
+    /// hangs on a request record that died with the old leader.
+    fn failover_restart(&mut self, t: SimTime) {
+        for (_, id) in self.app_timers.drain() {
+            self.timers.cancel(id);
+        }
+        for (_, id) in self.dyn_timers.drain() {
+            self.timers.cancel(id);
+        }
+        let old_appended = self
+            .server
+            .journal()
+            .map(|j| j.total_appended())
+            .unwrap_or(0);
+        let repl = self.repl.as_mut().expect("failover requires replication");
+        match repl.hub.fail_over(old_appended, repl.acked_watermark) {
+            Ok((promoted, report)) => {
+                repl.failovers += 1;
+                repl.lost_records = report.lost_records;
+                repl.acked_lost = report.acked_lost;
+                // Acks released under the old term are all ≤ the promoted
+                // watermark (that is the point); the counter restarts in
+                // the new term's coordinates.
+                repl.acked_watermark = 0;
+                self.server = promoted;
+            }
+            Err(e) => {
+                // Every follower is dead or diverged: the deployment
+                // degrades to single-node crash recovery from the local
+                // journal (nothing is lost, availability was).
+                repl.errors.push(format!("failover failed: {e}"));
+                let journal = self
+                    .server
+                    .take_journal()
+                    .expect("daemon servers always journal");
+                self.server = PbsServer::recover(journal).expect("journal replays cleanly");
+            }
+        }
+        self.adopt_recovered(t);
+        // Deny parked tm_dynget callers whose request records died with
+        // the old leader; surviving negotiations stay parked and will be
+        // answered by this (new) leader's scheduling cycles.
+        let live: Vec<JobId> = self.server.pending_dyn_requests().map(|p| p.job).collect();
+        for mom in &self.moms {
+            mom.send(MomMsg::ReconcileDyn { live: live.clone() });
+        }
+        // Re-seed the surviving followers under the new term right away.
+        self.pump_replication();
+    }
+
+    /// The shared adoption path for a server that just materialised from
+    /// recovery (crash-restart) or promotion (failover): rebuild scheduler
+    /// soft state, re-arm per-process flags and the journal, revive app
+    /// deadlines, re-attach moms, and re-arm negotiation expiries.
+    fn adopt_recovered(&mut self, t: SimTime) {
+        // Per-process flags are not journalled; re-arm them first, boot
+        // order: half-life before `enable_journal` below so a fresh
+        // genesis image already carries it. (The decayed usage accounts
+        // themselves come back bit-exact from the image, half-life
+        // included, so the setter is a no-op unless they are empty.)
+        self.server
+            .set_usage_half_life(self.sched.fairshare.half_life);
+        self.server
+            .set_publish_usage(self.sched.fairshare.mode == FairshareMode::TimeAware);
+        self.server.set_collect_usage_events(true);
+        if self.server.journal().is_none() {
+            // A promoted follower arrives journal-less: journaling is a
+            // per-process concern. The genesis snapshot this appends opens
+            // the new term's record coordinates.
+            self.server.enable_journal(JOURNAL_SNAPSHOT_EVERY);
+        }
         // Scheduler soft state (reservation history, negotiation-delay
         // bookkeeping) is not journalled: a fresh Maui restarts from the
         // recovered server state, exactly as a real scheduler restart
@@ -708,15 +929,6 @@ impl ServerDaemon {
         // and post-recovery priorities diverged from a crash-free run).
         self.maui = Maui::new(self.sched.clone());
         self.fs_synced.clear();
-        // Per-process flags are not journalled; re-arm them. (The decayed
-        // usage accounts themselves were recovered bit-exact from the
-        // image, half-life included, so the half-life setter is a no-op
-        // unless the recovered accounts are empty.)
-        self.server
-            .set_usage_half_life(self.sched.fairshare.half_life);
-        self.server
-            .set_publish_usage(self.sched.fairshare.mode == FairshareMode::TimeAware);
-        self.server.set_collect_usage_events(true);
         struct Revive {
             job: JobId,
             remaining: Duration,
@@ -812,13 +1024,134 @@ impl ServerDaemon {
     fn reactor_poll(&mut self, t: SimTime) -> bool {
         let mut reactor = self.reactor.take().expect("reactor present");
         let mut changed = false;
-        reactor.poll_with(|_, cmd| {
-            let (reply, mutated) = self.reactor_apply(cmd, t);
-            changed |= mutated;
-            reply
+        let mut batch_dirty = false;
+        reactor.poll_batch(u64::MAX, |ev| match ev {
+            BatchEvent::Apply { conn, cmd, .. } => {
+                let (reply, mutated) = self.reactor_apply_routed(conn, cmd, t);
+                changed |= mutated;
+                batch_dirty |= mutated;
+                Some(reply)
+            }
+            BatchEvent::Commit => {
+                // Group-commit acks flush right after this returns; with
+                // `ack_after_replicate` they additionally wait for every
+                // live follower, making each ack replication-safe.
+                self.commit_gate(batch_dirty);
+                batch_dirty = false;
+                None
+            }
         });
         self.reactor = Some(reactor);
         changed
+    }
+
+    /// [`ServerDaemon::reactor_apply`] plus the replication concerns:
+    /// qstat offloading to staleness-eligible followers, and
+    /// read-your-writes bookkeeping for mutating commands.
+    fn reactor_apply_routed(
+        &mut self,
+        conn: u64,
+        cmd: &ReactorCommand,
+        t: SimTime,
+    ) -> (ReactorReply, bool) {
+        if let ReactorCommand::QStat(job) = cmd {
+            if let Some(repl) = self.repl.as_mut() {
+                if repl.cfg.read_offload {
+                    let acked = repl.hub.acked_watermarks();
+                    if let Some(idx) = repl.router.pick(conn, &acked) {
+                        if let Some(read) = repl.hub.read_follower(idx, *job) {
+                            return match read.state {
+                                Some(state) => (
+                                    ReactorReply::StatusAt {
+                                        state,
+                                        watermark: read.watermark,
+                                    },
+                                    false,
+                                ),
+                                None => (
+                                    ReactorReply::Denied(format!("unknown job {}", job.0)),
+                                    false,
+                                ),
+                            };
+                        }
+                    }
+                    // No eligible follower (all lagging the caller's last
+                    // write, or dead): fall through to the leader.
+                }
+            }
+        }
+        let (reply, mutated) = self.reactor_apply(cmd, t);
+        if mutated {
+            let watermark = self
+                .server
+                .journal()
+                .map(|j| j.total_appended())
+                .unwrap_or(0);
+            if let Some(repl) = self.repl.as_mut() {
+                repl.router.note_write(conn, watermark);
+            }
+        }
+        (reply, mutated)
+    }
+
+    /// The ack gate at a group-commit boundary: with `ack_after_replicate`
+    /// and a dirty batch, block until every live follower has applied the
+    /// batch's records — only then may the held acks flush. Otherwise just
+    /// keep the stream warm.
+    fn commit_gate(&mut self, batch_dirty: bool) {
+        let Some(repl) = self.repl.as_mut() else {
+            return;
+        };
+        let target = self
+            .server
+            .journal()
+            .map(|j| j.total_appended())
+            .unwrap_or(0);
+        if repl.cfg.ack_after_replicate && batch_dirty {
+            repl.hub.await_replicated(&self.server, target);
+            repl.acked_watermark = repl.acked_watermark.max(target);
+        } else {
+            let report = repl.hub.pump(&self.server);
+            repl.errors.extend(report.errors);
+        }
+    }
+
+    /// One streaming round (called at every command boundary): ships the
+    /// journal tail to the followers and refreshes their watermarks.
+    fn pump_replication(&mut self) {
+        let Some(repl) = self.repl.as_mut() else {
+            return;
+        };
+        if self.server.journal().is_none() {
+            return;
+        }
+        // Keep compaction behind the replicated watermark so followers
+        // stream plain records across snapshot boundaries.
+        if let Some(w) = repl.hub.replicated_watermark() {
+            self.server.journal_retain_from(w + 1);
+        }
+        let report = repl.hub.pump(&self.server);
+        repl.errors.extend(report.errors);
+    }
+
+    /// Answers [`ClientReq::ReplicationStatus`].
+    fn replication_status(&mut self) -> Option<ReplicationStatus> {
+        let leader_appended = self
+            .server
+            .journal()
+            .map(|j| j.total_appended())
+            .unwrap_or(0);
+        let repl = self.repl.as_mut()?;
+        Some(ReplicationStatus {
+            term: repl.hub.term(),
+            follower_watermarks: repl.hub.acked_watermarks(),
+            leader_appended,
+            acked_watermark: repl.acked_watermark,
+            failovers: repl.failovers,
+            lost_records: repl.lost_records,
+            acked_lost: repl.acked_lost,
+            errors: std::mem::take(&mut repl.errors),
+        })
     }
 
     /// Applies one reactor command through the same paths the typed
@@ -1136,6 +1469,26 @@ impl ReplyRouter {
         }
     }
 
+    /// Failover reconciliation: denies parked `dynget` callers whose
+    /// pending request did not survive on the promoted leader (its job is
+    /// absent from `live`). Surviving negotiations stay parked — the new
+    /// leader will grant or expire them through the ordinary paths.
+    fn fail_lost_gets(&mut self, live: &[JobId]) {
+        let lost: Vec<(JobId, ReplyKind)> = self
+            .pending
+            .keys()
+            .filter(|(job, kind)| *kind == ReplyKind::Get && !live.contains(job))
+            .copied()
+            .collect();
+        for key in lost {
+            if let Some(q) = self.pending.remove(&key) {
+                for reply in q {
+                    let _ = reply.send(TmResponse::DynDenied);
+                }
+            }
+        }
+    }
+
     /// Fails every parked caller (mom crash): dynget callers are denied,
     /// dynfree callers acked — the release already took effect locally.
     fn fail_all(&mut self) {
@@ -1318,6 +1671,9 @@ fn mom_main(node: NodeId, rx: Receiver<MomMsg>, server: ServerLink, peers: Vec<M
                     replies.register(job, kind, tx);
                 }
             }
+            MomMsg::ReconcileDyn { live } => {
+                replies.fail_lost_gets(&live);
+            }
             MomMsg::Crash => {
                 // The mom "process" dies: every parked TM caller is failed
                 // back to its application, in-flight fan-outs are lost, and
@@ -1375,6 +1731,7 @@ mod tests {
             cores_per_node: 8,
             sched,
             faults: None,
+            replication: None,
         }
     }
 

@@ -58,6 +58,14 @@ pub struct FaultPlan {
     /// write-ahead journal has appended `after_record` records, then
     /// restarts by snapshot-load + replay.
     pub server_crashes: Vec<ServerCrash>,
+    /// Leader kill/failover schedule, in journal-record coordinates: the
+    /// leader dies for good at the first command boundary past
+    /// `after_record` and the highest-watermark replication follower is
+    /// promoted in its place. Ignored when replication is off.
+    pub leader_kills: Vec<ServerCrash>,
+    /// Faults on the replication stream itself (frame drop/delay/
+    /// reorder, follower crashes). `None` = clean stream.
+    pub replication: Option<dynbatch_server::replication::ReplFaultPlan>,
 }
 
 /// One scheduled server crash, positioned by journal progress rather than
@@ -82,6 +90,8 @@ impl FaultPlan {
             max_delay: Duration::ZERO,
             mom_kills: Vec::new(),
             server_crashes: Vec::new(),
+            leader_kills: Vec::new(),
+            replication: None,
         }
     }
 
@@ -122,6 +132,11 @@ impl FaultPlan {
             max_delay,
             mom_kills,
             server_crashes,
+            // Replication faults are opt-in (the replication chaos suite
+            // builds them explicitly), so pinned seeds keep their exact
+            // historical pressure: nothing new is drawn here.
+            leader_kills: Vec::new(),
+            replication: None,
         }
     }
 }

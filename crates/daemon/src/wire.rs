@@ -60,6 +60,36 @@ pub enum ClientReq {
         /// Reply channel.
         reply: Sender<f64>,
     },
+    /// Snapshot of the replication layer (`None` when replication is
+    /// off).
+    ReplicationStatus {
+        /// Reply channel.
+        reply: Sender<Option<ReplicationStatus>>,
+    },
+}
+
+/// A point-in-time view of the replication layer, answered by
+/// [`ClientReq::ReplicationStatus`].
+#[derive(Debug, Clone, Default)]
+pub struct ReplicationStatus {
+    /// Current leader term (1 before any failover).
+    pub term: u64,
+    /// Per-follower acked watermark under the current term (0 for dead
+    /// or still-reseeding followers).
+    pub follower_watermarks: Vec<u64>,
+    /// The leader journal's `total_appended`.
+    pub leader_appended: u64,
+    /// Watermark through which replication-gated acks were released.
+    pub acked_watermark: u64,
+    /// Completed failovers.
+    pub failovers: u64,
+    /// Records the last failover reported appended-but-unreplicated.
+    pub lost_records: u64,
+    /// Of those, how many had been ack-gated (must stay 0 under
+    /// `ack_after_replicate`).
+    pub acked_lost: u64,
+    /// Divergence errors reported by followers (poisoned replicas).
+    pub errors: Vec<String>,
 }
 
 /// Everything the server thread receives.
@@ -138,6 +168,17 @@ pub enum MomMsg {
         req: dynbatch_server::TmRequest,
         /// Where the TM response goes.
         reply: Sender<TmResponse>,
+    },
+    /// Failover reconciliation from a freshly promoted leader: `live` is
+    /// the set of jobs whose dynamic requests are still pending on the
+    /// promoted state. A parked `tm_dynget` caller whose request record
+    /// was lost with the dead leader (its job is not in `live`) is denied
+    /// rather than left hanging; callers in `live` stay parked — their
+    /// negotiations survived the failover and the new leader will answer
+    /// them.
+    ReconcileDyn {
+        /// Jobs with a live pending dynamic request on the new leader.
+        live: Vec<JobId>,
     },
     /// Fault injection: the mom "process" dies and restarts, losing all
     /// in-memory state. Pending TM calls are failed back to their

@@ -187,6 +187,12 @@ pub struct Journal {
     /// [`Journal::len`] it is *not* reset by compaction, so it positions
     /// crash points ("die after record *k*") stably across snapshots.
     total_appended: u64,
+    /// Lowest absolute position compaction must keep (0 = unrestricted).
+    /// Replication raises this to the replicated watermark so a hot
+    /// follower's tail is never compacted out from under it — truncating
+    /// the log past what the replicas confirmed would force a full
+    /// snapshot transfer on every compaction.
+    retain_floor: u64,
 }
 
 impl Journal {
@@ -238,12 +244,35 @@ impl Journal {
         self.snapshot_every > 0 && self.since_last_snapshot() >= self.snapshot_every
     }
 
-    /// Replaces the entire history with one snapshot record — the
+    /// Raises the compaction retain floor: records at absolute positions
+    /// `>= pos` survive future compactions even though the compacting
+    /// image covers them. Monotonic — a lower `pos` than the current
+    /// floor is ignored. Replication calls this with its replicated
+    /// watermark + 1 so followers can always stream plain records.
+    pub fn set_retain_floor(&mut self, pos: u64) {
+        self.retain_floor = self.retain_floor.max(pos);
+    }
+
+    /// Replaces the compactable history with one snapshot record — the
     /// compaction rule: everything before (and including) the last image
-    /// is re-derivable from the image alone.
+    /// is re-derivable from the image alone. Records at or above the
+    /// retain floor ([`Journal::set_retain_floor`]) are kept in front of
+    /// the new snapshot for replication to finish streaming.
     pub fn compact(&mut self, image: ServerImage) {
-        self.entries.clear();
-        self.snapshot_at.clear();
+        let drop_n = if self.retain_floor == 0 {
+            self.entries.len()
+        } else {
+            let first = self.first_pos();
+            self.retain_floor
+                .saturating_sub(first)
+                .min(self.entries.len() as u64) as usize
+        };
+        self.entries.drain(..drop_n);
+        self.snapshot_at = self
+            .snapshot_at
+            .iter()
+            .filter_map(|&i| i.checked_sub(drop_n))
+            .collect();
         self.append(Record::Snapshot(Box::new(image)));
     }
 
@@ -261,6 +290,7 @@ impl Journal {
                 .collect(),
             snapshot_every: self.snapshot_every,
             total_appended: k as u64,
+            retain_floor: 0,
         }
     }
 
@@ -292,6 +322,68 @@ impl Journal {
     /// Every record, in append order.
     pub fn records(&self) -> &[Record] {
         &self.entries
+    }
+
+    /// Absolute (1-based, compaction-stable) position of the first record
+    /// still retained — `entries[0]` is the `first_pos()`-th record ever
+    /// appended. `0` when the journal is empty.
+    pub fn first_pos(&self) -> u64 {
+        if self.entries.is_empty() {
+            0
+        } else {
+            self.total_appended - self.entries.len() as u64 + 1
+        }
+    }
+
+    /// The retained records at absolute positions `>= pos` (the
+    /// replication tail a follower at watermark `pos - 1` still needs).
+    /// `None` when compaction already discarded position `pos` — the
+    /// caller must fall back to a snapshot transfer.
+    pub fn records_from(&self, pos: u64) -> Option<&[Record]> {
+        if pos > self.total_appended {
+            return Some(&[]);
+        }
+        let first = self.first_pos();
+        if pos < first {
+            return None;
+        }
+        Some(&self.entries[(pos - first) as usize..])
+    }
+
+    /// The latest snapshot record still retained, with its absolute
+    /// position — the catch-up image replication hands a follower that
+    /// fell behind the compaction horizon.
+    pub fn latest_snapshot(&self) -> Option<(u64, &ServerImage)> {
+        let &i = self.snapshot_at.last()?;
+        let Record::Snapshot(img) = &self.entries[i] else {
+            unreachable!("snapshot_at indexes snapshot records");
+        };
+        Some((self.first_pos() + i as u64, img))
+    }
+
+    /// Parses a journal like [`Journal::from_text`], but tolerates a torn
+    /// *trailing* record — the classic partial-write crash artifact — by
+    /// truncating it and returning a warning instead of failing. A
+    /// malformed record with valid records after it is still a hard error
+    /// (that is corruption, not a torn tail).
+    pub fn from_text_tolerant(text: &str) -> Result<(Journal, Option<String>), String> {
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        let mut j = Journal::new();
+        for (k, &(i, line)) in lines.iter().enumerate() {
+            let parsed = dynbatch_core::json::parse(line).and_then(|v| record_from_json(&v));
+            match parsed {
+                Ok(record) => j.append(record),
+                Err(e) if k + 1 == lines.len() => {
+                    return Ok((j, Some(format!("truncated torn trailing record {i}: {e}"))))
+                }
+                Err(e) => return Err(format!("record {i}: {e}")),
+            }
+        }
+        Ok((j, None))
     }
 }
 

@@ -31,11 +31,18 @@ pub mod journal;
 pub mod messages;
 pub mod mom;
 pub mod reactor;
+pub mod replication;
 pub mod server;
 
 pub use accounting::AccountingLog;
 pub use journal::{Journal, PendingDynImage, Record, ServerImage};
 pub use messages::{ClientMsg, MomToServer, ServerToMom, TmRequest, TmResponse};
 pub use mom::{Mom, MomOutput};
-pub use reactor::{Command, Reactor, ReactorClient, ReactorConnector, ReactorStats, Reply};
+pub use reactor::{
+    BatchEvent, Command, Reactor, ReactorClient, ReactorConnector, ReactorStats, Reply,
+};
+pub use replication::{
+    FailoverReport, Follower, FollowerHandle, FollowerRead, FollowerReader, HubConfig, HubStats,
+    PumpReport, ReadRouter, ReplFaultPlan, ReplicationHub,
+};
 pub use server::{Applied, PbsServer};

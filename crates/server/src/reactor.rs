@@ -78,6 +78,16 @@ pub enum Reply {
     Ok,
     /// `qstat` answer: the job's current state.
     Status(String),
+    /// `qstat` answer served from a replication follower under the
+    /// bounded-staleness contract: the state plus the follower's
+    /// applied-record watermark (every journal record through that
+    /// position is reflected in the answer).
+    StatusAt {
+        /// The job's state, as [`Reply::Status`] would report it.
+        state: String,
+        /// The serving follower's applied-record watermark.
+        watermark: u64,
+    },
     /// The command was refused — malformed, unknown job, out of order.
     /// Never a panic: denial is the contract for bad input.
     Denied(String),
@@ -91,6 +101,24 @@ enum AckMode {
     GroupCommit,
     /// Deliver each reply as its command applies (perf baseline).
     AckEach,
+}
+
+/// One step of a [`Reactor::poll_batch`] drive.
+pub enum BatchEvent<'a> {
+    /// Apply this command and return `Some(reply)`.
+    Apply {
+        /// The command's application position.
+        ticket: u64,
+        /// The issuing connection — staleness-aware read routing keys
+        /// read-your-writes bounds on it.
+        conn: u64,
+        /// The parsed command.
+        cmd: &'a Command,
+    },
+    /// The group-commit batch has fully applied and its held acks are
+    /// about to flush. Return `None`. Not fired for empty batches or in
+    /// ack-each mode (those acks already went out per command).
+    Commit,
 }
 
 /// What travels from clients to the reactor.
@@ -250,6 +278,23 @@ impl Reactor {
     where
         F: FnMut(u64, &Command) -> Reply,
     {
+        self.poll_batch(limit, |ev| match ev {
+            BatchEvent::Apply { ticket, cmd, .. } => Some(apply(ticket, cmd)),
+            BatchEvent::Commit => None,
+        })
+    }
+
+    /// The full-control drive: like [`Reactor::poll_bounded`], but the
+    /// closure also sees the issuing connection id (for staleness-aware
+    /// read routing) and a [`BatchEvent::Commit`] event fired after the
+    /// whole group-commit batch has applied but *before* its held acks
+    /// flush — the hook where an `ack_after_replicate` host blocks until
+    /// the batch's journal records are on every live follower, making
+    /// every ack replication-safe, not just crash-safe.
+    pub fn poll_batch<F>(&mut self, limit: u64, mut f: F) -> usize
+    where
+        F: FnMut(BatchEvent<'_>) -> Option<Reply>,
+    {
         self.drain_mailbox();
         let mut held: Vec<(u64, Reply)> = Vec::new();
         let mut n = 0usize;
@@ -259,7 +304,12 @@ impl Reactor {
             };
             let ticket = self.next_apply;
             let reply = match parse_command(&line) {
-                Ok(cmd) => apply(ticket, &cmd),
+                Ok(cmd) => f(BatchEvent::Apply {
+                    ticket,
+                    conn,
+                    cmd: &cmd,
+                })
+                .unwrap_or_else(|| Reply::Denied("apply produced no reply".into())),
                 Err(e) => {
                     self.stats.denied_parse += 1;
                     Reply::Denied(e)
@@ -274,7 +324,12 @@ impl Reactor {
         }
         // Group-commit flush: `apply` has returned for the whole batch,
         // so every mutation's journal record is appended — each ack below
-        // is crash-safe by construction.
+        // is crash-safe by construction. The Commit event runs first, so
+        // a replicating host can additionally gate the flush on follower
+        // acknowledgement.
+        if !held.is_empty() {
+            let _ = f(BatchEvent::Commit);
+        }
         for (conn, reply) in held {
             self.deliver(conn, reply);
         }

@@ -236,6 +236,16 @@ impl PbsServer {
         self.journal.as_ref()
     }
 
+    /// Raises the journal's compaction retain floor (no-op without a
+    /// journal) — replication drivers call this with their replicated
+    /// watermark + 1 so compaction never discards records a follower
+    /// still needs to stream.
+    pub fn journal_retain_from(&mut self, pos: u64) {
+        if let Some(j) = self.journal.as_mut() {
+            j.set_retain_floor(pos);
+        }
+    }
+
     /// Detaches the journal (e.g. to recover from it after a simulated
     /// crash); journaling is off afterwards.
     pub fn take_journal(&mut self) -> Option<Journal> {
@@ -293,6 +303,13 @@ impl PbsServer {
     /// digest of the durable state.
     pub fn state_digest(&self) -> String {
         journal::image_to_json(&self.image()).to_string_compact()
+    }
+
+    /// Rebuilds a server from a snapshot image — the public face of the
+    /// recovery loader, used by replication followers installing a
+    /// catch-up snapshot. Journaling is off on the rebuilt server.
+    pub fn from_image(img: &ServerImage) -> Result<PbsServer> {
+        Self::restore(img)
     }
 
     /// Rebuilds a server from a snapshot image: cluster shape, node
@@ -373,6 +390,20 @@ impl PbsServer {
         };
         server.journal = Some(journal);
         Ok(server)
+    }
+
+    /// Applies one journalled mutation through the ordinary deterministic
+    /// paths — the replication follower's apply step. Requires journaling
+    /// off (a follower never re-appends what it mirrors); snapshot records
+    /// are handled by the follower itself (install or boundary-verify),
+    /// never through this path.
+    pub fn apply_record(&mut self, record: &Record) -> Result<()> {
+        if self.journal.is_some() {
+            return Err(Error::BadConfig(
+                "apply_record requires journaling off (followers never re-append)".into(),
+            ));
+        }
+        self.replay(record)
     }
 
     /// Replays one journalled mutation. Journaling is off while recovering

@@ -351,6 +351,14 @@ impl BatchSim {
         self.server.enable_journal(snapshot_every);
     }
 
+    /// Raises the journal's compaction retain floor (see
+    /// [`dynbatch_server::PbsServer::journal_retain_from`]) — replication
+    /// drivers keep it at their replicated watermark so compaction never
+    /// truncates the stream out from under a follower.
+    pub fn journal_retain_from(&mut self, pos: u64) {
+        self.server.journal_retain_from(pos);
+    }
+
     /// Schedules a server crash + journal recovery at `at`. The server is
     /// rebuilt by snapshot-load + replay and the scheduler restarts with
     /// empty soft state; applications (their finish/phase/request events)

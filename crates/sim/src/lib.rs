@@ -15,6 +15,7 @@ pub mod batch_sim;
 pub mod event;
 pub mod experiment;
 pub mod reactor_drive;
+pub mod replica_drive;
 pub mod sweep;
 
 pub use batch_sim::{BatchSim, SimStats, DEFAULT_LOOKAHEAD};
@@ -27,4 +28,5 @@ pub use reactor_drive::{
     drive_reactor, drive_serial, script_from_stream, script_from_workload, CommandScript,
     DriveResult, ScriptStep,
 };
+pub use replica_drive::{ReplicaStats, ReplicatedSim};
 pub use sweep::{parallel_tasks, parallel_tasks_with, run_sweep, task_rng, SweepResult};

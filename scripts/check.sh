@@ -43,6 +43,13 @@ echo "==> streaming ingestion (streamed == materialized for every generator,"
 echo "    qdel-before-admission, window-bounded residency)"
 cargo test -q --test streaming_ingest
 
+echo "==> replication smoke (transport hardening, 50-seed leader-kill chaos"
+echo "    sweep, compaction handoff, daemon failover with live clients)"
+cargo test -q --test replication_chaos
+cargo test -q --test replication_failover
+cargo test -q -p dynbatch-server replication
+cargo test -q -p dynbatch-sim replica
+
 echo "==> time-aware fairness suite (static inertness, shard/worker"
 echo "    determinism, demote-not-deny budgets)"
 cargo test -q --test fairness
@@ -81,6 +88,12 @@ results — regenerate with: cargo run --release -p dynbatch-bench --bin perf_sm
 echo "==> committed BENCH_sched.json must carry the fairness section"
 grep -q '"fairness"' BENCH_sched.json \
   || { echo "BENCH_sched.json lacks the fairness section — regenerate \
+with: cargo run --release -p dynbatch-bench --bin perf_smoke"; exit 1; }
+
+echo "==> committed BENCH_sched.json must carry the replication section"
+echo "    (append->apply lag, follower-read throughput, failover latency)"
+grep -q '"replication"' BENCH_sched.json \
+  || { echo "BENCH_sched.json lacks the replication section — regenerate \
 with: cargo run --release -p dynbatch-bench --bin perf_smoke"; exit 1; }
 
 echo "check.sh: all gates passed"

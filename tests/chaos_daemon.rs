@@ -92,6 +92,7 @@ fn run_workload(plan: FaultPlan) -> Vec<Option<JobState>> {
         cores_per_node: 8,
         sched,
         faults: Some(plan),
+        replication: None,
     });
     let tag = d.thread_tag().to_string();
 

@@ -89,6 +89,7 @@ fn churn_run(seed: u64) {
         cores_per_node: 8,
         sched: sched(),
         faults: Some(plan_with_crash(seed)),
+        replication: None,
     });
     let tag = d.thread_tag().to_string();
 
@@ -199,6 +200,7 @@ fn stalled_reader_blocks_nothing() {
         cores_per_node: 8,
         sched: sched(),
         faults: None,
+        replication: None,
     });
     let tag = d.thread_tag().to_string();
 

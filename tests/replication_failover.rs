@@ -1,0 +1,261 @@
+//! Replicated-daemon failover and follower-read staleness, at the live
+//! ensemble level: 1 leader + 2 followers streaming the journal, moms
+//! and timers attached, real reactor clients on the wire.
+//!
+//! Covers the daemon half of the replication contract:
+//!
+//! * **Failover re-attach** — a leader kill mid-run promotes a follower;
+//!   running jobs keep their (idempotently re-sent) `RunJob`s, app-exit
+//!   deadlines are re-armed for remaining runtime, and the ensemble
+//!   drains with every acked submission completed. Submissions go
+//!   through the reactor so the group-commit ack gate
+//!   (`ack_after_replicate`) is what released them — the status query
+//!   then pins `acked_lost == 0`.
+//! * **Parked negotiations survive** — a `tm_dynget` whose request
+//!   record replicated before the kill is answered by the *promoted*
+//!   leader (grant or window expiry), never left hanging; the
+//!   reconcile sweep only denies callers whose records died unreplicated.
+//! * **Follower-read staleness (satellite 2)** — with `read_offload` +
+//!   `read_your_writes`, a qstat routed after an acked write never
+//!   observes pre-write state, even with the stream maximally delayed;
+//!   follower-served replies echo the applied-record watermark.
+
+use dynbatch::core::{DfsConfig, JobState, SchedulerConfig};
+use dynbatch::daemon::{DaemonConfig, DaemonHandle, FaultPlan, ReplicationConfig, ServerCrash};
+use dynbatch::server::replication::ReplFaultPlan;
+use dynbatch::server::{Reply, TmResponse};
+use std::time::Duration;
+
+fn tagged_threads(tag: &str) -> Vec<String> {
+    let mut live = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc/self/task") else {
+        return live; // not Linux: skip the leak check
+    };
+    for e in entries.flatten() {
+        if let Ok(name) = std::fs::read_to_string(e.path().join("comm")) {
+            let name = name.trim_end().to_string();
+            if name.starts_with(tag) {
+                live.push(name);
+            }
+        }
+    }
+    live
+}
+
+fn assert_no_tagged_threads(tag: &str) {
+    for _ in 0..250 {
+        if tagged_threads(tag).is_empty() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!(
+        "daemon threads leaked past shutdown: {:?}",
+        tagged_threads(tag)
+    );
+}
+
+fn sched() -> SchedulerConfig {
+    let mut s = SchedulerConfig::paper_eval();
+    s.dfs = DfsConfig::highest_priority();
+    s
+}
+
+fn spec(name: &str, user: u32, cores: u32, ms: u64) -> dynbatch::core::JobSpec {
+    dynbatch::core::JobSpec::rigid(
+        name,
+        dynbatch::core::UserId(user),
+        dynbatch::core::GroupId(0),
+        cores,
+        dynbatch::core::SimDuration::from_millis(ms),
+    )
+}
+
+fn replicated_config(kill_after: Option<u64>, repl_faults: Option<ReplFaultPlan>) -> DaemonConfig {
+    let mut faults = FaultPlan::none(1);
+    if let Some(k) = kill_after {
+        faults.leader_kills.push(ServerCrash { after_record: k });
+    }
+    faults.replication = repl_faults;
+    DaemonConfig {
+        nodes: 3,
+        cores_per_node: 8,
+        sched: sched(),
+        faults: Some(faults),
+        replication: Some(ReplicationConfig::new(2)),
+    }
+}
+
+/// Leader kill mid-run: a follower takes over, re-attaches the moms, and
+/// the ensemble drains with every acked job completed. Submissions ride
+/// the reactor's group-commit path, so every ack the clients read was
+/// released by the replication gate — `acked_lost` must be zero.
+#[test]
+fn failover_drains_and_loses_no_acked_job() {
+    let d = DaemonHandle::start(replicated_config(Some(6), None));
+    let tag = d.thread_tag().to_string();
+
+    let mut acked = Vec::new();
+    for i in 0..8u32 {
+        let client = d.connect();
+        client.send(&format!(
+            "qsub name=j{i} user={} group=0 cores={} wall_ms={}",
+            i % 3,
+            2 + i % 4,
+            60 + 30 * u64::from(i)
+        ));
+        match client.recv_timeout(Duration::from_secs(10)) {
+            Some(Reply::Submitted(id)) => acked.push(id),
+            other => panic!("qsub {i} answered {other:?}"),
+        }
+        client.disconnect();
+    }
+    assert!(
+        d.await_drained(Duration::from_secs(20)),
+        "replicated ensemble must drain through the leader kill"
+    );
+    for id in &acked {
+        assert_eq!(
+            d.qstat(*id),
+            Some(JobState::Completed),
+            "acked job {id:?} lost across failover"
+        );
+    }
+    let status = d.replication_status().expect("replication is on");
+    assert_eq!(status.failovers, 1, "the kill point must have fired");
+    assert!(status.term >= 2, "promotion bumps the term");
+    assert_eq!(
+        status.acked_lost, 0,
+        "ack_after_replicate must make acked loss impossible"
+    );
+    assert!(
+        status.errors.is_empty(),
+        "no divergence expected: {:?}",
+        status.errors
+    );
+    d.shutdown();
+    assert_no_tagged_threads(&tag);
+}
+
+/// A negotiated `tm_dynget` parked across the kill: its request record
+/// replicated before the leader died, so the promoted leader re-arms the
+/// window from *recovered* state and answers the caller — here by window
+/// expiry, since the filler pins the machine past the horizon. The
+/// caller must never hang on the dead leader's promise.
+#[test]
+fn parked_negotiation_survives_failover() {
+    // The kill coordinate sits past the setup traffic; the nudge loop
+    // below pushes the journal across it while the negotiation is parked.
+    let d = DaemonHandle::start(replicated_config(Some(14), None));
+    let tag = d.thread_tag().to_string();
+
+    let grower = d
+        .qsub(dynbatch::core::JobSpec::evolving(
+            "grower",
+            dynbatch::core::UserId(0),
+            dynbatch::core::GroupId(0),
+            8,
+            dynbatch::core::ExecutionModel::esp_evolving(30_000, 20_000, 4),
+        ))
+        .expect("grower submits");
+    assert!(d.await_running(grower, Duration::from_secs(5)));
+    // Fill the rest of the machine (3×8 = 24 cores) so +16 cannot be
+    // granted inside the window.
+    let filler = d.qsub(spec("filler", 1, 16, 30_000)).expect("filler");
+    assert!(d.await_running(filler, Duration::from_secs(5)));
+
+    std::thread::scope(|scope| {
+        let caller = scope.spawn(|| d.tm_dynget_negotiated(grower, 16, Duration::from_secs(3)));
+        // Let the request record land and replicate, then drive the
+        // journal past the kill coordinate while the caller is parked.
+        std::thread::sleep(Duration::from_millis(200));
+        for i in 0..6 {
+            let _ = d.qsub(spec(&format!("nudge{i}"), 2, 1, 40));
+            std::thread::sleep(Duration::from_millis(30));
+            if d.replication_status().is_some_and(|s| s.failovers >= 1) {
+                break;
+            }
+        }
+        let resp = caller.join().expect("dynget caller returns");
+        assert!(
+            matches!(resp, TmResponse::DynGranted { .. } | TmResponse::DynDenied),
+            "parked negotiation must be answered after failover, got {resp:?}"
+        );
+    });
+    let status = d.replication_status().expect("replication is on");
+    assert!(
+        status.failovers >= 1,
+        "nudge traffic must have crossed the kill coordinate"
+    );
+    d.shutdown();
+    assert_no_tagged_threads(&tag);
+}
+
+/// Satellite 2: the read-your-writes staleness bound at the reactor.
+/// The stream is maximally delayed (every frame deferred a pump), so
+/// followers chronically lag — yet a qstat issued right after an acked
+/// qsub must never answer "unknown job": either the leader serves it, or
+/// a follower that has provably applied the write does (its reply then
+/// carries the applied-record watermark).
+#[test]
+fn follower_reads_respect_read_your_writes() {
+    let faults = ReplFaultPlan {
+        seed: 7,
+        delay_permille: 1000, // defer every frame one pump
+        ..ReplFaultPlan::default()
+    };
+    let d = DaemonHandle::start(replicated_config(None, Some(faults)));
+    let tag = d.thread_tag().to_string();
+
+    let mut follower_served = 0u32;
+    let mut first = None;
+    for i in 0..30u32 {
+        let client = d.connect();
+        client.send(&format!(
+            "qsub name=ryw{i} user={} group=0 cores=2 wall_ms=40",
+            i % 3
+        ));
+        let id = match client.recv_timeout(Duration::from_secs(5)) {
+            Some(Reply::Submitted(id)) => id,
+            other => panic!("qsub answered {other:?}"),
+        };
+        first.get_or_insert(id);
+        // Same connection, write acked: the read must observe the job.
+        client.send(&format!("qstat {}", id.0));
+        match client.recv_timeout(Duration::from_secs(5)) {
+            Some(Reply::Status(_)) => {} // leader served (followers lagged)
+            Some(Reply::StatusAt { state, watermark }) => {
+                follower_served += 1;
+                assert!(!state.is_empty());
+                assert!(watermark > 0, "follower replies echo their watermark");
+            }
+            other => {
+                panic!("acked write un-observed on read {i}: {other:?} (read-your-writes violated)")
+            }
+        }
+        client.disconnect();
+    }
+    // Reads from a connection that never wrote are offloadable at any
+    // watermark: the offload path must actually serve something in this
+    // deployment (round-robin across qualifying followers).
+    let probe = d.connect();
+    let probed = first.expect("at least one submission").0;
+    let mut cold_follower_reads = 0u32;
+    for _ in 0..20 {
+        probe.send(&format!("qstat {probed}"));
+        match probe.recv_timeout(Duration::from_secs(5)) {
+            Some(Reply::StatusAt { .. }) => cold_follower_reads += 1,
+            Some(Reply::Status(_)) | Some(Reply::Denied(_)) => {}
+            other => panic!("probe read answered {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    probe.disconnect();
+    assert!(
+        follower_served + cold_follower_reads > 0,
+        "no read was ever served by a follower — offload path dead"
+    );
+    assert!(d.await_drained(Duration::from_secs(15)));
+    d.shutdown();
+    assert_no_tagged_threads(&tag);
+}
